@@ -1,0 +1,79 @@
+// Ablation A3 -- the Chebyshev gap amplifier's cost curve: how the
+// approximation factor c = 1/T_q(1 + 1/d) bought by order q compares to
+// the dimension (9d)^q it costs, across d; and a head-to-head of all
+// three embeddings at matched input dimension, the constructive content
+// of Theorems 1 and 2.
+
+#include <cmath>
+#include <iostream>
+
+#include "embed/binary_embedding.h"
+#include "embed/chebyshev.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/sign_embedding.h"
+#include "util/table.h"
+
+namespace ips {
+namespace {
+
+void ChebyshevCurve() {
+  std::cout << "=== Ablation A3: Chebyshev amplification cost curve ===\n";
+  TablePrinter table({"d", "q", "c = 1/T_q(1+1/d)", "e^(-q/sqrt(d)) ref",
+                      "output dim", "dim bound (9d)^q"});
+  for (std::size_t d : {8u, 16u, 32u}) {
+    for (unsigned q : {1u, 2u, 3u, 4u}) {
+      if (d >= 32 && q >= 4) continue;  // keep dimensions printable
+      const ChebyshevGapEmbedding embedding(d, q);
+      table.AddRow(
+          {Format(d), Format(q), FormatSci(embedding.c(), 3),
+           FormatSci(std::exp(-static_cast<double>(q) /
+                              std::sqrt(static_cast<double>(d))),
+                     3),
+           Format(embedding.output_dim()),
+           FormatSci(std::pow(9.0 * static_cast<double>(d), q), 2)});
+    }
+  }
+  table.PrintMarkdown(std::cout);
+  std::cout << "\nShape checks: c decays like e^(-q/sqrt(d)) (the rate\n"
+               "behind Theorem 1's e^(-o(sqrt(log n / log log n))) hard\n"
+               "range) while the dimension multiplies by ~9d per order --\n"
+               "the exponential-vs-polynomial trade Lemma 2 exploits by\n"
+               "keeping q = o(d / log d).\n";
+}
+
+void HeadToHead() {
+  std::cout << "\n--- all three embeddings at input dimension d = 16 ---\n";
+  TablePrinter table({"embedding", "signed?", "domain", "output dim",
+                      "c", "paper's hard range"});
+  const SignedGapEmbedding e1(16);
+  table.AddRow({e1.Name(), "yes", "{-1,1}", Format(e1.output_dim()),
+                Format(e1.c()), "any c > 0"});
+  for (unsigned q : {1u, 2u, 3u}) {
+    const ChebyshevGapEmbedding e2(16, q);
+    table.AddRow({e2.Name() + " q=" + Format(q), "no", "{-1,1}",
+                  Format(e2.output_dim()), FormatFixed(e2.c(), 4),
+                  "c >= e^(-o(sqrt(log n/log log n)))"});
+  }
+  for (std::size_t k : {2u, 4u, 8u, 16u}) {
+    const BinaryChunkEmbedding e3(16, k);
+    table.AddRow({e3.Name() + " k=" + Format(k), "no", "{0,1}",
+                  Format(e3.output_dim()), FormatFixed(e3.c(), 4),
+                  "c = 1 - o(1)"});
+  }
+  table.PrintMarkdown(std::cout);
+  std::cout << "\nThe {0,1} domain pays very low dimension but can only\n"
+               "reach c = 1 - 1/k (the paper conjectures constant-c\n"
+               "hardness for {0,1} needs fundamentally new techniques);\n"
+               "the {-1,1} Chebyshev route reaches much smaller c at\n"
+               "exponentially growing dimension; the signed gadget gets\n"
+               "c = 0 outright but only for signed joins.\n";
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::ChebyshevCurve();
+  ips::HeadToHead();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation A4 -- join execution strategy: per-query index probing
+// (LshMipsIndex) versus the bucket join (hash both sides into shared
+// tables and enumerate colliding pairs), at equal amplification
+// parameters. The bucket join amortizes table construction over the
+// whole query set and verifies each distinct pair once.
+
+#include <iostream>
+
+#include "core/dataset.h"
+#include "core/mips_index.h"
+#include "core/similarity_join.h"
+#include "lsh/bucket_join.h"
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ips {
+namespace {
+
+void Run() {
+  std::cout << "=== Ablation A4: per-query probing vs bucket join ===\n";
+  Rng rng(3);
+  const std::size_t kDim = 24;
+  JoinSpec spec;
+  spec.s = 0.8;
+  spec.c = 0.75;
+  spec.is_signed = true;
+
+  TablePrinter table({"n", "queries", "strategy", "total ms", "recall",
+                      "pairs verified"});
+  for (std::size_t n : {1000u, 4000u}) {
+    for (std::size_t num_queries : {50u, 400u}) {
+      const PlantedInstance planted =
+          MakePlantedInstance(n, num_queries, kDim, 0.9, 1.0, &rng);
+      const JoinResult truth =
+          ExactJoin(planted.data, planted.queries, spec, nullptr);
+      const DualBallTransform transform(kDim, 1.0);
+      const SimHashFamily base(transform.output_dim());
+      LshTableParams params;
+      params.k = 10;
+      params.l = 48;
+
+      {
+        WallTimer timer;
+        const LshMipsIndex index(planted.data, &transform, base, params,
+                                 &rng);
+        const JoinResult result = IndexJoin(index, planted.queries, spec);
+        double recall = 0.0;
+        VerifyJoinContract(result, truth, spec, &recall);
+        table.AddRow({Format(n), Format(num_queries), "per-query probe",
+                      FormatFixed(timer.Millis(), 1),
+                      FormatFixed(recall, 3),
+                      Format(result.inner_products)});
+      }
+      {
+        WallTimer timer;
+        const Matrix hash_data = transform.TransformDataset(planted.data);
+        const Matrix hash_queries =
+            transform.TransformQueries(planted.queries);
+        const BucketJoinResult result = LshBucketJoin(
+            base, hash_data, planted.data, hash_queries, planted.queries,
+            spec.s, spec.cs(), spec.is_signed, params, &rng);
+        // Recall against the same truth.
+        std::size_t promised = 0;
+        std::size_t answered = 0;
+        for (std::size_t qi = 0; qi < num_queries; ++qi) {
+          if (!truth.per_query[qi].has_value() ||
+              truth.per_query[qi]->value < spec.s) {
+            continue;
+          }
+          ++promised;
+          if (result.per_query[qi].has_value()) ++answered;
+        }
+        const double recall =
+            promised == 0 ? 1.0
+                          : static_cast<double>(answered) /
+                                static_cast<double>(promised);
+        table.AddRow({Format(n), Format(num_queries), "bucket join",
+                      FormatFixed(timer.Millis(), 1),
+                      FormatFixed(recall, 3),
+                      Format(result.stats.verified_pairs)});
+      }
+    }
+  }
+  table.PrintMarkdown(std::cout);
+  std::cout << "\nShape checks: both strategies reach the same recall; the\n"
+               "bucket join verifies each distinct colliding pair exactly\n"
+               "once, so its advantage grows with the query-set size (the\n"
+               "join workload of the paper, |Q| = n), while per-query\n"
+               "probing suits the online search/indexing workload.\n";
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

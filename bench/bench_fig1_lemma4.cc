@@ -1,0 +1,105 @@
+// Experiment F1 -- reproduces Figure 1 / Lemma 4: the exponential square
+// partition of the collision grid's lower triangle, and the empirical
+// verification that the collision gap P1 - P2 of real (A)LSH families on
+// the Theorem 3 staircase sequences stays below 1/(8 log n) and decays
+// as the sequences grow.
+
+#include <cmath>
+#include <iostream>
+
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "theory/hard_sequences.h"
+#include "theory/lemma4.h"
+#include "util/table.h"
+
+namespace ips {
+namespace {
+
+void PrintPartitionSummary() {
+  std::cout << "--- Figure 1: square partition of the lower triangle ---\n";
+  TablePrinter table({"ell", "n = 2^ell-1", "squares", "nodes covered",
+                      "lower-triangle nodes", "exact cover"});
+  for (std::size_t ell = 1; ell <= 7; ++ell) {
+    const std::size_t n = (1ULL << ell) - 1;
+    const auto squares = LowerTrianglePartition(ell);
+    std::size_t covered = 0;
+    for (const auto& square : squares) covered += square.side * square.side;
+    const std::size_t triangle = n * (n + 1) / 2;
+    table.AddRow({Format(ell), Format(n), Format(squares.size()),
+                  Format(covered), Format(triangle),
+                  covered == triangle ? "yes" : "NO"});
+  }
+  table.PrintMarkdown(std::cout);
+}
+
+void MeasureGaps() {
+  std::cout << "\n--- Lemma 4 empirically: measured P1 - P2 of dual-ball + "
+               "SimHash on Theorem 3 staircases ---\n";
+  Rng rng(7);
+  TablePrinter table({"construction", "params", "n", "measured P1",
+                      "measured P2", "gap", "bound 1/(8 log n)",
+                      "within bound"});
+  struct Row {
+    const char* name;
+    const char* params;
+    HardSequences sequences;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"case 1", "d=2, U=20, s=0.25, c=0.5",
+                  MakeCase1Sequences(2, 20.0, 0.25, 0.5)});
+  rows.push_back({"case 1", "d=4, U=50, s=0.25, c=0.7",
+                  MakeCase1Sequences(4, 50.0, 0.25, 0.7)});
+  rows.push_back({"case 1", "d=8, U=100, s=0.5, c=0.8",
+                  MakeCase1Sequences(8, 100.0, 0.5, 0.8)});
+  rows.push_back({"case 2", "d=4, U=64, s=1, c=0.5",
+                  MakeCase2Sequences(4, 64.0, 1.0, 0.5)});
+  rows.push_back({"case 2", "d=2, U=128, s=1, c=0.8",
+                  MakeCase2Sequences(2, 128.0, 1.0, 0.8)});
+  rows.push_back({"case 3", "U=100, s=1, c=0.5 (orthonormal Z)",
+                  MakeCase3Sequences(100.0, 1.0, 0.5,
+                                     IncoherentKind::kOrthonormal)});
+  rows.push_back({"case 3", "U=300, s=1, c=0.5 (orthonormal Z)",
+                  MakeCase3Sequences(300.0, 1.0, 0.5,
+                                     IncoherentKind::kOrthonormal)});
+  constexpr std::size_t kSamples = 3000;
+  for (const Row& row : rows) {
+    const SequenceCheck check = VerifyHardSequences(row.sequences);
+    if (!check.staircase_ok || !check.norms_ok) {
+      std::cerr << "construction " << row.name
+                << " violates its own promise!\n";
+      continue;
+    }
+    const std::size_t n = row.sequences.data.rows();
+    const DualBallTransform transform(row.sequences.data.cols(),
+                                      row.sequences.U);
+    const SimHashFamily base(transform.output_dim());
+    const TransformedLshFamily family(&transform, &base);
+    const CollisionMatrix matrix(family, row.sequences, kSamples, &rng);
+    const double bound = Lemma4GapBound(n);
+    const double gap = matrix.EmpiricalGap();
+    const double slack = 3.0 * std::sqrt(0.25 / kSamples);
+    table.AddRow({row.name, row.params, Format(n),
+                  FormatFixed(matrix.EmpiricalP1(), 4),
+                  FormatFixed(matrix.EmpiricalP2(), 4), FormatFixed(gap, 4),
+                  FormatFixed(bound, 4),
+                  gap <= bound + 2 * slack ? "yes" : "NO"});
+  }
+  table.PrintMarkdown(std::cout);
+  std::cout << "\nReading: P1 is the *smallest* collision probability over "
+               "staircase pairs promised >= s,\nP2 the largest over pairs "
+               "promised <= cs. Lemma 4 caps P1 - P2 by 1/(8 log n); the\n"
+               "bound shrinks as the constructions admit longer staircases "
+               "(larger U/s), which is the\nTheorem 3 impossibility of "
+               "asymmetric LSH for unbounded query domains.\n";
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::PrintPartitionSummary();
+  ips::MeasureGaps();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment F2 -- reproduces Figure 2 of the paper: the rho value
+// (query exponent) of three MIPS LSH constructions as a function of the
+// normalized threshold s, for several approximation factors c:
+//   DATA-DEP -- this paper's Section 4.1 bound, equation (3),
+//   SIMP     -- Neyshabur-Srebro Simple-LSH [39],
+//   MH-ALSH  -- Shrivastava-Li asymmetric minwise hashing [46]
+//               (binary data only).
+//
+// Besides the analytic curves, we *measure* rho for DATA-DEP and SIMP by
+// Monte-Carlo-estimating collision probabilities of the actual
+// implemented hash functions (dual-ball + SimHash, simple-mips +
+// SimHash) on vector pairs constructed at inner products s and cs, and
+// print analytic vs measured side by side. The shape to reproduce:
+// DATA-DEP <= SIMP everywhere, and DATA-DEP < MH-ALSH once s is large
+// (the paper quotes s >= d/3, c >= 0.83 for binary data).
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "linalg/vector_ops.h"
+#include "lsh/lsh_family.h"
+#include "lsh/rho.h"
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "util/table.h"
+
+namespace ips {
+namespace {
+
+std::vector<double> RandomUnit(std::size_t dim, Rng* rng) {
+  std::vector<double> v(dim);
+  for (double& x : v) x = rng->NextGaussian();
+  NormalizeInPlace(v);
+  return v;
+}
+
+// Unit vector with prescribed inner product `target` against unit x.
+std::vector<double> UnitAtInnerProduct(std::span<const double> x,
+                                       double target, Rng* rng) {
+  std::vector<double> noise = RandomUnit(x.size(), rng);
+  const double along = Dot(noise, x);
+  for (std::size_t i = 0; i < x.size(); ++i) noise[i] -= along * x[i];
+  NormalizeInPlace(noise);
+  std::vector<double> y(x.size());
+  const double sine = std::sqrt(std::max(0.0, 1.0 - target * target));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = target * x[i] + sine * noise[i];
+  }
+  return y;
+}
+
+// Measured rho of SimHash composed with `transform`, probing pairs at
+// inner products s and cs (unit-ball data, unit-ball queries, U = 1).
+double MeasureRho(const VectorTransform& transform, double s, double c,
+                  Rng* rng) {
+  const std::size_t dim = transform.input_dim();
+  const SimHashFamily base(transform.output_dim());
+  const TransformedLshFamily family(&transform, &base);
+  constexpr std::size_t kTrials = 6000;
+  double p[2];
+  for (int which = 0; which < 2; ++which) {
+    const double target = which == 0 ? s : c * s;
+    // Average over several pair geometries.
+    std::size_t collisions = 0;
+    std::size_t trials = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto x = RandomUnit(dim, rng);
+      const auto y = UnitAtInnerProduct(x, target, rng);
+      const BernoulliEstimate estimate =
+          EstimateCollisionProbability(family, x, y, kTrials / 3, rng);
+      collisions +=
+          static_cast<std::size_t>(estimate.p_hat * (kTrials / 3.0));
+      trials += kTrials / 3;
+    }
+    p[which] = static_cast<double>(collisions) / static_cast<double>(trials);
+  }
+  if (p[0] <= 0.0 || p[0] >= 1.0 || p[1] <= 0.0 || p[1] >= 1.0) return 1.0;
+  return RhoFromProbabilities(p[0], p[1]);
+}
+
+void Run() {
+  std::cout << "=== Experiment F2: Figure 2 -- rho of DATA-DEP (eq. 3) vs "
+               "SIMP [39] vs MH-ALSH [46] ===\n";
+  constexpr std::size_t kDim = 24;
+  Rng rng(42);
+  for (double c : {0.5, 0.7, 0.9}) {
+    std::cout << "\n--- approximation factor c = " << c << " ---\n";
+    TablePrinter table({"s", "rho DATA-DEP", "rho SIMP", "rho MH-ALSH",
+                        "rho L2-ALSH*", "measured DATA-DEP",
+                        "measured SIMP", "winner"});
+    for (double s : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+      const double rho_data_dep = RhoDataDep(s, c);
+      const double rho_simp = RhoSimpleLsh(s, c);
+      const double rho_mh = RhoMhAlsh(s, c);
+      const double rho_l2 = RhoL2AlshNumeric(s, c);
+      const DualBallTransform dual(kDim, 1.0);
+      const SimpleMipsTransform simple(kDim, 1.0);
+      const double measured_dual = MeasureRho(dual, s, c, &rng);
+      const double measured_simple = MeasureRho(simple, s, c, &rng);
+      const double best = std::min({rho_data_dep, rho_simp, rho_mh});
+      const char* winner = best == rho_data_dep ? "DATA-DEP"
+                           : best == rho_simp   ? "SIMP"
+                                                : "MH-ALSH";
+      table.AddRow({FormatFixed(s, 2), FormatFixed(rho_data_dep, 4),
+                    FormatFixed(rho_simp, 4), FormatFixed(rho_mh, 4),
+                    FormatFixed(rho_l2, 4), FormatFixed(measured_dual, 4),
+                    FormatFixed(measured_simple, 4), winner});
+    }
+    table.PrintMarkdown(std::cout);
+    MaybeExportCsv(table, "fig2_rho_c" + FormatFixed(c, 1));
+  }
+  std::cout
+      << "\nShape checks (Figure 2): DATA-DEP <= SIMP at every grid point;\n"
+         "MH-ALSH wins at small s (binary-tailored) but DATA-DEP overtakes\n"
+         "it as s grows -- the paper quotes the crossover near s ~ 1/3,\n"
+         "c >= 0.83 for binary data. Measured columns estimate rho from\n"
+         "actual SimHash collisions through each reduction; they track the\n"
+         "analytic SIMP column (both reductions hash with SimHash here;\n"
+         "the analytic DATA-DEP column assumes the optimal sphere LSH [9]\n"
+         "and is correspondingly lower). The L2-ALSH* column is the\n"
+         "parameter-optimized exponent of the original ALSH [45]; SIMP\n"
+         "was introduced in [39] precisely because it dominates it.\n";
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

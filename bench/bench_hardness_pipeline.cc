@@ -1,0 +1,136 @@
+// Experiment H1 -- the Lemma 2 / Theorem 1 reduction pipeline measured
+// end to end: OVP instance -> gap embedding -> (cs, s) join ->
+// orthogonal pair. Reports the dimension blow-up d -> d2', embedding
+// time (linear in the output dimension, as the lemma requires), and join
+// time, over sweeps of n and d for each of the three embeddings.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "embed/binary_embedding.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/sign_embedding.h"
+#include "hardness/ovp.h"
+#include "hardness/sign_pipeline.h"
+#include "hardness/reduction.h"
+#include "rng/random.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ips {
+namespace {
+
+void RunPipeline(const GapEmbedding& embedding, std::size_t n,
+                 TablePrinter* table, Rng* rng) {
+  OvpOptions options;
+  options.size_a = n;
+  options.size_b = n;
+  options.dim = embedding.input_dim();
+  options.density = 0.5;
+  options.plant_orthogonal_pair = true;
+  const OvpInstance instance = GenerateOvpInstance(options, rng);
+
+  // Baseline: exact bit-parallel OVP.
+  WallTimer timer;
+  const auto exact = SolveOvpExact(instance);
+  const double exact_seconds = timer.Seconds();
+
+  const ReductionResult result = SolveOvpViaEmbedding(instance, embedding);
+  table->AddRow(
+      {embedding.Name(), Format(n), Format(embedding.input_dim()),
+       Format(result.embedded_dim),
+       FormatFixed(static_cast<double>(result.embedded_dim) /
+                       static_cast<double>(embedding.input_dim()),
+                   1),
+       FormatFixed(result.embed_seconds * 1e3, 3),
+       FormatFixed(result.join_seconds * 1e3, 3),
+       FormatFixed(exact_seconds * 1e3, 3),
+       result.pair.has_value() == exact.has_value() ? "yes" : "NO"});
+}
+
+void Run() {
+  std::cout << "=== Experiment H1: OVP -> gap embedding -> join pipeline "
+               "===\n";
+  Rng rng(5);
+  TablePrinter table({"embedding", "n", "d1", "d2'", "blow-up",
+                      "embed ms", "join ms", "exact-OVP ms",
+                      "agrees with exact"});
+  for (std::size_t n : {32, 64, 128}) {
+    RunPipeline(SignedGapEmbedding(32), n, &table, &rng);
+  }
+  for (std::size_t n : {32, 64}) {
+    RunPipeline(ChebyshevGapEmbedding(8, 2), n, &table, &rng);
+    RunPipeline(ChebyshevGapEmbedding(8, 3), n, &table, &rng);
+  }
+  for (std::size_t n : {32, 64, 128}) {
+    RunPipeline(BinaryChunkEmbedding(24, 6), n, &table, &rng);
+  }
+  table.PrintMarkdown(std::cout);
+
+  // Bit-parallel fast path for {-1,1} embeddings: same results, packed
+  // XOR/popcount kernel.
+  std::cout << "\n--- dense vs packed sign-domain join on the embedded sets "
+               "---\n";
+  TablePrinter packed_table({"embedding", "n", "dense join ms",
+                             "packed join ms", "speedup", "same answer"});
+  for (std::size_t n : {64u, 128u, 256u}) {
+    OvpOptions options;
+    options.size_a = n;
+    options.size_b = n;
+    options.dim = 32;
+    options.density = 0.5;
+    options.plant_orthogonal_pair = true;
+    const OvpInstance instance = GenerateOvpInstance(options, &rng);
+    const SignedGapEmbedding embedding(32);
+    const ReductionResult dense = SolveOvpViaEmbedding(instance, embedding);
+    const ReductionResult packed =
+        SolveOvpViaSignEmbedding(instance, embedding);
+    packed_table.AddRow(
+        {embedding.Name(), Format(n),
+         FormatFixed(dense.join_seconds * 1e3, 3),
+         FormatFixed(packed.join_seconds * 1e3, 3),
+         FormatFixed(dense.join_seconds /
+                         std::max(packed.join_seconds, 1e-9),
+                     1),
+         dense.pair.has_value() == packed.pair.has_value() ? "yes" : "NO"});
+  }
+  packed_table.PrintMarkdown(std::cout);
+
+  // Embedding evaluation time should be linear in the output dimension
+  // (the efficiency requirement of Definition 4 / Lemma 2).
+  std::cout << "\n--- embedding cost is linear in the output dimension ---\n";
+  TablePrinter linearity({"embedding", "d2'", "microseconds / vector",
+                          "ns per output coordinate"});
+  Rng gen(17);
+  for (unsigned q : {1u, 2u, 3u}) {
+    const ChebyshevGapEmbedding embedding(8, q);
+    std::vector<double> x(8);
+    for (double& v : x) v = gen.NextBernoulli(0.5) ? 1.0 : 0.0;
+    constexpr int kReps = 50;
+    WallTimer timer;
+    for (int rep = 0; rep < kReps; ++rep) {
+      volatile double sink = embedding.EmbedLeft(x)[0];
+      (void)sink;
+    }
+    const double micros = timer.Micros() / kReps;
+    linearity.AddRow(
+        {"chebyshev q=" + Format(q), Format(embedding.output_dim()),
+         FormatFixed(micros, 2),
+         FormatFixed(1e3 * micros / embedding.output_dim(), 2)});
+  }
+  linearity.PrintMarkdown(std::cout);
+  std::cout << "\nShape check: ns/coordinate stays flat across q while d2'\n"
+               "grows by ~two orders of magnitude -> the dynamic-programming\n"
+               "construction is linear-time in the output dimension, as\n"
+               "Lemma 2 requires for the reduction to preserve n^(1+alpha-eps)\n"
+               "total time.\n";
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

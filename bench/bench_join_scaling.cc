@@ -1,0 +1,109 @@
+// Experiment J1 -- the sub-quadratic join claim of Section 4.1: LSH join
+// versus the exact quadratic scan and the exact ball-tree baseline on
+// planted high-similarity instances of growing size. We report wall
+// time, exact inner products evaluated (machine-independent work), and
+// recall of the (cs, s) contract; the shape to observe is the LSH work
+// curve bending away from the quadratic baseline while recall stays
+// high, with the crossover at moderate n.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/dataset.h"
+#include "core/mips_index.h"
+#include "core/similarity_join.h"
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ips {
+namespace {
+
+void Run() {
+  std::cout << "=== Experiment J1: join scaling -- LSH vs brute force vs "
+               "ball tree ===\n";
+  Rng rng(3);
+  const std::size_t kDim = 24;
+  JoinSpec spec;
+  spec.s = 0.8;
+  spec.c = 0.75;
+  spec.is_signed = true;
+
+  TablePrinter table({"n", "method", "join ms", "inner products",
+                      "products/query", "recall"});
+  for (std::size_t n : {500u, 1000u, 2000u, 4000u, 8000u}) {
+    const std::size_t num_queries = 50;
+    const PlantedInstance planted =
+        MakePlantedInstance(n, num_queries, kDim, 0.9, 1.0, &rng);
+    const JoinResult truth =
+        ExactJoin(planted.data, planted.queries, spec, nullptr);
+
+    // Brute force.
+    {
+      const BruteForceIndex index(planted.data);
+      WallTimer timer;
+      const JoinResult result = IndexJoin(index, planted.queries, spec);
+      double recall = 0.0;
+      VerifyJoinContract(result, truth, spec, &recall);
+      table.AddRow({Format(n), "brute-force",
+                    FormatFixed(timer.Millis(), 2),
+                    Format(result.inner_products),
+                    Format(result.inner_products / num_queries),
+                    FormatFixed(recall, 3)});
+    }
+    // Ball tree (exact, prunes).
+    {
+      const TreeMipsIndex index(planted.data, 16, &rng);
+      WallTimer timer;
+      const JoinResult result = IndexJoin(index, planted.queries, spec);
+      double recall = 0.0;
+      VerifyJoinContract(result, truth, spec, &recall);
+      table.AddRow({Format(n), "ball-tree", FormatFixed(timer.Millis(), 2),
+                    Format(result.inner_products),
+                    Format(result.inner_products / num_queries),
+                    FormatFixed(recall, 3)});
+    }
+    // LSH (dual-ball + SimHash, Section 4.1 reduction).
+    {
+      const DualBallTransform transform(kDim, 1.0);
+      const SimHashFamily base(transform.output_dim());
+      // Theory-driven amplification: k grows with log n so per-table
+      // false-positive mass stays O(1) and candidate counts sublinear.
+      LshTableParams params;
+      params.k = static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(n)))) - 2;
+      params.l = 48;
+      const LshMipsIndex index(planted.data, &transform, base, params,
+                               &rng);
+      WallTimer timer;
+      const JoinResult result = IndexJoin(index, planted.queries, spec);
+      double recall = 0.0;
+      VerifyJoinContract(result, truth, spec, &recall);
+      table.AddRow({Format(n), "lsh(dual-ball+simhash)",
+                    FormatFixed(timer.Millis(), 2),
+                    Format(result.inner_products),
+                    Format(result.inner_products / num_queries),
+                    FormatFixed(recall, 3)});
+    }
+  }
+  table.PrintMarkdown(std::cout);
+  MaybeExportCsv(table, "join_scaling");
+  std::cout
+      << "\nShape checks: brute-force products/query equal n (quadratic\n"
+         "join); with k = Theta(log n) the LSH candidate count per query\n"
+         "grows far slower than n (sublinear work) at recall ~1, and the\n"
+         "ball tree prunes in between. LSH hashing time is amortized over\n"
+         "the query set; its wall-time advantage appears once n outgrows\n"
+         "the fixed hashing overhead -- the crossover the paper's theory\n"
+         "predicts for subquadratic joins.\n";
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Experiment M1 -- google-benchmark microbenchmarks of the primitives
+// every experiment rests on: inner-product kernels (dense / packed sign
+// / packed binary), hash-function evaluation for each LSH family, the
+// three gap embeddings, and the sketch apply path.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "embed/binary_embedding.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/sign_embedding.h"
+#include "linalg/bit_matrix.h"
+#include "linalg/sign_matrix.h"
+#include "linalg/vector_ops.h"
+#include "lsh/cross_polytope.h"
+#include "lsh/e2lsh.h"
+#include "lsh/minhash.h"
+#include "lsh/simhash.h"
+#include "rng/random.h"
+#include "sketch/max_stability.h"
+
+namespace ips {
+namespace {
+
+void BM_DenseDot(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  Rng rng(1);
+  std::vector<double> x(dim), y(dim);
+  for (double& v : x) v = rng.NextGaussian();
+  for (double& v : y) v = rng.NextGaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_DenseDot)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SignDot(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  Rng rng(2);
+  SignMatrix m(2, dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    m.Set(0, j, rng.NextSign());
+    m.Set(1, j, rng.NextSign());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.DotRows(0, m, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_SignDot)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_BinaryDot(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  Rng rng(3);
+  BitMatrix m(2, dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (rng.NextBernoulli(0.5)) m.Set(0, j, true);
+    if (rng.NextBernoulli(0.5)) m.Set(1, j, true);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.DotRows(0, m, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_BinaryDot)->Arg(64)->Arg(1024)->Arg(16384);
+
+template <typename Family>
+void HashFamilyBench(benchmark::State& state, const Family& family,
+                     std::size_t dim) {
+  Rng rng(4);
+  std::vector<double> x(dim);
+  for (double& v : x) v = rng.NextGaussian();
+  const auto h = family.Sample(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->HashData(x));
+  }
+}
+
+void BM_SimHash(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  HashFamilyBench(state, SimHashFamily(dim), dim);
+}
+BENCHMARK(BM_SimHash)->Arg(64)->Arg(256);
+
+void BM_CrossPolytope(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  HashFamilyBench(state, CrossPolytopeFamily(dim), dim);
+}
+BENCHMARK(BM_CrossPolytope)->Arg(16)->Arg(64);
+
+void BM_E2Lsh(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  HashFamilyBench(state, E2LshFamily(dim, 4.0), dim);
+}
+BENCHMARK(BM_E2Lsh)->Arg(64)->Arg(256);
+
+void BM_MinHash(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  Rng rng(5);
+  const MinHashFamily family(dim);
+  std::vector<double> x(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (rng.NextBernoulli(0.2)) x[i] = 1.0;
+  }
+  const auto h = family.Sample(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->HashData(x));
+  }
+}
+BENCHMARK(BM_MinHash)->Arg(64)->Arg(1024);
+
+void BM_SignedEmbedding(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  const SignedGapEmbedding embedding(d);
+  Rng rng(6);
+  std::vector<double> x(d);
+  for (double& v : x) v = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding.EmbedLeft(x));
+  }
+  state.SetItemsProcessed(state.iterations() * embedding.output_dim());
+}
+BENCHMARK(BM_SignedEmbedding)->Arg(32)->Arg(256);
+
+void BM_ChebyshevEmbedding(benchmark::State& state) {
+  const unsigned q = static_cast<unsigned>(state.range(0));
+  const ChebyshevGapEmbedding embedding(8, q);
+  Rng rng(7);
+  std::vector<double> x(8);
+  for (double& v : x) v = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding.EmbedLeft(x));
+  }
+  state.SetItemsProcessed(state.iterations() * embedding.output_dim());
+}
+BENCHMARK(BM_ChebyshevEmbedding)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BinaryEmbedding(benchmark::State& state) {
+  const std::size_t k = state.range(0);
+  const BinaryChunkEmbedding embedding(24, k);
+  Rng rng(8);
+  std::vector<double> x(24);
+  for (double& v : x) v = rng.NextBernoulli(0.3) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding.EmbedLeft(x));
+  }
+  state.SetItemsProcessed(state.iterations() * embedding.output_dim());
+}
+BENCHMARK(BM_BinaryEmbedding)->Arg(4)->Arg(8)->Arg(24);
+
+void BM_MaxStabilityApply(benchmark::State& state) {
+  const std::size_t dim = state.range(0);
+  Rng rng(9);
+  MaxStabilityParams params;
+  params.kappa = 4.0;
+  params.copies = 5;
+  const MaxStabilitySketch sketch(dim, params, &rng);
+  std::vector<double> x(dim);
+  for (double& v : x) v = rng.NextGaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Apply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_MaxStabilityApply)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace ips
+
+BENCHMARK_MAIN();

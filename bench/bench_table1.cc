@@ -1,0 +1,161 @@
+// Experiment T1 -- reproduces Table 1 of the paper: the ranges of
+// approximation factors c (and log(s/d)/log(cs/d) ratios) for which
+// subquadratic (cs, s) IPS join is OVP-hard, as *realized* by the three
+// gap embeddings of Lemma 3.
+//
+// For each embedding we sweep the input dimension d (and the embedding's
+// own knob q / k), instantiate the construction, and report the achieved
+// (c, log-ratio, output dimension). The hard ranges printed here are the
+// constructive side of Table 1's second/fourth columns; the permissible
+// column entries are known upper bounds quoted from [29] and Section 4.3
+// for context.
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+#include <iostream>
+
+#include "embed/binary_embedding.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/sign_embedding.h"
+#include "hardness/ovp.h"
+#include "lsh/bit_sample.h"
+#include "hardness/reduction.h"
+#include "rng/random.h"
+#include "util/table.h"
+
+namespace ips {
+namespace {
+
+// log(s/d2) / log(cs/d2): the normalized-threshold ratio of Theorem 2.
+double LogRatio(double s, double cs, double d2) {
+  return std::log(s / d2) / std::log(cs / d2);
+}
+
+// Empirically confirm the embedding's gap on a planted OVP instance and
+// return whether the planted pair was recovered by the join.
+bool ConfirmOnPlantedInstance(const GapEmbedding& embedding,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  OvpOptions options;
+  options.size_a = 24;
+  options.size_b = 24;
+  options.dim = embedding.input_dim();
+  options.density = 0.5;
+  options.plant_orthogonal_pair = true;
+  const OvpInstance instance = GenerateOvpInstance(options, &rng);
+  const ReductionResult result = SolveOvpViaEmbedding(instance, embedding);
+  return result.pair.has_value();
+}
+
+void RunSignedRows(TablePrinter* table) {
+  for (std::size_t d : {8, 16, 32, 64, 128}) {
+    const SignedGapEmbedding embedding(d);
+    table->AddRow({"signed {-1,1} (emb.1)", Format(d),
+                   Format(embedding.output_dim()), "4", "0",
+                   FormatFixed(embedding.c(), 4), "any c > 0",
+                   ConfirmOnPlantedInstance(embedding, 100 + d) ? "yes"
+                                                                : "NO"});
+  }
+}
+
+void RunChebyshevRows(TablePrinter* table) {
+  struct Case {
+    std::size_t d;
+    unsigned q;
+  };
+  for (const auto [d, q] :
+       {Case{8, 2}, Case{8, 3}, Case{16, 2}, Case{16, 3}, Case{32, 2}}) {
+    const ChebyshevGapEmbedding embedding(d, q);
+    const double ratio = LogRatio(embedding.s(), embedding.cs(),
+                                  static_cast<double>(embedding.output_dim()));
+    table->AddRow(
+        {"unsigned {-1,1} (emb.2)",
+         Format(d) + ",q=" + Format(q), Format(embedding.output_dim()),
+         FormatSci(embedding.s(), 2), FormatSci(embedding.cs(), 2),
+         FormatFixed(embedding.c(), 4),
+         "ratio=" + FormatFixed(ratio, 4) + " -> 1-o(1/sqrt(log n))",
+         ConfirmOnPlantedInstance(embedding, 200 + d + q) ? "yes" : "NO"});
+  }
+}
+
+void RunBinaryRows(TablePrinter* table) {
+  struct Case {
+    std::size_t d;
+    std::size_t k;
+  };
+  for (const auto [d, k] : {Case{16, 4}, Case{16, 8}, Case{16, 16},
+                            Case{24, 8}, Case{24, 24}, Case{32, 16}}) {
+    const BinaryChunkEmbedding embedding(d, k);
+    const double ratio = LogRatio(embedding.s(), embedding.cs(),
+                                  static_cast<double>(embedding.output_dim()));
+    table->AddRow(
+        {"unsigned {0,1} (emb.3)", Format(d) + ",k=" + Format(k),
+         Format(embedding.output_dim()), Format(embedding.s()),
+         Format(embedding.cs()), FormatFixed(embedding.c(), 4),
+         "ratio=" + FormatFixed(ratio, 4) + " -> 1-o(1/log n)",
+         ConfirmOnPlantedInstance(embedding, 300 + d + k) ? "yes" : "NO"});
+  }
+}
+
+void Run() {
+  std::cout << "=== Experiment T1: Table 1 -- hard approximation ranges "
+               "realized by the Lemma 3 gap embeddings ===\n\n";
+  TablePrinter table({"problem / embedding", "d (,knob)", "d2'", "s", "cs",
+                      "c = cs/s", "hard range (paper)", "OVP pair found"});
+  RunSignedRows(&table);
+  RunChebyshevRows(&table);
+  RunBinaryRows(&table);
+  table.PrintMarkdown(std::cout);
+
+  // The permissible side for {0,1}: the bit-sampling LSH achieving
+  // rho = log(s/d)/log(cs/d) (Table 1, fourth column for {0,1}).
+  std::cout << "\n--- the {0,1} data structure on the permissible side: "
+               "bit-sampling LSH ---\n";
+  TablePrinter permissible({"d", "s", "cs", "rho = log(s/d)/log(cs/d)",
+                            "measured P1", "measured P2"});
+  Rng rng(7);
+  for (const auto& [d, s_int, cs_int] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {64, 16, 4}, {64, 16, 8}, {128, 32, 8}, {128, 8, 2}}) {
+    const BitSampleFamily family(d);
+    // Build binary vectors with the exact prescribed inner products.
+    std::vector<double> p(d, 0.0);
+    std::vector<double> q_near(d, 0.0);
+    std::vector<double> q_far(d, 0.0);
+    for (std::size_t i = 0; i < d / 2; ++i) p[i] = 1.0;
+    for (std::size_t i = 0; i < s_int; ++i) q_near[i] = 1.0;
+    for (std::size_t i = 0; i < cs_int; ++i) q_far[i] = 1.0;
+    const BernoulliEstimate near =
+        EstimateCollisionProbability(family, p, q_near, 20000, &rng);
+    const BernoulliEstimate far =
+        EstimateCollisionProbability(family, p, q_far, 20000, &rng);
+    permissible.AddRow(
+        {Format(d), Format(s_int), Format(cs_int),
+         FormatFixed(BitSampleFamily::Rho(static_cast<double>(s_int),
+                                          static_cast<double>(cs_int), d),
+                     4),
+         FormatFixed(near.p_hat, 4), FormatFixed(far.p_hat, 4)});
+  }
+  permissible.PrintMarkdown(std::cout);
+
+  std::cout << "\nHow to read this against Table 1 of the paper:\n"
+               "  * emb.1 realizes cs = 0, so signed join over {-1,1} is\n"
+               "    hard for EVERY c > 0 (row 1 of Table 1).\n"
+               "  * emb.2's c = 1/T_q(1+1/d) decays like e^(-q/sqrt(d)),\n"
+               "    giving hardness for c >= e^(-o(sqrt(log n/log log n)))\n"
+               "    and log-ratio -> 1 - o(1/sqrt(log n)) (row 2).\n"
+               "  * emb.3 realizes c = (k-1)/k = 1 - o(1) with k = omega(1)\n"
+               "    and log-ratio -> 1 - o(1/log n) (row 3).\n"
+               "  Permissible (non-hard) ranges quoted by Table 1: c < n^-eps\n"
+               "  via the Section 4.3 sketch (no FMM), and log-ratio = 1-eps\n"
+               "  via Karppa et al. [29] (uses fast matrix multiplication).\n";
+}
+
+}  // namespace
+}  // namespace ips
+
+int main() {
+  ips::Run();
+  return 0;
+}

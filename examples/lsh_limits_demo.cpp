@@ -1,0 +1,73 @@
+// The lower-bound story of the paper as a runnable demo: why asymmetric
+// LSH for inner products cannot work for unbounded query domains. We
+// build the Theorem 3 staircase sequences for growing query radii U,
+// measure a real ALSH family's collision probabilities on them, and
+// watch the achievable gap P1 - P2 get squeezed under the shrinking
+// Lemma 4 ceiling.
+//
+//   $ ./build/examples/lsh_limits_demo
+
+#include <cmath>
+#include <iostream>
+
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "theory/gap_bounds.h"
+#include "theory/hard_sequences.h"
+#include "theory/lemma4.h"
+#include "util/table.h"
+
+int main() {
+  ips::Rng rng(8);
+  std::cout
+      << "Theorem 3 in action: the ALSH gap P1 - P2 vs the query radius U\n"
+      << "(case 1 staircases, dual-ball + SimHash, 2000 samples each)\n\n";
+
+  ips::TablePrinter table({"U", "staircase n", "measured P1", "measured P2",
+                           "measured gap", "Lemma 4 ceiling"});
+  constexpr double kS = 0.25;
+  constexpr double kC = 0.7;
+  for (double radius : {10.0, 40.0, 160.0, 640.0}) {
+    const ips::HardSequences sequences =
+        ips::MakeCase1Sequences(4, radius, kS, kC);
+    const ips::SequenceCheck check = ips::VerifyHardSequences(sequences);
+    if (!check.staircase_ok || !check.norms_ok) {
+      std::cerr << "staircase construction failed!\n";
+      return 1;
+    }
+    const ips::DualBallTransform transform(sequences.data.cols(),
+                                           sequences.U);
+    const ips::SimHashFamily base(transform.output_dim());
+    const ips::TransformedLshFamily family(&transform, &base);
+    const ips::CollisionMatrix matrix(family, sequences, 2000, &rng);
+    const std::size_t n = sequences.data.rows();
+    table.AddRow({ips::Format(radius), ips::Format(n),
+                  ips::FormatFixed(matrix.EmpiricalP1(), 4),
+                  ips::FormatFixed(matrix.EmpiricalP2(), 4),
+                  ips::FormatFixed(matrix.EmpiricalGap(), 4),
+                  ips::FormatFixed(ips::Lemma4GapBound(n), 4)});
+  }
+  table.PrintMarkdown(std::cout);
+
+  std::cout
+      << "\nAs U grows the staircase gets longer (n rows) and the Lemma 4\n"
+         "ceiling 1/(8 log n) contracts toward zero -- so does any valid\n"
+         "family's gap, which is why no asymmetric LSH exists for\n"
+         "unbounded query domains. Here even the measured gap of a real\n"
+         "family hovers at or below zero: on these sequences the\n"
+         "supposedly-similar pairs collide no more often than the\n"
+         "dissimilar ones.\n\n"
+         "The closed-form ceilings for all three constructions:\n";
+  ips::TablePrinter bounds({"U", "case 1", "case 2", "case 3"});
+  for (double radius : {1e2, 1e4, 1e6, 1e8}) {
+    bounds.AddRow({ips::FormatSci(radius, 0),
+                   ips::FormatFixed(ips::Case1GapBound(4, radius, kS, kC), 5),
+                   ips::FormatFixed(ips::Case2GapBound(4, radius,
+                                                       kS / 100.0, kC),
+                                    5),
+                   ips::FormatFixed(ips::Case3GapBound(radius, kS), 5)});
+  }
+  bounds.PrintMarkdown(std::cout);
+  return 0;
+}

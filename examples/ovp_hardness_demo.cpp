@@ -1,0 +1,75 @@
+// The hardness story of the paper as a runnable demo: why a fast IPS
+// join would break the Orthogonal Vectors conjecture. We generate an
+// OVP instance with one planted orthogonal pair, push it through each of
+// the three Lemma 3 gap embeddings, solve the resulting (cs, s) join,
+// and watch the orthogonal pair fall out.
+//
+//   $ ./build/examples/ovp_hardness_demo
+
+#include <iostream>
+
+#include "embed/binary_embedding.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/sign_embedding.h"
+#include "hardness/ovp.h"
+#include "hardness/reduction.h"
+#include "rng/random.h"
+#include "util/table.h"
+
+int main() {
+  ips::Rng rng(16);
+
+  // An OVP instance: two sets of 64 dense binary vectors in {0,1}^24.
+  // At density 1/2 a random pair is orthogonal with probability
+  // (3/4)^24 ~ 1e-3, so the planted pair is (almost surely) the only one.
+  ips::OvpOptions options;
+  options.size_a = 64;
+  options.size_b = 64;
+  options.dim = 24;
+  options.density = 0.5;
+  options.plant_orthogonal_pair = true;
+  const ips::OvpInstance instance = ips::GenerateOvpInstance(options, &rng);
+  std::cout << "planted orthogonal pair: (a" << instance.planted->first
+            << ", b" << instance.planted->second << ")\n"
+            << "orthogonal pairs in total: "
+            << ips::CountOrthogonalPairs(instance) << "\n\n";
+
+  ips::TablePrinter table({"embedding", "domain", "d2'", "s", "cs",
+                           "embed ms", "join ms", "recovered pair"});
+
+  auto run = [&](const ips::GapEmbedding& embedding, const char* domain) {
+    const ips::ReductionResult result =
+        ips::SolveOvpViaEmbedding(instance, embedding);
+    std::string pair = "none";
+    if (result.pair.has_value()) {
+      pair = "(a" + ips::Format(result.pair->first) + ", b" +
+             ips::Format(result.pair->second) + ")";
+    }
+    table.AddRow({embedding.Name(), domain, ips::Format(result.embedded_dim),
+                  ips::Format(embedding.s()), ips::Format(embedding.cs()),
+                  ips::FormatFixed(result.embed_seconds * 1e3, 2),
+                  ips::FormatFixed(result.join_seconds * 1e3, 2), pair});
+  };
+
+  // Embedding 1: signed join over {-1,1}; orthogonal pairs score exactly
+  // 4, everything else <= 0, so ANY approximation factor c > 0 detects
+  // them -- the strongest row of Table 1.
+  run(ips::SignedGapEmbedding(options.dim), "{-1,1} signed");
+
+  // Embedding 2: the deterministic Chebyshev amplifier; q = 2 separates
+  // orthogonal from non-orthogonal by a factor T_2(1 + 1/d).
+  run(ips::ChebyshevGapEmbedding(options.dim, 2), "{-1,1} unsigned");
+
+  // Embedding 3: the chopped-product embedding into {0,1}; k chunks give
+  // the gap (k-1 vs k), i.e. c = 1 - 1/k.
+  run(ips::BinaryChunkEmbedding(options.dim, 6), "{0,1} unsigned");
+
+  table.PrintMarkdown(std::cout);
+  std::cout << "\nEvery embedding recovers the planted pair. Because the\n"
+               "embeddings cost time linear in their output dimension and\n"
+               "blow the dimension up to only n^o(1) (for d = omega(log n)\n"
+               "chosen suitably), a truly subquadratic (cs, s) join in the\n"
+               "listed (c, domain) regimes would solve OVP in subquadratic\n"
+               "time and refute SETH-hardness -- Theorem 1 of the paper.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Binary set data scenario: near-containment search over sets encoded
+// as 0/1 vectors, where the inner product |x & q| is the natural
+// similarity. Compares MH-ALSH (asymmetric minwise hashing [46], the
+// binary-data specialist) against the Section 4.1 dual-ball ALSH on the
+// same workload -- the comparison behind Figure 2's MH-ALSH curve.
+//
+//   $ ./build/examples/set_containment
+
+#include <cmath>
+#include <iostream>
+
+#include "core/dataset.h"
+#include "linalg/vector_ops.h"
+#include "lsh/minhash.h"
+#include "lsh/simhash.h"
+#include "lsh/tables.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "util/table.h"
+
+int main() {
+  ips::Rng rng(99);
+  constexpr std::size_t kUniverse = 256;  // universe size (dimension)
+  constexpr std::size_t kSets = 2000;
+  constexpr std::size_t kWeight = 24;  // elements per set
+  constexpr std::size_t kQueries = 60;
+
+  // Data sets: random kWeight-subsets of the universe.
+  const ips::Matrix sets = ips::MakeBinarySets(kSets, kUniverse, kWeight, &rng);
+
+  // Queries: perturbed copies of random data sets (drop 4 elements, add
+  // 4 fresh ones) => intersection ~ kWeight - 4 with their source.
+  ips::Matrix queries(kQueries, kUniverse);
+  std::vector<std::size_t> sources(kQueries);
+  for (std::size_t qi = 0; qi < kQueries; ++qi) {
+    const std::size_t source = rng.NextBounded(kSets);
+    sources[qi] = source;
+    std::vector<std::size_t> members;
+    for (std::size_t j = 0; j < kUniverse; ++j) {
+      if (sets.At(source, j) == 1.0) members.push_back(j);
+    }
+    // Keep all but 4 members, then add 4 random fresh elements.
+    for (std::size_t t = 0; t < members.size(); ++t) {
+      if (t >= 4) queries.At(qi, members[t]) = 1.0;
+    }
+    for (int added = 0; added < 4;) {
+      const std::size_t j = rng.NextBounded(kUniverse);
+      if (queries.At(qi, j) == 0.0 && sets.At(source, j) == 0.0) {
+        queries.At(qi, j) = 1.0;
+        ++added;
+      }
+    }
+  }
+
+  ips::TablePrinter table(
+      {"engine", "recall of source set", "mean candidates/query"});
+
+  // Engine A: MH-ALSH -- pad sets to weight kWeight, minhash.
+  {
+    const ips::MinHashAlshTransform transform(kUniverse, kWeight);
+    const ips::MinHashFamily base(transform.output_dim());
+    const ips::Matrix padded = transform.TransformDataset(sets);
+    ips::LshTableParams params;
+    params.k = 2;
+    params.l = 32;
+    const ips::LshTables tables(base, padded, params, &rng);
+    std::size_t hits = 0;
+    std::size_t candidates = 0;
+    for (std::size_t qi = 0; qi < kQueries; ++qi) {
+      const auto probe = transform.TransformQuery(queries.Row(qi));
+      const auto found = tables.Query(probe);
+      candidates += found.size();
+      for (std::size_t index : found) {
+        if (index == sources[qi]) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    table.AddRow({"mh-alsh (minhash)",
+                  ips::FormatFixed(static_cast<double>(hits) / kQueries, 3),
+                  ips::FormatFixed(static_cast<double>(candidates) / kQueries,
+                                   1)});
+  }
+
+  // Engine B: dual-ball ALSH with SimHash after normalizing the binary
+  // vectors into the unit ball (divide by sqrt(kWeight)).
+  {
+    ips::Matrix scaled_sets = sets;
+    ips::ScaleInPlace(std::span<double>(scaled_sets.data()),
+                      1.0 / std::sqrt(static_cast<double>(kWeight)));
+    ips::Matrix scaled_queries = queries;
+    const double query_norm = std::sqrt(static_cast<double>(kWeight));
+    ips::ScaleInPlace(std::span<double>(scaled_queries.data()),
+                      1.0 / query_norm);
+    const ips::DualBallTransform transform(kUniverse, 1.0);
+    const ips::SimHashFamily base(transform.output_dim());
+    const ips::Matrix lifted = transform.TransformDataset(scaled_sets);
+    ips::LshTableParams params;
+    params.k = 12;
+    params.l = 32;
+    const ips::LshTables tables(base, lifted, params, &rng);
+    std::size_t hits = 0;
+    std::size_t candidates = 0;
+    for (std::size_t qi = 0; qi < kQueries; ++qi) {
+      const auto probe = transform.TransformQuery(scaled_queries.Row(qi));
+      const auto found = tables.Query(probe);
+      candidates += found.size();
+      for (std::size_t index : found) {
+        if (index == sources[qi]) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    table.AddRow({"dual-ball + simhash",
+                  ips::FormatFixed(static_cast<double>(hits) / kQueries, 3),
+                  ips::FormatFixed(static_cast<double>(candidates) / kQueries,
+                                   1)});
+  }
+
+  table.PrintMarkdown(std::cout);
+  std::cout << "\nBoth engines find the perturbed source sets; MH-ALSH is\n"
+               "tailored to binary data (its collision probability is a\n"
+               "function of |x & q| directly), matching the paper's remark\n"
+               "that [46] is strong on binary inputs for some (c, s) while\n"
+               "the Section 4.1 construction wins elsewhere (Figure 2).\n";
+  return 0;
+}

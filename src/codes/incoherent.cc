@@ -1,0 +1,113 @@
+#include "codes/incoherent.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+// Smallest k with q^k >= min_vectors.
+std::size_t SymbolsFor(std::uint64_t q, std::uint64_t min_vectors) {
+  std::size_t k = 1;
+  std::uint64_t count = q;
+  while (count < min_vectors) {
+    count *= q;
+    ++k;
+  }
+  return k;
+}
+
+ReedSolomonCode MakeRsCode(std::uint64_t min_vectors, double epsilon) {
+  IPS_CHECK_GE(min_vectors, 1u);
+  IPS_CHECK_GT(epsilon, 0.0);
+  IPS_CHECK_LE(epsilon, 1.0);
+  // Find the smallest prime q such that with k = SymbolsFor(q, min_vectors)
+  // we get (k-1)/q <= epsilon. Growing q only shrinks k, so scan upward.
+  std::uint64_t q = NextPrime(2);
+  for (;;) {
+    const std::size_t k = SymbolsFor(q, min_vectors);
+    if (static_cast<double>(k - 1) <= epsilon * static_cast<double>(q)) {
+      return ReedSolomonCode(q, k);
+    }
+    q = NextPrime(q + 1);
+  }
+}
+
+}  // namespace
+
+RsIncoherentFamily::RsIncoherentFamily(std::uint64_t min_vectors,
+                                       double epsilon)
+    : code_(MakeRsCode(min_vectors, epsilon)) {}
+
+std::size_t RsIncoherentFamily::dim() const {
+  return static_cast<std::size_t>(q() * q());
+}
+
+std::uint64_t RsIncoherentFamily::size() const { return code_.NumCodewords(); }
+
+double RsIncoherentFamily::coherence() const {
+  return static_cast<double>(k() - 1) / static_cast<double>(q());
+}
+
+std::vector<std::size_t> RsIncoherentFamily::Support(
+    std::uint64_t index) const {
+  const std::vector<std::uint64_t> codeword = code_.Encode(index);
+  std::vector<std::size_t> support(codeword.size());
+  for (std::size_t a = 0; a < codeword.size(); ++a) {
+    support[a] = static_cast<std::size_t>(a * q() + codeword[a]);
+  }
+  return support;
+}
+
+std::vector<double> RsIncoherentFamily::Vector(std::uint64_t index) const {
+  std::vector<double> dense(dim(), 0.0);
+  const double value = 1.0 / std::sqrt(static_cast<double>(q()));
+  for (std::size_t coord : Support(index)) dense[coord] = value;
+  return dense;
+}
+
+double RsIncoherentFamily::Dot(std::uint64_t i, std::uint64_t j) const {
+  return static_cast<double>(code_.Agreements(i, j)) /
+         static_cast<double>(q());
+}
+
+std::size_t RandomIncoherentFamily::SuggestedDim(std::size_t num_vectors,
+                                                 double epsilon) {
+  IPS_CHECK_GT(epsilon, 0.0);
+  const double n = static_cast<double>(std::max<std::size_t>(num_vectors, 2));
+  return static_cast<std::size_t>(
+      std::ceil(8.0 * std::log(n) / (epsilon * epsilon)));
+}
+
+RandomIncoherentFamily::RandomIncoherentFamily(std::size_t num_vectors,
+                                               double epsilon, Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GE(num_vectors, 1u);
+  const std::size_t dim = SuggestedDim(num_vectors, epsilon);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Matrix candidate(num_vectors, dim);
+    for (double& entry : candidate.data()) entry = rng->NextGaussian();
+    for (std::size_t i = 0; i < num_vectors; ++i) {
+      NormalizeInPlace(candidate.Row(i));
+    }
+    double coherence = 0.0;
+    for (std::size_t i = 0; i < num_vectors && coherence <= epsilon; ++i) {
+      for (std::size_t j = i + 1; j < num_vectors; ++j) {
+        coherence = std::max(
+            coherence, std::abs(Dot(candidate.Row(i), candidate.Row(j))));
+        if (coherence > epsilon) break;
+      }
+    }
+    if (coherence <= epsilon) {
+      vectors_ = std::move(candidate);
+      realized_coherence_ = coherence;
+      return;
+    }
+  }
+  IPS_CHECK(false) << "failed to sample an incoherent family; dimension "
+                   << dim << " too small for coherence " << epsilon;
+}
+
+}  // namespace ips

@@ -1,0 +1,96 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Incoherent unit-vector families: collections v_1, ..., v_N of unit
+// vectors with |<v_i, v_j>| <= epsilon for all i != j.
+//
+// Two constructions:
+//  * Deterministic (Nelson-Nguyen-Woodruff [38], via Reed-Solomon codes):
+//    codeword m maps to the vector with value 1/sqrt(q) at coordinate
+//    (a, c_m(a)) for each evaluation point a in GF(q). Distinct degree-<k
+//    polynomials agree <= k-1 times, so |<v_i, v_j>| <= (k-1)/q <= epsilon.
+//    This is the "strongly explicit" family required by the symmetric LSH
+//    of Section 4.2 -- v_u is computable directly from the bit string u.
+//  * Randomized (Johnson-Lindenstrauss): normalized Gaussian vectors in
+//    dimension O(eps^-2 log N), incoherent with high probability. Used by
+//    the Theorem 3 (case 3) hard-sequence construction.
+
+#ifndef IPS_CODES_INCOHERENT_H_
+#define IPS_CODES_INCOHERENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "codes/reed_solomon.h"
+#include "linalg/matrix.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// Deterministic Reed-Solomon incoherent family.
+class RsIncoherentFamily {
+ public:
+  /// Family with at least `min_vectors` members and coherence <= `epsilon`.
+  /// Picks the smallest prime q with (k-1)/q <= epsilon where k =
+  /// ceil(log_q(min_vectors)); resulting dimension is q^2.
+  RsIncoherentFamily(std::uint64_t min_vectors, double epsilon);
+
+  /// Ambient dimension q^2 of the unit vectors.
+  std::size_t dim() const;
+
+  /// Number of distinct vectors, q^k >= min_vectors.
+  std::uint64_t size() const;
+
+  /// Guaranteed coherence bound (k-1)/q.
+  double coherence() const;
+
+  std::uint64_t q() const { return code_.q(); }
+  std::size_t k() const { return code_.message_symbols(); }
+
+  /// The sparse support of vector `index`: exactly q coordinates, each of
+  /// value 1/sqrt(q). Coordinates are a*q + c(a) for evaluation points a.
+  std::vector<std::size_t> Support(std::uint64_t index) const;
+
+  /// Dense representation of vector `index` (length dim()).
+  std::vector<double> Vector(std::uint64_t index) const;
+
+  /// Exact inner product <v_i, v_j> = agreements(i, j)/q.
+  double Dot(std::uint64_t i, std::uint64_t j) const;
+
+ private:
+  ReedSolomonCode code_;
+};
+
+/// Randomized incoherent family: rows are normalized Gaussian vectors.
+/// With dim = O(eps^-2 log N) the coherence is <= eps w.h.p.; the
+/// constructor retries (fresh randomness) until the realized coherence
+/// meets the bound, so the returned family always satisfies it.
+class RandomIncoherentFamily {
+ public:
+  RandomIncoherentFamily(std::size_t num_vectors, double epsilon, Rng* rng);
+
+  std::size_t size() const { return vectors_.rows(); }
+  std::size_t dim() const { return vectors_.cols(); }
+
+  /// The realized maximum |<v_i, v_j>| over i != j.
+  double realized_coherence() const { return realized_coherence_; }
+
+  std::span<const double> Vector(std::size_t index) const {
+    return vectors_.Row(index);
+  }
+
+  const Matrix& vectors() const { return vectors_; }
+
+  /// Suggested ambient dimension for `num_vectors` at coherence `epsilon`.
+  static std::size_t SuggestedDim(std::size_t num_vectors, double epsilon);
+
+ private:
+  Matrix vectors_;
+  double realized_coherence_ = 0.0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CODES_INCOHERENT_H_

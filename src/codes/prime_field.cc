@@ -1,0 +1,56 @@
+#include "codes/prime_field.h"
+
+#include "util/check.h"
+
+namespace ips {
+
+bool IsPrime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0) return false;
+  for (std::uint64_t f = 3; f * f <= n; f += 2) {
+    if (n % f == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t NextPrime(std::uint64_t n) {
+  IPS_CHECK_GE(n, 2u);
+  std::uint64_t candidate = n;
+  while (!IsPrime(candidate)) ++candidate;
+  return candidate;
+}
+
+PrimeField::PrimeField(std::uint64_t modulus) : modulus_(modulus) {
+  IPS_CHECK(IsPrime(modulus)) << "modulus must be prime:" << modulus;
+  IPS_CHECK_LT(modulus, 1ULL << 31);
+}
+
+std::uint64_t PrimeField::Pow(std::uint64_t a, std::uint64_t e) const {
+  std::uint64_t base = a % modulus_;
+  std::uint64_t result = 1;
+  while (e > 0) {
+    if (e & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t PrimeField::Inv(std::uint64_t a) const {
+  IPS_CHECK_NE(a % modulus_, 0u);
+  // Fermat: a^(p-2) = a^{-1} mod p.
+  return Pow(a, modulus_ - 2);
+}
+
+std::uint64_t PrimeField::EvalPoly(const std::uint64_t* coeffs,
+                                   std::size_t degree_bound,
+                                   std::uint64_t x) const {
+  std::uint64_t value = 0;
+  for (std::size_t i = degree_bound; i-- > 0;) {
+    value = Add(Mul(value, x), coeffs[i] % modulus_);
+  }
+  return value;
+}
+
+}  // namespace ips

@@ -1,0 +1,58 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Arithmetic in the prime field GF(p), plus small primality helpers.
+// Substrate for Reed-Solomon codes (codes/reed_solomon.h).
+
+#ifndef IPS_CODES_PRIME_FIELD_H_
+#define IPS_CODES_PRIME_FIELD_H_
+
+#include <cstdint>
+
+namespace ips {
+
+/// True iff `n` is prime (deterministic trial division; n is small here).
+bool IsPrime(std::uint64_t n);
+
+/// Smallest prime >= n (n >= 2).
+std::uint64_t NextPrime(std::uint64_t n);
+
+/// The field GF(p) for a prime modulus p < 2^31 (products fit in 64 bits).
+class PrimeField {
+ public:
+  /// Requires `modulus` prime and < 2^31.
+  explicit PrimeField(std::uint64_t modulus);
+
+  std::uint64_t modulus() const { return modulus_; }
+
+  std::uint64_t Add(std::uint64_t a, std::uint64_t b) const {
+    const std::uint64_t sum = a + b;
+    return sum >= modulus_ ? sum - modulus_ : sum;
+  }
+
+  std::uint64_t Sub(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + modulus_ - b;
+  }
+
+  std::uint64_t Mul(std::uint64_t a, std::uint64_t b) const {
+    return (a * b) % modulus_;
+  }
+
+  /// a^e mod p by square-and-multiply.
+  std::uint64_t Pow(std::uint64_t a, std::uint64_t e) const;
+
+  /// Multiplicative inverse; requires a != 0 (mod p).
+  std::uint64_t Inv(std::uint64_t a) const;
+
+  /// Horner evaluation of the polynomial with coefficients `coeffs`
+  /// (coeffs[0] = constant term) at point `x`.
+  std::uint64_t EvalPoly(const std::uint64_t* coeffs, std::size_t degree_bound,
+                         std::uint64_t x) const;
+
+ private:
+  std::uint64_t modulus_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CODES_PRIME_FIELD_H_

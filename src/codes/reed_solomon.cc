@@ -1,0 +1,54 @@
+#include "codes/reed_solomon.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace ips {
+
+ReedSolomonCode::ReedSolomonCode(std::uint64_t q, std::size_t k)
+    : field_(q), k_(k) {
+  IPS_CHECK_GE(k, 1u);
+  IPS_CHECK_LE(k, q);
+}
+
+std::uint64_t ReedSolomonCode::NumCodewords() const {
+  std::uint64_t count = 1;
+  for (std::size_t i = 0; i < k_; ++i) {
+    IPS_CHECK_LE(count, std::numeric_limits<std::uint64_t>::max() / q());
+    count *= q();
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> ReedSolomonCode::Digits(std::uint64_t m) const {
+  std::vector<std::uint64_t> digits(k_, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    digits[i] = m % q();
+    m /= q();
+  }
+  IPS_CHECK_EQ(m, 0u) << "message index out of range";
+  return digits;
+}
+
+std::vector<std::uint64_t> ReedSolomonCode::Encode(std::uint64_t m) const {
+  const std::vector<std::uint64_t> coeffs = Digits(m);
+  std::vector<std::uint64_t> codeword(q());
+  for (std::uint64_t x = 0; x < q(); ++x) {
+    codeword[x] = field_.EvalPoly(coeffs.data(), coeffs.size(), x);
+  }
+  return codeword;
+}
+
+std::size_t ReedSolomonCode::Agreements(std::uint64_t m1,
+                                        std::uint64_t m2) const {
+  const std::vector<std::uint64_t> c1 = Encode(m1);
+  const std::vector<std::uint64_t> c2 = Encode(m2);
+  std::size_t agreements = 0;
+  for (std::uint64_t x = 0; x < q(); ++x) {
+    if (c1[x] == c2[x]) ++agreements;
+  }
+  return agreements;
+}
+
+}  // namespace ips

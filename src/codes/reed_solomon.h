@@ -1,0 +1,51 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Full-length Reed-Solomon codes over GF(q): codeword m |-> (p_m(0), ...,
+// p_m(q-1)) where p_m is the degree-< k polynomial whose coefficients are
+// the base-q digits of the message index m. Two distinct codewords agree
+// in at most k-1 positions -- the distance property the incoherent vector
+// construction of Nelson-Nguyen-Woodruff [38] relies on.
+
+#ifndef IPS_CODES_REED_SOLOMON_H_
+#define IPS_CODES_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/prime_field.h"
+
+namespace ips {
+
+/// Evaluation-style Reed-Solomon encoder over GF(q), block length q.
+class ReedSolomonCode {
+ public:
+  /// Code over GF(q) (q prime) with `k` message symbols (polynomial
+  /// degree < k). Requires 1 <= k <= q.
+  ReedSolomonCode(std::uint64_t q, std::size_t k);
+
+  std::uint64_t q() const { return field_.modulus(); }
+  std::size_t message_symbols() const { return k_; }
+
+  /// Number of codewords, q^k (checked to fit in 64 bits).
+  std::uint64_t NumCodewords() const;
+
+  /// Encodes message index `m` (< NumCodewords()): returns the q symbol
+  /// evaluations p_m(0), ..., p_m(q-1).
+  std::vector<std::uint64_t> Encode(std::uint64_t m) const;
+
+  /// Number of positions where codewords for m1 and m2 agree.
+  /// At most k-1 for m1 != m2; exactly q for m1 == m2.
+  std::size_t Agreements(std::uint64_t m1, std::uint64_t m2) const;
+
+ private:
+  /// Base-q digits of m, little-endian, padded to k entries.
+  std::vector<std::uint64_t> Digits(std::uint64_t m) const;
+
+  PrimeField field_;
+  std::size_t k_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CODES_REED_SOLOMON_H_

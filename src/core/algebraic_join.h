@@ -1,0 +1,27 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The algebraic exact join: compute the full product matrix Q D^T (all
+// pairwise inner products at once, classically or with Strassen) and
+// scan it against the threshold. This is the entry point of the
+// matrix-multiplication route to IPS join that Valiant [51] and Karppa
+// et al. [29] accelerate with fast rectangular multiplication -- here
+// with exact classical/Strassen kernels, it serves as the
+// cache-efficient exact baseline.
+
+#ifndef IPS_CORE_ALGEBRAIC_JOIN_H_
+#define IPS_CORE_ALGEBRAIC_JOIN_H_
+
+#include "core/types.h"
+#include "linalg/matrix.h"
+
+namespace ips {
+
+/// Exact (s, s) join via one matrix product; semantics identical to
+/// ExactJoin (per-query true maximizer when its score >= spec.s).
+JoinResult MatmulJoin(const Matrix& data, const Matrix& queries,
+                      const JoinSpec& spec, bool use_strassen = false);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_ALGEBRAIC_JOIN_H_

@@ -1,0 +1,94 @@
+#include "core/dataset.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+Matrix MakeUnitBallGaussian(std::size_t n, std::size_t dim, double min_norm,
+                            Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GE(min_norm, 0.0);
+  IPS_CHECK_LE(min_norm, 1.0);
+  Matrix points(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<double> row = points.Row(i);
+    for (double& v : row) v = rng->NextGaussian();
+    NormalizeInPlace(row);
+    const double norm = min_norm + (1.0 - min_norm) * rng->NextDouble();
+    ScaleInPlace(row, norm);
+  }
+  return points;
+}
+
+Matrix MakeLatentFactorVectors(std::size_t n, std::size_t dim, double skew,
+                               Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GE(skew, 0.0);
+  Matrix points(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<double> row = points.Row(i);
+    for (double& v : row) v = rng->NextGaussian();
+    NormalizeInPlace(row);
+    const double norm =
+        std::pow(static_cast<double>(i + 1), -skew);  // Zipf-like decay
+    ScaleInPlace(row, norm);
+  }
+  return points;
+}
+
+Matrix MakeBinarySets(std::size_t n, std::size_t dim, std::size_t weight,
+                      Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GE(dim, weight);
+  IPS_CHECK_GE(weight, 1u);
+  Matrix points(n, dim);
+  std::vector<std::size_t> permutation;
+  for (std::size_t i = 0; i < n; ++i) {
+    rng->Permutation(dim, &permutation);
+    for (std::size_t w = 0; w < weight; ++w) {
+      points.At(i, permutation[w]) = 1.0;
+    }
+  }
+  return points;
+}
+
+PlantedInstance MakePlantedInstance(std::size_t num_data,
+                                    std::size_t num_queries, std::size_t dim,
+                                    double target, double query_radius,
+                                    Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(target, 0.0);
+  IPS_CHECK_LE(target, query_radius);
+  IPS_CHECK_GE(num_data, num_queries);
+  PlantedInstance instance;
+  instance.target = target;
+  // Background noise: directions near-orthogonal w.h.p. in high dim,
+  // with data norms in [0.2, 1].
+  instance.data = MakeUnitBallGaussian(num_data, dim, 0.2, rng);
+  instance.queries = Matrix(num_queries, dim);
+  instance.plants.resize(num_queries);
+  std::vector<std::size_t> permutation;
+  rng->Permutation(num_data, &permutation);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const std::size_t plant = permutation[i];
+    instance.plants[i] = plant;
+    // Make the planted data point a unit vector and the query its scaled
+    // copy plus a small orthogonal-ish perturbation.
+    const std::span<double> data_row = instance.data.Row(plant);
+    NormalizeInPlace(data_row);
+    const std::span<double> query_row = instance.queries.Row(i);
+    for (std::size_t t = 0; t < dim; ++t) {
+      query_row[t] = target * data_row[t] + 0.01 * rng->NextGaussian();
+    }
+    const double norm = Norm(query_row);
+    if (norm > query_radius) {
+      ScaleInPlace(query_row, query_radius / norm);
+    }
+  }
+  return instance;
+}
+
+}  // namespace ips

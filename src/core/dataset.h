@@ -1,0 +1,56 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Synthetic dataset generators for the example workloads and benchmarks:
+// unit-ball Gaussian clouds, latent-factor recommender vectors (the
+// Teflioudi et al. [50] motivation), binary set data, and planted
+// high-inner-product instances with known ground truth.
+
+#ifndef IPS_CORE_DATASET_H_
+#define IPS_CORE_DATASET_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "linalg/matrix.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// n Gaussian points scaled to lie in the unit ball, with norms spread
+/// uniformly in [min_norm, 1].
+Matrix MakeUnitBallGaussian(std::size_t n, std::size_t dim, double min_norm,
+                            Rng* rng);
+
+/// Latent-factor vectors: Gaussian directions with Zipf-like norms
+/// norm_i proportional to (i+1)^(-skew), rescaled into the unit ball.
+/// Models item popularity skew in recommender factor models.
+Matrix MakeLatentFactorVectors(std::size_t n, std::size_t dim, double skew,
+                               Rng* rng);
+
+/// Binary 0/1 matrix where each row has exactly `weight` ones at uniform
+/// random positions (set-valued data).
+Matrix MakeBinarySets(std::size_t n, std::size_t dim, std::size_t weight,
+                      Rng* rng);
+
+/// A planted instance: data and queries are unit-ball Gaussian noise
+/// except that for each query i, data point `plants[i]` is rigged so the
+/// pair's inner product is >= target (queries get radius query_radius).
+struct PlantedInstance {
+  Matrix data;
+  Matrix queries;
+  std::vector<std::size_t> plants;  // plants[i] = planted data index
+  double target = 0.0;
+};
+
+/// Builds a planted instance where every query has exactly one strong
+/// match with inner product approximately `target` (<= query_radius) and
+/// all other pairs are near-orthogonal noise.
+PlantedInstance MakePlantedInstance(std::size_t num_data,
+                                    std::size_t num_queries, std::size_t dim,
+                                    double target, double query_radius,
+                                    Rng* rng);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_DATASET_H_

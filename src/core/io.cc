@@ -1,0 +1,99 @@
+#include "core/io.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace ips {
+namespace {
+
+// Parses one CSV line into `row`; returns a non-OK status on bad cells.
+Status ParseLine(const std::string& line, std::size_t line_number,
+                 std::vector<double>* row) {
+  row->clear();
+  std::size_t begin = 0;
+  while (begin <= line.size()) {
+    std::size_t end = line.find(',', begin);
+    if (end == std::string::npos) end = line.size();
+    const std::string cell = line.substr(begin, end - begin);
+    if (cell.empty()) {
+      return Status::InvalidArgument("empty cell at line " +
+                                     std::to_string(line_number));
+    }
+    errno = 0;
+    char* parse_end = nullptr;
+    const double value = std::strtod(cell.c_str(), &parse_end);
+    if (parse_end == cell.c_str() || *parse_end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument("bad number '" + cell + "' at line " +
+                                     std::to_string(line_number));
+    }
+    row->push_back(value);
+    if (end == line.size()) break;
+    begin = end + 1;
+  }
+  return Status::Ok();
+}
+
+StatusOr<Matrix> ParseStream(std::istream& in) {
+  Matrix matrix;
+  std::string line;
+  std::vector<double> row;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    IPS_RETURN_IF_ERROR(ParseLine(line, line_number, &row));
+    if (matrix.rows() > 0 && row.size() != matrix.cols()) {
+      return Status::InvalidArgument(
+          "ragged row at line " + std::to_string(line_number) + ": got " +
+          std::to_string(row.size()) + " columns, expected " +
+          std::to_string(matrix.cols()));
+    }
+    matrix.AppendRow(row);
+  }
+  if (matrix.rows() == 0) {
+    return Status::InvalidArgument("no data rows");
+  }
+  return matrix;
+}
+
+}  // namespace
+
+StatusOr<Matrix> ParseMatrixCsv(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+StatusOr<Matrix> LoadMatrixCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return ParseStream(file);
+}
+
+Status SaveMatrixCsv(const std::string& path, const Matrix& matrix) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot write " + path);
+  }
+  file.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    const std::span<const double> row = matrix.Row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) file << ',';
+      file << row[j];
+    }
+    file << '\n';
+  }
+  if (!file.good()) {
+    return Status::Internal("write failure on " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ips

@@ -1,0 +1,35 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Point-set I/O: load and save dense matrices as CSV (one row per
+// point), so external datasets can be joined and experiment outputs
+// plotted. Recoverable failures (missing file, ragged rows, parse
+// errors) are reported through Status rather than aborting.
+
+#ifndef IPS_CORE_IO_H_
+#define IPS_CORE_IO_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace ips {
+
+/// Parses a dense matrix from a CSV file: one row per line,
+/// comma-separated decimal values, optionally ending in a newline.
+/// Blank lines and lines starting with '#' are skipped. All rows must
+/// have the same number of columns.
+StatusOr<Matrix> LoadMatrixCsv(const std::string& path);
+
+/// Writes `matrix` as CSV to `path` (full double precision, '.' decimal
+/// separator), overwriting any existing file.
+Status SaveMatrixCsv(const std::string& path, const Matrix& matrix);
+
+/// Parses a matrix from an in-memory CSV string (same format as
+/// LoadMatrixCsv; used by tests and network-fed pipelines).
+StatusOr<Matrix> ParseMatrixCsv(const std::string& text);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_IO_H_

@@ -1,0 +1,142 @@
+#include "core/mips_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+double Score(double value, const JoinSpec& spec) {
+  return spec.is_signed ? value : std::abs(value);
+}
+
+std::optional<SearchMatch> FilterByThreshold(const SearchMatch& best,
+                                             const JoinSpec& spec) {
+  if (best.value >= spec.cs()) return best;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::size_t JoinResult::NumMatched() const {
+  std::size_t matched = 0;
+  for (const auto& match : per_query) {
+    if (match.has_value()) ++matched;
+  }
+  return matched;
+}
+
+BruteForceIndex::BruteForceIndex(const Matrix& data) : data_(&data) {
+  IPS_CHECK_GT(data.rows(), 0u);
+}
+
+std::optional<SearchMatch> BruteForceIndex::Search(
+    std::span<const double> q, const JoinSpec& spec) const {
+  SearchMatch best;
+  best.value = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < data_->rows(); ++i) {
+    const double score = Score(Dot(data_->Row(i), q), spec);
+    ++evaluated_;
+    if (score > best.value) {
+      best.value = score;
+      best.index = i;
+    }
+  }
+  return FilterByThreshold(best, spec);
+}
+
+TreeMipsIndex::TreeMipsIndex(const Matrix& data, std::size_t leaf_size,
+                             Rng* rng)
+    : data_(&data), tree_(data, leaf_size, rng) {}
+
+std::optional<SearchMatch> TreeMipsIndex::Search(std::span<const double> q,
+                                                 const JoinSpec& spec) const {
+  const MipsResult result =
+      spec.is_signed ? tree_.QueryMax(q) : tree_.QueryMaxAbs(q);
+  evaluated_ += result.evaluated;
+  SearchMatch best;
+  best.index = result.index;
+  best.value = Score(Dot(data_->Row(result.index), q), spec);
+  return FilterByThreshold(best, spec);
+}
+
+LshMipsIndex::LshMipsIndex(const Matrix& data,
+                           const VectorTransform* transform,
+                           const LshFamily& base_family,
+                           LshTableParams params, Rng* rng)
+    : data_(&data), transform_(transform) {
+  IPS_CHECK_GT(data.rows(), 0u);
+  if (transform_ != nullptr) {
+    IPS_CHECK_EQ(transform_->input_dim(), data.cols());
+    IPS_CHECK_EQ(transform_->output_dim(), base_family.dim());
+    transformed_data_ = transform_->TransformDataset(data);
+  } else {
+    IPS_CHECK_EQ(base_family.dim(), data.cols());
+  }
+  const Matrix& hashed =
+      transform_ != nullptr ? transformed_data_ : *data_;
+  tables_ = std::make_unique<LshTables>(base_family, hashed, params, rng);
+  name_ = "lsh[" +
+          (transform_ != nullptr ? transform_->Name() + "+" : std::string()) +
+          base_family.Name() + "]";
+}
+
+std::optional<SearchMatch> LshMipsIndex::Search(std::span<const double> q,
+                                                const JoinSpec& spec) const {
+  std::vector<double> transformed;
+  std::span<const double> probe = q;
+  if (transform_ != nullptr) {
+    transformed = transform_->TransformQuery(q);
+    probe = transformed;
+  }
+  const std::vector<std::size_t> candidates = tables_->Query(probe);
+  ++queries_;
+  candidates_ += candidates.size();
+  SearchMatch best;
+  best.value = -std::numeric_limits<double>::infinity();
+  for (std::size_t index : candidates) {
+    const double score = Score(Dot(data_->Row(index), q), spec);
+    ++evaluated_;
+    if (score > best.value) {
+      best.value = score;
+      best.index = index;
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  return FilterByThreshold(best, spec);
+}
+
+std::vector<std::size_t> LshMipsIndex::Candidates(
+    std::span<const double> q) const {
+  if (transform_ != nullptr) {
+    return tables_->Query(transform_->TransformQuery(q));
+  }
+  return tables_->Query(q);
+}
+
+double LshMipsIndex::MeanCandidates() const {
+  return queries_ == 0 ? 0.0
+                       : static_cast<double>(candidates_) /
+                             static_cast<double>(queries_);
+}
+
+SketchIndex::SketchIndex(const Matrix& data, const SketchMipsParams& params,
+                         Rng* rng)
+    : data_(&data), sketch_(data, params, rng) {}
+
+std::optional<SearchMatch> SketchIndex::Search(std::span<const double> q,
+                                               const JoinSpec& spec) const {
+  IPS_CHECK(!spec.is_signed)
+      << "the Section 4.3 sketch index answers unsigned queries only";
+  const std::size_t index = sketch_.RecoverArgmax(q);
+  ++evaluated_;
+  SearchMatch best;
+  best.index = index;
+  best.value = std::abs(Dot(data_->Row(index), q));
+  return FilterByThreshold(best, spec);
+}
+
+}  // namespace ips

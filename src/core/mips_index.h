@@ -1,0 +1,137 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The MipsIndex interface and its four implementations:
+//   BruteForceIndex -- exact quadratic scan (the baseline of every
+//                      experiment);
+//   TreeMipsIndex   -- exact Ram-Gray ball-tree branch-and-bound;
+//   LshMipsIndex    -- any (A)LSH transform + base family through the
+//                      (K, L) table engine, candidates re-ranked exactly;
+//   SketchIndex     -- the Section 4.3 linear-sketch c-MIPS structure
+//                      (unsigned only).
+// All implementations return the exact score of the candidate they
+// report, so the (cs, s) guarantee of Definition 1 is checkable.
+
+#ifndef IPS_CORE_MIPS_INDEX_H_
+#define IPS_CORE_MIPS_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.h"
+#include "linalg/matrix.h"
+#include "lsh/tables.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "sketch/sketch_mips.h"
+#include "tree/mips_tree.h"
+
+namespace ips {
+
+/// Interface: search the (fixed) data set for a large-inner-product
+/// match of a query.
+class MipsIndex {
+ public:
+  virtual ~MipsIndex() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Best match the index can certify for query `q` under `spec`, with
+  /// its exact score; nullopt when no candidate reaches spec.cs().
+  virtual std::optional<SearchMatch> Search(std::span<const double> q,
+                                            const JoinSpec& spec) const = 0;
+
+  /// Exact inner products evaluated since construction (work measure).
+  virtual std::size_t InnerProductsEvaluated() const = 0;
+};
+
+/// Exact full scan.
+class BruteForceIndex : public MipsIndex {
+ public:
+  /// `data` must outlive the index.
+  explicit BruteForceIndex(const Matrix& data);
+
+  std::string Name() const override { return "brute-force"; }
+  std::optional<SearchMatch> Search(std::span<const double> q,
+                                    const JoinSpec& spec) const override;
+  std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+
+ private:
+  const Matrix* data_;
+  mutable std::size_t evaluated_ = 0;
+};
+
+/// Exact ball-tree branch-and-bound (tree/mips_tree.h).
+class TreeMipsIndex : public MipsIndex {
+ public:
+  TreeMipsIndex(const Matrix& data, std::size_t leaf_size, Rng* rng);
+
+  std::string Name() const override { return "ball-tree"; }
+  std::optional<SearchMatch> Search(std::span<const double> q,
+                                    const JoinSpec& spec) const override;
+  std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+
+ private:
+  const Matrix* data_;
+  MipsBallTree tree_;
+  mutable std::size_t evaluated_ = 0;
+};
+
+/// (A)LSH index: optional transform into hash space, (K, L) tables on
+/// the transformed data, exact re-ranking of candidates.
+class LshMipsIndex : public MipsIndex {
+ public:
+  /// `data` must outlive the index. `transform` may be null (hash the
+  /// raw vectors); otherwise it must map input_dim == data.cols() and
+  /// `base_family.dim()` must equal the transform's output_dim.
+  /// Both `transform` and `base_family` must outlive the index.
+  LshMipsIndex(const Matrix& data, const VectorTransform* transform,
+               const LshFamily& base_family, LshTableParams params,
+               Rng* rng);
+
+  std::string Name() const override { return name_; }
+  std::optional<SearchMatch> Search(std::span<const double> q,
+                                    const JoinSpec& spec) const override;
+  std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+
+  /// Mean number of candidates per query so far (work diagnostic).
+  double MeanCandidates() const;
+
+  /// Raw candidate set for `q` (data row indices), for callers that
+  /// re-rank themselves (e.g. top-k retrieval, core/top_k.h).
+  std::vector<std::size_t> Candidates(std::span<const double> q) const;
+
+ private:
+  const Matrix* data_;
+  const VectorTransform* transform_;
+  Matrix transformed_data_;
+  std::unique_ptr<LshTables> tables_;
+  std::string name_;
+  mutable std::size_t evaluated_ = 0;
+  mutable std::size_t queries_ = 0;
+  mutable std::size_t candidates_ = 0;
+};
+
+/// Section 4.3 sketch index (unsigned scores only: Search CHECKs that
+/// spec.is_signed is false).
+class SketchIndex : public MipsIndex {
+ public:
+  SketchIndex(const Matrix& data, const SketchMipsParams& params, Rng* rng);
+
+  std::string Name() const override { return "sketch-mips"; }
+  std::optional<SearchMatch> Search(std::span<const double> q,
+                                    const JoinSpec& spec) const override;
+  std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+
+  const SketchMipsIndex& sketch() const { return sketch_; }
+
+ private:
+  const Matrix* data_;
+  SketchMipsIndex sketch_;
+  mutable std::size_t evaluated_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CORE_MIPS_INDEX_H_

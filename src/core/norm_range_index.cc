@@ -1,0 +1,90 @@
+#include "core/norm_range_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+NormRangeIndex::NormRangeIndex(const Matrix& data,
+                               const NormRangeParams& params, Rng* rng)
+    : data_(&data), params_(params) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(data.rows(), 0u);
+  IPS_CHECK_GE(params.bucket_size, 1u);
+  // Sort indices by norm, descending.
+  std::vector<std::uint32_t> order(data.rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> norms(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) norms[i] = Norm(data.Row(i));
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return norms[a] > norms[b];
+  });
+
+  for (std::size_t begin = 0; begin < order.size();
+       begin += params.bucket_size) {
+    const std::size_t end =
+        std::min(begin + params.bucket_size, order.size());
+    Bucket bucket;
+    bucket.members.assign(order.begin() + begin, order.begin() + end);
+    bucket.max_norm = norms[bucket.members.front()];
+    for (std::uint32_t member : bucket.members) {
+      bucket.directions.AppendRow(Normalized(data.Row(member)));
+    }
+    bucket.family = std::make_unique<SimHashFamily>(data.cols());
+    bucket.tables = std::make_unique<LshTables>(
+        *bucket.family, bucket.directions, params.lsh_params, rng);
+    buckets_.push_back(std::move(bucket));
+  }
+}
+
+std::optional<SearchMatch> NormRangeIndex::Search(std::span<const double> q,
+                                                  const JoinSpec& spec) const {
+  IPS_CHECK(spec.is_signed) << "NormRangeIndex answers signed MIPS";
+  const double query_norm = Norm(q);
+  if (query_norm == 0.0) return std::nullopt;
+  const std::vector<double> direction = Normalized(q);
+
+  SearchMatch best;
+  best.value = -std::numeric_limits<double>::infinity();
+  for (const Bucket& bucket : buckets_) {
+    const double bucket_bound = bucket.max_norm * query_norm;
+    // Prune: nothing in this (or any later) bucket can beat both the
+    // current best and the cs threshold.
+    if (bucket_bound <= std::max(best.value, spec.cs())) {
+      buckets_pruned_ += 1;
+      break;
+    }
+    const double local_cosine =
+        std::max(best.value, spec.cs()) / bucket_bound;
+    auto consider = [&](std::size_t position) {
+      const std::uint32_t member = bucket.members[position];
+      const double value = Dot(data_->Row(member), q);
+      ++evaluated_;
+      if (value > best.value) {
+        best.value = value;
+        best.index = member;
+      }
+    };
+    if (local_cosine >= params_.lsh_cosine_threshold) {
+      // Selective regime: probe the bucket's cosine tables.
+      for (std::size_t position : bucket.tables->Query(direction)) {
+        consider(position);
+      }
+    } else {
+      // Low local threshold: scanning is cheaper than high-recall LSH.
+      for (std::size_t position = 0; position < bucket.members.size();
+           ++position) {
+        consider(position);
+      }
+    }
+  }
+  if (best.value >= spec.cs()) return best;
+  return std::nullopt;
+}
+
+}  // namespace ips

@@ -1,0 +1,89 @@
+#include "core/similarity_join.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ips {
+
+JoinResult ExactJoin(const Matrix& data, const Matrix& queries,
+                     const JoinSpec& spec, ThreadPool* pool) {
+  IPS_CHECK_EQ(data.cols(), queries.cols());
+  JoinResult result;
+  result.per_query.resize(queries.rows());
+  WallTimer timer;
+  std::atomic<std::size_t> inner_products{0};
+  ParallelFor(pool, queries.rows(), [&](std::size_t begin, std::size_t end) {
+    std::size_t local_products = 0;
+    for (std::size_t qi = begin; qi < end; ++qi) {
+      const std::span<const double> q = queries.Row(qi);
+      SearchMatch best;
+      best.value = -std::numeric_limits<double>::infinity();
+      for (std::size_t di = 0; di < data.rows(); ++di) {
+        const double raw = Dot(data.Row(di), q);
+        const double score = spec.is_signed ? raw : std::abs(raw);
+        ++local_products;
+        if (score > best.value) {
+          best.value = score;
+          best.index = di;
+        }
+      }
+      if (best.value >= spec.s) {
+        result.per_query[qi] = JoinMatch{qi, best.index, best.value};
+      }
+    }
+    inner_products += local_products;
+  });
+  result.seconds = timer.Seconds();
+  result.inner_products = inner_products.load();
+  return result;
+}
+
+JoinResult IndexJoin(const MipsIndex& index, const Matrix& queries,
+                     const JoinSpec& spec) {
+  JoinResult result;
+  result.per_query.resize(queries.rows());
+  WallTimer timer;
+  const std::size_t products_before = index.InnerProductsEvaluated();
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto match = index.Search(queries.Row(qi), spec);
+    if (match.has_value()) {
+      result.per_query[qi] = JoinMatch{qi, match->index, match->value};
+    }
+  }
+  result.seconds = timer.Seconds();
+  result.inner_products = index.InnerProductsEvaluated() - products_before;
+  return result;
+}
+
+std::size_t VerifyJoinContract(const JoinResult& result,
+                               const JoinResult& truth, const JoinSpec& spec,
+                               double* recall) {
+  IPS_CHECK_EQ(result.per_query.size(), truth.per_query.size());
+  std::size_t promised = 0;
+  std::size_t answered = 0;
+  std::size_t violations = 0;
+  for (std::size_t qi = 0; qi < truth.per_query.size(); ++qi) {
+    const auto& true_match = truth.per_query[qi];
+    if (!true_match.has_value() || true_match->value < spec.s) continue;
+    ++promised;
+    const auto& reported = result.per_query[qi];
+    if (reported.has_value() && reported->value >= spec.cs()) {
+      ++answered;
+    } else {
+      ++violations;
+    }
+  }
+  if (recall != nullptr) {
+    *recall = promised == 0 ? 1.0
+                            : static_cast<double>(answered) /
+                                  static_cast<double>(promised);
+  }
+  return violations;
+}
+
+}  // namespace ips

@@ -1,0 +1,41 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Join drivers: run a MipsIndex over a query set to produce the
+// (cs, s) join of Definition 1, the exact brute-force join baseline,
+// and the verifier that checks a join result against ground truth.
+
+#ifndef IPS_CORE_SIMILARITY_JOIN_H_
+#define IPS_CORE_SIMILARITY_JOIN_H_
+
+#include <cstddef>
+
+#include "core/mips_index.h"
+#include "core/types.h"
+#include "linalg/matrix.h"
+#include "util/thread_pool.h"
+
+namespace ips {
+
+/// Exact (s, s) join by full quadratic scan; the per-query entry is the
+/// true maximizer when its score >= spec.s, nullopt otherwise.
+/// `pool` may be null (single-threaded).
+JoinResult ExactJoin(const Matrix& data, const Matrix& queries,
+                     const JoinSpec& spec, ThreadPool* pool = nullptr);
+
+/// Approximate join driven by any MipsIndex: one Search per query.
+JoinResult IndexJoin(const MipsIndex& index, const Matrix& queries,
+                     const JoinSpec& spec);
+
+/// Definition 1 compliance of `result` against the exact join `truth`:
+/// counts queries where truth has a match with score >= s but the result
+/// reports nothing or reports a pair scoring < c*s. Returns the number
+/// of violated queries (0 = the (cs, s) contract held everywhere) and,
+/// through `recall`, the fraction of promised queries answered.
+std::size_t VerifyJoinContract(const JoinResult& result,
+                               const JoinResult& truth, const JoinSpec& spec,
+                               double* recall);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_SIMILARITY_JOIN_H_

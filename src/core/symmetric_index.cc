@@ -1,0 +1,61 @@
+#include "core/symmetric_index.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+SymmetricMipsIndex::SymmetricMipsIndex(const Matrix& data, double epsilon,
+                                       LshTableParams params, Rng* rng)
+    : data_(&data),
+      transform_(data.cols(), epsilon, /*fingerprint_bits=*/24),
+      base_(transform_.output_dim()),
+      lsh_(data, &transform_, base_, params, rng) {
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    members_[transform_.Fingerprint(data.Row(i))].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+bool SymmetricMipsIndex::LookupExact(std::span<const double> q,
+                                     std::size_t* index) const {
+  IPS_CHECK(index != nullptr);
+  const auto it = members_.find(transform_.Fingerprint(q));
+  if (it == members_.end()) return false;
+  for (std::uint32_t candidate : it->second) {
+    const std::span<const double> row = data_->Row(candidate);
+    bool equal = row.size() == q.size();
+    for (std::size_t t = 0; equal && t < q.size(); ++t) {
+      equal = row[t] == q[t];
+    }
+    if (equal) {
+      *index = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<SearchMatch> SymmetricMipsIndex::Search(
+    std::span<const double> q, const JoinSpec& spec) const {
+  // Section 4.2's initial step: if q is itself a data vector, the LSH
+  // guarantee does not cover the (q, q) pair; answer it exactly.
+  std::size_t exact_index = 0;
+  if (LookupExact(q, &exact_index)) {
+    const double raw = Dot(q, q);
+    const double score = spec.is_signed ? raw : std::abs(raw);
+    if (score >= spec.cs()) {
+      return SearchMatch{exact_index, score};
+    }
+    // q^T q below threshold: fall through to the LSH for other matches.
+  }
+  return lsh_.Search(q, spec);
+}
+
+std::size_t SymmetricMipsIndex::InnerProductsEvaluated() const {
+  return lsh_.InnerProductsEvaluated();
+}
+
+}  // namespace ips

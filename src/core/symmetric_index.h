@@ -1,0 +1,59 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The complete Section 4.2 search procedure: the symmetric-incoherent
+// LSH gives no collision guarantee for a query identical to a data
+// vector (the relaxed LSH definition disregards that pair), so the
+// paper prescribes "an initial step that verifies whether a query
+// vector is in the input set and, if this is the case, returns the
+// vector q itself if q^T q >= s". This wrapper adds exactly that exact-
+// membership step in front of a symmetric LshMipsIndex.
+
+#ifndef IPS_CORE_SYMMETRIC_INDEX_H_
+#define IPS_CORE_SYMMETRIC_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mips_index.h"
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+
+namespace ips {
+
+/// Symmetric MIPS index per Section 4.2: membership check + symmetric
+/// incoherent LSH.
+class SymmetricMipsIndex : public MipsIndex {
+ public:
+  /// Builds the incoherent lift (coherence epsilon), the base family in
+  /// the lifted space, the (K, L) tables, and the exact membership map.
+  /// `data` must outlive the index.
+  SymmetricMipsIndex(const Matrix& data, double epsilon,
+                     LshTableParams params, Rng* rng);
+
+  std::string Name() const override { return "symmetric-incoherent-lsh"; }
+  std::optional<SearchMatch> Search(std::span<const double> q,
+                                    const JoinSpec& spec) const override;
+  std::size_t InnerProductsEvaluated() const override;
+
+  /// True iff `q` equals (bitwise) some data row; sets *index when so.
+  bool LookupExact(std::span<const double> q, std::size_t* index) const;
+
+  const SymmetricIncoherentTransform& transform() const {
+    return transform_;
+  }
+
+ private:
+  const Matrix* data_;
+  SymmetricIncoherentTransform transform_;
+  SimHashFamily base_;
+  LshMipsIndex lsh_;
+  // Exact membership: fingerprint -> candidate row indices (fingerprint
+  // collisions resolved by full comparison).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> members_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CORE_SYMMETRIC_INDEX_H_

@@ -1,0 +1,63 @@
+#include "core/top_k.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+std::vector<SearchMatch> KBest(std::vector<SearchMatch> scored,
+                               std::size_t k) {
+  std::sort(scored.begin(), scored.end(),
+            [](const SearchMatch& a, const SearchMatch& b) {
+              return a.value > b.value;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace
+
+std::vector<SearchMatch> TopKBruteForce(const Matrix& data,
+                                        std::span<const double> q,
+                                        std::size_t k, bool is_signed) {
+  IPS_CHECK_GE(k, 1u);
+  std::vector<SearchMatch> scored;
+  scored.reserve(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const double raw = Dot(data.Row(i), q);
+    scored.push_back({i, is_signed ? raw : std::abs(raw)});
+  }
+  return KBest(std::move(scored), k);
+}
+
+std::vector<SearchMatch> TopKBallTree(const MipsBallTree& tree,
+                                      const Matrix& data,
+                                      std::span<const double> q,
+                                      std::size_t k) {
+  (void)data;
+  std::vector<SearchMatch> result;
+  for (const auto& [index, value] : tree.QueryTopK(q, k)) {
+    result.push_back({index, value});
+  }
+  return result;
+}
+
+std::vector<SearchMatch> TopKFromCandidates(
+    const Matrix& data, std::span<const double> q,
+    const std::vector<std::size_t>& candidates, std::size_t k,
+    bool is_signed) {
+  IPS_CHECK_GE(k, 1u);
+  std::vector<SearchMatch> scored;
+  scored.reserve(candidates.size());
+  for (std::size_t index : candidates) {
+    const double raw = Dot(data.Row(index), q);
+    scored.push_back({index, is_signed ? raw : std::abs(raw)});
+  }
+  return KBest(std::move(scored), k);
+}
+
+}  // namespace ips

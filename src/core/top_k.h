@@ -1,0 +1,47 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Top-k MIPS: the paper's footnote 1 notes that join results commonly
+// limit each tuple's multiplicity to some k; this header provides k-best
+// retrieval. Exact engines (brute force and a k-best variant of the
+// ball-tree branch-and-bound) return the true top-k; the LSH engine
+// returns the k best among its candidates.
+
+#ifndef IPS_CORE_TOP_K_H_
+#define IPS_CORE_TOP_K_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/mips_index.h"
+#include "core/types.h"
+#include "linalg/matrix.h"
+#include "tree/mips_tree.h"
+
+namespace ips {
+
+/// Exact top-k by full scan, descending score. Scores are signed or
+/// absolute per `is_signed`. Returns min(k, rows) entries.
+std::vector<SearchMatch> TopKBruteForce(const Matrix& data,
+                                        std::span<const double> q,
+                                        std::size_t k, bool is_signed);
+
+/// Exact top-k via the ball tree: branch-and-bound against the k-th
+/// best score so far. Signed scores only (the tree's unsigned bound is
+/// looser; use TopKBruteForce for unsigned top-k).
+std::vector<SearchMatch> TopKBallTree(const MipsBallTree& tree,
+                                      const Matrix& data,
+                                      std::span<const double> q,
+                                      std::size_t k);
+
+/// Approximate top-k from an LshMipsIndex's candidate set: the k best
+/// verified candidates (may return fewer than k).
+std::vector<SearchMatch> TopKFromCandidates(
+    const Matrix& data, std::span<const double> q,
+    const std::vector<std::size_t>& candidates, std::size_t k,
+    bool is_signed);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_TOP_K_H_

@@ -1,0 +1,98 @@
+#include "embed/binary_embedding.h"
+
+#include "embed/combinators.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+constexpr std::size_t kDimLimit = 1ULL << 32;
+
+std::size_t BinaryChunkDim(std::size_t d, std::size_t k) {
+  // Sum of 2^(chunk size) over k balanced chunks.
+  const std::size_t base = d / k;
+  const std::size_t extra = d % k;  // first `extra` chunks get base+1.
+  IPS_CHECK_LT(base + 1, 63u) << "chunk too large";
+  std::size_t dim = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    dim += 1ULL << (base + (i < extra ? 1 : 0));
+    IPS_CHECK_LT(dim, kDimLimit) << "binary embedding dimension overflow";
+  }
+  return dim;
+}
+
+}  // namespace
+
+BinaryChunkEmbedding::BinaryChunkEmbedding(std::size_t input_dim,
+                                           std::size_t k)
+    : input_dim_(input_dim), k_(k), output_dim_(BinaryChunkDim(input_dim, k)) {
+  IPS_CHECK_GE(k, 1u);
+  IPS_CHECK_LE(k, input_dim);
+}
+
+std::pair<std::size_t, std::size_t> BinaryChunkEmbedding::ChunkRange(
+    std::size_t i) const {
+  const std::size_t base = input_dim_ / k_;
+  const std::size_t extra = input_dim_ % k_;
+  // Chunks 0..extra-1 have size base+1; the rest have size base.
+  const std::size_t begin =
+      i < extra ? i * (base + 1) : extra * (base + 1) + (i - extra) * base;
+  const std::size_t size = base + (i < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+std::size_t BinaryChunkEmbedding::OrthogonalChunks(
+    std::span<const double> x, std::span<const double> y) const {
+  IPS_CHECK_EQ(x.size(), input_dim_);
+  IPS_CHECK_EQ(y.size(), input_dim_);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const auto [begin, end] = ChunkRange(i);
+    bool orthogonal = true;
+    for (std::size_t j = begin; j < end; ++j) {
+      if (x[j] != 0.0 && y[j] != 0.0) {
+        orthogonal = false;
+        break;
+      }
+    }
+    if (orthogonal) ++count;
+  }
+  return count;
+}
+
+std::vector<double> BinaryChunkEmbedding::Build(std::span<const double> input,
+                                                bool left) const {
+  IPS_CHECK_EQ(input.size(), input_dim_);
+  for (double v : input) {
+    IPS_CHECK(v == 0.0 || v == 1.0) << "gap embeddings take 0/1 inputs";
+  }
+  std::vector<double> out;
+  out.reserve(output_dim_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const auto [begin, end] = ChunkRange(i);
+    std::vector<double> chunk = {1.0};
+    for (std::size_t j = begin; j < end; ++j) {
+      // 1 - x y = (1-x, 1)^T (y, 1-y); same tensor order on both sides.
+      const double v = input[j];
+      const std::vector<double> gadget =
+          left ? std::vector<double>{1.0 - v, 1.0}
+               : std::vector<double>{v, 1.0 - v};
+      chunk = Tensor(chunk, gadget);
+    }
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  IPS_CHECK_EQ(out.size(), output_dim_);
+  return out;
+}
+
+std::vector<double> BinaryChunkEmbedding::EmbedLeft(
+    std::span<const double> x) const {
+  return Build(x, /*left=*/true);
+}
+
+std::vector<double> BinaryChunkEmbedding::EmbedRight(
+    std::span<const double> y) const {
+  return Build(y, /*left=*/false);
+}
+
+}  // namespace ips

@@ -1,0 +1,61 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Lemma 3, embedding 3: the unsigned (d, k 2^(d/k), k-1, k)-gap embedding
+// into {0,1}. The polynomial
+//   sum_{i=0}^{k-1}  prod_{j in chunk_i} (1 - x_j y_j)
+// counts how many of the k coordinate chunks are orthogonal; each factor
+// is realized over {0,1} by the rank-one identity
+//   1 - x y = (1-x, 1)^T (y, 1-y),
+// and products/sums become tensors/concatenations. Orthogonal input
+// pairs score exactly k, non-orthogonal ones at most k-1 (the chunk
+// containing a common 1 contributes 0). Chopping into k chunks keeps the
+// output dimension at k 2^(ceil(d/k)) instead of the naive 2^d.
+
+#ifndef IPS_EMBED_BINARY_EMBEDDING_H_
+#define IPS_EMBED_BINARY_EMBEDDING_H_
+
+#include <utility>
+
+#include "embed/gap_embedding.h"
+
+namespace ips {
+
+/// The unsigned chopped-product embedding into {0,1}. Requires
+/// 1 <= k <= d and a manageable output dimension (checked).
+class BinaryChunkEmbedding : public GapEmbedding {
+ public:
+  BinaryChunkEmbedding(std::size_t input_dim, std::size_t k);
+
+  std::string Name() const override { return "binary-chunk"; }
+  EmbeddingDomain domain() const override { return EmbeddingDomain::kBinary; }
+  std::size_t input_dim() const override { return input_dim_; }
+  std::size_t output_dim() const override { return output_dim_; }
+  bool IsSigned() const override { return false; }
+  double s() const override { return static_cast<double>(k_); }
+  double cs() const override { return static_cast<double>(k_ - 1); }
+
+  std::size_t k() const { return k_; }
+
+  /// Number of chunks whose coordinates are all pairwise non-conflicting,
+  /// i.e. the exact embedded inner product for inputs x, y.
+  std::size_t OrthogonalChunks(std::span<const double> x,
+                               std::span<const double> y) const;
+
+  std::vector<double> EmbedLeft(std::span<const double> x) const override;
+  std::vector<double> EmbedRight(std::span<const double> y) const override;
+
+ private:
+  /// Half-open coordinate range of chunk `i`.
+  std::pair<std::size_t, std::size_t> ChunkRange(std::size_t i) const;
+
+  std::vector<double> Build(std::span<const double> input, bool left) const;
+
+  std::size_t input_dim_;
+  std::size_t k_;
+  std::size_t output_dim_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_EMBED_BINARY_EMBEDDING_H_

@@ -1,0 +1,32 @@
+#include "embed/chebyshev.h"
+
+namespace ips {
+
+double ChebyshevT(unsigned q, double x) {
+  if (q == 0) return 1.0;
+  if (q == 1) return x;
+  double prev2 = 1.0;
+  double prev1 = x;
+  for (unsigned i = 2; i <= q; ++i) {
+    const double current = 2.0 * x * prev1 - prev2;
+    prev2 = prev1;
+    prev1 = current;
+  }
+  return prev1;
+}
+
+double ScaledChebyshev(unsigned q, double b, double u) {
+  if (q == 0) return 1.0;
+  if (q == 1) return u;
+  double prev2 = 1.0;
+  double prev1 = u;
+  const double b_squared = b * b;
+  for (unsigned i = 2; i <= q; ++i) {
+    const double current = 2.0 * u * prev1 - b_squared * prev2;
+    prev2 = prev1;
+    prev1 = current;
+  }
+  return prev1;
+}
+
+}  // namespace ips

@@ -1,0 +1,30 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Chebyshev polynomials of the first kind:
+//   T_0(x) = 1, T_1(x) = x, T_q(x) = 2x T_{q-1}(x) - T_{q-2}(x),
+// and the integer-scaled variant W_q(u; b) = b^q T_q(u/b) satisfying
+//   W_0 = 1, W_1 = u, W_q = 2u W_{q-1} - b^2 W_{q-2},
+// which is what the paper's deterministic Chebyshev gap embedding
+// realizes on {-1,1} vectors. Key growth properties used by Theorem 1:
+//   |T_q(x)| <= 1 for |x| <= 1,  and
+//   T_q(1+eps) = cosh(q arccosh(1+eps)) >= e^(q sqrt(eps)) / 2 for
+//   0 < eps <= 1/2 (the 1/2 is the paper's "/2" in the embedding's s).
+
+#ifndef IPS_EMBED_CHEBYSHEV_H_
+#define IPS_EMBED_CHEBYSHEV_H_
+
+#include <cstdint>
+
+namespace ips {
+
+/// T_q(x) by the three-term recurrence.
+double ChebyshevT(unsigned q, double x);
+
+/// b^q T_q(u/b) computed without division (exact over the integers when
+/// u and b are integers and the result fits a double's 53-bit mantissa).
+double ScaledChebyshev(unsigned q, double b, double u);
+
+}  // namespace ips
+
+#endif  // IPS_EMBED_CHEBYSHEV_H_

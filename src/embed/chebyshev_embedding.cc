@@ -1,0 +1,90 @@
+#include "embed/chebyshev_embedding.h"
+
+#include <cmath>
+
+#include "embed/chebyshev.h"
+#include "embed/combinators.h"
+#include "embed/sign_embedding.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+// Dimension recurrence D_q = 2 (4d+2) D_{q-1} + (2d)^2 D_{q-2}, with
+// overflow guard (the practical evaluation limit is far below 2^40).
+std::size_t ChebyshevDim(std::size_t d, unsigned q) {
+  const std::size_t kLimit = 1ULL << 40;
+  std::size_t prev2 = 1;           // D_0
+  std::size_t prev1 = 4 * d + 2;   // D_1
+  if (q == 0) return prev2;
+  if (q == 1) return prev1;
+  for (unsigned i = 2; i <= q; ++i) {
+    const std::size_t term1 = 2 * (4 * d + 2) * prev1;
+    const std::size_t term2 = (2 * d) * (2 * d) * prev2;
+    IPS_CHECK_LT(term1, kLimit);
+    IPS_CHECK_LT(term2, kLimit);
+    const std::size_t current = term1 + term2;
+    IPS_CHECK_LT(current, kLimit) << "Chebyshev embedding dimension overflow";
+    prev2 = prev1;
+    prev1 = current;
+  }
+  return prev1;
+}
+
+}  // namespace
+
+ChebyshevGapEmbedding::ChebyshevGapEmbedding(std::size_t input_dim,
+                                             unsigned q)
+    : input_dim_(input_dim), q_(q), output_dim_(ChebyshevDim(input_dim, q)) {
+  IPS_CHECK_GE(input_dim, 2u);
+  IPS_CHECK_GE(q, 1u);
+}
+
+double ChebyshevGapEmbedding::PredictedInnerProduct(std::size_t t) const {
+  const double d = static_cast<double>(input_dim_);
+  const double u = 2.0 * d + 2.0 - 4.0 * static_cast<double>(t);
+  return ScaledChebyshev(q_, 2.0 * d, u);
+}
+
+double ChebyshevGapEmbedding::s() const { return PredictedInnerProduct(0); }
+
+double ChebyshevGapEmbedding::cs() const {
+  const double d = static_cast<double>(input_dim_);
+  return std::pow(2.0 * d, static_cast<double>(q_));
+}
+
+std::vector<double> ChebyshevGapEmbedding::Build(std::span<const double> input,
+                                                 bool left) const {
+  IPS_CHECK_EQ(input.size(), input_dim_);
+  // Base vector: gadget + d+2 appended ones (both sides).
+  const std::vector<double> base = AppendConstant(
+      left ? SignGadgetLeft(input) : SignGadgetRight(input), 1.0,
+      input_dim_ + 2);
+  if (q_ == 1) return base;
+  const std::size_t b_squared = (2 * input_dim_) * (2 * input_dim_);
+  std::vector<double> prev2 = {1.0};  // f_0 / g_0
+  std::vector<double> prev1 = base;   // f_1 / g_1
+  for (unsigned i = 2; i <= q_; ++i) {
+    const std::vector<double> tensored = Tensor(base, prev1);
+    std::vector<double> current = Concat(tensored, tensored);
+    const std::vector<double> tail =
+        left ? Repeat(prev2, b_squared) : Repeat(Negate(prev2), b_squared);
+    current = Concat(current, tail);
+    prev2 = std::move(prev1);
+    prev1 = std::move(current);
+  }
+  IPS_CHECK_EQ(prev1.size(), output_dim_);
+  return prev1;
+}
+
+std::vector<double> ChebyshevGapEmbedding::EmbedLeft(
+    std::span<const double> x) const {
+  return Build(x, /*left=*/true);
+}
+
+std::vector<double> ChebyshevGapEmbedding::EmbedRight(
+    std::span<const double> y) const {
+  return Build(y, /*left=*/false);
+}
+
+}  // namespace ips

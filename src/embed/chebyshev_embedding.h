@@ -1,0 +1,64 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Lemma 3, embedding 2: the deterministic Chebyshev gap embedding into
+// {-1,1}. Starting from the coordinate-wise gadget translated by d+2
+// appended ones -- a (d, 4d+2, 2d-2, 2d+2) unsigned embedding with
+// u := <x_bar, y_bar> = 2d + 2 - 4 x^T y -- the recursion
+//   f_0 = (1)                g_0 = (1)
+//   f_1 = x_bar              g_1 = y_bar
+//   f_q = (x_bar (*) f_{q-1})^2 ++ f_{q-2}^((2d)^2)
+//   g_q = (y_bar (*) g_{q-1})^2 ++ (-g_{q-2})^((2d)^2)
+// realizes <f_q, g_q> = (2d)^q T_q(u / 2d) on +-1 vectors. Orthogonal
+// inputs give u = 2d+2, hence inner product (2d)^q T_q(1 + 1/d) >=
+// (2d)^q e^(q/sqrt(d)); non-orthogonal inputs give |u| <= 2d-2, hence
+// magnitude at most (2d)^q. Unlike Valiant's Chebyshev embedding [51]
+// this construction is deterministic.
+
+#ifndef IPS_EMBED_CHEBYSHEV_EMBEDDING_H_
+#define IPS_EMBED_CHEBYSHEV_EMBEDDING_H_
+
+#include "embed/gap_embedding.h"
+
+namespace ips {
+
+/// The unsigned (d, <=(9d)^q, (2d)^q, (2d)^q T_q(1+1/d)) embedding.
+class ChebyshevGapEmbedding : public GapEmbedding {
+ public:
+  /// `q` is the Chebyshev order. Output dimension grows like (9d)^q; the
+  /// constructor checks it stays below 2^40 to avoid accidental OOM.
+  ChebyshevGapEmbedding(std::size_t input_dim, unsigned q);
+
+  std::string Name() const override { return "chebyshev"; }
+  EmbeddingDomain domain() const override { return EmbeddingDomain::kSign; }
+  std::size_t input_dim() const override { return input_dim_; }
+  std::size_t output_dim() const override { return output_dim_; }
+  bool IsSigned() const override { return false; }
+
+  /// (2d)^q T_q(1 + 1/d): the guaranteed magnitude for orthogonal pairs.
+  double s() const override;
+
+  /// (2d)^q: the magnitude bound for non-orthogonal pairs.
+  double cs() const override;
+
+  unsigned q() const { return q_; }
+
+  /// Inner product value <f(x), g(y)> predicted for inputs with the given
+  /// binary inner product t = x^T y (exact; used by property tests).
+  double PredictedInnerProduct(std::size_t t) const;
+
+  std::vector<double> EmbedLeft(std::span<const double> x) const override;
+  std::vector<double> EmbedRight(std::span<const double> y) const override;
+
+ private:
+  /// Builds f_q (left = true) or g_q (left = false).
+  std::vector<double> Build(std::span<const double> input, bool left) const;
+
+  std::size_t input_dim_;
+  unsigned q_;
+  std::size_t output_dim_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_EMBED_CHEBYSHEV_EMBEDDING_H_

@@ -1,0 +1,48 @@
+#include "embed/combinators.h"
+
+namespace ips {
+
+std::vector<double> Concat(std::span<const double> x,
+                           std::span<const double> y) {
+  std::vector<double> out;
+  out.reserve(x.size() + y.size());
+  out.insert(out.end(), x.begin(), x.end());
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+std::vector<double> Repeat(std::span<const double> x, std::size_t n) {
+  std::vector<double> out;
+  out.reserve(x.size() * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.insert(out.end(), x.begin(), x.end());
+  }
+  return out;
+}
+
+std::vector<double> Tensor(std::span<const double> x,
+                           std::span<const double> y) {
+  std::vector<double> out;
+  out.reserve(x.size() * y.size());
+  for (double xi : x) {
+    for (double yj : y) {
+      out.push_back(xi * yj);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Negate(std::span<const double> x) {
+  std::vector<double> out(x.begin(), x.end());
+  for (double& v : out) v = -v;
+  return out;
+}
+
+std::vector<double> AppendConstant(std::span<const double> x, double value,
+                                   std::size_t count) {
+  std::vector<double> out(x.begin(), x.end());
+  out.insert(out.end(), count, value);
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,43 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The vector-combinator algebra the paper's gap embeddings are built
+// from. With `+` and `*` acting on inner products:
+//
+//   Concat (x ++ y):   <x1 ++ x2, y1 ++ y2> = <x1, y1> + <x2, y2>
+//   Tensor (x (*) y):  <x1 (*) x2, y1 (*) y2> = <x1, y1> * <x2, y2>
+//   Repeat (x^n):      <x^n, y^n> = n * <x, y>
+//
+// (the paper's footnote 4: concatenation and tensoring are dual to + and
+// x on the embedded inner products). These identities are verified as
+// property tests in tests/embed_test.cc.
+
+#ifndef IPS_EMBED_COMBINATORS_H_
+#define IPS_EMBED_COMBINATORS_H_
+
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// x ++ y, dimension |x| + |y|.
+std::vector<double> Concat(std::span<const double> x,
+                           std::span<const double> y);
+
+/// x repeated n times, dimension n * |x|.
+std::vector<double> Repeat(std::span<const double> x, std::size_t n);
+
+/// Flattened outer product x y^T (row-major), dimension |x| * |y|.
+std::vector<double> Tensor(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Elementwise negation.
+std::vector<double> Negate(std::span<const double> x);
+
+/// Appends `count` copies of `value`.
+std::vector<double> AppendConstant(std::span<const double> x, double value,
+                                   std::size_t count);
+
+}  // namespace ips
+
+#endif  // IPS_EMBED_COMBINATORS_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Gap embeddings (Definition 4): a pair of maps (f, g) from {0,1}^d1 into
+// A^d2 such that for all x, y in {0,1}^d1
+//   |f(x)^T g(y)| >= s   when x^T y = 0  (orthogonal pair), and
+//   |f(x)^T g(y)| <= cs  when x^T y >= 1,
+// with the absolute values dropped for *signed* embeddings. These expand
+// the orthogonal/non-orthogonal gap of OVP instances so that a (cs, s)
+// IPS join can detect orthogonality -- the engine of Theorems 1 and 2.
+
+#ifndef IPS_EMBED_GAP_EMBEDDING_H_
+#define IPS_EMBED_GAP_EMBEDDING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// Output alphabet of a gap embedding.
+enum class EmbeddingDomain {
+  kSign,    // {-1, +1}
+  kBinary,  // {0, 1}
+};
+
+/// Common interface of the three Lemma 3 constructions. Inputs are dense
+/// 0/1 vectors of dimension input_dim().
+class GapEmbedding {
+ public:
+  virtual ~GapEmbedding() = default;
+
+  virtual std::string Name() const = 0;
+  virtual EmbeddingDomain domain() const = 0;
+
+  /// d1: dimension of the binary inputs.
+  virtual std::size_t input_dim() const = 0;
+
+  /// d2': dimension of the embedded vectors.
+  virtual std::size_t output_dim() const = 0;
+
+  /// True for signed embeddings (the gap promise has no absolute values).
+  virtual bool IsSigned() const = 0;
+
+  /// Threshold guaranteed for orthogonal input pairs.
+  virtual double s() const = 0;
+
+  /// Bound guaranteed for non-orthogonal input pairs (cs < s).
+  virtual double cs() const = 0;
+
+  /// The approximation factor cs()/s().
+  double c() const { return cs() / s(); }
+
+  /// f: embedding of the left (data, P-side) vector.
+  virtual std::vector<double> EmbedLeft(std::span<const double> x) const = 0;
+
+  /// g: embedding of the right (query, Q-side) vector.
+  virtual std::vector<double> EmbedRight(std::span<const double> y) const = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_EMBED_GAP_EMBEDDING_H_

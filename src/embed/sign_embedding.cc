@@ -1,0 +1,62 @@
+#include "embed/sign_embedding.h"
+
+#include "embed/combinators.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+void CheckBinary(std::span<const double> x) {
+  for (double v : x) {
+    IPS_CHECK(v == 0.0 || v == 1.0) << "gap embeddings take 0/1 inputs";
+  }
+}
+
+}  // namespace
+
+std::vector<double> SignGadgetLeft(std::span<const double> x) {
+  CheckBinary(x);
+  std::vector<double> out;
+  out.reserve(3 * x.size());
+  for (double v : x) {
+    if (v == 0.0) {
+      out.insert(out.end(), {1.0, -1.0, -1.0});
+    } else {
+      out.insert(out.end(), {1.0, 1.0, 1.0});
+    }
+  }
+  return out;
+}
+
+std::vector<double> SignGadgetRight(std::span<const double> y) {
+  CheckBinary(y);
+  std::vector<double> out;
+  out.reserve(3 * y.size());
+  for (double v : y) {
+    if (v == 0.0) {
+      out.insert(out.end(), {1.0, 1.0, -1.0});
+    } else {
+      out.insert(out.end(), {-1.0, -1.0, -1.0});
+    }
+  }
+  return out;
+}
+
+SignedGapEmbedding::SignedGapEmbedding(std::size_t input_dim)
+    : input_dim_(input_dim) {
+  IPS_CHECK_GE(input_dim, 4u);
+}
+
+std::vector<double> SignedGapEmbedding::EmbedLeft(
+    std::span<const double> x) const {
+  IPS_CHECK_EQ(x.size(), input_dim_);
+  return AppendConstant(SignGadgetLeft(x), 1.0, input_dim_ - 4);
+}
+
+std::vector<double> SignedGapEmbedding::EmbedRight(
+    std::span<const double> y) const {
+  IPS_CHECK_EQ(y.size(), input_dim_);
+  return AppendConstant(SignGadgetRight(y), -1.0, input_dim_ - 4);
+}
+
+}  // namespace ips

@@ -1,0 +1,48 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Lemma 3, embedding 1: the signed (d, 4d-4, 0, 4)-gap embedding into
+// {-1,1}. Coordinate-wise gadget
+//   f^(0) = ( 1,-1,-1)   g^(0) = ( 1, 1,-1)
+//   f^(1) = ( 1, 1, 1)   g^(1) = (-1,-1,-1)
+// contributes +1 for input pairs (0,0), (0,1), (1,0) and -3 for (1,1),
+// so after the gadgets <f, g> = d - 4 x^T y; appending 1^(d-4) to f and
+// (-1)^(d-4) to g translates this to 4 - 4 x^T y: exactly 4 for
+// orthogonal pairs and <= 0 otherwise.
+
+#ifndef IPS_EMBED_SIGN_EMBEDDING_H_
+#define IPS_EMBED_SIGN_EMBEDDING_H_
+
+#include "embed/gap_embedding.h"
+
+namespace ips {
+
+/// The signed (d, 4d-4, 0, 4) embedding. Requires d >= 4.
+class SignedGapEmbedding : public GapEmbedding {
+ public:
+  explicit SignedGapEmbedding(std::size_t input_dim);
+
+  std::string Name() const override { return "signed-gadget"; }
+  EmbeddingDomain domain() const override { return EmbeddingDomain::kSign; }
+  std::size_t input_dim() const override { return input_dim_; }
+  std::size_t output_dim() const override { return 4 * input_dim_ - 4; }
+  bool IsSigned() const override { return true; }
+  double s() const override { return 4.0; }
+  double cs() const override { return 0.0; }
+
+  std::vector<double> EmbedLeft(std::span<const double> x) const override;
+  std::vector<double> EmbedRight(std::span<const double> y) const override;
+
+ private:
+  std::size_t input_dim_;
+};
+
+/// The shared coordinate-wise gadget, also used (with the positive
+/// translation) by the Chebyshev embedding: emits the 3d-dimensional
+/// gadget part only, before any translation.
+std::vector<double> SignGadgetLeft(std::span<const double> x);
+std::vector<double> SignGadgetRight(std::span<const double> y);
+
+}  // namespace ips
+
+#endif  // IPS_EMBED_SIGN_EMBEDDING_H_

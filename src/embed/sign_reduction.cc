@@ -1,0 +1,48 @@
+#include "embed/sign_reduction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+SignRoundingReduction::SignRoundingReduction(std::size_t input_dim,
+                                             std::size_t output_dim,
+                                             Rng* rng)
+    : input_dim_(input_dim), directions_(output_dim, input_dim) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(input_dim, 0u);
+  IPS_CHECK_GT(output_dim, 0u);
+  for (double& entry : directions_.data()) entry = rng->NextGaussian();
+}
+
+std::vector<double> SignRoundingReduction::Apply(
+    std::span<const double> x) const {
+  IPS_CHECK_EQ(x.size(), input_dim_);
+  std::vector<double> out(directions_.rows());
+  for (std::size_t t = 0; t < directions_.rows(); ++t) {
+    out[t] = Dot(directions_.Row(t), x) >= 0.0 ? 1.0 : -1.0;
+  }
+  return out;
+}
+
+SignMatrix SignRoundingReduction::ApplyToRows(const Matrix& points) const {
+  SignMatrix result(points.rows(), directions_.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const std::vector<double> signs = Apply(points.Row(i));
+    for (std::size_t t = 0; t < signs.size(); ++t) {
+      result.Set(i, t, signs[t] > 0 ? 1 : -1);
+    }
+  }
+  return result;
+}
+
+double SignRoundingReduction::ExpectedNormalizedProduct(double cosine) {
+  const double clamped = std::clamp(cosine, -1.0, 1.0);
+  return 1.0 - 2.0 * std::acos(clamped) / std::numbers::pi;
+}
+
+}  // namespace ips

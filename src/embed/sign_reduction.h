@@ -1,0 +1,53 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Randomized reduction from real vectors to the {-1,1}^D domain by sign
+// rounding (Charikar hyperplane rounding, used by Valiant [51] to reduce
+// general IPS join to the {-1,1} case): coordinate t of the image is
+// sign(<g_t, x>) for an i.i.d. Gaussian g_t. For unit vectors x, y,
+//   E[ f(x)^T f(y) ] = D * (1 - 2 angle(x, y) / pi),
+// a strictly increasing function of the inner product, and the sum of D
+// independent +-1 terms concentrates within O(sqrt(D)). The reduction
+// is symmetric (same map for both sides).
+
+#ifndef IPS_EMBED_SIGN_REDUCTION_H_
+#define IPS_EMBED_SIGN_REDUCTION_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sign_matrix.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// One sampled sign-rounding map R^d -> {-1,1}^D.
+class SignRoundingReduction {
+ public:
+  SignRoundingReduction(std::size_t input_dim, std::size_t output_dim,
+                        Rng* rng);
+
+  std::size_t input_dim() const { return directions_.rows() ? input_dim_ : 0; }
+  std::size_t output_dim() const { return directions_.rows(); }
+
+  /// f(x): the vector of projection signs, as +-1 doubles.
+  std::vector<double> Apply(std::span<const double> x) const;
+
+  /// Packs f of every row of `points` into a SignMatrix (so downstream
+  /// code can use the XOR/popcount inner-product kernel).
+  SignMatrix ApplyToRows(const Matrix& points) const;
+
+  /// The expected normalized agreement f(x)^T f(y) / D for unit vectors
+  /// at angle theta: 1 - 2 theta / pi.
+  static double ExpectedNormalizedProduct(double cosine);
+
+ private:
+  std::size_t input_dim_;
+  Matrix directions_;  // D x d Gaussian rows
+};
+
+}  // namespace ips
+
+#endif  // IPS_EMBED_SIGN_REDUCTION_H_

@@ -1,0 +1,62 @@
+#include "hardness/ovp.h"
+
+#include "util/check.h"
+
+namespace ips {
+
+OvpInstance GenerateOvpInstance(const OvpOptions& options, Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(options.size_a, 0u);
+  IPS_CHECK_GT(options.size_b, 0u);
+  IPS_CHECK_GT(options.dim, 0u);
+  IPS_CHECK_GE(options.density, 0.0);
+  IPS_CHECK_LE(options.density, 1.0);
+  OvpInstance instance;
+  instance.a = BitMatrix(options.size_a, options.dim);
+  instance.b = BitMatrix(options.size_b, options.dim);
+  for (std::size_t i = 0; i < options.size_a; ++i) {
+    for (std::size_t j = 0; j < options.dim; ++j) {
+      if (rng->NextBernoulli(options.density)) instance.a.Set(i, j, true);
+    }
+  }
+  for (std::size_t i = 0; i < options.size_b; ++i) {
+    for (std::size_t j = 0; j < options.dim; ++j) {
+      if (rng->NextBernoulli(options.density)) instance.b.Set(i, j, true);
+    }
+  }
+  if (options.plant_orthogonal_pair) {
+    const std::size_t pa =
+        static_cast<std::size_t>(rng->NextBounded(options.size_a));
+    const std::size_t pb =
+        static_cast<std::size_t>(rng->NextBounded(options.size_b));
+    for (std::size_t j = 0; j < options.dim; ++j) {
+      if (instance.a.Get(pa, j)) instance.b.Set(pb, j, false);
+    }
+    instance.planted = {pa, pb};
+  }
+  return instance;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> SolveOvpExact(
+    const OvpInstance& instance) {
+  for (std::size_t i = 0; i < instance.a.rows(); ++i) {
+    for (std::size_t j = 0; j < instance.b.rows(); ++j) {
+      if (instance.a.OrthogonalRows(i, instance.b, j)) {
+        return std::make_pair(i, j);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t CountOrthogonalPairs(const OvpInstance& instance) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < instance.a.rows(); ++i) {
+    for (std::size_t j = 0; j < instance.b.rows(); ++j) {
+      if (instance.a.OrthogonalRows(i, instance.b, j)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ips

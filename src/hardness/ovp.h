@@ -1,0 +1,58 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The Orthogonal Vectors Problem (Definition 3): given sets A, B of
+// binary vectors in {0,1}^d, decide whether some pair a in A, b in B has
+// a^T b = 0. The OVP conjecture (Williams [56]) -- no O(n^(2-eps))
+// algorithm for d = omega(log n) -- is the hardness source of Theorems 1
+// and 2. This header provides instance generation (with an optional
+// planted orthogonal pair) and the exact bit-parallel baseline solver.
+
+#ifndef IPS_HARDNESS_OVP_H_
+#define IPS_HARDNESS_OVP_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "linalg/bit_matrix.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// An OVP instance: two sets of binary vectors of equal dimension.
+struct OvpInstance {
+  BitMatrix a;
+  BitMatrix b;
+  /// Set when the generator planted an orthogonal pair.
+  std::optional<std::pair<std::size_t, std::size_t>> planted;
+};
+
+/// Options for GenerateOvpInstance.
+struct OvpOptions {
+  std::size_t size_a = 64;
+  std::size_t size_b = 64;
+  std::size_t dim = 32;
+  /// Probability of a 1 in each coordinate. At density 1/2 a random pair
+  /// is orthogonal with probability (3/4)^d, negligible for d >> log n.
+  double density = 0.5;
+  /// Whether to plant one orthogonal pair at random positions.
+  bool plant_orthogonal_pair = true;
+};
+
+/// Samples an OVP instance per `options`. When planting, a random
+/// (a, b) position pair is made orthogonal by clearing b's bits on a's
+/// support; all other pairs remain i.i.d. random.
+OvpInstance GenerateOvpInstance(const OvpOptions& options, Rng* rng);
+
+/// Exact quadratic-time OVP baseline using word-parallel AND/popcount.
+/// Returns the first orthogonal pair (a-index, b-index), if any.
+std::optional<std::pair<std::size_t, std::size_t>> SolveOvpExact(
+    const OvpInstance& instance);
+
+/// Count of all orthogonal pairs (diagnostic; quadratic).
+std::size_t CountOrthogonalPairs(const OvpInstance& instance);
+
+}  // namespace ips
+
+#endif  // IPS_HARDNESS_OVP_H_

@@ -1,0 +1,64 @@
+#include "hardness/reduction.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ips {
+
+std::optional<std::pair<std::size_t, std::size_t>> BruteForceJoinOracle(
+    const Matrix& p, const Matrix& q, double s, double cs, bool is_signed) {
+  (void)cs;  // The exact scan can afford the strict threshold s.
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    for (std::size_t j = 0; j < q.rows(); ++j) {
+      const double value = Dot(p.Row(i), q.Row(j));
+      const double score = is_signed ? value : std::abs(value);
+      if (score >= s) return std::make_pair(i, j);
+    }
+  }
+  return std::nullopt;
+}
+
+std::pair<Matrix, Matrix> EmbedOvpInstance(const OvpInstance& instance,
+                                           const GapEmbedding& embedding) {
+  IPS_CHECK_EQ(instance.a.cols(), embedding.input_dim());
+  IPS_CHECK_EQ(instance.b.cols(), embedding.input_dim());
+  Matrix p;
+  for (std::size_t i = 0; i < instance.a.rows(); ++i) {
+    p.AppendRow(embedding.EmbedLeft(instance.a.RowAsDense(i)));
+  }
+  Matrix q;
+  for (std::size_t j = 0; j < instance.b.rows(); ++j) {
+    q.AppendRow(embedding.EmbedRight(instance.b.RowAsDense(j)));
+  }
+  return {std::move(p), std::move(q)};
+}
+
+ReductionResult SolveOvpViaEmbedding(const OvpInstance& instance,
+                                     const GapEmbedding& embedding,
+                                     const JoinOracle& oracle) {
+  ReductionResult result;
+  WallTimer timer;
+  auto [p, q] = EmbedOvpInstance(instance, embedding);
+  result.embed_seconds = timer.Seconds();
+  result.embedded_dim = p.cols();
+
+  timer.Restart();
+  const auto pair =
+      oracle(p, q, embedding.s(), embedding.cs(), embedding.IsSigned());
+  result.join_seconds = timer.Seconds();
+
+  if (pair.has_value()) {
+    // Translate back and verify against the original binary instance.
+    IPS_CHECK(instance.a.OrthogonalRows(pair->first, instance.b,
+                                        pair->second))
+        << "join reported a non-orthogonal pair: the gap promise or the "
+           "oracle is broken";
+    result.pair = pair;
+  }
+  return result;
+}
+
+}  // namespace ips

@@ -1,0 +1,68 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The Lemma 2 pipeline: OVP instance -> gap embedding -> (cs, s) IPS
+// join -> orthogonal pair. Given a (d1, d2, cs, s)-gap embedding (f, g),
+// the embedded sets f(A), g(B) have maximum (absolute) inner product
+// >= s exactly when the OVP instance contains an orthogonal pair, so any
+// algorithm for the (cs, s) join decides -- and recovers a witness for --
+// OVP. A truly subquadratic join would therefore break the OVP
+// conjecture (Theorem 1).
+
+#ifndef IPS_HARDNESS_REDUCTION_H_
+#define IPS_HARDNESS_REDUCTION_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "embed/gap_embedding.h"
+#include "hardness/ovp.h"
+#include "linalg/matrix.h"
+
+namespace ips {
+
+/// A (cs, s) join oracle over embedded point sets: returns some pair
+/// (row of P, row of Q) with (|.| if unsigned) inner product >= cs,
+/// under the promise that a pair with value >= s exists; nullopt when
+/// it finds none.
+using JoinOracle = std::function<std::optional<std::pair<std::size_t,
+                                                         std::size_t>>(
+    const Matrix& p, const Matrix& q, double s, double cs, bool is_signed)>;
+
+/// The default oracle: exact quadratic scan. Returns the first pair with
+/// value >= s (not merely cs), matching the exactness of brute force.
+std::optional<std::pair<std::size_t, std::size_t>> BruteForceJoinOracle(
+    const Matrix& p, const Matrix& q, double s, double cs, bool is_signed);
+
+/// Outcome and accounting of one reduction run.
+struct ReductionResult {
+  /// The orthogonal pair found (a-index, b-index), if any.
+  std::optional<std::pair<std::size_t, std::size_t>> pair;
+  /// d2': dimension after embedding.
+  std::size_t embedded_dim = 0;
+  /// Wall-clock spent embedding both sets.
+  double embed_seconds = 0.0;
+  /// Wall-clock spent inside the join oracle.
+  double join_seconds = 0.0;
+};
+
+/// Runs the full Lemma 2 reduction: embeds instance.a via f = EmbedLeft
+/// and instance.b via g = EmbedRight, calls `oracle` (defaults to the
+/// brute-force scan) with the embedding's (s, cs) thresholds, and
+/// translates the reported pair back to OVP indices. The returned pair,
+/// when present, is verified orthogonal in the original instance.
+ReductionResult SolveOvpViaEmbedding(const OvpInstance& instance,
+                                     const GapEmbedding& embedding,
+                                     const JoinOracle& oracle =
+                                         BruteForceJoinOracle);
+
+/// Embeds both sides of an OVP instance into dense matrices (f on A,
+/// g on B). Exposed for benchmarks that time embedding separately.
+std::pair<Matrix, Matrix> EmbedOvpInstance(const OvpInstance& instance,
+                                           const GapEmbedding& embedding);
+
+}  // namespace ips
+
+#endif  // IPS_HARDNESS_REDUCTION_H_

@@ -1,0 +1,69 @@
+#include "hardness/sign_pipeline.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ips {
+namespace {
+
+SignMatrix PackEmbedded(const BitMatrix& inputs, const GapEmbedding& embedding,
+                        bool left) {
+  SignMatrix packed(inputs.rows(), embedding.output_dim());
+  for (std::size_t i = 0; i < inputs.rows(); ++i) {
+    const std::vector<double> dense = inputs.RowAsDense(i);
+    const std::vector<double> embedded =
+        left ? embedding.EmbedLeft(dense) : embedding.EmbedRight(dense);
+    for (std::size_t t = 0; t < embedded.size(); ++t) {
+      packed.Set(i, t, embedded[t] > 0 ? 1 : -1);
+    }
+  }
+  return packed;
+}
+
+}  // namespace
+
+std::pair<SignMatrix, SignMatrix> EmbedOvpInstanceSigned(
+    const OvpInstance& instance, const GapEmbedding& embedding) {
+  IPS_CHECK(embedding.domain() == EmbeddingDomain::kSign)
+      << "sign pipeline requires a {-1,1} embedding";
+  return {PackEmbedded(instance.a, embedding, /*left=*/true),
+          PackEmbedded(instance.b, embedding, /*left=*/false)};
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> SignJoin(
+    const SignMatrix& p, const SignMatrix& q, double s, bool is_signed) {
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    for (std::size_t j = 0; j < q.rows(); ++j) {
+      const std::int64_t value = p.DotRows(i, q, j);
+      const std::int64_t score = is_signed ? value : std::abs(value);
+      if (static_cast<double>(score) >= s) return std::make_pair(i, j);
+    }
+  }
+  return std::nullopt;
+}
+
+ReductionResult SolveOvpViaSignEmbedding(const OvpInstance& instance,
+                                         const GapEmbedding& embedding) {
+  ReductionResult result;
+  WallTimer timer;
+  const auto [p, q] = EmbedOvpInstanceSigned(instance, embedding);
+  result.embed_seconds = timer.Seconds();
+  result.embedded_dim = p.cols();
+
+  timer.Restart();
+  const auto pair = SignJoin(p, q, embedding.s(), embedding.IsSigned());
+  result.join_seconds = timer.Seconds();
+
+  if (pair.has_value()) {
+    IPS_CHECK(instance.a.OrthogonalRows(pair->first, instance.b,
+                                        pair->second))
+        << "sign join reported a non-orthogonal pair";
+    result.pair = pair;
+  }
+  return result;
+}
+
+}  // namespace ips

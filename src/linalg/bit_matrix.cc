@@ -1,0 +1,72 @@
+#include "linalg/bit_matrix.h"
+
+#include <bit>
+
+namespace ips {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      words_(rows * words_per_row_, 0) {}
+
+std::size_t BitMatrix::RowPopcount(std::size_t i) const {
+  std::size_t count = 0;
+  for (std::uint64_t word : WordsFor(i)) count += std::popcount(word);
+  return count;
+}
+
+std::size_t BitMatrix::DotRows(std::size_t i, const BitMatrix& other,
+                               std::size_t j) const {
+  IPS_CHECK_EQ(cols_, other.cols_);
+  const std::span<const std::uint64_t> a = WordsFor(i);
+  const std::span<const std::uint64_t> b = other.WordsFor(j);
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    count += std::popcount(a[w] & b[w]);
+  }
+  return count;
+}
+
+bool BitMatrix::OrthogonalRows(std::size_t i, const BitMatrix& other,
+                               std::size_t j) const {
+  IPS_CHECK_EQ(cols_, other.cols_);
+  const std::span<const std::uint64_t> a = WordsFor(i);
+  const std::span<const std::uint64_t> b = other.WordsFor(j);
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    if ((a[w] & b[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<double> BitMatrix::RowAsDense(std::size_t i) const {
+  std::vector<double> row(cols_, 0.0);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    if (Get(i, j)) row[j] = 1.0;
+  }
+  return row;
+}
+
+Matrix BitMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (Get(i, j)) dense.At(i, j) = 1.0;
+    }
+  }
+  return dense;
+}
+
+BitMatrix BitMatrix::FromDense(const Matrix& dense) {
+  BitMatrix result(dense.rows(), dense.cols());
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense.At(i, j);
+      IPS_CHECK(v == 0.0 || v == 1.0) << "entry not binary:" << v;
+      if (v == 1.0) result.Set(i, j, true);
+    }
+  }
+  return result;
+}
+
+}  // namespace ips

@@ -1,0 +1,87 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Packed {0,1}^d point sets. Inner products between binary vectors are
+// popcounts of word-wise ANDs, which is what both the OVP solver and the
+// {0,1} gap embeddings operate on.
+
+#ifndef IPS_LINALG_BIT_MATRIX_H_
+#define IPS_LINALG_BIT_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/check.h"
+
+namespace ips {
+
+/// Row-major bit-packed matrix over {0,1}; each row is one binary point.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// Creates an all-zeros `rows` x `cols` bit matrix.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  /// Bit (i, j).
+  bool Get(std::size_t i, std::size_t j) const {
+    IPS_DCHECK(i < rows_ && j < cols_);
+    return (WordsFor(i)[j >> 6] >> (j & 63)) & 1ULL;
+  }
+
+  /// Sets bit (i, j) to `value`.
+  void Set(std::size_t i, std::size_t j, bool value) {
+    IPS_DCHECK(i < rows_ && j < cols_);
+    std::uint64_t& word = words_[i * words_per_row_ + (j >> 6)];
+    const std::uint64_t mask = 1ULL << (j & 63);
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  /// Read-only packed words of row `i`.
+  std::span<const std::uint64_t> WordsFor(std::size_t i) const {
+    IPS_DCHECK(i < rows_);
+    return {words_.data() + i * words_per_row_, words_per_row_};
+  }
+
+  /// Number of ones in row `i`.
+  std::size_t RowPopcount(std::size_t i) const;
+
+  /// Inner product of row `i` of this and row `j` of `other`
+  /// (= |intersection| for set-represented vectors).
+  std::size_t DotRows(std::size_t i, const BitMatrix& other,
+                      std::size_t j) const;
+
+  /// True iff rows i (this) and j (other) are orthogonal (empty AND).
+  bool OrthogonalRows(std::size_t i, const BitMatrix& other,
+                      std::size_t j) const;
+
+  /// Converts row `i` to a dense 0/1 double vector.
+  std::vector<double> RowAsDense(std::size_t i) const;
+
+  /// Converts the whole matrix to dense 0/1 doubles.
+  Matrix ToDense() const;
+
+  /// Builds a BitMatrix from a dense matrix whose entries are 0 or 1.
+  static BitMatrix FromDense(const Matrix& dense);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LINALG_BIT_MATRIX_H_

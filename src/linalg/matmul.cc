@@ -1,0 +1,193 @@
+#include "linalg/matmul.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+constexpr std::size_t kBlock = 32;
+
+// C += A[a_r0:a_r0+m, a_c0:a_c0+k] * B[b_r0:b_r0+k, b_c0:b_c0+p]
+// restricted to valid indices; C is m x p dense row-major.
+void BlockedMultiplyInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t p = b.cols();
+  for (std::size_t ii = 0; ii < m; ii += kBlock) {
+    const std::size_t i_end = std::min(ii + kBlock, m);
+    for (std::size_t kk = 0; kk < k; kk += kBlock) {
+      const std::size_t k_end = std::min(kk + kBlock, k);
+      for (std::size_t jj = 0; jj < p; jj += kBlock) {
+        const std::size_t j_end = std::min(jj + kBlock, p);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t t = kk; t < k_end; ++t) {
+            const double a_it = a.At(i, t);
+            if (a_it == 0.0) continue;
+            const std::span<const double> b_row = b.Row(t);
+            const std::span<double> c_row = c->Row(i);
+            for (std::size_t j = jj; j < j_end; ++j) {
+              c_row[j] += a_it * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Square power-of-two matrices as flat buffers for the Strassen
+// recursion.
+struct Square {
+  std::size_t n = 0;
+  std::vector<double> data;
+
+  double At(std::size_t i, std::size_t j) const { return data[i * n + j]; }
+  double& At(std::size_t i, std::size_t j) { return data[i * n + j]; }
+};
+
+Square SubQuadrant(const Square& s, std::size_t row0, std::size_t col0) {
+  Square out;
+  out.n = s.n / 2;
+  out.data.resize(out.n * out.n);
+  for (std::size_t i = 0; i < out.n; ++i) {
+    for (std::size_t j = 0; j < out.n; ++j) {
+      out.At(i, j) = s.At(row0 + i, col0 + j);
+    }
+  }
+  return out;
+}
+
+Square Add(const Square& a, const Square& b) {
+  Square out;
+  out.n = a.n;
+  out.data.resize(a.data.size());
+  for (std::size_t t = 0; t < a.data.size(); ++t) {
+    out.data[t] = a.data[t] + b.data[t];
+  }
+  return out;
+}
+
+Square Sub(const Square& a, const Square& b) {
+  Square out;
+  out.n = a.n;
+  out.data.resize(a.data.size());
+  for (std::size_t t = 0; t < a.data.size(); ++t) {
+    out.data[t] = a.data[t] - b.data[t];
+  }
+  return out;
+}
+
+Square MultiplyBase(const Square& a, const Square& b) {
+  Square c;
+  c.n = a.n;
+  c.data.assign(a.n * a.n, 0.0);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    for (std::size_t t = 0; t < a.n; ++t) {
+      const double a_it = a.At(i, t);
+      if (a_it == 0.0) continue;
+      for (std::size_t j = 0; j < a.n; ++j) {
+        c.At(i, j) += a_it * b.At(t, j);
+      }
+    }
+  }
+  return c;
+}
+
+Square StrassenRecurse(const Square& a, const Square& b,
+                       std::size_t cutoff) {
+  if (a.n <= cutoff) return MultiplyBase(a, b);
+  const std::size_t half = a.n / 2;
+  const Square a11 = SubQuadrant(a, 0, 0);
+  const Square a12 = SubQuadrant(a, 0, half);
+  const Square a21 = SubQuadrant(a, half, 0);
+  const Square a22 = SubQuadrant(a, half, half);
+  const Square b11 = SubQuadrant(b, 0, 0);
+  const Square b12 = SubQuadrant(b, 0, half);
+  const Square b21 = SubQuadrant(b, half, 0);
+  const Square b22 = SubQuadrant(b, half, half);
+
+  const Square m1 = StrassenRecurse(Add(a11, a22), Add(b11, b22), cutoff);
+  const Square m2 = StrassenRecurse(Add(a21, a22), b11, cutoff);
+  const Square m3 = StrassenRecurse(a11, Sub(b12, b22), cutoff);
+  const Square m4 = StrassenRecurse(a22, Sub(b21, b11), cutoff);
+  const Square m5 = StrassenRecurse(Add(a11, a12), b22, cutoff);
+  const Square m6 = StrassenRecurse(Sub(a21, a11), Add(b11, b12), cutoff);
+  const Square m7 = StrassenRecurse(Sub(a12, a22), Add(b21, b22), cutoff);
+
+  Square c;
+  c.n = a.n;
+  c.data.resize(a.n * a.n);
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t j = 0; j < half; ++j) {
+      c.At(i, j) = m1.At(i, j) + m4.At(i, j) - m5.At(i, j) + m7.At(i, j);
+      c.At(i, j + half) = m3.At(i, j) + m5.At(i, j);
+      c.At(i + half, j) = m2.At(i, j) + m4.At(i, j);
+      c.At(i + half, j + half) =
+          m1.At(i, j) - m2.At(i, j) + m3.At(i, j) + m6.At(i, j);
+    }
+  }
+  return c;
+}
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  IPS_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  BlockedMultiplyInto(a, b, &c);
+  return c;
+}
+
+Matrix MultiplyStrassen(const Matrix& a, const Matrix& b,
+                        std::size_t cutoff) {
+  IPS_CHECK_EQ(a.cols(), b.rows());
+  IPS_CHECK_GE(cutoff, 2u);
+  const std::size_t n =
+      NextPowerOfTwo(std::max({a.rows(), a.cols(), b.cols()}));
+  Square sa;
+  sa.n = n;
+  sa.data.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) sa.At(i, j) = a.At(i, j);
+  }
+  Square sb;
+  sb.n = n;
+  sb.data.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) sb.At(i, j) = b.At(i, j);
+  }
+  const Square sc = StrassenRecurse(sa, sb, cutoff);
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) c.At(i, j) = sc.At(i, j);
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out.At(j, i) = a.At(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix PairwiseInnerProducts(const Matrix& queries, const Matrix& data,
+                             bool use_strassen) {
+  IPS_CHECK_EQ(queries.cols(), data.cols());
+  const Matrix data_t = Transpose(data);
+  return use_strassen ? MultiplyStrassen(queries, data_t)
+                      : Multiply(queries, data_t);
+}
+
+}  // namespace ips

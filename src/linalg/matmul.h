@@ -1,0 +1,43 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Matrix multiplication substrate for the "algebraic techniques" side
+// of the paper: Valiant [51] and Karppa et al. [29] obtain subquadratic
+// unsigned joins by reducing to (fast) matrix multiplication of the
+// embedded point sets. This module provides a cache-blocked classical
+// multiply, a Strassen multiply (the practically-implementable fast
+// matmul), and the product-matrix join helper computing all pairwise
+// inner products Q P^T at once.
+
+#ifndef IPS_LINALG_MATMUL_H_
+#define IPS_LINALG_MATMUL_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace ips {
+
+/// C = A * B by the cache-blocked classical algorithm.
+/// Requires a.cols() == b.rows().
+Matrix Multiply(const Matrix& a, const Matrix& b);
+
+/// C = A * B by Strassen's algorithm (inputs padded to the next power
+/// of two; recursion switches to the blocked kernel at `cutoff`).
+/// Asymptotically O(n^2.807) multiplications. Requires
+/// a.cols() == b.rows(); cutoff >= 2.
+Matrix MultiplyStrassen(const Matrix& a, const Matrix& b,
+                        std::size_t cutoff = 64);
+
+/// A^T as a new matrix.
+Matrix Transpose(const Matrix& a);
+
+/// All pairwise inner products of rows: G[i][j] = <queries_i, data_j>,
+/// i.e. Q D^T, computed with the blocked kernel (or Strassen when
+/// `use_strassen`). This is the one-shot algebraic join primitive.
+Matrix PairwiseInnerProducts(const Matrix& queries, const Matrix& data,
+                             bool use_strassen = false);
+
+}  // namespace ips
+
+#endif  // IPS_LINALG_MATMUL_H_

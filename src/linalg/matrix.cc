@@ -1,0 +1,14 @@
+#include "linalg/matrix.h"
+
+namespace ips {
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  }
+  IPS_CHECK_EQ(row.size(), cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+}  // namespace ips

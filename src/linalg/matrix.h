@@ -1,0 +1,74 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Dense row-major matrix of doubles: the basic container for point sets
+// P, Q in R^d throughout the library. Rows are points.
+
+#ifndef IPS_LINALG_MATRIX_H_
+#define IPS_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ips {
+
+/// Dense row-major matrix; each row is one d-dimensional point.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a zero-initialized `rows` x `cols` matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates a matrix from row-major `data`; data.size() must equal
+  /// rows*cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    IPS_CHECK_EQ(data_.size(), rows_ * cols_);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Mutable view of row `i`.
+  std::span<double> Row(std::size_t i) {
+    IPS_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Read-only view of row `i`.
+  std::span<const double> Row(std::size_t i) const {
+    IPS_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  double& At(std::size_t i, std::size_t j) {
+    IPS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  double At(std::size_t i, std::size_t j) const {
+    IPS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Appends `row` (must have cols() entries; sets cols on first append).
+  void AppendRow(std::span<const double> row);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LINALG_MATRIX_H_

@@ -1,0 +1,45 @@
+#include "linalg/random_projection.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+GaussianProjection::GaussianProjection(std::size_t output_dim,
+                                       std::size_t input_dim, Rng* rng,
+                                       bool normalize)
+    : matrix_(output_dim, input_dim) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(output_dim, 0u);
+  IPS_CHECK_GT(input_dim, 0u);
+  const double scale =
+      normalize ? 1.0 / std::sqrt(static_cast<double>(output_dim)) : 1.0;
+  for (double& entry : matrix_.data()) {
+    entry = scale * rng->NextGaussian();
+  }
+}
+
+std::vector<double> GaussianProjection::Apply(
+    std::span<const double> x) const {
+  IPS_CHECK_EQ(x.size(), matrix_.cols());
+  std::vector<double> result(matrix_.rows());
+  for (std::size_t i = 0; i < matrix_.rows(); ++i) {
+    result[i] = Dot(matrix_.Row(i), x);
+  }
+  return result;
+}
+
+Matrix GaussianProjection::ApplyToRows(const Matrix& points) const {
+  Matrix result(points.rows(), matrix_.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const std::vector<double> projected = Apply(points.Row(i));
+    for (std::size_t j = 0; j < projected.size(); ++j) {
+      result.At(i, j) = projected[j];
+    }
+  }
+  return result;
+}
+
+}  // namespace ips

@@ -1,0 +1,44 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Gaussian random projections (Johnson-Lindenstrauss). Used as a building
+// block for p-stable LSH and as a dimensionality-reduction substrate.
+
+#ifndef IPS_LINALG_RANDOM_PROJECTION_H_
+#define IPS_LINALG_RANDOM_PROJECTION_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// A k x d matrix of i.i.d. N(0, 1) entries, optionally scaled by
+/// 1/sqrt(k) so that E||Ax||^2 = ||x||^2 (JL normalization).
+class GaussianProjection {
+ public:
+  /// Samples the projection. `normalize` toggles the 1/sqrt(k) scale.
+  GaussianProjection(std::size_t output_dim, std::size_t input_dim,
+                     Rng* rng, bool normalize = true);
+
+  std::size_t output_dim() const { return matrix_.rows(); }
+  std::size_t input_dim() const { return matrix_.cols(); }
+
+  /// y = A x.
+  std::vector<double> Apply(std::span<const double> x) const;
+
+  /// Projects every row of `points`, producing a rows x output_dim matrix.
+  Matrix ApplyToRows(const Matrix& points) const;
+
+  const Matrix& matrix() const { return matrix_; }
+
+ private:
+  Matrix matrix_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LINALG_RANDOM_PROJECTION_H_

@@ -1,0 +1,81 @@
+#include "linalg/sign_matrix.h"
+
+#include <bit>
+
+namespace ips {
+
+SignMatrix::SignMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      words_(rows * words_per_row_, 0) {}
+
+void SignMatrix::Set(std::size_t i, std::size_t j, int value) {
+  IPS_DCHECK(i < rows_ && j < cols_);
+  IPS_CHECK(value == 1 || value == -1) << "sign entry must be +-1:" << value;
+  std::uint64_t& word = words_[i * words_per_row_ + (j >> 6)];
+  const std::uint64_t mask = 1ULL << (j & 63);
+  if (value == 1) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+std::size_t SignMatrix::HammingRows(std::size_t i, const SignMatrix& other,
+                                    std::size_t j) const {
+  IPS_CHECK_EQ(cols_, other.cols_);
+  const std::span<const std::uint64_t> a = WordsFor(i);
+  const std::span<const std::uint64_t> b = other.WordsFor(j);
+  std::size_t distance = 0;
+  for (std::size_t w = 0; w + 1 < words_per_row_; ++w) {
+    distance += std::popcount(a[w] ^ b[w]);
+  }
+  if (words_per_row_ > 0) {
+    // Mask tail bits beyond cols_ in the last word.
+    const std::size_t tail_bits = cols_ & 63;
+    std::uint64_t diff = a[words_per_row_ - 1] ^ b[words_per_row_ - 1];
+    if (tail_bits != 0) diff &= (1ULL << tail_bits) - 1;
+    distance += std::popcount(diff);
+  }
+  return distance;
+}
+
+std::int64_t SignMatrix::DotRows(std::size_t i, const SignMatrix& other,
+                                 std::size_t j) const {
+  const std::size_t hamming = HammingRows(i, other, j);
+  return static_cast<std::int64_t>(cols_) -
+         2 * static_cast<std::int64_t>(hamming);
+}
+
+std::vector<double> SignMatrix::RowAsDense(std::size_t i) const {
+  std::vector<double> row(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    row[j] = static_cast<double>(Get(i, j));
+  }
+  return row;
+}
+
+Matrix SignMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      dense.At(i, j) = static_cast<double>(Get(i, j));
+    }
+  }
+  return dense;
+}
+
+SignMatrix SignMatrix::FromDense(const Matrix& dense) {
+  SignMatrix result(dense.rows(), dense.cols());
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense.At(i, j);
+      IPS_CHECK(v == 1.0 || v == -1.0) << "entry not a sign:" << v;
+      result.Set(i, j, v > 0 ? 1 : -1);
+    }
+  }
+  return result;
+}
+
+}  // namespace ips

@@ -1,0 +1,72 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Packed {-1,+1}^d point sets. With bit b encoding +1, the inner product
+// of two sign vectors is d - 2*popcount(x XOR y), the fast kernel the
+// {-1,1} gap embeddings and SimHash sketch comparisons use.
+
+#ifndef IPS_LINALG_SIGN_MATRIX_H_
+#define IPS_LINALG_SIGN_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/check.h"
+
+namespace ips {
+
+/// Row-major bit-packed matrix over {-1,+1}; bit set means +1.
+class SignMatrix {
+ public:
+  SignMatrix() = default;
+
+  /// Creates a `rows` x `cols` matrix initialized to all -1.
+  SignMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Entry (i, j) as +1 / -1.
+  int Get(std::size_t i, std::size_t j) const {
+    IPS_DCHECK(i < rows_ && j < cols_);
+    return ((words_[i * words_per_row_ + (j >> 6)] >> (j & 63)) & 1ULL) ? 1
+                                                                        : -1;
+  }
+
+  /// Sets entry (i, j); `value` must be +1 or -1.
+  void Set(std::size_t i, std::size_t j, int value);
+
+  /// Inner product of row i (this) with row j (other), exact integer.
+  std::int64_t DotRows(std::size_t i, const SignMatrix& other,
+                       std::size_t j) const;
+
+  /// Hamming distance between row i (this) and row j (other).
+  std::size_t HammingRows(std::size_t i, const SignMatrix& other,
+                          std::size_t j) const;
+
+  /// Converts row `i` to a dense +-1 double vector.
+  std::vector<double> RowAsDense(std::size_t i) const;
+
+  /// Converts to a dense +-1 matrix.
+  Matrix ToDense() const;
+
+  /// Builds from a dense matrix with entries exactly +-1.
+  static SignMatrix FromDense(const Matrix& dense);
+
+ private:
+  std::span<const std::uint64_t> WordsFor(std::size_t i) const {
+    return {words_.data() + i * words_per_row_, words_per_row_};
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LINALG_SIGN_MATRIX_H_

@@ -1,0 +1,76 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ips {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  IPS_DCHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  // Four accumulators give the compiler room to vectorize without
+  // reassociating a single serial chain.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += x[i] * y[i];
+    acc1 += x[i + 1] * y[i + 1];
+    acc2 += x[i + 2] * y[i + 2];
+    acc3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) acc0 += x[i] * y[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+double SquaredNorm(std::span<const double> x) { return Dot(x, x); }
+
+double Norm(std::span<const double> x) { return std::sqrt(SquaredNorm(x)); }
+
+double LpNorm(std::span<const double> x, double p) {
+  IPS_CHECK_GE(p, 1.0);
+  double sum = 0.0;
+  for (double v : x) sum += std::pow(std::abs(v), p);
+  return std::pow(sum, 1.0 / p);
+}
+
+double LInfNorm(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double SquaredDistance(std::span<const double> x, std::span<const double> y) {
+  IPS_DCHECK(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+void ScaleInPlace(std::span<double> x, double factor) {
+  for (double& v : x) v *= factor;
+}
+
+void NormalizeInPlace(std::span<double> x) {
+  const double norm = Norm(x);
+  if (norm > 0.0) ScaleInPlace(x, 1.0 / norm);
+}
+
+std::vector<double> Normalized(std::span<const double> x) {
+  std::vector<double> result(x.begin(), x.end());
+  NormalizeInPlace(result);
+  return result;
+}
+
+double CosineSimilarity(std::span<const double> x, std::span<const double> y) {
+  const double nx = Norm(x);
+  const double ny = Norm(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return Dot(x, y) / (nx * ny);
+}
+
+}  // namespace ips

@@ -1,0 +1,47 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Scalar kernels on dense vectors: inner products, norms, normalization.
+
+#ifndef IPS_LINALG_VECTOR_OPS_H_
+#define IPS_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// Inner product <x, y>. Requires x.size() == y.size().
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// Squared Euclidean norm ||x||^2.
+double SquaredNorm(std::span<const double> x);
+
+/// Euclidean norm ||x||.
+double Norm(std::span<const double> x);
+
+/// ell_p norm for p >= 1; p may be +infinity via LInfNorm.
+double LpNorm(std::span<const double> x, double p);
+
+/// max_i |x_i|.
+double LInfNorm(std::span<const double> x);
+
+/// Squared Euclidean distance ||x - y||^2.
+double SquaredDistance(std::span<const double> x, std::span<const double> y);
+
+/// Scales x in place by `factor`.
+void ScaleInPlace(std::span<double> x, double factor);
+
+/// Normalizes x in place to unit Euclidean norm; no-op on the zero vector.
+void NormalizeInPlace(std::span<double> x);
+
+/// Returns x / ||x|| (copy); returns x unchanged if ||x|| == 0.
+std::vector<double> Normalized(std::span<const double> x);
+
+/// Cosine similarity <x,y>/(||x|| ||y||); 0 when either norm is 0.
+double CosineSimilarity(std::span<const double> x, std::span<const double> y);
+
+}  // namespace ips
+
+#endif  // IPS_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,59 @@
+#include "lsh/bit_sample.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+class BitSampleFunction : public LshFunction {
+ public:
+  BitSampleFunction(std::size_t dim, Rng* rng)
+      : coordinate_(static_cast<std::size_t>(rng->NextBounded(dim))) {}
+
+  std::uint64_t HashData(std::span<const double> p) const override {
+    IPS_DCHECK(coordinate_ < p.size());
+    IPS_DCHECK(p[coordinate_] == 0.0 || p[coordinate_] == 1.0);
+    // Data with a 0 at the coordinate gets sentinel 2, queries sentinel
+    // 3: a collision therefore requires a shared 1.
+    return p[coordinate_] == 1.0 ? 1 : 2;
+  }
+
+  std::uint64_t HashQuery(std::span<const double> q) const override {
+    IPS_DCHECK(coordinate_ < q.size());
+    IPS_DCHECK(q[coordinate_] == 0.0 || q[coordinate_] == 1.0);
+    return q[coordinate_] == 1.0 ? 1 : 3;
+  }
+
+ private:
+  std::size_t coordinate_;
+};
+
+}  // namespace
+
+BitSampleFamily::BitSampleFamily(std::size_t dim) : dim_(dim) {
+  IPS_CHECK_GT(dim, 0u);
+}
+
+std::unique_ptr<LshFunction> BitSampleFamily::Sample(Rng* rng) const {
+  IPS_CHECK(rng != nullptr);
+  return std::make_unique<BitSampleFunction>(dim_, rng);
+}
+
+double BitSampleFamily::CollisionProbability(std::size_t inner_product,
+                                             std::size_t dim) {
+  IPS_CHECK_GT(dim, 0u);
+  IPS_CHECK_LE(inner_product, dim);
+  return static_cast<double>(inner_product) / static_cast<double>(dim);
+}
+
+double BitSampleFamily::Rho(double s, double cs, std::size_t dim) {
+  IPS_CHECK_GT(cs, 0.0);
+  IPS_CHECK_GT(s, cs);
+  const double d = static_cast<double>(dim);
+  IPS_CHECK_LT(s, d);
+  return std::log(s / d) / std::log(cs / d);
+}
+
+}  // namespace ips

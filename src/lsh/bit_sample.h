@@ -1,0 +1,48 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The {0,1}-domain LSH the paper alludes to in Table 1 and Section 1.1
+// ("we can achieve runtime n^(1 + log(s/d)/log(cs/d)) using LSH for
+// {0,1}^d"): sample a uniform coordinate i and declare a collision
+// exactly when BOTH the data and the query vector have a 1 there. Then
+//   Pr[collision] = |p AND q| / d = p^T q / d,
+// so pairs above threshold s collide with probability P1 = s/d and
+// pairs below cs with P2 <= cs/d, giving
+//   rho = log(s/d) / log(cs/d)
+// directly -- the permissible-range counterpart of the {0,1} hardness
+// row. The family is asymmetric only in the trivial sense that the
+// non-collision sentinel values differ between the two sides.
+
+#ifndef IPS_LSH_BIT_SAMPLE_H_
+#define IPS_LSH_BIT_SAMPLE_H_
+
+#include <cstddef>
+
+#include "lsh/lsh_family.h"
+
+namespace ips {
+
+/// Coordinate-sampling family for binary vectors.
+class BitSampleFamily : public LshFamily {
+ public:
+  explicit BitSampleFamily(std::size_t dim);
+
+  std::string Name() const override { return "bit-sample"; }
+  std::size_t dim() const override { return dim_; }
+  std::unique_ptr<LshFunction> Sample(Rng* rng) const override;
+
+  /// Analytic collision probability: t / d for binary vectors with
+  /// inner product t.
+  static double CollisionProbability(std::size_t inner_product,
+                                     std::size_t dim);
+
+  /// The data structure's query exponent: log(s/d)/log(cs/d).
+  static double Rho(double s, double cs, std::size_t dim);
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LSH_BIT_SAMPLE_H_

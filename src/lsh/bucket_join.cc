@@ -1,0 +1,59 @@
+#include "lsh/bucket_join.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+BucketJoinResult LshBucketJoin(const LshFamily& family,
+                               const Matrix& hash_data, const Matrix& data,
+                               const Matrix& hash_queries,
+                               const Matrix& queries, double s_threshold,
+                               double cs_threshold, bool is_signed,
+                               LshTableParams params, Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_EQ(hash_data.cols(), family.dim());
+  IPS_CHECK_EQ(hash_queries.cols(), family.dim());
+  IPS_CHECK_EQ(hash_data.rows(), data.rows());
+  IPS_CHECK_EQ(hash_queries.rows(), queries.rows());
+  IPS_CHECK_LE(cs_threshold, s_threshold);
+  (void)s_threshold;  // the contract's promise level; joins filter at cs
+
+  BucketJoinResult result;
+  result.per_query.resize(queries.rows());
+  // Pairs already verified, keyed by query-major 64-bit id.
+  std::unordered_set<std::uint64_t> verified;
+  for (std::size_t table = 0; table < params.l; ++table) {
+    const ConcatenatedLshFunction function(family, params.k, rng);
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+    for (std::size_t i = 0; i < hash_data.rows(); ++i) {
+      buckets[function.HashData(hash_data.Row(i))].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t qi = 0; qi < hash_queries.rows(); ++qi) {
+      const auto it = buckets.find(function.HashQuery(hash_queries.Row(qi)));
+      if (it == buckets.end()) continue;
+      for (std::uint32_t di : it->second) {
+        ++result.stats.candidate_pairs;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(qi) << 32) | di;
+        if (!verified.insert(key).second) continue;
+        ++result.stats.verified_pairs;
+        const double raw = Dot(data.Row(di), queries.Row(qi));
+        const double score = is_signed ? raw : std::abs(raw);
+        if (score < cs_threshold) continue;
+        auto& best = result.per_query[qi];
+        if (!best.has_value() || score > best->second) {
+          best = std::make_pair(static_cast<std::size_t>(di), score);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ips

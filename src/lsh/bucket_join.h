@@ -1,0 +1,58 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The LSH *bucket join*: instead of probing an index once per query,
+// hash both point sets into the same (K, L) tables and enumerate
+// colliding (data, query) pairs bucket by bucket -- the classic
+// similarity-join operator built on LSH (cf. the I/O-efficient joins of
+// [41]). Each candidate pair is verified with one exact inner product,
+// and for every query the best verified pair above cs is reported.
+
+#ifndef IPS_LSH_BUCKET_JOIN_H_
+#define IPS_LSH_BUCKET_JOIN_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "lsh/lsh_family.h"
+#include "lsh/tables.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// Accounting of a bucket join run.
+struct BucketJoinStats {
+  /// Candidate pairs enumerated across all tables (before dedup).
+  std::size_t candidate_pairs = 0;
+  /// Distinct pairs verified with an exact inner product.
+  std::size_t verified_pairs = 0;
+};
+
+/// Result of a bucket join: per-query best match (index into `data`,
+/// exact score), or nullopt when no colliding pair scored >= cs.
+struct BucketJoinResult {
+  std::vector<std::optional<std::pair<std::size_t, double>>> per_query;
+  BucketJoinStats stats;
+};
+
+/// Runs the (cs, s) bucket join of `data` and `queries` under `family`
+/// (typically a TransformedLshFamily for IPS; pre-transform both sides
+/// and pass the base family for speed). Scores are signed or absolute
+/// inner products of the *original* rows per `is_signed`; hashing uses
+/// HashData on `data` rows and HashQuery on `queries` rows.
+///
+/// `hash_data` / `hash_queries` are the representations to hash (must
+/// have family.dim() columns); `data` / `queries` are the originals to
+/// verify on. Pass the same matrix twice when no transform is involved.
+BucketJoinResult LshBucketJoin(const LshFamily& family,
+                               const Matrix& hash_data, const Matrix& data,
+                               const Matrix& hash_queries,
+                               const Matrix& queries, double s_threshold,
+                               double cs_threshold, bool is_signed,
+                               LshTableParams params, Rng* rng);
+
+}  // namespace ips
+
+#endif  // IPS_LSH_BUCKET_JOIN_H_

@@ -1,0 +1,50 @@
+#include "lsh/cross_polytope.h"
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+class CrossPolytopeFunction : public SymmetricLshFunction {
+ public:
+  CrossPolytopeFunction(std::size_t dim, Rng* rng) : rotation_(dim, dim) {
+    for (double& entry : rotation_.data()) entry = rng->NextGaussian();
+  }
+
+  std::uint64_t HashData(std::span<const double> p) const override {
+    IPS_DCHECK(p.size() == rotation_.cols());
+    std::size_t best_index = 0;
+    double best_value = 0.0;
+    double best_magnitude = -1.0;
+    for (std::size_t i = 0; i < rotation_.rows(); ++i) {
+      const double value = Dot(rotation_.Row(i), p);
+      const double magnitude = std::abs(value);
+      if (magnitude > best_magnitude) {
+        best_magnitude = magnitude;
+        best_value = value;
+        best_index = i;
+      }
+    }
+    return 2 * best_index + (best_value >= 0.0 ? 0 : 1);
+  }
+
+ private:
+  Matrix rotation_;
+};
+
+}  // namespace
+
+CrossPolytopeFamily::CrossPolytopeFamily(std::size_t dim) : dim_(dim) {
+  IPS_CHECK_GT(dim, 0u);
+}
+
+std::unique_ptr<LshFunction> CrossPolytopeFamily::Sample(Rng* rng) const {
+  IPS_CHECK(rng != nullptr);
+  return std::make_unique<CrossPolytopeFunction>(dim_, rng);
+}
+
+}  // namespace ips

@@ -1,0 +1,38 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Cross-polytope LSH for angular distance (Andoni, Indyk, Kapralov,
+// Laarhoven, Razenshteyn, Schmidt [7]): apply a random rotation (here a
+// dense Gaussian matrix, the classic variant) and hash to the closest
+// signed standard basis vector, i.e. (argmax_i |y_i|, sign(y_argmax)).
+//
+// This is the practical stand-in for the optimal data-dependent sphere
+// LSH [9] that Section 4.1 plugs into the MIPS reduction -- the paper
+// itself recommends [7] for practice.
+
+#ifndef IPS_LSH_CROSS_POLYTOPE_H_
+#define IPS_LSH_CROSS_POLYTOPE_H_
+
+#include <cstddef>
+
+#include "lsh/lsh_family.h"
+
+namespace ips {
+
+/// Family of Gaussian-rotation cross-polytope hashes with 2*dim buckets.
+class CrossPolytopeFamily : public LshFamily {
+ public:
+  explicit CrossPolytopeFamily(std::size_t dim);
+
+  std::string Name() const override { return "cross-polytope"; }
+  std::size_t dim() const override { return dim_; }
+  std::unique_ptr<LshFunction> Sample(Rng* rng) const override;
+  bool IsSymmetric() const override { return true; }
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LSH_CROSS_POLYTOPE_H_

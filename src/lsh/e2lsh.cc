@@ -1,0 +1,65 @@
+#include "lsh/e2lsh.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+// Standard normal CDF.
+double Phi(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+class E2LshFunction : public SymmetricLshFunction {
+ public:
+  E2LshFunction(std::size_t dim, double w, Rng* rng)
+      : direction_(dim), width_(w), offset_(rng->NextDouble() * w) {
+    for (double& entry : direction_) entry = rng->NextGaussian();
+  }
+
+  std::uint64_t HashData(std::span<const double> p) const override {
+    const double projected = Dot(direction_, p) + offset_;
+    const double bucket = std::floor(projected / width_);
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(bucket));
+  }
+
+ private:
+  std::vector<double> direction_;
+  double width_;
+  double offset_;
+};
+
+}  // namespace
+
+E2LshFamily::E2LshFamily(std::size_t dim, double bucket_width)
+    : dim_(dim), bucket_width_(bucket_width) {
+  IPS_CHECK_GT(dim, 0u);
+  IPS_CHECK_GT(bucket_width, 0.0);
+}
+
+std::string E2LshFamily::Name() const {
+  std::ostringstream name;
+  name << "e2lsh(w=" << bucket_width_ << ")";
+  return name.str();
+}
+
+std::unique_ptr<LshFunction> E2LshFamily::Sample(Rng* rng) const {
+  IPS_CHECK(rng != nullptr);
+  return std::make_unique<E2LshFunction>(dim_, bucket_width_, rng);
+}
+
+double E2LshFamily::CollisionProbability(double r, double w) {
+  IPS_CHECK_GE(r, 0.0);
+  IPS_CHECK_GT(w, 0.0);
+  if (r == 0.0) return 1.0;
+  const double ratio = w / r;
+  return 1.0 - 2.0 * Phi(-ratio) -
+         (2.0 / (std::sqrt(2.0 * std::numbers::pi) * ratio)) *
+             (1.0 - std::exp(-ratio * ratio / 2.0));
+}
+
+}  // namespace ips

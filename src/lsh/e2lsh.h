@@ -1,0 +1,43 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// p-stable LSH for Euclidean distance (Datar-Immorlica-Indyk-Mirrokni,
+// the scheme behind E2LSH): h(x) = floor((<a, x> + b) / w) with Gaussian
+// a and uniform offset b in [0, w). The collision probability for two
+// points at distance r is
+//   p(r) = 1 - 2*Phi(-w/r) - (2r/(sqrt(2 pi) w)) (1 - exp(-w^2/(2 r^2))).
+// Base hash for the L2-ALSH of Shrivastava-Li [45].
+
+#ifndef IPS_LSH_E2LSH_H_
+#define IPS_LSH_E2LSH_H_
+
+#include <cstddef>
+
+#include "lsh/lsh_family.h"
+
+namespace ips {
+
+/// Family of Gaussian-projection bucket hashes with bucket width `w`.
+class E2LshFamily : public LshFamily {
+ public:
+  E2LshFamily(std::size_t dim, double bucket_width);
+
+  std::string Name() const override;
+  std::size_t dim() const override { return dim_; }
+  std::unique_ptr<LshFunction> Sample(Rng* rng) const override;
+  bool IsSymmetric() const override { return true; }
+
+  double bucket_width() const { return bucket_width_; }
+
+  /// Analytic collision probability at Euclidean distance `r > 0` for
+  /// bucket width `w` (1.0 when r == 0).
+  static double CollisionProbability(double r, double w);
+
+ private:
+  std::size_t dim_;
+  double bucket_width_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LSH_E2LSH_H_

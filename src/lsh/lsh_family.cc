@@ -1,0 +1,47 @@
+#include "lsh/lsh_family.h"
+
+#include "util/check.h"
+
+namespace ips {
+
+BernoulliEstimate EstimateCollisionProbability(const LshFamily& family,
+                                               std::span<const double> p,
+                                               std::span<const double> q,
+                                               std::size_t trials, Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  std::size_t collisions = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::unique_ptr<LshFunction> h = family.Sample(rng);
+    if (h->HashData(p) == h->HashQuery(q)) ++collisions;
+  }
+  return EstimateBernoulli(collisions, trials);
+}
+
+ConcatenatedLshFunction::ConcatenatedLshFunction(const LshFamily& family,
+                                                 std::size_t k, Rng* rng) {
+  IPS_CHECK_GE(k, 1u);
+  functions_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) functions_.push_back(family.Sample(rng));
+}
+
+std::uint64_t ConcatenatedLshFunction::HashData(
+    std::span<const double> p) const {
+  std::uint64_t state = 0x8000000080001111ULL;
+  for (const auto& function : functions_) {
+    state ^= function->HashData(p) + 0x9e3779b97f4a7c15ULL + (state << 6) +
+             (state >> 2);
+  }
+  return state;
+}
+
+std::uint64_t ConcatenatedLshFunction::HashQuery(
+    std::span<const double> q) const {
+  std::uint64_t state = 0x8000000080001111ULL;
+  for (const auto& function : functions_) {
+    state ^= function->HashQuery(q) + 0x9e3779b97f4a7c15ULL + (state << 6) +
+             (state >> 2);
+  }
+  return state;
+}
+
+}  // namespace ips

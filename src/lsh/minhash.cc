@@ -1,0 +1,58 @@
+#include "lsh/minhash.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+class MinHashFunction : public SymmetricLshFunction {
+ public:
+  explicit MinHashFunction(Rng* rng) : seed_(rng->NextUint64()) {}
+
+  std::uint64_t HashData(std::span<const double> p) const override {
+    // min over the support of a pseudo-random 64-bit priority per index;
+    // equivalent to a random permutation up to negligible ties.
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] == 0.0) continue;
+      std::uint64_t mixed = seed_ ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      mixed = SplitMix64(mixed);
+      if (mixed < best) best = mixed;
+    }
+    return best;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+MinHashFamily::MinHashFamily(std::size_t dim) : dim_(dim) {
+  IPS_CHECK_GT(dim, 0u);
+}
+
+std::unique_ptr<LshFunction> MinHashFamily::Sample(Rng* rng) const {
+  IPS_CHECK(rng != nullptr);
+  return std::make_unique<MinHashFunction>(rng);
+}
+
+double MinHashFamily::Jaccard(std::span<const double> x,
+                              std::span<const double> y) {
+  IPS_CHECK_EQ(x.size(), y.size());
+  std::size_t intersection = 0;
+  std::size_t unified = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool in_x = x[i] != 0.0;
+    const bool in_y = y[i] != 0.0;
+    if (in_x && in_y) ++intersection;
+    if (in_x || in_y) ++unified;
+  }
+  return unified == 0 ? 0.0
+                      : static_cast<double>(intersection) /
+                            static_cast<double>(unified);
+}
+
+}  // namespace ips

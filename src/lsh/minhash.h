@@ -1,0 +1,37 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// MinHash (minwise hashing) for binary vectors viewed as sets: with a
+// random hash pi over coordinates, h(x) = min_{i : x_i != 0} pi(i).
+// Pr[h(x) = h(y)] = Jaccard(x, y) = |x & y| / |x | y|. Base hash of the
+// asymmetric minwise hashing (MH-ALSH) of Shrivastava-Li [46].
+
+#ifndef IPS_LSH_MINHASH_H_
+#define IPS_LSH_MINHASH_H_
+
+#include <cstddef>
+
+#include "lsh/lsh_family.h"
+
+namespace ips {
+
+/// Family of minwise hashes over the supports of 0/1 vectors.
+class MinHashFamily : public LshFamily {
+ public:
+  explicit MinHashFamily(std::size_t dim);
+
+  std::string Name() const override { return "minhash"; }
+  std::size_t dim() const override { return dim_; }
+  std::unique_ptr<LshFunction> Sample(Rng* rng) const override;
+  bool IsSymmetric() const override { return true; }
+
+  /// Jaccard similarity of the supports of two dense 0/1 vectors.
+  static double Jaccard(std::span<const double> x, std::span<const double> y);
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LSH_MINHASH_H_

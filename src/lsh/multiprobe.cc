@@ -1,0 +1,92 @@
+#include "lsh/multiprobe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+MultiprobeSimHashTables::MultiprobeSimHashTables(const Matrix& data,
+                                                 MultiprobeParams params,
+                                                 Rng* rng)
+    : data_(&data), params_(params), last_seen_(data.rows(), 0) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GE(params.k, 1u);
+  IPS_CHECK_LE(params.k, 63u);
+  IPS_CHECK_GE(params.l, 1u);
+  tables_.resize(params.l);
+  std::vector<double> margins;
+  for (Table& table : tables_) {
+    table.directions = Matrix(params.k, data.cols());
+    for (double& entry : table.directions.data()) {
+      entry = rng->NextGaussian();
+    }
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      const std::uint64_t key =
+          KeyWithMargins(table, data.Row(i), &margins);
+      table.buckets[key].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+std::uint64_t MultiprobeSimHashTables::KeyWithMargins(
+    const Table& table, std::span<const double> q,
+    std::vector<double>* margins) const {
+  IPS_CHECK(margins != nullptr);
+  margins->resize(params_.k);
+  std::uint64_t key = 0;
+  for (std::size_t bit = 0; bit < params_.k; ++bit) {
+    const double projection = Dot(table.directions.Row(bit), q);
+    if (projection >= 0.0) key |= 1ULL << bit;
+    (*margins)[bit] = std::abs(projection);
+  }
+  return key;
+}
+
+std::vector<std::size_t> MultiprobeSimHashTables::Query(
+    std::span<const double> q) const {
+  ++query_epoch_;
+  std::vector<std::size_t> candidates;
+  std::vector<double> margins;
+  std::vector<std::size_t> order(params_.k);
+  for (const Table& table : tables_) {
+    const std::uint64_t key = KeyWithMargins(table, q, &margins);
+    // Probe sequence: the exact key, then single flips of the
+    // least-confident bits, then the pair of the two least-confident --
+    // a margin-greedy prefix of the Lv et al. probing order.
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return margins[a] < margins[b];
+    });
+    std::vector<std::uint64_t> probe_keys;
+    probe_keys.push_back(key);
+    for (std::size_t t = 0;
+         t < order.size() && probe_keys.size() <= params_.probes; ++t) {
+      probe_keys.push_back(key ^ (1ULL << order[t]));
+    }
+    for (std::size_t a = 0;
+         a < order.size() && probe_keys.size() <= params_.probes; ++a) {
+      for (std::size_t b = a + 1;
+           b < order.size() && probe_keys.size() <= params_.probes; ++b) {
+        probe_keys.push_back(key ^ (1ULL << order[a]) ^ (1ULL << order[b]));
+      }
+    }
+    for (const std::uint64_t probe : probe_keys) {
+      const auto it = table.buckets.find(probe);
+      if (it == table.buckets.end()) continue;
+      for (std::uint32_t index : it->second) {
+        if (last_seen_[index] != query_epoch_) {
+          last_seen_[index] = query_epoch_;
+          candidates.push_back(index);
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace ips

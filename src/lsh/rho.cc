@@ -1,0 +1,92 @@
+#include "lsh/rho.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ips {
+
+double RhoFromProbabilities(double p1, double p2) {
+  IPS_CHECK_GT(p1, 0.0);
+  IPS_CHECK_LT(p1, 1.0);
+  IPS_CHECK_GT(p2, 0.0);
+  IPS_CHECK_LT(p2, 1.0);
+  return std::log(p1) / std::log(p2);
+}
+
+double RhoDataDep(double s, double c) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_LE(s, 1.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  return (1.0 - s) / (1.0 + (1.0 - 2.0 * c) * s);
+}
+
+double RhoSimpleLsh(double s, double c) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_LT(s, 1.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  const double p1 = 1.0 - std::acos(s) / std::numbers::pi;
+  const double p2 = 1.0 - std::acos(c * s) / std::numbers::pi;
+  return RhoFromProbabilities(p1, p2);
+}
+
+double RhoMhAlsh(double s, double c) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_LE(s, 1.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  const double p1 = s / (2.0 - s);
+  const double p2 = (c * s) / (2.0 - c * s);
+  return RhoFromProbabilities(p1, p2);
+}
+
+double RhoSphereAnn(double approximation) {
+  IPS_CHECK_GT(approximation, 1.0);
+  return 1.0 / (2.0 * approximation * approximation - 1.0);
+}
+
+namespace {
+
+// E2LSH collision probability at distance r, width w (duplicated from
+// e2lsh.cc's closed form to keep this translation unit header-light).
+double E2Probability(double r, double w) {
+  if (r <= 0.0) return 1.0;
+  const double ratio = w / r;
+  const double phi = 0.5 * std::erfc(ratio / std::numbers::sqrt2);
+  return 1.0 - 2.0 * phi -
+         (2.0 / (std::sqrt(2.0 * std::numbers::pi) * ratio)) *
+             (1.0 - std::exp(-ratio * ratio / 2.0));
+}
+
+}  // namespace
+
+double RhoL2AlshNumeric(double s, double c) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_LE(s, 1.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  double best = 1.0;
+  for (int m = 1; m <= 3; ++m) {
+    const double tail_exponent = std::pow(2.0, m + 1);
+    for (double u = 0.5; u < 0.96; u += 0.05) {
+      const double tail = std::pow(u, tail_exponent);
+      const double near_sq = 1.0 + m / 4.0 - 2.0 * u * s + tail;
+      const double far_sq = 1.0 + m / 4.0 - 2.0 * u * c * s + tail;
+      if (near_sq <= 0.0 || far_sq <= near_sq) continue;
+      const double near = std::sqrt(near_sq);
+      const double far = std::sqrt(far_sq);
+      for (double w = 0.5; w <= 6.0; w += 0.25) {
+        const double p1 = E2Probability(near, w);
+        const double p2 = E2Probability(far, w);
+        if (p1 <= 0.0 || p1 >= 1.0 || p2 <= 0.0 || p2 >= 1.0) continue;
+        best = std::min(best, std::log(p1) / std::log(p2));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ips

@@ -1,0 +1,57 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Analytic rho values (query exponent of the LSH data structure,
+// rho = log P1 / log P2) for the MIPS LSH constructions compared in
+// Figure 2 of the paper. Inner products are normalized: s, cs in (0, 1)
+// are the thresholds relative to the maximum possible product U (data in
+// the unit ball, queries in the radius-U ball).
+
+#ifndef IPS_LSH_RHO_H_
+#define IPS_LSH_RHO_H_
+
+#include <cstddef>
+
+namespace ips {
+
+/// rho = log(p1)/log(p2); requires 0 < p1, p2 < 1. (Well-defined output
+/// even when p1 <= p2, in which case the value is >= 1 and the scheme is
+/// useless but the formula still reports it.)
+double RhoFromProbabilities(double p1, double p2);
+
+/// The paper's Section 4.1 bound (equation (3)) from plugging the
+/// optimal sphere data structure [9] into the dual-ball reduction:
+///   rho = (1 - s) / (1 + (1 - 2c) s).
+/// Labeled DATA-DEP in Figure 2.
+double RhoDataDep(double s, double c);
+
+/// Neyshabur-Srebro SIMPLE-LSH [39]: SimHash collision probabilities
+/// after the sphere lift, p(t) = 1 - acos(t)/pi:
+///   rho = log(1 - acos(s)/pi) / log(1 - acos(cs)/pi).
+/// Labeled SIMP in Figure 2.
+double RhoSimpleLsh(double s, double c);
+
+/// Shrivastava-Li asymmetric minwise hashing [46] for binary vectors,
+/// with data and query weights normalized to the padding weight M:
+/// collision probability of a pair at (normalized) inner product t is
+/// t/(2 - t), so rho = log(s/(2-s)) / log(cs/(2-cs)).
+/// Labeled MH-ALSH in Figure 2 (binary data only).
+double RhoMhAlsh(double s, double c);
+
+/// Balanced LSH exponent for Euclidean ANN on the sphere with distance
+/// threshold r and approximation c' > 1 (the [9] bound
+/// rho = 1/(2 c'^2 - 1)); helper behind RhoDataDep.
+double RhoSphereAnn(double approximation);
+
+/// Numerically optimized rho of the original L2-ALSH of Shrivastava-Li
+/// [45]: data transformed by appending m norm powers at scale u, queries
+/// normalized; both thresholds map to Euclidean distances
+///   dist^2(t) = 1 + m/4 - 2 u t + u^(2^(m+1))
+/// hashed with E2LSH at bucket width w. Returns
+///   min over (m, u, w) of log p(dist(s)) / log p(dist(cs)),
+/// searched over a standard grid (m in {1,2,3}, u, w discretized).
+double RhoL2AlshNumeric(double s, double c);
+
+}  // namespace ips
+
+#endif  // IPS_LSH_RHO_H_

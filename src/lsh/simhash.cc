@@ -1,0 +1,44 @@
+#include "lsh/simhash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+class SimHashFunction : public SymmetricLshFunction {
+ public:
+  SimHashFunction(std::size_t dim, Rng* rng) : direction_(dim) {
+    for (double& entry : direction_) entry = rng->NextGaussian();
+  }
+
+  std::uint64_t HashData(std::span<const double> p) const override {
+    return Dot(direction_, p) >= 0.0 ? 1 : 0;
+  }
+
+ private:
+  std::vector<double> direction_;
+};
+
+}  // namespace
+
+SimHashFamily::SimHashFamily(std::size_t dim) : dim_(dim) {
+  IPS_CHECK_GT(dim, 0u);
+}
+
+std::unique_ptr<LshFunction> SimHashFamily::Sample(Rng* rng) const {
+  IPS_CHECK(rng != nullptr);
+  return std::make_unique<SimHashFunction>(dim_, rng);
+}
+
+double SimHashFamily::CollisionProbability(double cosine) {
+  const double clamped = std::clamp(cosine, -1.0, 1.0);
+  return 1.0 - std::acos(clamped) / std::numbers::pi;
+}
+
+}  // namespace ips

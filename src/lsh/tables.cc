@@ -1,0 +1,83 @@
+#include "lsh/tables.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ips {
+
+LshTableParams LshTableParams::FromGap(std::size_t n, double p1, double p2) {
+  IPS_CHECK_GT(n, 1u);
+  IPS_CHECK_GT(p1, 0.0);
+  IPS_CHECK_LT(p2, 1.0);
+  IPS_CHECK_GT(p2, 0.0);
+  IPS_CHECK_GE(p1, p2);
+  LshTableParams params;
+  const double ln_n = std::log(static_cast<double>(n));
+  params.k = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(ln_n / std::log(1.0 / p2))));
+  const double rho = std::log(p1) / std::log(p2);
+  // Success probability per table is ~p1^k = n^-rho; use 3 n^rho tables
+  // for a constant success probability per query around 1 - e^-3.
+  params.l = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(3.0 * std::pow(static_cast<double>(n), rho))));
+  return params;
+}
+
+LshTables::LshTables(const LshFamily& family, const Matrix& data,
+                     LshTableParams params, Rng* rng)
+    : data_(&data), params_(params), last_seen_(data.rows(), 0) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GE(params.k, 1u);
+  IPS_CHECK_GE(params.l, 1u);
+  IPS_CHECK_EQ(family.dim(), data.cols());
+  tables_.resize(params_.l);
+  for (auto& table : tables_) {
+    table.function =
+        std::make_unique<ConcatenatedLshFunction>(family, params_.k, rng);
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      const std::uint64_t key = table.function->HashData(data.Row(i));
+      table.buckets[key].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+std::vector<std::size_t> LshTables::Query(std::span<const double> q) const {
+  ++query_epoch_;
+  std::vector<std::size_t> candidates;
+  for (const auto& table : tables_) {
+    const std::uint64_t key = table.function->HashQuery(q);
+    const auto it = table.buckets.find(key);
+    if (it == table.buckets.end()) continue;
+    for (std::uint32_t index : it->second) {
+      if (last_seen_[index] != query_epoch_) {
+        last_seen_[index] = query_epoch_;
+        candidates.push_back(index);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+std::size_t LshTables::CountCandidates(std::span<const double> q) const {
+  return Query(q).size();
+}
+
+double LshTables::MeanBucketSize() const {
+  std::size_t total_entries = 0;
+  std::size_t total_buckets = 0;
+  for (const auto& table : tables_) {
+    total_buckets += table.buckets.size();
+    for (const auto& [key, bucket] : table.buckets) {
+      (void)key;
+      total_entries += bucket.size();
+    }
+  }
+  return total_buckets == 0 ? 0.0
+                            : static_cast<double>(total_entries) /
+                                  static_cast<double>(total_buckets);
+}
+
+}  // namespace ips

@@ -1,0 +1,73 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The classic (K, L) LSH index: L hash tables, each keyed by the
+// concatenation of K draws from a family (AND-amplification inside a
+// table, OR-amplification across tables). A query retrieves the union of
+// its L buckets as candidates. With base gap (P1, P2), choosing
+// K = log n / log(1/P2) and L = n^rho gives the usual sublinear search.
+
+#ifndef IPS_LSH_TABLES_H_
+#define IPS_LSH_TABLES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "lsh/lsh_family.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// Amplification parameters of an LSH index.
+struct LshTableParams {
+  /// Number of concatenated hash functions per table (AND).
+  std::size_t k = 4;
+  /// Number of tables (OR).
+  std::size_t l = 8;
+
+  /// Standard theory-driven choice: k = ceil(ln n / ln(1/p2)),
+  /// l = ceil(n^rho) with rho = ln p1 / ln p2.
+  static LshTableParams FromGap(std::size_t n, double p1, double p2);
+};
+
+/// L hash tables over a fixed data matrix.
+class LshTables {
+ public:
+  /// Builds the index. `family` must outlive the index; `data` is
+  /// referenced, not copied, and must outlive the index as well.
+  LshTables(const LshFamily& family, const Matrix& data,
+            LshTableParams params, Rng* rng);
+
+  /// Indices of data rows sharing at least one bucket with `q`
+  /// (deduplicated, ascending).
+  std::vector<std::size_t> Query(std::span<const double> q) const;
+
+  /// Number of candidates Query would return, without materializing them.
+  std::size_t CountCandidates(std::span<const double> q) const;
+
+  const LshTableParams& params() const { return params_; }
+
+  /// Average bucket occupancy across tables (diagnostic).
+  double MeanBucketSize() const;
+
+ private:
+  struct Table {
+    std::unique_ptr<ConcatenatedLshFunction> function;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  };
+
+  const Matrix* data_;
+  LshTableParams params_;
+  std::vector<Table> tables_;
+  // Scratch for deduplication, sized rows(); mutable per-query state.
+  mutable std::vector<std::uint32_t> last_seen_;
+  mutable std::uint32_t query_epoch_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_LSH_TABLES_H_

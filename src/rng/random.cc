@@ -1,0 +1,110 @@
+#include "rng/random.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  IPS_CHECK_GT(bound, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  IPS_CHECK_LE(lo, hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<std::int64_t>(NextUint64());
+  }
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] avoids log(0).
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_gaussian_ = radius * std::sin(angle);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::NextExponential() {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u);
+}
+
+double Rng::NextCauchy() {
+  // Inverse CDF: tan(pi*(u - 1/2)). Reject u==0.5 exactly? tan(0)=0 is fine;
+  // reject endpoints where tan diverges.
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0 || u >= 1.0);
+  return std::tan(std::numbers::pi * (u - 0.5));
+}
+
+int Rng::NextSign() { return (NextUint64() & 1ULL) ? 1 : -1; }
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Split() { return Rng(NextUint64() ^ 0x5851f42d4c957f2dULL); }
+
+void Rng::Permutation(std::size_t n, std::vector<std::size_t>* out) {
+  IPS_CHECK(out != nullptr);
+  out->resize(n);
+  for (std::size_t i = 0; i < n; ++i) (*out)[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(NextBounded(i));
+    std::swap((*out)[i - 1], (*out)[j]);
+  }
+}
+
+}  // namespace ips

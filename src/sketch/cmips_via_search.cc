@@ -1,0 +1,34 @@
+#include "sketch/cmips_via_search.h"
+
+#include <cmath>
+#include <vector>
+
+#include "sketch/sketch_mips.h"
+#include "util/check.h"
+
+namespace ips {
+
+CmipsResult SolveCmipsViaSearch(const UnsignedSearchOracle& oracle,
+                                std::span<const double> query, double s,
+                                double c, double gamma) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(gamma, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  const std::size_t max_steps = CmipsQueryScalingSteps(s, c, gamma);
+  CmipsResult result;
+  std::vector<double> scaled(query.begin(), query.end());
+  const double inv_c = 1.0 / c;
+  for (std::size_t step = 0; step <= max_steps; ++step) {
+    ++result.probes;
+    const auto found = oracle(scaled);
+    if (found.has_value()) {
+      result.index = found;
+      return result;
+    }
+    for (double& v : scaled) v *= inv_c;
+  }
+  return result;
+}
+
+}  // namespace ips

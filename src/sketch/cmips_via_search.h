@@ -1,0 +1,52 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The Section 4.3 remark, made concrete: a data structure for unsigned
+// (cs, s) *search* solves unsigned c-MIPS by scaling the query up,
+// probing with q / c^i for i = 0, 1, ..., ceil(log_{1/c}(s / gamma)),
+// until the threshold fires; gamma is the smallest inner product worth
+// distinguishing (e.g. machine precision, or a known lower bound on the
+// maximum). The first scale at which the search answers yields a point
+// within factor c of the maximum.
+
+#ifndef IPS_SKETCH_CMIPS_VIA_SEARCH_H_
+#define IPS_SKETCH_CMIPS_VIA_SEARCH_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// An unsigned (cs, s)-search oracle: given a query, returns the index
+/// of some data point p with |p^T q| >= c*s if one with |p^T q| >= s
+/// exists (may return nullopt otherwise). The thresholds (s, c) are
+/// fixed at oracle construction.
+using UnsignedSearchOracle =
+    std::function<std::optional<std::size_t>(std::span<const double> query)>;
+
+/// Result of the scaling reduction.
+struct CmipsResult {
+  std::optional<std::size_t> index;
+  /// Number of oracle probes performed (= scaling steps + 1 when found).
+  std::size_t probes = 0;
+};
+
+/// Solves unsigned c-MIPS with an unsigned (cs, s)-search oracle: probes
+/// q / c^i for growing i until the oracle answers. Requires the promise
+/// max_p |p^T q| >= gamma > 0.
+///
+/// Correctness sketch: probing with q' = q / c^i multiplies every inner
+/// product by c^-i; the first i at which some product reaches s yields,
+/// via the (cs, s) guarantee, a point scoring >= c*s in the scaled
+/// space, i.e. within factor c of the true maximum in the original
+/// space (up to the threshold granularity).
+CmipsResult SolveCmipsViaSearch(const UnsignedSearchOracle& oracle,
+                                std::span<const double> query, double s,
+                                double c, double gamma);
+
+}  // namespace ips
+
+#endif  // IPS_SKETCH_CMIPS_VIA_SEARCH_H_

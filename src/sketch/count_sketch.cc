@@ -1,0 +1,30 @@
+#include "sketch/count_sketch.h"
+
+#include "util/check.h"
+
+namespace ips {
+
+CountSketch::CountSketch(std::size_t input_dim, std::size_t num_buckets,
+                         Rng* rng)
+    : num_buckets_(num_buckets),
+      buckets_(input_dim),
+      signs_(input_dim) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(input_dim, 0u);
+  IPS_CHECK_GT(num_buckets, 0u);
+  for (std::size_t j = 0; j < input_dim; ++j) {
+    buckets_[j] = static_cast<std::uint32_t>(rng->NextBounded(num_buckets));
+    signs_[j] = rng->NextSign() > 0 ? 1.0 : -1.0;
+  }
+}
+
+std::vector<double> CountSketch::Apply(std::span<const double> x) const {
+  IPS_CHECK_EQ(x.size(), buckets_.size());
+  std::vector<double> out(num_buckets_, 0.0);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[buckets_[j]] += signs_[j] * x[j];
+  }
+  return out;
+}
+
+}  // namespace ips

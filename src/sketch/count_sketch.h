@@ -1,0 +1,49 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// CountSketch (Charikar-Chen-Farach-Colton): the linear map
+// (Sx)_b = sum_{j : h(j) = b} sigma_j x_j with a pairwise hash h into m
+// buckets and random signs sigma. Preserves individual heavy coordinates
+// up to noise ||x||_2 / sqrt(m). Inner building block of the
+// max-stability ell_kappa sketch (sketch/max_stability.h).
+
+#ifndef IPS_SKETCH_COUNT_SKETCH_H_
+#define IPS_SKETCH_COUNT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace ips {
+
+/// One sampled CountSketch matrix S in {-1,0,+1}^(m x n), stored as the
+/// bucket/sign assignment of each input coordinate.
+class CountSketch {
+ public:
+  /// Sketch from `input_dim` coordinates into `num_buckets` buckets.
+  CountSketch(std::size_t input_dim, std::size_t num_buckets, Rng* rng);
+
+  std::size_t input_dim() const { return buckets_.size(); }
+  std::size_t num_buckets() const { return num_buckets_; }
+
+  /// y = S x.
+  std::vector<double> Apply(std::span<const double> x) const;
+
+  /// Bucket of coordinate j.
+  std::size_t bucket(std::size_t j) const { return buckets_[j]; }
+
+  /// Sign of coordinate j (+1/-1).
+  double sign(std::size_t j) const { return signs_[j]; }
+
+ private:
+  std::size_t num_buckets_;
+  std::vector<std::uint32_t> buckets_;
+  std::vector<double> signs_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SKETCH_COUNT_SKETCH_H_

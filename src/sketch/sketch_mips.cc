@@ -1,0 +1,125 @@
+#include "sketch/sketch_mips.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+SketchMipsIndex::SketchMipsIndex(const Matrix& data,
+                                 const SketchMipsParams& params, Rng* rng)
+    : data_(&data), params_(params) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(data.rows(), 0u);
+  IPS_CHECK_GE(params.kappa, 2.0);
+  IPS_CHECK_GE(params.leaf_size, 1u);
+  root_ = BuildNode(0, data.rows(), rng);
+}
+
+int SketchMipsIndex::BuildNode(std::size_t begin, std::size_t end, Rng* rng) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].begin = begin;
+  nodes_[index].end = end;
+  const std::size_t size = end - begin;
+  if (size > params_.leaf_size) {
+    MaxStabilityParams sketch_params;
+    sketch_params.kappa = params_.kappa;
+    sketch_params.copies = params_.copies;
+    sketch_params.bucket_multiplier = params_.bucket_multiplier;
+    auto sketch = std::make_unique<MaxStabilitySketch>(size, sketch_params,
+                                                       rng);
+    Matrix sketched = sketch->SketchDataMatrix(*data_, begin, end);
+    total_sketch_rows_ += sketched.rows();
+    nodes_[index].sketch = std::move(sketch);
+    nodes_[index].sketched_rows = std::move(sketched);
+    const std::size_t mid = begin + size / 2;
+    // Note: recursive calls may reallocate nodes_; do not hold references.
+    const int left = BuildNode(begin, mid, rng);
+    const int right = BuildNode(mid, end, rng);
+    nodes_[index].left = left;
+    nodes_[index].right = right;
+  }
+  return index;
+}
+
+std::size_t SketchMipsIndex::RootSketchRows() const {
+  return nodes_[root_].sketched_rows.rows();
+}
+
+double SketchMipsIndex::EstimateNode(const Node& node,
+                                     std::span<const double> q) const {
+  if (node.sketch == nullptr) {
+    // Leaf: the range is small, answer exactly.
+    double best = 0.0;
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      best = std::max(best, std::abs(Dot(data_->Row(i), q)));
+    }
+    return best;
+  }
+  std::vector<double> sketched_products(node.sketched_rows.rows());
+  for (std::size_t r = 0; r < node.sketched_rows.rows(); ++r) {
+    sketched_products[r] = Dot(node.sketched_rows.Row(r), q);
+  }
+  return node.sketch->EstimateFromSketch(sketched_products);
+}
+
+double SketchMipsIndex::EstimateMaxAbsInnerProduct(
+    std::span<const double> q) const {
+  const Node& root = nodes_[root_];
+  if (root.sketch == nullptr) {
+    // Tiny dataset: the root is a leaf; answer exactly.
+    double best = 0.0;
+    for (std::size_t i = root.begin; i < root.end; ++i) {
+      best = std::max(best, std::abs(Dot(data_->Row(i), q)));
+    }
+    return best;
+  }
+  return EstimateNode(root, q);
+}
+
+std::size_t SketchMipsIndex::RecoverArgmax(std::span<const double> q) const {
+  int current = root_;
+  for (;;) {
+    const Node& node = nodes_[current];
+    if (node.sketch == nullptr) {
+      // Leaf: exact scan of the small range.
+      std::size_t best_index = node.begin;
+      double best_value = -1.0;
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        const double value = std::abs(Dot(data_->Row(i), q));
+        if (value > best_value) {
+          best_value = value;
+          best_index = i;
+        }
+      }
+      return best_index;
+    }
+    const double left_estimate = EstimateNode(nodes_[node.left], q);
+    const double right_estimate = EstimateNode(nodes_[node.right], q);
+    current = left_estimate >= right_estimate ? node.left : node.right;
+  }
+}
+
+std::size_t SketchMipsIndex::UnsignedSearch(std::span<const double> q,
+                                            double s, double c) const {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  const std::size_t candidate = RecoverArgmax(q);
+  const double value = std::abs(Dot(data_->Row(candidate), q));
+  return value >= c * s ? candidate : num_points();
+}
+
+std::size_t CmipsQueryScalingSteps(double s, double c, double gamma) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(gamma, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  if (gamma >= s) return 0;
+  return static_cast<std::size_t>(
+      std::ceil(std::log(s / gamma) / std::log(1.0 / c)));
+}
+
+}  // namespace ips

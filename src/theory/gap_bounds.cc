@@ -1,0 +1,64 @@
+#include "theory/gap_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "theory/lemma4.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+std::size_t AtLeastTwo(double value) {
+  return static_cast<std::size_t>(std::max(2.0, std::floor(value)));
+}
+
+}  // namespace
+
+std::size_t Case1SequenceLength(std::size_t d, double U, double s, double c) {
+  IPS_CHECK_GE(d, 1u);
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  const double planes = d == 1 ? 1.0 : static_cast<double>(d) / 2.0;
+  const double steps = std::log(U / s) / std::log(1.0 / c);
+  return AtLeastTwo(planes * steps);
+}
+
+std::size_t Case2SequenceLength(std::size_t d, double U, double s, double c) {
+  IPS_CHECK_GE(d, 2u);
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  const double planes = static_cast<double>(d) / 2.0;
+  const double steps = std::sqrt(U / (s * (1.0 - c)));
+  return AtLeastTwo(planes * steps);
+}
+
+std::size_t Case3SequenceLength(double U, double s) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GE(U, 8.0 * s);
+  const double levels = std::floor(std::sqrt(U / (8.0 * s)));
+  IPS_CHECK_LT(levels, 63.0) << "case 3 sequence length overflows";
+  return (1ULL << static_cast<std::size_t>(levels)) - 1;
+}
+
+double Case1GapBound(std::size_t d, double U, double s, double c) {
+  return Lemma4GapBound(Case1SequenceLength(d, U, s, c));
+}
+
+double Case2GapBound(std::size_t d, double U, double s, double c) {
+  return Lemma4GapBound(Case2SequenceLength(d, U, s, c));
+}
+
+double Case3GapBound(double U, double s) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GE(U, 8.0 * s);
+  // The sequence has length 2^levels - 1, so Lemma 4 gives essentially
+  // 1/(8 levels) = Theta(sqrt(s/U)); computed directly because 2^levels
+  // overflows any integer type long before U gets interesting.
+  const double levels = std::floor(std::sqrt(U / (8.0 * s)));
+  return 1.0 / (8.0 * std::max(1.0, levels));
+}
+
+}  // namespace ips

@@ -1,0 +1,41 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Closed-form Theorem 3 upper bounds on the collision gap P1 - P2 of any
+// (s, cs, P1, P2)-asymmetric LSH for IPS with data in the unit ball and
+// queries in the radius-U ball. Each bound is Lemma 4's 1/(8 log n)
+// instantiated with the length n of the corresponding hard sequence
+// construction; all three vanish as U -> infinity, which is the
+// impossibility of asymmetric LSH for unbounded queries.
+
+#ifndef IPS_THEORY_GAP_BOUNDS_H_
+#define IPS_THEORY_GAP_BOUNDS_H_
+
+#include <cstddef>
+
+namespace ips {
+
+/// Length of the case 1 staircase: Theta(d log_{1/c}(U/s)).
+std::size_t Case1SequenceLength(std::size_t d, double U, double s, double c);
+
+/// Length of the case 2 staircase: Theta(d sqrt(U/(s(1-c)))).
+std::size_t Case2SequenceLength(std::size_t d, double U, double s, double c);
+
+/// Length of the case 3 staircase: 2^floor(sqrt(U/(8s))) - 1.
+std::size_t Case3SequenceLength(double U, double s);
+
+/// Theorem 3 case 1 gap bound: O(1 / log(d log_{1/c}(U/s))); valid for
+/// signed and unsigned IPS when d >= 1 and s <= min(cU, U/(4 sqrt(d))).
+double Case1GapBound(std::size_t d, double U, double s, double c);
+
+/// Theorem 3 case 2 gap bound: O(1 / log(d U / (s (1-c)))); signed IPS
+/// only, d >= 2, s <= U/(2d).
+double Case2GapBound(std::size_t d, double U, double s, double c);
+
+/// Theorem 3 case 3 gap bound: O(sqrt(s/U)); signed and unsigned,
+/// requires d = Omega(U^5 / (c^2 s^5)).
+double Case3GapBound(double U, double s);
+
+}  // namespace ips
+
+#endif  // IPS_THEORY_GAP_BOUNDS_H_

@@ -1,0 +1,291 @@
+#include "theory/hard_sequences.h"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "codes/incoherent.h"
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+}  // namespace
+
+HardSequences MakeCase1Sequences(std::size_t d, double U, double s,
+                                 double c) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  IPS_CHECK_GE(U, 1.0);
+  IPS_CHECK(d == 1 || d % 2 == 0) << "case 1 needs d = 1 or even d";
+  HardSequences out;
+  out.s = s;
+  out.c = c;
+  out.U = U;
+  out.unsigned_valid = true;  // all staircase inner products non-negative
+
+  const double log_inv_c = std::log(1.0 / c);
+  if (d == 1) {
+    IPS_CHECK_LE(s, U);
+    // p_j = s/(U c^j) needs c^j >= s/U.
+    const std::size_t m = static_cast<std::size_t>(
+                              std::floor(std::log(U / s) / log_inv_c)) +
+                          1;
+    Matrix data(m, 1);
+    Matrix queries(m, 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      queries.At(i, 0) = U * std::pow(c, static_cast<double>(i));
+      data.At(i, 0) = s / (U * std::pow(c, static_cast<double>(i)));
+    }
+    out.data = std::move(data);
+    out.queries = std::move(queries);
+    return out;
+  }
+
+  IPS_CHECK_LE(s, c * U) << "case 1 needs s <= cU";
+  IPS_CHECK_LE(s, U / (4.0 * std::sqrt(static_cast<double>(d))))
+      << "case 1 needs s <= U/(4 sqrt(d))";
+  const std::size_t planes = d / 2;
+  // Drop the first i0 indices so U^2 c^(2 i0) <= U^2 / e (the proof's
+  // removal of the queries that would land in the 2U ball).
+  const std::size_t i0 =
+      static_cast<std::size_t>(std::ceil(0.5 / log_inv_c));
+  // p_(j,k) has coordinates s/(U c^j) and 1/2; unit norm needs
+  // (s c^-j / U)^2 <= 3/4.
+  const double j_limit =
+      std::log(std::sqrt(3.0) * U / (2.0 * s)) / log_inv_c;
+  IPS_CHECK_GE(j_limit, static_cast<double>(i0))
+      << "case 1 parameters leave an empty staircase";
+  const std::size_t j_max = static_cast<std::size_t>(std::floor(j_limit));
+  const std::size_t m = j_max - i0 + 1;
+  const std::size_t n = m * planes;
+
+  Matrix data(n, d);
+  Matrix queries(n, d);
+  for (std::size_t k = 0; k < planes; ++k) {
+    for (std::size_t step = 0; step < m; ++step) {
+      const double exponent = static_cast<double>(i0 + step);
+      const std::size_t row = k * m + step;
+      // Query q_(i,k): U c^i on axis 2k, 2s on the odd axes at and after
+      // the block.
+      queries.At(row, 2 * k) = U * std::pow(c, exponent);
+      for (std::size_t t = k; t < planes; ++t) {
+        queries.At(row, 2 * t + 1) = 2.0 * s;
+      }
+      // Data p_(j,k): s/(U c^j) on axis 2k, 1/2 on axis 2k-1 (k > 0).
+      data.At(row, 2 * k) = s / (U * std::pow(c, exponent));
+      if (k > 0) data.At(row, 2 * k - 1) = 0.5;
+    }
+  }
+  out.data = std::move(data);
+  out.queries = std::move(queries);
+  return out;
+}
+
+HardSequences MakeCase2Sequences(std::size_t d, double U, double s,
+                                 double c) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  IPS_CHECK_GE(U, 1.0);
+  IPS_CHECK(d >= 2 && d % 2 == 0) << "case 2 needs even d >= 2";
+  IPS_CHECK_LE(s, U / (2.0 * static_cast<double>(d)))
+      << "case 2 needs s <= U/(2d)";
+  HardSequences out;
+  out.s = s;
+  out.c = c;
+  out.U = U;
+  out.unsigned_valid = false;  // below-diagonal products can be very negative
+
+  const std::size_t planes = d / 2;
+  const double one_minus_c = 1.0 - c;
+  // Unit data norm: s/U + j^2 s(1-c)/U <= 1.
+  const double j_limit =
+      std::sqrt((1.0 - s / U) * U / (s * one_minus_c));
+  // Query norm (worst block k = 0):
+  // sU (1-(1-c)i)^2 + sU(1-c) + sU(planes-1) <= U^2.
+  const double remainder =
+      U / s - one_minus_c - static_cast<double>(planes - 1);
+  IPS_CHECK_GE(remainder, 1.0) << "case 2 parameters out of range";
+  const double i_limit = (1.0 + std::sqrt(remainder)) / one_minus_c;
+  const std::size_t m =
+      static_cast<std::size_t>(std::floor(std::min(j_limit, i_limit))) + 1;
+  IPS_CHECK_GE(m, 1u);
+  const std::size_t n = m * planes;
+
+  Matrix data(n, d);
+  Matrix queries(n, d);
+  const double sqrt_su = std::sqrt(s * U);
+  for (std::size_t k = 0; k < planes; ++k) {
+    for (std::size_t step = 0; step < m; ++step) {
+      const std::size_t row = k * m + step;
+      const double index = static_cast<double>(step);
+      queries.At(row, 2 * k) = sqrt_su * (1.0 - one_minus_c * index);
+      queries.At(row, 2 * k + 1) = std::sqrt(s * U * one_minus_c);
+      for (std::size_t t = k + 1; t < planes; ++t) {
+        queries.At(row, 2 * t) = sqrt_su;
+      }
+      data.At(row, 2 * k) = std::sqrt(s / U);
+      data.At(row, 2 * k + 1) = index * std::sqrt(s * one_minus_c / U);
+    }
+  }
+  out.data = std::move(data);
+  out.queries = std::move(queries);
+  return out;
+}
+
+HardSequences MakeCase3Sequences(double U, double s, double c,
+                                 IncoherentKind kind, Rng* rng) {
+  IPS_CHECK_GT(s, 0.0);
+  IPS_CHECK_GT(c, 0.0);
+  IPS_CHECK_LT(c, 1.0);
+  IPS_CHECK_GE(U, 1.0);
+  IPS_CHECK_LE(s, U / 8.0) << "case 3 needs s <= U/8";
+  const std::size_t levels =
+      static_cast<std::size_t>(std::floor(std::sqrt(U / (8.0 * s))));
+  IPS_CHECK_GE(levels, 1u);
+  const std::size_t n = (1ULL << levels) - 1;
+  const double epsilon =
+      c / (2.0 * static_cast<double>(levels) * static_cast<double>(levels));
+  // Tree nodes: prefixes of length 1..levels; prefix (t, v) has index
+  // (2^t - 2) + v.
+  const std::size_t num_nodes = (1ULL << (levels + 1)) - 2;
+
+  // A callback adding scale * z_node into an accumulator; the orthonormal
+  // family is handled implicitly (z_node = e_node) so that large level
+  // counts never materialize a dense identity matrix.
+  std::size_t dim = 0;
+  std::function<void(std::size_t, double, std::vector<double>*)> add_node;
+  Matrix family;  // dense node vectors for the non-trivial kinds
+  switch (kind) {
+    case IncoherentKind::kOrthonormal: {
+      dim = num_nodes;
+      add_node = [](std::size_t node, double scale,
+                    std::vector<double>* out) { (*out)[node] += scale; };
+      break;
+    }
+    case IncoherentKind::kReedSolomon: {
+      const RsIncoherentFamily rs(num_nodes, epsilon);
+      for (std::size_t i = 0; i < num_nodes; ++i) {
+        family.AppendRow(rs.Vector(i));
+      }
+      dim = family.cols();
+      break;
+    }
+    case IncoherentKind::kRandom: {
+      IPS_CHECK(rng != nullptr) << "kRandom needs an Rng";
+      const RandomIncoherentFamily random(num_nodes, epsilon, rng);
+      for (std::size_t i = 0; i < num_nodes; ++i) {
+        std::span<const double> row = random.Vector(i);
+        family.AppendRow(row);
+      }
+      dim = family.cols();
+      break;
+    }
+  }
+  if (!add_node) {
+    add_node = [&family](std::size_t node, double scale,
+                         std::vector<double>* out) {
+      const std::span<const double> z = family.Row(node);
+      for (std::size_t t = 0; t < z.size(); ++t) (*out)[t] += scale * z[t];
+    };
+  }
+
+  const auto node_index = [&](std::size_t prefix_len, std::size_t value) {
+    return ((1ULL << prefix_len) - 2) + value;
+  };
+  // p(r): sum of z over r's own 1-bit prefixes, scaled by sqrt(2s/U).
+  const auto build_data = [&](std::size_t r) {
+    std::vector<double> v(dim, 0.0);
+    const double scale = std::sqrt(2.0 * s / U);
+    for (std::size_t level = 0; level < levels; ++level) {
+      const std::size_t prefix = r >> (levels - 1 - level);
+      if ((prefix & 1ULL) == 0) continue;  // bit at this level is 0
+      add_node(node_index(level + 1, prefix), scale, &v);
+    }
+    return v;
+  };
+  // q(r): sum of z over the flipped-to-1 siblings of r's 0 bits, scaled
+  // by sqrt(2sU).
+  const auto build_query = [&](std::size_t r) {
+    std::vector<double> v(dim, 0.0);
+    const double scale = std::sqrt(2.0 * s * U);
+    for (std::size_t level = 0; level < levels; ++level) {
+      const std::size_t prefix = r >> (levels - 1 - level);
+      if ((prefix & 1ULL) == 1) continue;  // bit at this level is 1
+      add_node(node_index(level + 1, prefix | 1ULL), scale, &v);
+    }
+    return v;
+  };
+
+  HardSequences out;
+  out.s = s;
+  out.c = c;
+  out.U = U;
+  out.unsigned_valid = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.queries.AppendRow(build_query(i));
+    // Shift the data index by one: the staircase needs the diagonal pair
+    // (i, i) to score >= s, which requires a strict bit difference.
+    out.data.AppendRow(build_data(i + 1));
+  }
+  return out;
+}
+
+HardSequences TrimSequences(const HardSequences& sequences,
+                            std::size_t length) {
+  IPS_CHECK_LE(length, sequences.data.rows());
+  HardSequences out;
+  out.s = sequences.s;
+  out.c = sequences.c;
+  out.U = sequences.U;
+  out.unsigned_valid = sequences.unsigned_valid;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.data.AppendRow(sequences.data.Row(i));
+    out.queries.AppendRow(sequences.queries.Row(i));
+  }
+  return out;
+}
+
+SequenceCheck VerifyHardSequences(const HardSequences& sequences) {
+  SequenceCheck check;
+  const Matrix& p = sequences.data;
+  const Matrix& q = sequences.queries;
+  IPS_CHECK_EQ(p.rows(), q.rows());
+  const double cs = sequences.c * sequences.s;
+
+  check.staircase_ok = true;
+  check.unsigned_ok = true;
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    for (std::size_t j = 0; j < p.rows(); ++j) {
+      const double value = Dot(q.Row(i), p.Row(j));
+      const bool lower = j >= i;
+      const bool signed_ok = lower ? value >= sequences.s - kTolerance
+                                   : value <= cs + kTolerance;
+      const bool unsigned_ok =
+          lower ? std::abs(value) >= sequences.s - kTolerance
+                : std::abs(value) <= cs + kTolerance;
+      if (!signed_ok) {
+        check.staircase_ok = false;
+        ++check.violations;
+      }
+      if (!unsigned_ok) check.unsigned_ok = false;
+    }
+  }
+  for (std::size_t j = 0; j < p.rows(); ++j) {
+    check.max_data_norm = std::max(check.max_data_norm, Norm(p.Row(j)));
+  }
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    check.max_query_norm = std::max(check.max_query_norm, Norm(q.Row(i)));
+  }
+  check.norms_ok = check.max_data_norm <= 1.0 + kTolerance &&
+                   check.max_query_norm <= sequences.U + kTolerance;
+  return check;
+}
+
+}  // namespace ips

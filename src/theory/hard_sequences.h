@@ -1,0 +1,89 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The three hard data/query sequence constructions of Theorem 3. Each
+// produces sequences P = {p_0..p_{n-1}} (unit ball) and Q = {q_0..q_{n-1}}
+// (radius-U ball) with the *staircase* property of Lemma 4:
+//   q_i^T p_j >= s   when j >= i, and
+//   q_i^T p_j <= cs  when j <  i
+// (with absolute values for the unsigned variants). Plugged into the
+// Lemma 4 grid argument, any (s, cs, P1, P2)-asymmetric LSH must then
+// have P1 - P2 <= 1/(8 log n); longer sequences mean stronger bounds.
+//
+//  * Case 1 (signed & unsigned): geometric sequences on d/2 orthogonal
+//    planes, n = Theta(d log_{1/c}(U/s)); requires s <= min(cU, U/(4 sqrt(d))).
+//  * Case 2 (signed only): arithmetic staircases on d/2 planes,
+//    n = Theta(d sqrt(U / (s(1-c)))); requires s <= U/(2d), d >= 2.
+//  * Case 3 (signed & unsigned): binary-tree sums over an incoherent
+//    family, n = 2^floor(sqrt(U/(8s))) - 1; the data sequence is shifted
+//    by one index so the diagonal pairs also satisfy the >= s promise.
+
+#ifndef IPS_THEORY_HARD_SEQUENCES_H_
+#define IPS_THEORY_HARD_SEQUENCES_H_
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "rng/random.h"
+
+namespace ips {
+
+/// A staircase pair of sequences with its parameters.
+struct HardSequences {
+  Matrix data;     // rows p_j, all with ||p_j|| <= 1
+  Matrix queries;  // rows q_i, all with ||q_i|| <= U
+  double s = 0.0;
+  double c = 0.0;
+  double U = 1.0;
+  /// True when |q_i^T p_j| also satisfies the staircase property, so the
+  /// sequences witness the bound for unsigned IPS too.
+  bool unsigned_valid = false;
+};
+
+/// Theorem 3 case 1. `d` must be 1 or even; requires
+/// s <= min(c U, U / (4 sqrt(d))) and produces a nonempty staircase.
+HardSequences MakeCase1Sequences(std::size_t d, double U, double s, double c);
+
+/// Theorem 3 case 2 (signed IPS only). `d` must be even and >= 2;
+/// requires s <= U / (2 d).
+HardSequences MakeCase2Sequences(std::size_t d, double U, double s, double c);
+
+/// Which incoherent family backs the case 3 construction.
+enum class IncoherentKind {
+  /// Standard basis vectors: coherence 0, dimension = family size.
+  kOrthonormal,
+  /// Deterministic Reed-Solomon family (Nelson-Nguyen-Woodruff [38]).
+  kReedSolomon,
+  /// Normalized Gaussian vectors (Johnson-Lindenstrauss), needs `rng`.
+  kRandom,
+};
+
+/// Theorem 3 case 3. Sequence length n = 2^L - 1 with
+/// L = floor(sqrt(U / (8 s))); requires L >= 1 (i.e. s <= U/8) and the
+/// incoherence epsilon = c / (2 L^2).
+HardSequences MakeCase3Sequences(double U, double s, double c,
+                                 IncoherentKind kind, Rng* rng = nullptr);
+
+/// Result of checking a HardSequences object against its own promise.
+struct SequenceCheck {
+  bool staircase_ok = false;   // signed staircase property
+  bool unsigned_ok = false;    // staircase property on |q^T p|
+  bool norms_ok = false;       // data in unit ball, queries in U-ball
+  std::size_t violations = 0;  // number of violated (i, j) pairs
+  double max_data_norm = 0.0;
+  double max_query_norm = 0.0;
+};
+
+/// Exhaustive O(n^2) verification of the staircase property and norms.
+SequenceCheck VerifyHardSequences(const HardSequences& sequences);
+
+/// Keeps only the first `length` entries of both sequences. Any prefix
+/// of a staircase is a staircase, so the promise is preserved. Useful
+/// for the Lemma 4 machinery, which wants length exactly 2^ell - 1.
+HardSequences TrimSequences(const HardSequences& sequences,
+                            std::size_t length);
+
+}  // namespace ips
+
+#endif  // IPS_THEORY_HARD_SEQUENCES_H_

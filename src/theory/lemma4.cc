@@ -1,0 +1,92 @@
+#include "theory/lemma4.h"
+
+#include <cmath>
+#include <memory>
+
+#include "util/check.h"
+
+namespace ips {
+
+std::vector<GridSquare> LowerTrianglePartition(std::size_t ell) {
+  IPS_CHECK_GE(ell, 1u);
+  std::vector<GridSquare> squares;
+  for (std::size_t r = 0; r < ell; ++r) {
+    const std::size_t count = 1ULL << (ell - r - 1);
+    for (std::size_t s = 0; s < count; ++s) {
+      GridSquare square;
+      square.r = r;
+      square.s = s;
+      square.side = 1ULL << r;
+      square.anchor = (2 * s + 1) * square.side - 1;
+      squares.push_back(square);
+    }
+  }
+  return squares;
+}
+
+bool SquareContains(const GridSquare& square, std::size_t i, std::size_t j) {
+  // Rows run upward from the anchor, columns rightward: G_{r,s} holds
+  // nodes with i in (anchor - side, anchor] and j in [anchor,
+  // anchor + side).
+  const std::size_t lo_row = square.anchor + 1 - square.side;
+  return i >= lo_row && i <= square.anchor && j >= square.anchor &&
+         j < square.anchor + square.side;
+}
+
+double Lemma4GapBound(std::size_t n) {
+  IPS_CHECK_GE(n, 2u);
+  return 1.0 / (8.0 * std::log2(static_cast<double>(n)));
+}
+
+CollisionMatrix::CollisionMatrix(const LshFamily& family,
+                                 const HardSequences& sequences,
+                                 std::size_t samples, Rng* rng)
+    : probabilities_(sequences.queries.rows(), sequences.data.rows()) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(samples, 0u);
+  const Matrix& queries = sequences.queries;
+  const Matrix& data = sequences.data;
+  std::vector<std::uint64_t> query_hashes(queries.rows());
+  std::vector<std::uint64_t> data_hashes(data.rows());
+  for (std::size_t sample = 0; sample < samples; ++sample) {
+    const std::unique_ptr<LshFunction> h = family.Sample(rng);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      query_hashes[i] = h->HashQuery(queries.Row(i));
+    }
+    for (std::size_t j = 0; j < data.rows(); ++j) {
+      data_hashes[j] = h->HashData(data.Row(j));
+    }
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      for (std::size_t j = 0; j < data.rows(); ++j) {
+        if (query_hashes[i] == data_hashes[j]) {
+          probabilities_.At(i, j) += 1.0;
+        }
+      }
+    }
+  }
+  for (double& value : probabilities_.data()) {
+    value /= static_cast<double>(samples);
+  }
+}
+
+double CollisionMatrix::EmpiricalP1() const {
+  double p1 = 1.0;
+  for (std::size_t i = 0; i < probabilities_.rows(); ++i) {
+    for (std::size_t j = i; j < probabilities_.cols(); ++j) {
+      p1 = std::min(p1, probabilities_.At(i, j));
+    }
+  }
+  return p1;
+}
+
+double CollisionMatrix::EmpiricalP2() const {
+  double p2 = 0.0;
+  for (std::size_t i = 1; i < probabilities_.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      p2 = std::max(p2, probabilities_.At(i, j));
+    }
+  }
+  return p2;
+}
+
+}  // namespace ips

@@ -1,0 +1,75 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The Lemma 4 machinery (and Figure 1): the exponential partition of the
+// lower triangle of the n x n collision grid into squares G_{r,s}, and
+// the empirical verifier that measures the collision-probability gap
+// P1 - P2 of a concrete (A)LSH family on staircase sequences, comparing
+// it to the lemma's 1/(8 log n) upper bound.
+
+#ifndef IPS_THEORY_LEMMA4_H_
+#define IPS_THEORY_LEMMA4_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "lsh/lsh_family.h"
+#include "rng/random.h"
+#include "theory/hard_sequences.h"
+
+namespace ips {
+
+/// One square G_{r,s} of the Figure 1 partition: side 2^r, top-left grid
+/// node (anchor, anchor) with anchor = (2s+1) 2^r - 1.
+struct GridSquare {
+  std::size_t r = 0;
+  std::size_t s = 0;
+  std::size_t side = 0;    // 2^r
+  std::size_t anchor = 0;  // top-left row == column index
+};
+
+/// All squares of the partition of the lower triangle {(i, j) : j >= i}
+/// of the (2^ell - 1) x (2^ell - 1) grid: r in [0, ell),
+/// s in [0, 2^(ell-r-1)).
+std::vector<GridSquare> LowerTrianglePartition(std::size_t ell);
+
+/// True iff grid node (i, j) lies in `square` (rows i in
+/// [anchor - side + 1, anchor], columns j in [anchor, anchor + side - 1]).
+bool SquareContains(const GridSquare& square, std::size_t i, std::size_t j);
+
+/// Lemma 4's bound on the gap for staircase sequences of length n >= 2:
+/// P1 - P2 <= 1 / (8 log2 n).
+double Lemma4GapBound(std::size_t n);
+
+/// Empirical collision matrix m_{i,j} ~ Pr_H[h_q(q_i) = h_p(p_j)] of a
+/// family on given sequences, estimated from `samples` fresh draws.
+class CollisionMatrix {
+ public:
+  CollisionMatrix(const LshFamily& family, const HardSequences& sequences,
+                  std::size_t samples, Rng* rng);
+
+  std::size_t n() const { return probabilities_.rows(); }
+
+  /// Estimated Pr[h_q(q_i) = h_p(p_j)].
+  double At(std::size_t i, std::size_t j) const {
+    return probabilities_.At(i, j);
+  }
+
+  /// min over the lower triangle (j >= i): the realized P1.
+  double EmpiricalP1() const;
+
+  /// max over the strict upper triangle (j < i): the realized P2.
+  double EmpiricalP2() const;
+
+  /// EmpiricalP1() - EmpiricalP2(); Lemma 4 says this cannot exceed
+  /// 1/(8 log n) for a valid asymmetric LSH.
+  double EmpiricalGap() const { return EmpiricalP1() - EmpiricalP2(); }
+
+ private:
+  Matrix probabilities_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_THEORY_LEMMA4_H_

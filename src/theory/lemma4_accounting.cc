@@ -1,0 +1,174 @@
+#include "theory/lemma4_accounting.h"
+
+#include <cmath>
+#include <memory>
+
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+// ell with 2^ell - 1 == n; CHECK-fails otherwise.
+std::size_t EllFor(std::size_t n) {
+  std::size_t ell = 0;
+  std::size_t value = n + 1;
+  while (value > 1) {
+    IPS_CHECK_EQ(value % 2, 0u)
+        << "sequence length must be 2^ell - 1, got " << n;
+    value /= 2;
+    ++ell;
+  }
+  IPS_CHECK_GE(ell, 1u);
+  return ell;
+}
+
+}  // namespace
+
+bool MassAccounting::ProperMassBoundHolds(double slack) const {
+  return total_proper_mass <= 2.0 * static_cast<double>(n) + slack;
+}
+
+bool MassAccounting::SharedMassBoundsHold(double slack) const {
+  for (const SquareMasses& entry : squares) {
+    const double side = static_cast<double>(entry.square.side);
+    if (entry.shared > side * side * p2_hat + slack) return false;
+  }
+  return true;
+}
+
+bool MassAccounting::PartiallySharedBoundsHold(double slack) const {
+  for (const SquareMasses& entry : squares) {
+    const double factor = 2.0 * static_cast<double>(entry.square.side);
+    if (entry.partially_shared > factor * entry.proper + slack) return false;
+  }
+  return true;
+}
+
+bool MassAccounting::TotalMassLowerBoundsHold(double slack) const {
+  for (const SquareMasses& entry : squares) {
+    const double side = static_cast<double>(entry.square.side);
+    if (entry.total < side * side * p1_hat - slack) return false;
+  }
+  return true;
+}
+
+MassAccounting ComputeLemma4Accounting(const LshFamily& family,
+                                       const HardSequences& sequences,
+                                       std::size_t samples, Rng* rng) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(samples, 0u);
+  const std::size_t n = sequences.data.rows();
+  IPS_CHECK_EQ(n, sequences.queries.rows());
+
+  MassAccounting result;
+  result.n = n;
+  result.ell = EllFor(n);
+  result.proper_mass = Matrix(n, n);
+  result.partially_shared_mass = Matrix(n, n);
+  result.shared_mass = Matrix(n, n);
+
+  // anchor(i, j): the top-left index of the square G_{r,s} containing
+  // the P1-node (i, j). Precompute via the partition.
+  const std::vector<GridSquare> partition = LowerTrianglePartition(result.ell);
+  Matrix anchor_of(n, n);
+  for (const GridSquare& square : partition) {
+    for (std::size_t i = square.anchor + 1 - square.side; i <= square.anchor;
+         ++i) {
+      for (std::size_t j = square.anchor; j < square.anchor + square.side;
+           ++j) {
+        anchor_of.At(i, j) = static_cast<double>(square.anchor);
+      }
+    }
+  }
+
+  Matrix collision_counts(n, n);
+  const double weight = 1.0 / static_cast<double>(samples);
+  std::vector<std::uint64_t> qh(n);
+  std::vector<std::uint64_t> dh(n);
+  for (std::size_t sample = 0; sample < samples; ++sample) {
+    const std::unique_ptr<LshFunction> h = family.Sample(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      qh[i] = h->HashQuery(sequences.queries.Row(i));
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      dh[j] = h->HashData(sequences.data.Row(j));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (qh[i] != dh[j]) continue;
+        collision_counts.At(i, j) += 1.0;
+        if (j < i) continue;  // P2 node: counted, not classified
+        const std::uint64_t v = qh[i];
+        const std::size_t anchor =
+            static_cast<std::size_t>(anchor_of.At(i, j));
+        // Row neighbors (i, j'), i <= j' < j, split at the anchor:
+        // j' < anchor lies in a left square, j' >= anchor inside G_{r,s}.
+        bool row_outer = false;
+        bool row_inner = false;
+        for (std::size_t jp = i; jp < j; ++jp) {
+          if (dh[jp] != v) continue;
+          if (jp < anchor) {
+            row_outer = true;
+          } else {
+            row_inner = true;
+          }
+        }
+        // Column neighbors (i', j), i < i' <= j: i' > anchor lies in a
+        // top square, i' <= anchor inside G_{r,s}.
+        bool col_outer = false;
+        bool col_inner = false;
+        for (std::size_t ip = i + 1; ip <= j; ++ip) {
+          if (qh[ip] != v) continue;
+          if (ip > anchor) {
+            col_outer = true;
+          } else {
+            col_inner = true;
+          }
+        }
+        if (row_outer && col_outer) {
+          result.shared_mass.At(i, j) += weight;
+        } else if ((row_outer || row_inner) && (col_outer || col_inner)) {
+          result.partially_shared_mass.At(i, j) += weight;
+        } else {
+          result.proper_mass.At(i, j) += weight;
+        }
+      }
+    }
+  }
+
+  // Empirical P1 / P2 from the collision counts.
+  result.p1_hat = 1.0;
+  result.p2_hat = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double probability = collision_counts.At(i, j) * weight;
+      if (j >= i) {
+        result.p1_hat = std::min(result.p1_hat, probability);
+      } else {
+        result.p2_hat = std::max(result.p2_hat, probability);
+      }
+    }
+  }
+
+  // Per-square aggregation.
+  result.squares.reserve(partition.size());
+  for (const GridSquare& square : partition) {
+    SquareMasses entry;
+    entry.square = square;
+    for (std::size_t i = square.anchor + 1 - square.side; i <= square.anchor;
+         ++i) {
+      for (std::size_t j = square.anchor; j < square.anchor + square.side;
+           ++j) {
+        entry.proper += result.proper_mass.At(i, j);
+        entry.partially_shared += result.partially_shared_mass.At(i, j);
+        entry.shared += result.shared_mass.At(i, j);
+        entry.total += collision_counts.At(i, j) * weight;
+      }
+    }
+    result.total_proper_mass += entry.proper;
+    result.squares.push_back(entry);
+  }
+  return result;
+}
+
+}  // namespace ips

@@ -1,0 +1,89 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The Lemma 4 mass accounting, executable. The lemma's proof classifies,
+// for every P1-node (i, j) of the collision grid (j >= i) and every hash
+// function h under which (i, j) collides, the function h as
+//
+//   (i,j)-shared           -- K_{h,i,j} reaches both a *left square* and
+//                             a *top square* of the square G_{r,s}
+//                             containing (i, j); forces a P2-node
+//                             collision, so shared mass is bounded by
+//                             2^{2r} P2 per square;
+//   (i,j)-partially shared -- row and column neighbors exist but not on
+//                             both outer sides; charged to proper masses
+//                             at rate 2^{r+1};
+//   (i,j)-proper           -- no row neighbor or no column neighbor in
+//                             K_{h,i,j}; each h is row-proper for at most
+//                             one node per row (sum of proper masses is
+//                             at most 2n).
+//
+// Here K_{h,i,j} is the set of P1-nodes in the same row to the left
+// (i, j') with i <= j' < j, or same column below (i', j) with
+// i < i' <= j, colliding under h with the same hash value. This module
+// computes the empirical masses of a concrete (A)LSH family on concrete
+// staircase sequences and checks every inequality the proof chains
+// together -- a mechanical verification of the lemma on real hash
+// functions.
+
+#ifndef IPS_THEORY_LEMMA4_ACCOUNTING_H_
+#define IPS_THEORY_LEMMA4_ACCOUNTING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "lsh/lsh_family.h"
+#include "theory/hard_sequences.h"
+#include "theory/lemma4.h"
+
+namespace ips {
+
+/// Per-square aggregates of the accounting.
+struct SquareMasses {
+  GridSquare square;
+  double total = 0.0;            // M_{r,s}: sum of node masses
+  double proper = 0.0;           // M^p_{r,s}
+  double partially_shared = 0.0; // sum of m^ps over the square
+  double shared = 0.0;           // sum of m^s over the square
+};
+
+/// Full result of the accounting over n = 2^ell - 1 sequences.
+struct MassAccounting {
+  std::size_t n = 0;
+  std::size_t ell = 0;
+  /// Empirical P1 (min collision prob over the lower triangle) and P2
+  /// (max over the strict upper triangle).
+  double p1_hat = 0.0;
+  double p2_hat = 0.0;
+  /// Node masses, indexed [query i][data j]; zero for P2 nodes.
+  Matrix proper_mass;
+  Matrix partially_shared_mass;
+  Matrix shared_mass;
+  std::vector<SquareMasses> squares;
+  /// Sum of M^p over all squares; the lemma proves this is <= 2n.
+  double total_proper_mass = 0.0;
+
+  /// The proof's inequality chain, checked empirically (with additive
+  /// `slack` absorbing sampling error):
+  /// (a) total_proper_mass <= 2 n;
+  /// (b) per square, shared <= 2^{2r} p2_hat;
+  /// (c) per square, partially_shared <= 2^{r+1} proper;
+  /// (d) per square, total >= 2^{2r} p1_hat (every node collides w.p.
+  ///     >= P1 on the lower triangle).
+  bool ProperMassBoundHolds(double slack) const;
+  bool SharedMassBoundsHold(double slack) const;
+  bool PartiallySharedBoundsHold(double slack) const;
+  bool TotalMassLowerBoundsHold(double slack) const;
+};
+
+/// Computes the accounting for `family` on staircase `sequences` (whose
+/// length must be 2^ell - 1 for some ell >= 1) from `samples` sampled
+/// functions, each carrying weight 1/samples.
+MassAccounting ComputeLemma4Accounting(const LshFamily& family,
+                                       const HardSequences& sequences,
+                                       std::size_t samples, Rng* rng);
+
+}  // namespace ips
+
+#endif  // IPS_THEORY_LEMMA4_ACCOUNTING_H_

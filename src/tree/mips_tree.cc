@@ -1,0 +1,223 @@
+#include "tree/mips_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace ips {
+
+MipsBallTree::MipsBallTree(const Matrix& data, std::size_t leaf_size,
+                           Rng* rng)
+    : data_(&data), point_order_(data.rows()) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK_GT(data.rows(), 0u);
+  IPS_CHECK_GE(leaf_size, 1u);
+  for (std::size_t i = 0; i < data.rows(); ++i) point_order_[i] = i;
+  root_ = BuildNode(0, data.rows(), leaf_size, rng);
+}
+
+int MipsBallTree::BuildNode(std::size_t begin, std::size_t end,
+                            std::size_t leaf_size, Rng* rng) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_[index];
+    node.begin = begin;
+    node.end = end;
+    // Center = mean of the points; radius = max distance to the center.
+    node.center.assign(data_->cols(), 0.0);
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::span<const double> row = data_->Row(point_order_[t]);
+      for (std::size_t c = 0; c < row.size(); ++c) node.center[c] += row[c];
+    }
+    const double inv = 1.0 / static_cast<double>(end - begin);
+    for (double& c : node.center) c *= inv;
+    for (std::size_t t = begin; t < end; ++t) {
+      node.radius = std::max(
+          node.radius, std::sqrt(SquaredDistance(
+                           data_->Row(point_order_[t]), node.center)));
+    }
+  }
+  const std::size_t count = end - begin;
+  if (count <= leaf_size) return index;
+
+  // Two-pivot split: a random point, the farthest point A from it, and
+  // the farthest point B from A; partition by nearer pivot.
+  const std::size_t seed_pos =
+      begin + static_cast<std::size_t>(rng->NextBounded(count));
+  auto farthest_from = [&](std::size_t from_index) {
+    std::size_t best = begin;
+    double best_dist = -1.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      const double dist = SquaredDistance(data_->Row(point_order_[t]),
+                                          data_->Row(from_index));
+      if (dist > best_dist) {
+        best_dist = dist;
+        best = t;
+      }
+    }
+    return best;
+  };
+  const std::size_t a_pos = farthest_from(point_order_[seed_pos]);
+  const std::size_t b_pos = farthest_from(point_order_[a_pos]);
+  const std::size_t a_index = point_order_[a_pos];
+  const std::size_t b_index = point_order_[b_pos];
+
+  auto closer_to_a = [&](std::size_t point) {
+    return SquaredDistance(data_->Row(point), data_->Row(a_index)) <=
+           SquaredDistance(data_->Row(point), data_->Row(b_index));
+  };
+  auto middle = std::partition(point_order_.begin() + begin,
+                               point_order_.begin() + end, closer_to_a);
+  std::size_t mid = static_cast<std::size_t>(
+      std::distance(point_order_.begin(), middle));
+  // Degenerate split (duplicates): fall back to a halving split.
+  if (mid == begin || mid == end) mid = begin + count / 2;
+
+  const int left = BuildNode(begin, mid, leaf_size, rng);
+  const int right = BuildNode(mid, end, leaf_size, rng);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+double MipsBallTree::SignedBound(const Node& node, std::span<const double> q,
+                                 double q_norm) const {
+  return Dot(node.center, q) + q_norm * node.radius;
+}
+
+double MipsBallTree::UnsignedBound(const Node& node,
+                                   std::span<const double> q,
+                                   double q_norm) const {
+  return std::abs(Dot(node.center, q)) + q_norm * node.radius;
+}
+
+void MipsBallTree::SearchSigned(int node_index, std::span<const double> q,
+                                double q_norm, MipsResult* best) const {
+  const Node& node = nodes_[node_index];
+  if (SignedBound(node, q, q_norm) <= best->value) return;
+  if (node.IsLeaf()) {
+    for (std::size_t t = node.begin; t < node.end; ++t) {
+      const std::size_t point = point_order_[t];
+      const double value = Dot(data_->Row(point), q);
+      ++best->evaluated;
+      if (value > best->value) {
+        best->value = value;
+        best->index = point;
+      }
+    }
+    return;
+  }
+  // Visit the more promising child first for better pruning.
+  const double left_bound = SignedBound(nodes_[node.left], q, q_norm);
+  const double right_bound = SignedBound(nodes_[node.right], q, q_norm);
+  if (left_bound >= right_bound) {
+    SearchSigned(node.left, q, q_norm, best);
+    SearchSigned(node.right, q, q_norm, best);
+  } else {
+    SearchSigned(node.right, q, q_norm, best);
+    SearchSigned(node.left, q, q_norm, best);
+  }
+}
+
+void MipsBallTree::SearchUnsigned(int node_index, std::span<const double> q,
+                                  double q_norm, MipsResult* best) const {
+  const Node& node = nodes_[node_index];
+  if (UnsignedBound(node, q, q_norm) <= best->value) return;
+  if (node.IsLeaf()) {
+    for (std::size_t t = node.begin; t < node.end; ++t) {
+      const std::size_t point = point_order_[t];
+      const double value = std::abs(Dot(data_->Row(point), q));
+      ++best->evaluated;
+      if (value > best->value) {
+        best->value = value;
+        best->index = point;
+      }
+    }
+    return;
+  }
+  const double left_bound = UnsignedBound(nodes_[node.left], q, q_norm);
+  const double right_bound = UnsignedBound(nodes_[node.right], q, q_norm);
+  if (left_bound >= right_bound) {
+    SearchUnsigned(node.left, q, q_norm, best);
+    SearchUnsigned(node.right, q, q_norm, best);
+  } else {
+    SearchUnsigned(node.right, q, q_norm, best);
+    SearchUnsigned(node.left, q, q_norm, best);
+  }
+}
+
+std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
+    std::span<const double> q, std::size_t k) const {
+  IPS_CHECK_EQ(q.size(), data_->cols());
+  IPS_CHECK_GE(k, 1u);
+  const double q_norm = Norm(q);
+  // Min-heap on score (heap.front() = current k-th best).
+  std::vector<std::pair<double, std::size_t>> heap;
+  auto heap_greater = [](const std::pair<double, std::size_t>& a,
+                         const std::pair<double, std::size_t>& b) {
+    return a.first > b.first;
+  };
+  // Iterative DFS with best-first child ordering.
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const int node_index = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_index];
+    if (heap.size() == k && SignedBound(node, q, q_norm) <= heap.front().first) {
+      continue;
+    }
+    if (node.IsLeaf()) {
+      for (std::size_t t = node.begin; t < node.end; ++t) {
+        const std::size_t point = point_order_[t];
+        const double value = Dot(data_->Row(point), q);
+        if (heap.size() < k) {
+          heap.emplace_back(value, point);
+          std::push_heap(heap.begin(), heap.end(), heap_greater);
+        } else if (value > heap.front().first) {
+          std::pop_heap(heap.begin(), heap.end(), heap_greater);
+          heap.back() = {value, point};
+          std::push_heap(heap.begin(), heap.end(), heap_greater);
+        }
+      }
+      continue;
+    }
+    // Push the less promising child first so the better one pops first.
+    const double left_bound = SignedBound(nodes_[node.left], q, q_norm);
+    const double right_bound = SignedBound(nodes_[node.right], q, q_norm);
+    if (left_bound >= right_bound) {
+      stack.push_back(node.right);
+      stack.push_back(node.left);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  std::sort(heap.begin(), heap.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::pair<std::size_t, double>> result;
+  result.reserve(heap.size());
+  for (const auto& [value, index] : heap) result.emplace_back(index, value);
+  return result;
+}
+
+MipsResult MipsBallTree::QueryMax(std::span<const double> q) const {
+  IPS_CHECK_EQ(q.size(), data_->cols());
+  MipsResult best;
+  best.value = -std::numeric_limits<double>::infinity();
+  SearchSigned(root_, q, Norm(q), &best);
+  return best;
+}
+
+MipsResult MipsBallTree::QueryMaxAbs(std::span<const double> q) const {
+  IPS_CHECK_EQ(q.size(), data_->cols());
+  MipsResult best;
+  best.value = -1.0;
+  SearchUnsigned(root_, q, Norm(q), &best);
+  return best;
+}
+
+}  // namespace ips

@@ -1,0 +1,72 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Fatal-error checking macros in the spirit of glog/absl CHECK.
+// Programmer errors (violated preconditions, broken invariants) abort the
+// process with a readable message; recoverable conditions use util::Status.
+
+#ifndef IPS_UTIL_CHECK_H_
+#define IPS_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace ips {
+namespace internal {
+
+/// Stream-collecting helper that aborts the process on destruction.
+/// Used only through the IPS_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failure at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ips
+
+/// Aborts with a message unless `condition` evaluates to true.
+#define IPS_CHECK(condition)                                              \
+  while (!(condition))                                                    \
+  ::ips::internal::CheckFailureStream("IPS_CHECK", __FILE__, __LINE__,    \
+                                      #condition)
+
+#define IPS_CHECK_BINARY(name, lhs, rhs, op)                            \
+  while (!((lhs)op(rhs)))                                               \
+  ::ips::internal::CheckFailureStream(name, __FILE__, __LINE__,         \
+                                      #lhs " " #op " " #rhs)            \
+      << "(lhs=" << (lhs) << ", rhs=" << (rhs) << ")"
+
+#define IPS_CHECK_EQ(lhs, rhs) IPS_CHECK_BINARY("IPS_CHECK_EQ", lhs, rhs, ==)
+#define IPS_CHECK_NE(lhs, rhs) IPS_CHECK_BINARY("IPS_CHECK_NE", lhs, rhs, !=)
+#define IPS_CHECK_LT(lhs, rhs) IPS_CHECK_BINARY("IPS_CHECK_LT", lhs, rhs, <)
+#define IPS_CHECK_LE(lhs, rhs) IPS_CHECK_BINARY("IPS_CHECK_LE", lhs, rhs, <=)
+#define IPS_CHECK_GT(lhs, rhs) IPS_CHECK_BINARY("IPS_CHECK_GT", lhs, rhs, >)
+#define IPS_CHECK_GE(lhs, rhs) IPS_CHECK_BINARY("IPS_CHECK_GE", lhs, rhs, >=)
+
+#ifdef NDEBUG
+#define IPS_DCHECK(condition) IPS_CHECK(true || (condition))
+#else
+#define IPS_DCHECK(condition) IPS_CHECK(condition)
+#endif
+
+#endif  // IPS_UTIL_CHECK_H_

@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ips {
+
+void OnlineStats::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double OnlineStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::StdDev() const { return std::sqrt(Variance()); }
+
+double OnlineStats::StdError() const {
+  if (count_ == 0) return 0.0;
+  return StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  IPS_CHECK_GE(q, 0.0);
+  IPS_CHECK_LE(q, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> samples) {
+  Summary summary;
+  summary.count = samples.size();
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  OnlineStats stats;
+  for (double sample : samples) stats.Add(sample);
+  summary.mean = stats.Mean();
+  summary.stddev = stats.StdDev();
+  summary.min = samples.front();
+  summary.max = samples.back();
+  summary.p50 = Percentile(samples, 0.50);
+  summary.p90 = Percentile(samples, 0.90);
+  summary.p99 = Percentile(samples, 0.99);
+  return summary;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream out;
+  out << "n=" << count << " mean=" << mean << " sd=" << stddev
+      << " min=" << min << " p50=" << p50 << " p90=" << p90 << " p99=" << p99
+      << " max=" << max;
+  return out.str();
+}
+
+double BernoulliEstimate::HalfWidth(double z) const {
+  if (trials == 0) return 0.0;
+  return z * std::sqrt(p_hat * (1.0 - p_hat) /
+                       static_cast<double>(trials));
+}
+
+BernoulliEstimate EstimateBernoulli(std::size_t successes,
+                                    std::size_t trials) {
+  BernoulliEstimate estimate;
+  estimate.trials = trials;
+  estimate.p_hat =
+      trials == 0 ? 0.0
+                  : static_cast<double>(successes) / static_cast<double>(trials);
+  return estimate;
+}
+
+}  // namespace ips

@@ -1,0 +1,90 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Summary statistics for experiment measurements: online moments and
+// batch percentiles. Used by the benchmark harness and by statistical
+// tests of collision probabilities.
+
+#ifndef IPS_UTIL_STATS_H_
+#define IPS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  /// Folds `value` into the running moments.
+  void Add(double value);
+
+  /// Number of samples added so far.
+  std::size_t count() const { return count_; }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double Variance() const;
+
+  /// sqrt(Variance()).
+  double StdDev() const;
+
+  /// Standard error of the mean: StdDev()/sqrt(count).
+  double StdError() const;
+
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary over a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes a Summary of `samples`. Leaves `samples` unmodified.
+Summary Summarize(std::vector<double> samples);
+
+/// Linear-interpolation percentile of `sorted` (must be sorted ascending),
+/// `q` in [0, 1]. Returns 0 for an empty vector.
+double Percentile(const std::vector<double>& sorted, double q);
+
+/// Fraction of `trials` Bernoulli successes, with a convenience for the
+/// +-z*sqrt(p(1-p)/n) normal-approximation half-width used by statistical
+/// tests of collision probabilities.
+struct BernoulliEstimate {
+  double p_hat = 0.0;
+  std::size_t trials = 0;
+
+  /// Normal-approximation half-width of a confidence interval at `z`
+  /// standard deviations (z=3 for approximately 99.7% coverage).
+  double HalfWidth(double z) const;
+};
+
+/// Counts successes/trials into a BernoulliEstimate.
+BernoulliEstimate EstimateBernoulli(std::size_t successes, std::size_t trials);
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_STATS_H_

@@ -1,0 +1,132 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal Status / StatusOr<T> error-propagation types, modeled on
+// absl::Status. The library does not throw exceptions across its public
+// API; recoverable failures are reported through these types.
+
+#ifndef IPS_UTIL_STATUS_H_
+#define IPS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ips {
+
+/// Broad machine-readable error categories.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kResourceExhausted = 7,
+};
+
+/// Returns a short human-readable name of `code` ("OK", "INVALID_ARGUMENT"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without crashing the process.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    IPS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    IPS_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    IPS_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    IPS_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Aborts if `expr` yields a non-OK status.
+#define IPS_CHECK_OK(expr)                               \
+  do {                                                   \
+    const ::ips::Status ips_check_ok_status = (expr);    \
+    IPS_CHECK(ips_check_ok_status.ok())                  \
+        << ips_check_ok_status.ToString();               \
+  } while (false)
+
+/// Early-returns a non-OK status from the enclosing function.
+#define IPS_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::ips::Status ips_return_status = (expr);            \
+    if (!ips_return_status.ok()) return ips_return_status; \
+  } while (false)
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_STATUS_H_

@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace ips {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  IPS_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  IPS_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::PrintMarkdown(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " " << std::setw(static_cast<int>(widths[c])) << std::left
+          << row[c] << " |";
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatFixed(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+std::string FormatSci(double value, int digits) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(digits) << value;
+  return out.str();
+}
+
+bool MaybeExportCsv(const TablePrinter& table, const std::string& name) {
+  const char* dir = std::getenv("IPS_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  table.PrintCsv(file);
+  return true;
+}
+
+}  // namespace ips

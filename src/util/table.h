@@ -1,0 +1,68 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Tabular output used by the benchmark harness to print paper-style tables
+// (Markdown for humans, CSV for downstream plotting).
+
+#ifndef IPS_UTIL_TABLE_H_
+#define IPS_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// Collects rows of stringified cells and renders them aligned.
+///
+/// Usage:
+///   TablePrinter table({"n", "time (ms)", "speedup"});
+///   table.AddRow({Format(n), Format(ms), Format(speedup)});
+///   table.PrintMarkdown(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders a GitHub-flavored Markdown table with aligned columns.
+  void PrintMarkdown(std::ostream& out) const;
+
+  /// Renders comma-separated values (header first).
+  void PrintCsv(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a value via operator<< (floating point with up to 6 significant
+/// digits by default).
+template <typename T>
+std::string Format(const T& value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+/// Formats a double with fixed `digits` after the decimal point.
+std::string FormatFixed(double value, int digits);
+
+/// Formats a double in scientific notation with `digits` mantissa digits.
+std::string FormatSci(double value, int digits);
+
+/// When the IPS_BENCH_CSV_DIR environment variable is set, writes the
+/// table as CSV to "$IPS_BENCH_CSV_DIR/<name>.csv" (for downstream
+/// plotting); otherwise does nothing. Returns true when a file was
+/// written.
+bool MaybeExportCsv(const TablePrinter& table, const std::string& name);
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_TABLE_H_

@@ -1,0 +1,62 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// A fixed-size thread pool and a blocking ParallelFor helper used by the
+// brute-force join and index construction. On single-core machines the
+// pool degrades gracefully to inline execution.
+
+#ifndef IPS_UTIL_THREAD_POOL_H_
+#define IPS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ips {
+
+/// Fixed-size worker pool executing enqueued closures FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means inline (synchronous) execution.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; runs inline when the pool has no workers.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until all scheduled tasks have finished.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, count) into contiguous chunks and runs
+/// `body(begin, end)` for each chunk, blocking until all complete.
+/// With `pool == nullptr` or a worker-less pool, runs inline.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Wall-clock timing helpers used by the benchmark harness.
+
+#ifndef IPS_UTIL_TIMER_H_
+#define IPS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ips {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Usage:
+///   WallTimer timer;
+///   ... work ...
+///   double elapsed = timer.Seconds();
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_TIMER_H_

@@ -1,0 +1,188 @@
+// Tests for the executable Lemma 4 mass accounting
+// (theory/lemma4_accounting.h): classification totals, the proof's
+// inequality chain on real hash families, and degenerate families.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "theory/hard_sequences.h"
+#include "theory/lemma4.h"
+#include "theory/lemma4_accounting.h"
+
+namespace ips {
+namespace {
+
+// A family that hashes every vector to the same bucket: all nodes
+// collide always. Useful for exact accounting checks.
+class ConstantFamily : public LshFamily {
+ public:
+  explicit ConstantFamily(std::size_t dim) : dim_(dim) {}
+  std::string Name() const override { return "constant"; }
+  std::size_t dim() const override { return dim_; }
+  std::unique_ptr<LshFunction> Sample(Rng*) const override {
+    class F : public SymmetricLshFunction {
+      std::uint64_t HashData(std::span<const double>) const override {
+        return 0;
+      }
+    };
+    return std::make_unique<F>();
+  }
+
+ private:
+  std::size_t dim_;
+};
+
+// A family whose hash is unique per vector except that query i and data
+// j collide iff i == j == 0 -- a single isolated collision.
+class DiagonalZeroFamily : public LshFamily {
+ public:
+  explicit DiagonalZeroFamily(std::size_t dim) : dim_(dim) {}
+  std::string Name() const override { return "diag-zero"; }
+  std::size_t dim() const override { return dim_; }
+  std::unique_ptr<LshFunction> Sample(Rng*) const override {
+    class F : public LshFunction {
+     public:
+      std::uint64_t HashData(std::span<const double> p) const override {
+        // Identify the data row by its content hash, except row marker 0.
+        return p[0] == 0.0 ? 0 : Fingerprint(p, 0x1111);
+      }
+      std::uint64_t HashQuery(std::span<const double> q) const override {
+        return q[0] == 0.0 ? 0 : Fingerprint(q, 0x2222);
+      }
+
+     private:
+      static std::uint64_t Fingerprint(std::span<const double> x,
+                                       std::uint64_t salt) {
+        std::uint64_t state = salt;
+        for (double v : x) {
+          std::uint64_t bits;
+          __builtin_memcpy(&bits, &v, sizeof(bits));
+          state ^= bits;
+          state = SplitMix64(state);
+        }
+        return state | 1;  // never the shared bucket 0
+      }
+    };
+    return std::make_unique<F>();
+  }
+
+ private:
+  std::size_t dim_;
+};
+
+HardSequences TrivialSequences(std::size_t n, std::size_t dim) {
+  // Synthetic staircase container just to carry vectors; the accounting
+  // only uses the vectors and the grid size.
+  HardSequences sequences;
+  sequences.s = 1.0;
+  sequences.c = 0.5;
+  sequences.U = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(dim, 0.0);
+    row[0] = static_cast<double>(i);  // row 0 gets the 0 marker
+    sequences.data.AppendRow(row);
+    sequences.queries.AppendRow(row);
+  }
+  return sequences;
+}
+
+TEST(AccountingTest, ConstantFamilyMassesAreProperOrShared) {
+  // Under the constant family every P1-node (i, j) has every possible
+  // K-neighbor, so all nodes with both outer neighbors are shared; the
+  // accounting must classify deterministically with total mass 1.
+  const HardSequences sequences = TrivialSequences(7, 4);
+  Rng rng(3);
+  const ConstantFamily family(4);
+  const MassAccounting accounting =
+      ComputeLemma4Accounting(family, sequences, 10, &rng);
+  EXPECT_EQ(accounting.n, 7u);
+  EXPECT_EQ(accounting.ell, 3u);
+  EXPECT_DOUBLE_EQ(accounting.p1_hat, 1.0);
+  EXPECT_DOUBLE_EQ(accounting.p2_hat, 1.0);
+  // Every P1 node's mass decomposes: proper + ps + shared == 1.
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = i; j < 7; ++j) {
+      const double total = accounting.proper_mass.At(i, j) +
+                           accounting.partially_shared_mass.At(i, j) +
+                           accounting.shared_mass.At(i, j);
+      EXPECT_DOUBLE_EQ(total, 1.0) << "(" << i << "," << j << ")";
+    }
+  }
+  // With p2_hat = 1 the shared bound 2^{2r} p2 is trivially satisfied.
+  EXPECT_TRUE(accounting.SharedMassBoundsHold(1e-9));
+  EXPECT_TRUE(accounting.ProperMassBoundHolds(1e-9));
+  EXPECT_TRUE(accounting.PartiallySharedBoundsHold(1e-9));
+  EXPECT_TRUE(accounting.TotalMassLowerBoundsHold(1e-9));
+}
+
+TEST(AccountingTest, IsolatedCollisionIsProper) {
+  // Only the node (0, 0) collides; it has no K-neighbors, so its mass
+  // is entirely proper.
+  const HardSequences sequences = TrivialSequences(3, 4);
+  Rng rng(5);
+  const DiagonalZeroFamily family(4);
+  const MassAccounting accounting =
+      ComputeLemma4Accounting(family, sequences, 5, &rng);
+  EXPECT_DOUBLE_EQ(accounting.proper_mass.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(accounting.shared_mass.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(accounting.partially_shared_mass.At(0, 0), 0.0);
+  // All other P1 nodes never collide.
+  EXPECT_DOUBLE_EQ(accounting.proper_mass.At(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(accounting.p1_hat, 0.0);
+}
+
+TEST(AccountingTest, RealAlshSatisfiesInequalityChain) {
+  // Dual-ball + SimHash on a case 1 staircase trimmed to 2^ell - 1.
+  HardSequences sequences = MakeCase1Sequences(8, 100.0, 0.25, 0.7);
+  ASSERT_GE(sequences.data.rows(), 31u);
+  sequences = TrimSequences(sequences, 31);
+  const SequenceCheck check = VerifyHardSequences(sequences);
+  ASSERT_TRUE(check.staircase_ok);
+
+  Rng rng(7);
+  const DualBallTransform transform(sequences.data.cols(), sequences.U);
+  const SimHashFamily base(transform.output_dim());
+  const TransformedLshFamily family(&transform, &base);
+  constexpr std::size_t kSamples = 1500;
+  const MassAccounting accounting =
+      ComputeLemma4Accounting(family, sequences, kSamples, &rng);
+  const double slack = 5.0 / std::sqrt(static_cast<double>(kSamples));
+  EXPECT_TRUE(accounting.ProperMassBoundHolds(0.0));  // structural
+  EXPECT_TRUE(accounting.SharedMassBoundsHold(
+      slack * 31.0));  // per-square, scaled slack
+  EXPECT_TRUE(accounting.PartiallySharedBoundsHold(slack * 31.0));
+  // The chained conclusion: with these masses, the lemma's final gap
+  // bound applies; cross-check the direct measurement.
+  const CollisionMatrix matrix(family, sequences, kSamples, &rng);
+  EXPECT_LE(matrix.EmpiricalGap(), Lemma4GapBound(31) + 2.0 * slack);
+}
+
+TEST(AccountingTest, SquareAggregatesMatchNodeSums) {
+  const HardSequences sequences = TrivialSequences(7, 4);
+  Rng rng(11);
+  const ConstantFamily family(4);
+  const MassAccounting accounting =
+      ComputeLemma4Accounting(family, sequences, 3, &rng);
+  double total_from_squares = 0.0;
+  for (const SquareMasses& entry : accounting.squares) {
+    total_from_squares += entry.proper;
+  }
+  EXPECT_NEAR(total_from_squares, accounting.total_proper_mass, 1e-12);
+  // 7x7 grid: 7 squares (ell = 3).
+  EXPECT_EQ(accounting.squares.size(), 7u);
+}
+
+TEST(AccountingTest, RejectsNonPowerLengths) {
+  const HardSequences sequences = TrivialSequences(6, 4);
+  Rng rng(13);
+  const ConstantFamily family(4);
+  EXPECT_DEATH(ComputeLemma4Accounting(family, sequences, 2, &rng),
+               "2\\^ell - 1");
+}
+
+}  // namespace
+}  // namespace ips

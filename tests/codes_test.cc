@@ -1,0 +1,155 @@
+// Tests for src/codes: prime fields, Reed-Solomon distance, and the
+// incoherent vector families used by Section 4.2 and Theorem 3 case 3.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codes/incoherent.h"
+#include "codes/prime_field.h"
+#include "codes/reed_solomon.h"
+#include "linalg/vector_ops.h"
+#include "rng/random.h"
+
+namespace ips {
+namespace {
+
+TEST(PrimeTest, SmallPrimes) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(91));  // 7 * 13
+  EXPECT_TRUE(IsPrime(7919));
+}
+
+TEST(PrimeTest, NextPrime) {
+  EXPECT_EQ(NextPrime(2), 2u);
+  EXPECT_EQ(NextPrime(8), 11u);
+  EXPECT_EQ(NextPrime(90), 97u);
+}
+
+TEST(PrimeFieldTest, ArithmeticAxioms) {
+  const PrimeField field(101);
+  EXPECT_EQ(field.Add(100, 2), 1u);
+  EXPECT_EQ(field.Sub(1, 2), 100u);
+  EXPECT_EQ(field.Mul(10, 11), 110 % 101);
+  EXPECT_EQ(field.Pow(2, 10), 1024 % 101);
+  EXPECT_EQ(field.Pow(5, 0), 1u);
+}
+
+TEST(PrimeFieldTest, InverseIsInverse) {
+  const PrimeField field(97);
+  for (std::uint64_t a = 1; a < 97; ++a) {
+    EXPECT_EQ(field.Mul(a, field.Inv(a)), 1u) << "a=" << a;
+  }
+}
+
+TEST(PrimeFieldTest, PolyEvaluation) {
+  const PrimeField field(13);
+  // p(x) = 3 + 2x + x^2 at x = 5: 3 + 10 + 25 = 38 = 12 mod 13.
+  const std::uint64_t coeffs[] = {3, 2, 1};
+  EXPECT_EQ(field.EvalPoly(coeffs, 3, 5), 12u);
+}
+
+TEST(PrimeFieldTest, RejectsComposite) {
+  EXPECT_DEATH(PrimeField(100), "prime");
+}
+
+TEST(ReedSolomonTest, EncodeIsPolynomialEvaluation) {
+  const ReedSolomonCode code(7, 2);  // messages are a + b x
+  // Message 10 = 3 + 1*7: coefficients (3, 1), p(x) = 3 + x.
+  const std::vector<std::uint64_t> codeword = code.Encode(10);
+  ASSERT_EQ(codeword.size(), 7u);
+  for (std::uint64_t x = 0; x < 7; ++x) {
+    EXPECT_EQ(codeword[x], (3 + x) % 7);
+  }
+}
+
+TEST(ReedSolomonTest, NumCodewords) {
+  const ReedSolomonCode code(5, 3);
+  EXPECT_EQ(code.NumCodewords(), 125u);
+}
+
+TEST(ReedSolomonTest, DistinctCodewordsAgreeRarely) {
+  const std::uint64_t q = 11;
+  const std::size_t k = 3;
+  const ReedSolomonCode code(q, k);
+  // Degree < 3 polynomials agree in at most 2 positions.
+  for (std::uint64_t m1 = 0; m1 < 40; ++m1) {
+    for (std::uint64_t m2 = m1 + 1; m2 < 40; ++m2) {
+      EXPECT_LE(code.Agreements(m1, m2), k - 1);
+    }
+  }
+  EXPECT_EQ(code.Agreements(17, 17), q);
+}
+
+TEST(RsIncoherentTest, MeetsRequestedCoherence) {
+  const RsIncoherentFamily family(1000, 0.25);
+  EXPECT_GE(family.size(), 1000u);
+  EXPECT_LE(family.coherence(), 0.25);
+  EXPECT_EQ(family.dim(), family.q() * family.q());
+}
+
+TEST(RsIncoherentTest, VectorsAreUnitAndIncoherent) {
+  const RsIncoherentFamily family(200, 0.4);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const std::vector<double> v = family.Vector(i);
+    EXPECT_NEAR(Norm(v), 1.0, 1e-12);
+    for (std::uint64_t j = i + 1; j < 20; ++j) {
+      const std::vector<double> w = family.Vector(j);
+      const double dense_dot = Dot(v, w);
+      EXPECT_NEAR(dense_dot, family.Dot(i, j), 1e-12);
+      EXPECT_LE(std::abs(dense_dot), family.coherence() + 1e-12);
+    }
+  }
+}
+
+TEST(RsIncoherentTest, SupportHasOneEntryPerEvaluationPoint) {
+  const RsIncoherentFamily family(50, 0.5);
+  const std::vector<std::size_t> support = family.Support(3);
+  ASSERT_EQ(support.size(), family.q());
+  for (std::size_t a = 0; a < support.size(); ++a) {
+    // Coordinate block a covers [a q, (a+1) q).
+    EXPECT_GE(support[a], a * family.q());
+    EXPECT_LT(support[a], (a + 1) * family.q());
+  }
+}
+
+struct CoherenceCase {
+  std::size_t num_vectors;
+  double epsilon;
+};
+
+class RandomIncoherentSweep
+    : public ::testing::TestWithParam<CoherenceCase> {};
+
+TEST_P(RandomIncoherentSweep, RealizedCoherenceWithinBound) {
+  const CoherenceCase param = GetParam();
+  Rng rng(17);
+  const RandomIncoherentFamily family(param.num_vectors, param.epsilon,
+                                      &rng);
+  EXPECT_EQ(family.size(), param.num_vectors);
+  EXPECT_LE(family.realized_coherence(), param.epsilon);
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    EXPECT_NEAR(Norm(family.Vector(i)), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomIncoherentSweep,
+                         ::testing::Values(CoherenceCase{8, 0.5},
+                                           CoherenceCase{32, 0.4},
+                                           CoherenceCase{64, 0.3},
+                                           CoherenceCase{16, 0.2}));
+
+TEST(RandomIncoherentTest, SuggestedDimGrowsWithPrecision) {
+  EXPECT_GT(RandomIncoherentFamily::SuggestedDim(100, 0.1),
+            RandomIncoherentFamily::SuggestedDim(100, 0.3));
+  EXPECT_GT(RandomIncoherentFamily::SuggestedDim(10000, 0.2),
+            RandomIncoherentFamily::SuggestedDim(10, 0.2));
+}
+
+}  // namespace
+}  // namespace ips

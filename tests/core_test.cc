@@ -1,0 +1,240 @@
+// Tests for src/core: dataset generators, the four MipsIndex
+// implementations, join drivers, and the Definition 1 contract verifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset.h"
+#include "core/mips_index.h"
+#include "core/similarity_join.h"
+#include "linalg/vector_ops.h"
+#include "lsh/simhash.h"
+#include "rng/random.h"
+
+namespace ips {
+namespace {
+
+TEST(DatasetTest, UnitBallGaussianNorms) {
+  Rng rng(3);
+  const Matrix points = MakeUnitBallGaussian(200, 16, 0.5, &rng);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const double norm = Norm(points.Row(i));
+    EXPECT_GE(norm, 0.5 - 1e-9);
+    EXPECT_LE(norm, 1.0 + 1e-9);
+  }
+}
+
+TEST(DatasetTest, LatentFactorNormsDecay) {
+  Rng rng(5);
+  const Matrix points = MakeLatentFactorVectors(100, 8, 0.5, &rng);
+  EXPECT_NEAR(Norm(points.Row(0)), 1.0, 1e-9);
+  EXPECT_GT(Norm(points.Row(10)), Norm(points.Row(90)));
+  EXPECT_NEAR(Norm(points.Row(63)), std::pow(64.0, -0.5), 1e-9);
+}
+
+TEST(DatasetTest, BinarySetsHaveExactWeight) {
+  Rng rng(7);
+  const Matrix points = MakeBinarySets(50, 64, 12, &rng);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    double weight = 0.0;
+    for (double v : points.Row(i)) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      weight += v;
+    }
+    EXPECT_EQ(weight, 12.0);
+  }
+}
+
+TEST(DatasetTest, PlantedInstanceHasStrongPairs) {
+  Rng rng(11);
+  const PlantedInstance instance =
+      MakePlantedInstance(300, 20, 32, 0.8, 1.0, &rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double value = Dot(instance.data.Row(instance.plants[i]),
+                             instance.queries.Row(i));
+    EXPECT_GT(value, 0.6);  // close to target 0.8 minus noise
+    EXPECT_LE(Norm(instance.queries.Row(i)), 1.0 + 1e-9);
+  }
+}
+
+class IndexAgreementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(13);
+    data_ = MakeUnitBallGaussian(400, 12, 0.3, &rng);
+    queries_ = MakeUnitBallGaussian(30, 12, 0.8, &rng);
+  }
+  Matrix data_;
+  Matrix queries_;
+};
+
+TEST_F(IndexAgreementTest, BruteForceFindsTrueMax) {
+  const BruteForceIndex index(data_);
+  JoinSpec spec;
+  spec.s = 0.0;
+  spec.c = 0.5;
+  spec.is_signed = true;
+  for (std::size_t qi = 0; qi < queries_.rows(); ++qi) {
+    const auto match = index.Search(queries_.Row(qi), spec);
+    ASSERT_TRUE(match.has_value());
+    double truth = -1e300;
+    for (std::size_t i = 0; i < data_.rows(); ++i) {
+      truth = std::max(truth, Dot(data_.Row(i), queries_.Row(qi)));
+    }
+    EXPECT_NEAR(match->value, truth, 1e-9);
+  }
+  EXPECT_EQ(index.InnerProductsEvaluated(),
+            queries_.rows() * data_.rows());
+}
+
+TEST_F(IndexAgreementTest, TreeAgreesWithBruteForce) {
+  Rng rng(17);
+  const BruteForceIndex brute(data_);
+  const TreeMipsIndex tree(data_, 8, &rng);
+  for (const bool is_signed : {true, false}) {
+    JoinSpec spec;
+    spec.s = 0.0;
+    spec.c = 0.9;
+    spec.is_signed = is_signed;
+    for (std::size_t qi = 0; qi < queries_.rows(); ++qi) {
+      const auto brute_match = brute.Search(queries_.Row(qi), spec);
+      const auto tree_match = tree.Search(queries_.Row(qi), spec);
+      ASSERT_EQ(brute_match.has_value(), tree_match.has_value());
+      if (brute_match.has_value()) {
+        EXPECT_NEAR(brute_match->value, tree_match->value, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(IndexAgreementTest, LshIndexFindsPlantedMatches) {
+  Rng rng(19);
+  const PlantedInstance planted =
+      MakePlantedInstance(500, 25, 24, 0.9, 1.0, &rng);
+  const DualBallTransform transform(24, 1.0);
+  const SimHashFamily base(transform.output_dim());
+  LshTableParams params;
+  params.k = 8;
+  params.l = 32;
+  const LshMipsIndex index(planted.data, &transform, base, params, &rng);
+  JoinSpec spec;
+  spec.s = 0.8;
+  spec.c = 0.7;
+  spec.is_signed = true;
+  std::size_t found = 0;
+  for (std::size_t qi = 0; qi < planted.queries.rows(); ++qi) {
+    const auto match = index.Search(planted.queries.Row(qi), spec);
+    if (match.has_value() && match->value >= spec.cs()) ++found;
+  }
+  // High recall expected on near-duplicate planted pairs.
+  EXPECT_GE(found, 22u);
+  EXPECT_GT(index.MeanCandidates(), 0.0);
+  EXPECT_LT(index.MeanCandidates(), 250.0);  // prunes most of the data
+}
+
+TEST_F(IndexAgreementTest, SketchIndexAnswersUnsignedOnly) {
+  Rng rng(23);
+  SketchMipsParams params;
+  params.copies = 5;
+  const SketchIndex index(data_, params, &rng);
+  JoinSpec spec;
+  spec.s = 0.1;
+  spec.c = 0.5;
+  spec.is_signed = true;
+  EXPECT_DEATH(index.Search(queries_.Row(0), spec), "unsigned");
+}
+
+TEST(ExactJoinTest, ThresholdRespected) {
+  Rng rng(29);
+  const PlantedInstance planted =
+      MakePlantedInstance(100, 10, 16, 0.9, 1.0, &rng);
+  JoinSpec spec;
+  spec.s = 0.7;
+  spec.c = 0.8;
+  spec.is_signed = true;
+  const JoinResult result =
+      ExactJoin(planted.data, planted.queries, spec, nullptr);
+  EXPECT_EQ(result.per_query.size(), 10u);
+  EXPECT_EQ(result.NumMatched(), 10u);  // all planted pairs exceed s
+  for (const auto& match : result.per_query) {
+    ASSERT_TRUE(match.has_value());
+    EXPECT_GE(match->value, spec.s);
+  }
+  EXPECT_EQ(result.inner_products, 100u * 10u);
+}
+
+TEST(ExactJoinTest, ParallelMatchesSequential) {
+  Rng rng(31);
+  const Matrix data = MakeUnitBallGaussian(150, 8, 0.2, &rng);
+  const Matrix queries = MakeUnitBallGaussian(40, 8, 0.7, &rng);
+  JoinSpec spec;
+  spec.s = 0.2;
+  spec.c = 0.5;
+  spec.is_signed = false;
+  ThreadPool pool(4);
+  const JoinResult sequential = ExactJoin(data, queries, spec, nullptr);
+  const JoinResult parallel = ExactJoin(data, queries, spec, &pool);
+  ASSERT_EQ(sequential.per_query.size(), parallel.per_query.size());
+  for (std::size_t i = 0; i < sequential.per_query.size(); ++i) {
+    ASSERT_EQ(sequential.per_query[i].has_value(),
+              parallel.per_query[i].has_value());
+    if (sequential.per_query[i].has_value()) {
+      EXPECT_EQ(sequential.per_query[i]->data,
+                parallel.per_query[i]->data);
+    }
+  }
+}
+
+TEST(IndexJoinTest, BruteForceIndexJoinEqualsExactJoin) {
+  Rng rng(37);
+  const Matrix data = MakeUnitBallGaussian(120, 8, 0.2, &rng);
+  const Matrix queries = MakeUnitBallGaussian(15, 8, 0.9, &rng);
+  JoinSpec spec;
+  spec.s = 0.3;
+  spec.c = 1.0 - 1e-12;  // cs == s: index join must match exact join
+  spec.is_signed = true;
+  const BruteForceIndex index(data);
+  const JoinResult via_index = IndexJoin(index, queries, spec);
+  const JoinResult exact = ExactJoin(data, queries, spec, nullptr);
+  ASSERT_EQ(via_index.per_query.size(), exact.per_query.size());
+  for (std::size_t i = 0; i < exact.per_query.size(); ++i) {
+    EXPECT_EQ(via_index.per_query[i].has_value(),
+              exact.per_query[i].has_value());
+  }
+}
+
+TEST(VerifyJoinContractTest, CountsViolations) {
+  JoinSpec spec;
+  spec.s = 1.0;
+  spec.c = 0.5;
+  JoinResult truth;
+  truth.per_query = {JoinMatch{0, 5, 1.2},   // promised
+                     JoinMatch{1, 6, 0.4},   // below s: not promised
+                     JoinMatch{2, 7, 2.0},   // promised
+                     std::nullopt};          // no match at all
+  JoinResult reported;
+  reported.per_query = {JoinMatch{0, 5, 0.9},  // >= cs: OK
+                        std::nullopt,          // not promised: OK
+                        JoinMatch{2, 9, 0.3},  // < cs: violation
+                        std::nullopt};
+  double recall = 0.0;
+  const std::size_t violations =
+      VerifyJoinContract(reported, truth, spec, &recall);
+  EXPECT_EQ(violations, 1u);
+  EXPECT_DOUBLE_EQ(recall, 0.5);
+}
+
+TEST(VerifyJoinContractTest, PerfectResultHasNoViolations) {
+  JoinSpec spec;
+  spec.s = 0.5;
+  spec.c = 0.5;
+  JoinResult truth;
+  truth.per_query = {JoinMatch{0, 1, 0.8}};
+  double recall = 0.0;
+  EXPECT_EQ(VerifyJoinContract(truth, truth, spec, &recall), 0u);
+  EXPECT_DOUBLE_EQ(recall, 1.0);
+}
+
+}  // namespace
+}  // namespace ips

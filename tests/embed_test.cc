@@ -1,0 +1,345 @@
+// Tests for src/embed: the combinator algebra laws, Chebyshev
+// polynomials, and exhaustive/randomized verification of the three
+// Lemma 3 gap embeddings -- the core objects behind Theorems 1 and 2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/binary_embedding.h"
+#include "embed/chebyshev.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/combinators.h"
+#include "embed/sign_embedding.h"
+#include "linalg/vector_ops.h"
+#include "rng/random.h"
+
+namespace ips {
+namespace {
+
+std::vector<double> RandomVector(std::size_t dim, Rng* rng) {
+  std::vector<double> v(dim);
+  for (double& x : v) x = rng->NextGaussian();
+  return v;
+}
+
+std::vector<double> RandomBinary(std::size_t dim, double density, Rng* rng) {
+  std::vector<double> v(dim, 0.0);
+  for (double& x : v) x = rng->NextBernoulli(density) ? 1.0 : 0.0;
+  return v;
+}
+
+std::size_t BinaryDot(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 1.0 && y[i] == 1.0) ++t;
+  }
+  return t;
+}
+
+// --- Combinator laws (footnote 4: ++ / (*) are dual to + / * on inner
+// products) ---
+
+TEST(CombinatorTest, ConcatAddsInnerProducts) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x1 = RandomVector(5, &rng);
+    const auto x2 = RandomVector(7, &rng);
+    const auto y1 = RandomVector(5, &rng);
+    const auto y2 = RandomVector(7, &rng);
+    EXPECT_NEAR(Dot(Concat(x1, x2), Concat(y1, y2)),
+                Dot(x1, y1) + Dot(x2, y2), 1e-9);
+  }
+}
+
+TEST(CombinatorTest, TensorMultipliesInnerProducts) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x1 = RandomVector(4, &rng);
+    const auto x2 = RandomVector(6, &rng);
+    const auto y1 = RandomVector(4, &rng);
+    const auto y2 = RandomVector(6, &rng);
+    EXPECT_NEAR(Dot(Tensor(x1, x2), Tensor(y1, y2)),
+                Dot(x1, y1) * Dot(x2, y2), 1e-9);
+  }
+}
+
+TEST(CombinatorTest, RepeatScalesInnerProducts) {
+  Rng rng(3);
+  const auto x = RandomVector(5, &rng);
+  const auto y = RandomVector(5, &rng);
+  EXPECT_NEAR(Dot(Repeat(x, 9), Repeat(y, 9)), 9.0 * Dot(x, y), 1e-9);
+}
+
+TEST(CombinatorTest, NegateFlipsInnerProducts) {
+  Rng rng(4);
+  const auto x = RandomVector(5, &rng);
+  const auto y = RandomVector(5, &rng);
+  EXPECT_NEAR(Dot(Negate(x), y), -Dot(x, y), 1e-12);
+}
+
+TEST(CombinatorTest, AppendConstantTranslates) {
+  Rng rng(5);
+  const auto x = RandomVector(5, &rng);
+  const auto y = RandomVector(5, &rng);
+  // Appending 1s to one side and -1s to the other translates by -count.
+  const auto xe = AppendConstant(x, 1.0, 6);
+  const auto ye = AppendConstant(y, -1.0, 6);
+  EXPECT_NEAR(Dot(xe, ye), Dot(x, y) - 6.0, 1e-12);
+}
+
+TEST(CombinatorTest, Dimensions) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {3, 4, 5};
+  EXPECT_EQ(Concat(x, y).size(), 5u);
+  EXPECT_EQ(Tensor(x, y).size(), 6u);
+  EXPECT_EQ(Repeat(x, 4).size(), 8u);
+  EXPECT_EQ(AppendConstant(x, 0.5, 3).size(), 5u);
+}
+
+// --- Chebyshev polynomials ---
+
+TEST(ChebyshevTest, KnownValues) {
+  // T_2(x) = 2x^2 - 1, T_3(x) = 4x^3 - 3x.
+  EXPECT_DOUBLE_EQ(ChebyshevT(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(ChebyshevT(1, 0.3), 0.3);
+  EXPECT_NEAR(ChebyshevT(2, 0.3), 2 * 0.09 - 1, 1e-12);
+  EXPECT_NEAR(ChebyshevT(3, 0.5), 4 * 0.125 - 1.5, 1e-12);
+}
+
+TEST(ChebyshevTest, BoundedOnUnitInterval) {
+  for (unsigned q = 0; q <= 12; ++q) {
+    for (double x = -1.0; x <= 1.0; x += 0.05) {
+      EXPECT_LE(std::abs(ChebyshevT(q, x)), 1.0 + 1e-9) << "q=" << q;
+    }
+  }
+}
+
+TEST(ChebyshevTest, GrowthOutsideUnitInterval) {
+  // T_q(1 + eps) = cosh(q arccosh(1 + eps)) >= e^(q sqrt(eps)) / 2 for
+  // 0 < eps <= 1/2 (the 1/2 is why the paper's s carries a /2 factor).
+  for (unsigned q = 1; q <= 10; ++q) {
+    for (double eps : {0.05, 0.1, 0.25, 0.45}) {
+      EXPECT_GE(ChebyshevT(q, 1.0 + eps),
+                0.5 * std::exp(q * std::sqrt(eps)) * 0.999)
+          << "q=" << q << " eps=" << eps;
+      // And matches the cosh closed form exactly.
+      EXPECT_NEAR(ChebyshevT(q, 1.0 + eps),
+                  std::cosh(q * std::acosh(1.0 + eps)),
+                  1e-9 * std::cosh(q * std::acosh(1.0 + eps)));
+    }
+  }
+}
+
+TEST(ChebyshevTest, ScaledMatchesDefinition) {
+  for (unsigned q = 0; q <= 8; ++q) {
+    for (double b : {2.0, 6.0, 16.0}) {
+      for (double u : {-b, -1.0, 0.0, 2.5, b, b + 2}) {
+        EXPECT_NEAR(ScaledChebyshev(q, b, u),
+                    std::pow(b, q) * ChebyshevT(q, u / b),
+                    1e-6 * std::abs(std::pow(b, q)) + 1e-9)
+            << "q=" << q << " b=" << b << " u=" << u;
+      }
+    }
+  }
+}
+
+// --- Embedding 1: signed (d, 4d-4, 0, 4) into {-1,1} ---
+
+class SignedEmbeddingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SignedEmbeddingSweep, ExactGapFormula) {
+  const std::size_t d = GetParam();
+  const SignedGapEmbedding embedding(d);
+  EXPECT_EQ(embedding.output_dim(), 4 * d - 4);
+  EXPECT_TRUE(embedding.IsSigned());
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = RandomBinary(d, 0.4, &rng);
+    const auto y = RandomBinary(d, 0.4, &rng);
+    const auto fx = embedding.EmbedLeft(x);
+    const auto gy = embedding.EmbedRight(y);
+    ASSERT_EQ(fx.size(), embedding.output_dim());
+    ASSERT_EQ(gy.size(), embedding.output_dim());
+    // Entries stay in {-1, +1}.
+    for (double v : fx) EXPECT_TRUE(v == 1.0 || v == -1.0);
+    for (double v : gy) EXPECT_TRUE(v == 1.0 || v == -1.0);
+    // <f(x), g(y)> = 4 - 4 x^T y exactly.
+    const double expected = 4.0 - 4.0 * static_cast<double>(BinaryDot(x, y));
+    EXPECT_DOUBLE_EQ(Dot(fx, gy), expected);
+    if (BinaryDot(x, y) == 0) {
+      EXPECT_GE(Dot(fx, gy), embedding.s());
+    } else {
+      EXPECT_LE(Dot(fx, gy), embedding.cs());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SignedEmbeddingSweep,
+                         ::testing::Values(4, 5, 8, 13, 32, 64));
+
+TEST(SignedEmbeddingTest, RejectsTinyDimension) {
+  EXPECT_DEATH(SignedGapEmbedding(3), "IPS_CHECK_GE");
+}
+
+// --- Embedding 2: Chebyshev into {-1,1} ---
+
+struct ChebyshevEmbedCase {
+  std::size_t d;
+  unsigned q;
+};
+
+class ChebyshevEmbeddingSweep
+    : public ::testing::TestWithParam<ChebyshevEmbedCase> {};
+
+TEST_P(ChebyshevEmbeddingSweep, InnerProductIsScaledChebyshev) {
+  const auto [d, q] = GetParam();
+  const ChebyshevGapEmbedding embedding(d, q);
+  Rng rng(202);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto x = RandomBinary(d, 0.35, &rng);
+    const auto y = RandomBinary(d, 0.35, &rng);
+    const auto fx = embedding.EmbedLeft(x);
+    const auto gy = embedding.EmbedRight(y);
+    ASSERT_EQ(fx.size(), embedding.output_dim());
+    ASSERT_EQ(gy.size(), embedding.output_dim());
+    for (double v : fx) ASSERT_TRUE(v == 1.0 || v == -1.0);
+    for (double v : gy) ASSERT_TRUE(v == 1.0 || v == -1.0);
+    const std::size_t t = BinaryDot(x, y);
+    // <f_q(x), g_q(y)> = (2d)^q T_q((2d + 2 - 4t) / 2d) exactly.
+    EXPECT_DOUBLE_EQ(Dot(fx, gy), embedding.PredictedInnerProduct(t));
+  }
+}
+
+TEST_P(ChebyshevEmbeddingSweep, GapPropertyHolds) {
+  const auto [d, q] = GetParam();
+  const ChebyshevGapEmbedding embedding(d, q);
+  EXPECT_GT(embedding.s(), embedding.cs());
+  // Orthogonal pairs reach exactly s.
+  EXPECT_DOUBLE_EQ(embedding.PredictedInnerProduct(0), embedding.s());
+  // Any overlap t in [1, d] stays below cs in magnitude.
+  for (std::size_t t = 1; t <= d; ++t) {
+    EXPECT_LE(std::abs(embedding.PredictedInnerProduct(t)),
+              embedding.cs() + 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST_P(ChebyshevEmbeddingSweep, DimensionWithinNineDToTheQ) {
+  const auto [d, q] = GetParam();
+  const ChebyshevGapEmbedding embedding(d, q);
+  if (d >= 8) {
+    EXPECT_LE(static_cast<double>(embedding.output_dim()),
+              std::pow(9.0 * static_cast<double>(d), q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ChebyshevEmbeddingSweep,
+                         ::testing::Values(ChebyshevEmbedCase{4, 1},
+                                           ChebyshevEmbedCase{4, 2},
+                                           ChebyshevEmbedCase{4, 3},
+                                           ChebyshevEmbedCase{8, 2},
+                                           ChebyshevEmbedCase{8, 3},
+                                           ChebyshevEmbedCase{12, 2},
+                                           ChebyshevEmbedCase{16, 2}));
+
+TEST(ChebyshevEmbeddingTest, ApproximationImprovesWithQ) {
+  // c = cs/s = 1/T_q(1 + 1/d) shrinks as q grows.
+  const ChebyshevGapEmbedding e1(8, 1);
+  const ChebyshevGapEmbedding e2(8, 2);
+  const ChebyshevGapEmbedding e3(8, 3);
+  EXPECT_GT(e1.c(), e2.c());
+  EXPECT_GT(e2.c(), e3.c());
+}
+
+// --- Embedding 3: binary chunk embedding into {0,1} ---
+
+struct BinaryEmbedCase {
+  std::size_t d;
+  std::size_t k;
+};
+
+class BinaryEmbeddingSweep
+    : public ::testing::TestWithParam<BinaryEmbedCase> {};
+
+TEST_P(BinaryEmbeddingSweep, InnerProductCountsOrthogonalChunks) {
+  const auto [d, k] = GetParam();
+  const BinaryChunkEmbedding embedding(d, k);
+  EXPECT_EQ(embedding.s(), static_cast<double>(k));
+  EXPECT_EQ(embedding.cs(), static_cast<double>(k - 1));
+  Rng rng(303);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto x = RandomBinary(d, 0.3, &rng);
+    const auto y = RandomBinary(d, 0.3, &rng);
+    const auto fx = embedding.EmbedLeft(x);
+    const auto gy = embedding.EmbedRight(y);
+    ASSERT_EQ(fx.size(), embedding.output_dim());
+    for (double v : fx) ASSERT_TRUE(v == 0.0 || v == 1.0);
+    for (double v : gy) ASSERT_TRUE(v == 0.0 || v == 1.0);
+    const double expected =
+        static_cast<double>(embedding.OrthogonalChunks(x, y));
+    EXPECT_DOUBLE_EQ(Dot(fx, gy), expected);
+    if (BinaryDot(x, y) == 0) {
+      EXPECT_GE(Dot(fx, gy), embedding.s());  // all chunks orthogonal
+    } else {
+      EXPECT_LE(Dot(fx, gy), embedding.cs());  // some chunk conflicts
+    }
+  }
+}
+
+TEST_P(BinaryEmbeddingSweep, OutputDimMatchesFormulaWhenDivisible) {
+  const auto [d, k] = GetParam();
+  const BinaryChunkEmbedding embedding(d, k);
+  if (d % k == 0) {
+    EXPECT_EQ(embedding.output_dim(), k * (1ULL << (d / k)));
+  } else {
+    EXPECT_LT(embedding.output_dim(), k * (1ULL << (d / k + 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BinaryEmbeddingSweep,
+                         ::testing::Values(BinaryEmbedCase{8, 1},
+                                           BinaryEmbedCase{8, 2},
+                                           BinaryEmbedCase{8, 4},
+                                           BinaryEmbedCase{8, 8},
+                                           BinaryEmbedCase{12, 3},
+                                           BinaryEmbedCase{13, 4},
+                                           BinaryEmbedCase{16, 4},
+                                           BinaryEmbedCase{20, 5}));
+
+TEST(BinaryEmbeddingTest, KEqualsDGivesDimension2D) {
+  // The Theorem 2 parametrization takes k = d, giving d2 = 2d.
+  const BinaryChunkEmbedding embedding(10, 10);
+  EXPECT_EQ(embedding.output_dim(), 20u);
+}
+
+TEST(BinaryEmbeddingTest, ExhaustiveSmallDimension) {
+  // All 2^5 x 2^5 input pairs at d = 5, k = 2.
+  const std::size_t d = 5;
+  const BinaryChunkEmbedding embedding(d, 2);
+  for (std::size_t xm = 0; xm < 32; ++xm) {
+    for (std::size_t ym = 0; ym < 32; ++ym) {
+      std::vector<double> x(d), y(d);
+      for (std::size_t b = 0; b < d; ++b) {
+        x[b] = (xm >> b) & 1 ? 1.0 : 0.0;
+        y[b] = (ym >> b) & 1 ? 1.0 : 0.0;
+      }
+      const double value =
+          Dot(embedding.EmbedLeft(x), embedding.EmbedRight(y));
+      if (BinaryDot(x, y) == 0) {
+        EXPECT_DOUBLE_EQ(value, embedding.s());
+      } else {
+        EXPECT_LE(value, embedding.cs());
+      }
+    }
+  }
+}
+
+TEST(GapEmbeddingTest, ApproximationFactorAccessor) {
+  const BinaryChunkEmbedding embedding(12, 4);
+  EXPECT_DOUBLE_EQ(embedding.c(), 3.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,182 @@
+// Tests for src/hardness: OVP instance generation, the exact solver,
+// and the Lemma 2 reduction through each of the three gap embeddings.
+
+#include <gtest/gtest.h>
+
+#include "embed/binary_embedding.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/sign_embedding.h"
+#include "hardness/ovp.h"
+#include "hardness/reduction.h"
+#include "rng/random.h"
+
+namespace ips {
+namespace {
+
+TEST(OvpTest, GeneratorShapesAndDensity) {
+  Rng rng(3);
+  OvpOptions options;
+  options.size_a = 100;
+  options.size_b = 60;
+  options.dim = 64;
+  options.density = 0.25;
+  options.plant_orthogonal_pair = false;
+  const OvpInstance instance = GenerateOvpInstance(options, &rng);
+  EXPECT_EQ(instance.a.rows(), 100u);
+  EXPECT_EQ(instance.b.rows(), 60u);
+  EXPECT_EQ(instance.a.cols(), 64u);
+  EXPECT_FALSE(instance.planted.has_value());
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < instance.a.rows(); ++i) {
+    ones += instance.a.RowPopcount(i);
+  }
+  const double density = ones / (100.0 * 64.0);
+  EXPECT_NEAR(density, 0.25, 0.05);
+}
+
+TEST(OvpTest, PlantedPairIsOrthogonal) {
+  Rng rng(5);
+  OvpOptions options;
+  options.plant_orthogonal_pair = true;
+  const OvpInstance instance = GenerateOvpInstance(options, &rng);
+  ASSERT_TRUE(instance.planted.has_value());
+  const auto [pa, pb] = *instance.planted;
+  EXPECT_TRUE(instance.a.OrthogonalRows(pa, instance.b, pb));
+}
+
+TEST(OvpTest, ExactSolverFindsPlantedPair) {
+  Rng rng(7);
+  OvpOptions options;
+  options.size_a = 80;
+  options.size_b = 80;
+  options.dim = 48;  // dense instances: random pairs orthogonal w.p. ~0
+  const OvpInstance instance = GenerateOvpInstance(options, &rng);
+  const auto pair = SolveOvpExact(instance);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(instance.a.OrthogonalRows(pair->first, instance.b,
+                                        pair->second));
+}
+
+TEST(OvpTest, ExactSolverReportsNoneWhenNoneExists) {
+  // All-ones instances have no orthogonal pair.
+  OvpInstance instance;
+  instance.a = BitMatrix(10, 16);
+  instance.b = BitMatrix(10, 16);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      instance.a.Set(i, j, true);
+      instance.b.Set(i, j, true);
+    }
+  }
+  EXPECT_FALSE(SolveOvpExact(instance).has_value());
+  EXPECT_EQ(CountOrthogonalPairs(instance), 0u);
+}
+
+TEST(OvpTest, CountMatchesSolverExistence) {
+  Rng rng(11);
+  OvpOptions options;
+  options.size_a = 40;
+  options.size_b = 40;
+  options.dim = 20;
+  options.density = 0.3;
+  options.plant_orthogonal_pair = false;
+  for (int trial = 0; trial < 5; ++trial) {
+    const OvpInstance instance = GenerateOvpInstance(options, &rng);
+    const bool exists = SolveOvpExact(instance).has_value();
+    EXPECT_EQ(exists, CountOrthogonalPairs(instance) > 0);
+  }
+}
+
+// --- Lemma 2 reduction through each embedding ---
+
+class ReductionTest : public ::testing::Test {
+ protected:
+  OvpInstance MakePlanted(std::size_t n, std::size_t d, std::uint64_t seed) {
+    Rng rng(seed);
+    OvpOptions options;
+    options.size_a = n;
+    options.size_b = n;
+    options.dim = d;
+    options.density = 0.5;
+    options.plant_orthogonal_pair = true;
+    return GenerateOvpInstance(options, &rng);
+  }
+};
+
+TEST_F(ReductionTest, SignedEmbeddingRecoversPlantedPair) {
+  const OvpInstance instance = MakePlanted(32, 24, 13);
+  const SignedGapEmbedding embedding(24);
+  const ReductionResult result = SolveOvpViaEmbedding(instance, embedding);
+  ASSERT_TRUE(result.pair.has_value());
+  EXPECT_TRUE(instance.a.OrthogonalRows(result.pair->first, instance.b,
+                                        result.pair->second));
+  EXPECT_EQ(result.embedded_dim, 4u * 24 - 4);
+}
+
+TEST_F(ReductionTest, ChebyshevEmbeddingRecoversPlantedPair) {
+  const OvpInstance instance = MakePlanted(24, 8, 17);
+  const ChebyshevGapEmbedding embedding(8, 2);
+  const ReductionResult result = SolveOvpViaEmbedding(instance, embedding);
+  ASSERT_TRUE(result.pair.has_value());
+  EXPECT_TRUE(instance.a.OrthogonalRows(result.pair->first, instance.b,
+                                        result.pair->second));
+}
+
+TEST_F(ReductionTest, BinaryEmbeddingRecoversPlantedPair) {
+  const OvpInstance instance = MakePlanted(32, 16, 19);
+  const BinaryChunkEmbedding embedding(16, 4);
+  const ReductionResult result = SolveOvpViaEmbedding(instance, embedding);
+  ASSERT_TRUE(result.pair.has_value());
+  EXPECT_TRUE(instance.a.OrthogonalRows(result.pair->first, instance.b,
+                                        result.pair->second));
+}
+
+TEST_F(ReductionTest, NoOrthogonalPairMeansNoResult) {
+  // All-ones instance: every pair overlaps everywhere.
+  OvpInstance instance;
+  instance.a = BitMatrix(8, 12);
+  instance.b = BitMatrix(8, 12);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      instance.a.Set(i, j, true);
+      instance.b.Set(i, j, true);
+    }
+  }
+  const BinaryChunkEmbedding embedding(12, 3);
+  const ReductionResult result = SolveOvpViaEmbedding(instance, embedding);
+  EXPECT_FALSE(result.pair.has_value());
+}
+
+TEST_F(ReductionTest, EmbeddedMatricesHaveDeclaredThresholds) {
+  const OvpInstance instance = MakePlanted(16, 12, 23);
+  const BinaryChunkEmbedding embedding(12, 4);
+  const auto [p, q] = EmbedOvpInstance(instance, embedding);
+  EXPECT_EQ(p.rows(), instance.a.rows());
+  EXPECT_EQ(q.rows(), instance.b.rows());
+  EXPECT_EQ(p.cols(), embedding.output_dim());
+  // Dot products are integers in [0, k]; planted pair reaches k.
+  const auto pair = *instance.planted;
+  double planted_value = 0.0;
+  for (std::size_t t = 0; t < p.cols(); ++t) {
+    planted_value += p.At(pair.first, t) * q.At(pair.second, t);
+  }
+  EXPECT_DOUBLE_EQ(planted_value, embedding.s());
+}
+
+TEST_F(ReductionTest, CustomOracleIsUsed) {
+  const OvpInstance instance = MakePlanted(16, 16, 29);
+  const SignedGapEmbedding embedding(16);
+  bool called = false;
+  const JoinOracle oracle = [&](const Matrix& p, const Matrix& q, double s,
+                                double cs, bool is_signed) {
+    called = true;
+    return BruteForceJoinOracle(p, q, s, cs, is_signed);
+  };
+  const ReductionResult result =
+      SolveOvpViaEmbedding(instance, embedding, oracle);
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(result.pair.has_value());
+}
+
+}  // namespace
+}  // namespace ips

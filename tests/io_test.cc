@@ -1,0 +1,164 @@
+// Tests for CSV matrix I/O (core/io.h) and edge-case robustness of the
+// core indexes at degenerate sizes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/io.h"
+#include "core/mips_index.h"
+#include "lsh/simhash.h"
+#include "lsh/tables.h"
+#include "rng/random.h"
+#include "sketch/sketch_mips.h"
+#include "tree/mips_tree.h"
+
+namespace ips {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvParseTest, BasicMatrix) {
+  const auto result = ParseMatrixCsv("1,2,3\n4,5,6\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows(), 2u);
+  EXPECT_EQ(result->cols(), 3u);
+  EXPECT_DOUBLE_EQ(result->At(1, 2), 6.0);
+}
+
+TEST(CsvParseTest, CommentsAndBlanksSkipped) {
+  const auto result = ParseMatrixCsv("# header\n\n1.5,-2\n\n# tail\n3,4\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows(), 2u);
+  EXPECT_DOUBLE_EQ(result->At(0, 1), -2.0);
+}
+
+TEST(CsvParseTest, WindowsLineEndings) {
+  const auto result = ParseMatrixCsv("1,2\r\n3,4\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(1, 0), 3.0);
+}
+
+TEST(CsvParseTest, ScientificNotation) {
+  const auto result = ParseMatrixCsv("1e-3,2.5E+2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(0, 0), 1e-3);
+  EXPECT_DOUBLE_EQ(result->At(0, 1), 250.0);
+}
+
+TEST(CsvParseTest, RaggedRowsRejected) {
+  const auto result = ParseMatrixCsv("1,2\n3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("ragged"), std::string::npos);
+}
+
+TEST(CsvParseTest, BadNumberRejected) {
+  const auto result = ParseMatrixCsv("1,abc\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("abc"), std::string::npos);
+}
+
+TEST(CsvParseTest, EmptyCellRejected) {
+  EXPECT_FALSE(ParseMatrixCsv("1,,3\n").ok());
+  EXPECT_FALSE(ParseMatrixCsv("1,2,\n").ok());
+}
+
+TEST(CsvParseTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseMatrixCsv("").ok());
+  EXPECT_FALSE(ParseMatrixCsv("# only a comment\n").ok());
+}
+
+TEST(CsvFileTest, SaveLoadRoundTrip) {
+  Rng rng(3);
+  const Matrix original = MakeUnitBallGaussian(17, 5, 0.2, &rng);
+  const std::string path = TempPath("roundtrip.csv");
+  IPS_CHECK_OK(SaveMatrixCsv(path, original));
+  const auto loaded = LoadMatrixCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->rows(), original.rows());
+  ASSERT_EQ(loaded->cols(), original.cols());
+  for (std::size_t i = 0; i < original.rows(); ++i) {
+    for (std::size_t j = 0; j < original.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded->At(i, j), original.At(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsNotFound) {
+  const auto result = LoadMatrixCsv("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// --- Degenerate-size robustness of the engines ---
+
+TEST(EdgeCaseTest, SinglePointIndexes) {
+  Rng rng(7);
+  Matrix data(1, 3);
+  data.At(0, 0) = 0.5;
+  JoinSpec spec;
+  spec.s = 0.1;
+  spec.c = 0.5;
+  spec.is_signed = true;
+  std::vector<double> q = {1.0, 0.0, 0.0};
+
+  const BruteForceIndex brute(data);
+  EXPECT_TRUE(brute.Search(q, spec).has_value());
+
+  const TreeMipsIndex tree(data, 4, &rng);
+  EXPECT_TRUE(tree.Search(q, spec).has_value());
+
+  SketchMipsParams sketch_params;
+  const SketchMipsIndex sketch(data, sketch_params, &rng);
+  EXPECT_EQ(sketch.RecoverArgmax(q), 0u);
+}
+
+TEST(EdgeCaseTest, OneDimensionalVectors) {
+  Rng rng(11);
+  Matrix data(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    data.At(i, 0) = 0.1 * static_cast<double>(i + 1) - 0.5;
+  }
+  const MipsBallTree tree(data, 2, &rng);
+  std::vector<double> q = {1.0};
+  EXPECT_DOUBLE_EQ(tree.QueryMax(q).value, 0.5);
+  EXPECT_DOUBLE_EQ(tree.QueryMaxAbs(q).value, 0.5);  // |-0.4| < 0.5
+}
+
+TEST(EdgeCaseTest, ZeroQueryVector) {
+  Rng rng(13);
+  const Matrix data = MakeUnitBallGaussian(20, 4, 0.5, &rng);
+  const BruteForceIndex brute(data);
+  JoinSpec spec;
+  spec.s = 0.1;
+  spec.c = 0.5;
+  spec.is_signed = true;
+  const std::vector<double> zero(4, 0.0);
+  // Every inner product is 0 < cs: no match.
+  EXPECT_FALSE(brute.Search(zero, spec).has_value());
+}
+
+TEST(EdgeCaseTest, LshTablesWithSingleFunctionAndTable) {
+  Rng rng(17);
+  const Matrix data = MakeUnitBallGaussian(30, 6, 0.5, &rng);
+  const SimHashFamily family(6);
+  LshTableParams params;
+  params.k = 1;
+  params.l = 1;
+  const LshTables tables(family, data, params, &rng);
+  // A single sign bit splits the data in two: querying a data point
+  // returns its half (which contains it).
+  const auto candidates = tables.Query(data.Row(3));
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 3u),
+            candidates.end());
+  EXPECT_LT(candidates.size(), 30u);
+}
+
+}  // namespace
+}  // namespace ips

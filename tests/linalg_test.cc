@@ -1,0 +1,250 @@
+// Tests for src/linalg: dense matrices, packed bit/sign matrices, vector
+// kernels, and Gaussian projections (including a JL property sweep).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/bit_matrix.h"
+#include "linalg/matrix.h"
+#include "linalg/random_projection.h"
+#include "linalg/sign_matrix.h"
+#include "linalg/vector_ops.h"
+#include "rng/random.h"
+#include "util/stats.h"
+
+namespace ips {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0;
+  EXPECT_EQ(m.At(1, 2), 5.0);
+  EXPECT_EQ(m.Row(1)[2], 5.0);
+}
+
+TEST(MatrixTest, FromData) {
+  Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, AppendRowSetsColumns) {
+  Matrix m;
+  m.AppendRow(std::vector<double>{1.0, 2.0});
+  m.AppendRow(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.At(1, 1), 4.0);
+}
+
+TEST(MatrixTest, AppendMismatchedRowDies) {
+  Matrix m;
+  m.AppendRow(std::vector<double>{1.0, 2.0});
+  EXPECT_DEATH(m.AppendRow(std::vector<double>{1.0}), "IPS_CHECK_EQ");
+}
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {5.0, 4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 35.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 55.0);
+  EXPECT_DOUBLE_EQ(Norm(x), std::sqrt(55.0));
+}
+
+TEST(VectorOpsTest, DotHandlesShortVectors) {
+  const std::vector<double> x = {2.0};
+  const std::vector<double> y = {3.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 6.0);
+  EXPECT_DOUBLE_EQ(Dot(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOpsTest, LpNorms) {
+  const std::vector<double> x = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(LpNorm(x, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(LpNorm(x, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(LInfNorm(x), 4.0);
+}
+
+TEST(VectorOpsTest, LpNormConvergesToLInf) {
+  const std::vector<double> x = {1.0, -7.0, 3.0};
+  EXPECT_NEAR(LpNorm(x, 64.0), LInfNorm(x), 0.15);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), 25.0);
+}
+
+TEST(VectorOpsTest, NormalizeMakesUnit) {
+  std::vector<double> x = {3.0, 4.0};
+  NormalizeInPlace(x);
+  EXPECT_NEAR(Norm(x), 1.0, 1e-12);
+  EXPECT_NEAR(x[0], 0.6, 1e-12);
+}
+
+TEST(VectorOpsTest, NormalizeZeroIsNoop) {
+  std::vector<double> zero = {0.0, 0.0};
+  NormalizeInPlace(zero);
+  EXPECT_EQ(zero[0], 0.0);
+}
+
+TEST(VectorOpsTest, CosineSimilarity) {
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> y = {1.0, 1.0};
+  EXPECT_NEAR(CosineSimilarity(x, y), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(CosineSimilarity(x, std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(BitMatrixTest, SetGetRoundTrip) {
+  BitMatrix m(3, 130);  // spans multiple words
+  m.Set(1, 0, true);
+  m.Set(1, 64, true);
+  m.Set(1, 129, true);
+  EXPECT_TRUE(m.Get(1, 0));
+  EXPECT_TRUE(m.Get(1, 64));
+  EXPECT_TRUE(m.Get(1, 129));
+  EXPECT_FALSE(m.Get(1, 1));
+  EXPECT_EQ(m.RowPopcount(1), 3u);
+  m.Set(1, 64, false);
+  EXPECT_FALSE(m.Get(1, 64));
+  EXPECT_EQ(m.RowPopcount(1), 2u);
+}
+
+TEST(BitMatrixTest, DotAndOrthogonality) {
+  BitMatrix a(1, 100);
+  BitMatrix b(2, 100);
+  a.Set(0, 5, true);
+  a.Set(0, 70, true);
+  b.Set(0, 70, true);  // overlaps
+  b.Set(1, 6, true);   // disjoint
+  EXPECT_EQ(a.DotRows(0, b, 0), 1u);
+  EXPECT_EQ(a.DotRows(0, b, 1), 0u);
+  EXPECT_FALSE(a.OrthogonalRows(0, b, 0));
+  EXPECT_TRUE(a.OrthogonalRows(0, b, 1));
+}
+
+TEST(BitMatrixTest, DenseRoundTrip) {
+  Rng rng(3);
+  BitMatrix m(4, 37);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 37; ++j) {
+      if (rng.NextBernoulli(0.5)) m.Set(i, j, true);
+    }
+  }
+  const BitMatrix back = BitMatrix::FromDense(m.ToDense());
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 37; ++j) {
+      EXPECT_EQ(m.Get(i, j), back.Get(i, j));
+    }
+  }
+}
+
+TEST(BitMatrixTest, FromDenseRejectsNonBinary) {
+  Matrix dense(1, 2);
+  dense.At(0, 0) = 0.5;
+  EXPECT_DEATH(BitMatrix::FromDense(dense), "not binary");
+}
+
+TEST(SignMatrixTest, DefaultsToMinusOne) {
+  SignMatrix m(1, 5);
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_EQ(m.Get(0, j), -1);
+}
+
+TEST(SignMatrixTest, DotMatchesDense) {
+  Rng rng(5);
+  const std::size_t kDim = 77;  // exercises the tail-word mask
+  SignMatrix a(3, kDim);
+  SignMatrix b(3, kDim);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      a.Set(i, j, rng.NextSign());
+      b.Set(i, j, rng.NextSign());
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double dense_dot = Dot(a.RowAsDense(i), b.RowAsDense(j));
+      EXPECT_EQ(static_cast<double>(a.DotRows(i, b, j)), dense_dot);
+    }
+  }
+}
+
+TEST(SignMatrixTest, SelfDotIsDimension) {
+  SignMatrix m(1, 100);
+  for (std::size_t j = 0; j < 100; ++j) m.Set(0, j, j % 2 ? 1 : -1);
+  EXPECT_EQ(m.DotRows(0, m, 0), 100);
+  EXPECT_EQ(m.HammingRows(0, m, 0), 0u);
+}
+
+TEST(SignMatrixTest, DenseRoundTrip) {
+  Rng rng(7);
+  SignMatrix m(2, 65);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 65; ++j) m.Set(i, j, rng.NextSign());
+  }
+  const SignMatrix back = SignMatrix::FromDense(m.ToDense());
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 65; ++j) {
+      EXPECT_EQ(m.Get(i, j), back.Get(i, j));
+    }
+  }
+}
+
+TEST(GaussianProjectionTest, PreservesNormInExpectation) {
+  Rng rng(11);
+  const std::size_t kInputDim = 64;
+  std::vector<double> x(kInputDim);
+  for (double& v : x) v = rng.NextGaussian();
+  const double true_norm_sq = SquaredNorm(x);
+  OnlineStats ratio;
+  for (int trial = 0; trial < 200; ++trial) {
+    GaussianProjection projection(32, kInputDim, &rng);
+    ratio.Add(SquaredNorm(projection.Apply(x)) / true_norm_sq);
+  }
+  EXPECT_NEAR(ratio.Mean(), 1.0, 0.1);
+}
+
+struct JlCase {
+  std::size_t input_dim;
+  std::size_t output_dim;
+  double tolerance;
+};
+
+class JlSweepTest : public ::testing::TestWithParam<JlCase> {};
+
+TEST_P(JlSweepTest, PairwiseDistancesApproximatelyPreserved) {
+  const JlCase param = GetParam();
+  Rng rng(13);
+  constexpr std::size_t kPoints = 12;
+  Matrix points(kPoints, param.input_dim);
+  for (double& v : points.data()) v = rng.NextGaussian();
+  GaussianProjection projection(param.output_dim, param.input_dim, &rng);
+  const Matrix projected = projection.ApplyToRows(points);
+  // Most pairs should have distortion within tolerance; JL is a w.h.p.
+  // statement so allow a small number of outliers.
+  std::size_t bad = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    for (std::size_t j = i + 1; j < kPoints; ++j) {
+      const double original =
+          SquaredDistance(points.Row(i), points.Row(j));
+      const double mapped =
+          SquaredDistance(projected.Row(i), projected.Row(j));
+      ++total;
+      if (std::abs(mapped / original - 1.0) > param.tolerance) ++bad;
+    }
+  }
+  EXPECT_LE(bad, total / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dimensions, JlSweepTest,
+    ::testing::Values(JlCase{128, 256, 0.5}, JlCase{128, 512, 0.35},
+                      JlCase{64, 1024, 0.25}, JlCase{256, 2048, 0.2}));
+
+}  // namespace
+}  // namespace ips

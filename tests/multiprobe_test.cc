@@ -1,0 +1,171 @@
+// Tests for multiprobe SimHash tables and the bit-parallel sign-domain
+// hardness pipeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dataset.h"
+#include "embed/chebyshev_embedding.h"
+#include "embed/sign_embedding.h"
+#include "hardness/sign_pipeline.h"
+#include "linalg/vector_ops.h"
+#include "lsh/multiprobe.h"
+#include "rng/random.h"
+
+namespace ips {
+namespace {
+
+TEST(MultiprobeTest, FindsSelfWithZeroProbes) {
+  Rng rng(3);
+  const Matrix data = MakeUnitBallGaussian(100, 12, 0.5, &rng);
+  MultiprobeParams params;
+  params.k = 8;
+  params.l = 2;
+  params.probes = 0;
+  const MultiprobeSimHashTables tables(data, params, &rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto candidates = tables.Query(data.Row(i));
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), i),
+              candidates.end());
+  }
+}
+
+TEST(MultiprobeTest, ProbingImprovesRecallAtFixedTables) {
+  Rng rng(5);
+  const std::size_t kDim = 16;
+  const PlantedInstance planted =
+      MakePlantedInstance(600, 50, kDim, 0.8, 1.0, &rng);
+  auto recall_with_probes = [&](std::size_t probes) {
+    MultiprobeParams params;
+    params.k = 20;
+    params.l = 1;  // deliberately a single table
+    params.probes = probes;
+    Rng local(7);
+    const MultiprobeSimHashTables tables(planted.data, params, &local);
+    std::size_t hits = 0;
+    for (std::size_t qi = 0; qi < planted.queries.rows(); ++qi) {
+      const auto candidates = tables.Query(planted.queries.Row(qi));
+      if (std::find(candidates.begin(), candidates.end(),
+                    planted.plants[qi]) != candidates.end()) {
+        ++hits;
+      }
+    }
+    return static_cast<double>(hits) / planted.queries.rows();
+  };
+  const double base = recall_with_probes(0);
+  const double probed = recall_with_probes(24);
+  EXPECT_GT(probed, base + 0.1);
+  EXPECT_GE(probed, 0.4);
+}
+
+TEST(MultiprobeTest, CandidatesSortedUniqueAndBounded) {
+  Rng rng(11);
+  const Matrix data = MakeUnitBallGaussian(200, 10, 0.4, &rng);
+  MultiprobeParams params;
+  params.k = 10;
+  params.l = 3;
+  params.probes = 6;
+  const MultiprobeSimHashTables tables(data, params, &rng);
+  std::vector<double> q(10);
+  for (double& v : q) v = rng.NextGaussian();
+  const auto candidates = tables.Query(q);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_LT(candidates[i - 1], candidates[i]);
+  }
+  EXPECT_LE(candidates.size(), data.rows());
+}
+
+TEST(SignPipelineTest, PackedEmbeddingMatchesDense) {
+  Rng rng(13);
+  OvpOptions options;
+  options.size_a = 12;
+  options.size_b = 12;
+  options.dim = 10;
+  options.plant_orthogonal_pair = true;
+  const OvpInstance instance = GenerateOvpInstance(options, &rng);
+  const ChebyshevGapEmbedding embedding(10, 2);
+  const auto [sp, sq] = EmbedOvpInstanceSigned(instance, embedding);
+  const auto [dp, dq] = EmbedOvpInstance(instance, embedding);
+  ASSERT_EQ(sp.rows(), dp.rows());
+  ASSERT_EQ(sp.cols(), dp.cols());
+  for (std::size_t i = 0; i < sp.rows(); ++i) {
+    for (std::size_t j = 0; j < sq.rows(); ++j) {
+      EXPECT_DOUBLE_EQ(static_cast<double>(sp.DotRows(i, sq, j)),
+                       Dot(dp.Row(i), dq.Row(j)));
+    }
+  }
+}
+
+TEST(SignPipelineTest, RecoversPlantedPairSignedAndUnsigned) {
+  Rng rng(17);
+  OvpOptions options;
+  options.size_a = 40;
+  options.size_b = 40;
+  options.dim = 24;
+  options.plant_orthogonal_pair = true;
+  const OvpInstance instance = GenerateOvpInstance(options, &rng);
+  {
+    const SignedGapEmbedding embedding(24);
+    const ReductionResult result =
+        SolveOvpViaSignEmbedding(instance, embedding);
+    ASSERT_TRUE(result.pair.has_value());
+    EXPECT_TRUE(instance.a.OrthogonalRows(result.pair->first, instance.b,
+                                          result.pair->second));
+  }
+  {
+    const ChebyshevGapEmbedding embedding(24, 1);
+    const ReductionResult result =
+        SolveOvpViaSignEmbedding(instance, embedding);
+    ASSERT_TRUE(result.pair.has_value());
+  }
+}
+
+TEST(SignPipelineTest, RejectsBinaryDomainEmbeddings) {
+  Rng rng(19);
+  OvpOptions options;
+  options.dim = 12;
+  const OvpInstance instance = GenerateOvpInstance(options, &rng);
+  // BinaryChunkEmbedding maps into {0,1}: the sign pipeline must refuse.
+  class FakeBinary : public GapEmbedding {
+   public:
+    std::string Name() const override { return "fake"; }
+    EmbeddingDomain domain() const override {
+      return EmbeddingDomain::kBinary;
+    }
+    std::size_t input_dim() const override { return 12; }
+    std::size_t output_dim() const override { return 1; }
+    bool IsSigned() const override { return false; }
+    double s() const override { return 1; }
+    double cs() const override { return 0; }
+    std::vector<double> EmbedLeft(std::span<const double>) const override {
+      return {1.0};
+    }
+    std::vector<double> EmbedRight(std::span<const double>) const override {
+      return {1.0};
+    }
+  };
+  EXPECT_DEATH(EmbedOvpInstanceSigned(instance, FakeBinary()),
+               "sign pipeline");
+}
+
+TEST(SignPipelineTest, AgreesWithDensePipelineOnUnplantedInstances) {
+  Rng rng(23);
+  OvpOptions options;
+  options.size_a = 20;
+  options.size_b = 20;
+  options.dim = 16;
+  options.density = 0.4;
+  options.plant_orthogonal_pair = false;
+  for (int trial = 0; trial < 5; ++trial) {
+    const OvpInstance instance = GenerateOvpInstance(options, &rng);
+    const SignedGapEmbedding embedding(16);
+    const ReductionResult dense = SolveOvpViaEmbedding(instance, embedding);
+    const ReductionResult packed =
+        SolveOvpViaSignEmbedding(instance, embedding);
+    EXPECT_EQ(dense.pair.has_value(), packed.pair.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,183 @@
+// Tests for src/rng: determinism and distributional sanity of the
+// platform-stable generator and samplers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rng/random.h"
+#include "util/stats.h"
+
+namespace ips {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanIsHalf) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.NextDouble());
+  EXPECT_NEAR(stats.Mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.Variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(17);
+  constexpr std::size_t kBuckets = 10;
+  constexpr std::size_t kSamples = 100000;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (std::size_t count : counts) {
+    EXPECT_NEAR(static_cast<double>(count), kSamples / 10.0,
+                5.0 * std::sqrt(kSamples / 10.0));
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.Variance(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianTailFraction) {
+  Rng rng(29);
+  int beyond_two_sigma = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (std::abs(rng.NextGaussian()) > 2.0) ++beyond_two_sigma;
+  }
+  // P(|Z| > 2) is about 0.0455.
+  EXPECT_NEAR(beyond_two_sigma / static_cast<double>(kSamples), 0.0455,
+              0.005);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(31);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextExponential());
+  EXPECT_NEAR(stats.Mean(), 1.0, 0.02);
+  EXPECT_NEAR(stats.Variance(), 1.0, 0.05);
+  EXPECT_GE(stats.Min(), 0.0);
+}
+
+TEST(RngTest, CauchyMedianAndQuartiles) {
+  Rng rng(37);
+  std::vector<double> samples;
+  for (int i = 0; i < 100001; ++i) samples.push_back(rng.NextCauchy());
+  std::sort(samples.begin(), samples.end());
+  // Median 0, quartiles at +-1 for the standard Cauchy.
+  EXPECT_NEAR(samples[samples.size() / 2], 0.0, 0.05);
+  EXPECT_NEAR(samples[samples.size() / 4], -1.0, 0.05);
+  EXPECT_NEAR(samples[3 * samples.size() / 4], 1.0, 0.05);
+}
+
+TEST(RngTest, SignIsFair) {
+  Rng rng(41);
+  int sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextSign();
+  EXPECT_LT(std::abs(sum), 5 * static_cast<int>(std::sqrt(kSamples)));
+}
+
+TEST(RngTest, BernoulliMatchesP) {
+  Rng rng(43);
+  int successes = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.NextBernoulli(0.3)) ++successes;
+  }
+  EXPECT_NEAR(successes / static_cast<double>(kSamples), 0.3, 0.01);
+}
+
+TEST(RngTest, SplitIsIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(53);
+  std::vector<std::size_t> perm;
+  rng.Permutation(100, &perm);
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<std::size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(59);
+  std::vector<std::size_t> perm;
+  rng.Permutation(100, &perm);
+  std::size_t fixed_points = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 10u);  // expectation is 1
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = SplitMix64(state);
+  const std::uint64_t second = SplitMix64(state);
+  // Reference values of the SplitMix64 stream seeded with 0.
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace ips

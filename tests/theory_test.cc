@@ -1,0 +1,289 @@
+// Tests for src/theory: the Figure 1 grid partition, the three hard
+// sequence constructions of Theorem 3 (verified exhaustively against the
+// staircase promise), the collision-matrix estimator, and the gap
+// bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lsh/simhash.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "theory/gap_bounds.h"
+#include "theory/hard_sequences.h"
+#include "theory/lemma4.h"
+
+namespace ips {
+namespace {
+
+// --- Grid partition (Figure 1) ---
+
+class GridPartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridPartitionSweep, CoversLowerTriangleExactlyOnce) {
+  const std::size_t ell = GetParam();
+  const std::size_t n = (1ULL << ell) - 1;
+  const std::vector<GridSquare> squares = LowerTrianglePartition(ell);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::size_t covering = 0;
+      for (const GridSquare& square : squares) {
+        if (SquareContains(square, i, j)) ++covering;
+      }
+      if (j >= i) {
+        EXPECT_EQ(covering, 1u) << "node (" << i << "," << j << ")";
+      } else {
+        EXPECT_EQ(covering, 0u) << "node (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST_P(GridPartitionSweep, SquareAreasSumToTriangle) {
+  const std::size_t ell = GetParam();
+  const std::size_t n = (1ULL << ell) - 1;
+  std::size_t total = 0;
+  for (const GridSquare& square : LowerTrianglePartition(ell)) {
+    total += square.side * square.side;
+  }
+  EXPECT_EQ(total, n * (n + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ells, GridPartitionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(GridPartitionTest, SquareCountPerLevel) {
+  const auto squares = LowerTrianglePartition(4);
+  std::size_t at_r0 = 0;
+  std::size_t at_r3 = 0;
+  for (const auto& square : squares) {
+    if (square.r == 0) ++at_r0;
+    if (square.r == 3) ++at_r3;
+  }
+  EXPECT_EQ(at_r0, 8u);  // 2^(4-0-1)
+  EXPECT_EQ(at_r3, 1u);  // 2^(4-3-1)
+}
+
+TEST(Lemma4BoundTest, Decreases) {
+  EXPECT_DOUBLE_EQ(Lemma4GapBound(2), 1.0 / 8.0);
+  EXPECT_GT(Lemma4GapBound(16), Lemma4GapBound(1024));
+  EXPECT_NEAR(Lemma4GapBound(1024), 1.0 / 80.0, 1e-12);
+}
+
+// --- Case 1 sequences ---
+
+struct Case1Params {
+  std::size_t d;
+  double U;
+  double s;
+  double c;
+};
+
+class Case1Sweep : public ::testing::TestWithParam<Case1Params> {};
+
+TEST_P(Case1Sweep, StaircaseAndNormsHold) {
+  const auto [d, U, s, c] = GetParam();
+  const HardSequences sequences = MakeCase1Sequences(d, U, s, c);
+  ASSERT_GT(sequences.data.rows(), 0u);
+  const SequenceCheck check = VerifyHardSequences(sequences);
+  EXPECT_TRUE(check.staircase_ok) << check.violations << " violations";
+  EXPECT_TRUE(check.unsigned_ok);
+  EXPECT_TRUE(check.norms_ok)
+      << "data " << check.max_data_norm << " query " << check.max_query_norm;
+  EXPECT_TRUE(sequences.unsigned_valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, Case1Sweep,
+    ::testing::Values(Case1Params{1, 4.0, 0.5, 0.5},
+                      Case1Params{1, 100.0, 0.1, 0.7},
+                      Case1Params{2, 10.0, 0.5, 0.5},
+                      Case1Params{4, 20.0, 0.5, 0.6},
+                      Case1Params{8, 50.0, 1.0, 0.5},
+                      Case1Params{16, 100.0, 2.0, 0.8},
+                      Case1Params{6, 64.0, 0.25, 0.9}));
+
+TEST(Case1Test, LongerForSmallerS) {
+  const HardSequences coarse = MakeCase1Sequences(4, 100.0, 10.0, 0.5);
+  const HardSequences fine = MakeCase1Sequences(4, 100.0, 0.1, 0.5);
+  EXPECT_GT(fine.data.rows(), coarse.data.rows());
+}
+
+// --- Case 2 sequences ---
+
+struct Case2Params {
+  std::size_t d;
+  double U;
+  double s;
+  double c;
+};
+
+class Case2Sweep : public ::testing::TestWithParam<Case2Params> {};
+
+TEST_P(Case2Sweep, SignedStaircaseHolds) {
+  const auto [d, U, s, c] = GetParam();
+  const HardSequences sequences = MakeCase2Sequences(d, U, s, c);
+  ASSERT_GT(sequences.data.rows(), 0u);
+  const SequenceCheck check = VerifyHardSequences(sequences);
+  EXPECT_TRUE(check.staircase_ok) << check.violations << " violations";
+  EXPECT_TRUE(check.norms_ok)
+      << "data " << check.max_data_norm << " query " << check.max_query_norm;
+  EXPECT_FALSE(sequences.unsigned_valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, Case2Sweep,
+    ::testing::Values(Case2Params{2, 10.0, 1.0, 0.5},
+                      Case2Params{2, 100.0, 1.0, 0.9},
+                      Case2Params{4, 50.0, 2.0, 0.5},
+                      Case2Params{8, 100.0, 1.0, 0.7},
+                      Case2Params{6, 200.0, 0.5, 0.3}));
+
+TEST(Case2Test, LongerForMilderApproximation) {
+  // c closer to 1 means smaller steps, hence longer staircases.
+  const HardSequences wide = MakeCase2Sequences(2, 100.0, 1.0, 0.3);
+  const HardSequences tight = MakeCase2Sequences(2, 100.0, 1.0, 0.95);
+  EXPECT_GT(tight.data.rows(), wide.data.rows());
+}
+
+// --- Case 3 sequences ---
+
+struct Case3Params {
+  double U;
+  double s;
+  double c;
+  IncoherentKind kind;
+};
+
+class Case3Sweep : public ::testing::TestWithParam<Case3Params> {};
+
+TEST_P(Case3Sweep, StaircaseNormsAndUnsignedHold) {
+  const auto [U, s, c, kind] = GetParam();
+  Rng rng(7);
+  const HardSequences sequences = MakeCase3Sequences(U, s, c, kind, &rng);
+  const std::size_t levels =
+      static_cast<std::size_t>(std::floor(std::sqrt(U / (8.0 * s))));
+  EXPECT_EQ(sequences.data.rows(), (1ULL << levels) - 1);
+  const SequenceCheck check = VerifyHardSequences(sequences);
+  EXPECT_TRUE(check.staircase_ok) << check.violations << " violations";
+  EXPECT_TRUE(check.unsigned_ok);
+  EXPECT_TRUE(check.norms_ok)
+      << "data " << check.max_data_norm << " query " << check.max_query_norm;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, Case3Sweep,
+    ::testing::Values(
+        Case3Params{80.0, 1.0, 0.5, IncoherentKind::kOrthonormal},
+        Case3Params{200.0, 1.0, 0.5, IncoherentKind::kOrthonormal},
+        Case3Params{128.0, 1.0, 0.9, IncoherentKind::kOrthonormal},
+        Case3Params{80.0, 1.0, 0.8, IncoherentKind::kReedSolomon},
+        Case3Params{80.0, 1.0, 0.8, IncoherentKind::kRandom},
+        Case3Params{300.0, 2.0, 0.6, IncoherentKind::kOrthonormal}));
+
+TEST(Case3Test, RequiresLargeEnoughU) {
+  EXPECT_DEATH(MakeCase3Sequences(4.0, 1.0, 0.5,
+                                  IncoherentKind::kOrthonormal),
+               "U/8");
+}
+
+// --- Collision matrix + empirical Lemma 4 verification ---
+
+TEST(CollisionMatrixTest, PerfectFamilyRespectsBoundViolationDetected) {
+  // A family that hashes everything to one bucket has m_{i,j} = 1
+  // everywhere: P1 = 1 but also P2 = 1, so the gap is 0 <= bound.
+  class ConstantFamily : public LshFamily {
+   public:
+    explicit ConstantFamily(std::size_t dim) : dim_(dim) {}
+    std::string Name() const override { return "constant"; }
+    std::size_t dim() const override { return dim_; }
+    std::unique_ptr<LshFunction> Sample(Rng*) const override {
+      class F : public SymmetricLshFunction {
+        std::uint64_t HashData(std::span<const double>) const override {
+          return 0;
+        }
+      };
+      return std::make_unique<F>();
+    }
+
+   private:
+    std::size_t dim_;
+  };
+
+  const HardSequences sequences =
+      MakeCase1Sequences(2, 10.0, 0.5, 0.5);
+  Rng rng(11);
+  const ConstantFamily family(sequences.data.cols());
+  const CollisionMatrix matrix(family, sequences, 50, &rng);
+  EXPECT_DOUBLE_EQ(matrix.EmpiricalP1(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.EmpiricalP2(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.EmpiricalGap(), 0.0);
+}
+
+TEST(CollisionMatrixTest, RealAlshGapRespectsLemma4Bound) {
+  // Measure an actual ALSH (dual-ball + SimHash) on case 1 sequences:
+  // Lemma 4 says its P1 - P2 gap cannot exceed 1/(8 log n).
+  const HardSequences sequences = MakeCase1Sequences(4, 50.0, 0.25, 0.7);
+  const std::size_t n = sequences.data.rows();
+  ASSERT_GE(n, 8u);
+  Rng rng(13);
+  const DualBallTransform transform(sequences.data.cols(), sequences.U);
+  const SimHashFamily base(transform.output_dim());
+  const TransformedLshFamily family(&transform, &base);
+  const CollisionMatrix matrix(family, sequences, 3000, &rng);
+  // Statistical slack: 3 sigma of a Bernoulli estimate at 3000 samples.
+  const double slack = 3.0 * std::sqrt(0.25 / 3000.0);
+  EXPECT_LE(matrix.EmpiricalGap(), Lemma4GapBound(n) + 2.0 * slack)
+      << "P1=" << matrix.EmpiricalP1() << " P2=" << matrix.EmpiricalP2();
+}
+
+// --- Gap bound formulas ---
+
+TEST(GapBoundsTest, LengthsMatchConstructions) {
+  // The closed-form lengths should be within a constant factor of the
+  // actually constructed staircases.
+  const HardSequences s1 = MakeCase1Sequences(4, 100.0, 0.5, 0.5);
+  const double predicted1 =
+      static_cast<double>(Case1SequenceLength(4, 100.0, 0.5, 0.5));
+  EXPECT_GT(static_cast<double>(s1.data.rows()), predicted1 / 4.0);
+  EXPECT_LT(static_cast<double>(s1.data.rows()), predicted1 * 4.0);
+
+  const HardSequences s3 = MakeCase3Sequences(
+      200.0, 1.0, 0.5, IncoherentKind::kOrthonormal);
+  EXPECT_EQ(s3.data.rows(), Case3SequenceLength(200.0, 1.0));
+}
+
+TEST(GapBoundsTest, VanishAsUGrows) {
+  // The impossibility of unbounded-query asymmetric LSH: all bounds -> 0.
+  double previous1 = 1.0;
+  double previous2 = 1.0;
+  double previous3 = 1.0;
+  for (double U : {1e2, 1e4, 1e6, 1e8}) {
+    const double b1 = Case1GapBound(4, U, 0.5, 0.5);
+    const double b2 = Case2GapBound(4, U, 0.5 / 1e3, 0.5);
+    const double b3 = Case3GapBound(U, 0.5);
+    EXPECT_LT(b1, previous1);
+    EXPECT_LT(b2, previous2);
+    EXPECT_LT(b3, previous3);
+    previous1 = b1;
+    previous2 = b2;
+    previous3 = b3;
+  }
+  EXPECT_LT(previous1, 0.03);
+  EXPECT_LT(previous3, 1e-3);
+}
+
+TEST(GapBoundsTest, Case3BoundScalesAsSqrtSOverU) {
+  // 1/(8 log2 2^sqrt(U/8s)) = sqrt(8s/U)/8 = O(sqrt(s/U)).
+  const double bound = Case3GapBound(800.0, 1.0);
+  const double expected = 1.0 / (8.0 * std::floor(std::sqrt(100.0)));
+  EXPECT_NEAR(bound, expected, 1e-12);
+  // No overflow for astronomically large U.
+  EXPECT_NEAR(Case3GapBound(1e12, 1.0),
+              1.0 / (8.0 * std::floor(std::sqrt(1e12 / 8.0))), 1e-12);
+}
+
+}  // namespace
+}  // namespace ips

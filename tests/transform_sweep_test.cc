@@ -1,0 +1,147 @@
+// Property sweeps over all (A)LSH transforms: the documented lift
+// identities must hold at every dimension, not just the ones the unit
+// tests in lsh_test.cc happen to use.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+
+namespace ips {
+namespace {
+
+std::vector<double> RandomInBall(std::size_t dim, double radius, Rng* rng) {
+  std::vector<double> v(dim);
+  for (double& x : v) x = rng->NextGaussian();
+  NormalizeInPlace(v);
+  // Stay strictly inside the ball so sqrt complements are well defined.
+  ScaleInPlace(v, radius * (0.05 + 0.9 * rng->NextDouble()));
+  return v;
+}
+
+class TransformDimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransformDimSweep, DualBallIdentities) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 31 + 1);
+  for (double radius : {1.0, 3.0, 10.0}) {
+    const DualBallTransform transform(dim, radius);
+    EXPECT_EQ(transform.output_dim(), dim + 2);
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto p = RandomInBall(dim, 1.0, &rng);
+      const auto q = RandomInBall(dim, radius, &rng);
+      const auto tp = transform.TransformData(p);
+      const auto tq = transform.TransformQuery(q);
+      EXPECT_NEAR(Norm(tp), 1.0, 1e-9);
+      EXPECT_NEAR(Norm(tq), 1.0, 1e-9);
+      EXPECT_NEAR(Dot(tp, tq), Dot(p, q) / radius, 1e-9);
+    }
+  }
+}
+
+TEST_P(TransformDimSweep, SimpleMipsIdentities) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 37 + 2);
+  const double max_norm = 2.5;
+  const SimpleMipsTransform transform(dim, max_norm);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto p = RandomInBall(dim, max_norm, &rng);
+    const auto q = RandomInBall(dim, 7.0, &rng);
+    const auto tp = transform.TransformData(p);
+    const auto tq = transform.TransformQuery(q);
+    EXPECT_NEAR(Norm(tp), 1.0, 1e-9);
+    EXPECT_NEAR(Norm(tq), 1.0, 1e-9);
+    EXPECT_NEAR(Dot(tp, tq), Dot(p, q) / (max_norm * Norm(q)), 1e-9);
+  }
+}
+
+TEST_P(TransformDimSweep, XboxIdentities) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 41 + 3);
+  const double max_norm = 4.0;
+  const XboxTransform transform(dim, max_norm);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto p = RandomInBall(dim, max_norm, &rng);
+    const auto q = RandomInBall(dim, 2.0, &rng);
+    const auto tp = transform.TransformData(p);
+    const auto tq = transform.TransformQuery(q);
+    EXPECT_NEAR(Norm(tp), max_norm, 1e-9);        // all data equalized
+    EXPECT_NEAR(Dot(tp, tq), Dot(p, q), 1e-9);    // products unchanged
+    // Euclidean NN on the lift == MIPS on the originals:
+    // ||tp - tq||^2 = M^2 + ||q||^2 - 2 p^T q.
+    EXPECT_NEAR(SquaredDistance(tp, tq),
+                max_norm * max_norm + SquaredNorm(q) - 2.0 * Dot(p, q),
+                1e-9);
+  }
+}
+
+TEST_P(TransformDimSweep, L2AlshDistanceIdentity) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 43 + 4);
+  for (std::size_t m : {1u, 2u, 4u}) {
+    const double u_scale = 0.83;
+    const double max_norm = 3.0;
+    const L2AlshTransform transform(dim, m, u_scale, max_norm);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto p = RandomInBall(dim, max_norm, &rng);
+      const auto q = RandomInBall(dim, 5.0, &rng);
+      const auto tp = transform.TransformData(p);
+      const auto tq = transform.TransformQuery(q);
+      const double scaled_norm = u_scale * Norm(p) / max_norm;
+      const double tail =
+          std::pow(scaled_norm, std::pow(2.0, static_cast<double>(m) + 1.0));
+      const double expected =
+          1.0 + static_cast<double>(m) / 4.0 -
+          2.0 * (u_scale / max_norm) * Dot(p, q) / Norm(q) + tail;
+      EXPECT_NEAR(SquaredDistance(tp, tq), expected, 1e-9)
+          << "m=" << m;
+    }
+  }
+}
+
+TEST_P(TransformDimSweep, SymmetricIncoherentAdditiveError) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 47 + 5);
+  const double epsilon = 0.2;
+  const SymmetricIncoherentTransform transform(dim, epsilon, 16);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto x = RandomInBall(dim, 1.0, &rng);
+    const auto y = RandomInBall(dim, 1.0, &rng);
+    const auto tx = transform.TransformData(x);
+    const auto ty = transform.TransformData(y);
+    EXPECT_NEAR(Norm(tx), 1.0, 1e-9);
+    EXPECT_NEAR(Dot(tx, ty), Dot(x, y), epsilon + 1e-9);
+  }
+}
+
+TEST_P(TransformDimSweep, MatrixHelpersMatchPerVectorTransforms) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 53 + 6);
+  const DualBallTransform transform(dim, 2.0);
+  Matrix points(4, dim);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto v = RandomInBall(dim, 1.0, &rng);
+    for (std::size_t j = 0; j < dim; ++j) points.At(i, j) = v[j];
+  }
+  const Matrix lifted = transform.TransformDataset(points);
+  const Matrix lifted_q = transform.TransformQueries(points);
+  ASSERT_EQ(lifted.rows(), 4u);
+  ASSERT_EQ(lifted.cols(), transform.output_dim());
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto direct = transform.TransformData(points.Row(i));
+    const auto direct_q = transform.TransformQuery(points.Row(i));
+    for (std::size_t j = 0; j < direct.size(); ++j) {
+      EXPECT_DOUBLE_EQ(lifted.At(i, j), direct[j]);
+      EXPECT_DOUBLE_EQ(lifted_q.At(i, j), direct_q[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, TransformDimSweep,
+                         ::testing::Values(2, 3, 5, 16, 33, 64));
+
+}  // namespace
+}  // namespace ips

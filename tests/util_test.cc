@@ -1,0 +1,213 @@
+// Tests for src/util: status, stats, table printing, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace ips {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOnErrorDies) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_DEATH(result.value(), "NOT_FOUND");
+}
+
+TEST(CheckTest, FailureAborts) {
+  EXPECT_DEATH(IPS_CHECK(1 == 2) << "custom context", "custom context");
+  EXPECT_DEATH(IPS_CHECK_EQ(3, 4), "3 == 4");
+}
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.StdError(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.5);
+  EXPECT_EQ(stats.Variance(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> sorted = {0.0, 10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.5), 15.0);
+}
+
+TEST(SummarizeTest, ComputesOrderStatistics) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(i);
+  const Summary summary = Summarize(samples);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+  EXPECT_NEAR(summary.p50, 50.5, 1e-9);
+  EXPECT_NEAR(summary.p90, 90.1, 1e-9);
+  EXPECT_FALSE(summary.ToString().empty());
+}
+
+TEST(BernoulliTest, EstimateAndHalfWidth) {
+  const BernoulliEstimate estimate = EstimateBernoulli(25, 100);
+  EXPECT_DOUBLE_EQ(estimate.p_hat, 0.25);
+  EXPECT_NEAR(estimate.HalfWidth(2.0), 2.0 * std::sqrt(0.25 * 0.75 / 100.0),
+              1e-12);
+}
+
+TEST(BernoulliTest, ZeroTrials) {
+  const BernoulliEstimate estimate = EstimateBernoulli(0, 0);
+  EXPECT_EQ(estimate.p_hat, 0.0);
+  EXPECT_EQ(estimate.HalfWidth(3.0), 0.0);
+}
+
+TEST(TablePrinterTest, MarkdownAligned) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream out;
+  table.PrintMarkdown(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(rendered.find("|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, RowArityMismatchDies) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "IPS_CHECK_EQ");
+}
+
+TEST(TablePrinterTest, CsvExportHonorsEnvironment) {
+  TablePrinter table({"x", "y"});
+  table.AddRow({"1", "2"});
+  // Without the variable: no file is written.
+  unsetenv("IPS_BENCH_CSV_DIR");
+  EXPECT_FALSE(MaybeExportCsv(table, "probe"));
+  // With it: the CSV lands in the directory.
+  const std::string dir = ::testing::TempDir();
+  setenv("IPS_BENCH_CSV_DIR", dir.c_str(), 1);
+  EXPECT_TRUE(MaybeExportCsv(table, "probe"));
+  std::ifstream file(dir + "/probe.csv");
+  ASSERT_TRUE(file.is_open());
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "x,y");
+  unsetenv("IPS_BENCH_CSV_DIR");
+  std::remove((dir + "/probe.csv").c_str());
+}
+
+TEST(FormatTest, FixedAndScientific) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatSci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(Format(7), "7");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int value = 0;
+  pool.Schedule([&value] { value = 7; });
+  EXPECT_EQ(value, 7);
+  pool.Wait();  // no-op
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolIsSequential) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(nullptr, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i] += 1;
+  });
+  for (int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  ParallelFor(&pool, 0, [&](std::size_t, std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace ips
