@@ -4,7 +4,9 @@
 //
 //   $ ./build/examples/quickstart
 
+#include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "core/dataset.h"
 #include "core/mips_index.h"
@@ -12,6 +14,22 @@
 #include "lsh/simhash.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"
+#include "util/status.h"
+
+namespace {
+
+// Unwraps a StatusOr or exits with the status printed, so a rejected
+// input is diagnosable instead of a raw abort.
+template <typename T>
+T OrDie(ips::StatusOr<T> result) {
+  if (!result.ok()) {
+    std::cerr << "fatal: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
 
 int main() {
   ips::Rng rng(2026);
@@ -37,13 +55,13 @@ int main() {
   ips::LshTableParams params;
   params.k = 10;  // hash concatenations per table
   params.l = 32;  // tables
-  const ips::LshMipsIndex index(instance.data, &transform, sphere_hash,
-                                params, &rng);
+  const auto index = OrDie(ips::LshMipsIndex::Create(
+      instance.data, &transform, sphere_hash, params, &rng));
 
   // 4. Search.
   std::cout << "query -> (data index, inner product)\n";
   for (std::size_t qi = 0; qi < instance.queries.rows(); ++qi) {
-    const auto match = index.Search(instance.queries.Row(qi), spec);
+    const auto match = index->Search(instance.queries.Row(qi), spec);
     if (match.has_value()) {
       std::cout << "  q" << qi << " -> (p" << match->index << ", "
                 << match->value << ")";
@@ -55,10 +73,13 @@ int main() {
     }
   }
 
-  // 5. Verify the (cs, s) contract against the exact join.
+  // 5. Verify the (cs, s) contract against the exact join (through the
+  //    validated drivers: a malformed spec or query batch would come
+  //    back as a printed Status, not a crash).
   const ips::JoinResult truth =
-      ips::ExactJoin(instance.data, instance.queries, spec);
-  const ips::JoinResult approx = ips::IndexJoin(index, instance.queries, spec);
+      OrDie(ips::ExactJoinChecked(instance.data, instance.queries, spec));
+  const ips::JoinResult approx =
+      OrDie(ips::IndexJoinChecked(*index, instance.queries, spec));
   double recall = 0.0;
   const std::size_t violations =
       ips::VerifyJoinContract(approx, truth, spec, &recall);

@@ -7,7 +7,9 @@
 //   $ ./build/examples/recommender
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "core/dataset.h"
 #include "core/mips_index.h"
@@ -17,8 +19,24 @@
 #include "lsh/simhash.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"
+#include "util/status.h"
 #include "util/table.h"
 #include "util/timer.h"
+
+namespace {
+
+// Unwraps a StatusOr or exits with the status printed, so a rejected
+// input is diagnosable instead of a raw abort.
+template <typename T>
+T OrDie(ips::StatusOr<T> result) {
+  if (!result.ok()) {
+    std::cerr << "fatal: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
 
 int main() {
   ips::Rng rng(7);
@@ -74,19 +92,23 @@ int main() {
                   ips::FormatFixed(products, 1), ips::FormatFixed(ms, 2)});
   };
 
-  const ips::BruteForceIndex brute(items);
-  evaluate(brute, false);
+  // Every engine with a validated factory is built through it: a bad
+  // dataset or parameter set exits with a printed Status here instead of
+  // failing deep inside a build.
+  const auto brute = OrDie(ips::BruteForceIndex::Create(items));
+  evaluate(*brute, false);
 
-  const ips::TreeMipsIndex tree(items, 16, &rng);
-  evaluate(tree, false);
+  const auto tree = OrDie(ips::TreeMipsIndex::Create(items, 16, &rng));
+  evaluate(*tree, false);
 
   const ips::SimpleMipsTransform transform(kFactors, 1.0);
   const ips::SimHashFamily sphere_hash(transform.output_dim());
   ips::LshTableParams params;
   params.k = 8;
   params.l = 96;
-  const ips::LshMipsIndex alsh(items, &transform, sphere_hash, params, &rng);
-  evaluate(alsh, false);
+  const auto alsh = OrDie(ips::LshMipsIndex::Create(items, &transform,
+                                                    sphere_hash, params, &rng));
+  evaluate(*alsh, false);
 
   ips::NormRangeParams lemp_params;
   lemp_params.bucket_size = 128;
@@ -96,8 +118,9 @@ int main() {
   ips::SketchMipsParams sketch_params;
   sketch_params.kappa = 4.0;
   sketch_params.copies = 9;
-  const ips::SketchIndex sketch(items, sketch_params, &rng);
-  evaluate(sketch, true);  // the Section 4.3 structure is unsigned
+  const auto sketch = OrDie(ips::SketchIndex::Create(items, sketch_params,
+                                                     &rng));
+  evaluate(*sketch, true);  // the Section 4.3 structure is unsigned
 
   table.PrintMarkdown(std::cout);
   std::cout << "\nNotes: ALSH accuracy is approximate by design (it must\n"

@@ -7,7 +7,9 @@
 //   $ ./build/examples/set_containment
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "core/dataset.h"
 #include "linalg/vector_ops.h"
@@ -16,7 +18,23 @@
 #include "lsh/tables.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"
+#include "util/status.h"
 #include "util/table.h"
+
+namespace {
+
+// Unwraps a StatusOr or exits with the status printed, so a rejected
+// input is diagnosable instead of a raw abort.
+template <typename T>
+T OrDie(ips::StatusOr<T> result) {
+  if (!result.ok()) {
+    std::cerr << "fatal: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
 
 int main() {
   ips::Rng rng(99);
@@ -63,12 +81,13 @@ int main() {
     ips::LshTableParams params;
     params.k = 2;
     params.l = 32;
-    const ips::LshTables tables(base, padded, params, &rng);
+    const auto tables = OrDie(ips::LshTables::Create(base, padded, params,
+                                                     &rng));
     std::size_t hits = 0;
     std::size_t candidates = 0;
     for (std::size_t qi = 0; qi < kQueries; ++qi) {
       const auto probe = transform.TransformQuery(queries.Row(qi));
-      const auto found = tables.Query(probe);
+      const auto found = tables->Query(probe);
       candidates += found.size();
       for (std::size_t index : found) {
         if (index == sources[qi]) {
@@ -99,12 +118,13 @@ int main() {
     ips::LshTableParams params;
     params.k = 12;
     params.l = 32;
-    const ips::LshTables tables(base, lifted, params, &rng);
+    const auto tables = OrDie(ips::LshTables::Create(base, lifted, params,
+                                                     &rng));
     std::size_t hits = 0;
     std::size_t candidates = 0;
     for (std::size_t qi = 0; qi < kQueries; ++qi) {
       const auto probe = transform.TransformQuery(scaled_queries.Row(qi));
-      const auto found = tables.Query(probe);
+      const auto found = tables->Query(probe);
       candidates += found.size();
       for (std::size_t index : found) {
         if (index == sources[qi]) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full robustness gate: build and run the test suite (1) plain,
+# (2) under ASan+UBSan, and (3) under TSan for the concurrency-heavy
+# targets (util_test exercises the exception-safe ThreadPool/ParallelFor,
+# chaos_test the failpoint and cancellation machinery).
+#
+#   $ scripts/check.sh            # everything
+#   $ scripts/check.sh plain      # just the plain build + tests
+#   $ scripts/check.sh asan|tsan  # a single sanitizer pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+MODE="${1:-all}"
+
+run_plain() {
+  echo "=== plain build + full test suite ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  (cd build && ctest --output-on-failure -j"$JOBS")
+}
+
+run_asan() {
+  echo "=== ASan+UBSan build + full test suite ==="
+  cmake -B build-asan -S . -DIPS_SANITIZE="address;undefined" \
+    -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j"$JOBS"
+  (cd build-asan && ctest --output-on-failure -j"$JOBS")
+}
+
+run_tsan() {
+  echo "=== TSan build + concurrency tests ==="
+  cmake -B build-tsan -S . -DIPS_SANITIZE=thread \
+    -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j"$JOBS" --target util_test chaos_test
+  (cd build-tsan && ctest --output-on-failure -R 'util_test|chaos_test')
+}
+
+case "$MODE" in
+  plain) run_plain ;;
+  asan)  run_asan ;;
+  tsan)  run_tsan ;;
+  all)   run_plain; run_asan; run_tsan ;;
+  *) echo "usage: $0 [plain|asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "all checks passed"

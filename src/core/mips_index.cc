@@ -3,8 +3,10 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/validate.h"
 #include "linalg/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace ips {
 namespace {
@@ -19,6 +21,14 @@ std::optional<SearchMatch> FilterByThreshold(const SearchMatch& best,
   return std::nullopt;
 }
 
+// Shared validation of every index factory: the dataset itself.
+Status ValidateIndexData(const Matrix& data) {
+  IPS_FAILPOINT("core/index-build");
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "index data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "index data"));
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::size_t JoinResult::NumMatched() const {
@@ -31,6 +41,12 @@ std::size_t JoinResult::NumMatched() const {
 
 BruteForceIndex::BruteForceIndex(const Matrix& data) : data_(&data) {
   IPS_CHECK_GT(data.rows(), 0u);
+}
+
+StatusOr<std::unique_ptr<BruteForceIndex>> BruteForceIndex::Create(
+    const Matrix& data) {
+  IPS_RETURN_IF_ERROR(ValidateIndexData(data));
+  return std::make_unique<BruteForceIndex>(data);
 }
 
 std::optional<SearchMatch> BruteForceIndex::Search(
@@ -51,6 +67,18 @@ std::optional<SearchMatch> BruteForceIndex::Search(
 TreeMipsIndex::TreeMipsIndex(const Matrix& data, std::size_t leaf_size,
                              Rng* rng)
     : data_(&data), tree_(data, leaf_size, rng) {}
+
+StatusOr<std::unique_ptr<TreeMipsIndex>> TreeMipsIndex::Create(
+    const Matrix& data, std::size_t leaf_size, Rng* rng) {
+  IPS_RETURN_IF_ERROR(ValidateIndexData(data));
+  if (rng == nullptr) {
+    return Status::InvalidArgument("ball-tree index requires a non-null rng");
+  }
+  if (leaf_size < 1) {
+    return Status::InvalidArgument("ball-tree leaf_size must be >= 1");
+  }
+  return std::make_unique<TreeMipsIndex>(data, leaf_size, rng);
+}
 
 std::optional<SearchMatch> TreeMipsIndex::Search(std::span<const double> q,
                                                  const JoinSpec& spec) const {
@@ -82,6 +110,35 @@ LshMipsIndex::LshMipsIndex(const Matrix& data,
   name_ = "lsh[" +
           (transform_ != nullptr ? transform_->Name() + "+" : std::string()) +
           base_family.Name() + "]";
+}
+
+StatusOr<std::unique_ptr<LshMipsIndex>> LshMipsIndex::Create(
+    const Matrix& data, const VectorTransform* transform,
+    const LshFamily& base_family, LshTableParams params, Rng* rng) {
+  IPS_RETURN_IF_ERROR(ValidateIndexData(data));
+  if (rng == nullptr) {
+    return Status::InvalidArgument("lsh index requires a non-null rng");
+  }
+  if (params.k < 1 || params.l < 1) {
+    return Status::InvalidArgument(
+        "lsh index needs k >= 1 and l >= 1, got k=" +
+        std::to_string(params.k) + ", l=" + std::to_string(params.l));
+  }
+  if (transform != nullptr) {
+    IPS_RETURN_IF_ERROR(
+        ValidateDims(data, transform->input_dim(), "lsh data"));
+    if (transform->output_dim() != base_family.dim()) {
+      return Status::InvalidArgument(
+          "transform output dimension " +
+          std::to_string(transform->output_dim()) +
+          " != base family dimension " +
+          std::to_string(base_family.dim()));
+    }
+  } else {
+    IPS_RETURN_IF_ERROR(ValidateDims(data, base_family.dim(), "lsh data"));
+  }
+  return std::make_unique<LshMipsIndex>(data, transform, base_family,
+                                        params, rng);
 }
 
 std::optional<SearchMatch> LshMipsIndex::Search(std::span<const double> q,
@@ -126,6 +183,13 @@ double LshMipsIndex::MeanCandidates() const {
 SketchIndex::SketchIndex(const Matrix& data, const SketchMipsParams& params,
                          Rng* rng)
     : data_(&data), sketch_(data, params, rng) {}
+
+StatusOr<std::unique_ptr<SketchIndex>> SketchIndex::Create(
+    const Matrix& data, const SketchMipsParams& params, Rng* rng) {
+  IPS_RETURN_IF_ERROR(ValidateIndexData(data));
+  IPS_RETURN_IF_ERROR(SketchMipsIndex::Validate(data, params, rng));
+  return std::make_unique<SketchIndex>(data, params, rng);
+}
 
 std::optional<SearchMatch> SketchIndex::Search(std::span<const double> q,
                                                const JoinSpec& spec) const {

@@ -11,6 +11,12 @@
 //                      (unsigned only).
 // All implementations return the exact score of the candidate they
 // report, so the (cs, s) guarantee of Definition 1 is checkable.
+//
+// Construction from untrusted input goes through the static Create
+// factories, which validate dimensions, finiteness, and parameter ranges
+// and return kInvalidArgument / kFailedPrecondition instead of aborting;
+// the plain constructors IPS_CHECK the same preconditions and are meant
+// for inputs the caller already owns.
 
 #ifndef IPS_CORE_MIPS_INDEX_H_
 #define IPS_CORE_MIPS_INDEX_H_
@@ -26,6 +32,7 @@
 #include "rng/random.h"
 #include "sketch/sketch_mips.h"
 #include "tree/mips_tree.h"
+#include "util/status.h"
 
 namespace ips {
 
@@ -36,6 +43,9 @@ class MipsIndex {
   virtual ~MipsIndex() = default;
 
   virtual std::string Name() const = 0;
+
+  /// Dimension of the indexed data (and of every valid query).
+  virtual std::size_t dim() const = 0;
 
   /// Best match the index can certify for query `q` under `spec`, with
   /// its exact score; nullopt when no candidate reaches spec.cs().
@@ -52,7 +62,13 @@ class BruteForceIndex : public MipsIndex {
   /// `data` must outlive the index.
   explicit BruteForceIndex(const Matrix& data);
 
+  /// Validated construction: rejects empty or non-finite data.
+  /// Failpoint: "core/index-build".
+  static StatusOr<std::unique_ptr<BruteForceIndex>> Create(
+      const Matrix& data);
+
   std::string Name() const override { return "brute-force"; }
+  std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
@@ -67,7 +83,13 @@ class TreeMipsIndex : public MipsIndex {
  public:
   TreeMipsIndex(const Matrix& data, std::size_t leaf_size, Rng* rng);
 
+  /// Validated construction: rejects empty or non-finite data,
+  /// leaf_size == 0, and a null rng. Failpoint: "core/index-build".
+  static StatusOr<std::unique_ptr<TreeMipsIndex>> Create(
+      const Matrix& data, std::size_t leaf_size, Rng* rng);
+
   std::string Name() const override { return "ball-tree"; }
+  std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
@@ -90,7 +112,15 @@ class LshMipsIndex : public MipsIndex {
                const LshFamily& base_family, LshTableParams params,
                Rng* rng);
 
+  /// Validated construction: rejects empty or non-finite data, a
+  /// transform/family dimension mismatch, k or l of zero, and a null
+  /// rng. Failpoint: "core/index-build".
+  static StatusOr<std::unique_ptr<LshMipsIndex>> Create(
+      const Matrix& data, const VectorTransform* transform,
+      const LshFamily& base_family, LshTableParams params, Rng* rng);
+
   std::string Name() const override { return name_; }
+  std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
@@ -119,7 +149,15 @@ class SketchIndex : public MipsIndex {
  public:
   SketchIndex(const Matrix& data, const SketchMipsParams& params, Rng* rng);
 
+  /// Validated construction: rejects empty or non-finite data, invalid
+  /// sketch parameters (kappa < 2, copies == 0, leaf_size == 0,
+  /// non-positive bucket multiplier), and a null rng. Failpoint:
+  /// "core/index-build".
+  static StatusOr<std::unique_ptr<SketchIndex>> Create(
+      const Matrix& data, const SketchMipsParams& params, Rng* rng);
+
   std::string Name() const override { return "sketch-mips"; }
+  std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }

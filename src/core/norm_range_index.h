@@ -43,6 +43,7 @@ class NormRangeIndex : public MipsIndex {
                  Rng* rng);
 
   std::string Name() const override { return "norm-range(lemp)"; }
+  std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }

@@ -4,11 +4,27 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/validate.h"
 #include "linalg/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace ips {
+
+Status ValidateJoinSpec(const JoinSpec& spec) {
+  if (!std::isfinite(spec.s) || spec.s <= 0.0) {
+    return Status::InvalidArgument(
+        "join threshold s must be finite and positive, got " +
+        std::to_string(spec.s));
+  }
+  if (!std::isfinite(spec.c) || spec.c <= 0.0 || spec.c > 1.0) {
+    return Status::InvalidArgument(
+        "approximation factor c must lie in (0, 1], got " +
+        std::to_string(spec.c));
+  }
+  return Status::Ok();
+}
 
 JoinResult ExactJoin(const Matrix& data, const Matrix& queries,
                      const JoinSpec& spec, ThreadPool* pool) {
@@ -58,6 +74,63 @@ JoinResult IndexJoin(const MipsIndex& index, const Matrix& queries,
   result.seconds = timer.Seconds();
   result.inner_products = index.InnerProductsEvaluated() - products_before;
   return result;
+}
+
+StatusOr<JoinResult> ExactJoinChecked(const Matrix& data,
+                                      const Matrix& queries,
+                                      const JoinSpec& spec,
+                                      ThreadPool* pool) {
+  IPS_FAILPOINT("core/exact-join");
+  IPS_RETURN_IF_ERROR(ValidateJoinSpec(spec));
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "data"));
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(queries, "queries"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(queries, "queries"));
+  IPS_RETURN_IF_ERROR(ValidateDims(queries, data.cols(), "queries"));
+
+  JoinResult result;
+  result.per_query.resize(queries.rows());
+  WallTimer timer;
+  std::atomic<std::size_t> inner_products{0};
+  const Status status = ParallelForStatus(
+      pool, queries.rows(),
+      [&](std::size_t begin, std::size_t end) -> Status {
+        IPS_FAILPOINT("core/exact-join-chunk");
+        std::size_t local_products = 0;
+        for (std::size_t qi = begin; qi < end; ++qi) {
+          const std::span<const double> q = queries.Row(qi);
+          SearchMatch best;
+          best.value = -std::numeric_limits<double>::infinity();
+          for (std::size_t di = 0; di < data.rows(); ++di) {
+            const double raw = Dot(data.Row(di), q);
+            const double score = spec.is_signed ? raw : std::abs(raw);
+            ++local_products;
+            if (score > best.value) {
+              best.value = score;
+              best.index = di;
+            }
+          }
+          if (best.value >= spec.s) {
+            result.per_query[qi] = JoinMatch{qi, best.index, best.value};
+          }
+        }
+        inner_products += local_products;
+        return Status::Ok();
+      });
+  IPS_RETURN_IF_ERROR(status);
+  result.seconds = timer.Seconds();
+  result.inner_products = inner_products.load();
+  return result;
+}
+
+StatusOr<JoinResult> IndexJoinChecked(const MipsIndex& index,
+                                      const Matrix& queries,
+                                      const JoinSpec& spec) {
+  IPS_RETURN_IF_ERROR(ValidateJoinSpec(spec));
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(queries, "queries"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(queries, "queries"));
+  IPS_RETURN_IF_ERROR(ValidateDims(queries, index.dim(), "queries"));
+  return IndexJoin(index, queries, spec);
 }
 
 std::size_t VerifyJoinContract(const JoinResult& result,

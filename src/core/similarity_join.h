@@ -13,9 +13,15 @@
 #include "core/mips_index.h"
 #include "core/types.h"
 #include "linalg/matrix.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ips {
+
+/// Definition 1 well-formedness of a join specification: s must be a
+/// positive finite threshold and c an approximation factor in (0, 1].
+/// Returns kInvalidArgument naming the offending field otherwise.
+Status ValidateJoinSpec(const JoinSpec& spec);
 
 /// Exact (s, s) join by full quadratic scan; the per-query entry is the
 /// true maximizer when its score >= spec.s, nullopt otherwise.
@@ -26,6 +32,22 @@ JoinResult ExactJoin(const Matrix& data, const Matrix& queries,
 /// Approximate join driven by any MipsIndex: one Search per query.
 JoinResult IndexJoin(const MipsIndex& index, const Matrix& queries,
                      const JoinSpec& spec);
+
+/// Validated flavor of ExactJoin for untrusted input: rejects an invalid
+/// spec, empty/non-finite matrices, and a data/query dimension mismatch
+/// with a Status instead of aborting; a worker failure (exception or
+/// injected fault) cancels the remaining chunks and surfaces here as a
+/// non-OK Status. Failpoint: "core/exact-join".
+StatusOr<JoinResult> ExactJoinChecked(const Matrix& data,
+                                      const Matrix& queries,
+                                      const JoinSpec& spec,
+                                      ThreadPool* pool = nullptr);
+
+/// Validated flavor of IndexJoin: rejects an invalid spec and queries
+/// that are empty, non-finite, or of the wrong dimension for `index`.
+StatusOr<JoinResult> IndexJoinChecked(const MipsIndex& index,
+                                      const Matrix& queries,
+                                      const JoinSpec& spec);
 
 /// Definition 1 compliance of `result` against the exact join `truth`:
 /// counts queries where truth has a match with score >= s but the result

@@ -1,9 +1,12 @@
 #include "core/symmetric_index.h"
 
 #include <cmath>
+#include <memory>
 
+#include "linalg/validate.h"
 #include "linalg/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace ips {
 
@@ -17,6 +20,29 @@ SymmetricMipsIndex::SymmetricMipsIndex(const Matrix& data, double epsilon,
     members_[transform_.Fingerprint(data.Row(i))].push_back(
         static_cast<std::uint32_t>(i));
   }
+}
+
+StatusOr<std::unique_ptr<SymmetricMipsIndex>> SymmetricMipsIndex::Create(
+    const Matrix& data, double epsilon, LshTableParams params, Rng* rng) {
+  IPS_FAILPOINT("core/symmetric-build");
+  if (rng == nullptr) {
+    return Status::InvalidArgument(
+        "symmetric index requires a non-null rng");
+  }
+  if (!std::isfinite(epsilon) || epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "incoherence epsilon must lie in (0, 1), got " +
+        std::to_string(epsilon));
+  }
+  if (params.k < 1 || params.l < 1) {
+    return Status::InvalidArgument(
+        "symmetric index needs k >= 1 and l >= 1, got k=" +
+        std::to_string(params.k) + ", l=" + std::to_string(params.l));
+  }
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "symmetric index data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "symmetric index data"));
+  IPS_RETURN_IF_ERROR(ValidateMaxNorm(data, 1.0, "symmetric index data"));
+  return std::make_unique<SymmetricMipsIndex>(data, epsilon, params, rng);
 }
 
 bool SymmetricMipsIndex::LookupExact(std::span<const double> q,

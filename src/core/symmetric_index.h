@@ -28,11 +28,20 @@ class SymmetricMipsIndex : public MipsIndex {
  public:
   /// Builds the incoherent lift (coherence epsilon), the base family in
   /// the lifted space, the (K, L) tables, and the exact membership map.
-  /// `data` must outlive the index.
+  /// `data` must outlive the index. Preconditions are IPS_CHECKed;
+  /// prefer Create for untrusted input.
   SymmetricMipsIndex(const Matrix& data, double epsilon,
                      LshTableParams params, Rng* rng);
 
+  /// Validated construction: rejects empty or non-finite data, rows
+  /// outside the unit ball (Section 4.2's embedding needs ||x|| <= 1),
+  /// epsilon outside (0, 1), k or l of zero, and a null rng with a
+  /// Status instead of aborting. Failpoint: "core/symmetric-build".
+  static StatusOr<std::unique_ptr<SymmetricMipsIndex>> Create(
+      const Matrix& data, double epsilon, LshTableParams params, Rng* rng);
+
   std::string Name() const override { return "symmetric-incoherent-lsh"; }
+  std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override;

@@ -1,0 +1,88 @@
+#include "linalg/validate.h"
+
+#include <cmath>
+#include <string>
+
+namespace ips {
+namespace {
+
+std::string Name(std::string_view what) { return std::string(what); }
+
+}  // namespace
+
+Status ValidateNonEmpty(const Matrix& m, std::string_view what) {
+  if (m.rows() == 0 || m.cols() == 0) {
+    return Status::InvalidArgument(Name(what) + " is empty (" +
+                                   std::to_string(m.rows()) + "x" +
+                                   std::to_string(m.cols()) + ")");
+  }
+  return Status::Ok();
+}
+
+Status ValidateFinite(const Matrix& m, std::string_view what) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const std::span<const double> row = m.Row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (!std::isfinite(row[j])) {
+        return Status::InvalidArgument(
+            Name(what) + " has non-finite value " + std::to_string(row[j]) +
+            " at row " + std::to_string(i) + ", column " +
+            std::to_string(j));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateVectorFinite(std::span<const double> v,
+                            std::string_view what) {
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (!std::isfinite(v[j])) {
+      return Status::InvalidArgument(Name(what) + " has non-finite value " +
+                                     std::to_string(v[j]) + " at index " +
+                                     std::to_string(j));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateDims(const Matrix& m, std::size_t cols,
+                    std::string_view what) {
+  if (m.cols() != cols) {
+    return Status::InvalidArgument(
+        Name(what) + " has " + std::to_string(m.cols()) +
+        " columns, expected " + std::to_string(cols));
+  }
+  return Status::Ok();
+}
+
+Status ValidateVectorDims(std::span<const double> v, std::size_t dim,
+                          std::string_view what) {
+  if (v.size() != dim) {
+    return Status::InvalidArgument(Name(what) + " has dimension " +
+                                   std::to_string(v.size()) +
+                                   ", expected " + std::to_string(dim));
+  }
+  return Status::Ok();
+}
+
+Status ValidateMaxNorm(const Matrix& m, double limit,
+                       std::string_view what) {
+  const double tolerance = limit * 1e-9 + 1e-12;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const std::span<const double> row = m.Row(i);
+    double sum = 0.0;
+    for (double x : row) sum += x * x;
+    const double norm = std::sqrt(sum);
+    if (norm > limit + tolerance) {
+      return Status::FailedPrecondition(
+          Name(what) + " row " + std::to_string(i) + " has norm " +
+          std::to_string(norm) + " > " + std::to_string(limit) +
+          " (the embedding requires vectors in the radius-" +
+          std::to_string(limit) + " ball)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ips

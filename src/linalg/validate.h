@@ -1,0 +1,48 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Status-returning validation of user-supplied matrices and vectors.
+// Everything reachable from user input (datasets, query batches, index
+// parameters) is validated through these helpers and rejected with
+// kInvalidArgument / kFailedPrecondition; IPS_CHECK stays reserved for
+// internal invariants. Messages name the offending row/column so a bad
+// cell in a million-point load is findable.
+
+#ifndef IPS_LINALG_VALIDATE_H_
+#define IPS_LINALG_VALIDATE_H_
+
+#include <span>
+#include <string_view>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace ips {
+
+/// Non-OK when `m` has no rows or no columns. `what` names the operand
+/// in the message ("data", "queries", ...).
+Status ValidateNonEmpty(const Matrix& m, std::string_view what);
+
+/// Non-OK when any entry of `m` is NaN or infinite; names (row, col).
+Status ValidateFinite(const Matrix& m, std::string_view what);
+
+/// Non-OK when any entry of `v` is NaN or infinite; names the index.
+Status ValidateVectorFinite(std::span<const double> v,
+                            std::string_view what);
+
+/// Non-OK when `m.cols() != cols`.
+Status ValidateDims(const Matrix& m, std::size_t cols,
+                    std::string_view what);
+
+/// Non-OK when `v.size() != dim`.
+Status ValidateVectorDims(std::span<const double> v, std::size_t dim,
+                          std::string_view what);
+
+/// Non-OK (kFailedPrecondition) when some row of `m` has Euclidean norm
+/// above `limit` (with a small relative tolerance); names the row. The
+/// paper's embeddings (Sections 4.1-4.2) require data in the unit ball.
+Status ValidateMaxNorm(const Matrix& m, double limit, std::string_view what);
+
+}  // namespace ips
+
+#endif  // IPS_LINALG_VALIDATE_H_

@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "linalg/validate.h"
 #include "linalg/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace ips {
 
@@ -54,6 +56,56 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
     }
   }
   return result;
+}
+
+StatusOr<BucketJoinResult> LshBucketJoinChecked(
+    const LshFamily& family, const Matrix& hash_data, const Matrix& data,
+    const Matrix& hash_queries, const Matrix& queries, double s_threshold,
+    double cs_threshold, bool is_signed, LshTableParams params, Rng* rng) {
+  IPS_FAILPOINT("lsh/bucket-join");
+  if (rng == nullptr) {
+    return Status::InvalidArgument("LshBucketJoin requires a non-null rng");
+  }
+  if (params.k < 1 || params.l < 1) {
+    return Status::InvalidArgument(
+        "LshBucketJoin needs k >= 1 and l >= 1, got k=" +
+        std::to_string(params.k) + ", l=" + std::to_string(params.l));
+  }
+  if (!std::isfinite(s_threshold) || !std::isfinite(cs_threshold)) {
+    return Status::InvalidArgument("join thresholds must be finite");
+  }
+  if (cs_threshold > s_threshold) {
+    return Status::InvalidArgument(
+        "cs threshold " + std::to_string(cs_threshold) +
+        " exceeds s threshold " + std::to_string(s_threshold));
+  }
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "data"));
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(queries, "queries"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(queries, "queries"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(hash_data, "hash-space data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(hash_queries, "hash-space queries"));
+  IPS_RETURN_IF_ERROR(ValidateDims(hash_data, family.dim(),
+                                   "hash-space data"));
+  IPS_RETURN_IF_ERROR(ValidateDims(hash_queries, family.dim(),
+                                   "hash-space queries"));
+  if (hash_data.rows() != data.rows()) {
+    return Status::InvalidArgument(
+        "hash-space data has " + std::to_string(hash_data.rows()) +
+        " rows but the original has " + std::to_string(data.rows()));
+  }
+  if (hash_queries.rows() != queries.rows()) {
+    return Status::InvalidArgument(
+        "hash-space queries have " + std::to_string(hash_queries.rows()) +
+        " rows but the original has " + std::to_string(queries.rows()));
+  }
+  if (data.cols() != queries.cols()) {
+    return Status::InvalidArgument(
+        "data dimension " + std::to_string(data.cols()) +
+        " != query dimension " + std::to_string(queries.cols()));
+  }
+  return LshBucketJoin(family, hash_data, data, hash_queries, queries,
+                       s_threshold, cs_threshold, is_signed, params, rng);
 }
 
 }  // namespace ips

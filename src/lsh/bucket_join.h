@@ -19,6 +19,7 @@
 #include "lsh/lsh_family.h"
 #include "lsh/tables.h"
 #include "rng/random.h"
+#include "util/status.h"
 
 namespace ips {
 
@@ -52,6 +53,16 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
                                const Matrix& queries, double s_threshold,
                                double cs_threshold, bool is_signed,
                                LshTableParams params, Rng* rng);
+
+/// Validated flavor of LshBucketJoin for untrusted input: rejects empty
+/// or non-finite matrices, row/column mismatches between the hash-space
+/// and original matrices, k/l of zero, a null rng, and non-finite or
+/// inverted thresholds (cs > s) with a Status instead of aborting.
+/// Failpoint: "lsh/bucket-join".
+StatusOr<BucketJoinResult> LshBucketJoinChecked(
+    const LshFamily& family, const Matrix& hash_data, const Matrix& data,
+    const Matrix& hash_queries, const Matrix& queries, double s_threshold,
+    double cs_threshold, bool is_signed, LshTableParams params, Rng* rng);
 
 }  // namespace ips
 

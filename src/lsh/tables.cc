@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "linalg/validate.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace ips {
 
@@ -41,6 +44,24 @@ LshTables::LshTables(const LshFamily& family, const Matrix& data,
       table.buckets[key].push_back(static_cast<std::uint32_t>(i));
     }
   }
+}
+
+StatusOr<std::unique_ptr<LshTables>> LshTables::Create(
+    const LshFamily& family, const Matrix& data, LshTableParams params,
+    Rng* rng) {
+  IPS_FAILPOINT("lsh/tables-build");
+  if (rng == nullptr) {
+    return Status::InvalidArgument("LshTables requires a non-null rng");
+  }
+  if (params.k < 1 || params.l < 1) {
+    return Status::InvalidArgument(
+        "LshTables needs k >= 1 and l >= 1, got k=" +
+        std::to_string(params.k) + ", l=" + std::to_string(params.l));
+  }
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "lsh data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "lsh data"));
+  IPS_RETURN_IF_ERROR(ValidateDims(data, family.dim(), "lsh data"));
+  return std::make_unique<LshTables>(family, data, params, rng);
 }
 
 std::vector<std::size_t> LshTables::Query(std::span<const double> q) const {

@@ -19,6 +19,7 @@
 #include "linalg/matrix.h"
 #include "lsh/lsh_family.h"
 #include "rng/random.h"
+#include "util/status.h"
 
 namespace ips {
 
@@ -39,8 +40,17 @@ class LshTables {
  public:
   /// Builds the index. `family` must outlive the index; `data` is
   /// referenced, not copied, and must outlive the index as well.
+  /// Preconditions are IPS_CHECKed; prefer Create for untrusted input.
   LshTables(const LshFamily& family, const Matrix& data,
             LshTableParams params, Rng* rng);
+
+  /// Validated construction: rejects an empty or non-finite `data`,
+  /// a dimension mismatch with `family`, k or l of zero, and a null
+  /// `rng` with a descriptive Status instead of aborting. Failpoint:
+  /// "lsh/tables-build".
+  static StatusOr<std::unique_ptr<LshTables>> Create(
+      const LshFamily& family, const Matrix& data, LshTableParams params,
+      Rng* rng);
 
   /// Indices of data rows sharing at least one bucket with `q`
   /// (deduplicated, ascending).

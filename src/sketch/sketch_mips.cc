@@ -1,9 +1,12 @@
 #include "sketch/sketch_mips.h"
 
 #include <cmath>
+#include <memory>
 
+#include "linalg/validate.h"
 #include "linalg/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace ips {
 
@@ -15,6 +18,40 @@ SketchMipsIndex::SketchMipsIndex(const Matrix& data,
   IPS_CHECK_GE(params.kappa, 2.0);
   IPS_CHECK_GE(params.leaf_size, 1u);
   root_ = BuildNode(0, data.rows(), rng);
+}
+
+StatusOr<std::unique_ptr<SketchMipsIndex>> SketchMipsIndex::Create(
+    const Matrix& data, const SketchMipsParams& params, Rng* rng) {
+  IPS_RETURN_IF_ERROR(Validate(data, params, rng));
+  return std::make_unique<SketchMipsIndex>(data, params, rng);
+}
+
+Status SketchMipsIndex::Validate(const Matrix& data,
+                                 const SketchMipsParams& params, Rng* rng) {
+  IPS_FAILPOINT("sketch/build");
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SketchMipsIndex requires a non-null rng");
+  }
+  if (!std::isfinite(params.kappa) || params.kappa < 2.0) {
+    return Status::InvalidArgument(
+        "sketch kappa must be a finite value >= 2, got " +
+        std::to_string(params.kappa));
+  }
+  if (params.copies < 1) {
+    return Status::InvalidArgument("sketch needs copies >= 1");
+  }
+  if (params.leaf_size < 1) {
+    return Status::InvalidArgument("sketch needs leaf_size >= 1");
+  }
+  if (!std::isfinite(params.bucket_multiplier) ||
+      params.bucket_multiplier <= 0.0) {
+    return Status::InvalidArgument(
+        "sketch bucket multiplier must be finite and positive, got " +
+        std::to_string(params.bucket_multiplier));
+  }
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "sketch data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "sketch data"));
+  return Status::Ok();
 }
 
 int SketchMipsIndex::BuildNode(std::size_t begin, std::size_t end, Rng* rng) {

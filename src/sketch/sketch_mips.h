@@ -24,6 +24,7 @@
 
 #include "linalg/matrix.h"
 #include "sketch/max_stability.h"
+#include "util/status.h"
 
 namespace ips {
 
@@ -43,9 +44,22 @@ struct SketchMipsParams {
 class SketchMipsIndex {
  public:
   /// Builds the tree of sketched sub-matrices. `data` must outlive the
-  /// index.
+  /// index. Preconditions are IPS_CHECKed; prefer Create for untrusted
+  /// input.
   SketchMipsIndex(const Matrix& data, const SketchMipsParams& params,
                   Rng* rng);
+
+  /// Validated construction: rejects an empty or non-finite `data`,
+  /// kappa < 2, copies == 0, leaf_size == 0, a non-positive bucket
+  /// multiplier, and a null `rng` with a descriptive Status instead of
+  /// aborting. Failpoint: "sketch/build".
+  static StatusOr<std::unique_ptr<SketchMipsIndex>> Create(
+      const Matrix& data, const SketchMipsParams& params, Rng* rng);
+
+  /// The validation behind Create, without building anything (also used
+  /// by the core SketchIndex wrapper to avoid sketching twice).
+  static Status Validate(const Matrix& data, const SketchMipsParams& params,
+                         Rng* rng);
 
   std::size_t num_points() const { return data_->rows(); }
   std::size_t dim() const { return data_->cols(); }

@@ -1,0 +1,82 @@
+#include "util/failpoint.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace ips {
+namespace {
+
+struct ArmedSite {
+  std::size_t nth = 1;      // fire on this hit (1-based)
+  std::size_t hits = 0;     // hits since arming
+  bool fired = false;       // each arming fires exactly once
+  Status status;            // what a fired site yields
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, ArmedSite> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+std::atomic<std::size_t> Failpoints::armed_count_{0};
+
+void Failpoints::Arm(const std::string& name, std::size_t nth,
+                     Status status) {
+  IPS_CHECK_GE(nth, 1u);
+  IPS_CHECK(!status.ok()) << "failpoints must be armed with a non-OK status";
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] = registry.sites.try_emplace(name);
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  it->second = ArmedSite{nth, 0, false, std::move(status)};
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.sites.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  armed_count_.fetch_sub(registry.sites.size(), std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+std::size_t Failpoints::HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+Status Failpoints::Hit(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.sites.find(name);
+  if (it == registry.sites.end()) return Status::Ok();
+  ArmedSite& site = it->second;
+  ++site.hits;
+  if (site.fired || site.hits != site.nth) return Status::Ok();
+  site.fired = true;
+  return Status(site.status.code(), "failpoint '" + std::string(name) +
+                                        "' fired: " + site.status.message());
+}
+
+void Failpoints::HitOrThrow(const char* name) {
+  Status status = Hit(name);
+  if (!status.ok()) throw FailpointError(std::move(status));
+}
+
+}  // namespace ips

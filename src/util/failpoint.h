@@ -1,0 +1,124 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Deterministic fault-injection points ("failpoints") for robustness
+// testing. Production code marks named injection sites with
+//
+//   IPS_FAILPOINT("io/read");          // in Status-returning code
+//   IPS_FAILPOINT_THROW("pool/task");  // in code without a Status channel
+//
+// and tests arm a site to fire on its Nth hit:
+//
+//   ScopedFailpoint fp("io/read", /*nth=*/2,
+//                      Status::ResourceExhausted("disk full"));
+//
+// A fired failpoint early-returns the armed Status (or throws a
+// FailpointError carrying it). Each armed site fires exactly once, so a
+// test can also assert that the *next* call succeeds — graceful
+// degradation, not poisoned state. When nothing is armed anywhere in the
+// process, every site is a single relaxed atomic load.
+
+#ifndef IPS_UTIL_FAILPOINT_H_
+#define IPS_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "util/status.h"
+
+namespace ips {
+
+/// Exception thrown by IPS_FAILPOINT_THROW sites; carries the armed
+/// Status so pool-level catch blocks can convert it back losslessly.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Process-wide registry of armed failpoints. All members are static and
+/// thread-safe; arming is test-only, hitting is production-hot.
+class Failpoints {
+ public:
+  /// Arms `name` to fire once on its `nth` hit (1-based) after this
+  /// call, yielding `status`. Re-arming an armed site resets its count.
+  static void Arm(const std::string& name, std::size_t nth = 1,
+                  Status status = Status::Internal("injected failure"));
+
+  /// Disarms `name` (no-op when not armed).
+  static void Disarm(const std::string& name);
+
+  /// Disarms every failpoint (test teardown safety net).
+  static void DisarmAll();
+
+  /// Hits observed at `name` since it was armed (0 when not armed).
+  static std::size_t HitCount(const std::string& name);
+
+  /// True when any failpoint is armed in the process. The only cost a
+  /// disarmed site pays.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path behind IPS_FAILPOINT: records a hit and returns the armed
+  /// Status when `name` reaches its trigger, OK otherwise.
+  static Status Hit(const char* name);
+
+  /// Slow path behind IPS_FAILPOINT_THROW: as Hit, but throws
+  /// FailpointError instead of returning the Status.
+  static void HitOrThrow(const char* name);
+
+ private:
+  static std::atomic<std::size_t> armed_count_;
+};
+
+/// RAII arming for tests: disarms on scope exit even if the test fails.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string name, std::size_t nth = 1,
+                           Status status = Status::Internal(
+                               "injected failure"))
+      : name_(std::move(name)) {
+    Failpoints::Arm(name_, nth, std::move(status));
+  }
+
+  ~ScopedFailpoint() { Failpoints::Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  /// Hits observed since arming.
+  std::size_t hit_count() const { return Failpoints::HitCount(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ips
+
+/// Marks a failpoint in a Status-returning function: early-returns the
+/// armed Status when fired; free when nothing is armed.
+#define IPS_FAILPOINT(name)                                   \
+  do {                                                        \
+    if (::ips::Failpoints::AnyArmed()) {                      \
+      IPS_RETURN_IF_ERROR(::ips::Failpoints::Hit(name));      \
+    }                                                         \
+  } while (false)
+
+/// Marks a failpoint in code without a Status channel: throws
+/// FailpointError when fired; free when nothing is armed.
+#define IPS_FAILPOINT_THROW(name)                             \
+  do {                                                        \
+    if (::ips::Failpoints::AnyArmed()) {                      \
+      ::ips::Failpoints::HitOrThrow(name);                    \
+    }                                                         \
+  } while (false)
+
+#endif  // IPS_UTIL_FAILPOINT_H_

@@ -1,8 +1,12 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace ips {
 
@@ -22,9 +26,38 @@ ThreadPool::~ThreadPool() {
   for (auto& thread : threads_) thread.join();
 }
 
-void ThreadPool::Schedule(std::function<void()> task) {
-  if (threads_.empty()) {
+void ThreadPool::CaptureException(std::exception_ptr exception) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (first_exception_ == nullptr) first_exception_ = std::move(exception);
+}
+
+std::exception_ptr ThreadPool::TakeFirstException() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return std::exchange(first_exception_, nullptr);
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  try {
     task();
+  } catch (...) {
+    CaptureException(std::current_exception());
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  // Injection site for "the executor refused the task" (queue full,
+  // thread exhaustion...). A fired failpoint surfaces at the next
+  // Wait()/WaitStatus() like any task failure would.
+  if (Failpoints::AnyArmed()) {
+    Status status = Failpoints::Hit("threadpool/schedule");
+    if (!status.ok()) {
+      CaptureException(
+          std::make_exception_ptr(FailpointError(std::move(status))));
+      return;
+    }
+  }
+  if (threads_.empty()) {
+    RunTask(task);
     return;
   }
   {
@@ -35,9 +68,26 @@ void ThreadPool::Schedule(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  if (threads_.empty()) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (!threads_.empty()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock,
+                    [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  std::exception_ptr exception = TakeFirstException();
+  if (exception != nullptr) std::rethrow_exception(exception);
+}
+
+Status ThreadPool::WaitStatus() {
+  try {
+    Wait();
+  } catch (const FailpointError& error) {
+    return error.status();
+  } catch (const std::exception& error) {
+    return Status::Internal(std::string("task failed: ") + error.what());
+  } catch (...) {
+    return Status::Internal("task failed with a non-standard exception");
+  }
+  return Status::Ok();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,7 +102,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    RunTask(task);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
@@ -65,6 +115,50 @@ std::size_t ThreadPool::DefaultThreadCount() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+namespace {
+
+// Shared between the chunks of one ParallelFor call. Heap-allocated and
+// reference-counted so a chunk that is still finishing after Wait()
+// rethrew (possible when a *pool-level* failure surfaced first) never
+// touches a dead stack frame.
+struct ParallelState {
+  std::atomic<bool> cancelled{false};
+  std::mutex mutex;
+  std::exception_ptr first_exception;  // guarded by mutex
+  Status first_status;                 // guarded by mutex
+
+  void Fail(std::exception_ptr exception) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (first_exception == nullptr) {
+      first_exception = std::move(exception);
+    }
+    cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  void Fail(Status status) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (first_status.ok()) first_status = std::move(status);
+    cancelled.store(true, std::memory_order_relaxed);
+  }
+};
+
+template <typename ChunkRunner>
+void RunChunks(ThreadPool* pool, std::size_t count,
+               const std::shared_ptr<ParallelState>& state,
+               const ChunkRunner& run_chunk) {
+  const std::size_t num_chunks = std::min(count, 4 * pool->num_threads());
+  const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, count);
+    pool->Schedule([state, run_chunk, begin, end] {
+      if (state->cancelled.load(std::memory_order_relaxed)) return;
+      run_chunk(*state, begin, end);
+    });
+  }
+}
+
+}  // namespace
+
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
@@ -72,13 +166,62 @@ void ParallelFor(ThreadPool* pool, std::size_t count,
     body(0, count);
     return;
   }
-  const std::size_t num_chunks = std::min(count, 4 * pool->num_threads());
-  const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
-  for (std::size_t begin = 0; begin < count; begin += chunk) {
-    const std::size_t end = std::min(begin + chunk, count);
-    pool->Schedule([&body, begin, end] { body(begin, end); });
+  auto state = std::make_shared<ParallelState>();
+  RunChunks(pool, count, state,
+            [&body](ParallelState& shared, std::size_t begin,
+                    std::size_t end) {
+              try {
+                body(begin, end);
+              } catch (...) {
+                shared.Fail(std::current_exception());
+              }
+            });
+  pool->Wait();  // rethrows pool-level failures (e.g. Schedule failpoint)
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (state->first_exception != nullptr) {
+    std::rethrow_exception(state->first_exception);
   }
-  pool->Wait();
+}
+
+Status ParallelForStatus(
+    ThreadPool* pool, std::size_t count,
+    const std::function<Status(std::size_t, std::size_t)>& body) {
+  if (count == 0) return Status::Ok();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    try {
+      return body(0, count);
+    } catch (const FailpointError& error) {
+      return error.status();
+    } catch (const std::exception& error) {
+      return Status::Internal(std::string("parallel body threw: ") +
+                              error.what());
+    } catch (...) {
+      return Status::Internal(
+          "parallel body threw a non-standard exception");
+    }
+  }
+  auto state = std::make_shared<ParallelState>();
+  RunChunks(pool, count, state,
+            [&body](ParallelState& shared, std::size_t begin,
+                    std::size_t end) {
+              Status status;
+              try {
+                status = body(begin, end);
+              } catch (const FailpointError& error) {
+                status = error.status();
+              } catch (const std::exception& error) {
+                status = Status::Internal(
+                    std::string("parallel body threw: ") + error.what());
+              } catch (...) {
+                status = Status::Internal(
+                    "parallel body threw a non-standard exception");
+              }
+              if (!status.ok()) shared.Fail(std::move(status));
+            });
+  Status pool_status = pool->WaitStatus();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (!state->first_status.ok()) return state->first_status;
+  return pool_status;
 }
 
 }  // namespace ips

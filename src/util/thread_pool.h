@@ -4,17 +4,28 @@
 // A fixed-size thread pool and a blocking ParallelFor helper used by the
 // brute-force join and index construction. On single-core machines the
 // pool degrades gracefully to inline execution.
+//
+// Failure semantics: a task that throws does NOT terminate the process.
+// The pool catches the exception, stores the first one, and rethrows it
+// from the next Wait() (or converts it to a Status in WaitStatus()).
+// ParallelFor additionally cancels: once one chunk fails, chunks that
+// have not started yet become no-ops, so a poisoned input stops burning
+// CPU. ParallelForStatus is the non-throwing flavor for bodies that
+// report recoverable failures through Status.
 
 #ifndef IPS_UTIL_THREAD_POOL_H_
 #define IPS_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace ips {
 
@@ -23,16 +34,27 @@ class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means inline (synchronous) execution.
   explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains the queue (running still-queued tasks), then joins the
+  /// workers. Exceptions captured during the drain are swallowed.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task`; runs inline when the pool has no workers.
+  /// Enqueues `task`; runs inline when the pool has no workers. A task
+  /// that throws has its exception captured (first wins), not leaked.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until all scheduled tasks have finished.
+  /// Blocks until all scheduled tasks have finished, then rethrows the
+  /// first exception any task threw since the last drain (if any). With
+  /// concurrent Wait() callers exactly one of them receives it.
   void Wait();
+
+  /// As Wait(), but converts a captured exception to a Status instead of
+  /// rethrowing: a FailpointError keeps its armed code, any other
+  /// std::exception maps to kInternal with its what() message.
+  Status WaitStatus();
 
   std::size_t num_threads() const { return threads_.size(); }
 
@@ -41,6 +63,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  void RunTask(std::function<void()>& task);
+  void CaptureException(std::exception_ptr exception);
+  std::exception_ptr TakeFirstException();
 
   std::mutex mutex_;
   std::condition_variable work_available_;
@@ -49,13 +74,24 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_exception_;  // guarded by mutex_
 };
 
 /// Splits [0, count) into contiguous chunks and runs
 /// `body(begin, end)` for each chunk, blocking until all complete.
-/// With `pool == nullptr` or a worker-less pool, runs inline.
+/// With `pool == nullptr` or a worker-less pool, runs inline. If a chunk
+/// throws, not-yet-started chunks are cancelled and the first exception
+/// is rethrown here after all in-flight chunks finish — exactly one
+/// error reaches the caller, never std::terminate.
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// As ParallelFor, for bodies that fail recoverably: the first non-OK
+/// Status (or thrown exception, converted as in WaitStatus) cancels the
+/// remaining chunks and is returned. Returns OK when every chunk did.
+Status ParallelForStatus(
+    ThreadPool* pool, std::size_t count,
+    const std::function<Status(std::size_t, std::size_t)>& body);
 
 }  // namespace ips
 

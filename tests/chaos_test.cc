@@ -1,0 +1,382 @@
+// Chaos tests for the failure-hardening layer: every armed failpoint and
+// every invalid-input class must surface as a descriptive non-OK Status
+// through the public API — never an abort, never std::terminate — and
+// the same object/API must accept a subsequent valid request (graceful
+// degradation, not poisoned state).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/io.h"
+#include "core/mips_index.h"
+#include "core/similarity_join.h"
+#include "core/symmetric_index.h"
+#include "lsh/bucket_join.h"
+#include "lsh/simhash.h"
+#include "lsh/tables.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "sketch/sketch_mips.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+
+namespace ips {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::DisarmAll(); }
+
+  static JoinSpec ValidSpec() {
+    JoinSpec spec;
+    spec.s = 0.5;
+    spec.c = 0.5;
+    spec.is_signed = true;
+    return spec;
+  }
+};
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// --- Failpoint framework basics ---
+
+TEST_F(ChaosTest, DisarmedFailpointsAreInvisible) {
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_TRUE(ParseMatrixCsv("1,2\n3,4\n").ok());
+}
+
+TEST_F(ChaosTest, FailpointFiresOnNthHitExactlyOnce) {
+  ScopedFailpoint fp("io/parse-line", /*nth=*/2);
+  // Line 1 parses; line 2 hits the trigger.
+  const auto result = ParseMatrixCsv("1,2\n3,4\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("io/parse-line"),
+            std::string::npos);
+  EXPECT_EQ(fp.hit_count(), 2u);
+  // The site fired once; the same API call now succeeds.
+  EXPECT_TRUE(ParseMatrixCsv("1,2\n3,4\n").ok());
+}
+
+TEST_F(ChaosTest, FailpointCarriesArmedStatusCode) {
+  const std::string path = TempPath("chaos_read.csv");
+  IPS_CHECK_OK(SaveMatrixCsv(path, Matrix(2, 2)));
+  Failpoints::Arm("io/read", 1,
+                  Status::ResourceExhausted("file descriptor limit"));
+  const auto result = LoadMatrixCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("file descriptor limit"),
+            std::string::npos);
+  // Degraded gracefully: the next read succeeds.
+  EXPECT_TRUE(LoadMatrixCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, WriteFailpointSurfacesAndRecovers) {
+  const std::string path = TempPath("chaos_write.csv");
+  ScopedFailpoint fp("io/write");
+  EXPECT_FALSE(SaveMatrixCsv(path, Matrix(1, 1)).ok());
+  EXPECT_TRUE(SaveMatrixCsv(path, Matrix(1, 1)).ok());
+  std::remove(path.c_str());
+}
+
+// --- ThreadPool / ParallelFor under injected and thrown failures ---
+
+TEST_F(ChaosTest, ScheduleFailpointSurfacesAtWaitStatus) {
+  ThreadPool pool(4);
+  ScopedFailpoint fp("threadpool/schedule", /*nth=*/3);
+  const Status status =
+      ParallelForStatus(&pool, 100, [](std::size_t, std::size_t) {
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("threadpool/schedule"), std::string::npos);
+  // The pool is not poisoned: the next run completes cleanly.
+  std::atomic<int> hits{0};
+  EXPECT_TRUE(ParallelForStatus(&pool, 100,
+                                [&hits](std::size_t begin, std::size_t end) {
+                                  hits += static_cast<int>(end - begin);
+                                  return Status::Ok();
+                                })
+                  .ok());
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST_F(ChaosTest, ParallelForBodyThrowPropagatesExactlyOneError) {
+  ThreadPool pool(4);
+  bool caught = false;
+  try {
+    ParallelFor(&pool, 1000, [](std::size_t, std::size_t) {
+      throw std::runtime_error("poisoned chunk");
+    });
+  } catch (const std::runtime_error& error) {
+    caught = true;
+    EXPECT_STREQ(error.what(), "poisoned chunk");
+  }
+  EXPECT_TRUE(caught);
+  // Pool survives for the next job.
+  std::atomic<int> covered{0};
+  ParallelFor(&pool, 256, [&covered](std::size_t begin, std::size_t end) {
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 256);
+}
+
+TEST_F(ChaosTest, ParallelForStatusCancelsRemainingChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  const Status status = ParallelForStatus(
+      &pool, 1 << 20, [&executed](std::size_t begin, std::size_t) {
+        if (begin == 0) {
+          return Status::FailedPrecondition("first chunk rejects");
+        }
+        executed.fetch_add(1);
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // 16 chunks were scheduled; cancellation means not all ran (the exact
+  // count is timing-dependent, but the failing chunk never counts).
+  EXPECT_LT(executed.load(), 16);
+}
+
+// --- Validated construction: every invalid-input class ---
+
+TEST_F(ChaosTest, IndexCreateRejectsNanRows) {
+  Matrix data(3, 2);
+  data.At(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  const auto index = BruteForceIndex::Create(data);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(index.status().message().find("row 1"), std::string::npos);
+  EXPECT_NE(index.status().message().find("column 1"), std::string::npos);
+}
+
+TEST_F(ChaosTest, IndexCreateRejectsEmptyDataset) {
+  const Matrix empty;
+  EXPECT_FALSE(BruteForceIndex::Create(empty).ok());
+  Rng rng(1);
+  EXPECT_FALSE(TreeMipsIndex::Create(empty, 8, &rng).ok());
+  EXPECT_FALSE(SketchIndex::Create(empty, SketchMipsParams{}, &rng).ok());
+}
+
+TEST_F(ChaosTest, TreeCreateRejectsBadParameters) {
+  Rng rng(2);
+  const Matrix data = MakeUnitBallGaussian(10, 4, 0.5, &rng);
+  EXPECT_FALSE(TreeMipsIndex::Create(data, 0, &rng).ok());
+  EXPECT_FALSE(TreeMipsIndex::Create(data, 8, nullptr).ok());
+  EXPECT_TRUE(TreeMipsIndex::Create(data, 8, &rng).ok());
+}
+
+TEST_F(ChaosTest, LshCreateRejectsDimensionMismatch) {
+  Rng rng(3);
+  const Matrix data = MakeUnitBallGaussian(10, 4, 0.5, &rng);
+  // Transform expects 8-dimensional input, data is 4-dimensional.
+  const DualBallTransform transform(8, 1.0);
+  const SimHashFamily family(transform.output_dim());
+  const auto index =
+      LshMipsIndex::Create(data, &transform, family, LshTableParams{}, &rng);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+  // Family hashing a different dimension than the raw data.
+  const SimHashFamily narrow(3);
+  EXPECT_FALSE(
+      LshMipsIndex::Create(data, nullptr, narrow, LshTableParams{}, &rng)
+          .ok());
+}
+
+TEST_F(ChaosTest, LshCreateRejectsZeroAmplification) {
+  Rng rng(4);
+  const Matrix data = MakeUnitBallGaussian(10, 4, 0.5, &rng);
+  const SimHashFamily family(4);
+  LshTableParams params;
+  params.k = 0;
+  EXPECT_FALSE(
+      LshMipsIndex::Create(data, nullptr, family, params, &rng).ok());
+  EXPECT_FALSE(LshTables::Create(family, data, params, &rng).ok());
+}
+
+TEST_F(ChaosTest, SketchCreateRejectsBadKappa) {
+  Rng rng(5);
+  const Matrix data = MakeUnitBallGaussian(10, 4, 0.5, &rng);
+  SketchMipsParams params;
+  params.kappa = 1.5;
+  const auto index = SketchIndex::Create(data, params, &rng);
+  ASSERT_FALSE(index.ok());
+  EXPECT_NE(index.status().message().find("kappa"), std::string::npos);
+  params.kappa = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(SketchIndex::Create(data, params, &rng).ok());
+}
+
+TEST_F(ChaosTest, SymmetricCreateRejectsBadEpsilonAndNorms) {
+  Rng rng(6);
+  const Matrix data = MakeUnitBallGaussian(16, 4, 0.5, &rng);
+  LshTableParams params;
+  EXPECT_FALSE(SymmetricMipsIndex::Create(data, 0.0, params, &rng).ok());
+  EXPECT_FALSE(SymmetricMipsIndex::Create(data, 1.5, params, &rng).ok());
+  // A row outside the unit ball violates the Section 4.2 precondition.
+  Matrix big = data;
+  big.At(0, 0) = 3.0;
+  const auto index = SymmetricMipsIndex::Create(big, 0.25, params, &rng);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(index.status().message().find("row 0"), std::string::npos);
+}
+
+TEST_F(ChaosTest, BucketJoinCheckedRejectsMismatchedSides) {
+  Rng rng(7);
+  const Matrix data = MakeUnitBallGaussian(10, 4, 0.5, &rng);
+  const Matrix queries = MakeUnitBallGaussian(5, 4, 0.5, &rng);
+  const Matrix wrong_rows = MakeUnitBallGaussian(9, 4, 0.5, &rng);
+  const SimHashFamily family(4);
+  const auto mismatch =
+      LshBucketJoinChecked(family, wrong_rows, data, queries, queries, 0.5,
+                           0.25, true, LshTableParams{}, &rng);
+  ASSERT_FALSE(mismatch.ok());
+  const auto inverted =
+      LshBucketJoinChecked(family, data, data, queries, queries,
+                           /*s=*/0.25, /*cs=*/0.5, true, LshTableParams{},
+                           &rng);
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_NE(inverted.status().message().find("exceeds"), std::string::npos);
+  EXPECT_TRUE(LshBucketJoinChecked(family, data, data, queries, queries,
+                                   0.5, 0.25, true, LshTableParams{}, &rng)
+                  .ok());
+}
+
+TEST_F(ChaosTest, JoinSpecValidation) {
+  JoinSpec spec = ValidSpec();
+  EXPECT_TRUE(ValidateJoinSpec(spec).ok());
+  spec.c = 1.5;
+  EXPECT_FALSE(ValidateJoinSpec(spec).ok());
+  spec.c = 0.0;
+  EXPECT_FALSE(ValidateJoinSpec(spec).ok());
+  spec.c = 0.5;
+  spec.s = -1.0;
+  EXPECT_FALSE(ValidateJoinSpec(spec).ok());
+  spec.s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ValidateJoinSpec(spec).ok());
+}
+
+TEST_F(ChaosTest, CheckedJoinsRejectBadInputThenServeGoodInput) {
+  Rng rng(8);
+  ThreadPool pool(4);
+  const Matrix data = MakeUnitBallGaussian(64, 6, 0.9, &rng);
+  const Matrix queries = MakeUnitBallGaussian(8, 6, 0.9, &rng);
+  const JoinSpec spec = ValidSpec();
+
+  // Dimension mismatch.
+  const Matrix narrow = MakeUnitBallGaussian(8, 3, 0.9, &rng);
+  EXPECT_FALSE(ExactJoinChecked(data, narrow, spec, &pool).ok());
+  // NaN smuggled into a query row.
+  Matrix poisoned = queries;
+  poisoned.At(2, 0) = std::numeric_limits<double>::quiet_NaN();
+  const auto bad = ExactJoinChecked(data, poisoned, spec, &pool);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("row 2"), std::string::npos);
+  // Invalid spec.
+  JoinSpec bad_spec = spec;
+  bad_spec.c = 2.0;
+  EXPECT_FALSE(ExactJoinChecked(data, queries, bad_spec, &pool).ok());
+
+  // The same matrices and pool then serve a valid request.
+  const auto good = ExactJoinChecked(data, queries, spec, &pool);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->per_query.size(), queries.rows());
+
+  // And the index-driven flavor agrees end to end.
+  const auto index = BruteForceIndex::Create(data);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(IndexJoinChecked(**index, poisoned, spec).ok());
+  const auto via_index = IndexJoinChecked(**index, queries, spec);
+  ASSERT_TRUE(via_index.ok());
+  double recall = 1.0;
+  EXPECT_EQ(VerifyJoinContract(*via_index, *good, spec, &recall), 0u);
+  EXPECT_DOUBLE_EQ(recall, 1.0);
+}
+
+// --- Build-path failpoints: armed faults fail the build, not the process ---
+
+TEST_F(ChaosTest, EveryBuildFailpointFailsOnceThenRecovers) {
+  Rng rng(9);
+  const Matrix data = MakeUnitBallGaussian(32, 4, 0.5, &rng);
+  const SimHashFamily family(4);
+
+  {
+    ScopedFailpoint fp("core/index-build");
+    EXPECT_FALSE(BruteForceIndex::Create(data).ok());
+    EXPECT_TRUE(BruteForceIndex::Create(data).ok());
+  }
+  {
+    ScopedFailpoint fp("lsh/tables-build");
+    EXPECT_FALSE(LshTables::Create(family, data, LshTableParams{}, &rng).ok());
+    EXPECT_TRUE(LshTables::Create(family, data, LshTableParams{}, &rng).ok());
+  }
+  {
+    ScopedFailpoint fp("sketch/build");
+    EXPECT_FALSE(SketchIndex::Create(data, SketchMipsParams{}, &rng).ok());
+    EXPECT_TRUE(SketchIndex::Create(data, SketchMipsParams{}, &rng).ok());
+  }
+  {
+    ScopedFailpoint fp("core/symmetric-build");
+    LshTableParams params;
+    params.k = 2;
+    params.l = 4;
+    EXPECT_FALSE(SymmetricMipsIndex::Create(data, 0.25, params, &rng).ok());
+    EXPECT_TRUE(SymmetricMipsIndex::Create(data, 0.25, params, &rng).ok());
+  }
+  {
+    ScopedFailpoint fp("lsh/bucket-join");
+    EXPECT_FALSE(LshBucketJoinChecked(family, data, data, data, data, 0.5,
+                                      0.25, true, LshTableParams{}, &rng)
+                     .ok());
+    EXPECT_TRUE(LshBucketJoinChecked(family, data, data, data, data, 0.5,
+                                     0.25, true, LshTableParams{}, &rng)
+                    .ok());
+  }
+  {
+    ScopedFailpoint fp("core/exact-join");
+    const JoinSpec spec = ValidSpec();
+    EXPECT_FALSE(ExactJoinChecked(data, data, spec).ok());
+    EXPECT_TRUE(ExactJoinChecked(data, data, spec).ok());
+  }
+}
+
+TEST_F(ChaosTest, ExactJoinChunkFailpointCancelsCleanly) {
+  Rng rng(10);
+  ThreadPool pool(4);
+  const Matrix data = MakeUnitBallGaussian(128, 6, 0.9, &rng);
+  const JoinSpec spec = ValidSpec();
+  {
+    ScopedFailpoint fp("core/exact-join-chunk");
+    const auto result = ExactJoinChecked(data, data, spec, &pool);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("core/exact-join-chunk"),
+              std::string::npos);
+  }
+  // The pool and inputs serve the next request, and the result matches
+  // the single-threaded baseline.
+  const auto parallel = ExactJoinChecked(data, data, spec, &pool);
+  ASSERT_TRUE(parallel.ok());
+  const auto serial = ExactJoinChecked(data, data, spec, nullptr);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(parallel->per_query.size(), serial->per_query.size());
+  for (std::size_t qi = 0; qi < serial->per_query.size(); ++qi) {
+    ASSERT_EQ(parallel->per_query[qi].has_value(),
+              serial->per_query[qi].has_value());
+    if (serial->per_query[qi].has_value()) {
+      EXPECT_EQ(parallel->per_query[qi]->data, serial->per_query[qi]->data);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ips

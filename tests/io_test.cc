@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "core/dataset.h"
@@ -61,6 +62,53 @@ TEST(CsvParseTest, BadNumberRejected) {
   const auto result = ParseMatrixCsv("1,abc\n");
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("abc"), std::string::npos);
+}
+
+TEST(CsvParseTest, NonFiniteValuesRejectedWithPosition) {
+  for (const char* cell : {"nan", "NaN", "inf", "-inf", "INF", "1e999",
+                           "-1e999"}) {
+    const auto result = ParseMatrixCsv(std::string("1,2\n3,") + cell + "\n");
+    ASSERT_FALSE(result.ok()) << cell;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << cell;
+    // The message names the offending line and column.
+    EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+        << result.status().ToString();
+    EXPECT_NE(result.status().message().find("column 2"), std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST(CsvParseTest, PlusPrefixedCellsParse) {
+  const auto result = ParseMatrixCsv("+1.5,+2e1\n+0,3\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(result->At(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(result->At(1, 0), 0.0);
+}
+
+TEST(CsvParseTest, SubnormalUnderflowIsAccepted) {
+  // strtod flags 1e-320 with ERANGE on some libcs, but a subnormal is a
+  // legitimate finite value and must load.
+  const auto result = ParseMatrixCsv("1e-320,2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->At(0, 0), 0.0);
+}
+
+TEST(CsvFileTest, SavedNonFiniteMatrixFailsToReloadCleanly) {
+  // A matrix poisoned with NaN/inf round-trips into a load *error* (not
+  // an abort, not a silent NaN in the index): the writer is permissive,
+  // the loader is the validation gate.
+  Matrix poisoned(2, 2);
+  poisoned.At(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  poisoned.At(1, 0) = std::numeric_limits<double>::infinity();
+  const std::string path = TempPath("poisoned.csv");
+  IPS_CHECK_OK(SaveMatrixCsv(path, poisoned));
+  const auto loaded = LoadMatrixCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("column 2"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(CsvParseTest, EmptyCellRejected) {

@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/stats.h"
 #include "util/status.h"
@@ -33,9 +37,32 @@ TEST(StatusTest, FactoryCarriesCodeAndMessage) {
 
 TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
-  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
   EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  // A code outside the enum range falls through to the default name.
+  EXPECT_EQ(StatusCodeToString(static_cast<StatusCode>(99)), "UNKNOWN");
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+  const Status exhausted = Status::ResourceExhausted("pool saturated");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "RESOURCE_EXHAUSTED: pool saturated");
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -207,6 +234,114 @@ TEST(ParallelForTest, EmptyRangeIsNoop) {
   bool touched = false;
   ParallelFor(&pool, 0, [&](std::size_t, std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Schedule([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    // No Wait(): destruction runs the still-queued tasks before joining.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentWaitCallersAllReturn) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&pool] { pool.Wait(); });
+  }
+  pool.Wait();
+  for (auto& waiter : waiters) waiter.join();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesAtWaitNotTerminate) {
+  ThreadPool pool(2);
+  pool.Schedule([] { throw std::runtime_error("task exploded"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception was consumed; the pool keeps working.
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitStatusConvertsExceptionToInternal) {
+  ThreadPool pool(2);
+  pool.Schedule([] { throw std::runtime_error("task exploded"); });
+  const Status status = pool.WaitStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("task exploded"), std::string::npos);
+  EXPECT_TRUE(pool.WaitStatus().ok());
+}
+
+TEST(ThreadPoolTest, InlinePoolCapturesThrowingTask) {
+  ThreadPool pool(0);
+  pool.Schedule([] { throw std::runtime_error("inline explosion"); });
+  const Status status = pool.WaitStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("inline explosion"), std::string::npos);
+}
+
+TEST(ParallelForTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(&pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForTest, BodyExceptionPropagatesOnce) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 512,
+                           [](std::size_t, std::size_t) {
+                             throw std::runtime_error("chunk failed");
+                           }),
+               std::runtime_error);
+  // A second job on the same pool runs to completion.
+  std::atomic<int> covered{0};
+  ParallelFor(&pool, 128, [&covered](std::size_t begin, std::size_t end) {
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 128);
+}
+
+TEST(ParallelForStatusTest, PropagatesFirstError) {
+  ThreadPool pool(4);
+  const Status status = ParallelForStatus(
+      &pool, 1000, [](std::size_t begin, std::size_t) {
+        if (begin == 0) return Status::InvalidArgument("bad chunk");
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelForStatusTest, InlineExecutionAndOkPath) {
+  EXPECT_TRUE(ParallelForStatus(nullptr, 10,
+                                [](std::size_t, std::size_t) {
+                                  return Status::Ok();
+                                })
+                  .ok());
+  const Status status = ParallelForStatus(
+      nullptr, 10, [](std::size_t, std::size_t) -> Status {
+        throw std::runtime_error("inline body threw");
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
 }
 
 }  // namespace
