@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs the serving benchmark, producing BENCH_serve.json in
+# the repository root (throughput/latency under concurrent load plus the
+# planner-vs-fixed-algorithm A/B on both contract workloads).
+#
+#   $ scripts/bench_json.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -B build -S . -DIPS_BUILD_BENCHMARKS=ON >/dev/null
+cmake --build build -j"$JOBS" --target bench_serve
+./build/bench/bench_serve
+echo "BENCH_serve.json written to $(pwd)/BENCH_serve.json"

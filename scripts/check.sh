@@ -18,6 +18,8 @@ run_plain() {
   cmake -B build -S . >/dev/null
   cmake --build build -j"$JOBS"
   (cd build && ctest --output-on-failure -j"$JOBS")
+  echo "=== serve quickstart (1k concurrent deadlined requests) ==="
+  ./build/examples/serve_quickstart
 }
 
 run_asan() {
@@ -31,9 +33,12 @@ run_asan() {
 run_tsan() {
   echo "=== TSan build + concurrency tests ==="
   cmake -B build-tsan -S . -DIPS_SANITIZE=thread \
-    -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan -j"$JOBS" --target util_test chaos_test
-  (cd build-tsan && ctest --output-on-failure -R 'util_test|chaos_test')
+    -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=ON >/dev/null
+  cmake --build build-tsan -j"$JOBS" \
+    --target util_test chaos_test serve_test serve_quickstart
+  (cd build-tsan && ctest --output-on-failure -R 'util_test|chaos_test|serve_test')
+  echo "=== TSan serve quickstart ==="
+  ./build-tsan/examples/serve_quickstart
 }
 
 case "$MODE" in

@@ -94,6 +94,10 @@ class TreeMipsIndex : public MipsIndex {
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
 
+  /// The underlying ball tree, for callers that drive the (thread-safe,
+  /// counter-free) QueryTopK / QueryMax primitives themselves.
+  const MipsBallTree& tree() const { return tree_; }
+
  private:
   const Matrix* data_;
   MipsBallTree tree_;

@@ -11,9 +11,13 @@ namespace {
 
 std::vector<SearchMatch> KBest(std::vector<SearchMatch> scored,
                                std::size_t k) {
+  // Score descending, then index ascending: equal scores always rank in
+  // the same order, so results are stable across engines, thread counts,
+  // and planner A/B comparisons.
   std::sort(scored.begin(), scored.end(),
             [](const SearchMatch& a, const SearchMatch& b) {
-              return a.value > b.value;
+              if (a.value != b.value) return a.value > b.value;
+              return a.index < b.index;
             });
   if (scored.size() > k) scored.resize(k);
   return scored;

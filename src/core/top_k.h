@@ -21,7 +21,8 @@
 
 namespace ips {
 
-/// Exact top-k by full scan, descending score. Scores are signed or
+/// Exact top-k by full scan, descending score; ties break toward the
+/// smaller data index (deterministic ordering). Scores are signed or
 /// absolute per `is_signed`. Returns min(k, rows) entries.
 std::vector<SearchMatch> TopKBruteForce(const Matrix& data,
                                         std::span<const double> q,

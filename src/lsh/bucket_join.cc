@@ -43,13 +43,19 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
         ++result.stats.candidate_pairs;
         const std::uint64_t key =
             (static_cast<std::uint64_t>(qi) << 32) | di;
-        if (!verified.insert(key).second) continue;
+        if (!verified.insert(key).second) {
+          ++result.stats.duplicate_pairs;
+          continue;
+        }
         ++result.stats.verified_pairs;
         const double raw = Dot(data.Row(di), queries.Row(qi));
         const double score = is_signed ? raw : std::abs(raw);
         if (score < cs_threshold) continue;
         auto& best = result.per_query[qi];
-        if (!best.has_value() || score > best->second) {
+        // Ties break toward the smaller data index so results are
+        // deterministic regardless of table enumeration order.
+        if (!best.has_value() || score > best->second ||
+            (score == best->second && di < best->first)) {
           best = std::make_pair(static_cast<std::size_t>(di), score);
         }
       }

@@ -27,8 +27,13 @@ namespace ips {
 struct BucketJoinStats {
   /// Candidate pairs enumerated across all tables (before dedup).
   std::size_t candidate_pairs = 0;
-  /// Distinct pairs verified with an exact inner product.
+  /// Distinct pairs verified with an exact inner product. Each (query,
+  /// data) pair is verified at most once even when it collides in
+  /// several tables.
   std::size_t verified_pairs = 0;
+  /// Pairs skipped by cross-table deduplication; always equals
+  /// candidate_pairs - verified_pairs.
+  std::size_t duplicate_pairs = 0;
 };
 
 /// Result of a bucket join: per-query best match (index into `data`,

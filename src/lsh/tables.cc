@@ -30,7 +30,7 @@ LshTableParams LshTableParams::FromGap(std::size_t n, double p1, double p2) {
 
 LshTables::LshTables(const LshFamily& family, const Matrix& data,
                      LshTableParams params, Rng* rng)
-    : data_(&data), params_(params), last_seen_(data.rows(), 0) {
+    : data_(&data), params_(params) {
   IPS_CHECK(rng != nullptr);
   IPS_CHECK_GE(params.k, 1u);
   IPS_CHECK_GE(params.l, 1u);
@@ -65,20 +65,16 @@ StatusOr<std::unique_ptr<LshTables>> LshTables::Create(
 }
 
 std::vector<std::size_t> LshTables::Query(std::span<const double> q) const {
-  ++query_epoch_;
   std::vector<std::size_t> candidates;
   for (const auto& table : tables_) {
     const std::uint64_t key = table.function->HashQuery(q);
     const auto it = table.buckets.find(key);
     if (it == table.buckets.end()) continue;
-    for (std::uint32_t index : it->second) {
-      if (last_seen_[index] != query_epoch_) {
-        last_seen_[index] = query_epoch_;
-        candidates.push_back(index);
-      }
-    }
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
   }
   std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
   return candidates;
 }
 

@@ -53,7 +53,8 @@ class LshTables {
       Rng* rng);
 
   /// Indices of data rows sharing at least one bucket with `q`
-  /// (deduplicated, ascending).
+  /// (deduplicated, ascending). Thread-safe: uses no per-query shared
+  /// scratch, so a built index may serve concurrent queries.
   std::vector<std::size_t> Query(std::span<const double> q) const;
 
   /// Number of candidates Query would return, without materializing them.
@@ -73,9 +74,6 @@ class LshTables {
   const Matrix* data_;
   LshTableParams params_;
   std::vector<Table> tables_;
-  // Scratch for deduplication, sized rows(); mutable per-query state.
-  mutable std::vector<std::uint32_t> last_seen_;
-  mutable std::uint32_t query_epoch_ = 0;
 };
 
 }  // namespace ips

@@ -1,0 +1,199 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace ips {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(const Engine* engine,
+                               BatchSchedulerOptions options)
+    : engine_(engine),
+      options_(options),
+      pool_(options.num_threads) {
+  IPS_CHECK(engine_ != nullptr);
+  IPS_CHECK_GE(options_.max_batch, 1u);
+  IPS_CHECK_GE(options_.max_queue, 1u);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<BatchScheduler::Result> BatchScheduler::Submit(
+    std::vector<double> query, TopKRequest request,
+    double deadline_seconds) {
+  std::promise<Result> promise;
+  std::future<Result> future = promise.get_future();
+
+  // Admission failpoint: an injected admission failure answers the
+  // request immediately with the armed status.
+  if (Failpoints::AnyArmed()) {
+    const Status injected = Failpoints::Hit("serve/schedule");
+    if (!injected.ok()) {
+      promise.set_value(injected);
+      return future;
+    }
+  }
+  if (std::isnan(deadline_seconds) || deadline_seconds <= 0.0) {
+    promise.set_value(Status::InvalidArgument(
+        "deadline must be positive (use +infinity for no deadline)"));
+    return future;
+  }
+
+  Pending pending;
+  pending.query = std::move(query);
+  pending.request = std::move(request);
+  pending.submitted_at = Clock::now();
+  pending.has_deadline = std::isfinite(deadline_seconds);
+  if (pending.has_deadline) {
+    pending.deadline =
+        pending.submitted_at + SecondsToDuration(deadline_seconds);
+  }
+  pending.promise = std::move(promise);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    if (shutting_down_ || queue_.size() >= options_.max_queue) {
+      ++counters_.shed;
+      ++counters_.completed;
+      pending.promise.set_value(Status::ResourceExhausted(
+          shutting_down_ ? "scheduler is shutting down"
+                         : "serve queue full (" +
+                               std::to_string(options_.max_queue) +
+                               " requests queued)"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    counters_.max_queue_depth =
+        std::max(counters_.max_queue_depth, queue_.size());
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void BatchScheduler::DispatchLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty() && shutting_down_) return;
+      const std::size_t take = std::min(options_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++counters_.batches;
+      in_flight_ += batch.size();
+      if (shutting_down_) {
+        // Fail the drained batch instead of executing it: shutdown must
+        // not block on engine work, but every promise must be answered.
+        for (Pending& pending : batch) {
+          pending.promise.set_value(
+              Status::ResourceExhausted("scheduler is shutting down"));
+          ++counters_.completed;
+        }
+        in_flight_ -= batch.size();
+        continue;
+      }
+    }
+    RunBatch(std::move(batch));
+  }
+}
+
+void BatchScheduler::RunBatch(std::vector<Pending> batch) {
+  // Chunks write disjoint index ranges; plain bytes (not the bit-packed
+  // vector<bool>) keep those writes race-free.
+  std::vector<unsigned char> answered(batch.size(), 0);
+  std::vector<unsigned char> expired(batch.size(), 0);
+  const Status batch_status = ParallelForStatus(
+      &pool_, batch.size(),
+      [&](std::size_t begin, std::size_t end) -> Status {
+        // Deadline-machinery failpoint: firing fails this chunk, and
+        // ParallelForStatus cancels the chunks that have not started —
+        // the dispatcher then answers every unanswered request below.
+        IPS_FAILPOINT("serve/deadline");
+        for (std::size_t i = begin; i < end; ++i) {
+          Pending& pending = batch[i];
+          const Clock::time_point start = Clock::now();
+          if (pending.has_deadline && start >= pending.deadline) {
+            pending.promise.set_value(Status::DeadlineExceeded(
+                "deadline passed before execution started"));
+            answered[i] = 1;
+            expired[i] = 1;
+            continue;
+          }
+          Result result =
+              engine_->TopK(pending.query, pending.request);
+          if (result.ok()) {
+            const Clock::time_point done = Clock::now();
+            ServeStats& stats = result.value().stats;
+            stats.queue_seconds =
+                std::chrono::duration<double>(start - pending.submitted_at)
+                    .count();
+            stats.deadline_met =
+                !pending.has_deadline || done <= pending.deadline;
+          }
+          pending.promise.set_value(std::move(result));
+          answered[i] = 1;
+        }
+        return Status::Ok();
+      });
+
+  // Cancelled or failed chunks leave requests unanswered; answer them
+  // with the batch's status so no queued work is ever leaked.
+  std::size_t expired_count = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (answered[i] == 0) {
+      batch[i].promise.set_value(
+          batch_status.ok()
+              ? Status::Internal("batch finished without answering request")
+              : batch_status);
+    }
+    if (expired[i] != 0) ++expired_count;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.completed += batch.size();
+    counters_.expired += expired_count;
+    in_flight_ -= batch.size();
+    if (queue_.empty() && in_flight_ == 0) queue_drained_.notify_all();
+  }
+}
+
+void BatchScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_drained_.wait(lock,
+                      [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+SchedulerCounters BatchScheduler::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace ips

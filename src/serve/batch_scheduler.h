@@ -1,0 +1,116 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Deadline-aware batch scheduling on top of ThreadPool: concurrent TopK
+// requests are coalesced into batches by a dispatcher thread and fanned
+// out over the pool with the cancellable ParallelForStatus, so one
+// injected or internal failure cancels the rest of the batch and every
+// queued request still gets an answer (a Status, never silence).
+//
+// Admission and deadline semantics:
+//  * Submit sheds load with kResourceExhausted when the queue is full.
+//  * A request whose deadline has passed before execution starts fails
+//    with kDeadlineExceeded without burning engine work.
+//  * A request that starts in time but finishes late still returns its
+//    answer, flagged with stats.deadline_met = false.
+//  * Shutdown fails all still-queued requests with kResourceExhausted;
+//    no future is ever abandoned.
+//
+// Failpoints: "serve/schedule" (admission), "serve/deadline" (batch
+// execution; firing cancels the batch's remaining chunks).
+
+#ifndef IPS_SERVE_BATCH_SCHEDULER_H_
+#define IPS_SERVE_BATCH_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ips {
+
+/// Scheduler tuning.
+struct BatchSchedulerOptions {
+  /// Worker threads executing batches (0 = inline execution).
+  std::size_t num_threads = ThreadPool::DefaultThreadCount();
+  /// Submissions beyond this queue depth are shed with
+  /// kResourceExhausted.
+  std::size_t max_queue = 1024;
+  /// Requests coalesced into one batch (one ParallelForStatus fan-out).
+  std::size_t max_batch = 64;
+};
+
+/// Monotonic counters of a scheduler's lifetime (snapshot).
+struct SchedulerCounters {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  // answered, with a value or an error
+  std::size_t shed = 0;       // rejected at admission (queue full)
+  std::size_t expired = 0;    // deadline passed before execution
+  std::size_t batches = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+/// Coalescing scheduler over one Engine. Thread-safe.
+class BatchScheduler {
+ public:
+  using Result = StatusOr<TopKResponse>;
+
+  /// `engine` must outlive the scheduler.
+  BatchScheduler(const Engine* engine, BatchSchedulerOptions options = {});
+
+  /// Fails every still-queued request, then joins the workers.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueues one request with a relative deadline. The returned future
+  /// always becomes ready: with the response, or with the Status of
+  /// shedding / expiry / cancellation / engine failure.
+  /// `deadline_seconds` must be positive (infinity = no deadline).
+  std::future<Result> Submit(std::vector<double> query, TopKRequest request,
+                             double deadline_seconds);
+
+  /// Blocks until every submitted request has been answered.
+  void Drain();
+
+  SchedulerCounters counters() const;
+
+ private:
+  struct Pending {
+    std::vector<double> query;
+    TopKRequest request;
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point submitted_at;
+    bool has_deadline = false;
+    std::promise<Result> promise;
+  };
+
+  void DispatchLoop();
+  void RunBatch(std::vector<Pending> batch);
+
+  const Engine* engine_;
+  BatchSchedulerOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable queue_drained_;
+  std::deque<Pending> queue_;
+  SchedulerCounters counters_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVE_BATCH_SCHEDULER_H_

@@ -1,0 +1,309 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/top_k.h"
+#include "linalg/validate.h"
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ips {
+namespace {
+
+// Sketch descent touches two node sketches per level, a geometric sum
+// dominated by the root, plus the exact rescan of one leaf.
+double SketchCostModel(std::size_t n, const SketchMipsParams& params) {
+  const double rows =
+      static_cast<double>(params.copies) * params.bucket_multiplier *
+      std::pow(static_cast<double>(n),
+               1.0 - 2.0 / std::max(params.kappa, 2.0));
+  return 2.0 * std::max(1.0, rows) + static_cast<double>(params.leaf_size);
+}
+
+// Samples `count` distinct row indices of `data` (all rows when count
+// >= rows).
+std::vector<std::size_t> SampleRows(const Matrix& data, std::size_t count,
+                                    Rng* rng) {
+  std::vector<std::size_t> indices(data.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  if (count >= indices.size()) return indices;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng->NextBounded(indices.size() - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+Matrix GatherRows(const Matrix& data, const std::vector<std::size_t>& rows) {
+  Matrix out(rows.size(), data.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = data.Row(rows[i]);
+    std::copy(src.begin(), src.end(), out.Row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(Matrix data, EngineOptions options)
+    : data_(std::move(data)),
+      options_(options),
+      profile_(DatasetProfile::FromData(data_)),
+      build_rng_(options.seed) {}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Create(Matrix data,
+                                                 EngineOptions options) {
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "engine data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "engine data"));
+  if (options.tree_leaf_size < 1) {
+    return Status::InvalidArgument("engine tree_leaf_size must be >= 1");
+  }
+  if (options.lsh_params.k < 1 || options.lsh_params.l < 1) {
+    return Status::InvalidArgument("engine lsh k and l must be >= 1");
+  }
+  std::unique_ptr<Engine> engine(
+      new Engine(std::move(data), options));
+  IPS_RETURN_IF_ERROR(engine->Calibrate());
+  return engine;
+}
+
+Status Engine::Calibrate() {
+  PlannerCalibration calib;
+  calib.recall_margin = options_.recall_margin;
+  calib.sketch_cost = SketchCostModel(profile_.n, options_.sketch_params);
+  calib.lsh_probe_overhead = static_cast<double>(options_.lsh_params.k) *
+                             static_cast<double>(options_.lsh_params.l);
+
+  const std::size_t probes =
+      std::min(options_.probe_queries, profile_.n);
+  if (probes == 0) {
+    planner_ = std::make_unique<Planner>(profile_, calib);
+    return Status::Ok();
+  }
+
+  // Probe indexes are built on a subsample so warmup stays cheap; the
+  // measured fractions extrapolate to the full dataset.
+  const std::size_t sample_size =
+      std::max<std::size_t>(1, std::min(options_.probe_sample, profile_.n));
+  const Matrix sample =
+      GatherRows(data_, SampleRows(data_, sample_size, &build_rng_));
+  const DatasetProfile sample_profile = DatasetProfile::FromData(sample);
+  const std::vector<std::size_t> query_rows =
+      SampleRows(data_, probes, &build_rng_);
+
+  // Tree probe: pruning fraction of the subsample tree.
+  auto probe_tree =
+      TreeMipsIndex::Create(sample, options_.tree_leaf_size, &build_rng_);
+  IPS_RETURN_IF_ERROR(probe_tree.status());
+  double tree_evaluated = 0.0;
+  for (std::size_t row : query_rows) {
+    std::size_t evaluated = 0;
+    (*probe_tree)->tree().QueryTopK(data_.Row(row), 1, &evaluated);
+    tree_evaluated += static_cast<double>(evaluated);
+  }
+  calib.tree_fraction = tree_evaluated / static_cast<double>(probes) /
+                        static_cast<double>(sample.rows());
+
+  // LSH probe: candidate fraction and recall@1 against the exact answer.
+  // Skipped (recall stays 0) when the data is all-zero, where the
+  // Simple-LSH lift is undefined.
+  if (sample_profile.max_norm > 0.0) {
+    const SimpleMipsTransform probe_transform(profile_.dim,
+                                              sample_profile.max_norm);
+    const SimHashFamily probe_family(probe_transform.output_dim());
+    auto probe_lsh =
+        LshMipsIndex::Create(sample, &probe_transform, probe_family,
+                             options_.lsh_params, &build_rng_);
+    IPS_RETURN_IF_ERROR(probe_lsh.status());
+    double candidate_total = 0.0;
+    std::size_t lsh_hits = 0;
+    std::size_t sketch_hits = 0;
+    auto probe_sketch =
+        SketchIndex::Create(sample, options_.sketch_params, &build_rng_);
+    IPS_RETURN_IF_ERROR(probe_sketch.status());
+    for (std::size_t row : query_rows) {
+      const auto q = data_.Row(row);
+      const auto exact_signed =
+          TopKBruteForce(sample, q, 1, /*is_signed=*/true);
+      const auto exact_unsigned =
+          TopKBruteForce(sample, q, 1, /*is_signed=*/false);
+      const auto candidates = (*probe_lsh)->Candidates(q);
+      candidate_total += static_cast<double>(candidates.size());
+      const auto lsh_top =
+          TopKFromCandidates(sample, q, candidates, 1, /*is_signed=*/true);
+      if (!lsh_top.empty() && !exact_signed.empty() &&
+          lsh_top[0].index == exact_signed[0].index) {
+        ++lsh_hits;
+      }
+      const std::size_t recovered =
+          (*probe_sketch)->sketch().RecoverArgmax(q);
+      if (!exact_unsigned.empty() && recovered == exact_unsigned[0].index) {
+        ++sketch_hits;
+      }
+    }
+    calib.lsh_candidate_fraction = candidate_total /
+                                   static_cast<double>(probes) /
+                                   static_cast<double>(sample.rows());
+    calib.lsh_recall =
+        static_cast<double>(lsh_hits) / static_cast<double>(probes);
+    calib.sketch_recall =
+        static_cast<double>(sketch_hits) / static_cast<double>(probes);
+  }
+
+  calib.probe_queries = probes;
+  planner_ = std::make_unique<Planner>(profile_, calib);
+  return Status::Ok();
+}
+
+Status Engine::EnsureIndex(ServeAlgo algo) const {
+  std::lock_guard<std::mutex> lock(build_mutex_);
+  switch (algo) {
+    case ServeAlgo::kBruteForce:
+      return Status::Ok();
+    case ServeAlgo::kBallTree: {
+      if (tree_index_ != nullptr) return Status::Ok();
+      auto built =
+          TreeMipsIndex::Create(data_, options_.tree_leaf_size, &build_rng_);
+      IPS_RETURN_IF_ERROR(built.status());
+      tree_index_ = std::move(built).value();
+      return Status::Ok();
+    }
+    case ServeAlgo::kLsh: {
+      if (lsh_index_ != nullptr) return Status::Ok();
+      if (profile_.max_norm <= 0.0) {
+        return Status::FailedPrecondition(
+            "lsh path unavailable: all data vectors are zero");
+      }
+      if (lsh_transform_ == nullptr) {
+        lsh_transform_ = std::make_unique<SimpleMipsTransform>(
+            profile_.dim, profile_.max_norm);
+        lsh_family_ =
+            std::make_unique<SimHashFamily>(lsh_transform_->output_dim());
+      }
+      auto built =
+          LshMipsIndex::Create(data_, lsh_transform_.get(), *lsh_family_,
+                               options_.lsh_params, &build_rng_);
+      IPS_RETURN_IF_ERROR(built.status());
+      lsh_index_ = std::move(built).value();
+      return Status::Ok();
+    }
+    case ServeAlgo::kSketch: {
+      if (sketch_index_ != nullptr) return Status::Ok();
+      auto built =
+          SketchIndex::Create(data_, options_.sketch_params, &build_rng_);
+      IPS_RETURN_IF_ERROR(built.status());
+      sketch_index_ = std::move(built).value();
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown serve algorithm");
+}
+
+StatusOr<TopKResponse> Engine::TopK(std::span<const double> query,
+                                    const TopKRequest& request) const {
+  IPS_RETURN_IF_ERROR(
+      ValidateVectorDims(query, profile_.dim, "serve query"));
+  IPS_RETURN_IF_ERROR(ValidateVectorFinite(query, "serve query"));
+
+  PlanDecision plan;
+  if (request.force_algorithm.has_value()) {
+    PlanRequest plan_request{request.k, request.recall_target,
+                             request.candidate_budget, request.is_signed};
+    IPS_RETURN_IF_ERROR(ValidatePlanRequest(plan_request));
+    const ServeAlgo forced = *request.force_algorithm;
+    if (forced == ServeAlgo::kBallTree && !request.is_signed) {
+      return Status::InvalidArgument(
+          "ball-tree top-k answers signed queries only");
+    }
+    if (forced == ServeAlgo::kSketch &&
+        (request.is_signed || request.k != 1)) {
+      return Status::InvalidArgument(
+          "sketch path answers unsigned k=1 queries only");
+    }
+    plan.algorithm = forced;
+    plan.expected_dot_products =
+        planner_->ExpectedDotProducts(forced, plan_request);
+    plan.expected_recall = 0.0;
+    plan.reason = std::string("forced ") + std::string(ServeAlgoName(forced));
+  } else {
+    PlanRequest plan_request{request.k, request.recall_target,
+                             request.candidate_budget, request.is_signed};
+    auto decision = planner_->Plan(plan_request);
+    IPS_RETURN_IF_ERROR(decision.status());
+    plan = std::move(decision).value();
+  }
+
+  IPS_RETURN_IF_ERROR(EnsureIndex(plan.algorithm));
+  return Execute(plan.algorithm, query, request, std::move(plan));
+}
+
+StatusOr<TopKResponse> Engine::Execute(ServeAlgo algo,
+                                       std::span<const double> query,
+                                       const TopKRequest& request,
+                                       PlanDecision plan) const {
+  WallTimer timer;
+  TopKResponse response;
+  response.stats.algorithm = algo;
+  switch (algo) {
+    case ServeAlgo::kBruteForce: {
+      response.matches =
+          TopKBruteForce(data_, query, request.k, request.is_signed);
+      response.stats.candidates = data_.rows();
+      response.stats.dot_products = data_.rows();
+      break;
+    }
+    case ServeAlgo::kBallTree: {
+      const MipsBallTree* tree = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(build_mutex_);
+        tree = &tree_index_->tree();
+      }
+      std::size_t evaluated = 0;
+      for (const auto& [index, value] :
+           tree->QueryTopK(query, request.k, &evaluated)) {
+        response.matches.push_back({index, value});
+      }
+      response.stats.candidates = evaluated;
+      response.stats.dot_products = evaluated;
+      break;
+    }
+    case ServeAlgo::kLsh: {
+      const LshMipsIndex* lsh = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(build_mutex_);
+        lsh = lsh_index_.get();
+      }
+      const std::vector<std::size_t> candidates = lsh->Candidates(query);
+      response.matches = TopKFromCandidates(data_, query, candidates,
+                                            request.k, request.is_signed);
+      response.stats.candidates = candidates.size();
+      response.stats.dot_products = candidates.size();
+      break;
+    }
+    case ServeAlgo::kSketch: {
+      const SketchIndex* sketch = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(build_mutex_);
+        sketch = sketch_index_.get();
+      }
+      const std::size_t index = sketch->sketch().RecoverArgmax(query);
+      const double value = std::abs(Dot(data_.Row(index), query));
+      response.matches.push_back({index, value});
+      response.stats.candidates = 1;
+      response.stats.dot_products =
+          2 * sketch->sketch().RootSketchRows() +
+          options_.sketch_params.leaf_size;
+      break;
+    }
+  }
+  response.stats.exec_seconds = timer.Seconds();
+  response.plan = std::move(plan);
+  return response;
+}
+
+}  // namespace ips

@@ -1,0 +1,135 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The online serving facade: an Engine owns a dataset plus lazily-built,
+// cached per-algorithm indexes (constructed through the validated
+// StatusOr Create factories), a micro-probe-calibrated Planner, and a
+// thread-safe TopK entry point that dispatches each request to the
+// planner-selected answer path and accounts for the work it did.
+//
+// Thread safety: TopK may be called concurrently. Index construction is
+// serialized behind a mutex; queries go through the counter-free const
+// primitives (TopKBruteForce, MipsBallTree::QueryTopK,
+// LshMipsIndex::Candidates, SketchMipsIndex::RecoverArgmax), so a built
+// engine serves parallel traffic without locking the hot path.
+
+#ifndef IPS_SERVE_ENGINE_H_
+#define IPS_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/mips_index.h"
+#include "core/types.h"
+#include "linalg/matrix.h"
+#include "lsh/simhash.h"
+#include "lsh/tables.h"
+#include "lsh/transforms.h"
+#include "rng/random.h"
+#include "serve/planner.h"
+#include "serve/serve_stats.h"
+#include "sketch/sketch_mips.h"
+#include "util/status.h"
+
+namespace ips {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// (K, L) amplification of the lazily-built LSH index.
+  LshTableParams lsh_params{.k = 8, .l = 32};
+  /// Parameters of the lazily-built Section 4.3 sketch index.
+  SketchMipsParams sketch_params;
+  /// Leaf size of the lazily-built ball tree.
+  std::size_t tree_leaf_size = 16;
+  /// Warmup micro-probes: queries sampled from the data itself.
+  std::size_t probe_queries = 16;
+  /// Warmup subsample size the probe indexes are built on (clamped to n).
+  std::size_t probe_sample = 512;
+  /// Safety margin the planner adds to approximate-path recall targets.
+  double recall_margin = 0.05;
+  /// Seed of the engine's private Rng (index builds, warmup).
+  std::uint64_t seed = 2026;
+};
+
+/// One top-k serving request.
+struct TopKRequest {
+  std::size_t k = 1;
+  double recall_target = 0.9;
+  /// Soft cap on exact dot products (0 = unbounded).
+  std::size_t candidate_budget = 0;
+  bool is_signed = true;
+  /// Bypass the planner and force an answer path (A/B comparisons,
+  /// benchmarks). The forced path must be able to answer the request
+  /// (e.g. tree is signed-only) or TopK returns kInvalidArgument.
+  std::optional<ServeAlgo> force_algorithm;
+};
+
+/// One served answer: ranked matches plus what they cost.
+struct TopKResponse {
+  std::vector<SearchMatch> matches;
+  ServeStats stats;
+  PlanDecision plan;
+};
+
+/// The serving engine. Create once, serve concurrently.
+class Engine {
+ public:
+  /// Validates `data` (via BruteForceIndex::Create), computes the
+  /// dataset profile, runs the warmup micro-probes, and calibrates the
+  /// planner. Takes ownership of the data.
+  static StatusOr<std::unique_ptr<Engine>> Create(Matrix data,
+                                                  EngineOptions options = {});
+
+  /// Answers one top-k request; thread-safe. Failpoint: "serve/plan"
+  /// (inside the planner). An index build failure surfaces as the
+  /// build's Status; the engine is not poisoned and the next request
+  /// retries the build.
+  StatusOr<TopKResponse> TopK(std::span<const double> query,
+                              const TopKRequest& request) const;
+
+  /// Eagerly builds the index behind `algo` (normally lazy; benches use
+  /// this to exclude build cost from serving measurements).
+  Status EnsureIndex(ServeAlgo algo) const;
+
+  const Planner& planner() const { return *planner_; }
+  const DatasetProfile& profile() const { return profile_; }
+  const Matrix& data() const { return data_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Engine(Matrix data, EngineOptions options);
+
+  /// Warmup: build subsample-scale indexes and measure pruning fraction,
+  /// candidate fraction, and probe recall for the planner's cost model.
+  Status Calibrate();
+
+  /// Executes `request` on `algo` (indexes already built).
+  StatusOr<TopKResponse> Execute(ServeAlgo algo,
+                                 std::span<const double> query,
+                                 const TopKRequest& request,
+                                 PlanDecision plan) const;
+
+  Matrix data_;
+  EngineOptions options_;
+  DatasetProfile profile_;
+  std::unique_ptr<Planner> planner_;
+
+  // Lazily-built indexes (and the LSH path's transform + base family,
+  // which must outlive its index); guarded by build_mutex_, immutable
+  // once built.
+  mutable std::mutex build_mutex_;
+  mutable std::unique_ptr<VectorTransform> lsh_transform_;
+  mutable std::unique_ptr<SimHashFamily> lsh_family_;
+  mutable std::unique_ptr<TreeMipsIndex> tree_index_;
+  mutable std::unique_ptr<LshMipsIndex> lsh_index_;
+  mutable std::unique_ptr<SketchIndex> sketch_index_;
+  mutable Rng build_rng_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVE_ENGINE_H_

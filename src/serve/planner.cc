@@ -1,0 +1,140 @@
+#include "serve/planner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace ips {
+
+double DatasetProfile::NormSpread() const {
+  if (min_norm <= 0.0) return std::numeric_limits<double>::infinity();
+  return max_norm / min_norm;
+}
+
+DatasetProfile DatasetProfile::FromData(const Matrix& data) {
+  DatasetProfile profile;
+  profile.n = data.rows();
+  profile.dim = data.cols();
+  if (data.rows() == 0) return profile;
+  profile.min_norm = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const double norm = Norm(data.Row(i));
+    profile.min_norm = std::min(profile.min_norm, norm);
+    profile.max_norm = std::max(profile.max_norm, norm);
+    total += norm;
+  }
+  profile.mean_norm = total / static_cast<double>(data.rows());
+  return profile;
+}
+
+Status ValidatePlanRequest(const PlanRequest& request) {
+  if (request.k < 1) {
+    return Status::InvalidArgument("top-k request needs k >= 1");
+  }
+  if (!std::isfinite(request.recall_target) || request.recall_target <= 0.0 ||
+      request.recall_target > 1.0) {
+    return Status::InvalidArgument(
+        "recall target must lie in (0, 1], got " +
+        std::to_string(request.recall_target));
+  }
+  return Status::Ok();
+}
+
+Planner::Planner(DatasetProfile profile, PlannerCalibration calibration)
+    : profile_(profile), calibration_(calibration) {
+  IPS_CHECK_GT(profile_.n, 0u);
+}
+
+double Planner::ExpectedRecall(ServeAlgo algo,
+                               const PlanRequest& request) const {
+  switch (algo) {
+    case ServeAlgo::kBruteForce:
+      return 1.0;
+    case ServeAlgo::kBallTree:
+      // The tree's top-k branch-and-bound is exact but signed-only.
+      return request.is_signed ? 1.0 : 0.0;
+    case ServeAlgo::kLsh:
+      return calibration_.probe_queries == 0 ? 0.0 : calibration_.lsh_recall;
+    case ServeAlgo::kSketch:
+      // The Section 4.3 sketch recovers a single unsigned argmax.
+      if (request.is_signed || request.k != 1) return 0.0;
+      return calibration_.probe_queries == 0 ? 0.0
+                                             : calibration_.sketch_recall;
+  }
+  return 0.0;
+}
+
+double Planner::ExpectedDotProducts(ServeAlgo algo,
+                                    const PlanRequest& request) const {
+  const double n = static_cast<double>(profile_.n);
+  switch (algo) {
+    case ServeAlgo::kBruteForce:
+      return n;
+    case ServeAlgo::kBallTree:
+      // Pruning measured on the warmup subsample; clamp to the full scan.
+      return std::min(n, std::max(static_cast<double>(request.k),
+                                  n * calibration_.tree_fraction));
+    case ServeAlgo::kLsh:
+      return std::min(n, n * calibration_.lsh_candidate_fraction) +
+             calibration_.lsh_probe_overhead;
+    case ServeAlgo::kSketch:
+      return calibration_.sketch_cost;
+  }
+  return n;
+}
+
+StatusOr<PlanDecision> Planner::Plan(const PlanRequest& request) const {
+  IPS_FAILPOINT("serve/plan");
+  IPS_RETURN_IF_ERROR(ValidatePlanRequest(request));
+
+  constexpr ServeAlgo kAll[] = {ServeAlgo::kBruteForce, ServeAlgo::kBallTree,
+                                ServeAlgo::kLsh, ServeAlgo::kSketch};
+  const double budget = request.candidate_budget == 0
+                            ? std::numeric_limits<double>::infinity()
+                            : static_cast<double>(request.candidate_budget);
+
+  // Two-tier selection: cheapest eligible algorithm inside the budget,
+  // falling back to the cheapest eligible overall. Exact paths need no
+  // margin; approximate paths must clear target + margin.
+  PlanDecision best;
+  bool found = false;
+  bool best_in_budget = false;
+  for (ServeAlgo algo : kAll) {
+    const double recall = ExpectedRecall(algo, request);
+    const double required =
+        recall >= 1.0 ? request.recall_target
+                      : request.recall_target + calibration_.recall_margin;
+    if (recall < required) continue;
+    const double cost = ExpectedDotProducts(algo, request);
+    const bool in_budget = cost <= budget;
+    const bool better =
+        !found ||
+        (in_budget && !best_in_budget) ||
+        (in_budget == best_in_budget && cost < best.expected_dot_products);
+    if (better) {
+      best.algorithm = algo;
+      best.expected_dot_products = cost;
+      best.expected_recall = recall;
+      found = true;
+      best_in_budget = in_budget;
+    }
+  }
+  // Brute force has recall 1 and is always eligible.
+  IPS_CHECK(found);
+
+  best.reason = std::string(ServeAlgoName(best.algorithm)) + ": ~" +
+                std::to_string(static_cast<std::size_t>(
+                    best.expected_dot_products)) +
+                " dots at recall>=" + std::to_string(best.expected_recall);
+  if (!best_in_budget) {
+    best.reason += " (candidate budget " +
+                   std::to_string(request.candidate_budget) + " exceeded)";
+  }
+  return best;
+}
+
+}  // namespace ips

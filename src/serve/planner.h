@@ -1,0 +1,125 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The cost-model planner behind the serving engine: given dataset
+// statistics and a per-request (k, recall target, candidate budget), it
+// picks the cheapest of the four answer paths expected to reach the
+// target. The choice is genuinely workload-dependent — the
+// Neyshabur–Srebro and Shrivastava ALSH analyses show the winner flips
+// with norm distribution and recall target — so the model is calibrated
+// from cheap micro-probes at engine warmup instead of hardcoded:
+//
+//   brute  : recall 1, cost n
+//   tree   : recall 1 (signed only), cost n * measured pruning fraction
+//   lsh    : measured probe recall, cost n * measured candidate fraction
+//   sketch : measured probe recall (unsigned k=1 only), cost ~ sketch rows
+//
+// Eligible algorithms are those whose calibrated recall clears the
+// request's target plus a safety margin; among the eligible, the planner
+// returns the one with the fewest expected dot products (preferring ones
+// inside the request's candidate budget when it is set).
+
+#ifndef IPS_SERVE_PLANNER_H_
+#define IPS_SERVE_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+namespace ips {
+
+/// Dataset statistics the cost model conditions on.
+struct DatasetProfile {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  double min_norm = 0.0;
+  double max_norm = 0.0;
+  double mean_norm = 0.0;
+
+  /// max/min norm ratio; large values indicate the skewed-norm regime
+  /// where asymmetric LSH transforms degrade.
+  double NormSpread() const;
+
+  /// Scans `data` once for n, dim, and the norm distribution.
+  static DatasetProfile FromData(const Matrix& data);
+};
+
+/// Micro-probe measurements taken at engine warmup (on a subsample, so
+/// warmup stays cheap; fractions extrapolate to the full dataset).
+struct PlannerCalibration {
+  /// Fraction of points the ball tree scored per probe query (<= 1).
+  double tree_fraction = 1.0;
+  /// Mean LSH candidates per probe query as a fraction of n (<= 1).
+  double lsh_candidate_fraction = 1.0;
+  /// Per-query hashing overhead of the LSH path in dot-equivalents.
+  double lsh_probe_overhead = 0.0;
+  /// Measured recall@1 of the LSH path on the probe queries.
+  double lsh_recall = 0.0;
+  /// Measured unsigned recall@1 of the sketch path on the probe queries.
+  double sketch_recall = 0.0;
+  /// Per-query sketch work in dot-equivalents.
+  double sketch_cost = 0.0;
+  /// Probe queries the calibration averaged over (0 = uncalibrated:
+  /// approximate paths are considered recall-0 and never selected).
+  std::size_t probe_queries = 0;
+  /// Safety margin: an approximate path is eligible only when its
+  /// calibrated recall >= target + margin.
+  double recall_margin = 0.05;
+};
+
+/// One request's planning inputs.
+struct PlanRequest {
+  std::size_t k = 1;
+  /// Fraction of the exact top-k the answer must recover, in (0, 1].
+  double recall_target = 0.9;
+  /// Soft cap on exact dot products (0 = unbounded). When no eligible
+  /// algorithm fits, the cheapest eligible one is chosen anyway and the
+  /// decision's reason records the overshoot.
+  std::size_t candidate_budget = 0;
+  bool is_signed = true;
+};
+
+/// The planner's verdict for one request.
+struct PlanDecision {
+  ServeAlgo algorithm = ServeAlgo::kBruteForce;
+  double expected_dot_products = 0.0;
+  double expected_recall = 1.0;
+  /// One-line human-readable justification (for logs and benches).
+  std::string reason;
+};
+
+/// Validates the request fields (k >= 1, recall target in (0, 1]).
+Status ValidatePlanRequest(const PlanRequest& request);
+
+/// Immutable per-dataset planner; thread-safe (Plan is const and pure).
+class Planner {
+ public:
+  Planner(DatasetProfile profile, PlannerCalibration calibration);
+
+  /// Picks an algorithm for `request`. Failpoint: "serve/plan".
+  StatusOr<PlanDecision> Plan(const PlanRequest& request) const;
+
+  /// Expected exact dot products if `algo` answered `request`; used for
+  /// A/B accounting by benches.
+  double ExpectedDotProducts(ServeAlgo algo,
+                             const PlanRequest& request) const;
+
+  const DatasetProfile& profile() const { return profile_; }
+  const PlannerCalibration& calibration() const { return calibration_; }
+
+ private:
+  /// Calibrated recall the model expects of `algo` for `request`;
+  /// 0 when the path cannot answer the request at all (e.g. signed
+  /// queries on the sketch path).
+  double ExpectedRecall(ServeAlgo algo, const PlanRequest& request) const;
+
+  DatasetProfile profile_;
+  PlannerCalibration calibration_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVE_PLANNER_H_

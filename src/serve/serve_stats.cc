@@ -1,0 +1,85 @@
+#include "serve/serve_stats.h"
+
+#include "util/check.h"
+
+namespace ips {
+
+std::string_view ServeAlgoName(ServeAlgo algo) {
+  switch (algo) {
+    case ServeAlgo::kBruteForce:
+      return "brute";
+    case ServeAlgo::kBallTree:
+      return "tree";
+    case ServeAlgo::kLsh:
+      return "lsh";
+    case ServeAlgo::kSketch:
+      return "sketch";
+  }
+  return "unknown";
+}
+
+void ServeMetrics::Record(const ServeStats& stats) {
+  const auto slot = static_cast<std::size_t>(stats.algorithm);
+  IPS_CHECK(slot < kNumServeAlgos);
+  const double latency_ms = stats.TotalSeconds() * 1e3;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerAlgo& algo = per_algo_[slot];
+  ++algo.requests;
+  algo.candidates += stats.candidates;
+  algo.dot_products += stats.dot_products;
+  algo.latency_ms.Add(latency_ms);
+  latencies_ms_.push_back(latency_ms);
+  if (stats.deadline_met) ++deadline_met_;
+}
+
+std::size_t ServeMetrics::TotalRequests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latencies_ms_.size();
+}
+
+std::size_t ServeMetrics::SelectionCount(ServeAlgo algo) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_algo_[static_cast<std::size_t>(algo)].requests;
+}
+
+std::size_t ServeMetrics::DeadlineMetCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_met_;
+}
+
+std::size_t ServeMetrics::TotalDotProducts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const PerAlgo& algo : per_algo_) total += algo.dot_products;
+  return total;
+}
+
+Summary ServeMetrics::LatencySummaryMillis() const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples = latencies_ms_;
+  }
+  return Summarize(std::move(samples));
+}
+
+TablePrinter ServeMetrics::ToTable() const {
+  TablePrinter table({"algorithm", "requests", "mean candidates",
+                      "mean dots", "mean latency (ms)"});
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t slot = 0; slot < kNumServeAlgos; ++slot) {
+    const PerAlgo& algo = per_algo_[slot];
+    if (algo.requests == 0) continue;
+    const double requests = static_cast<double>(algo.requests);
+    table.AddRow({std::string(ServeAlgoName(static_cast<ServeAlgo>(slot))),
+                  Format(algo.requests),
+                  FormatFixed(static_cast<double>(algo.candidates) / requests,
+                              1),
+                  FormatFixed(
+                      static_cast<double>(algo.dot_products) / requests, 1),
+                  FormatFixed(algo.latency_ms.Mean(), 3)});
+  }
+  return table;
+}
+
+}  // namespace ips

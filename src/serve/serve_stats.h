@@ -1,0 +1,96 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Per-request accounting for the online serving engine, plus a
+// thread-safe aggregator that turns a stream of requests into the
+// operational summary (per-algorithm selection counts, latency
+// percentiles, work totals) surfaced by examples and benchmarks.
+
+#ifndef IPS_SERVE_SERVE_STATS_H_
+#define IPS_SERVE_SERVE_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace ips {
+
+/// The four answer paths the serving engine can dispatch a request to.
+enum class ServeAlgo {
+  kBruteForce = 0,
+  kBallTree = 1,
+  kLsh = 2,
+  kSketch = 3,
+};
+
+inline constexpr std::size_t kNumServeAlgos = 4;
+
+/// Short stable name of `algo` ("brute", "tree", "lsh", "sketch").
+std::string_view ServeAlgoName(ServeAlgo algo);
+
+/// What one request cost and how it was answered.
+struct ServeStats {
+  ServeAlgo algorithm = ServeAlgo::kBruteForce;
+  /// Candidate data points whose exact score was computed.
+  std::size_t candidates = 0;
+  /// Exact inner products evaluated (dot-product-equivalent work for the
+  /// sketch path, which spends its time on sketch-row products).
+  std::size_t dot_products = 0;
+  /// Engine execution time (planning + search), excluding queue time.
+  double exec_seconds = 0.0;
+  /// Time spent queued in the batch scheduler; 0 for direct engine calls.
+  double queue_seconds = 0.0;
+  /// False when the request finished after its deadline (scheduler only).
+  bool deadline_met = true;
+
+  double TotalSeconds() const { return exec_seconds + queue_seconds; }
+};
+
+/// Thread-safe aggregation of ServeStats across requests.
+class ServeMetrics {
+ public:
+  /// Folds one completed request into the aggregate.
+  void Record(const ServeStats& stats);
+
+  /// Requests recorded so far.
+  std::size_t TotalRequests() const;
+
+  /// Requests answered by `algo`.
+  std::size_t SelectionCount(ServeAlgo algo) const;
+
+  /// Requests that met their deadline.
+  std::size_t DeadlineMetCount() const;
+
+  /// Total exact inner products across all recorded requests.
+  std::size_t TotalDotProducts() const;
+
+  /// Batch summary of end-to-end latency (queue + exec) in milliseconds.
+  Summary LatencySummaryMillis() const;
+
+  /// Per-algorithm table: requests, mean candidates, mean dots, mean
+  /// latency — the operational dashboard of a serving run.
+  TablePrinter ToTable() const;
+
+ private:
+  struct PerAlgo {
+    std::size_t requests = 0;
+    std::size_t candidates = 0;
+    std::size_t dot_products = 0;
+    OnlineStats latency_ms;
+  };
+
+  mutable std::mutex mutex_;
+  std::array<PerAlgo, kNumServeAlgos> per_algo_;
+  std::vector<double> latencies_ms_;
+  std::size_t deadline_met_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVE_SERVE_STATS_H_

@@ -151,15 +151,23 @@ void MipsBallTree::SearchUnsigned(int node_index, std::span<const double> q,
 }
 
 std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
-    std::span<const double> q, std::size_t k) const {
+    std::span<const double> q, std::size_t k, std::size_t* evaluated) const {
   IPS_CHECK_EQ(q.size(), data_->cols());
   IPS_CHECK_GE(k, 1u);
   const double q_norm = Norm(q);
-  // Min-heap on score (heap.front() = current k-th best).
+  std::size_t leaf_points_scored = 0;
+  // Min-heap on (score, inverted index): heap.front() is the current
+  // k-th best, where equal scores rank the *larger* index as worse so
+  // ties break toward the smaller data index deterministically.
   std::vector<std::pair<double, std::size_t>> heap;
-  auto heap_greater = [](const std::pair<double, std::size_t>& a,
-                         const std::pair<double, std::size_t>& b) {
-    return a.first > b.first;
+  auto worse = [](const std::pair<double, std::size_t>& a,
+                  const std::pair<double, std::size_t>& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  auto heap_greater = [worse](const std::pair<double, std::size_t>& a,
+                              const std::pair<double, std::size_t>& b) {
+    return worse(b, a);
   };
   // Iterative DFS with best-first child ordering.
   std::vector<int> stack = {root_};
@@ -167,17 +175,18 @@ std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
     const int node_index = stack.back();
     stack.pop_back();
     const Node& node = nodes_[node_index];
-    if (heap.size() == k && SignedBound(node, q, q_norm) <= heap.front().first) {
+    if (heap.size() == k && SignedBound(node, q, q_norm) < heap.front().first) {
       continue;
     }
     if (node.IsLeaf()) {
       for (std::size_t t = node.begin; t < node.end; ++t) {
         const std::size_t point = point_order_[t];
         const double value = Dot(data_->Row(point), q);
+        ++leaf_points_scored;
         if (heap.size() < k) {
           heap.emplace_back(value, point);
           std::push_heap(heap.begin(), heap.end(), heap_greater);
-        } else if (value > heap.front().first) {
+        } else if (worse(heap.front(), {value, point})) {
           std::pop_heap(heap.begin(), heap.end(), heap_greater);
           heap.back() = {value, point};
           std::push_heap(heap.begin(), heap.end(), heap_greater);
@@ -197,10 +206,14 @@ std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
     }
   }
   std::sort(heap.begin(), heap.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
   std::vector<std::pair<std::size_t, double>> result;
   result.reserve(heap.size());
   for (const auto& [value, index] : heap) result.emplace_back(index, value);
+  if (evaluated != nullptr) *evaluated = leaf_points_scored;
   return result;
 }
 

@@ -51,9 +51,13 @@ class MipsBallTree {
   MipsResult QueryMaxAbs(std::span<const double> q) const;
 
   /// Exact top-k by signed inner product, descending; branch-and-bound
-  /// against the current k-th best. Returns min(k, n) entries.
+  /// against the current k-th best. Ties break toward the smaller data
+  /// index, so the returned ordering is deterministic. Returns min(k, n)
+  /// entries. When `evaluated` is non-null it receives the number of
+  /// leaf points scored (pruning diagnostic, used by the serve planner).
   std::vector<std::pair<std::size_t, double>> QueryTopK(
-      std::span<const double> q, std::size_t k) const;
+      std::span<const double> q, std::size_t k,
+      std::size_t* evaluated = nullptr) const;
 
   std::size_t num_nodes() const { return nodes_.size(); }
 

@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kResourceExhausted = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a short human-readable name of `code` ("OK", "INVALID_ARGUMENT"...).
@@ -62,6 +63,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -22,6 +22,8 @@
 #include "lsh/tables.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"
+#include "serve/batch_scheduler.h"
+#include "serve/engine.h"
 #include "sketch/sketch_mips.h"
 #include "util/failpoint.h"
 #include "util/thread_pool.h"
@@ -376,6 +378,79 @@ TEST_F(ChaosTest, ExactJoinChunkFailpointCancelsCleanly) {
       EXPECT_EQ(parallel->per_query[qi]->data, serial->per_query[qi]->data);
     }
   }
+}
+
+// --- Serve-path failpoints: plan, schedule, deadline ---
+
+TEST_F(ChaosTest, ServePlanFailpointFailsRequestThenRecovers) {
+  Rng rng(11);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  const std::vector<double> q(6, 0.1);
+  {
+    ScopedFailpoint fp("serve/plan");
+    const auto result = (*engine)->TopK(q, TopKRequest{});
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("serve/plan"),
+              std::string::npos);
+  }
+  // The engine is not poisoned: the next request is served.
+  EXPECT_TRUE((*engine)->TopK(q, TopKRequest{}).ok());
+}
+
+TEST_F(ChaosTest, ServeScheduleFailpointShedsAtAdmission) {
+  Rng rng(12);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchScheduler scheduler(engine->get());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  {
+    Failpoints::Arm("serve/schedule", 1,
+                    Status::ResourceExhausted("admission queue fault"));
+    auto future =
+        scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf);
+    const auto result = future.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(result.status().message().find("admission queue fault"),
+              std::string::npos);
+    Failpoints::DisarmAll();
+  }
+  // The next submission is admitted and served.
+  auto good =
+      scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf);
+  EXPECT_TRUE(good.get().ok());
+}
+
+TEST_F(ChaosTest, ServeDeadlineFailpointFailsBatchWithoutLeakingWork) {
+  Rng rng(13);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchSchedulerOptions options;
+  options.num_threads = 2;
+  options.max_batch = 16;
+  BatchScheduler scheduler(engine->get(), options);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  {
+    ScopedFailpoint fp("serve/deadline");
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(
+          scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf));
+    }
+    // Every future resolves — the injected fault cancels the batch, and
+    // unexecuted requests are answered with the batch error, not leaked.
+    std::size_t failed = 0;
+    for (auto& future : futures) {
+      const auto result = future.get();
+      if (!result.ok()) ++failed;
+    }
+    EXPECT_GE(failed, 1u);
+  }
+  // Subsequent requests are served normally.
+  auto good =
+      scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf);
+  EXPECT_TRUE(good.get().ok());
 }
 
 }  // namespace

@@ -8,7 +8,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/dataset.h"
 #include "linalg/vector_ops.h"
+#include "lsh/bucket_join.h"
 #include "lsh/cross_polytope.h"
 #include "lsh/bit_sample.h"
 #include "lsh/e2lsh.h"
@@ -500,6 +502,30 @@ TEST(BitSampleTest, RhoMatchesTableOneExponent) {
   // As cs -> s the exponent goes to 1 (quadratic); for cs << s it drops.
   EXPECT_GT(BitSampleFamily::Rho(10.0, 9.0, 100),
             BitSampleFamily::Rho(10.0, 1.0, 100));
+}
+
+TEST(BucketJoinTest, DeduplicatesPairsAcrossTablesBeforeVerification) {
+  // Short hashes (k=2) across many tables (l=8) make the same (data,
+  // query) pair collide repeatedly; the join must verify it only once.
+  Rng rng(97);
+  const Matrix data = MakeUnitBallGaussian(64, 6, 0.9, &rng);
+  const Matrix queries = MakeUnitBallGaussian(16, 6, 0.9, &rng);
+  const SimHashFamily family(6);
+  LshTableParams params;
+  params.k = 2;
+  params.l = 8;
+  const BucketJoinResult result =
+      LshBucketJoin(family, data, data, queries, queries, /*s=*/0.9,
+                    /*cs=*/0.0, /*is_signed=*/true, params, &rng);
+
+  // With 8 near-identical tables, cross-table repeats are guaranteed.
+  EXPECT_GT(result.stats.duplicate_pairs, 0u);
+  // The accounting identity of the dedup pass.
+  EXPECT_EQ(result.stats.candidate_pairs,
+            result.stats.verified_pairs + result.stats.duplicate_pairs);
+  // Each pair verified at most once: verified count is bounded by the
+  // number of distinct (query, data) pairs.
+  EXPECT_LE(result.stats.verified_pairs, data.rows() * queries.rows());
 }
 
 TEST(RhoTest, L2AlshNumericDecreasesWithS) {

@@ -1,0 +1,445 @@
+// Tests for the src/serve subsystem: planner decisions, engine
+// dispatch, the recall contract of planner-selected answers against
+// exact ground truth, and the deadline-aware batch scheduler
+// (admission, shedding, expiry, drain, shutdown).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/top_k.h"
+#include "rng/random.h"
+#include "serve/batch_scheduler.h"
+#include "serve/engine.h"
+#include "serve/planner.h"
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+namespace ips {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Matrix SmallSpreadData(std::size_t n, std::size_t dim, Rng* rng) {
+  return MakeUnitBallGaussian(n, dim, /*min_norm=*/0.9, rng);
+}
+
+Matrix LargeSpreadData(std::size_t n, std::size_t dim, Rng* rng) {
+  return MakeLatentFactorVectors(n, dim, /*skew=*/1.0, rng);
+}
+
+// --- Planner decision table ---
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static Planner MakePlanner(double lsh_recall, double lsh_fraction,
+                             double tree_fraction = 0.4) {
+    DatasetProfile profile;
+    profile.n = 10000;
+    profile.dim = 32;
+    profile.min_norm = 0.5;
+    profile.max_norm = 1.0;
+    profile.mean_norm = 0.8;
+    PlannerCalibration calib;
+    calib.tree_fraction = tree_fraction;
+    calib.lsh_candidate_fraction = lsh_fraction;
+    calib.lsh_recall = lsh_recall;
+    calib.sketch_recall = 0.6;
+    calib.sketch_cost = 500.0;
+    calib.probe_queries = 16;
+    return Planner(profile, calib);
+  }
+};
+
+TEST_F(PlannerTest, LowTargetPicksCheapLsh) {
+  const Planner planner = MakePlanner(/*lsh_recall=*/0.95,
+                                      /*lsh_fraction=*/0.05);
+  PlanRequest request;
+  request.k = 10;
+  request.recall_target = 0.8;
+  const auto decision = planner.Plan(request);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->algorithm, ServeAlgo::kLsh);
+  EXPECT_LT(decision->expected_dot_products, 10000.0);
+}
+
+TEST_F(PlannerTest, FullRecallPicksExactPath) {
+  const Planner planner = MakePlanner(0.99, 0.05);
+  PlanRequest request;
+  request.recall_target = 1.0;
+  const auto decision = planner.Plan(request);
+  ASSERT_TRUE(decision.ok());
+  // LSH recall 0.99 < 1.0 + margin: only exact paths qualify, and the
+  // calibrated tree (40% scan) beats brute force.
+  EXPECT_EQ(decision->algorithm, ServeAlgo::kBallTree);
+}
+
+TEST_F(PlannerTest, RecallMarginGuardsBorderlineLsh) {
+  // Probe recall 0.84 fails a 0.8 target once the 0.05 margin applies.
+  const Planner planner = MakePlanner(0.84, 0.05);
+  PlanRequest request;
+  request.recall_target = 0.8;
+  const auto decision = planner.Plan(request);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_NE(decision->algorithm, ServeAlgo::kLsh);
+}
+
+TEST_F(PlannerTest, UnsignedTopOnePrefersSketchWhenCheapest) {
+  Planner planner = MakePlanner(/*lsh_recall=*/0.2, /*lsh_fraction=*/0.5,
+                                /*tree_fraction=*/0.9);
+  PlanRequest request;
+  request.k = 1;
+  request.recall_target = 0.5;
+  request.is_signed = false;
+  const auto decision = planner.Plan(request);
+  ASSERT_TRUE(decision.ok());
+  // Tree is signed-only and LSH misses the target; sketch (500 dots)
+  // beats brute (10000 dots).
+  EXPECT_EQ(decision->algorithm, ServeAlgo::kSketch);
+}
+
+TEST_F(PlannerTest, CandidateBudgetPrefersCheaperEligiblePath) {
+  const Planner planner = MakePlanner(0.99, 0.05, /*tree_fraction=*/0.4);
+  PlanRequest request;
+  request.recall_target = 0.8;
+  request.candidate_budget = 1000;  // tree (4000) is over, lsh (~756) fits
+  const auto decision = planner.Plan(request);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->algorithm, ServeAlgo::kLsh);
+  EXPECT_LE(decision->expected_dot_products, 1000.0);
+}
+
+TEST_F(PlannerTest, RejectsMalformedRequests) {
+  const Planner planner = MakePlanner(0.9, 0.1);
+  PlanRequest request;
+  request.k = 0;
+  EXPECT_FALSE(planner.Plan(request).ok());
+  request.k = 1;
+  request.recall_target = 0.0;
+  EXPECT_FALSE(planner.Plan(request).ok());
+  request.recall_target = 1.5;
+  EXPECT_FALSE(planner.Plan(request).ok());
+  request.recall_target = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(planner.Plan(request).ok());
+}
+
+// --- Engine basics ---
+
+TEST(EngineTest, CreateRejectsBadData) {
+  EXPECT_FALSE(Engine::Create(Matrix()).ok());
+  Matrix poisoned(4, 3);
+  poisoned.At(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(Engine::Create(std::move(poisoned)).ok());
+}
+
+TEST(EngineTest, RejectsBadQueriesAndRequests) {
+  Rng rng(21);
+  const auto engine = Engine::Create(SmallSpreadData(200, 8, &rng));
+  ASSERT_TRUE(engine.ok());
+  TopKRequest request;
+  const std::vector<double> wrong_dim(5, 0.1);
+  EXPECT_FALSE((*engine)->TopK(wrong_dim, request).ok());
+  std::vector<double> poisoned(8, 0.1);
+  poisoned[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE((*engine)->TopK(poisoned, request).ok());
+  const std::vector<double> good(8, 0.1);
+  TopKRequest bad = request;
+  bad.k = 0;
+  EXPECT_FALSE((*engine)->TopK(good, bad).ok());
+  bad = request;
+  bad.recall_target = 2.0;
+  EXPECT_FALSE((*engine)->TopK(good, bad).ok());
+  EXPECT_TRUE((*engine)->TopK(good, request).ok());
+}
+
+TEST(EngineTest, ForcedAlgorithmRespectsCapabilities) {
+  Rng rng(22);
+  const auto engine = Engine::Create(SmallSpreadData(200, 8, &rng));
+  ASSERT_TRUE(engine.ok());
+  const std::vector<double> q(8, 0.2);
+  TopKRequest request;
+  request.k = 3;
+  request.is_signed = false;
+  request.force_algorithm = ServeAlgo::kBallTree;
+  EXPECT_FALSE((*engine)->TopK(q, request).ok());  // tree is signed-only
+  request.force_algorithm = ServeAlgo::kSketch;
+  EXPECT_FALSE((*engine)->TopK(q, request).ok());  // sketch is k=1 only
+  request.k = 1;
+  const auto sketch = (*engine)->TopK(q, request);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->stats.algorithm, ServeAlgo::kSketch);
+}
+
+TEST(EngineTest, ForcedPathsAgreeWithBruteForceAtFullRecall) {
+  Rng rng(23);
+  const Matrix data = SmallSpreadData(300, 10, &rng);
+  const auto engine = Engine::Create(data);
+  ASSERT_TRUE(engine.ok());
+  TopKRequest request;
+  request.k = 5;
+  request.recall_target = 1.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> q(10);
+    for (double& v : q) v = rng.NextGaussian();
+    const auto exact = TopKBruteForce(data, q, 5, /*is_signed=*/true);
+    TopKRequest forced = request;
+    forced.force_algorithm = ServeAlgo::kBallTree;
+    const auto via_tree = (*engine)->TopK(q, forced);
+    ASSERT_TRUE(via_tree.ok());
+    ASSERT_EQ(via_tree->matches.size(), exact.size());
+    for (std::size_t t = 0; t < exact.size(); ++t) {
+      // Deterministic tie-breaking makes this an exact index match.
+      EXPECT_EQ(via_tree->matches[t].index, exact[t].index) << "rank " << t;
+    }
+  }
+}
+
+TEST(EngineTest, StatsAccountForWork) {
+  Rng rng(24);
+  const auto engine = Engine::Create(SmallSpreadData(400, 8, &rng));
+  ASSERT_TRUE(engine.ok());
+  std::vector<double> q(8);
+  for (double& v : q) v = rng.NextGaussian();
+  TopKRequest request;
+  request.k = 3;
+  request.recall_target = 1.0;
+  request.force_algorithm = ServeAlgo::kBruteForce;
+  const auto brute = (*engine)->TopK(q, request);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(brute->stats.dot_products, 400u);
+  request.force_algorithm = ServeAlgo::kBallTree;
+  const auto tree = (*engine)->TopK(q, request);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->stats.dot_products, 3u);
+  EXPECT_LE(tree->stats.dot_products, 400u);
+  ServeMetrics metrics;
+  metrics.Record(brute->stats);
+  metrics.Record(tree->stats);
+  EXPECT_EQ(metrics.TotalRequests(), 2u);
+  EXPECT_EQ(metrics.SelectionCount(ServeAlgo::kBruteForce), 1u);
+  EXPECT_EQ(metrics.SelectionCount(ServeAlgo::kBallTree), 1u);
+  EXPECT_EQ(metrics.TotalDotProducts(),
+            brute->stats.dot_products + tree->stats.dot_products);
+}
+
+// --- Recall contract: planner-selected answers hit the target ---
+
+struct RecallCase {
+  const char* name;
+  bool small_spread;
+  double recall_target;
+};
+
+class RecallContract : public ::testing::TestWithParam<RecallCase> {};
+
+TEST_P(RecallContract, PlannerSelectionAchievesRequestedRecall) {
+  const RecallCase param = GetParam();
+  Rng rng(31);
+  const std::size_t kN = 2000, kDim = 16, kK = 5, kQueries = 50;
+  const Matrix data = param.small_spread ? SmallSpreadData(kN, kDim, &rng)
+                                         : LargeSpreadData(kN, kDim, &rng);
+  EngineOptions options;
+  options.seed = 77;
+  const auto engine = Engine::Create(data, options);
+  ASSERT_TRUE(engine.ok());
+
+  TopKRequest request;
+  request.k = kK;
+  request.recall_target = param.recall_target;
+
+  std::size_t hit = 0, promised = 0;
+  Rng query_rng(32);
+  for (std::size_t qi = 0; qi < kQueries; ++qi) {
+    std::vector<double> q(kDim);
+    for (double& v : q) v = query_rng.NextGaussian();
+    const auto exact = TopKBruteForce(data, q, kK, /*is_signed=*/true);
+    const auto served = (*engine)->TopK(q, request);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    promised += exact.size();
+    for (const auto& truth : exact) {
+      for (const auto& match : served->matches) {
+        if (match.index == truth.index) {
+          ++hit;
+          break;
+        }
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(hit) / static_cast<double>(promised);
+  EXPECT_GE(recall, param.recall_target)
+      << "planner chose "
+      << ServeAlgoName((*engine)
+                           ->TopK(std::vector<double>(kDim, 0.1), request)
+                           ->stats.algorithm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, RecallContract,
+    ::testing::Values(RecallCase{"small_spread_r80", true, 0.8},
+                      RecallCase{"small_spread_exact", true, 1.0},
+                      RecallCase{"large_spread_r80", false, 0.8},
+                      RecallCase{"large_spread_exact", false, 1.0}),
+    [](const ::testing::TestParamInfo<RecallCase>& info) {
+      return info.param.name;
+    });
+
+// --- Batch scheduler ---
+
+TEST(BatchSchedulerTest, ServesConcurrentSubmissions) {
+  Rng rng(41);
+  const auto engine = Engine::Create(SmallSpreadData(500, 8, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchSchedulerOptions options;
+  options.num_threads = 4;
+  BatchScheduler scheduler(engine->get(), options);
+
+  TopKRequest request;
+  request.k = 3;
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> q(8);
+    for (double& v : q) v = rng.NextGaussian();
+    futures.push_back(scheduler.Submit(std::move(q), request, kInf));
+  }
+  std::size_t ok = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->matches.size(), 3u);
+    EXPECT_GE(result->stats.queue_seconds, 0.0);
+    ++ok;
+  }
+  EXPECT_EQ(ok, 200u);
+  scheduler.Drain();  // counters are final once nothing is in flight
+  const SchedulerCounters counters = scheduler.counters();
+  EXPECT_EQ(counters.submitted, 200u);
+  EXPECT_EQ(counters.completed, 200u);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_GE(counters.batches, 1u);
+}
+
+TEST(BatchSchedulerTest, ShedsLoadBeyondQueueBound) {
+  Rng rng(42);
+  // A deliberately slow engine call is unnecessary: a tiny queue bound
+  // with a burst of submissions forces shedding regardless of timing.
+  const auto engine = Engine::Create(SmallSpreadData(2000, 16, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchSchedulerOptions options;
+  options.num_threads = 1;
+  options.max_queue = 2;
+  options.max_batch = 2;
+  BatchScheduler scheduler(engine->get(), options);
+
+  TopKRequest request;
+  request.recall_target = 1.0;
+  request.force_algorithm = ServeAlgo::kBruteForce;
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  for (int i = 0; i < 300; ++i) {
+    futures.push_back(
+        scheduler.Submit(std::vector<double>(16, 0.1), request, kInf));
+  }
+  std::size_t shed = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.counters().shed, shed);
+  EXPECT_EQ(scheduler.counters().completed, 300u);
+}
+
+TEST(BatchSchedulerTest, ExpiredDeadlineFailsWithoutEngineWork) {
+  Rng rng(43);
+  const auto engine = Engine::Create(SmallSpreadData(200, 8, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchScheduler scheduler(engine->get());
+  // A 1ns deadline is in the past by the time the batch runs.
+  auto future =
+      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{}, 1e-9);
+  const auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  scheduler.Drain();
+  EXPECT_GE(scheduler.counters().expired, 1u);
+  // The scheduler still serves the next request.
+  auto good =
+      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{}, kInf);
+  EXPECT_TRUE(good.get().ok());
+}
+
+TEST(BatchSchedulerTest, RejectsInvalidDeadlines) {
+  Rng rng(44);
+  const auto engine = Engine::Create(SmallSpreadData(100, 8, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchScheduler scheduler(engine->get());
+  EXPECT_FALSE(
+      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{}, 0.0)
+          .get()
+          .ok());
+  EXPECT_FALSE(
+      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{},
+                       std::numeric_limits<double>::quiet_NaN())
+          .get()
+          .ok());
+}
+
+TEST(BatchSchedulerTest, DrainWaitsForAllInFlightWork) {
+  Rng rng(45);
+  const auto engine = Engine::Create(SmallSpreadData(500, 8, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchScheduler scheduler(engine->get());
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(
+        scheduler.Submit(std::vector<double>(8, 0.05), TopKRequest{}, kInf));
+  }
+  scheduler.Drain();
+  for (auto& future : futures) {
+    // Drain returned, so every future is already ready.
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  EXPECT_EQ(scheduler.counters().completed, 64u);
+}
+
+TEST(BatchSchedulerTest, ShutdownAnswersEveryQueuedRequest) {
+  Rng rng(46);
+  const auto engine = Engine::Create(SmallSpreadData(2000, 16, &rng));
+  ASSERT_TRUE(engine.ok());
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  {
+    BatchSchedulerOptions options;
+    options.num_threads = 1;
+    options.max_batch = 4;
+    BatchScheduler scheduler(engine->get(), options);
+    TopKRequest request;
+    request.recall_target = 1.0;
+    request.force_algorithm = ServeAlgo::kBruteForce;
+    for (int i = 0; i < 128; ++i) {
+      futures.push_back(
+          scheduler.Submit(std::vector<double>(16, 0.1), request, kInf));
+    }
+    // Scheduler destructs here with work still queued.
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const auto result = future.get();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -115,6 +115,50 @@ TEST(TopKTest, LshCandidatesRecoverPlantedTopOne) {
   EXPECT_GE(hits, 18u);
 }
 
+TEST(TopKTest, TiesBreakTowardSmallerIndexDeterministically) {
+  // Five identical rows plus one weaker row: every permutation of heap
+  // evictions must still report indices 0..4 in ascending order.
+  Matrix data(6, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    data.At(i, 0) = 1.0;
+  }
+  data.At(5, 0) = 0.5;
+  const std::vector<double> q = {1.0, 0.0, 0.0};
+  const auto top = TopKBruteForce(data, q, 4, /*is_signed=*/true);
+  ASSERT_EQ(top.size(), 4u);
+  for (std::size_t t = 0; t < top.size(); ++t) {
+    EXPECT_EQ(top[t].index, t);
+    EXPECT_DOUBLE_EQ(top[t].value, 1.0);
+  }
+}
+
+TEST(TopKTest, TreeTieOrderMatchesBruteForce) {
+  // Duplicate rows force score ties; the tree's top-k must return the
+  // same indices in the same order as the deterministic brute force,
+  // regardless of tree structure.
+  Rng rng(18);
+  Matrix data = MakeUnitBallGaussian(100, 6, 0.2, &rng);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const std::size_t src = i;
+    const std::size_t dst = 50 + i;
+    for (std::size_t j = 0; j < data.cols(); ++j) {
+      data.At(dst, j) = data.At(src, j);
+    }
+  }
+  const MipsBallTree tree(data, 8, &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(6);
+    for (double& v : q) v = rng.NextGaussian();
+    const auto exact = TopKBruteForce(data, q, 7, /*is_signed=*/true);
+    const auto via_tree = tree.QueryTopK(q, 7);
+    ASSERT_EQ(via_tree.size(), exact.size());
+    for (std::size_t t = 0; t < exact.size(); ++t) {
+      EXPECT_EQ(via_tree[t].first, exact[t].index) << "rank " << t;
+      EXPECT_NEAR(via_tree[t].second, exact[t].value, 1e-12);
+    }
+  }
+}
+
 TEST(TopKTest, TreeTopOneMatchesQueryMax) {
   Rng rng(17);
   const Matrix data = MakeUnitBallGaussian(300, 10, 0.2, &rng);
