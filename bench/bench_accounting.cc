@@ -43,8 +43,13 @@ void Run() {
                       "shared bound 2^2r P2", "ps bound 2^(r+1) M^p"});
   for (const SquareMasses& entry : accounting.squares) {
     const double side = static_cast<double>(entry.square.side);
+    std::string square_label = "(";
+    square_label += Format(entry.square.r);
+    square_label += ",";
+    square_label += Format(entry.square.s);
+    square_label += ")";
     table.AddRow(
-        {"(" + Format(entry.square.r) + "," + Format(entry.square.s) + ")",
+        {std::move(square_label),
          Format(entry.square.side), FormatFixed(entry.total, 3),
          FormatFixed(entry.proper, 3),
          FormatFixed(entry.partially_shared, 3),

@@ -80,7 +80,7 @@ void Run() {
         table.AddRow({Format(n), Format(num_queries), "bucket join",
                       FormatFixed(timer.Millis(), 1),
                       FormatFixed(recall, 3),
-                      Format(result.stats.verified_pairs)});
+                      Format(result.metrics.Get("lsh.join.verified_pairs"))});
       }
     }
   }

@@ -1,6 +1,9 @@
 // Serving benchmark: the planner against every fixed single-algorithm
-// policy on two mixed-recall-target workloads, plus throughput/latency
-// of the BatchScheduler under concurrent load. Writes BENCH_serve.json.
+// policy on two mixed-recall-target workloads, throughput/latency of
+// the BatchScheduler under concurrent load, and the overhead of the
+// observability layer (instrumented QueryBruteForce vs the plain
+// TopKBruteForce baseline). Writes BENCH_serve.json, embedding the key
+// process-registry counters alongside the workload results.
 //
 // Per ISSUE.md the headline claim is that the per-request planner beats
 // the best fixed algorithm that still meets every recall target --
@@ -22,7 +25,9 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/query.h"
 #include "core/top_k.h"
+#include "obs/metrics.h"
 #include "rng/random.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine.h"
@@ -51,10 +56,16 @@ struct PolicyResult {
 struct WorkloadResult {
   std::string name;
   std::vector<PolicyResult> policies;
-  std::vector<std::size_t> planner_selection;  // indexed by ServeAlgo
+  std::vector<std::size_t> planner_selection;  // indexed by QueryAlgo
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+};
+
+struct OverheadResult {
+  double baseline_ms = 0.0;
+  double instrumented_ms = 0.0;
+  double ratio = 0.0;
 };
 
 // The recall target of request i: a fixed 0.7/0.9/1.0 rotation.
@@ -70,10 +81,10 @@ double TargetFor(std::size_t i) {
 // (planner when `forced` is empty) and scores recall per request
 // against exact ground truth.
 PolicyResult RunPolicy(const Engine& engine, const Matrix& data,
-                       const Matrix& queries, std::optional<ServeAlgo> forced,
+                       const Matrix& queries, std::optional<QueryAlgo> forced,
                        ServeMetrics* metrics) {
   PolicyResult result;
-  result.name = forced.has_value() ? std::string(ServeAlgoName(*forced))
+  result.name = forced.has_value() ? std::string(QueryAlgoName(*forced))
                                    : std::string("planner");
   double recall_sum = 0.0;
   std::size_t targets_met = 0;
@@ -82,12 +93,12 @@ PolicyResult RunPolicy(const Engine& engine, const Matrix& data,
   // requests that asked for t reaches t.
   std::map<double, std::pair<double, std::size_t>> by_target;
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
-    TopKRequest request;
+    QueryOptions request;
     request.k = kK;
     request.recall_target = TargetFor(qi);
     request.force_algorithm = forced;
     const auto exact = TopKBruteForce(data, queries.Row(qi), kK, true);
-    const auto response = engine.TopK(queries.Row(qi), request);
+    const auto response = engine.Query(queries.Row(qi), request);
     if (!response.ok()) continue;  // forced path can't answer this request
     ++result.answered;
     result.dot_products_total += response->stats.dot_products;
@@ -129,17 +140,17 @@ PolicyResult RunPolicy(const Engine& engine, const Matrix& data,
 void RunConcurrent(const Engine& engine, const Matrix& queries,
                    WorkloadResult* out) {
   BatchScheduler scheduler(&engine);
-  constexpr double kDeadline = 30.0;
   std::vector<std::future<BatchScheduler::Result>> futures;
   futures.reserve(queries.rows());
   WallTimer timer;
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
-    TopKRequest request;
+    QueryOptions request;
     request.k = kK;
     request.recall_target = TargetFor(qi);
+    request.deadline_seconds = 30.0;
     const auto row = queries.Row(qi);
     futures.push_back(scheduler.Submit(
-        std::vector<double>(row.begin(), row.end()), request, kDeadline));
+        std::vector<double>(row.begin(), row.end()), request));
   }
   std::vector<double> latencies_ms;
   std::size_t ok_count = 0;
@@ -168,7 +179,7 @@ WorkloadResult RunWorkload(const std::string& name, const Matrix& data,
     std::exit(1);
   }
   // Build all indexes up front so policies compare serving cost only.
-  for (ServeAlgo algo : {ServeAlgo::kBallTree, ServeAlgo::kLsh}) {
+  for (QueryAlgo algo : {QueryAlgo::kBallTree, QueryAlgo::kLsh}) {
     const Status built = (*engine)->EnsureIndex(algo);
     if (!built.ok()) {
       std::cerr << "build: " << built.ToString() << "\n";
@@ -188,15 +199,15 @@ WorkloadResult RunWorkload(const std::string& name, const Matrix& data,
   ServeMetrics planner_metrics;
   result.policies.push_back(
       RunPolicy(**engine, data, queries, std::nullopt, &planner_metrics));
-  for (ServeAlgo algo :
-       {ServeAlgo::kBruteForce, ServeAlgo::kBallTree, ServeAlgo::kLsh}) {
+  for (QueryAlgo algo :
+       {QueryAlgo::kBruteForce, QueryAlgo::kBallTree, QueryAlgo::kLsh}) {
     result.policies.push_back(
         RunPolicy(**engine, data, queries, algo, nullptr));
   }
-  result.planner_selection.resize(kNumServeAlgos);
-  for (std::size_t a = 0; a < kNumServeAlgos; ++a) {
+  result.planner_selection.resize(kNumQueryAlgos);
+  for (std::size_t a = 0; a < kNumQueryAlgos; ++a) {
     result.planner_selection[a] =
-        planner_metrics.SelectionCount(static_cast<ServeAlgo>(a));
+        planner_metrics.SelectionCount(static_cast<QueryAlgo>(a));
   }
   RunConcurrent(**engine, queries, &result);
 
@@ -215,8 +226,52 @@ WorkloadResult RunWorkload(const std::string& name, const Matrix& data,
   return result;
 }
 
+// Acceptance gate for the observability layer: the instrumented
+// brute-force query path (registry counters + stats, no trace) must
+// stay within a few percent of the plain uninstrumented scan.
+OverheadResult MeasureObsOverhead(const Matrix& data,
+                                  const Matrix& queries) {
+  constexpr int kReps = 8;
+  QueryOptions options;
+  options.k = kK;
+  double sink = 0.0;
+  // Warm both paths once: caches, thread-local metric cells.
+  sink += TopKBruteForce(data, queries.Row(0), kK, true).front().value;
+  sink += QueryBruteForce(data, queries.Row(0), options).front().value;
+
+  OverheadResult result;
+  {
+    WallTimer timer;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+        sink += TopKBruteForce(data, queries.Row(qi), kK, true)
+                    .front()
+                    .value;
+      }
+    }
+    result.baseline_ms = timer.Millis();
+  }
+  {
+    WallTimer timer;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+        QueryStats stats;
+        sink += QueryBruteForce(data, queries.Row(qi), options, &stats)
+                    .front()
+                    .value;
+      }
+    }
+    result.instrumented_ms = timer.Millis();
+  }
+  if (sink == std::numeric_limits<double>::infinity()) std::abort();
+  result.ratio = result.baseline_ms > 0.0
+                     ? result.instrumented_ms / result.baseline_ms
+                     : 1.0;
+  return result;
+}
+
 void WriteJson(const std::vector<WorkloadResult>& workloads,
-               const std::string& path) {
+               const OverheadResult& overhead, const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"serve\",\n  \"n\": " << kN
       << ",\n  \"dim\": " << kDim << ",\n  \"queries\": " << kQueries
@@ -228,9 +283,9 @@ void WriteJson(const std::vector<WorkloadResult>& workloads,
         << "      \"p50_ms\": " << wl.p50_ms << ",\n"
         << "      \"p99_ms\": " << wl.p99_ms << ",\n"
         << "      \"planner_selection\": {";
-    for (std::size_t a = 0; a < kNumServeAlgos; ++a) {
+    for (std::size_t a = 0; a < kNumQueryAlgos; ++a) {
       out << (a == 0 ? "" : ", ") << "\""
-          << ServeAlgoName(static_cast<ServeAlgo>(a))
+          << QueryAlgoName(static_cast<QueryAlgo>(a))
           << "\": " << wl.planner_selection[a];
     }
     out << "},\n      \"policies\": [\n";
@@ -247,7 +302,28 @@ void WriteJson(const std::vector<WorkloadResult>& workloads,
     }
     out << "      ]\n    }" << (w + 1 < workloads.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"obs_overhead\": {\"baseline_ms\": "
+      << overhead.baseline_ms
+      << ", \"instrumented_ms\": " << overhead.instrumented_ms
+      << ", \"ratio\": " << overhead.ratio << "},\n";
+  // Key process-registry counters accumulated over the whole run, so
+  // regression diffs can see how much work each answer path did.
+  out << "  \"registry\": {";
+  const char* const kCounters[] = {
+      "serve.engine.requests",     "serve.engine.selected.brute",
+      "serve.engine.selected.tree", "serve.engine.selected.lsh",
+      "serve.engine.selected.sketch", "serve.scheduler.submitted",
+      "serve.scheduler.completed", "serve.scheduler.shed",
+      "serve.scheduler.expired",   "serve.scheduler.batches",
+      "core.brute.queries",        "tree.queries",
+      "lsh.tables.queries"};
+  bool first = true;
+  for (const char* name : kCounters) {
+    out << (first ? "" : ", ") << "\"" << name
+        << "\": " << MetricsRegistry::Global().GetCounter(name)->Value();
+    first = false;
+  }
+  out << "}\n}\n";
 }
 
 int Run() {
@@ -260,7 +336,25 @@ int Run() {
       "large_norm_spread",
       MakeLatentFactorVectors(kN, kDim, /*skew=*/1.0, &rng), &rng));
 
-  WriteJson(workloads, "BENCH_serve.json");
+  const Matrix overhead_data =
+      MakeUnitBallGaussian(kN, kDim, /*min_norm=*/0.9, &rng);
+  Matrix overhead_queries(kQueries, kDim);
+  for (std::size_t qi = 0; qi < kQueries; ++qi) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      overhead_queries.At(qi, j) = rng.NextGaussian();
+    }
+  }
+  const OverheadResult overhead =
+      MeasureObsOverhead(overhead_data, overhead_queries);
+  std::cout << "obs overhead: baseline "
+            << FormatFixed(overhead.baseline_ms, 1) << "ms, instrumented "
+            << FormatFixed(overhead.instrumented_ms, 1) << "ms, ratio "
+            << FormatFixed(overhead.ratio, 4)
+            << (overhead.ratio <= 1.03 ? " (within 3% budget)"
+                                       : " (WARN: above 3% budget)")
+            << "\n";
+
+  WriteJson(workloads, overhead, "BENCH_serve.json");
   std::cout << "wrote BENCH_serve.json\n";
 
   // Headline check: on >= 1 workload the planner meets every target with

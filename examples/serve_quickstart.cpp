@@ -1,14 +1,20 @@
 // Serving quickstart: stand up an Engine over a skewed dataset, push
 // 1000 concurrent top-k requests with a deadline through the
-// BatchScheduler, and report per-algorithm selection counts plus the
-// within-deadline completion rate.
+// BatchScheduler, and report per-algorithm selection counts, the
+// within-deadline completion rate, and the process-wide metrics
+// registry dashboard.
 //
 //   $ ./build/examples/serve_quickstart
+//   $ IPS_METRICS_JSON=/tmp/metrics.json ./build/examples/serve_quickstart
 //
-// Exits non-zero if fewer than 95% of requests complete within the
-// deadline (the serving SLO this example demonstrates).
+// With IPS_METRICS_JSON set, the final registry snapshot is also
+// written to that path as JSON (the scripts/check.sh smoke step feeds
+// it to tools/metrics_json_check). Exits non-zero if fewer than 95% of
+// requests complete within the deadline (the serving SLO this example
+// demonstrates).
 
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <limits>
@@ -16,6 +22,8 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/query.h"
+#include "obs/metrics.h"
 #include "rng/random.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine.h"
@@ -67,12 +75,12 @@ int main() {
   for (std::size_t i = 0; i < kRequests; ++i) {
     std::vector<double> query(kDim);
     for (double& v : query) v = rng.NextGaussian();
-    ips::TopKRequest request;
+    ips::QueryOptions request;
     request.k = 5;
     // A mix of cheap approximate and exact requests.
     request.recall_target = (i % 3 == 0) ? 1.0 : (i % 3 == 1) ? 0.9 : 0.7;
-    futures.push_back(
-        scheduler.Submit(std::move(query), request, kDeadlineSeconds));
+    request.deadline_seconds = kDeadlineSeconds;
+    futures.push_back(scheduler.Submit(std::move(query), request));
   }
 
   // 4. Collect answers; every future resolves (deadline, shed, or OK).
@@ -107,6 +115,27 @@ int main() {
   std::cout << "scheduler: " << counters.batches << " batches, max queue depth "
             << counters.max_queue_depth << ", " << counters.shed << " shed, "
             << counters.expired << " expired\n";
+
+  // 6. The process-wide metrics registry accumulated every counter the
+  //    serving path touched; print the dashboard and optionally export
+  //    the same snapshot as JSON.
+  std::cout << "\nmetrics registry:\n";
+  ips::MetricsRegistry::Global().ToTable().PrintMarkdown(std::cout);
+  if (const char* json_path = std::getenv("IPS_METRICS_JSON")) {
+    const auto json = ips::MetricsRegistry::Global().ExportJson();
+    if (!json.ok()) {
+      std::cerr << "metrics export failed: " << json.status().ToString()
+                << "\n";
+      return 1;
+    }
+    std::ofstream out(json_path);
+    out << *json;
+    if (!out) {
+      std::cerr << "could not write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote metrics JSON to " << json_path << "\n";
+  }
 
   if (within_fraction < 0.95) {
     std::cerr << "FAIL: fewer than 95% of requests met the deadline\n";

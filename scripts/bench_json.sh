@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds and runs the serving benchmark, producing BENCH_serve.json in
-# the repository root (throughput/latency under concurrent load plus the
-# planner-vs-fixed-algorithm A/B on both contract workloads).
+# the repository root (throughput/latency under concurrent load, the
+# planner-vs-fixed-algorithm A/B on both contract workloads, the
+# observability overhead ratio, and a "registry" object embedding the
+# key process-registry counters accumulated over the run).
 #
 #   $ scripts/bench_json.sh
 set -euo pipefail

@@ -2,7 +2,10 @@
 # Full robustness gate: build and run the test suite (1) plain,
 # (2) under ASan+UBSan, and (3) under TSan for the concurrency-heavy
 # targets (util_test exercises the exception-safe ThreadPool/ParallelFor,
-# chaos_test the failpoint and cancellation machinery).
+# obs_test the sharded metrics registry, chaos_test the failpoint and
+# cancellation machinery). The plain pass also smoke-tests the metrics
+# export pipeline: serve_quickstart writes the registry as JSON and
+# tools/metrics_json_check validates its structure.
 #
 #   $ scripts/check.sh            # everything
 #   $ scripts/check.sh plain      # just the plain build + tests
@@ -18,8 +21,9 @@ run_plain() {
   cmake -B build -S . >/dev/null
   cmake --build build -j"$JOBS"
   (cd build && ctest --output-on-failure -j"$JOBS")
-  echo "=== serve quickstart (1k concurrent deadlined requests) ==="
-  ./build/examples/serve_quickstart
+  echo "=== serve quickstart (1k concurrent deadlined requests) + metrics smoke ==="
+  IPS_METRICS_JSON=build/metrics_smoke.json ./build/examples/serve_quickstart
+  ./build/tools/metrics_json_check build/metrics_smoke.json
 }
 
 run_asan() {
@@ -35,8 +39,8 @@ run_tsan() {
   cmake -B build-tsan -S . -DIPS_SANITIZE=thread \
     -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=ON >/dev/null
   cmake --build build-tsan -j"$JOBS" \
-    --target util_test chaos_test serve_test serve_quickstart
-  (cd build-tsan && ctest --output-on-failure -R 'util_test|chaos_test|serve_test')
+    --target util_test obs_test chaos_test serve_test serve_quickstart
+  (cd build-tsan && ctest --output-on-failure -R 'util_test|obs_test|chaos_test|serve_test')
   echo "=== TSan serve quickstart ==="
   ./build-tsan/examples/serve_quickstart
 }

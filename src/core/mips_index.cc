@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "core/top_k.h"
 #include "linalg/validate.h"
 #include "linalg/vector_ops.h"
 #include "util/check.h"
@@ -13,6 +15,36 @@ namespace {
 
 double Score(double value, const JoinSpec& spec) {
   return spec.is_signed ? value : std::abs(value);
+}
+
+// Shared head of every index's unified Query entry point: validated
+// options and query, plus an index-owned Trace when the caller asked
+// for tracing without supplying one.
+Status ValidateQueryInputs(std::span<const double> q, std::size_t dim,
+                           const QueryOptions& options) {
+  IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  if (q.size() != dim) {
+    return Status::InvalidArgument(
+        "query dimension " + std::to_string(q.size()) +
+        " != index dimension " + std::to_string(dim));
+  }
+  return Status::Ok();
+}
+
+// Trace the index allocates itself when options.trace is set but the
+// caller holds none; published into stats->trace on completion.
+std::unique_ptr<Trace> MaybeOwnTrace(const QueryOptions& options,
+                                     Trace* external, std::string label) {
+  if (external != nullptr || !options.trace) return nullptr;
+  return std::make_unique<Trace>(std::move(label));
+}
+
+void PublishQuery(std::unique_ptr<Trace> owned, QueryStats local,
+                  QueryStats* stats) {
+  if (owned != nullptr) {
+    local.trace = std::shared_ptr<const Trace>(std::move(owned));
+  }
+  if (stats != nullptr) *stats = std::move(local);
 }
 
 std::optional<SearchMatch> FilterByThreshold(const SearchMatch& best,
@@ -64,6 +96,18 @@ std::optional<SearchMatch> BruteForceIndex::Search(
   return FilterByThreshold(best, spec);
 }
 
+StatusOr<std::vector<SearchMatch>> BruteForceIndex::Query(
+    std::span<const double> q, const QueryOptions& options, QueryStats* stats,
+    Trace* trace) const {
+  IPS_RETURN_IF_ERROR(ValidateQueryInputs(q, dim(), options));
+  std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
+  Trace* t = trace != nullptr ? trace : owned.get();
+  QueryStats local;
+  auto matches = QueryBruteForce(*data_, q, options, &local, t);
+  PublishQuery(std::move(owned), std::move(local), stats);
+  return matches;
+}
+
 TreeMipsIndex::TreeMipsIndex(const Matrix& data, std::size_t leaf_size,
                              Rng* rng)
     : data_(&data), tree_(data, leaf_size, rng) {}
@@ -89,6 +133,35 @@ std::optional<SearchMatch> TreeMipsIndex::Search(std::span<const double> q,
   best.index = result.index;
   best.value = Score(Dot(data_->Row(result.index), q), spec);
   return FilterByThreshold(best, spec);
+}
+
+StatusOr<std::vector<SearchMatch>> TreeMipsIndex::Query(
+    std::span<const double> q, const QueryOptions& options, QueryStats* stats,
+    Trace* trace) const {
+  IPS_RETURN_IF_ERROR(ValidateQueryInputs(q, dim(), options));
+  if (!options.is_signed) {
+    return Status::InvalidArgument(
+        "ball-tree top-k answers signed queries only");
+  }
+  std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
+  Trace* t = trace != nullptr ? trace : owned.get();
+  QueryStats local;
+  local.algorithm = QueryAlgo::kBallTree;
+  std::vector<SearchMatch> matches;
+  TreeQueryInfo info;
+  {
+    TraceSpan span(t, "tree");
+    for (const auto& [index, value] : tree_.QueryTopK(q, options.k, t, &info)) {
+      matches.push_back({index, value});
+    }
+  }
+  local.candidates = info.points_scored;
+  local.dot_products = info.points_scored;
+  local.metrics.Set("tree.nodes_visited", info.nodes_visited);
+  local.metrics.Set("tree.nodes_pruned", info.nodes_pruned);
+  local.metrics.Set("tree.points_scored", info.points_scored);
+  PublishQuery(std::move(owned), std::move(local), stats);
+  return matches;
 }
 
 LshMipsIndex::LshMipsIndex(const Matrix& data,
@@ -166,6 +239,38 @@ std::optional<SearchMatch> LshMipsIndex::Search(std::span<const double> q,
   return FilterByThreshold(best, spec);
 }
 
+StatusOr<std::vector<SearchMatch>> LshMipsIndex::Query(
+    std::span<const double> q, const QueryOptions& options, QueryStats* stats,
+    Trace* trace) const {
+  IPS_RETURN_IF_ERROR(ValidateQueryInputs(q, dim(), options));
+  std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
+  Trace* t = trace != nullptr ? trace : owned.get();
+  QueryStats local;
+  local.algorithm = QueryAlgo::kLsh;
+  std::vector<SearchMatch> matches;
+  LshQueryInfo info;
+  {
+    TraceSpan span(t, "lsh");
+    std::vector<double> transformed;
+    std::span<const double> probe = q;
+    if (transform_ != nullptr) {
+      transformed = transform_->TransformQuery(q);
+      probe = transformed;
+    }
+    const std::vector<std::size_t> candidates =
+        tables_->Query(probe, t, &info);
+    matches = QueryFromCandidates(*data_, q, candidates, options, &local, t);
+  }
+  local.metrics.Set("lsh.tables.buckets_probed", info.tables_probed);
+  local.metrics.Set("lsh.tables.buckets_hit", info.buckets_hit);
+  local.metrics.Set("lsh.tables.candidates_raw", info.raw_candidates);
+  local.metrics.Set("lsh.tables.candidates_unique", info.unique_candidates);
+  local.metrics.Set("lsh.tables.duplicates",
+                    info.raw_candidates - info.unique_candidates);
+  PublishQuery(std::move(owned), std::move(local), stats);
+  return matches;
+}
+
 std::vector<std::size_t> LshMipsIndex::Candidates(
     std::span<const double> q) const {
   if (transform_ != nullptr) {
@@ -189,6 +294,35 @@ StatusOr<std::unique_ptr<SketchIndex>> SketchIndex::Create(
   IPS_RETURN_IF_ERROR(ValidateIndexData(data));
   IPS_RETURN_IF_ERROR(SketchMipsIndex::Validate(data, params, rng));
   return std::make_unique<SketchIndex>(data, params, rng);
+}
+
+StatusOr<std::vector<SearchMatch>> SketchIndex::Query(
+    std::span<const double> q, const QueryOptions& options, QueryStats* stats,
+    Trace* trace) const {
+  IPS_RETURN_IF_ERROR(ValidateQueryInputs(q, dim(), options));
+  if (options.is_signed || options.k != 1) {
+    return Status::InvalidArgument(
+        "sketch path answers unsigned k=1 queries only");
+  }
+  std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
+  Trace* t = trace != nullptr ? trace : owned.get();
+  QueryStats local;
+  local.algorithm = QueryAlgo::kSketch;
+  std::vector<SearchMatch> matches;
+  SketchProbeInfo info;
+  {
+    TraceSpan span(t, "sketch");
+    const std::size_t index = sketch_.RecoverArgmax(q, t, &info);
+    matches.push_back({index, std::abs(Dot(data_->Row(index), q))});
+  }
+  local.candidates = info.leaf_points;
+  // Dot-equivalent work: each sketch row product is one length-d dot.
+  local.dot_products = info.rows_multiplied + info.leaf_points;
+  local.metrics.Set("sketch.levels", info.levels);
+  local.metrics.Set("sketch.rows_multiplied", info.rows_multiplied);
+  local.metrics.Set("sketch.leaf_points", info.leaf_points);
+  PublishQuery(std::move(owned), std::move(local), stats);
+  return matches;
 }
 
 std::optional<SearchMatch> SketchIndex::Search(std::span<const double> q,

@@ -24,11 +24,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/query.h"
 #include "core/types.h"
 #include "linalg/matrix.h"
 #include "lsh/tables.h"
 #include "lsh/transforms.h"
+#include "obs/trace.h"
 #include "rng/random.h"
 #include "sketch/sketch_mips.h"
 #include "tree/mips_tree.h"
@@ -54,6 +57,21 @@ class MipsIndex {
 
   /// Exact inner products evaluated since construction (work measure).
   virtual std::size_t InnerProductsEvaluated() const = 0;
+
+  /// Unified top-k entry point (core::QueryOptions / core::QueryStats,
+  /// see DESIGN.md §8). Unlike Search, this path is thread-safe: it is
+  /// const and mutates no index-local counters — work is reported
+  /// through `stats` and the global MetricsRegistry. Returns
+  /// kInvalidArgument for options the path cannot honor (e.g. signed
+  /// queries on the sketch path, k > 1 on the sketch path).
+  ///
+  /// When options.trace is set and `trace` is null, a fresh per-query
+  /// Trace is allocated and published via stats->trace; callers holding
+  /// their own trace (the serve Engine) pass it to nest the index's
+  /// spans under theirs.
+  virtual StatusOr<std::vector<SearchMatch>> Query(
+      std::span<const double> q, const QueryOptions& options,
+      QueryStats* stats = nullptr, Trace* trace = nullptr) const = 0;
 };
 
 /// Exact full scan.
@@ -72,6 +90,9 @@ class BruteForceIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+  StatusOr<std::vector<SearchMatch>> Query(
+      std::span<const double> q, const QueryOptions& options,
+      QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
  private:
   const Matrix* data_;
@@ -93,6 +114,10 @@ class TreeMipsIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+  /// Signed queries only (the tree's unsigned bound is looser).
+  StatusOr<std::vector<SearchMatch>> Query(
+      std::span<const double> q, const QueryOptions& options,
+      QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
   /// The underlying ball tree, for callers that drive the (thread-safe,
   /// counter-free) QueryTopK / QueryMax primitives themselves.
@@ -128,6 +153,11 @@ class LshMipsIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+  /// The full hash -> bucket -> dedup -> verify -> top-k pipeline under
+  /// one "lsh" span when traced.
+  StatusOr<std::vector<SearchMatch>> Query(
+      std::span<const double> q, const QueryOptions& options,
+      QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
   /// Mean number of candidates per query so far (work diagnostic).
   double MeanCandidates() const;
@@ -165,6 +195,10 @@ class SketchIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+  /// Unsigned k=1 queries only (the Section 4.3 argmax recovery).
+  StatusOr<std::vector<SearchMatch>> Query(
+      std::span<const double> q, const QueryOptions& options,
+      QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
   const SketchMipsIndex& sketch() const { return sketch_; }
 

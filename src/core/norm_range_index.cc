@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace ips {
@@ -85,6 +88,104 @@ std::optional<SearchMatch> NormRangeIndex::Search(std::span<const double> q,
   }
   if (best.value >= spec.cs()) return best;
   return std::nullopt;
+}
+
+StatusOr<std::vector<SearchMatch>> NormRangeIndex::Query(
+    std::span<const double> q, const QueryOptions& options, QueryStats* stats,
+    Trace* trace) const {
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("core.normrange.queries");
+  static Counter* const buckets_visited =
+      MetricsRegistry::Global().GetCounter("core.normrange.buckets_visited");
+  static Counter* const buckets_pruned =
+      MetricsRegistry::Global().GetCounter("core.normrange.buckets_pruned");
+  static Counter* const points_scored =
+      MetricsRegistry::Global().GetCounter("core.normrange.points_scored");
+
+  IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  if (q.size() != dim()) {
+    return Status::InvalidArgument(
+        "query dimension " + std::to_string(q.size()) +
+        " != index dimension " + std::to_string(dim()));
+  }
+  if (!options.is_signed) {
+    return Status::InvalidArgument(
+        "norm-range top-k answers signed queries only");
+  }
+  std::unique_ptr<Trace> owned;
+  if (options.trace && trace == nullptr) {
+    owned = std::make_unique<Trace>(Name());
+  }
+  Trace* t = trace != nullptr ? trace : owned.get();
+
+  std::vector<SearchMatch> best;  // sorted: score desc, index asc
+  std::size_t visited = 0;
+  std::size_t pruned = 0;
+  std::size_t scored = 0;
+  {
+    TraceSpan span(t, "norm-range");
+    const double query_norm = Norm(q);
+    if (query_norm > 0.0) {
+      const std::vector<double> direction = Normalized(q);
+      const auto order = [](const SearchMatch& a, const SearchMatch& b) {
+        if (a.value != b.value) return a.value > b.value;
+        return a.index < b.index;
+      };
+      // Score of the k-th best so far: the bucket prune bound (no
+      // threshold here, unlike Search, so top-k stands in for cs).
+      const auto kth = [&]() {
+        return best.size() < options.k
+                   ? -std::numeric_limits<double>::infinity()
+                   : best.back().value;
+      };
+      for (const Bucket& bucket : buckets_) {
+        const double bucket_bound = bucket.max_norm * query_norm;
+        if (bucket_bound <= kth()) {
+          pruned = buckets_.size() - visited;
+          break;
+        }
+        ++visited;
+        const double local_cosine = kth() / bucket_bound;
+        auto consider = [&](std::size_t position) {
+          const std::uint32_t member = bucket.members[position];
+          const SearchMatch m{member, Dot(data_->Row(member), q)};
+          ++scored;
+          const auto it = std::lower_bound(best.begin(), best.end(), m, order);
+          best.insert(it, m);
+          if (best.size() > options.k) best.pop_back();
+        };
+        if (local_cosine >= params_.lsh_cosine_threshold) {
+          for (std::size_t position : bucket.tables->Query(direction)) {
+            consider(position);
+          }
+        } else {
+          for (std::size_t position = 0; position < bucket.members.size();
+               ++position) {
+            consider(position);
+          }
+        }
+      }
+    }
+    span.AddCount("buckets_visited", visited);
+    span.AddCount("buckets_pruned", pruned);
+    span.AddCount("points_scored", scored);
+  }
+  queries->Increment();
+  buckets_visited->Add(visited);
+  buckets_pruned->Add(pruned);
+  points_scored->Add(scored);
+
+  QueryStats local;
+  local.candidates = scored;
+  local.dot_products = scored;
+  local.metrics.Set("normrange.buckets_visited", visited);
+  local.metrics.Set("normrange.buckets_pruned", pruned);
+  local.metrics.Set("normrange.points_scored", scored);
+  if (owned != nullptr) {
+    local.trace = std::shared_ptr<const Trace>(std::move(owned));
+  }
+  if (stats != nullptr) *stats = std::move(local);
+  return best;
 }
 
 }  // namespace ips

@@ -47,6 +47,12 @@ class NormRangeIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+  /// Signed top-k over the norm-sorted buckets, pruning against the
+  /// k-th best score so far; unlike Search this path is const-clean
+  /// (no mutable counters) and reports through stats/"core.normrange.*".
+  StatusOr<std::vector<SearchMatch>> Query(
+      std::span<const double> q, const QueryOptions& options,
+      QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
   std::size_t num_buckets() const { return buckets_.size(); }
 

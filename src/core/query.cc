@@ -1,0 +1,40 @@
+#include "core/query.h"
+
+#include <cmath>
+
+namespace ips {
+
+std::string_view QueryAlgoName(QueryAlgo algo) {
+  switch (algo) {
+    case QueryAlgo::kBruteForce:
+      return "brute";
+    case QueryAlgo::kBallTree:
+      return "tree";
+    case QueryAlgo::kLsh:
+      return "lsh";
+    case QueryAlgo::kSketch:
+      return "sketch";
+  }
+  return "unknown";
+}
+
+Status ValidateQueryOptions(const QueryOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("top-k query needs k >= 1");
+  }
+  if (!std::isfinite(options.recall_target) || options.recall_target <= 0.0 ||
+      options.recall_target > 1.0) {
+    return Status::InvalidArgument(
+        "recall target must lie in (0, 1], got " +
+        std::to_string(options.recall_target));
+  }
+  if (std::isnan(options.deadline_seconds) ||
+      options.deadline_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "deadline must be positive (infinity = none), got " +
+        std::to_string(options.deadline_seconds));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ips

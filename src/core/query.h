@@ -1,0 +1,121 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The unified query API every answer path speaks (see DESIGN.md §8):
+//
+//   QueryOptions -- one request shape (k, recall target, candidate
+//       budget, deadline, forced algorithm, trace on/off) accepted by
+//       Engine::Query, BatchScheduler::Submit, and every index's Query
+//       entry point;
+//   QueryStats   -- one accounting shape populated by every path, with
+//       per-algorithm extensions namespaced as metric labels in
+//       `metrics` instead of bespoke struct fields;
+//   QueryResult  -- matches + stats + the planner's decision.
+//
+// The serve layer's former request/stats types (TopKRequest,
+// ServeStats, PlanRequest, ServeAlgo) are deprecated aliases of these.
+
+#ifndef IPS_CORE_QUERY_H_
+#define IPS_CORE_QUERY_H_
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace ips {
+
+/// The four answer paths a query can be dispatched to.
+enum class QueryAlgo {
+  kBruteForce = 0,
+  kBallTree = 1,
+  kLsh = 2,
+  kSketch = 3,
+};
+
+inline constexpr std::size_t kNumQueryAlgos = 4;
+
+/// Short stable name of `algo` ("brute", "tree", "lsh", "sketch"); also
+/// the algorithm's span name and registry metric prefix segment.
+std::string_view QueryAlgoName(QueryAlgo algo);
+
+/// One top-k query, uniform across the engine, the scheduler, and every
+/// index. Fields an answer path cannot honor are rejected (forced tree
+/// on unsigned queries) or ignored where documented (deadline outside
+/// the scheduler).
+struct QueryOptions {
+  std::size_t k = 1;
+  /// Fraction of the exact top-k the answer must recover, in (0, 1].
+  double recall_target = 0.9;
+  /// Soft cap on exact dot products (0 = unbounded).
+  std::size_t candidate_budget = 0;
+  bool is_signed = true;
+  /// Relative deadline, used by the batch scheduler's admission and
+  /// late-finish accounting (infinity = no deadline). Must be positive.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Bypass the planner and force an answer path (A/B comparisons,
+  /// benchmarks). The forced path must be able to answer the request
+  /// (e.g. tree is signed-only) or the query returns kInvalidArgument.
+  std::optional<QueryAlgo> force_algorithm;
+  /// Record a per-stage span tree for this query (published through
+  /// QueryStats::trace and the global TraceRing).
+  bool trace = false;
+};
+
+/// Validates the request fields: k >= 1, recall target in (0, 1],
+/// deadline positive (infinity allowed).
+Status ValidateQueryOptions(const QueryOptions& options);
+
+/// The planner's verdict for one query (core-level so QueryResult can
+/// carry it; produced by serve::Planner).
+struct PlanDecision {
+  QueryAlgo algorithm = QueryAlgo::kBruteForce;
+  double expected_dot_products = 0.0;
+  double expected_recall = 1.0;
+  /// One-line human-readable justification (for logs and benches).
+  std::string reason;
+};
+
+/// What one query cost and how it was answered — the single accounting
+/// struct of every path. Algorithm-specific detail goes into `metrics`
+/// under registry metric names, not into new fields.
+struct QueryStats {
+  QueryAlgo algorithm = QueryAlgo::kBruteForce;
+  /// Candidate data points whose exact score was computed.
+  std::size_t candidates = 0;
+  /// Exact inner products evaluated (dot-product-equivalent work for the
+  /// sketch path, which spends its time on sketch-row products).
+  std::size_t dot_products = 0;
+  /// Engine execution time (planning + search), excluding queue time.
+  double exec_seconds = 0.0;
+  /// Time spent queued in the batch scheduler; 0 for direct calls.
+  double queue_seconds = 0.0;
+  /// False when the request finished after its deadline (scheduler only).
+  bool deadline_met = true;
+  /// Labeled per-algorithm extensions, e.g. "lsh.tables.buckets_probed".
+  MetricSet metrics;
+  /// Per-stage span tree, when QueryOptions::trace was set.
+  std::shared_ptr<const Trace> trace;
+
+  double TotalSeconds() const { return exec_seconds + queue_seconds; }
+};
+
+/// One served answer: ranked matches plus what they cost and why that
+/// path was chosen.
+struct QueryResult {
+  std::vector<SearchMatch> matches;
+  QueryStats stats;
+  PlanDecision plan;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CORE_QUERY_H_

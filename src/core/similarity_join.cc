@@ -6,11 +6,46 @@
 
 #include "linalg/validate.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace ips {
+namespace {
+
+// One bulk Add per join run — nothing inside the scan loops.
+void RecordExactJoinRun(const JoinResult& result, std::size_t queries) {
+  static Counter* const runs =
+      MetricsRegistry::Global().GetCounter("core.join.exact.runs");
+  static Counter* const query_count =
+      MetricsRegistry::Global().GetCounter("core.join.exact.queries");
+  static Counter* const products =
+      MetricsRegistry::Global().GetCounter("core.join.exact.inner_products");
+  static Histogram* const seconds =
+      MetricsRegistry::Global().GetHistogram("core.join.exact.seconds");
+  runs->Increment();
+  query_count->Add(queries);
+  products->Add(result.inner_products);
+  seconds->Observe(result.seconds);
+}
+
+void RecordIndexJoinRun(const JoinResult& result, std::size_t queries) {
+  static Counter* const runs =
+      MetricsRegistry::Global().GetCounter("core.join.index.runs");
+  static Counter* const query_count =
+      MetricsRegistry::Global().GetCounter("core.join.index.queries");
+  static Counter* const products =
+      MetricsRegistry::Global().GetCounter("core.join.index.inner_products");
+  static Histogram* const seconds =
+      MetricsRegistry::Global().GetHistogram("core.join.index.seconds");
+  runs->Increment();
+  query_count->Add(queries);
+  products->Add(result.inner_products);
+  seconds->Observe(result.seconds);
+}
+
+}  // namespace
 
 Status ValidateJoinSpec(const JoinSpec& spec) {
   if (!std::isfinite(spec.s) || spec.s <= 0.0) {
@@ -56,6 +91,7 @@ JoinResult ExactJoin(const Matrix& data, const Matrix& queries,
   });
   result.seconds = timer.Seconds();
   result.inner_products = inner_products.load();
+  RecordExactJoinRun(result, queries.rows());
   return result;
 }
 
@@ -73,6 +109,7 @@ JoinResult IndexJoin(const MipsIndex& index, const Matrix& queries,
   }
   result.seconds = timer.Seconds();
   result.inner_products = index.InnerProductsEvaluated() - products_before;
+  RecordIndexJoinRun(result, queries.rows());
   return result;
 }
 
@@ -120,6 +157,7 @@ StatusOr<JoinResult> ExactJoinChecked(const Matrix& data,
   IPS_RETURN_IF_ERROR(status);
   result.seconds = timer.Seconds();
   result.inner_products = inner_products.load();
+  RecordExactJoinRun(result, queries.rows());
   return result;
 }
 

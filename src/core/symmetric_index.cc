@@ -1,10 +1,13 @@
 #include "core/symmetric_index.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "linalg/validate.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -82,6 +85,60 @@ std::optional<SearchMatch> SymmetricMipsIndex::Search(
 
 std::size_t SymmetricMipsIndex::InnerProductsEvaluated() const {
   return lsh_.InnerProductsEvaluated();
+}
+
+StatusOr<std::vector<SearchMatch>> SymmetricMipsIndex::Query(
+    std::span<const double> q, const QueryOptions& options, QueryStats* stats,
+    Trace* trace) const {
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("core.symmetric.queries");
+  static Counter* const membership_hits =
+      MetricsRegistry::Global().GetCounter("core.symmetric.membership_hits");
+  // Own the trace here (not in the inner LSH) so the membership span
+  // lands on the same tree as the LSH pipeline's.
+  std::unique_ptr<Trace> owned;
+  if (options.trace && trace == nullptr) {
+    owned = std::make_unique<Trace>(Name());
+  }
+  Trace* t = trace != nullptr ? trace : owned.get();
+
+  std::size_t exact_index = 0;
+  bool member = false;
+  {
+    TraceSpan span(t, "membership");
+    member = LookupExact(q, &exact_index);
+  }
+  QueryStats local;
+  auto inner = lsh_.Query(q, options, &local, t);
+  IPS_RETURN_IF_ERROR(inner.status());
+  std::vector<SearchMatch> matches = std::move(inner).value();
+  if (member) {
+    membership_hits->Increment();
+    local.metrics.Set("symmetric.membership_hit", 1);
+    // Section 4.2's initial step: the relaxed LSH guarantee disregards
+    // the (q, q) pair, so splice the exact self-match in if the tables
+    // missed it.
+    bool present = false;
+    for (const SearchMatch& m : matches) present = present || m.index == exact_index;
+    if (!present) {
+      const double raw = Dot(q, q);
+      matches.push_back({exact_index, options.is_signed ? raw : std::abs(raw)});
+      std::sort(matches.begin(), matches.end(),
+                [](const SearchMatch& a, const SearchMatch& b) {
+                  if (a.value != b.value) return a.value > b.value;
+                  return a.index < b.index;
+                });
+      if (matches.size() > options.k) matches.resize(options.k);
+      local.candidates += 1;
+      local.dot_products += 1;
+    }
+  }
+  queries->Increment();
+  if (owned != nullptr) {
+    local.trace = std::shared_ptr<const Trace>(std::move(owned));
+  }
+  if (stats != nullptr) *stats = std::move(local);
+  return matches;
 }
 
 }  // namespace ips

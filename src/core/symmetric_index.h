@@ -45,6 +45,12 @@ class SymmetricMipsIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override;
+  /// Membership check (a "membership" span) followed by the inner LSH
+  /// pipeline; an exact self-match the tables missed is spliced into
+  /// the top-k.
+  StatusOr<std::vector<SearchMatch>> Query(
+      std::span<const double> q, const QueryOptions& options,
+      QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
   /// True iff `q` equals (bitwise) some data row; sets *index when so.
   bool LookupExact(std::span<const double> q, std::size_t* index) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace ips {
@@ -62,6 +63,62 @@ std::vector<SearchMatch> TopKFromCandidates(
     scored.push_back({index, is_signed ? raw : std::abs(raw)});
   }
   return KBest(std::move(scored), k);
+}
+
+std::vector<SearchMatch> QueryBruteForce(const Matrix& data,
+                                         std::span<const double> q,
+                                         const QueryOptions& options,
+                                         QueryStats* stats, Trace* trace) {
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("core.brute.queries");
+  static Counter* const points_scored =
+      MetricsRegistry::Global().GetCounter("core.brute.points_scored");
+  std::vector<SearchMatch> matches;
+  {
+    TraceSpan span(trace, "brute");
+    matches = TopKBruteForce(data, q, options.k, options.is_signed);
+    span.AddCount("points_scored", data.rows());
+  }
+  // One pair of per-thread relaxed increments per query — nothing in
+  // the scan loop itself, so the instrumented path tracks the plain one.
+  queries->Increment();
+  points_scored->Add(data.rows());
+  if (stats != nullptr) {
+    stats->algorithm = QueryAlgo::kBruteForce;
+    stats->candidates += data.rows();
+    stats->dot_products += data.rows();
+  }
+  return matches;
+}
+
+std::vector<SearchMatch> QueryFromCandidates(
+    const Matrix& data, std::span<const double> q,
+    const std::vector<std::size_t>& candidates, const QueryOptions& options,
+    QueryStats* stats, Trace* trace) {
+  static Counter* const verified =
+      MetricsRegistry::Global().GetCounter("core.candidates_verified");
+  std::vector<SearchMatch> scored;
+  {
+    TraceSpan span(trace, "verify");
+    scored.reserve(candidates.size());
+    for (std::size_t index : candidates) {
+      const double raw = Dot(data.Row(index), q);
+      scored.push_back({index, options.is_signed ? raw : std::abs(raw)});
+    }
+    span.AddCount("candidates", candidates.size());
+  }
+  std::vector<SearchMatch> matches;
+  {
+    TraceSpan span(trace, "top-k");
+    matches = KBest(std::move(scored), options.k);
+    span.AddCount("k", options.k);
+  }
+  verified->Add(candidates.size());
+  if (stats != nullptr) {
+    stats->candidates += candidates.size();
+    stats->dot_products += candidates.size();
+  }
+  return matches;
 }
 
 }  // namespace ips

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "core/mips_index.h"
+#include "core/query.h"
 #include "core/types.h"
 #include "linalg/matrix.h"
+#include "obs/trace.h"
 #include "tree/mips_tree.h"
 
 namespace ips {
@@ -42,6 +44,26 @@ std::vector<SearchMatch> TopKFromCandidates(
     const Matrix& data, std::span<const double> q,
     const std::vector<std::size_t>& candidates, std::size_t k,
     bool is_signed);
+
+/// Instrumented flavor of TopKBruteForce behind the unified query API:
+/// fills `stats` (candidates, dot products, "core.brute.*" registry
+/// counters) and records a "brute" span when `trace` is non-null. The
+/// plain TopKBruteForce above stays uninstrumented on purpose — it is
+/// the baseline the obs-overhead benchmark compares against.
+std::vector<SearchMatch> QueryBruteForce(const Matrix& data,
+                                         std::span<const double> q,
+                                         const QueryOptions& options,
+                                         QueryStats* stats = nullptr,
+                                         Trace* trace = nullptr);
+
+/// Instrumented flavor of TopKFromCandidates: the LSH verify -> top-k
+/// tail of a candidate pipeline. Records "verify" and "top-k" spans
+/// under the trace's open span and adds the verified-candidate counts
+/// to `stats`.
+std::vector<SearchMatch> QueryFromCandidates(
+    const Matrix& data, std::span<const double> q,
+    const std::vector<std::size_t>& candidates, const QueryOptions& options,
+    QueryStats* stats = nullptr, Trace* trace = nullptr);
 
 }  // namespace ips
 

@@ -6,6 +6,7 @@
 
 #include "linalg/validate.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -27,6 +28,9 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
 
   BucketJoinResult result;
   result.per_query.resize(queries.rows());
+  std::size_t candidate_pairs = 0;
+  std::size_t verified_pairs = 0;
+  std::size_t duplicate_pairs = 0;
   // Pairs already verified, keyed by query-major 64-bit id.
   std::unordered_set<std::uint64_t> verified;
   for (std::size_t table = 0; table < params.l; ++table) {
@@ -40,14 +44,14 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
       const auto it = buckets.find(function.HashQuery(hash_queries.Row(qi)));
       if (it == buckets.end()) continue;
       for (std::uint32_t di : it->second) {
-        ++result.stats.candidate_pairs;
+        ++candidate_pairs;
         const std::uint64_t key =
             (static_cast<std::uint64_t>(qi) << 32) | di;
         if (!verified.insert(key).second) {
-          ++result.stats.duplicate_pairs;
+          ++duplicate_pairs;
           continue;
         }
-        ++result.stats.verified_pairs;
+        ++verified_pairs;
         const double raw = Dot(data.Row(di), queries.Row(qi));
         const double score = is_signed ? raw : std::abs(raw);
         if (score < cs_threshold) continue;
@@ -61,6 +65,21 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
       }
     }
   }
+  result.metrics.Set("lsh.join.candidate_pairs", candidate_pairs);
+  result.metrics.Set("lsh.join.verified_pairs", verified_pairs);
+  result.metrics.Set("lsh.join.duplicate_pairs", duplicate_pairs);
+  static Counter* const joins =
+      MetricsRegistry::Global().GetCounter("lsh.join.runs");
+  static Counter* const candidate_counter =
+      MetricsRegistry::Global().GetCounter("lsh.join.candidate_pairs");
+  static Counter* const verified_counter =
+      MetricsRegistry::Global().GetCounter("lsh.join.verified_pairs");
+  static Counter* const duplicate_counter =
+      MetricsRegistry::Global().GetCounter("lsh.join.duplicate_pairs");
+  joins->Increment();
+  candidate_counter->Add(candidate_pairs);
+  verified_counter->Add(verified_pairs);
+  duplicate_counter->Add(duplicate_pairs);
   return result;
 }
 

@@ -18,29 +18,28 @@
 #include "linalg/matrix.h"
 #include "lsh/lsh_family.h"
 #include "lsh/tables.h"
+#include "obs/metrics.h"
 #include "rng/random.h"
 #include "util/status.h"
 
 namespace ips {
 
-/// Accounting of a bucket join run.
-struct BucketJoinStats {
-  /// Candidate pairs enumerated across all tables (before dedup).
-  std::size_t candidate_pairs = 0;
-  /// Distinct pairs verified with an exact inner product. Each (query,
-  /// data) pair is verified at most once even when it collides in
-  /// several tables.
-  std::size_t verified_pairs = 0;
-  /// Pairs skipped by cross-table deduplication; always equals
-  /// candidate_pairs - verified_pairs.
-  std::size_t duplicate_pairs = 0;
-};
-
 /// Result of a bucket join: per-query best match (index into `data`,
 /// exact score), or nullopt when no colliding pair scored >= cs.
+/// Accounting lives in `metrics` under the run's registry metric names
+/// (unified QueryStats-style labels, not bespoke fields):
+///   "lsh.join.candidate_pairs" -- pairs enumerated across all tables
+///                                 (before dedup);
+///   "lsh.join.verified_pairs"  -- distinct pairs verified with an exact
+///                                 inner product (each pair at most once
+///                                 even when it collides in several
+///                                 tables);
+///   "lsh.join.duplicate_pairs" -- pairs skipped by cross-table
+///                                 deduplication; always candidate -
+///                                 verified.
 struct BucketJoinResult {
   std::vector<std::optional<std::pair<std::size_t, double>>> per_query;
-  BucketJoinStats stats;
+  MetricSet metrics;
 };
 
 /// Runs the (cs, s) bucket join of `data` and `queries` under `family`

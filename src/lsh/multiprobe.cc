@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace ips {
@@ -48,6 +49,13 @@ std::uint64_t MultiprobeSimHashTables::KeyWithMargins(
 
 std::vector<std::size_t> MultiprobeSimHashTables::Query(
     std::span<const double> q) const {
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("lsh.multiprobe.queries");
+  static Counter* const buckets_probed =
+      MetricsRegistry::Global().GetCounter("lsh.multiprobe.buckets_probed");
+  static Counter* const candidates_out =
+      MetricsRegistry::Global().GetCounter("lsh.multiprobe.candidates");
+  std::size_t probed = 0;
   ++query_epoch_;
   std::vector<std::size_t> candidates;
   std::vector<double> margins;
@@ -74,6 +82,7 @@ std::vector<std::size_t> MultiprobeSimHashTables::Query(
         probe_keys.push_back(key ^ (1ULL << order[a]) ^ (1ULL << order[b]));
       }
     }
+    probed += probe_keys.size();
     for (const std::uint64_t probe : probe_keys) {
       const auto it = table.buckets.find(probe);
       if (it == table.buckets.end()) continue;
@@ -86,6 +95,9 @@ std::vector<std::size_t> MultiprobeSimHashTables::Query(
     }
   }
   std::sort(candidates.begin(), candidates.end());
+  queries->Increment();
+  buckets_probed->Add(probed);
+  candidates_out->Add(candidates.size());
   return candidates;
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "linalg/validate.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -64,17 +65,59 @@ StatusOr<std::unique_ptr<LshTables>> LshTables::Create(
   return std::make_unique<LshTables>(family, data, params, rng);
 }
 
-std::vector<std::size_t> LshTables::Query(std::span<const double> q) const {
-  std::vector<std::size_t> candidates;
-  for (const auto& table : tables_) {
-    const std::uint64_t key = table.function->HashQuery(q);
-    const auto it = table.buckets.find(key);
-    if (it == table.buckets.end()) continue;
-    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+std::vector<std::size_t> LshTables::Query(std::span<const double> q,
+                                          Trace* trace,
+                                          LshQueryInfo* info) const {
+  // Registry handles resolved once per process; the per-query cost is a
+  // handful of relaxed per-thread increments, not map lookups.
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("lsh.tables.queries");
+  static Counter* const buckets_probed =
+      MetricsRegistry::Global().GetCounter("lsh.tables.buckets_probed");
+  static Counter* const raw =
+      MetricsRegistry::Global().GetCounter("lsh.tables.candidates_raw");
+  static Counter* const unique =
+      MetricsRegistry::Global().GetCounter("lsh.tables.candidates_unique");
+
+  LshQueryInfo local;
+  std::vector<std::uint64_t> keys(tables_.size());
+  {
+    TraceSpan span(trace, "hash");
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      keys[t] = tables_[t].function->HashQuery(q);
+    }
+    span.AddCount("tables", tables_.size());
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  std::vector<std::size_t> candidates;
+  {
+    TraceSpan span(trace, "bucket");
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto it = tables_[t].buckets.find(keys[t]);
+      if (it == tables_[t].buckets.end()) continue;
+      ++local.buckets_hit;
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+    span.AddCount("buckets_hit", local.buckets_hit);
+    span.AddCount("raw_candidates", candidates.size());
+  }
+  local.tables_probed = tables_.size();
+  local.raw_candidates = candidates.size();
+  {
+    TraceSpan span(trace, "dedup");
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    span.AddCount("unique_candidates", candidates.size());
+    span.AddCount("duplicates", local.raw_candidates - candidates.size());
+  }
+  local.unique_candidates = candidates.size();
+
+  queries->Increment();
+  buckets_probed->Add(local.tables_probed);
+  raw->Add(local.raw_candidates);
+  unique->Add(local.unique_candidates);
+  if (info != nullptr) *info = local;
   return candidates;
 }
 

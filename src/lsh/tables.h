@@ -18,10 +18,25 @@
 
 #include "linalg/matrix.h"
 #include "lsh/lsh_family.h"
+#include "obs/trace.h"
 #include "rng/random.h"
 #include "util/status.h"
 
 namespace ips {
+
+/// Per-query accounting of one LshTables::Query call, for callers that
+/// fold the numbers into a core::QueryStats (which this layer cannot
+/// see — core depends on lsh, not the other way around).
+struct LshQueryInfo {
+  /// Tables whose bucket was looked up (always params().l).
+  std::size_t tables_probed = 0;
+  /// Tables whose query bucket was non-empty.
+  std::size_t buckets_hit = 0;
+  /// Bucket entries gathered before cross-table deduplication.
+  std::size_t raw_candidates = 0;
+  /// Distinct data rows returned; raw - unique were duplicates.
+  std::size_t unique_candidates = 0;
+};
 
 /// Amplification parameters of an LSH index.
 struct LshTableParams {
@@ -55,7 +70,16 @@ class LshTables {
   /// Indices of data rows sharing at least one bucket with `q`
   /// (deduplicated, ascending). Thread-safe: uses no per-query shared
   /// scratch, so a built index may serve concurrent queries.
-  std::vector<std::size_t> Query(std::span<const double> q) const;
+  std::vector<std::size_t> Query(std::span<const double> q) const {
+    return Query(q, nullptr, nullptr);
+  }
+
+  /// Instrumented flavor: when `trace` is non-null, records the
+  /// hash -> bucket -> dedup stage spans under the trace's open span;
+  /// when `info` is non-null, fills the per-query accounting. Both may
+  /// be null. Every call bumps the "lsh.tables.*" registry counters.
+  std::vector<std::size_t> Query(std::span<const double> q, Trace* trace,
+                                 LshQueryInfo* info) const;
 
   /// Number of candidates Query would return, without materializing them.
   std::size_t CountCandidates(std::span<const double> q) const;

@@ -1,0 +1,207 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Low-overhead process-wide metrics: named counters, gauges, and
+// log-scale histograms behind a MetricsRegistry. The write fast path is
+// per-thread — each thread owns a cache-line-padded cell per metric and
+// increments it with a relaxed atomic, so hot loops never contend on a
+// shared cache line; readers merge every thread's cells under the
+// metric's mutex. Metric objects live as long as their registry and are
+// never deleted, so handles returned by GetCounter/GetGauge/GetHistogram
+// may be cached indefinitely.
+//
+// Naming scheme (see DESIGN.md §8): dotted lowercase paths,
+// `<subsystem>.<object>.<event>` — e.g. "lsh.tables.buckets_probed",
+// "serve.scheduler.shed". Registering the same name twice returns the
+// same metric.
+
+#ifndef IPS_OBS_METRICS_H_
+#define IPS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/table.h"
+
+namespace ips {
+
+/// Ordered bag of labeled integer counts attached to one result object
+/// (a query's stats, a join's accounting). This is the "namespaced
+/// labels instead of bespoke stats fields" carrier: per-algorithm
+/// extensions live here under their registry metric names (e.g.
+/// "lsh.join.duplicate_pairs") rather than as dedicated struct members.
+/// Not thread-safe; plain value type.
+class MetricSet {
+ public:
+  /// Overwrites (or inserts) `key`.
+  void Set(std::string_view key, std::uint64_t value);
+
+  /// Adds `delta` to `key`, inserting it at 0 first.
+  void Add(std::string_view key, std::uint64_t delta);
+
+  /// Value of `key`, or 0 when absent.
+  std::uint64_t Get(std::string_view key) const;
+
+  bool Has(std::string_view key) const;
+  bool empty() const { return items_.empty(); }
+
+  /// Insertion-ordered (key, value) pairs.
+  const std::vector<std::pair<std::string, std::uint64_t>>& items() const {
+    return items_;
+  }
+
+ private:
+  std::pair<std::string, std::uint64_t>* Find(std::string_view key);
+  std::vector<std::pair<std::string, std::uint64_t>> items_;
+};
+
+/// Monotonic counter. Add() is safe from any thread and lock-free after
+/// the thread's first touch of the metric.
+class Counter {
+ public:
+  void Add(std::uint64_t delta);
+  void Increment() { Add(1); }
+
+  /// Merged value across all threads that ever touched the counter.
+  std::uint64_t Value() const;
+
+  /// Zeroes every thread's cell (test/bench epochs; racing writers may
+  /// land on either side of the reset).
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name);
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::atomic<std::uint64_t>* NewCell();
+
+  const std::string name_;
+  const std::uint64_t id_;  // process-unique across all metric kinds
+  mutable std::mutex mutex_;  // guards cells_ growth and merge
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, cache size), with a
+/// monotonic running maximum. Writes are relaxed atomics on one shared
+/// cell — gauges are written at bookkeeping frequency, not in hot loops.
+class Gauge {
+ public:
+  void Set(double value);
+  /// Atomic increment (C++20 floating fetch_add).
+  void Add(double delta);
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name);
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Log-scale histogram: 64 power-of-two buckets (plus an underflow
+/// bucket for values < 2^-32) covering ~10 orders of magnitude each way.
+/// Observe() uses the same per-thread cell design as Counter.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 64;
+
+  void Observe(double value);
+
+  std::uint64_t Count() const;
+  double Sum() const;
+  double Mean() const;
+  /// Upper edge of the bucket containing quantile `q` in [0, 1]; an
+  /// O(log-scale) estimate, exact enough for latency dashboards.
+  double ApproxQuantile(double q) const;
+  /// Merged per-bucket counts (index 0 = underflow).
+  std::array<std::uint64_t, kNumBuckets> BucketCounts() const;
+  /// Upper edge of bucket `b`: 2^(b - 32).
+  static double BucketUpperEdge(std::size_t bucket);
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name);
+
+  struct alignas(64) Cell {
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  Cell* NewCell();
+
+  const std::string name_;
+  const std::uint64_t id_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// Registry of named metrics. `Global()` is the process-wide instance
+/// every production path reports into; tests may construct private
+/// registries for isolation. Thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (leaked singleton: valid forever).
+  static MetricsRegistry& Global();
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// JSON document {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with keys sorted for deterministic diffs.
+  /// Failpoint: "obs/export" — an injected export failure must never
+  /// affect recorded metrics or in-flight queries.
+  StatusOr<std::string> ExportJson() const;
+
+  /// Human-readable dashboard: one row per metric, sorted by name.
+  TablePrinter ToTable() const;
+
+  /// Zeroes every registered metric (names stay registered).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;  // guards the name maps only
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_OBS_METRICS_H_

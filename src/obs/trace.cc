@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+#include "util/failpoint.h"
+
+namespace ips {
+namespace {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- TraceSpan ---
+
+TraceSpan::TraceSpan(Trace* trace, std::string_view name) : trace_(trace) {
+  if (trace_ != nullptr) {
+    index_ = trace_->OpenSpan(name);
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ != nullptr) {
+    trace_->CloseSpan(index_, timer_.Seconds());
+  }
+}
+
+void TraceSpan::AddCount(std::string_view key, std::uint64_t delta) {
+  if (trace_ == nullptr) return;
+  trace_->AddCount(index_, key, delta);
+}
+
+// --- Trace ---
+
+std::size_t Trace::OpenSpan(std::string_view name) {
+  Span span;
+  span.name = std::string(name);
+  span.parent = open_.empty() ? kNoParent : open_.back();
+  span.depth = open_.size();
+  const std::size_t index = spans_.size();
+  spans_.push_back(std::move(span));
+  open_.push_back(index);
+  return index;
+}
+
+void Trace::CloseSpan(std::size_t index, double seconds) {
+  spans_[index].seconds = seconds;
+  // Spans close LIFO (RAII scoping), so `index` is the stack top.
+  if (!open_.empty() && open_.back() == index) {
+    open_.pop_back();
+  }
+}
+
+std::size_t Trace::RecordSpan(std::string_view name, double seconds) {
+  const std::size_t index = OpenSpan(name);
+  CloseSpan(index, seconds);
+  return index;
+}
+
+void Trace::AddCount(std::size_t span_index, std::string_view key,
+                     std::uint64_t delta) {
+  auto& counts = spans_[span_index].counts;
+  for (auto& [existing, value] : counts) {
+    if (existing == key) {
+      value += delta;
+      return;
+    }
+  }
+  counts.emplace_back(std::string(key), delta);
+}
+
+const Trace::Span* Trace::FindSpan(std::string_view name) const {
+  for (const Span& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::uint64_t Trace::TotalCount(std::string_view key) const {
+  std::uint64_t total = 0;
+  for (const Span& span : spans_) {
+    for (const auto& [existing, value] : span.counts) {
+      if (existing == key) total += value;
+    }
+  }
+  return total;
+}
+
+std::string Trace::ToJson() const {
+  // spans_ is in pre-order (parents precede children), so a single
+  // forward pass can emit the nested structure with an explicit stack.
+  std::ostringstream out;
+  out << "{\"label\": \"" << JsonEscape(label_) << "\", \"spans\": [";
+  std::vector<std::size_t> stack;  // indices of spans whose array is open
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    bool popped = false;
+    while (!stack.empty() && span.parent != stack.back()) {
+      out << "]}";
+      stack.pop_back();
+      popped = true;
+    }
+    // A span emitted right after another without pops is its first
+    // child (spans_ is pre-order); pops mean a sibling follows a closed
+    // subtree and needs a separator.
+    if (popped || (stack.empty() && i > 0)) {
+      out << ", ";
+    }
+    out << "{\"name\": \"" << JsonEscape(span.name)
+        << "\", \"seconds\": " << span.seconds << ", \"counts\": {";
+    bool first = true;
+    for (const auto& [key, value] : span.counts) {
+      out << (first ? "" : ", ") << "\"" << JsonEscape(key)
+          << "\": " << value;
+      first = false;
+    }
+    out << "}, \"children\": [";
+    stack.push_back(i);
+  }
+  while (!stack.empty()) {
+    out << "]}";
+    stack.pop_back();
+  }
+  out << "]}";
+  return out.str();
+}
+
+TablePrinter Trace::ToTable() const {
+  TablePrinter table({"span", "seconds", "counts"});
+  for (const Span& span : spans_) {
+    std::string name(span.depth * 2, ' ');
+    name += span.name;
+    std::string counts;
+    for (const auto& [key, value] : span.counts) {
+      if (!counts.empty()) counts += " ";
+      counts += key + "=" + Format(value);
+    }
+    table.AddRow({name, FormatSci(span.seconds, 3), counts});
+  }
+  return table;
+}
+
+// --- TraceRing ---
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+void TraceRing::Record(std::shared_ptr<const Trace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[(head_ + count_) % capacity_] = std::move(trace);
+  if (count_ < capacity_) {
+    ++count_;
+  } else {
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<std::shared_ptr<const Trace>> TraceRing::Recent(
+    std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n =
+      (limit == 0 || limit > count_) ? count_ : limit;
+  std::vector<std::shared_ptr<const Trace>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Newest slot is head_ + count_ - 1; walk backwards.
+    out.push_back(ring_[(head_ + count_ - 1 - i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slot : ring_) slot.reset();
+  head_ = 0;
+  count_ = 0;
+}
+
+StatusOr<std::string> TraceRing::ExportJson(std::size_t limit) const {
+  IPS_FAILPOINT("obs/export");
+  const auto traces = Recent(limit);
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& trace : traces) {
+    out << (first ? "" : ",") << "\n" << trace->ToJson();
+    first = false;
+  }
+  out << (traces.empty() ? "" : "\n") << "]\n";
+  return out.str();
+}
+
+}  // namespace ips

@@ -1,0 +1,151 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Per-query trace spans. A Trace owns an arena of nested spans for ONE
+// query and is written by ONE thread at a time (queries execute on a
+// single scheduler worker); TraceSpan is the RAII handle that opens a
+// span on construction and closes it with the measured wall time on
+// destruction. Completed traces are published to the process-wide
+// TraceRing, a bounded mutex-protected ring exportable as JSON or a
+// util/table summary.
+//
+// Span hierarchy per algorithm (see DESIGN.md §8):
+//   serve/query -> serve/plan, then one of
+//     brute                      (single span)
+//     tree   -> descent, leaf_scan
+//     lsh    -> hash, bucket, dedup, verify, top-k
+//     sketch -> probe, rerank
+
+#ifndef IPS_OBS_TRACE_H_
+#define IPS_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ips {
+
+class Trace;
+
+/// RAII span: opens a child of the trace's currently-open span and
+/// closes it (recording elapsed wall seconds) on destruction. A null
+/// trace yields a no-op span, so instrumented code can pass `Trace*`
+/// unconditionally.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches (or accumulates into) a named integer count on this span,
+  /// e.g. AddCount("candidates", 117).
+  void AddCount(std::string_view key, std::uint64_t delta);
+
+ private:
+  Trace* trace_ = nullptr;  // null => disabled
+  std::size_t index_ = 0;   // span index in the trace arena
+  WallTimer timer_;
+};
+
+/// Span tree for one query. Single-writer: all TraceSpan open/close and
+/// RecordSpan calls must come from one thread at a time; once finished
+/// the trace is immutable and may be shared freely (TraceRing hands out
+/// shared_ptr<const Trace>).
+class Trace {
+ public:
+  struct Span {
+    std::string name;
+    double seconds = 0.0;
+    std::size_t parent = kNoParent;  // index into spans(); root has none
+    std::size_t depth = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counts;
+  };
+
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  explicit Trace(std::string label) : label_(std::move(label)) {}
+
+  /// Records an already-measured child of the currently-open span (for
+  /// durations accumulated across non-contiguous code, e.g. the summed
+  /// leaf-scan time inside a tree descent). Returns the span index.
+  std::size_t RecordSpan(std::string_view name, double seconds);
+
+  /// Attaches (or accumulates into) a named count on span
+  /// `span_index` (as TraceSpan::AddCount, for RecordSpan spans).
+  void AddCount(std::size_t span_index, std::string_view key,
+                std::uint64_t delta);
+
+  const std::string& label() const { return label_; }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// First span named `name` in creation (pre-)order, or nullptr.
+  const Span* FindSpan(std::string_view name) const;
+
+  /// Sum of a named count over every span (all stages of a pipeline).
+  std::uint64_t TotalCount(std::string_view key) const;
+
+  /// Nested JSON object: {"label": ..., "spans": [{"name", "seconds",
+  /// "counts": {...}, "children": [...]}]}.
+  std::string ToJson() const;
+
+  /// Indented span tree with seconds and counts, one row per span.
+  TablePrinter ToTable() const;
+
+ private:
+  friend class TraceSpan;
+
+  std::size_t OpenSpan(std::string_view name);
+  void CloseSpan(std::size_t index, double seconds);
+
+  std::string label_;
+  std::vector<Span> spans_;
+  std::vector<std::size_t> open_;  // stack of open span indices
+};
+
+/// Process-wide bounded ring of completed traces (most recent first in
+/// Recent()). Thread-safe; Record is mutex-protected but runs outside
+/// any query hot loop.
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  /// The process-wide ring (leaked singleton: valid forever).
+  static TraceRing& Global();
+
+  void Record(std::shared_ptr<const Trace> trace);
+
+  /// Most-recent-first snapshot, at most `limit` traces (0 = all).
+  std::vector<std::shared_ptr<const Trace>> Recent(std::size_t limit = 0) const;
+
+  std::size_t size() const;
+  void Clear();
+
+  /// JSON array of Trace::ToJson() objects, most recent first.
+  /// Failpoint: "obs/export" — an injected export failure must never
+  /// affect recorded traces or in-flight queries.
+  StatusOr<std::string> ExportJson(std::size_t limit = 0) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const Trace>> ring_;  // ring_[head_] = oldest
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 
 namespace ips {
@@ -16,6 +17,27 @@ Clock::duration SecondsToDuration(double seconds) {
   return std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(seconds));
 }
+
+// Registry mirror of SchedulerCounters plus the live queue depth.
+struct SchedulerMetrics {
+  Counter* submitted;
+  Counter* completed;
+  Counter* shed;
+  Counter* expired;
+  Counter* batches;
+  Gauge* queue_depth;
+
+  static const SchedulerMetrics& Get() {
+    static const SchedulerMetrics metrics = {
+        MetricsRegistry::Global().GetCounter("serve.scheduler.submitted"),
+        MetricsRegistry::Global().GetCounter("serve.scheduler.completed"),
+        MetricsRegistry::Global().GetCounter("serve.scheduler.shed"),
+        MetricsRegistry::Global().GetCounter("serve.scheduler.expired"),
+        MetricsRegistry::Global().GetCounter("serve.scheduler.batches"),
+        MetricsRegistry::Global().GetGauge("serve.scheduler.queue_depth")};
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -40,8 +62,8 @@ BatchScheduler::~BatchScheduler() {
 }
 
 std::future<BatchScheduler::Result> BatchScheduler::Submit(
-    std::vector<double> query, TopKRequest request,
-    double deadline_seconds) {
+    std::vector<double> query, QueryOptions options) {
+  const SchedulerMetrics& metrics = SchedulerMetrics::Get();
   std::promise<Result> promise;
   std::future<Result> future = promise.get_future();
 
@@ -54,7 +76,8 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
       return future;
     }
   }
-  if (std::isnan(deadline_seconds) || deadline_seconds <= 0.0) {
+  if (std::isnan(options.deadline_seconds) ||
+      options.deadline_seconds <= 0.0) {
     promise.set_value(Status::InvalidArgument(
         "deadline must be positive (use +infinity for no deadline)"));
     return future;
@@ -62,21 +85,22 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
 
   Pending pending;
   pending.query = std::move(query);
-  pending.request = std::move(request);
   pending.submitted_at = Clock::now();
-  pending.has_deadline = std::isfinite(deadline_seconds);
+  pending.has_deadline = std::isfinite(options.deadline_seconds);
   if (pending.has_deadline) {
     pending.deadline =
-        pending.submitted_at + SecondsToDuration(deadline_seconds);
+        pending.submitted_at + SecondsToDuration(options.deadline_seconds);
   }
+  pending.options = std::move(options);
   pending.promise = std::move(promise);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.submitted;
+    metrics.submitted->Increment();
     if (shutting_down_ || queue_.size() >= options_.max_queue) {
       ++counters_.shed;
-      ++counters_.completed;
+      metrics.shed->Increment();
       pending.promise.set_value(Status::ResourceExhausted(
           shutting_down_ ? "scheduler is shutting down"
                          : "serve queue full (" +
@@ -87,12 +111,14 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
     queue_.push_back(std::move(pending));
     counters_.max_queue_depth =
         std::max(counters_.max_queue_depth, queue_.size());
+    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
   }
   work_available_.notify_one();
   return future;
 }
 
 void BatchScheduler::DispatchLoop() {
+  const SchedulerMetrics& metrics = SchedulerMetrics::Get();
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -107,14 +133,18 @@ void BatchScheduler::DispatchLoop() {
         queue_.pop_front();
       }
       ++counters_.batches;
+      metrics.batches->Increment();
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
       in_flight_ += batch.size();
       if (shutting_down_) {
         // Fail the drained batch instead of executing it: shutdown must
         // not block on engine work, but every promise must be answered.
+        // These requests never executed, so they count as shed.
         for (Pending& pending : batch) {
           pending.promise.set_value(
               Status::ResourceExhausted("scheduler is shutting down"));
-          ++counters_.completed;
+          ++counters_.shed;
+          metrics.shed->Increment();
         }
         in_flight_ -= batch.size();
         continue;
@@ -147,10 +177,10 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
             continue;
           }
           Result result =
-              engine_->TopK(pending.query, pending.request);
+              engine_->Query(pending.query, pending.options);
           if (result.ok()) {
             const Clock::time_point done = Clock::now();
-            ServeStats& stats = result.value().stats;
+            QueryStats& stats = result.value().stats;
             stats.queue_seconds =
                 std::chrono::duration<double>(start - pending.submitted_at)
                     .count();
@@ -176,10 +206,14 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
     if (expired[i] != 0) ++expired_count;
   }
 
+  const SchedulerMetrics& metrics = SchedulerMetrics::Get();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    counters_.completed += batch.size();
+    // Partition invariant: expired requests are not also completed.
+    counters_.completed += batch.size() - expired_count;
     counters_.expired += expired_count;
+    metrics.completed->Add(batch.size() - expired_count);
+    metrics.expired->Add(expired_count);
     in_flight_ -= batch.size();
     if (queue_.empty() && in_flight_ == 0) queue_drained_.notify_all();
   }

@@ -9,12 +9,19 @@
 //
 // Admission and deadline semantics:
 //  * Submit sheds load with kResourceExhausted when the queue is full.
-//  * A request whose deadline has passed before execution starts fails
-//    with kDeadlineExceeded without burning engine work.
+//  * A request whose deadline (options.deadline_seconds, relative to
+//    submission) has passed before execution starts fails with
+//    kDeadlineExceeded without burning engine work.
 //  * A request that starts in time but finishes late still returns its
 //    answer, flagged with stats.deadline_met = false.
 //  * Shutdown fails all still-queued requests with kResourceExhausted;
 //    no future is ever abandoned.
+//
+// Every submission lands in exactly one of {shed, expired, completed},
+// so shed + expired + completed == submitted at any quiescent point
+// (after Drain, or destruction). The same counters are mirrored into
+// the MetricsRegistry as "serve.scheduler.*", with the live queue depth
+// on the "serve.scheduler.queue_depth" gauge.
 //
 // Failpoints: "serve/schedule" (admission), "serve/deadline" (batch
 // execution; firing cancels the batch's remaining chunks).
@@ -48,12 +55,18 @@ struct BatchSchedulerOptions {
   std::size_t max_batch = 64;
 };
 
-/// Monotonic counters of a scheduler's lifetime (snapshot).
+/// Monotonic counters of a scheduler's lifetime (snapshot). Partition
+/// invariant: every submitted request ends up in exactly one of
+/// shed / expired / completed.
 struct SchedulerCounters {
   std::size_t submitted = 0;
-  std::size_t completed = 0;  // answered, with a value or an error
-  std::size_t shed = 0;       // rejected at admission (queue full)
-  std::size_t expired = 0;    // deadline passed before execution
+  /// Answered through batch execution (a response, an engine error, or
+  /// a batch cancellation) — not shed, not expired.
+  std::size_t completed = 0;
+  /// Rejected without execution: queue full, or scheduler shutdown.
+  std::size_t shed = 0;
+  /// Deadline passed before execution started.
+  std::size_t expired = 0;
   std::size_t batches = 0;
   std::size_t max_queue_depth = 0;
 };
@@ -61,7 +74,7 @@ struct SchedulerCounters {
 /// Coalescing scheduler over one Engine. Thread-safe.
 class BatchScheduler {
  public:
-  using Result = StatusOr<TopKResponse>;
+  using Result = StatusOr<QueryResult>;
 
   /// `engine` must outlive the scheduler.
   BatchScheduler(const Engine* engine, BatchSchedulerOptions options = {});
@@ -72,12 +85,19 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  /// Enqueues one request with a relative deadline. The returned future
-  /// always becomes ready: with the response, or with the Status of
-  /// shedding / expiry / cancellation / engine failure.
-  /// `deadline_seconds` must be positive (infinity = no deadline).
-  std::future<Result> Submit(std::vector<double> query, TopKRequest request,
-                             double deadline_seconds);
+  /// Enqueues one request; options.deadline_seconds is the relative
+  /// deadline (infinity = none). The returned future always becomes
+  /// ready: with the response, or with the Status of shedding / expiry /
+  /// cancellation / engine failure.
+  std::future<Result> Submit(std::vector<double> query, QueryOptions options);
+
+  /// Deprecated shim (one-PR migration): relative deadline as a third
+  /// argument instead of options.deadline_seconds.
+  std::future<Result> Submit(std::vector<double> query, QueryOptions options,
+                             double deadline_seconds) {
+    options.deadline_seconds = deadline_seconds;
+    return Submit(std::move(query), std::move(options));
+  }
 
   /// Blocks until every submitted request has been answered.
   void Drain();
@@ -87,7 +107,7 @@ class BatchScheduler {
  private:
   struct Pending {
     std::vector<double> query;
-    TopKRequest request;
+    QueryOptions options;
     std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point submitted_at;
     bool has_deadline = false;

@@ -7,6 +7,8 @@
 #include "core/top_k.h"
 #include "linalg/validate.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -96,15 +98,23 @@ Status Engine::Calibrate() {
   const std::vector<std::size_t> query_rows =
       SampleRows(data_, probes, &build_rng_);
 
+  // Probe requests go through the same unified Query paths that serve
+  // traffic, so the cost model is calibrated from the exact QueryStats
+  // bookkeeping it will later be judged against.
+  const QueryOptions signed_probe;  // k=1, signed defaults
+  QueryOptions unsigned_probe;
+  unsigned_probe.is_signed = false;
+
   // Tree probe: pruning fraction of the subsample tree.
   auto probe_tree =
       TreeMipsIndex::Create(sample, options_.tree_leaf_size, &build_rng_);
   IPS_RETURN_IF_ERROR(probe_tree.status());
   double tree_evaluated = 0.0;
   for (std::size_t row : query_rows) {
-    std::size_t evaluated = 0;
-    (*probe_tree)->tree().QueryTopK(data_.Row(row), 1, &evaluated);
-    tree_evaluated += static_cast<double>(evaluated);
+    QueryStats stats;
+    auto matches = (*probe_tree)->Query(data_.Row(row), signed_probe, &stats);
+    IPS_RETURN_IF_ERROR(matches.status());
+    tree_evaluated += static_cast<double>(stats.dot_products);
   }
   calib.tree_fraction = tree_evaluated / static_cast<double>(probes) /
                         static_cast<double>(sample.rows());
@@ -132,17 +142,20 @@ Status Engine::Calibrate() {
           TopKBruteForce(sample, q, 1, /*is_signed=*/true);
       const auto exact_unsigned =
           TopKBruteForce(sample, q, 1, /*is_signed=*/false);
-      const auto candidates = (*probe_lsh)->Candidates(q);
-      candidate_total += static_cast<double>(candidates.size());
-      const auto lsh_top =
-          TopKFromCandidates(sample, q, candidates, 1, /*is_signed=*/true);
-      if (!lsh_top.empty() && !exact_signed.empty() &&
-          lsh_top[0].index == exact_signed[0].index) {
+      QueryStats lsh_stats;
+      auto lsh_top = (*probe_lsh)->Query(q, signed_probe, &lsh_stats);
+      IPS_RETURN_IF_ERROR(lsh_top.status());
+      candidate_total += static_cast<double>(lsh_stats.candidates);
+      if (!(*lsh_top).empty() && !exact_signed.empty() &&
+          (*lsh_top)[0].index == exact_signed[0].index) {
         ++lsh_hits;
       }
-      const std::size_t recovered =
-          (*probe_sketch)->sketch().RecoverArgmax(q);
-      if (!exact_unsigned.empty() && recovered == exact_unsigned[0].index) {
+      QueryStats sketch_stats;
+      auto sketch_top =
+          (*probe_sketch)->Query(q, unsigned_probe, &sketch_stats);
+      IPS_RETURN_IF_ERROR(sketch_top.status());
+      if (!(*sketch_top).empty() && !exact_unsigned.empty() &&
+          (*sketch_top)[0].index == exact_unsigned[0].index) {
         ++sketch_hits;
       }
     }
@@ -160,12 +173,17 @@ Status Engine::Calibrate() {
   return Status::Ok();
 }
 
-Status Engine::EnsureIndex(ServeAlgo algo) const {
+Status Engine::EnsureIndex(QueryAlgo algo) const {
   std::lock_guard<std::mutex> lock(build_mutex_);
   switch (algo) {
-    case ServeAlgo::kBruteForce:
+    case QueryAlgo::kBruteForce: {
+      if (brute_index_ != nullptr) return Status::Ok();
+      auto built = BruteForceIndex::Create(data_);
+      IPS_RETURN_IF_ERROR(built.status());
+      brute_index_ = std::move(built).value();
       return Status::Ok();
-    case ServeAlgo::kBallTree: {
+    }
+    case QueryAlgo::kBallTree: {
       if (tree_index_ != nullptr) return Status::Ok();
       auto built =
           TreeMipsIndex::Create(data_, options_.tree_leaf_size, &build_rng_);
@@ -173,7 +191,7 @@ Status Engine::EnsureIndex(ServeAlgo algo) const {
       tree_index_ = std::move(built).value();
       return Status::Ok();
     }
-    case ServeAlgo::kLsh: {
+    case QueryAlgo::kLsh: {
       if (lsh_index_ != nullptr) return Status::Ok();
       if (profile_.max_norm <= 0.0) {
         return Status::FailedPrecondition(
@@ -192,7 +210,7 @@ Status Engine::EnsureIndex(ServeAlgo algo) const {
       lsh_index_ = std::move(built).value();
       return Status::Ok();
     }
-    case ServeAlgo::kSketch: {
+    case QueryAlgo::kSketch: {
       if (sketch_index_ != nullptr) return Status::Ok();
       auto built =
           SketchIndex::Create(data_, options_.sketch_params, &build_rng_);
@@ -204,104 +222,110 @@ Status Engine::EnsureIndex(ServeAlgo algo) const {
   return Status::InvalidArgument("unknown serve algorithm");
 }
 
-StatusOr<TopKResponse> Engine::TopK(std::span<const double> query,
-                                    const TopKRequest& request) const {
+StatusOr<QueryResult> Engine::Query(std::span<const double> query,
+                                    const QueryOptions& options) const {
+  static Counter* const requests =
+      MetricsRegistry::Global().GetCounter("serve.engine.requests");
+  static Counter* const traced =
+      MetricsRegistry::Global().GetCounter("serve.engine.traced");
+  static Counter* const selected[kNumQueryAlgos] = {
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.brute"),
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.tree"),
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.lsh"),
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.sketch")};
+  static Histogram* const exec_seconds =
+      MetricsRegistry::Global().GetHistogram("serve.engine.exec_seconds");
+
   IPS_RETURN_IF_ERROR(
       ValidateVectorDims(query, profile_.dim, "serve query"));
   IPS_RETURN_IF_ERROR(ValidateVectorFinite(query, "serve query"));
+  requests->Increment();
 
-  PlanDecision plan;
-  if (request.force_algorithm.has_value()) {
-    PlanRequest plan_request{request.k, request.recall_target,
-                             request.candidate_budget, request.is_signed};
-    IPS_RETURN_IF_ERROR(ValidatePlanRequest(plan_request));
-    const ServeAlgo forced = *request.force_algorithm;
-    if (forced == ServeAlgo::kBallTree && !request.is_signed) {
-      return Status::InvalidArgument(
-          "ball-tree top-k answers signed queries only");
+  std::unique_ptr<Trace> trace;
+  if (options.trace) trace = std::make_unique<Trace>("serve");
+
+  WallTimer timer;
+  // The span scope: serve/query -> serve/plan, then the algorithm's own
+  // spans nested by Execute. The lambda closes the root span before the
+  // trace is published below.
+  StatusOr<QueryResult> outcome = [&]() -> StatusOr<QueryResult> {
+    TraceSpan root(trace.get(), "serve/query");
+    PlanDecision plan;
+    {
+      TraceSpan plan_span(trace.get(), "serve/plan");
+      if (options.force_algorithm.has_value()) {
+        IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+        const QueryAlgo forced = *options.force_algorithm;
+        if (forced == QueryAlgo::kBallTree && !options.is_signed) {
+          return Status::InvalidArgument(
+              "ball-tree top-k answers signed queries only");
+        }
+        if (forced == QueryAlgo::kSketch &&
+            (options.is_signed || options.k != 1)) {
+          return Status::InvalidArgument(
+              "sketch path answers unsigned k=1 queries only");
+        }
+        plan.algorithm = forced;
+        plan.expected_dot_products =
+            planner_->ExpectedDotProducts(forced, options);
+        plan.expected_recall = 0.0;
+        plan.reason =
+            std::string("forced ") + std::string(QueryAlgoName(forced));
+      } else {
+        auto decision = planner_->Plan(options);
+        IPS_RETURN_IF_ERROR(decision.status());
+        plan = std::move(decision).value();
+      }
     }
-    if (forced == ServeAlgo::kSketch &&
-        (request.is_signed || request.k != 1)) {
-      return Status::InvalidArgument(
-          "sketch path answers unsigned k=1 queries only");
-    }
-    plan.algorithm = forced;
-    plan.expected_dot_products =
-        planner_->ExpectedDotProducts(forced, plan_request);
-    plan.expected_recall = 0.0;
-    plan.reason = std::string("forced ") + std::string(ServeAlgoName(forced));
-  } else {
-    PlanRequest plan_request{request.k, request.recall_target,
-                             request.candidate_budget, request.is_signed};
-    auto decision = planner_->Plan(plan_request);
-    IPS_RETURN_IF_ERROR(decision.status());
-    plan = std::move(decision).value();
+    IPS_RETURN_IF_ERROR(EnsureIndex(plan.algorithm));
+    return Execute(plan.algorithm, query, options, std::move(plan),
+                   trace.get());
+  }();
+  IPS_RETURN_IF_ERROR(outcome.status());
+  QueryResult result = std::move(outcome).value();
+  result.stats.exec_seconds = timer.Seconds();
+  result.stats.deadline_met =
+      result.stats.exec_seconds <= options.deadline_seconds;
+  selected[static_cast<std::size_t>(result.stats.algorithm)]->Increment();
+  exec_seconds->Observe(result.stats.exec_seconds);
+  if (trace != nullptr) {
+    traced->Increment();
+    std::shared_ptr<const Trace> shared(std::move(trace));
+    TraceRing::Global().Record(shared);
+    result.stats.trace = std::move(shared);
   }
-
-  IPS_RETURN_IF_ERROR(EnsureIndex(plan.algorithm));
-  return Execute(plan.algorithm, query, request, std::move(plan));
+  return result;
 }
 
-StatusOr<TopKResponse> Engine::Execute(ServeAlgo algo,
-                                       std::span<const double> query,
-                                       const TopKRequest& request,
-                                       PlanDecision plan) const {
-  WallTimer timer;
-  TopKResponse response;
-  response.stats.algorithm = algo;
-  switch (algo) {
-    case ServeAlgo::kBruteForce: {
-      response.matches =
-          TopKBruteForce(data_, query, request.k, request.is_signed);
-      response.stats.candidates = data_.rows();
-      response.stats.dot_products = data_.rows();
-      break;
-    }
-    case ServeAlgo::kBallTree: {
-      const MipsBallTree* tree = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(build_mutex_);
-        tree = &tree_index_->tree();
-      }
-      std::size_t evaluated = 0;
-      for (const auto& [index, value] :
-           tree->QueryTopK(query, request.k, &evaluated)) {
-        response.matches.push_back({index, value});
-      }
-      response.stats.candidates = evaluated;
-      response.stats.dot_products = evaluated;
-      break;
-    }
-    case ServeAlgo::kLsh: {
-      const LshMipsIndex* lsh = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(build_mutex_);
-        lsh = lsh_index_.get();
-      }
-      const std::vector<std::size_t> candidates = lsh->Candidates(query);
-      response.matches = TopKFromCandidates(data_, query, candidates,
-                                            request.k, request.is_signed);
-      response.stats.candidates = candidates.size();
-      response.stats.dot_products = candidates.size();
-      break;
-    }
-    case ServeAlgo::kSketch: {
-      const SketchIndex* sketch = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(build_mutex_);
-        sketch = sketch_index_.get();
-      }
-      const std::size_t index = sketch->sketch().RecoverArgmax(query);
-      const double value = std::abs(Dot(data_.Row(index), query));
-      response.matches.push_back({index, value});
-      response.stats.candidates = 1;
-      response.stats.dot_products =
-          2 * sketch->sketch().RootSketchRows() +
-          options_.sketch_params.leaf_size;
-      break;
+StatusOr<QueryResult> Engine::Execute(QueryAlgo algo,
+                                      std::span<const double> query,
+                                      const QueryOptions& options,
+                                      PlanDecision plan, Trace* trace) const {
+  // Pin the (immutable once built) index outside the hot call.
+  const MipsIndex* index = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(build_mutex_);
+    switch (algo) {
+      case QueryAlgo::kBruteForce:
+        index = brute_index_.get();
+        break;
+      case QueryAlgo::kBallTree:
+        index = tree_index_.get();
+        break;
+      case QueryAlgo::kLsh:
+        index = lsh_index_.get();
+        break;
+      case QueryAlgo::kSketch:
+        index = sketch_index_.get();
+        break;
     }
   }
-  response.stats.exec_seconds = timer.Seconds();
+  IPS_CHECK(index != nullptr);
+
+  QueryResult response;
+  auto matches = index->Query(query, options, &response.stats, trace);
+  IPS_RETURN_IF_ERROR(matches.status());
+  response.matches = std::move(matches).value();
   response.plan = std::move(plan);
   return response;
 }

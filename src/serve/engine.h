@@ -4,14 +4,20 @@
 // The online serving facade: an Engine owns a dataset plus lazily-built,
 // cached per-algorithm indexes (constructed through the validated
 // StatusOr Create factories), a micro-probe-calibrated Planner, and a
-// thread-safe TopK entry point that dispatches each request to the
+// thread-safe Query entry point that dispatches each request to the
 // planner-selected answer path and accounts for the work it did.
 //
-// Thread safety: TopK may be called concurrently. Index construction is
+// Requests and responses are the unified core types (core/query.h):
+// Query takes a core::QueryOptions and returns a core::QueryResult whose
+// stats carry per-request work counts and — when options.trace is set —
+// the span tree serve/query -> serve/plan -> <algorithm>, also published
+// to the process-wide TraceRing. Engine-level traffic lands in the
+// MetricsRegistry under "serve.engine.*".
+//
+// Thread safety: Query may be called concurrently. Index construction is
 // serialized behind a mutex; queries go through the counter-free const
-// primitives (TopKBruteForce, MipsBallTree::QueryTopK,
-// LshMipsIndex::Candidates, SketchMipsIndex::RecoverArgmax), so a built
-// engine serves parallel traffic without locking the hot path.
+// MipsIndex::Query primitives, so a built engine serves parallel traffic
+// without locking the hot path.
 
 #ifndef IPS_SERVE_ENGINE_H_
 #define IPS_SERVE_ENGINE_H_
@@ -19,11 +25,11 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/mips_index.h"
+#include "core/query.h"
 #include "core/types.h"
 #include "linalg/matrix.h"
 #include "lsh/simhash.h"
@@ -55,45 +61,39 @@ struct EngineOptions {
   std::uint64_t seed = 2026;
 };
 
-/// One top-k serving request.
-struct TopKRequest {
-  std::size_t k = 1;
-  double recall_target = 0.9;
-  /// Soft cap on exact dot products (0 = unbounded).
-  std::size_t candidate_budget = 0;
-  bool is_signed = true;
-  /// Bypass the planner and force an answer path (A/B comparisons,
-  /// benchmarks). The forced path must be able to answer the request
-  /// (e.g. tree is signed-only) or TopK returns kInvalidArgument.
-  std::optional<ServeAlgo> force_algorithm;
-};
-
-/// One served answer: ranked matches plus what they cost.
-struct TopKResponse {
-  std::vector<SearchMatch> matches;
-  ServeStats stats;
-  PlanDecision plan;
-};
+/// Deprecated aliases (one-PR migration shims): a serving request is a
+/// core::QueryOptions, a served answer a core::QueryResult.
+using TopKRequest = QueryOptions;
+using TopKResponse = QueryResult;
 
 /// The serving engine. Create once, serve concurrently.
 class Engine {
  public:
-  /// Validates `data` (via BruteForceIndex::Create), computes the
-  /// dataset profile, runs the warmup micro-probes, and calibrates the
-  /// planner. Takes ownership of the data.
+  /// Validates `data`, computes the dataset profile, runs the warmup
+  /// micro-probes (through the same unified MipsIndex::Query paths that
+  /// serve traffic), and calibrates the planner. Takes ownership of the
+  /// data.
   static StatusOr<std::unique_ptr<Engine>> Create(Matrix data,
                                                   EngineOptions options = {});
 
-  /// Answers one top-k request; thread-safe. Failpoint: "serve/plan"
-  /// (inside the planner). An index build failure surfaces as the
-  /// build's Status; the engine is not poisoned and the next request
-  /// retries the build.
-  StatusOr<TopKResponse> TopK(std::span<const double> query,
-                              const TopKRequest& request) const;
+  /// Answers one request; thread-safe. Failpoint: "serve/plan" (inside
+  /// the planner). An index build failure surfaces as the build's
+  /// Status; the engine is not poisoned and the next request retries
+  /// the build. options.force_algorithm bypasses the planner; the
+  /// forced path must be able to answer the request (e.g. tree is
+  /// signed-only) or Query returns kInvalidArgument.
+  StatusOr<QueryResult> Query(std::span<const double> query,
+                              const QueryOptions& options) const;
+
+  /// Deprecated shim for Query (one-PR migration).
+  StatusOr<QueryResult> TopK(std::span<const double> query,
+                             const QueryOptions& options) const {
+    return Query(query, options);
+  }
 
   /// Eagerly builds the index behind `algo` (normally lazy; benches use
   /// this to exclude build cost from serving measurements).
-  Status EnsureIndex(ServeAlgo algo) const;
+  Status EnsureIndex(QueryAlgo algo) const;
 
   const Planner& planner() const { return *planner_; }
   const DatasetProfile& profile() const { return profile_; }
@@ -104,14 +104,16 @@ class Engine {
   Engine(Matrix data, EngineOptions options);
 
   /// Warmup: build subsample-scale indexes and measure pruning fraction,
-  /// candidate fraction, and probe recall for the planner's cost model.
+  /// candidate fraction, and probe recall for the planner's cost model —
+  /// all read off the unified QueryStats of probe-index Query calls.
   Status Calibrate();
 
-  /// Executes `request` on `algo` (indexes already built).
-  StatusOr<TopKResponse> Execute(ServeAlgo algo,
-                                 std::span<const double> query,
-                                 const TopKRequest& request,
-                                 PlanDecision plan) const;
+  /// Executes `options` on `algo` (indexes already built), filling the
+  /// result's stats through the index's Query and nesting its spans
+  /// under `trace` when non-null.
+  StatusOr<QueryResult> Execute(QueryAlgo algo, std::span<const double> query,
+                                const QueryOptions& options,
+                                PlanDecision plan, Trace* trace) const;
 
   Matrix data_;
   EngineOptions options_;
@@ -124,6 +126,7 @@ class Engine {
   mutable std::mutex build_mutex_;
   mutable std::unique_ptr<VectorTransform> lsh_transform_;
   mutable std::unique_ptr<SimHashFamily> lsh_family_;
+  mutable std::unique_ptr<BruteForceIndex> brute_index_;
   mutable std::unique_ptr<TreeMipsIndex> tree_index_;
   mutable std::unique_ptr<LshMipsIndex> lsh_index_;
   mutable std::unique_ptr<SketchIndex> sketch_index_;

@@ -31,35 +31,22 @@ DatasetProfile DatasetProfile::FromData(const Matrix& data) {
   return profile;
 }
 
-Status ValidatePlanRequest(const PlanRequest& request) {
-  if (request.k < 1) {
-    return Status::InvalidArgument("top-k request needs k >= 1");
-  }
-  if (!std::isfinite(request.recall_target) || request.recall_target <= 0.0 ||
-      request.recall_target > 1.0) {
-    return Status::InvalidArgument(
-        "recall target must lie in (0, 1], got " +
-        std::to_string(request.recall_target));
-  }
-  return Status::Ok();
-}
-
 Planner::Planner(DatasetProfile profile, PlannerCalibration calibration)
     : profile_(profile), calibration_(calibration) {
   IPS_CHECK_GT(profile_.n, 0u);
 }
 
-double Planner::ExpectedRecall(ServeAlgo algo,
-                               const PlanRequest& request) const {
+double Planner::ExpectedRecall(QueryAlgo algo,
+                               const QueryOptions& request) const {
   switch (algo) {
-    case ServeAlgo::kBruteForce:
+    case QueryAlgo::kBruteForce:
       return 1.0;
-    case ServeAlgo::kBallTree:
+    case QueryAlgo::kBallTree:
       // The tree's top-k branch-and-bound is exact but signed-only.
       return request.is_signed ? 1.0 : 0.0;
-    case ServeAlgo::kLsh:
+    case QueryAlgo::kLsh:
       return calibration_.probe_queries == 0 ? 0.0 : calibration_.lsh_recall;
-    case ServeAlgo::kSketch:
+    case QueryAlgo::kSketch:
       // The Section 4.3 sketch recovers a single unsigned argmax.
       if (request.is_signed || request.k != 1) return 0.0;
       return calibration_.probe_queries == 0 ? 0.0
@@ -68,31 +55,31 @@ double Planner::ExpectedRecall(ServeAlgo algo,
   return 0.0;
 }
 
-double Planner::ExpectedDotProducts(ServeAlgo algo,
-                                    const PlanRequest& request) const {
+double Planner::ExpectedDotProducts(QueryAlgo algo,
+                                    const QueryOptions& request) const {
   const double n = static_cast<double>(profile_.n);
   switch (algo) {
-    case ServeAlgo::kBruteForce:
+    case QueryAlgo::kBruteForce:
       return n;
-    case ServeAlgo::kBallTree:
+    case QueryAlgo::kBallTree:
       // Pruning measured on the warmup subsample; clamp to the full scan.
       return std::min(n, std::max(static_cast<double>(request.k),
                                   n * calibration_.tree_fraction));
-    case ServeAlgo::kLsh:
+    case QueryAlgo::kLsh:
       return std::min(n, n * calibration_.lsh_candidate_fraction) +
              calibration_.lsh_probe_overhead;
-    case ServeAlgo::kSketch:
+    case QueryAlgo::kSketch:
       return calibration_.sketch_cost;
   }
   return n;
 }
 
-StatusOr<PlanDecision> Planner::Plan(const PlanRequest& request) const {
+StatusOr<PlanDecision> Planner::Plan(const QueryOptions& request) const {
   IPS_FAILPOINT("serve/plan");
-  IPS_RETURN_IF_ERROR(ValidatePlanRequest(request));
+  IPS_RETURN_IF_ERROR(ValidateQueryOptions(request));
 
-  constexpr ServeAlgo kAll[] = {ServeAlgo::kBruteForce, ServeAlgo::kBallTree,
-                                ServeAlgo::kLsh, ServeAlgo::kSketch};
+  constexpr QueryAlgo kAll[] = {QueryAlgo::kBruteForce, QueryAlgo::kBallTree,
+                                QueryAlgo::kLsh, QueryAlgo::kSketch};
   const double budget = request.candidate_budget == 0
                             ? std::numeric_limits<double>::infinity()
                             : static_cast<double>(request.candidate_budget);
@@ -103,7 +90,7 @@ StatusOr<PlanDecision> Planner::Plan(const PlanRequest& request) const {
   PlanDecision best;
   bool found = false;
   bool best_in_budget = false;
-  for (ServeAlgo algo : kAll) {
+  for (QueryAlgo algo : kAll) {
     const double recall = ExpectedRecall(algo, request);
     const double required =
         recall >= 1.0 ? request.recall_target
@@ -126,7 +113,7 @@ StatusOr<PlanDecision> Planner::Plan(const PlanRequest& request) const {
   // Brute force has recall 1 and is always eligible.
   IPS_CHECK(found);
 
-  best.reason = std::string(ServeAlgoName(best.algorithm)) + ": ~" +
+  best.reason = std::string(QueryAlgoName(best.algorithm)) + ": ~" +
                 std::to_string(static_cast<std::size_t>(
                     best.expected_dot_products)) +
                 " dots at recall>=" + std::to_string(best.expected_recall);

@@ -70,29 +70,18 @@ struct PlannerCalibration {
   double recall_margin = 0.05;
 };
 
-/// One request's planning inputs.
-struct PlanRequest {
-  std::size_t k = 1;
-  /// Fraction of the exact top-k the answer must recover, in (0, 1].
-  double recall_target = 0.9;
-  /// Soft cap on exact dot products (0 = unbounded). When no eligible
-  /// algorithm fits, the cheapest eligible one is chosen anyway and the
-  /// decision's reason records the overshoot.
-  std::size_t candidate_budget = 0;
-  bool is_signed = true;
-};
-
-/// The planner's verdict for one request.
-struct PlanDecision {
-  ServeAlgo algorithm = ServeAlgo::kBruteForce;
-  double expected_dot_products = 0.0;
-  double expected_recall = 1.0;
-  /// One-line human-readable justification (for logs and benches).
-  std::string reason;
-};
+/// Deprecated alias (one-PR migration shim): planning inputs are the
+/// unified core::QueryOptions — the planner reads k, recall_target,
+/// candidate_budget, is_signed and ignores the execution-side fields.
+/// The verdict type core::PlanDecision lives in core/query.h so query
+/// results can carry it.
+using PlanRequest = QueryOptions;
 
 /// Validates the request fields (k >= 1, recall target in (0, 1]).
-Status ValidatePlanRequest(const PlanRequest& request);
+/// Deprecated shim for core::ValidateQueryOptions.
+inline Status ValidatePlanRequest(const QueryOptions& request) {
+  return ValidateQueryOptions(request);
+}
 
 /// Immutable per-dataset planner; thread-safe (Plan is const and pure).
 class Planner {
@@ -100,12 +89,12 @@ class Planner {
   Planner(DatasetProfile profile, PlannerCalibration calibration);
 
   /// Picks an algorithm for `request`. Failpoint: "serve/plan".
-  StatusOr<PlanDecision> Plan(const PlanRequest& request) const;
+  StatusOr<PlanDecision> Plan(const QueryOptions& request) const;
 
   /// Expected exact dot products if `algo` answered `request`; used for
   /// A/B accounting by benches.
-  double ExpectedDotProducts(ServeAlgo algo,
-                             const PlanRequest& request) const;
+  double ExpectedDotProducts(QueryAlgo algo,
+                             const QueryOptions& request) const;
 
   const DatasetProfile& profile() const { return profile_; }
   const PlannerCalibration& calibration() const { return calibration_; }
@@ -114,7 +103,7 @@ class Planner {
   /// Calibrated recall the model expects of `algo` for `request`;
   /// 0 when the path cannot answer the request at all (e.g. signed
   /// queries on the sketch path).
-  double ExpectedRecall(ServeAlgo algo, const PlanRequest& request) const;
+  double ExpectedRecall(QueryAlgo algo, const QueryOptions& request) const;
 
   DatasetProfile profile_;
   PlannerCalibration calibration_;

@@ -4,23 +4,9 @@
 
 namespace ips {
 
-std::string_view ServeAlgoName(ServeAlgo algo) {
-  switch (algo) {
-    case ServeAlgo::kBruteForce:
-      return "brute";
-    case ServeAlgo::kBallTree:
-      return "tree";
-    case ServeAlgo::kLsh:
-      return "lsh";
-    case ServeAlgo::kSketch:
-      return "sketch";
-  }
-  return "unknown";
-}
-
-void ServeMetrics::Record(const ServeStats& stats) {
+void ServeMetrics::Record(const QueryStats& stats) {
   const auto slot = static_cast<std::size_t>(stats.algorithm);
-  IPS_CHECK(slot < kNumServeAlgos);
+  IPS_CHECK(slot < kNumQueryAlgos);
   const double latency_ms = stats.TotalSeconds() * 1e3;
   std::lock_guard<std::mutex> lock(mutex_);
   PerAlgo& algo = per_algo_[slot];
@@ -37,7 +23,7 @@ std::size_t ServeMetrics::TotalRequests() const {
   return latencies_ms_.size();
 }
 
-std::size_t ServeMetrics::SelectionCount(ServeAlgo algo) const {
+std::size_t ServeMetrics::SelectionCount(QueryAlgo algo) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return per_algo_[static_cast<std::size_t>(algo)].requests;
 }
@@ -67,11 +53,11 @@ TablePrinter ServeMetrics::ToTable() const {
   TablePrinter table({"algorithm", "requests", "mean candidates",
                       "mean dots", "mean latency (ms)"});
   std::lock_guard<std::mutex> lock(mutex_);
-  for (std::size_t slot = 0; slot < kNumServeAlgos; ++slot) {
+  for (std::size_t slot = 0; slot < kNumQueryAlgos; ++slot) {
     const PerAlgo& algo = per_algo_[slot];
     if (algo.requests == 0) continue;
     const double requests = static_cast<double>(algo.requests);
-    table.AddRow({std::string(ServeAlgoName(static_cast<ServeAlgo>(slot))),
+    table.AddRow({std::string(QueryAlgoName(static_cast<QueryAlgo>(slot))),
                   Format(algo.requests),
                   FormatFixed(static_cast<double>(algo.candidates) / requests,
                               1),

@@ -1,10 +1,15 @@
 // Copyright 2026 The ipsjoin Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// Per-request accounting for the online serving engine, plus a
-// thread-safe aggregator that turns a stream of requests into the
+// Thread-safe aggregation of per-request accounting for the online
+// serving engine: turns a stream of core::QueryStats into the
 // operational summary (per-algorithm selection counts, latency
 // percentiles, work totals) surfaced by examples and benchmarks.
+//
+// The per-request types themselves now live in core/query.h: the old
+// serve-private ServeAlgo / ServeStats are aliases of core::QueryAlgo /
+// core::QueryStats, kept for one PR so existing callers migrate
+// incrementally.
 
 #ifndef IPS_SERVE_SERVE_STATS_H_
 #define IPS_SERVE_SERVE_STATS_H_
@@ -16,53 +21,35 @@
 #include <string_view>
 #include <vector>
 
+#include "core/query.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace ips {
 
-/// The four answer paths the serving engine can dispatch a request to.
-enum class ServeAlgo {
-  kBruteForce = 0,
-  kBallTree = 1,
-  kLsh = 2,
-  kSketch = 3,
-};
+/// Deprecated aliases (one-PR migration shims): the four answer paths
+/// and the per-request accounting are now the unified core types.
+using ServeAlgo = QueryAlgo;
+using ServeStats = QueryStats;
 
-inline constexpr std::size_t kNumServeAlgos = 4;
+inline constexpr std::size_t kNumServeAlgos = kNumQueryAlgos;
 
 /// Short stable name of `algo` ("brute", "tree", "lsh", "sketch").
-std::string_view ServeAlgoName(ServeAlgo algo);
+inline std::string_view ServeAlgoName(ServeAlgo algo) {
+  return QueryAlgoName(algo);
+}
 
-/// What one request cost and how it was answered.
-struct ServeStats {
-  ServeAlgo algorithm = ServeAlgo::kBruteForce;
-  /// Candidate data points whose exact score was computed.
-  std::size_t candidates = 0;
-  /// Exact inner products evaluated (dot-product-equivalent work for the
-  /// sketch path, which spends its time on sketch-row products).
-  std::size_t dot_products = 0;
-  /// Engine execution time (planning + search), excluding queue time.
-  double exec_seconds = 0.0;
-  /// Time spent queued in the batch scheduler; 0 for direct engine calls.
-  double queue_seconds = 0.0;
-  /// False when the request finished after its deadline (scheduler only).
-  bool deadline_met = true;
-
-  double TotalSeconds() const { return exec_seconds + queue_seconds; }
-};
-
-/// Thread-safe aggregation of ServeStats across requests.
+/// Thread-safe aggregation of QueryStats across requests.
 class ServeMetrics {
  public:
   /// Folds one completed request into the aggregate.
-  void Record(const ServeStats& stats);
+  void Record(const QueryStats& stats);
 
   /// Requests recorded so far.
   std::size_t TotalRequests() const;
 
   /// Requests answered by `algo`.
-  std::size_t SelectionCount(ServeAlgo algo) const;
+  std::size_t SelectionCount(QueryAlgo algo) const;
 
   /// Requests that met their deadline.
   std::size_t DeadlineMetCount() const;
@@ -86,7 +73,7 @@ class ServeMetrics {
   };
 
   mutable std::mutex mutex_;
-  std::array<PerAlgo, kNumServeAlgos> per_algo_;
+  std::array<PerAlgo, kNumQueryAlgos> per_algo_;
   std::vector<double> latencies_ms_;
   std::size_t deadline_met_ = 0;
 };

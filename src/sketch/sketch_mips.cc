@@ -5,8 +5,10 @@
 
 #include "linalg/validate.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
+#include "util/timer.h"
 
 namespace ips {
 
@@ -116,27 +118,62 @@ double SketchMipsIndex::EstimateMaxAbsInnerProduct(
   return EstimateNode(root, q);
 }
 
-std::size_t SketchMipsIndex::RecoverArgmax(std::span<const double> q) const {
+std::size_t SketchMipsIndex::RecoverArgmax(std::span<const double> q,
+                                           Trace* trace,
+                                           SketchProbeInfo* info) const {
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("sketch.queries");
+  static Counter* const rows_multiplied =
+      MetricsRegistry::Global().GetCounter("sketch.rows_multiplied");
+  static Counter* const leaf_points =
+      MetricsRegistry::Global().GetCounter("sketch.leaf_points");
+
+  SketchProbeInfo local;
+  auto node_rows = [this](int index) {
+    const Node& node = nodes_[index];
+    // A sketchless child is estimated by exact scan of its range.
+    return node.sketch != nullptr ? node.sketched_rows.rows()
+                                  : node.end - node.begin;
+  };
+  WallTimer probe_timer;
   int current = root_;
-  for (;;) {
+  while (nodes_[current].sketch != nullptr) {
     const Node& node = nodes_[current];
-    if (node.sketch == nullptr) {
-      // Leaf: exact scan of the small range.
-      std::size_t best_index = node.begin;
-      double best_value = -1.0;
-      for (std::size_t i = node.begin; i < node.end; ++i) {
-        const double value = std::abs(Dot(data_->Row(i), q));
-        if (value > best_value) {
-          best_value = value;
-          best_index = i;
-        }
-      }
-      return best_index;
-    }
+    ++local.levels;
+    local.rows_multiplied += node_rows(node.left) + node_rows(node.right);
     const double left_estimate = EstimateNode(nodes_[node.left], q);
     const double right_estimate = EstimateNode(nodes_[node.right], q);
     current = left_estimate >= right_estimate ? node.left : node.right;
   }
+  const double probe_seconds = probe_timer.Seconds();
+
+  // Leaf: exact scan of the small range.
+  WallTimer rerank_timer;
+  const Node& leaf = nodes_[current];
+  std::size_t best_index = leaf.begin;
+  double best_value = -1.0;
+  for (std::size_t i = leaf.begin; i < leaf.end; ++i) {
+    const double value = std::abs(Dot(data_->Row(i), q));
+    if (value > best_value) {
+      best_value = value;
+      best_index = i;
+    }
+  }
+  local.leaf_points = leaf.end - leaf.begin;
+
+  if (trace != nullptr) {
+    const std::size_t probe = trace->RecordSpan("probe", probe_seconds);
+    trace->AddCount(probe, "levels", local.levels);
+    trace->AddCount(probe, "rows_multiplied", local.rows_multiplied);
+    const std::size_t rerank =
+        trace->RecordSpan("rerank", rerank_timer.Seconds());
+    trace->AddCount(rerank, "leaf_points", local.leaf_points);
+  }
+  queries->Increment();
+  rows_multiplied->Add(local.rows_multiplied);
+  leaf_points->Add(local.leaf_points);
+  if (info != nullptr) *info = local;
+  return best_index;
 }
 
 std::size_t SketchMipsIndex::UnsignedSearch(std::span<const double> q,

@@ -23,10 +23,23 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "obs/trace.h"
 #include "sketch/max_stability.h"
 #include "util/status.h"
 
 namespace ips {
+
+/// Per-query accounting of one RecoverArgmax descent, for callers that
+/// fold the numbers into a core::QueryStats.
+struct SketchProbeInfo {
+  /// Tree levels descended (node pairs estimated).
+  std::size_t levels = 0;
+  /// Sketch-row inner products computed during the descent (each costs
+  /// one length-d dot product, the dot-equivalent work measure).
+  std::size_t rows_multiplied = 0;
+  /// Leaf points rescanned exactly at the end of the descent.
+  std::size_t leaf_points = 0;
+};
 
 /// Tuning of the Section 4.3 MIPS index.
 struct SketchMipsParams {
@@ -69,7 +82,17 @@ class SketchMipsIndex {
 
   /// Index of a data vector whose |p^T q| approximately maximizes the
   /// absolute inner product (tree descent + exact rescan of the leaf).
-  std::size_t RecoverArgmax(std::span<const double> q) const;
+  std::size_t RecoverArgmax(std::span<const double> q) const {
+    return RecoverArgmax(q, nullptr, nullptr);
+  }
+
+  /// Instrumented flavor: when `trace` is non-null, records "probe"
+  /// (sketch-estimate descent) and "rerank" (exact leaf rescan) child
+  /// spans under the trace's open span; when `info` is non-null, fills
+  /// the per-query accounting. Every call bumps the "sketch.*" registry
+  /// counters.
+  std::size_t RecoverArgmax(std::span<const double> q, Trace* trace,
+                            SketchProbeInfo* info) const;
 
   /// Unsigned (cs, s) search: returns the recovered index if its exact
   /// |p^T q| >= cs, otherwise returns num_points() (no result). The

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace ips {
 
@@ -152,8 +154,29 @@ void MipsBallTree::SearchUnsigned(int node_index, std::span<const double> q,
 
 std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
     std::span<const double> q, std::size_t k, std::size_t* evaluated) const {
+  TreeQueryInfo info;
+  auto result = QueryTopK(q, k, nullptr, &info);
+  if (evaluated != nullptr) *evaluated = info.points_scored;
+  return result;
+}
+
+std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
+    std::span<const double> q, std::size_t k, Trace* trace,
+    TreeQueryInfo* info) const {
   IPS_CHECK_EQ(q.size(), data_->cols());
   IPS_CHECK_GE(k, 1u);
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("tree.queries");
+  static Counter* const nodes_visited =
+      MetricsRegistry::Global().GetCounter("tree.nodes_visited");
+  static Counter* const nodes_pruned =
+      MetricsRegistry::Global().GetCounter("tree.nodes_pruned");
+  static Counter* const points_scored =
+      MetricsRegistry::Global().GetCounter("tree.points_scored");
+
+  WallTimer total_timer;
+  double leaf_seconds = 0.0;
+  TreeQueryInfo local;
   const double q_norm = Norm(q);
   std::size_t leaf_points_scored = 0;
   // Min-heap on (score, inverted index): heap.front() is the current
@@ -175,10 +198,16 @@ std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
     const int node_index = stack.back();
     stack.pop_back();
     const Node& node = nodes_[node_index];
+    ++local.nodes_visited;
     if (heap.size() == k && SignedBound(node, q, q_norm) < heap.front().first) {
+      ++local.nodes_pruned;
       continue;
     }
     if (node.IsLeaf()) {
+      // One clock read per leaf visited, amortized over the leaf's
+      // points; the descent/leaf_scan split is recorded only when
+      // tracing.
+      WallTimer leaf_timer;
       for (std::size_t t = node.begin; t < node.end; ++t) {
         const std::size_t point = point_order_[t];
         const double value = Dot(data_->Row(point), q);
@@ -192,6 +221,7 @@ std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
           std::push_heap(heap.begin(), heap.end(), heap_greater);
         }
       }
+      if (trace != nullptr) leaf_seconds += leaf_timer.Seconds();
       continue;
     }
     // Push the less promising child first so the better one pops first.
@@ -213,7 +243,22 @@ std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
   std::vector<std::pair<std::size_t, double>> result;
   result.reserve(heap.size());
   for (const auto& [value, index] : heap) result.emplace_back(index, value);
-  if (evaluated != nullptr) *evaluated = leaf_points_scored;
+
+  local.points_scored = leaf_points_scored;
+  if (trace != nullptr) {
+    const double total = total_timer.Seconds();
+    const std::size_t descent = trace->RecordSpan(
+        "descent", std::max(0.0, total - leaf_seconds));
+    trace->AddCount(descent, "nodes_visited", local.nodes_visited);
+    trace->AddCount(descent, "nodes_pruned", local.nodes_pruned);
+    const std::size_t leaf_scan = trace->RecordSpan("leaf_scan", leaf_seconds);
+    trace->AddCount(leaf_scan, "points_scored", local.points_scored);
+  }
+  queries->Increment();
+  nodes_visited->Add(local.nodes_visited);
+  nodes_pruned->Add(local.nodes_pruned);
+  points_scored->Add(local.points_scored);
+  if (info != nullptr) *info = local;
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "obs/trace.h"
 #include "rng/random.h"
 
 namespace ips {
@@ -33,6 +34,17 @@ struct MipsResult {
   /// Number of leaf points whose inner product was evaluated (pruning
   /// diagnostic; equals n when nothing could be pruned).
   std::size_t evaluated = 0;
+};
+
+/// Per-query accounting of one branch-and-bound descent, for callers
+/// that fold the numbers into a core::QueryStats.
+struct TreeQueryInfo {
+  /// Nodes whose bound was evaluated.
+  std::size_t nodes_visited = 0;
+  /// Visited nodes whose subtree the bound pruned away.
+  std::size_t nodes_pruned = 0;
+  /// Leaf points whose exact inner product was computed.
+  std::size_t points_scored = 0;
 };
 
 /// Ball tree over the rows of a data matrix with MIP branch-and-bound.
@@ -58,6 +70,15 @@ class MipsBallTree {
   std::vector<std::pair<std::size_t, double>> QueryTopK(
       std::span<const double> q, std::size_t k,
       std::size_t* evaluated = nullptr) const;
+
+  /// Instrumented flavor: when `trace` is non-null, records "descent"
+  /// and "leaf_scan" child spans (leaf-scan time is accumulated across
+  /// all leaves visited, descent is the remainder) under the trace's
+  /// open span; when `info` is non-null, fills the per-query
+  /// accounting. Every call bumps the "tree.*" registry counters.
+  std::vector<std::pair<std::size_t, double>> QueryTopK(
+      std::span<const double> q, std::size_t k, Trace* trace,
+      TreeQueryInfo* info) const;
 
   std::size_t num_nodes() const { return nodes_.size(); }
 

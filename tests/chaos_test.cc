@@ -21,6 +21,8 @@
 #include "lsh/simhash.h"
 #include "lsh/tables.h"
 #include "lsh/transforms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rng/random.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine.h"
@@ -389,13 +391,13 @@ TEST_F(ChaosTest, ServePlanFailpointFailsRequestThenRecovers) {
   const std::vector<double> q(6, 0.1);
   {
     ScopedFailpoint fp("serve/plan");
-    const auto result = (*engine)->TopK(q, TopKRequest{});
+    const auto result = (*engine)->Query(q, QueryOptions{});
     ASSERT_FALSE(result.ok());
     EXPECT_NE(result.status().message().find("serve/plan"),
               std::string::npos);
   }
   // The engine is not poisoned: the next request is served.
-  EXPECT_TRUE((*engine)->TopK(q, TopKRequest{}).ok());
+  EXPECT_TRUE((*engine)->Query(q, QueryOptions{}).ok());
 }
 
 TEST_F(ChaosTest, ServeScheduleFailpointShedsAtAdmission) {
@@ -403,12 +405,11 @@ TEST_F(ChaosTest, ServeScheduleFailpointShedsAtAdmission) {
   const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
   ASSERT_TRUE(engine.ok());
   BatchScheduler scheduler(engine->get());
-  constexpr double kInf = std::numeric_limits<double>::infinity();
   {
     Failpoints::Arm("serve/schedule", 1,
                     Status::ResourceExhausted("admission queue fault"));
     auto future =
-        scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf);
+        scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
     const auto result = future.get();
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
@@ -417,8 +418,7 @@ TEST_F(ChaosTest, ServeScheduleFailpointShedsAtAdmission) {
     Failpoints::DisarmAll();
   }
   // The next submission is admitted and served.
-  auto good =
-      scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf);
+  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
   EXPECT_TRUE(good.get().ok());
 }
 
@@ -430,13 +430,12 @@ TEST_F(ChaosTest, ServeDeadlineFailpointFailsBatchWithoutLeakingWork) {
   options.num_threads = 2;
   options.max_batch = 16;
   BatchScheduler scheduler(engine->get(), options);
-  constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<std::future<BatchScheduler::Result>> futures;
   {
     ScopedFailpoint fp("serve/deadline");
     for (int i = 0; i < 16; ++i) {
       futures.push_back(
-          scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf));
+          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
     }
     // Every future resolves — the injected fault cancels the batch, and
     // unexecuted requests are answered with the batch error, not leaked.
@@ -448,9 +447,43 @@ TEST_F(ChaosTest, ServeDeadlineFailpointFailsBatchWithoutLeakingWork) {
     EXPECT_GE(failed, 1u);
   }
   // Subsequent requests are served normally.
-  auto good =
-      scheduler.Submit(std::vector<double>(6, 0.1), TopKRequest{}, kInf);
+  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
   EXPECT_TRUE(good.get().ok());
+}
+
+// --- Observability failpoints ---
+
+TEST_F(ChaosTest, ObsExportFailpointNeverPoisonsQueryResults) {
+  Rng rng(14);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  const std::vector<double> q(6, 0.1);
+  QueryOptions traced;
+  traced.trace = true;
+  {
+    ScopedFailpoint fp("obs/export");
+    // An armed export failpoint never touches the query path — even a
+    // traced query that publishes to the very ring being exported.
+    const auto result = (*engine)->Query(q, traced);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(result->stats.trace, nullptr);
+    EXPECT_FALSE(MetricsRegistry::Global().ExportJson().ok());
+  }
+  {
+    ScopedFailpoint fp("obs/export");
+    EXPECT_FALSE(TraceRing::Global().ExportJson().ok());
+    // The export fault does not poison subsequent query results either.
+    const auto result = (*engine)->Query(q, traced);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(result->stats.trace, nullptr);
+  }
+  // Disarmed: exports succeed and see the recorded trace and metrics.
+  const auto metrics_json = MetricsRegistry::Global().ExportJson();
+  ASSERT_TRUE(metrics_json.ok());
+  EXPECT_NE(metrics_json->find("counters"), std::string::npos);
+  const auto traces_json = TraceRing::Global().ExportJson();
+  ASSERT_TRUE(traces_json.ok());
+  EXPECT_TRUE((*engine)->Query(q, traced).ok());
 }
 
 }  // namespace

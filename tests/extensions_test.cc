@@ -221,9 +221,10 @@ TEST(BucketJoinTest, FindsPlantedPairsOnly) {
   }
   EXPECT_GE(matched, 22u);  // high recall on near-duplicates
   // Verified pairs are deduplicated: never more than candidates.
-  EXPECT_LE(result.stats.verified_pairs, result.stats.candidate_pairs);
+  EXPECT_LE(result.metrics.Get("lsh.join.verified_pairs"),
+            result.metrics.Get("lsh.join.candidate_pairs"));
   // And far fewer than the full cross product.
-  EXPECT_LT(result.stats.verified_pairs, 400u * 25u / 4);
+  EXPECT_LT(result.metrics.Get("lsh.join.verified_pairs"), 400u * 25u / 4);
 }
 
 TEST(BucketJoinTest, RespectsThreshold) {

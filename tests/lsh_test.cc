@@ -519,13 +519,15 @@ TEST(BucketJoinTest, DeduplicatesPairsAcrossTablesBeforeVerification) {
                     /*cs=*/0.0, /*is_signed=*/true, params, &rng);
 
   // With 8 near-identical tables, cross-table repeats are guaranteed.
-  EXPECT_GT(result.stats.duplicate_pairs, 0u);
+  EXPECT_GT(result.metrics.Get("lsh.join.duplicate_pairs"), 0u);
   // The accounting identity of the dedup pass.
-  EXPECT_EQ(result.stats.candidate_pairs,
-            result.stats.verified_pairs + result.stats.duplicate_pairs);
+  EXPECT_EQ(result.metrics.Get("lsh.join.candidate_pairs"),
+            result.metrics.Get("lsh.join.verified_pairs") +
+                result.metrics.Get("lsh.join.duplicate_pairs"));
   // Each pair verified at most once: verified count is bounded by the
   // number of distinct (query, data) pairs.
-  EXPECT_LE(result.stats.verified_pairs, data.rows() * queries.rows());
+  EXPECT_LE(result.metrics.Get("lsh.join.verified_pairs"),
+            data.rows() * queries.rows());
 }
 
 TEST(RhoTest, L2AlshNumericDecreasesWithS) {

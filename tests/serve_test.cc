@@ -1,7 +1,9 @@
 // Tests for the src/serve subsystem: planner decisions, engine
-// dispatch, the recall contract of planner-selected answers against
-// exact ground truth, and the deadline-aware batch scheduler
-// (admission, shedding, expiry, drain, shutdown).
+// dispatch through the unified core::QueryOptions/QueryResult API,
+// trace spans and registry metrics of served queries, the recall
+// contract of planner-selected answers against exact ground truth, and
+// the deadline-aware batch scheduler (admission, shedding, expiry,
+// drain, shutdown, counter partition).
 
 #include <gtest/gtest.h>
 
@@ -13,7 +15,10 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/query.h"
 #include "core/top_k.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rng/random.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine.h"
@@ -23,8 +28,6 @@
 
 namespace ips {
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
 Matrix SmallSpreadData(std::size_t n, std::size_t dim, Rng* rng) {
   return MakeUnitBallGaussian(n, dim, /*min_norm=*/0.9, rng);
@@ -60,40 +63,40 @@ class PlannerTest : public ::testing::Test {
 TEST_F(PlannerTest, LowTargetPicksCheapLsh) {
   const Planner planner = MakePlanner(/*lsh_recall=*/0.95,
                                       /*lsh_fraction=*/0.05);
-  PlanRequest request;
+  QueryOptions request;
   request.k = 10;
   request.recall_target = 0.8;
   const auto decision = planner.Plan(request);
   ASSERT_TRUE(decision.ok());
-  EXPECT_EQ(decision->algorithm, ServeAlgo::kLsh);
+  EXPECT_EQ(decision->algorithm, QueryAlgo::kLsh);
   EXPECT_LT(decision->expected_dot_products, 10000.0);
 }
 
 TEST_F(PlannerTest, FullRecallPicksExactPath) {
   const Planner planner = MakePlanner(0.99, 0.05);
-  PlanRequest request;
+  QueryOptions request;
   request.recall_target = 1.0;
   const auto decision = planner.Plan(request);
   ASSERT_TRUE(decision.ok());
   // LSH recall 0.99 < 1.0 + margin: only exact paths qualify, and the
   // calibrated tree (40% scan) beats brute force.
-  EXPECT_EQ(decision->algorithm, ServeAlgo::kBallTree);
+  EXPECT_EQ(decision->algorithm, QueryAlgo::kBallTree);
 }
 
 TEST_F(PlannerTest, RecallMarginGuardsBorderlineLsh) {
   // Probe recall 0.84 fails a 0.8 target once the 0.05 margin applies.
   const Planner planner = MakePlanner(0.84, 0.05);
-  PlanRequest request;
+  QueryOptions request;
   request.recall_target = 0.8;
   const auto decision = planner.Plan(request);
   ASSERT_TRUE(decision.ok());
-  EXPECT_NE(decision->algorithm, ServeAlgo::kLsh);
+  EXPECT_NE(decision->algorithm, QueryAlgo::kLsh);
 }
 
 TEST_F(PlannerTest, UnsignedTopOnePrefersSketchWhenCheapest) {
   Planner planner = MakePlanner(/*lsh_recall=*/0.2, /*lsh_fraction=*/0.5,
                                 /*tree_fraction=*/0.9);
-  PlanRequest request;
+  QueryOptions request;
   request.k = 1;
   request.recall_target = 0.5;
   request.is_signed = false;
@@ -101,23 +104,23 @@ TEST_F(PlannerTest, UnsignedTopOnePrefersSketchWhenCheapest) {
   ASSERT_TRUE(decision.ok());
   // Tree is signed-only and LSH misses the target; sketch (500 dots)
   // beats brute (10000 dots).
-  EXPECT_EQ(decision->algorithm, ServeAlgo::kSketch);
+  EXPECT_EQ(decision->algorithm, QueryAlgo::kSketch);
 }
 
 TEST_F(PlannerTest, CandidateBudgetPrefersCheaperEligiblePath) {
   const Planner planner = MakePlanner(0.99, 0.05, /*tree_fraction=*/0.4);
-  PlanRequest request;
+  QueryOptions request;
   request.recall_target = 0.8;
   request.candidate_budget = 1000;  // tree (4000) is over, lsh (~756) fits
   const auto decision = planner.Plan(request);
   ASSERT_TRUE(decision.ok());
-  EXPECT_EQ(decision->algorithm, ServeAlgo::kLsh);
+  EXPECT_EQ(decision->algorithm, QueryAlgo::kLsh);
   EXPECT_LE(decision->expected_dot_products, 1000.0);
 }
 
 TEST_F(PlannerTest, RejectsMalformedRequests) {
   const Planner planner = MakePlanner(0.9, 0.1);
-  PlanRequest request;
+  QueryOptions request;
   request.k = 0;
   EXPECT_FALSE(planner.Plan(request).ok());
   request.k = 1;
@@ -142,20 +145,20 @@ TEST(EngineTest, RejectsBadQueriesAndRequests) {
   Rng rng(21);
   const auto engine = Engine::Create(SmallSpreadData(200, 8, &rng));
   ASSERT_TRUE(engine.ok());
-  TopKRequest request;
+  QueryOptions request;
   const std::vector<double> wrong_dim(5, 0.1);
-  EXPECT_FALSE((*engine)->TopK(wrong_dim, request).ok());
+  EXPECT_FALSE((*engine)->Query(wrong_dim, request).ok());
   std::vector<double> poisoned(8, 0.1);
   poisoned[3] = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_FALSE((*engine)->TopK(poisoned, request).ok());
+  EXPECT_FALSE((*engine)->Query(poisoned, request).ok());
   const std::vector<double> good(8, 0.1);
-  TopKRequest bad = request;
+  QueryOptions bad = request;
   bad.k = 0;
-  EXPECT_FALSE((*engine)->TopK(good, bad).ok());
+  EXPECT_FALSE((*engine)->Query(good, bad).ok());
   bad = request;
   bad.recall_target = 2.0;
-  EXPECT_FALSE((*engine)->TopK(good, bad).ok());
-  EXPECT_TRUE((*engine)->TopK(good, request).ok());
+  EXPECT_FALSE((*engine)->Query(good, bad).ok());
+  EXPECT_TRUE((*engine)->Query(good, request).ok());
 }
 
 TEST(EngineTest, ForcedAlgorithmRespectsCapabilities) {
@@ -163,17 +166,17 @@ TEST(EngineTest, ForcedAlgorithmRespectsCapabilities) {
   const auto engine = Engine::Create(SmallSpreadData(200, 8, &rng));
   ASSERT_TRUE(engine.ok());
   const std::vector<double> q(8, 0.2);
-  TopKRequest request;
+  QueryOptions request;
   request.k = 3;
   request.is_signed = false;
-  request.force_algorithm = ServeAlgo::kBallTree;
-  EXPECT_FALSE((*engine)->TopK(q, request).ok());  // tree is signed-only
-  request.force_algorithm = ServeAlgo::kSketch;
-  EXPECT_FALSE((*engine)->TopK(q, request).ok());  // sketch is k=1 only
+  request.force_algorithm = QueryAlgo::kBallTree;
+  EXPECT_FALSE((*engine)->Query(q, request).ok());  // tree is signed-only
+  request.force_algorithm = QueryAlgo::kSketch;
+  EXPECT_FALSE((*engine)->Query(q, request).ok());  // sketch is k=1 only
   request.k = 1;
-  const auto sketch = (*engine)->TopK(q, request);
+  const auto sketch = (*engine)->Query(q, request);
   ASSERT_TRUE(sketch.ok());
-  EXPECT_EQ(sketch->stats.algorithm, ServeAlgo::kSketch);
+  EXPECT_EQ(sketch->stats.algorithm, QueryAlgo::kSketch);
 }
 
 TEST(EngineTest, ForcedPathsAgreeWithBruteForceAtFullRecall) {
@@ -181,16 +184,16 @@ TEST(EngineTest, ForcedPathsAgreeWithBruteForceAtFullRecall) {
   const Matrix data = SmallSpreadData(300, 10, &rng);
   const auto engine = Engine::Create(data);
   ASSERT_TRUE(engine.ok());
-  TopKRequest request;
+  QueryOptions request;
   request.k = 5;
   request.recall_target = 1.0;
   for (int trial = 0; trial < 5; ++trial) {
     std::vector<double> q(10);
     for (double& v : q) v = rng.NextGaussian();
     const auto exact = TopKBruteForce(data, q, 5, /*is_signed=*/true);
-    TopKRequest forced = request;
-    forced.force_algorithm = ServeAlgo::kBallTree;
-    const auto via_tree = (*engine)->TopK(q, forced);
+    QueryOptions forced = request;
+    forced.force_algorithm = QueryAlgo::kBallTree;
+    const auto via_tree = (*engine)->Query(q, forced);
     ASSERT_TRUE(via_tree.ok());
     ASSERT_EQ(via_tree->matches.size(), exact.size());
     for (std::size_t t = 0; t < exact.size(); ++t) {
@@ -206,15 +209,15 @@ TEST(EngineTest, StatsAccountForWork) {
   ASSERT_TRUE(engine.ok());
   std::vector<double> q(8);
   for (double& v : q) v = rng.NextGaussian();
-  TopKRequest request;
+  QueryOptions request;
   request.k = 3;
   request.recall_target = 1.0;
-  request.force_algorithm = ServeAlgo::kBruteForce;
-  const auto brute = (*engine)->TopK(q, request);
+  request.force_algorithm = QueryAlgo::kBruteForce;
+  const auto brute = (*engine)->Query(q, request);
   ASSERT_TRUE(brute.ok());
   EXPECT_EQ(brute->stats.dot_products, 400u);
-  request.force_algorithm = ServeAlgo::kBallTree;
-  const auto tree = (*engine)->TopK(q, request);
+  request.force_algorithm = QueryAlgo::kBallTree;
+  const auto tree = (*engine)->Query(q, request);
   ASSERT_TRUE(tree.ok());
   EXPECT_GE(tree->stats.dot_products, 3u);
   EXPECT_LE(tree->stats.dot_products, 400u);
@@ -222,10 +225,53 @@ TEST(EngineTest, StatsAccountForWork) {
   metrics.Record(brute->stats);
   metrics.Record(tree->stats);
   EXPECT_EQ(metrics.TotalRequests(), 2u);
-  EXPECT_EQ(metrics.SelectionCount(ServeAlgo::kBruteForce), 1u);
-  EXPECT_EQ(metrics.SelectionCount(ServeAlgo::kBallTree), 1u);
+  EXPECT_EQ(metrics.SelectionCount(QueryAlgo::kBruteForce), 1u);
+  EXPECT_EQ(metrics.SelectionCount(QueryAlgo::kBallTree), 1u);
   EXPECT_EQ(metrics.TotalDotProducts(),
             brute->stats.dot_products + tree->stats.dot_products);
+}
+
+TEST(EngineTest, TracedLshQueryExportsFullSpanTree) {
+  Rng rng(25);
+  const auto engine = Engine::Create(SmallSpreadData(600, 12, &rng));
+  ASSERT_TRUE(engine.ok());
+  std::vector<double> q(12);
+  for (double& v : q) v = rng.NextGaussian();
+  QueryOptions request;
+  request.k = 3;
+  request.trace = true;
+  request.force_algorithm = QueryAlgo::kLsh;
+  const auto served = (*engine)->Query(q, request);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  const std::shared_ptr<const Trace> trace = served->stats.trace;
+  ASSERT_NE(trace, nullptr);
+  // The full hash -> bucket -> dedup -> verify -> top-k pipeline is
+  // nested under the serve/query -> lsh spans.
+  for (const char* name : {"serve/query", "serve/plan", "lsh", "hash",
+                           "bucket", "dedup", "verify", "top-k"}) {
+    EXPECT_NE(trace->FindSpan(name), nullptr) << name;
+  }
+  // Span counts agree with the stats returned for the same query.
+  EXPECT_EQ(trace->TotalCount("candidates"), served->stats.candidates);
+  EXPECT_EQ(trace->TotalCount("unique_candidates"),
+            served->stats.candidates);
+  EXPECT_EQ(trace->TotalCount("unique_candidates") +
+                trace->TotalCount("duplicates"),
+            trace->TotalCount("raw_candidates"));
+  // The completed trace is published to the global ring and its JSON
+  // export names every stage.
+  const auto recent = TraceRing::Global().Recent(/*limit=*/1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].get(), trace.get());
+  const std::string json = trace->ToJson();
+  for (const char* name : {"hash", "bucket", "dedup", "verify", "top-k"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // Tracing is opt-in: an untraced query leaves stats.trace empty.
+  request.trace = false;
+  const auto untraced = (*engine)->Query(q, request);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced->stats.trace, nullptr);
 }
 
 // --- Recall contract: planner-selected answers hit the target ---
@@ -249,7 +295,7 @@ TEST_P(RecallContract, PlannerSelectionAchievesRequestedRecall) {
   const auto engine = Engine::Create(data, options);
   ASSERT_TRUE(engine.ok());
 
-  TopKRequest request;
+  QueryOptions request;
   request.k = kK;
   request.recall_target = param.recall_target;
 
@@ -259,7 +305,7 @@ TEST_P(RecallContract, PlannerSelectionAchievesRequestedRecall) {
     std::vector<double> q(kDim);
     for (double& v : q) v = query_rng.NextGaussian();
     const auto exact = TopKBruteForce(data, q, kK, /*is_signed=*/true);
-    const auto served = (*engine)->TopK(q, request);
+    const auto served = (*engine)->Query(q, request);
     ASSERT_TRUE(served.ok()) << served.status().ToString();
     promised += exact.size();
     for (const auto& truth : exact) {
@@ -275,8 +321,8 @@ TEST_P(RecallContract, PlannerSelectionAchievesRequestedRecall) {
       static_cast<double>(hit) / static_cast<double>(promised);
   EXPECT_GE(recall, param.recall_target)
       << "planner chose "
-      << ServeAlgoName((*engine)
-                           ->TopK(std::vector<double>(kDim, 0.1), request)
+      << QueryAlgoName((*engine)
+                           ->Query(std::vector<double>(kDim, 0.1), request)
                            ->stats.algorithm);
 }
 
@@ -300,13 +346,13 @@ TEST(BatchSchedulerTest, ServesConcurrentSubmissions) {
   options.num_threads = 4;
   BatchScheduler scheduler(engine->get(), options);
 
-  TopKRequest request;
+  QueryOptions request;
   request.k = 3;
   std::vector<std::future<BatchScheduler::Result>> futures;
   for (int i = 0; i < 200; ++i) {
     std::vector<double> q(8);
     for (double& v : q) v = rng.NextGaussian();
-    futures.push_back(scheduler.Submit(std::move(q), request, kInf));
+    futures.push_back(scheduler.Submit(std::move(q), request));
   }
   std::size_t ok = 0;
   for (auto& future : futures) {
@@ -323,6 +369,9 @@ TEST(BatchSchedulerTest, ServesConcurrentSubmissions) {
   EXPECT_EQ(counters.completed, 200u);
   EXPECT_EQ(counters.shed, 0u);
   EXPECT_GE(counters.batches, 1u);
+  // Partition invariant: every submission lands in exactly one bucket.
+  EXPECT_EQ(counters.shed + counters.completed + counters.expired,
+            counters.submitted);
 }
 
 TEST(BatchSchedulerTest, ShedsLoadBeyondQueueBound) {
@@ -337,13 +386,25 @@ TEST(BatchSchedulerTest, ShedsLoadBeyondQueueBound) {
   options.max_batch = 2;
   BatchScheduler scheduler(engine->get(), options);
 
-  TopKRequest request;
+  // The per-scheduler counters are mirrored into the process registry;
+  // snapshot it so deltas can be compared below.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::uint64_t submitted_before =
+      registry.GetCounter("serve.scheduler.submitted")->Value();
+  const std::uint64_t shed_before =
+      registry.GetCounter("serve.scheduler.shed")->Value();
+  const std::uint64_t expired_before =
+      registry.GetCounter("serve.scheduler.expired")->Value();
+  const std::uint64_t completed_before =
+      registry.GetCounter("serve.scheduler.completed")->Value();
+
+  QueryOptions request;
   request.recall_target = 1.0;
-  request.force_algorithm = ServeAlgo::kBruteForce;
+  request.force_algorithm = QueryAlgo::kBruteForce;
   std::vector<std::future<BatchScheduler::Result>> futures;
   for (int i = 0; i < 300; ++i) {
     futures.push_back(
-        scheduler.Submit(std::vector<double>(16, 0.1), request, kInf));
+        scheduler.Submit(std::vector<double>(16, 0.1), request));
   }
   std::size_t shed = 0;
   for (auto& future : futures) {
@@ -354,8 +415,28 @@ TEST(BatchSchedulerTest, ShedsLoadBeyondQueueBound) {
     }
   }
   scheduler.Drain();
-  EXPECT_EQ(scheduler.counters().shed, shed);
-  EXPECT_EQ(scheduler.counters().completed, 300u);
+  const SchedulerCounters counters = scheduler.counters();
+  EXPECT_EQ(counters.shed, shed);
+  EXPECT_GT(counters.shed, 0u);  // the burst must actually overflow
+  // Shed requests are not double-counted as completed: the three
+  // outcome buckets partition the submissions exactly.
+  EXPECT_EQ(counters.completed, 300u - shed);
+  EXPECT_EQ(counters.expired, 0u);
+  EXPECT_EQ(counters.shed + counters.completed + counters.expired,
+            counters.submitted);
+  // The registry mirror advanced by exactly the same amounts.
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.submitted")->Value() -
+                submitted_before,
+            counters.submitted);
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.shed")->Value() -
+                shed_before,
+            counters.shed);
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.expired")->Value() -
+                expired_before,
+            counters.expired);
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.completed")->Value() -
+                completed_before,
+            counters.completed);
 }
 
 TEST(BatchSchedulerTest, ExpiredDeadlineFailsWithoutEngineWork) {
@@ -364,16 +445,16 @@ TEST(BatchSchedulerTest, ExpiredDeadlineFailsWithoutEngineWork) {
   ASSERT_TRUE(engine.ok());
   BatchScheduler scheduler(engine->get());
   // A 1ns deadline is in the past by the time the batch runs.
-  auto future =
-      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{}, 1e-9);
+  QueryOptions tight;
+  tight.deadline_seconds = 1e-9;
+  auto future = scheduler.Submit(std::vector<double>(8, 0.1), tight);
   const auto result = future.get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   scheduler.Drain();
   EXPECT_GE(scheduler.counters().expired, 1u);
   // The scheduler still serves the next request.
-  auto good =
-      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{}, kInf);
+  auto good = scheduler.Submit(std::vector<double>(8, 0.1), QueryOptions{});
   EXPECT_TRUE(good.get().ok());
 }
 
@@ -382,15 +463,14 @@ TEST(BatchSchedulerTest, RejectsInvalidDeadlines) {
   const auto engine = Engine::Create(SmallSpreadData(100, 8, &rng));
   ASSERT_TRUE(engine.ok());
   BatchScheduler scheduler(engine->get());
+  QueryOptions zero;
+  zero.deadline_seconds = 0.0;
   EXPECT_FALSE(
-      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{}, 0.0)
-          .get()
-          .ok());
+      scheduler.Submit(std::vector<double>(8, 0.1), zero).get().ok());
+  QueryOptions nan;
+  nan.deadline_seconds = std::numeric_limits<double>::quiet_NaN();
   EXPECT_FALSE(
-      scheduler.Submit(std::vector<double>(8, 0.1), TopKRequest{},
-                       std::numeric_limits<double>::quiet_NaN())
-          .get()
-          .ok());
+      scheduler.Submit(std::vector<double>(8, 0.1), nan).get().ok());
 }
 
 TEST(BatchSchedulerTest, DrainWaitsForAllInFlightWork) {
@@ -401,7 +481,7 @@ TEST(BatchSchedulerTest, DrainWaitsForAllInFlightWork) {
   std::vector<std::future<BatchScheduler::Result>> futures;
   for (int i = 0; i < 64; ++i) {
     futures.push_back(
-        scheduler.Submit(std::vector<double>(8, 0.05), TopKRequest{}, kInf));
+        scheduler.Submit(std::vector<double>(8, 0.05), QueryOptions{}));
   }
   scheduler.Drain();
   for (auto& future : futures) {
@@ -422,12 +502,12 @@ TEST(BatchSchedulerTest, ShutdownAnswersEveryQueuedRequest) {
     options.num_threads = 1;
     options.max_batch = 4;
     BatchScheduler scheduler(engine->get(), options);
-    TopKRequest request;
+    QueryOptions request;
     request.recall_target = 1.0;
-    request.force_algorithm = ServeAlgo::kBruteForce;
+    request.force_algorithm = QueryAlgo::kBruteForce;
     for (int i = 0; i < 128; ++i) {
       futures.push_back(
-          scheduler.Submit(std::vector<double>(16, 0.1), request, kInf));
+          scheduler.Submit(std::vector<double>(16, 0.1), request));
     }
     // Scheduler destructs here with work still queued.
   }

@@ -1,0 +1,103 @@
+// Validates a metrics JSON export (MetricsRegistry::ExportJson written
+// by `IPS_METRICS_JSON=... serve_quickstart` or any other producer):
+// the document must be a JSON object with the three top-level sections
+// "counters", "gauges", and "histograms", each itself an object, with
+// balanced braces/brackets and no trailing garbage. Used by the
+// scripts/check.sh metrics smoke step.
+//
+//   $ metrics_json_check /tmp/metrics.json
+//
+// Exits 0 when the file validates, 1 with a diagnostic otherwise. The
+// check is a structural lint, not a full JSON parser: it verifies the
+// export contract without pulling a JSON dependency into the repo.
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// Returns the index just past the matching close of the brace/bracket
+// at `open`, skipping strings, or std::string::npos on imbalance.
+std::size_t SkipBalanced(const std::string& text, std::size_t open) {
+  const char open_char = text[open];
+  const char close_char = open_char == '{' ? '}' : ']';
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == open_char) {
+      ++depth;
+    } else if (c == close_char) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+bool Fail(const std::string& message) {
+  std::cerr << "metrics_json_check: " << message << "\n";
+  return false;
+}
+
+bool Validate(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || text[first] != '{') {
+    return Fail("document is not a JSON object");
+  }
+  const std::size_t end = SkipBalanced(text, first);
+  if (end == std::string::npos) return Fail("unbalanced braces");
+  if (text.find_first_not_of(" \t\r\n", end) != std::string::npos) {
+    return Fail("trailing garbage after the top-level object");
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const std::string key = std::string("\"") + section + "\"";
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos) {
+      return Fail(std::string("missing top-level section ") + key);
+    }
+    std::size_t cursor = text.find_first_not_of(" \t\r\n", at + key.size());
+    if (cursor == std::string::npos || text[cursor] != ':') {
+      return Fail(key + " is not followed by a value");
+    }
+    cursor = text.find_first_not_of(" \t\r\n", cursor + 1);
+    if (cursor == std::string::npos || text[cursor] != '{') {
+      return Fail(key + " is not an object");
+    }
+    if (SkipBalanced(text, cursor) == std::string::npos) {
+      return Fail(key + " object is unbalanced");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: metrics_json_check <metrics.json>\n";
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "metrics_json_check: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!Validate(buffer.str())) return 1;
+  std::cout << "metrics_json_check: " << argv[1] << " OK\n";
+  return 0;
+}
