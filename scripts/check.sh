@@ -7,9 +7,18 @@
 # export pipeline: serve_quickstart writes the registry as JSON and
 # tools/metrics_json_check validates its structure.
 #
+# The `static` mode is the compile-time leg (DESIGN.md §9): the project
+# linter (tools/ipslint) over every source tree, the [[nodiscard]]
+# contract via the plain -Werror build, and — when clang++/clang-tidy
+# are installed — clang's -Wthread-safety race analysis and the curated
+# .clang-tidy set. The clang legs print a SKIPPED notice when the tools
+# are absent so the mode degrades gracefully on gcc-only machines (CI
+# installs clang and runs all four legs).
+#
 #   $ scripts/check.sh            # everything
 #   $ scripts/check.sh plain      # just the plain build + tests
 #   $ scripts/check.sh asan|tsan  # a single sanitizer pass
+#   $ scripts/check.sh static     # ipslint + nodiscard + clang analyses
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,12 +54,49 @@ run_tsan() {
   ./build-tsan/examples/serve_quickstart
 }
 
+run_static() {
+  echo "=== static analysis: ipslint (project rules) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target ipslint
+  ./build/tools/ipslint
+
+  echo "=== static analysis: [[nodiscard]] contract (-Werror build) ==="
+  # Status/StatusOr and every factory/query entry point are [[nodiscard]];
+  # the tree-wide -Wall -Wextra -Werror build is the enforcement.
+  cmake --build build -j"$JOBS"
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== static analysis: clang -Wthread-safety ==="
+    # Compile-time race detection from the IPS_GUARDED_BY/IPS_REQUIRES
+    # annotations (src/util/thread_annotations.h). Deleting a lock
+    # acquisition or an annotation fails this build.
+    cmake -B build-static -S . \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DIPS_BUILD_BENCHMARKS=OFF >/dev/null
+    cmake --build build-static -j"$JOBS"
+  else
+    echo "=== static analysis: clang -Wthread-safety SKIPPED (no clang++ on PATH) ==="
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1 && command -v clang++ >/dev/null 2>&1; then
+    echo "=== static analysis: clang-tidy (.clang-tidy) ==="
+    cmake -B build-tidy -S . \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DIPS_CLANG_TIDY=ON \
+      -DIPS_BUILD_BENCHMARKS=OFF >/dev/null
+    cmake --build build-tidy -j"$JOBS"
+  else
+    echo "=== static analysis: clang-tidy SKIPPED (clang-tidy or clang++ not on PATH) ==="
+  fi
+}
+
 case "$MODE" in
-  plain) run_plain ;;
-  asan)  run_asan ;;
-  tsan)  run_tsan ;;
-  all)   run_plain; run_asan; run_tsan ;;
-  *) echo "usage: $0 [plain|asan|tsan|all]" >&2; exit 2 ;;
+  plain)  run_plain ;;
+  asan)   run_asan ;;
+  tsan)   run_tsan ;;
+  static) run_static ;;
+  all)    run_plain; run_asan; run_tsan; run_static ;;
+  *) echo "usage: $0 [plain|asan|tsan|static|all]" >&2; exit 2 ;;
 esac
 
 echo "all checks passed"

@@ -69,7 +69,7 @@ class MipsIndex {
   /// Trace is allocated and published via stats->trace; callers holding
   /// their own trace (the serve Engine) pass it to nest the index's
   /// spans under theirs.
-  virtual StatusOr<std::vector<SearchMatch>> Query(
+  [[nodiscard]] virtual StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const = 0;
 };
@@ -82,7 +82,7 @@ class BruteForceIndex : public MipsIndex {
 
   /// Validated construction: rejects empty or non-finite data.
   /// Failpoint: "core/index-build".
-  static StatusOr<std::unique_ptr<BruteForceIndex>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<BruteForceIndex>> Create(
       const Matrix& data);
 
   std::string Name() const override { return "brute-force"; }
@@ -90,7 +90,7 @@ class BruteForceIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
-  StatusOr<std::vector<SearchMatch>> Query(
+  [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
@@ -106,7 +106,7 @@ class TreeMipsIndex : public MipsIndex {
 
   /// Validated construction: rejects empty or non-finite data,
   /// leaf_size == 0, and a null rng. Failpoint: "core/index-build".
-  static StatusOr<std::unique_ptr<TreeMipsIndex>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<TreeMipsIndex>> Create(
       const Matrix& data, std::size_t leaf_size, Rng* rng);
 
   std::string Name() const override { return "ball-tree"; }
@@ -115,7 +115,7 @@ class TreeMipsIndex : public MipsIndex {
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
   /// Signed queries only (the tree's unsigned bound is looser).
-  StatusOr<std::vector<SearchMatch>> Query(
+  [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
@@ -144,7 +144,7 @@ class LshMipsIndex : public MipsIndex {
   /// Validated construction: rejects empty or non-finite data, a
   /// transform/family dimension mismatch, k or l of zero, and a null
   /// rng. Failpoint: "core/index-build".
-  static StatusOr<std::unique_ptr<LshMipsIndex>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<LshMipsIndex>> Create(
       const Matrix& data, const VectorTransform* transform,
       const LshFamily& base_family, LshTableParams params, Rng* rng);
 
@@ -155,7 +155,7 @@ class LshMipsIndex : public MipsIndex {
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
   /// The full hash -> bucket -> dedup -> verify -> top-k pipeline under
   /// one "lsh" span when traced.
-  StatusOr<std::vector<SearchMatch>> Query(
+  [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 
@@ -187,7 +187,7 @@ class SketchIndex : public MipsIndex {
   /// sketch parameters (kappa < 2, copies == 0, leaf_size == 0,
   /// non-positive bucket multiplier), and a null rng. Failpoint:
   /// "core/index-build".
-  static StatusOr<std::unique_ptr<SketchIndex>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<SketchIndex>> Create(
       const Matrix& data, const SketchMipsParams& params, Rng* rng);
 
   std::string Name() const override { return "sketch-mips"; }
@@ -196,7 +196,7 @@ class SketchIndex : public MipsIndex {
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
   /// Unsigned k=1 queries only (the Section 4.3 argmax recovery).
-  StatusOr<std::vector<SearchMatch>> Query(
+  [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 

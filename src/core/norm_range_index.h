@@ -50,7 +50,7 @@ class NormRangeIndex : public MipsIndex {
   /// Signed top-k over the norm-sorted buckets, pruning against the
   /// k-th best score so far; unlike Search this path is const-clean
   /// (no mutable counters) and reports through stats/"core.normrange.*".
-  StatusOr<std::vector<SearchMatch>> Query(
+  [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 

@@ -12,8 +12,8 @@
 //       `metrics` instead of bespoke struct fields;
 //   QueryResult  -- matches + stats + the planner's decision.
 //
-// The serve layer's former request/stats types (TopKRequest,
-// ServeStats, PlanRequest, ServeAlgo) are deprecated aliases of these.
+// These are the only request/response types; the serve layer's former
+// aliases (TopKRequest, ServeStats, PlanRequest, ServeAlgo) are gone.
 
 #ifndef IPS_CORE_QUERY_H_
 #define IPS_CORE_QUERY_H_

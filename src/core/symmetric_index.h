@@ -37,7 +37,7 @@ class SymmetricMipsIndex : public MipsIndex {
   /// outside the unit ball (Section 4.2's embedding needs ||x|| <= 1),
   /// epsilon outside (0, 1), k or l of zero, and a null rng with a
   /// Status instead of aborting. Failpoint: "core/symmetric-build".
-  static StatusOr<std::unique_ptr<SymmetricMipsIndex>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<SymmetricMipsIndex>> Create(
       const Matrix& data, double epsilon, LshTableParams params, Rng* rng);
 
   std::string Name() const override { return "symmetric-incoherent-lsh"; }
@@ -48,7 +48,7 @@ class SymmetricMipsIndex : public MipsIndex {
   /// Membership check (a "membership" span) followed by the inner LSH
   /// pipeline; an exact self-match the tables missed is spliced into
   /// the top-k.
-  StatusOr<std::vector<SearchMatch>> Query(
+  [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
 

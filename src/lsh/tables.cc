@@ -126,6 +126,8 @@ std::size_t LshTables::CountCandidates(std::span<const double> q) const {
 }
 
 double LshTables::MeanBucketSize() const {
+  MutexLock lock(stats_mutex_);
+  if (mean_bucket_size_ >= 0.0) return mean_bucket_size_;
   std::size_t total_entries = 0;
   std::size_t total_buckets = 0;
   for (const auto& table : tables_) {
@@ -135,9 +137,11 @@ double LshTables::MeanBucketSize() const {
       total_entries += bucket.size();
     }
   }
-  return total_buckets == 0 ? 0.0
-                            : static_cast<double>(total_entries) /
-                                  static_cast<double>(total_buckets);
+  mean_bucket_size_ = total_buckets == 0
+                          ? 0.0
+                          : static_cast<double>(total_entries) /
+                                static_cast<double>(total_buckets);
+  return mean_bucket_size_;
 }
 
 }  // namespace ips

@@ -21,6 +21,7 @@
 #include "obs/trace.h"
 #include "rng/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ips {
 
@@ -63,14 +64,15 @@ class LshTables {
   /// a dimension mismatch with `family`, k or l of zero, and a null
   /// `rng` with a descriptive Status instead of aborting. Failpoint:
   /// "lsh/tables-build".
-  static StatusOr<std::unique_ptr<LshTables>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<LshTables>> Create(
       const LshFamily& family, const Matrix& data, LshTableParams params,
       Rng* rng);
 
   /// Indices of data rows sharing at least one bucket with `q`
   /// (deduplicated, ascending). Thread-safe: uses no per-query shared
   /// scratch, so a built index may serve concurrent queries.
-  std::vector<std::size_t> Query(std::span<const double> q) const {
+  [[nodiscard]] std::vector<std::size_t> Query(std::span<const double> q)
+      const {
     return Query(q, nullptr, nullptr);
   }
 
@@ -78,16 +80,20 @@ class LshTables {
   /// hash -> bucket -> dedup stage spans under the trace's open span;
   /// when `info` is non-null, fills the per-query accounting. Both may
   /// be null. Every call bumps the "lsh.tables.*" registry counters.
-  std::vector<std::size_t> Query(std::span<const double> q, Trace* trace,
-                                 LshQueryInfo* info) const;
+  [[nodiscard]] std::vector<std::size_t> Query(std::span<const double> q,
+                                               Trace* trace,
+                                               LshQueryInfo* info) const;
 
   /// Number of candidates Query would return, without materializing them.
-  std::size_t CountCandidates(std::span<const double> q) const;
+  [[nodiscard]] std::size_t CountCandidates(std::span<const double> q) const;
 
   const LshTableParams& params() const { return params_; }
 
-  /// Average bucket occupancy across tables (diagnostic).
-  double MeanBucketSize() const;
+  /// Average bucket occupancy across tables (diagnostic). The tables are
+  /// immutable after construction, so the O(#buckets) scan is computed
+  /// once and memoized behind stats_mutex_; safe to call concurrently
+  /// with queries.
+  double MeanBucketSize() const IPS_EXCLUDES(stats_mutex_);
 
  private:
   struct Table {
@@ -98,6 +104,9 @@ class LshTables {
   const Matrix* data_;
   LshTableParams params_;
   std::vector<Table> tables_;
+  // Lazily-memoized MeanBucketSize (negative = not yet computed).
+  mutable Mutex stats_mutex_;
+  mutable double mean_bucket_size_ IPS_GUARDED_BY(stats_mutex_) = -1.0;
 };
 
 }  // namespace ips

@@ -122,7 +122,7 @@ Counter::Counter(std::string name)
       id_(next_metric_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 std::atomic<std::uint64_t>* Counter::NewCell() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cells_.push_back(std::make_unique<Cell>());
   return &cells_.back()->value;
 }
@@ -139,7 +139,7 @@ void Counter::Add(std::uint64_t delta) {
 }
 
 std::uint64_t Counter::Value() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& cell : cells_) {
     total += cell->value.load(std::memory_order_relaxed);
@@ -148,7 +148,7 @@ std::uint64_t Counter::Value() const {
 }
 
 void Counter::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& cell : cells_) {
     cell->value.store(0, std::memory_order_relaxed);
   }
@@ -181,7 +181,7 @@ Histogram::Histogram(std::string name)
       id_(next_metric_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 Histogram::Cell* Histogram::NewCell() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cells_.push_back(std::make_unique<Cell>());
   return cells_.back().get();
 }
@@ -214,7 +214,7 @@ void Histogram::Observe(double value) {
 }
 
 std::uint64_t Histogram::Count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& cell : cells_) {
     total += cell->count.load(std::memory_order_relaxed);
@@ -223,7 +223,7 @@ std::uint64_t Histogram::Count() const {
 }
 
 double Histogram::Sum() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double total = 0.0;
   for (const auto& cell : cells_) {
     total += cell->sum.load(std::memory_order_relaxed);
@@ -239,7 +239,7 @@ double Histogram::Mean() const {
 std::array<std::uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts()
     const {
   std::array<std::uint64_t, kNumBuckets> merged{};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& cell : cells_) {
     for (std::size_t b = 0; b < kNumBuckets; ++b) {
       merged[b] += cell->buckets[b].load(std::memory_order_relaxed);
@@ -265,7 +265,7 @@ double Histogram::ApproxQuantile(double q) const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& cell : cells_) {
     for (auto& bucket : cell->buckets) {
       bucket.store(0, std::memory_order_relaxed);
@@ -285,7 +285,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second.get();
   auto created =
@@ -296,7 +296,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second.get();
   auto created = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
@@ -306,7 +306,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second.get();
   auto created =
@@ -321,7 +321,7 @@ StatusOr<std::string> MetricsRegistry::ExportJson() const {
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     bool first = true;
     for (const auto& [name, counter] : counters_) {
       out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
@@ -355,7 +355,7 @@ StatusOr<std::string> MetricsRegistry::ExportJson() const {
 
 TablePrinter MetricsRegistry::ToTable() const {
   TablePrinter table({"metric", "type", "value"});
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     table.AddRow({name, "counter", Format(counter->Value())});
   }
@@ -375,7 +375,7 @@ TablePrinter MetricsRegistry::ToTable() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();

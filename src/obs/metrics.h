@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -32,6 +31,7 @@
 
 #include "util/status.h"
 #include "util/table.h"
+#include "util/thread_annotations.h"
 
 namespace ips {
 
@@ -89,12 +89,12 @@ class Counter {
     std::atomic<std::uint64_t> value{0};
   };
 
-  std::atomic<std::uint64_t>* NewCell();
+  std::atomic<std::uint64_t>* NewCell() IPS_EXCLUDES(mutex_);
 
   const std::string name_;
   const std::uint64_t id_;  // process-unique across all metric kinds
-  mutable std::mutex mutex_;  // guards cells_ growth and merge
-  std::vector<std::unique_ptr<Cell>> cells_;
+  mutable Mutex mutex_;     // guards cells_ growth and merge
+  std::vector<std::unique_ptr<Cell>> cells_ IPS_GUARDED_BY(mutex_);
 };
 
 /// Last-write-wins instantaneous value (queue depth, cache size), with a
@@ -156,12 +156,12 @@ class Histogram {
     std::atomic<double> sum{0.0};
   };
 
-  Cell* NewCell();
+  Cell* NewCell() IPS_EXCLUDES(mutex_);
 
   const std::string name_;
   const std::uint64_t id_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Cell>> cells_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Cell>> cells_ IPS_GUARDED_BY(mutex_);
 };
 
 /// Registry of named metrics. `Global()` is the process-wide instance
@@ -187,7 +187,7 @@ class MetricsRegistry {
   /// "histograms": {...}} with keys sorted for deterministic diffs.
   /// Failpoint: "obs/export" — an injected export failure must never
   /// affect recorded metrics or in-flight queries.
-  StatusOr<std::string> ExportJson() const;
+  [[nodiscard]] StatusOr<std::string> ExportJson() const;
 
   /// Human-readable dashboard: one row per metric, sorted by name.
   TablePrinter ToTable() const;
@@ -196,10 +196,13 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;  // guards the name maps only
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;  // guards the name maps only
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      IPS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      IPS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      IPS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ips

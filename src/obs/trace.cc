@@ -167,7 +167,7 @@ TraceRing& TraceRing::Global() {
 
 void TraceRing::Record(std::shared_ptr<const Trace> trace) {
   if (trace == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_[(head_ + count_) % capacity_] = std::move(trace);
   if (count_ < capacity_) {
     ++count_;
@@ -178,7 +178,7 @@ void TraceRing::Record(std::shared_ptr<const Trace> trace) {
 
 std::vector<std::shared_ptr<const Trace>> TraceRing::Recent(
     std::size_t limit) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::size_t n =
       (limit == 0 || limit > count_) ? count_ : limit;
   std::vector<std::shared_ptr<const Trace>> out;
@@ -191,12 +191,12 @@ std::vector<std::shared_ptr<const Trace>> TraceRing::Recent(
 }
 
 std::size_t TraceRing::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return count_;
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& slot : ring_) slot.reset();
   head_ = 0;
   count_ = 0;

@@ -22,7 +22,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -30,6 +29,7 @@
 
 #include "util/status.h"
 #include "util/table.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace ips {
@@ -125,25 +125,28 @@ class TraceRing {
   /// The process-wide ring (leaked singleton: valid forever).
   static TraceRing& Global();
 
-  void Record(std::shared_ptr<const Trace> trace);
+  void Record(std::shared_ptr<const Trace> trace) IPS_EXCLUDES(mutex_);
 
   /// Most-recent-first snapshot, at most `limit` traces (0 = all).
-  std::vector<std::shared_ptr<const Trace>> Recent(std::size_t limit = 0) const;
+  std::vector<std::shared_ptr<const Trace>> Recent(std::size_t limit = 0) const
+      IPS_EXCLUDES(mutex_);
 
-  std::size_t size() const;
-  void Clear();
+  std::size_t size() const IPS_EXCLUDES(mutex_);
+  void Clear() IPS_EXCLUDES(mutex_);
 
   /// JSON array of Trace::ToJson() objects, most recent first.
   /// Failpoint: "obs/export" — an injected export failure must never
   /// affect recorded traces or in-flight queries.
-  StatusOr<std::string> ExportJson(std::size_t limit = 0) const;
+  [[nodiscard]] StatusOr<std::string> ExportJson(std::size_t limit = 0) const
+      IPS_EXCLUDES(mutex_);
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<std::shared_ptr<const Trace>> ring_;  // ring_[head_] = oldest
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
+  mutable Mutex mutex_;
+  // ring_[head_] = oldest completed trace.
+  std::vector<std::shared_ptr<const Trace>> ring_ IPS_GUARDED_BY(mutex_);
+  std::size_t head_ IPS_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ IPS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ips

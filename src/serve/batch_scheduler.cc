@@ -46,18 +46,21 @@ BatchScheduler::BatchScheduler(const Engine* engine,
     : engine_(engine),
       options_(options),
       pool_(options.num_threads) {
-  IPS_CHECK(engine_ != nullptr);
-  IPS_CHECK_GE(options_.max_batch, 1u);
-  IPS_CHECK_GE(options_.max_queue, 1u);
-  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  // Construction-time preconditions, not a query path.
+  IPS_CHECK(engine_ != nullptr);           // ipslint:allow(check-in-query)
+  IPS_CHECK_GE(options_.max_batch, 1u);    // ipslint:allow(check-in-query)
+  IPS_CHECK_GE(options_.max_queue, 1u);    // ipslint:allow(check-in-query)
+  // The dispatcher must outlive pool shutdown ordering and joins in the
+  // destructor, so it cannot live in the ThreadPool it feeds.
+  dispatcher_ = std::thread([this] { DispatchLoop(); });  // ipslint:allow(naked-thread)
 }
 
 BatchScheduler::~BatchScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   dispatcher_.join();
 }
 
@@ -95,7 +98,7 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
   pending.promise = std::move(promise);
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++counters_.submitted;
     metrics.submitted->Increment();
     if (shutting_down_ || queue_.size() >= options_.max_queue) {
@@ -113,7 +116,7 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
         std::max(counters_.max_queue_depth, queue_.size());
     metrics.queue_depth->Set(static_cast<double>(queue_.size()));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return future;
 }
 
@@ -122,9 +125,8 @@ void BatchScheduler::DispatchLoop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty() && shutting_down_) return;
       const std::size_t take = std::min(options_.max_batch, queue_.size());
       batch.reserve(take);
@@ -208,25 +210,24 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
 
   const SchedulerMetrics& metrics = SchedulerMetrics::Get();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Partition invariant: expired requests are not also completed.
     counters_.completed += batch.size() - expired_count;
     counters_.expired += expired_count;
     metrics.completed->Add(batch.size() - expired_count);
     metrics.expired->Add(expired_count);
     in_flight_ -= batch.size();
-    if (queue_.empty() && in_flight_ == 0) queue_drained_.notify_all();
+    if (queue_.empty() && in_flight_ == 0) queue_drained_.NotifyAll();
   }
 }
 
 void BatchScheduler::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  queue_drained_.wait(lock,
-                      [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(queue_.empty() && in_flight_ == 0)) queue_drained_.Wait(mutex_);
 }
 
 SchedulerCounters BatchScheduler::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 

@@ -30,16 +30,15 @@
 #define IPS_SERVE_BATCH_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/engine.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ips {
@@ -88,21 +87,16 @@ class BatchScheduler {
   /// Enqueues one request; options.deadline_seconds is the relative
   /// deadline (infinity = none). The returned future always becomes
   /// ready: with the response, or with the Status of shedding / expiry /
-  /// cancellation / engine failure.
-  std::future<Result> Submit(std::vector<double> query, QueryOptions options);
-
-  /// Deprecated shim (one-PR migration): relative deadline as a third
-  /// argument instead of options.deadline_seconds.
-  std::future<Result> Submit(std::vector<double> query, QueryOptions options,
-                             double deadline_seconds) {
-    options.deadline_seconds = deadline_seconds;
-    return Submit(std::move(query), std::move(options));
-  }
+  /// cancellation / engine failure. Discarding the future leaks the
+  /// request's outcome, hence [[nodiscard]].
+  [[nodiscard]] std::future<Result> Submit(std::vector<double> query,
+                                           QueryOptions options)
+      IPS_EXCLUDES(mutex_);
 
   /// Blocks until every submitted request has been answered.
-  void Drain();
+  void Drain() IPS_EXCLUDES(mutex_);
 
-  SchedulerCounters counters() const;
+  SchedulerCounters counters() const IPS_EXCLUDES(mutex_);
 
  private:
   struct Pending {
@@ -114,21 +108,23 @@ class BatchScheduler {
     std::promise<Result> promise;
   };
 
-  void DispatchLoop();
-  void RunBatch(std::vector<Pending> batch);
+  void DispatchLoop() IPS_EXCLUDES(mutex_);
+  void RunBatch(std::vector<Pending> batch) IPS_EXCLUDES(mutex_);
 
   const Engine* engine_;
   BatchSchedulerOptions options_;
   ThreadPool pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable queue_drained_;
-  std::deque<Pending> queue_;
-  SchedulerCounters counters_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::thread dispatcher_;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar queue_drained_;
+  std::deque<Pending> queue_ IPS_GUARDED_BY(mutex_);
+  SchedulerCounters counters_ IPS_GUARDED_BY(mutex_);
+  std::size_t in_flight_ IPS_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ IPS_GUARDED_BY(mutex_) = false;
+  // The one deliberate thread outside util::ThreadPool: the dispatcher
+  // must block on the queue while the pool executes batches.
+  std::thread dispatcher_;  // ipslint:allow(naked-thread)
 };
 
 }  // namespace ips

@@ -75,6 +75,10 @@ StatusOr<std::unique_ptr<Engine>> Engine::Create(Matrix data,
 }
 
 Status Engine::Calibrate() {
+  // Calibration runs during Create, before the engine is shared, but
+  // it draws from build_rng_, so it takes the build lock like any
+  // other index-building path.
+  MutexLock lock(build_mutex_);
   PlannerCalibration calib;
   calib.recall_margin = options_.recall_margin;
   calib.sketch_cost = SketchCostModel(profile_.n, options_.sketch_params);
@@ -174,7 +178,7 @@ Status Engine::Calibrate() {
 }
 
 Status Engine::EnsureIndex(QueryAlgo algo) const {
-  std::lock_guard<std::mutex> lock(build_mutex_);
+  MutexLock lock(build_mutex_);
   switch (algo) {
     case QueryAlgo::kBruteForce: {
       if (brute_index_ != nullptr) return Status::Ok();
@@ -304,7 +308,7 @@ StatusOr<QueryResult> Engine::Execute(QueryAlgo algo,
   // Pin the (immutable once built) index outside the hot call.
   const MipsIndex* index = nullptr;
   {
-    std::lock_guard<std::mutex> lock(build_mutex_);
+    MutexLock lock(build_mutex_);
     switch (algo) {
       case QueryAlgo::kBruteForce:
         index = brute_index_.get();
@@ -320,7 +324,13 @@ StatusOr<QueryResult> Engine::Execute(QueryAlgo algo,
         break;
     }
   }
-  IPS_CHECK(index != nullptr);
+  if (index == nullptr) {
+    // EnsureIndex ran before Execute, so a missing index is an internal
+    // invariant break; hot query paths report it as a Status, not a
+    // process abort (ipslint: check-in-query).
+    return Status::Internal(std::string("index not built for algorithm ") +
+                            std::string(QueryAlgoName(algo)));
+  }
 
   QueryResult response;
   auto matches = index->Query(query, options, &response.stats, trace);

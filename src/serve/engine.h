@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -40,6 +39,7 @@
 #include "serve/serve_stats.h"
 #include "sketch/sketch_mips.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ips {
 
@@ -61,11 +61,6 @@ struct EngineOptions {
   std::uint64_t seed = 2026;
 };
 
-/// Deprecated aliases (one-PR migration shims): a serving request is a
-/// core::QueryOptions, a served answer a core::QueryResult.
-using TopKRequest = QueryOptions;
-using TopKResponse = QueryResult;
-
 /// The serving engine. Create once, serve concurrently.
 class Engine {
  public:
@@ -73,8 +68,8 @@ class Engine {
   /// micro-probes (through the same unified MipsIndex::Query paths that
   /// serve traffic), and calibrates the planner. Takes ownership of the
   /// data.
-  static StatusOr<std::unique_ptr<Engine>> Create(Matrix data,
-                                                  EngineOptions options = {});
+  [[nodiscard]] static StatusOr<std::unique_ptr<Engine>> Create(
+      Matrix data, EngineOptions options = {});
 
   /// Answers one request; thread-safe. Failpoint: "serve/plan" (inside
   /// the planner). An index build failure surfaces as the build's
@@ -82,18 +77,14 @@ class Engine {
   /// the build. options.force_algorithm bypasses the planner; the
   /// forced path must be able to answer the request (e.g. tree is
   /// signed-only) or Query returns kInvalidArgument.
-  StatusOr<QueryResult> Query(std::span<const double> query,
-                              const QueryOptions& options) const;
-
-  /// Deprecated shim for Query (one-PR migration).
-  StatusOr<QueryResult> TopK(std::span<const double> query,
-                             const QueryOptions& options) const {
-    return Query(query, options);
-  }
+  [[nodiscard]] StatusOr<QueryResult> Query(std::span<const double> query,
+                                            const QueryOptions& options) const
+      IPS_EXCLUDES(build_mutex_);
 
   /// Eagerly builds the index behind `algo` (normally lazy; benches use
   /// this to exclude build cost from serving measurements).
-  Status EnsureIndex(QueryAlgo algo) const;
+  [[nodiscard]] Status EnsureIndex(QueryAlgo algo) const
+      IPS_EXCLUDES(build_mutex_);
 
   const Planner& planner() const { return *planner_; }
   const DatasetProfile& profile() const { return profile_; }
@@ -106,14 +97,15 @@ class Engine {
   /// Warmup: build subsample-scale indexes and measure pruning fraction,
   /// candidate fraction, and probe recall for the planner's cost model —
   /// all read off the unified QueryStats of probe-index Query calls.
-  Status Calibrate();
+  Status Calibrate() IPS_EXCLUDES(build_mutex_);
 
   /// Executes `options` on `algo` (indexes already built), filling the
   /// result's stats through the index's Query and nesting its spans
   /// under `trace` when non-null.
   StatusOr<QueryResult> Execute(QueryAlgo algo, std::span<const double> query,
                                 const QueryOptions& options,
-                                PlanDecision plan, Trace* trace) const;
+                                PlanDecision plan, Trace* trace) const
+      IPS_EXCLUDES(build_mutex_);
 
   Matrix data_;
   EngineOptions options_;
@@ -123,14 +115,20 @@ class Engine {
   // Lazily-built indexes (and the LSH path's transform + base family,
   // which must outlive its index); guarded by build_mutex_, immutable
   // once built.
-  mutable std::mutex build_mutex_;
-  mutable std::unique_ptr<VectorTransform> lsh_transform_;
-  mutable std::unique_ptr<SimHashFamily> lsh_family_;
-  mutable std::unique_ptr<BruteForceIndex> brute_index_;
-  mutable std::unique_ptr<TreeMipsIndex> tree_index_;
-  mutable std::unique_ptr<LshMipsIndex> lsh_index_;
-  mutable std::unique_ptr<SketchIndex> sketch_index_;
-  mutable Rng build_rng_;
+  mutable Mutex build_mutex_;
+  mutable std::unique_ptr<VectorTransform> lsh_transform_
+      IPS_GUARDED_BY(build_mutex_);
+  mutable std::unique_ptr<SimHashFamily> lsh_family_
+      IPS_GUARDED_BY(build_mutex_);
+  mutable std::unique_ptr<BruteForceIndex> brute_index_
+      IPS_GUARDED_BY(build_mutex_);
+  mutable std::unique_ptr<TreeMipsIndex> tree_index_
+      IPS_GUARDED_BY(build_mutex_);
+  mutable std::unique_ptr<LshMipsIndex> lsh_index_
+      IPS_GUARDED_BY(build_mutex_);
+  mutable std::unique_ptr<SketchIndex> sketch_index_
+      IPS_GUARDED_BY(build_mutex_);
+  mutable Rng build_rng_ IPS_GUARDED_BY(build_mutex_);
 };
 
 }  // namespace ips

@@ -33,7 +33,8 @@ DatasetProfile DatasetProfile::FromData(const Matrix& data) {
 
 Planner::Planner(DatasetProfile profile, PlannerCalibration calibration)
     : profile_(profile), calibration_(calibration) {
-  IPS_CHECK_GT(profile_.n, 0u);
+  // Construction-time precondition, not a query path.
+  IPS_CHECK_GT(profile_.n, 0u);  // ipslint:allow(check-in-query)
 }
 
 double Planner::ExpectedRecall(QueryAlgo algo,
@@ -110,8 +111,12 @@ StatusOr<PlanDecision> Planner::Plan(const QueryOptions& request) const {
       best_in_budget = in_budget;
     }
   }
-  // Brute force has recall 1 and is always eligible.
-  IPS_CHECK(found);
+  if (!found) {
+    // Unreachable: brute force has recall 1 and is always eligible. A
+    // hot query path still reports the broken invariant as a Status
+    // instead of aborting (ipslint: check-in-query).
+    return Status::Internal("planner found no eligible algorithm");
+  }
 
   best.reason = std::string(QueryAlgoName(best.algorithm)) + ": ~" +
                 std::to_string(static_cast<std::size_t>(

@@ -70,26 +70,13 @@ struct PlannerCalibration {
   double recall_margin = 0.05;
 };
 
-/// Deprecated alias (one-PR migration shim): planning inputs are the
-/// unified core::QueryOptions — the planner reads k, recall_target,
-/// candidate_budget, is_signed and ignores the execution-side fields.
-/// The verdict type core::PlanDecision lives in core/query.h so query
-/// results can carry it.
-using PlanRequest = QueryOptions;
-
-/// Validates the request fields (k >= 1, recall target in (0, 1]).
-/// Deprecated shim for core::ValidateQueryOptions.
-inline Status ValidatePlanRequest(const QueryOptions& request) {
-  return ValidateQueryOptions(request);
-}
-
 /// Immutable per-dataset planner; thread-safe (Plan is const and pure).
 class Planner {
  public:
   Planner(DatasetProfile profile, PlannerCalibration calibration);
 
   /// Picks an algorithm for `request`. Failpoint: "serve/plan".
-  StatusOr<PlanDecision> Plan(const QueryOptions& request) const;
+  [[nodiscard]] StatusOr<PlanDecision> Plan(const QueryOptions& request) const;
 
   /// Expected exact dot products if `algo` answered `request`; used for
   /// A/B accounting by benches.

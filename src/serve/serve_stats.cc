@@ -8,7 +8,7 @@ void ServeMetrics::Record(const QueryStats& stats) {
   const auto slot = static_cast<std::size_t>(stats.algorithm);
   IPS_CHECK(slot < kNumQueryAlgos);
   const double latency_ms = stats.TotalSeconds() * 1e3;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PerAlgo& algo = per_algo_[slot];
   ++algo.requests;
   algo.candidates += stats.candidates;
@@ -19,22 +19,22 @@ void ServeMetrics::Record(const QueryStats& stats) {
 }
 
 std::size_t ServeMetrics::TotalRequests() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return latencies_ms_.size();
 }
 
 std::size_t ServeMetrics::SelectionCount(QueryAlgo algo) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return per_algo_[static_cast<std::size_t>(algo)].requests;
 }
 
 std::size_t ServeMetrics::DeadlineMetCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return deadline_met_;
 }
 
 std::size_t ServeMetrics::TotalDotProducts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t total = 0;
   for (const PerAlgo& algo : per_algo_) total += algo.dot_products;
   return total;
@@ -43,7 +43,7 @@ std::size_t ServeMetrics::TotalDotProducts() const {
 Summary ServeMetrics::LatencySummaryMillis() const {
   std::vector<double> samples;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     samples = latencies_ms_;
   }
   return Summarize(std::move(samples));
@@ -52,7 +52,7 @@ Summary ServeMetrics::LatencySummaryMillis() const {
 TablePrinter ServeMetrics::ToTable() const {
   TablePrinter table({"algorithm", "requests", "mean candidates",
                       "mean dots", "mean latency (ms)"});
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t slot = 0; slot < kNumQueryAlgos; ++slot) {
     const PerAlgo& algo = per_algo_[slot];
     if (algo.requests == 0) continue;

@@ -4,65 +4,47 @@
 // Thread-safe aggregation of per-request accounting for the online
 // serving engine: turns a stream of core::QueryStats into the
 // operational summary (per-algorithm selection counts, latency
-// percentiles, work totals) surfaced by examples and benchmarks.
-//
-// The per-request types themselves now live in core/query.h: the old
-// serve-private ServeAlgo / ServeStats are aliases of core::QueryAlgo /
-// core::QueryStats, kept for one PR so existing callers migrate
-// incrementally.
+// percentiles, work totals) surfaced by examples and benchmarks. The
+// per-request types themselves live in core/query.h.
 
 #ifndef IPS_SERVE_SERVE_STATS_H_
 #define IPS_SERVE_SERVE_STATS_H_
 
 #include <array>
 #include <cstddef>
-#include <mutex>
-#include <string>
-#include <string_view>
 #include <vector>
 
 #include "core/query.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_annotations.h"
 
 namespace ips {
-
-/// Deprecated aliases (one-PR migration shims): the four answer paths
-/// and the per-request accounting are now the unified core types.
-using ServeAlgo = QueryAlgo;
-using ServeStats = QueryStats;
-
-inline constexpr std::size_t kNumServeAlgos = kNumQueryAlgos;
-
-/// Short stable name of `algo` ("brute", "tree", "lsh", "sketch").
-inline std::string_view ServeAlgoName(ServeAlgo algo) {
-  return QueryAlgoName(algo);
-}
 
 /// Thread-safe aggregation of QueryStats across requests.
 class ServeMetrics {
  public:
   /// Folds one completed request into the aggregate.
-  void Record(const QueryStats& stats);
+  void Record(const QueryStats& stats) IPS_EXCLUDES(mutex_);
 
   /// Requests recorded so far.
-  std::size_t TotalRequests() const;
+  std::size_t TotalRequests() const IPS_EXCLUDES(mutex_);
 
   /// Requests answered by `algo`.
-  std::size_t SelectionCount(QueryAlgo algo) const;
+  std::size_t SelectionCount(QueryAlgo algo) const IPS_EXCLUDES(mutex_);
 
   /// Requests that met their deadline.
-  std::size_t DeadlineMetCount() const;
+  std::size_t DeadlineMetCount() const IPS_EXCLUDES(mutex_);
 
   /// Total exact inner products across all recorded requests.
-  std::size_t TotalDotProducts() const;
+  std::size_t TotalDotProducts() const IPS_EXCLUDES(mutex_);
 
   /// Batch summary of end-to-end latency (queue + exec) in milliseconds.
-  Summary LatencySummaryMillis() const;
+  Summary LatencySummaryMillis() const IPS_EXCLUDES(mutex_);
 
   /// Per-algorithm table: requests, mean candidates, mean dots, mean
   /// latency — the operational dashboard of a serving run.
-  TablePrinter ToTable() const;
+  TablePrinter ToTable() const IPS_EXCLUDES(mutex_);
 
  private:
   struct PerAlgo {
@@ -72,10 +54,10 @@ class ServeMetrics {
     OnlineStats latency_ms;
   };
 
-  mutable std::mutex mutex_;
-  std::array<PerAlgo, kNumQueryAlgos> per_algo_;
-  std::vector<double> latencies_ms_;
-  std::size_t deadline_met_ = 0;
+  mutable Mutex mutex_;
+  std::array<PerAlgo, kNumQueryAlgos> per_algo_ IPS_GUARDED_BY(mutex_);
+  std::vector<double> latencies_ms_ IPS_GUARDED_BY(mutex_);
+  std::size_t deadline_met_ IPS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ips

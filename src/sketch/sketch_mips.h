@@ -66,7 +66,7 @@ class SketchMipsIndex {
   /// kappa < 2, copies == 0, leaf_size == 0, a non-positive bucket
   /// multiplier, and a null `rng` with a descriptive Status instead of
   /// aborting. Failpoint: "sketch/build".
-  static StatusOr<std::unique_ptr<SketchMipsIndex>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<SketchMipsIndex>> Create(
       const Matrix& data, const SketchMipsParams& params, Rng* rng);
 
   /// The validation behind Create, without building anything (also used

@@ -4,6 +4,12 @@
 // Minimal Status / StatusOr<T> error-propagation types, modeled on
 // absl::Status. The library does not throw exceptions across its public
 // API; recoverable failures are reported through these types.
+//
+// Both types are [[nodiscard]]: with the tree's -Werror, silently
+// dropping a Status(Or) return is a compile error. Consume it with
+// IPS_RETURN_IF_ERROR / IPS_CHECK_OK, branch on .ok(), or — only where
+// ignoring a failure is genuinely the contract — cast to void with a
+// comment explaining why.
 
 #ifndef IPS_UTIL_STATUS_H_
 #define IPS_UTIL_STATUS_H_
@@ -34,7 +40,7 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// Result of an operation that can fail without crashing the process.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,7 +88,7 @@ class Status {
 
 /// Either a value of type T or a non-OK Status explaining its absence.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (OK).
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT

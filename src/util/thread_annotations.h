@@ -1,0 +1,151 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Clang thread-safety annotations (see DESIGN.md §9) and the annotated
+// mutex primitives the concurrent layers are written against. Under
+// clang, `-Wthread-safety -Werror` turns lock-discipline violations —
+// touching an IPS_GUARDED_BY member without its mutex, releasing a lock
+// twice, forgetting a lock on one branch — into compile errors; under
+// other compilers every macro expands to nothing and the wrappers are
+// zero-cost shims over <mutex>.
+//
+// Usage pattern:
+//
+//   class Account {
+//    public:
+//     void Deposit(int amount) IPS_EXCLUDES(mutex_) {
+//       MutexLock lock(mutex_);
+//       balance_ += amount;            // OK: mutex_ held
+//     }
+//    private:
+//     Mutex mutex_;
+//     int balance_ IPS_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Condition variables use CondVar, which waits on the annotated Mutex
+// directly (it is a std::condition_variable_any underneath), so the
+// wait loop stays visible to the analysis:
+//
+//   MutexLock lock(mutex_);
+//   while (queue_.empty()) work_available_.Wait(mutex_);
+
+#ifndef IPS_UTIL_THREAD_ANNOTATIONS_H_
+#define IPS_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define IPS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define IPS_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define IPS_CAPABILITY(x) IPS_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define IPS_SCOPED_CAPABILITY IPS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// A data member readable/writable only while holding the given mutex.
+#define IPS_GUARDED_BY(x) IPS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// A pointer member whose *pointee* is protected by the given mutex.
+#define IPS_PT_GUARDED_BY(x) IPS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The calling thread must hold the given mutexes (and does not release
+/// them).
+#define IPS_REQUIRES(...) \
+  IPS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// The function acquires the given mutexes and holds them on return.
+#define IPS_ACQUIRE(...) \
+  IPS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the given mutexes (held on entry).
+#define IPS_RELEASE(...) \
+  IPS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The function acquires the mutex only when it returns the given value.
+#define IPS_TRY_ACQUIRE(...) \
+  IPS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the given mutexes (the function acquires
+/// them itself; prevents self-deadlock).
+#define IPS_EXCLUDES(...) IPS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (analysis trusts it).
+#define IPS_ASSERT_CAPABILITY(x) IPS_THREAD_ANNOTATION__(assert_capability(x))
+
+/// The function returns a reference to the given mutex.
+#define IPS_RETURN_CAPABILITY(x) IPS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment explaining why the discipline cannot be expressed.
+#define IPS_NO_THREAD_SAFETY_ANALYSIS \
+  IPS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace ips {
+
+/// std::mutex with a capability annotation, so IPS_GUARDED_BY members
+/// and MutexLock scopes are checkable. Satisfies BasicLockable (lower
+/// case lock/unlock), so it also works with std::scoped_lock and
+/// CondVar below.
+class IPS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IPS_ACQUIRE() { mutex_.lock(); }
+  void unlock() IPS_RELEASE() { mutex_.unlock(); }
+  bool try_lock() IPS_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock of a Mutex (the annotated std::lock_guard). The analysis
+/// treats the constructor as acquiring and the destructor as releasing,
+/// so guarded members are accessible exactly inside the lock's scope.
+class IPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) IPS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() IPS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable waiting on the annotated Mutex directly. Wait
+/// takes no predicate on purpose: callers loop
+/// `while (!cond) cv.Wait(mutex_);` inside a MutexLock scope, keeping
+/// every read of guarded state visible to the analysis (a predicate
+/// lambda would be analyzed as an unlocked context).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and reacquires it before
+  /// returning. As with any condition variable, spurious wakeups happen:
+  /// always re-check the condition in a loop.
+  void Wait(Mutex& mutex) IPS_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_THREAD_ANNOTATIONS_H_

@@ -19,20 +19,20 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& thread : threads_) thread.join();
 }
 
 void ThreadPool::CaptureException(std::exception_ptr exception) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (first_exception_ == nullptr) first_exception_ = std::move(exception);
 }
 
 std::exception_ptr ThreadPool::TakeFirstException() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::exchange(first_exception_, nullptr);
 }
 
@@ -61,17 +61,16 @@ void ThreadPool::Schedule(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   if (!threads_.empty()) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_done_.wait(lock,
-                    [this] { return queue_.empty() && in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (!(queue_.empty() && in_flight_ == 0)) work_done_.Wait(mutex_);
   }
   std::exception_ptr exception = TakeFirstException();
   if (exception != nullptr) std::rethrow_exception(exception);
@@ -94,9 +93,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (shutting_down_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -104,9 +102,9 @@ void ThreadPool::WorkerLoop() {
     }
     RunTask(task);
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) work_done_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) work_done_.NotifyAll();
     }
   }
 }
@@ -123,20 +121,20 @@ namespace {
 // touches a dead stack frame.
 struct ParallelState {
   std::atomic<bool> cancelled{false};
-  std::mutex mutex;
-  std::exception_ptr first_exception;  // guarded by mutex
-  Status first_status;                 // guarded by mutex
+  Mutex mutex;
+  std::exception_ptr first_exception IPS_GUARDED_BY(mutex);
+  Status first_status IPS_GUARDED_BY(mutex);
 
-  void Fail(std::exception_ptr exception) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void Fail(std::exception_ptr exception) IPS_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (first_exception == nullptr) {
       first_exception = std::move(exception);
     }
     cancelled.store(true, std::memory_order_relaxed);
   }
 
-  void Fail(Status status) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void Fail(Status status) IPS_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (first_status.ok()) first_status = std::move(status);
     cancelled.store(true, std::memory_order_relaxed);
   }
@@ -177,7 +175,7 @@ void ParallelFor(ThreadPool* pool, std::size_t count,
               }
             });
   pool->Wait();  // rethrows pool-level failures (e.g. Schedule failpoint)
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   if (state->first_exception != nullptr) {
     std::rethrow_exception(state->first_exception);
   }
@@ -219,7 +217,7 @@ Status ParallelForStatus(
               if (!status.ok()) shared.Fail(std::move(status));
             });
   Status pool_status = pool->WaitStatus();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   if (!state->first_status.ok()) return state->first_status;
   return pool_status;
 }

@@ -16,16 +16,15 @@
 #ifndef IPS_UTIL_THREAD_POOL_H_
 #define IPS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ips {
 
@@ -44,17 +43,17 @@ class ThreadPool {
 
   /// Enqueues `task`; runs inline when the pool has no workers. A task
   /// that throws has its exception captured (first wins), not leaked.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) IPS_EXCLUDES(mutex_);
 
   /// Blocks until all scheduled tasks have finished, then rethrows the
   /// first exception any task threw since the last drain (if any). With
   /// concurrent Wait() callers exactly one of them receives it.
-  void Wait();
+  void Wait() IPS_EXCLUDES(mutex_);
 
   /// As Wait(), but converts a captured exception to a Status instead of
   /// rethrowing: a FailpointError keeps its armed code, any other
   /// std::exception maps to kInternal with its what() message.
-  Status WaitStatus();
+  [[nodiscard]] Status WaitStatus() IPS_EXCLUDES(mutex_);
 
   std::size_t num_threads() const { return threads_.size(); }
 
@@ -62,19 +61,19 @@ class ThreadPool {
   static std::size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() IPS_EXCLUDES(mutex_);
   void RunTask(std::function<void()>& task);
-  void CaptureException(std::exception_ptr exception);
-  std::exception_ptr TakeFirstException();
+  void CaptureException(std::exception_ptr exception) IPS_EXCLUDES(mutex_);
+  std::exception_ptr TakeFirstException() IPS_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
-  std::queue<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar work_done_;
+  std::queue<std::function<void()>> queue_ IPS_GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::exception_ptr first_exception_;  // guarded by mutex_
+  std::size_t in_flight_ IPS_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ IPS_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_exception_ IPS_GUARDED_BY(mutex_);
 };
 
 /// Splits [0, count) into contiguous chunks and runs

@@ -1,0 +1,223 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the project linter (tools/ipslint): rule-table parsing,
+// comment/string stripping, path scoping, the allow-comment escape
+// hatch, and the built-in stale-allow rule. The known-bad snippets are
+// fed through LintText directly, so nothing here depends on the
+// filesystem layout of the build.
+
+#include "ipslint_lib.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ips {
+namespace lint {
+namespace {
+
+std::string Row(const std::string& name, const std::string& includes,
+                const std::string& excludes, const std::string& regex,
+                const std::string& message) {
+  return name + "\t" + includes + "\t" + excludes + "\t" + regex + "\t" +
+         message + "\n";
+}
+
+// A miniature mirror of tools/ipslint.rules exercising every feature:
+// include scoping, exclude scoping, and statement-anchored regexes.
+std::vector<LintRule> TestRules() {
+  std::string table;
+  table += Row("rng-outside-rng", "src", "src/rng",
+               R"(std::(mt19937|uniform_real_distribution)\b|\brand\s*\()",
+               "use ips::Rng");
+  table += Row("stdout-in-lib", "src", "-", R"(std::cout\b|\bprintf\s*\()",
+               "no stdout in libraries");
+  table += Row("naked-thread", "src", "src/util/thread_pool",
+               R"(std::j?thread\b)", "use util::ThreadPool");
+  table += Row("check-in-query", "src/serve/engine.cc", "-", R"(\bIPS_CHECK)",
+               "return Status in query paths");
+  table += Row("status-discard", "-", "-",
+               R"(^\s*(?:[A-Za-z_][A-Za-z0-9_]*(?:\.|->|::))*)"
+               R"((?:Create|Submit|Validate[A-Za-z]*)\s*\([^;{}]*\)\s*;\s*$)",
+               "discarded Status");
+  auto rules = ParseRules(table);
+  EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+  return *std::move(rules);
+}
+
+std::vector<LintFinding> RunLint(const std::string& path,
+                                 const std::string& text) {
+  static const std::vector<LintRule> rules = TestRules();
+  return LintText(rules, path, text);
+}
+
+TEST(ParseRules, AcceptsCommentsAndBlankLines) {
+  const auto rules = ParseRules("# comment\n\n" +
+                                Row("r1", "-", "-", "abc", "msg"));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ((*rules)[0].name, "r1");
+  EXPECT_TRUE((*rules)[0].include_prefixes.empty());
+}
+
+TEST(ParseRules, RejectsWrongFieldCount) {
+  const auto rules = ParseRules("just\tthree\tfields\n");
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRules, RejectsDuplicateName) {
+  const auto rules = ParseRules(Row("r1", "-", "-", "a", "m") +
+                                Row("r1", "-", "-", "b", "m"));
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParseRules, RejectsReservedStaleAllowName) {
+  const auto rules =
+      ParseRules(Row(std::string(kStaleAllowRule), "-", "-", "a", "m"));
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("reserved"), std::string::npos);
+}
+
+TEST(ParseRules, RejectsInvalidRegex) {
+  const auto rules = ParseRules(Row("r1", "-", "-", "(unclosed", "m"));
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("invalid regex"),
+            std::string::npos);
+}
+
+TEST(Lint, BannedRngFiresExactlyOnce) {
+  const auto findings =
+      RunLint("src/lsh/foo.cc", "void F() {\n  std::mt19937 gen(42);\n}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng-outside-rng");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].excerpt, "std::mt19937 gen(42);");
+}
+
+TEST(Lint, RngRuleScopedByPath) {
+  const std::string bad = "std::mt19937 gen(42);\n";
+  // src/rng is the excluded home of the RNG layer; tests/ is outside the
+  // rule's include scope entirely.
+  EXPECT_TRUE(RunLint("src/rng/random.cc", bad).empty());
+  EXPECT_TRUE(RunLint("tests/foo_test.cc", bad).empty());
+  EXPECT_EQ(RunLint("src/core/foo.cc", bad).size(), 1u);
+}
+
+TEST(Lint, StdoutInLibraryFires) {
+  const auto findings =
+      RunLint("src/serve/engine.cc", "  std::cout << \"debug\\n\";\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "stdout-in-lib");
+}
+
+TEST(Lint, BannedConstructInsideStringOrCommentDoesNotFire) {
+  // The scanner strips string literals, character literals, raw strings
+  // and comments before matching, so *talking about* a banned construct
+  // never trips a rule.
+  EXPECT_TRUE(
+      RunLint("src/a.cc", "const char* s = \"std::mt19937 gen;\";\n").empty());
+  EXPECT_TRUE(
+      RunLint("src/a.cc", "const char* s = R\"(std::cout << x;)\";\n").empty());
+  EXPECT_TRUE(RunLint("src/a.cc", "// std::thread t;\n").empty());
+  EXPECT_TRUE(RunLint("src/a.cc", "/* std::mt19937\n   std::cout */\n").empty());
+}
+
+TEST(Lint, NakedThreadFires) {
+  const auto findings =
+      RunLint("src/serve/foo.cc", "  std::thread worker([] {});\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "naked-thread");
+  // The ThreadPool implementation itself is the one sanctioned home.
+  EXPECT_TRUE(
+      RunLint("src/util/thread_pool.cc", "  std::thread worker([] {});\n")
+          .empty());
+  // std::this_thread is not std::thread.
+  EXPECT_TRUE(
+      RunLint("src/serve/foo.cc", "  std::this_thread::yield();\n").empty());
+}
+
+TEST(Lint, AllowCommentSuppressesExactlyThatRule) {
+  const auto suppressed = RunLint(
+      "src/serve/engine.cc",
+      "  IPS_CHECK(ptr != nullptr);  // ipslint:allow(check-in-query)\n");
+  EXPECT_TRUE(suppressed.empty());
+  // The same allow-comment does not blanket other rules on the line.
+  const auto other = RunLint(
+      "src/serve/engine.cc",
+      "  IPS_CHECK(x); std::cout << x;  // ipslint:allow(check-in-query)\n");
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0].rule, "stdout-in-lib");
+}
+
+TEST(Lint, StaleAllowCommentFiresExactlyOnce) {
+  const auto findings =
+      RunLint("src/a.cc", "int x = 1;  // ipslint:allow(no-such-rule)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kStaleAllowRule);
+  EXPECT_NE(findings[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(Lint, DiscardedStatusFiresOnBareCallStatement) {
+  const auto findings =
+      RunLint("tests/foo_test.cc", "void F() {\n  Index::Create(data, rng);\n}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "status-discard");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(Lint, DiscardedStatusSkipsConsumedCalls) {
+  // Assigned, void-cast, and macro-wrapped calls all consume the result.
+  EXPECT_TRUE(RunLint("src/a.cc", "  auto idx = Index::Create(data);\n").empty());
+  EXPECT_TRUE(RunLint("src/a.cc", "  (void)Index::Create(data);\n").empty());
+  EXPECT_TRUE(
+      RunLint("src/a.cc", "  IPS_RETURN_IF_ERROR(ValidateDims(m, d));\n").empty());
+}
+
+TEST(Lint, DiscardedStatusSkipsContinuationLines) {
+  // `^` anchors to statement starts: the wrapped second line of an
+  // assignment must not look like a bare discarded call.
+  const std::string wrapped =
+      "  auto idx =\n      Index::Create(data, rng);\n";
+  EXPECT_TRUE(RunLint("src/a.cc", wrapped).empty());
+  const std::string wrapped_macro =
+      "  IPS_RETURN_IF_ERROR(\n      ValidateDims(m, d, \"x\"));\n";
+  EXPECT_TRUE(RunLint("src/a.cc", wrapped_macro).empty());
+}
+
+TEST(Lint, FindingFormatIsFileLineRuleMessage) {
+  const auto findings = RunLint("src/a.cc", "std::cout << 1;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string formatted = FormatFinding(findings[0]);
+  EXPECT_NE(formatted.find("src/a.cc:1: [stdout-in-lib]"), std::string::npos);
+  EXPECT_NE(formatted.find("std::cout << 1;"), std::string::npos);
+}
+
+TEST(Lint, RealRuleTableParses) {
+  // Guard the checked-in table itself: five rules, all regexes valid.
+  const auto rules =
+      LoadRules(std::string(IPS_REPO_ROOT) + "/tools/ipslint.rules");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules->size(), 5u);
+}
+
+TEST(SplitCodeAndComments, TracksMultiLineConstructs) {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+  internal::SplitCodeAndComments(
+      "int a; /* span\nstill comment */ int b; // tail\n", &code, &comments);
+  ASSERT_EQ(code.size(), 2u);
+  EXPECT_NE(code[0].find("int a;"), std::string::npos);
+  EXPECT_EQ(code[0].find("span"), std::string::npos);
+  EXPECT_NE(code[1].find("int b;"), std::string::npos);
+  EXPECT_EQ(code[1].find("tail"), std::string::npos);
+  EXPECT_NE(comments[0].find("span"), std::string::npos);
+  EXPECT_NE(comments[1].find("tail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace ips

@@ -1,0 +1,80 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// CLI for the project linter. Usage:
+//
+//   ipslint [--rules tools/ipslint.rules] [root...]
+//
+// Roots default to the library and consumer trees (src tests examples
+// bench tools). Run from the repo root so rule path prefixes line up
+// with the scanned paths. Exit code: 0 clean, 1 findings, 2 usage or
+// I/O error. Wired into `scripts/check.sh static`.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ipslint_lib.h"
+
+namespace {
+
+constexpr const char* kDefaultRules = "tools/ipslint.rules";
+const char* const kDefaultRoots[] = {"src", "tests", "examples", "bench",
+                                     "tools"};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rules FILE] [root...]\n"
+               "  Lints C++ sources (.h/.hpp/.cc/.cpp) under each root\n"
+               "  against the TAB-separated rule table (default %s).\n"
+               "  Defaults roots: src tests examples bench tools.\n",
+               argv0, kDefaultRules);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path = kDefaultRules;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      rules_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    roots.assign(std::begin(kDefaultRoots), std::end(kDefaultRoots));
+  }
+
+  const auto rules = ips::lint::LoadRules(rules_path);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "ipslint: %s\n", rules.status().ToString().c_str());
+    return 2;
+  }
+
+  const auto findings = ips::lint::LintTree(*rules, roots);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "ipslint: %s\n", findings.status().ToString().c_str());
+    return 2;
+  }
+
+  for (const auto& finding : *findings) {
+    std::printf("%s\n", ips::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings->empty()) {
+    std::printf("ipslint: %zu finding(s) in %zu rule check(s)\n",
+                findings->size(), rules->size());
+    return 1;
+  }
+  std::printf("ipslint: clean (%zu rules)\n", rules->size());
+  return 0;
+}

@@ -1,0 +1,462 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "ipslint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ips {
+namespace lint {
+namespace {
+
+std::string Trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string> SplitPrefixes(std::string_view field) {
+  std::vector<std::string> out;
+  const std::string trimmed = Trim(field);
+  if (trimmed.empty() || trimmed == "-") return out;
+  std::size_t start = 0;
+  while (start <= trimmed.size()) {
+    const std::size_t comma = trimmed.find(',', start);
+    const std::size_t end = comma == std::string::npos ? trimmed.size() : comma;
+    std::string piece = Trim(std::string_view(trimmed).substr(start, end - start));
+    if (!piece.empty()) out.push_back(std::move(piece));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+bool HasCppExtension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Matches allow-directives (the `allow(...)` suffix form) in comments.
+const std::regex& AllowDirectiveRegex() {
+  static const std::regex re(R"(ipslint:allow\(([A-Za-z0-9_-]+)\))");
+  return re;
+}
+
+/// True when line `i` of `code` begins a new statement rather than
+/// continuing one spilled from the previous line: the previous non-blank
+/// code line ended in `;`, `{`, `}` or `:` (labels, access specifiers),
+/// or was a preprocessor directive, or there is none. `^` in a rule
+/// regex therefore means "start of statement", so a wrapped call like
+/// `auto x =\n    Foo::Create(...);` does not look like a bare
+/// discarded call on its second line.
+bool StartsStatement(const std::vector<std::string>& code, std::size_t i) {
+  for (std::size_t j = i; j-- > 0;) {
+    const std::string& prev = code[j];
+    const std::size_t last = prev.find_last_not_of(" \t\r");
+    if (last == std::string::npos) continue;  // blank (or comment-only) line
+    const char c = prev[last];
+    if (c == ';' || c == '{' || c == '}' || c == ':') return true;
+    const std::size_t first = prev.find_first_not_of(" \t\r");
+    // A directive ends at its line unless continued with a backslash.
+    return prev[first] == '#' && c != '\\';
+  }
+  return true;  // first code line of the file
+}
+
+}  // namespace
+
+namespace internal {
+
+void SplitCodeAndComments(std::string_view text,
+                          std::vector<std::string>* code,
+                          std::vector<std::string>* comments) {
+  code->clear();
+  comments->clear();
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_delim;  // the ")delim" terminator of a raw string
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto flush_line = [&] {
+    code->push_back(code_line);
+    comments->push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      // Line comments end at the newline; strings and block comments
+      // keep their state across it.
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      ++i;
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          i += 2;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          i += 2;
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+          // Raw string literal: R"delim( ... )delim".
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(' && text[j] != '\n' &&
+                 delim.size() <= 16) {
+            delim += text[j];
+            ++j;
+          }
+          if (j < n && text[j] == '(') {
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            code_line.append(j + 1 - i, ' ');
+            i = j + 1;
+          } else {
+            // Not a well-formed raw string opener; treat R as code.
+            code_line += c;
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += ' ';
+          ++i;
+        } else {
+          code_line += c;
+          ++i;
+        }
+        break;
+      }
+      case State::kLineComment: {
+        comment_line += c;
+        code_line += ' ';
+        ++i;
+        break;
+      }
+      case State::kBlockComment: {
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          i += 2;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+          ++i;
+        }
+        break;
+      }
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n) {
+          code_line += "  ";
+          i += 2;
+        } else if (c == quote) {
+          state = State::kCode;
+          code_line += ' ';
+          ++i;
+        } else {
+          code_line += ' ';
+          ++i;
+        }
+        break;
+      }
+      case State::kRawString: {
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          code_line.append(raw_delim.size(), ' ');
+          i += raw_delim.size();
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  if (!code_line.empty() || !comment_line.empty() || text.empty() ||
+      text.back() != '\n') {
+    flush_line();
+  }
+}
+
+}  // namespace internal
+
+StatusOr<std::vector<LintRule>> ParseRules(std::string_view text) {
+  std::vector<LintRule> rules;
+  std::set<std::string> names;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(start, end - start);
+    ++line_number;
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    const std::vector<std::string_view> fields = SplitTabs(line);
+    if (fields.size() != 5) {
+      return Status::InvalidArgument(
+          "rule table line " + std::to_string(line_number) + ": expected 5 "
+          "TAB-separated fields (name, includes, excludes, regex, message), "
+          "got " + std::to_string(fields.size()));
+    }
+    LintRule rule;
+    rule.name = Trim(fields[0]);
+    if (rule.name.empty()) {
+      return Status::InvalidArgument("rule table line " +
+                                     std::to_string(line_number) +
+                                     ": empty rule name");
+    }
+    if (rule.name == kStaleAllowRule) {
+      return Status::InvalidArgument(
+          "rule table line " + std::to_string(line_number) + ": '" +
+          std::string(kStaleAllowRule) + "' is a reserved built-in rule name");
+    }
+    if (!names.insert(rule.name).second) {
+      return Status::InvalidArgument("rule table line " +
+                                     std::to_string(line_number) +
+                                     ": duplicate rule '" + rule.name + "'");
+    }
+    rule.include_prefixes = SplitPrefixes(fields[1]);
+    rule.exclude_prefixes = SplitPrefixes(fields[2]);
+    rule.pattern = Trim(fields[3]);
+    rule.message = Trim(fields[4]);
+    if (rule.pattern.empty()) {
+      return Status::InvalidArgument("rule table line " +
+                                     std::to_string(line_number) +
+                                     ": empty regex for rule '" + rule.name +
+                                     "'");
+    }
+    if (rule.message.empty()) {
+      return Status::InvalidArgument("rule table line " +
+                                     std::to_string(line_number) +
+                                     ": empty message for rule '" + rule.name +
+                                     "'");
+    }
+    try {
+      rule.compiled =
+          std::regex(rule.pattern, std::regex::ECMAScript | std::regex::optimize);
+    } catch (const std::regex_error& e) {
+      return Status::InvalidArgument("rule table line " +
+                                     std::to_string(line_number) +
+                                     ": invalid regex for rule '" + rule.name +
+                                     "': " + e.what());
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+StatusOr<std::vector<LintRule>> LoadRules(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open rule table: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto rules = ParseRules(buffer.str());
+  if (!rules.ok()) {
+    return Status(rules.status().code(),
+                  path + ": " + rules.status().message());
+  }
+  return rules;
+}
+
+bool RuleAppliesTo(const LintRule& rule, std::string_view path) {
+  auto matches_prefix = [&](const std::string& prefix) {
+    return path.size() >= prefix.size() &&
+           path.compare(0, prefix.size(), prefix) == 0;
+  };
+  if (!rule.include_prefixes.empty() &&
+      std::none_of(rule.include_prefixes.begin(), rule.include_prefixes.end(),
+                   matches_prefix)) {
+    return false;
+  }
+  return std::none_of(rule.exclude_prefixes.begin(),
+                      rule.exclude_prefixes.end(), matches_prefix);
+}
+
+std::vector<LintFinding> LintText(const std::vector<LintRule>& rules,
+                                  std::string_view path,
+                                  std::string_view text) {
+  std::vector<LintFinding> findings;
+  std::vector<const LintRule*> applicable;
+  for (const LintRule& rule : rules) {
+    if (RuleAppliesTo(rule, path)) applicable.push_back(&rule);
+  }
+
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+  internal::SplitCodeAndComments(text, &code, &comments);
+
+  std::vector<std::string> raw_lines;
+  {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+      raw_lines.emplace_back(text.substr(start, end - start));
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    // Allow-directives on this line, harvested from comment text only.
+    std::set<std::string> allowed;
+    const std::string& comment = comments[i];
+    for (std::sregex_iterator it(comment.begin(), comment.end(),
+                                 AllowDirectiveRegex()),
+         end;
+         it != end; ++it) {
+      allowed.insert((*it)[1].str());
+    }
+
+    const std::string excerpt =
+        i < raw_lines.size() ? Trim(raw_lines[i]) : std::string();
+    // Continuation lines get a sentinel prefix so `^`-anchored rules
+    // only fire at statement starts; unanchored rules are unaffected.
+    const std::string matchable =
+        StartsStatement(code, i) ? code[i] : "\x01" + code[i];
+    for (const LintRule* rule : applicable) {
+      if (!std::regex_search(matchable, rule->compiled)) continue;
+      if (allowed.count(rule->name) > 0) continue;
+      LintFinding finding;
+      finding.file = std::string(path);
+      finding.line = i + 1;
+      finding.rule = rule->name;
+      finding.message = rule->message;
+      finding.excerpt = excerpt;
+      findings.push_back(std::move(finding));
+    }
+
+    // Built-in: an allow-comment naming a rule absent from the table is
+    // stale and must be deleted along with the rule it once silenced.
+    for (const std::string& name : allowed) {
+      const bool known =
+          std::any_of(rules.begin(), rules.end(),
+                      [&](const LintRule& rule) { return rule.name == name; });
+      if (known) continue;
+      LintFinding finding;
+      finding.file = std::string(path);
+      finding.line = i + 1;
+      finding.rule = std::string(kStaleAllowRule);
+      finding.message =
+          "allow-comment references unknown rule '" + name + "'";
+      finding.excerpt = excerpt;
+      findings.push_back(std::move(finding));
+    }
+  }
+  return findings;
+}
+
+StatusOr<std::vector<LintFinding>> LintTree(
+    const std::vector<LintRule>& rules, const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    const fs::file_status status = fs::status(root, ec);
+    if (ec) {
+      return Status::NotFound("cannot stat lint root: " + root + ": " +
+                              ec.message());
+    }
+    if (fs::is_regular_file(status)) {
+      files.push_back(fs::path(root).generic_string());
+      continue;
+    }
+    if (!fs::is_directory(status)) {
+      return Status::InvalidArgument("lint root is neither file nor "
+                                     "directory: " + root);
+    }
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        return Status::Internal("walking " + root + ": " + ec.message());
+      }
+      if (it->is_regular_file() && HasCppExtension(it->path())) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<LintFinding> findings;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return Status::Internal("cannot read source file: " + file);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    std::vector<LintFinding> file_findings = LintText(rules, file, text);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string FormatFinding(const LintFinding& finding) {
+  std::string out = finding.file + ":" + std::to_string(finding.line) +
+                    ": [" + finding.rule + "] " + finding.message;
+  if (!finding.excerpt.empty()) {
+    out += "\n    " + finding.excerpt;
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace ips

@@ -1,0 +1,109 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// ipslint: the repo-specific linter behind `scripts/check.sh static`,
+// enforcing project invariants the compiler cannot see (see DESIGN.md
+// §9). Rules live in a file-backed table (tools/ipslint.rules) — one
+// TAB-separated line per rule — so adding a rule is a one-liner:
+//
+//   name<TAB>include-prefixes<TAB>exclude-prefixes<TAB>regex<TAB>message
+//
+// A rule fires when its regex matches a source line of a file whose
+// repo-relative path starts with an include prefix (comma-separated;
+// empty or "-" = every scanned file) and no exclude prefix. Comments,
+// string and character literals are stripped before matching, so quoting
+// a banned construct (or testing the linter itself) never trips a rule.
+//
+// Escape hatch: `// ipslint:allow(<rule>)` on the offending line
+// suppresses that rule for that line. An allow-comment naming a rule
+// that is not in the table is itself reported (built-in rule
+// "stale-allow"), so suppressions cannot silently outlive the rules
+// they once silenced.
+//
+// `^` in a rule regex matches at the start of a *statement*, not of any
+// physical line: lines continuing a statement wrapped from the previous
+// line are excluded from `^`-anchored matches.
+
+#ifndef IPS_TOOLS_IPSLINT_LIB_H_
+#define IPS_TOOLS_IPSLINT_LIB_H_
+
+#include <cstddef>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ips {
+namespace lint {
+
+/// Reserved name of the built-in rule that flags allow-comments naming
+/// a rule absent from the table.
+inline constexpr std::string_view kStaleAllowRule = "stale-allow";
+
+/// One row of the rule table.
+struct LintRule {
+  std::string name;
+  /// Path prefixes the rule applies to; empty = every scanned file.
+  std::vector<std::string> include_prefixes;
+  /// Path prefixes exempt from the rule (checked after includes).
+  std::vector<std::string> exclude_prefixes;
+  /// ECMAScript regex matched against each comment/string-stripped line.
+  std::string pattern;
+  std::string message;
+  std::regex compiled;
+};
+
+/// One violation: `file:line` plus the rule that fired.
+struct LintFinding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  std::string excerpt;  // trimmed source line
+};
+
+/// Parses a rule table (the contents of tools/ipslint.rules). Rejects
+/// malformed lines, duplicate or reserved rule names, and invalid
+/// regexes with a descriptive kInvalidArgument.
+[[nodiscard]] StatusOr<std::vector<LintRule>> ParseRules(
+    std::string_view text);
+
+/// Reads and parses a rule table file.
+[[nodiscard]] StatusOr<std::vector<LintRule>> LoadRules(
+    const std::string& path);
+
+/// True when `rule` applies to the (forward-slash, repo-relative) path.
+bool RuleAppliesTo(const LintRule& rule, std::string_view path);
+
+/// Lints one file's contents; `path` scopes the rules and labels the
+/// findings. Deterministic: findings are in (line, rule-table) order.
+[[nodiscard]] std::vector<LintFinding> LintText(
+    const std::vector<LintRule>& rules, std::string_view path,
+    std::string_view text);
+
+/// Lints every C++ source (.h/.hpp/.cc/.cpp) under `roots` (files or
+/// directories, repo-relative). Fails on an unreadable root.
+[[nodiscard]] StatusOr<std::vector<LintFinding>> LintTree(
+    const std::vector<LintRule>& rules, const std::vector<std::string>& roots);
+
+/// "path:line: [rule] message" (plus the offending excerpt).
+std::string FormatFinding(const LintFinding& finding);
+
+namespace internal {
+
+/// Splits `text` into per-line code and comment channels: `code[i]` is
+/// line i with comments and string/char-literal contents replaced by
+/// spaces (columns preserved), `comments[i]` the comment text of line i.
+/// Handles //, /* */ (multi-line), "…" with escapes, '…', and R"(…)"
+/// raw strings.
+void SplitCodeAndComments(std::string_view text,
+                          std::vector<std::string>* code,
+                          std::vector<std::string>* comments);
+
+}  // namespace internal
+}  // namespace lint
+}  // namespace ips
+
+#endif  // IPS_TOOLS_IPSLINT_LIB_H_
