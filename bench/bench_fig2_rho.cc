@@ -18,7 +18,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/lsh_family.h"
 #include "lsh/rho.h"
 #include "lsh/simhash.h"
@@ -32,7 +32,7 @@ namespace {
 std::vector<double> RandomUnit(std::size_t dim, Rng* rng) {
   std::vector<double> v(dim);
   for (double& x : v) x = rng->NextGaussian();
-  NormalizeInPlace(v);
+  kernels::NormalizeInPlace(v);
   return v;
 }
 
@@ -40,9 +40,9 @@ std::vector<double> RandomUnit(std::size_t dim, Rng* rng) {
 std::vector<double> UnitAtInnerProduct(std::span<const double> x,
                                        double target, Rng* rng) {
   std::vector<double> noise = RandomUnit(x.size(), rng);
-  const double along = Dot(noise, x);
+  const double along = kernels::Dot(noise, x);
   for (std::size_t i = 0; i < x.size(); ++i) noise[i] -= along * x[i];
-  NormalizeInPlace(noise);
+  kernels::NormalizeInPlace(noise);
   std::vector<double> y(x.size());
   const double sine = std::sqrt(std::max(0.0, 1.0 - target * target));
   for (std::size_t i = 0; i < x.size(); ++i) {

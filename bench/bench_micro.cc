@@ -12,7 +12,7 @@
 #include "embed/sign_embedding.h"
 #include "linalg/bit_matrix.h"
 #include "linalg/sign_matrix.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/cross_polytope.h"
 #include "lsh/e2lsh.h"
 #include "lsh/minhash.h"
@@ -30,7 +30,7 @@ void BM_DenseDot(benchmark::State& state) {
   for (double& v : x) v = rng.NextGaussian();
   for (double& v : y) v = rng.NextGaussian();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Dot(x, y));
+    benchmark::DoNotOptimize(kernels::Dot(x, y));
   }
   state.SetItemsProcessed(state.iterations() * dim);
 }

@@ -12,7 +12,7 @@
 #include "core/mips_index.h"
 #include "core/norm_range_index.h"
 #include "core/top_k.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/multiprobe.h"
 #include "lsh/simhash.h"
 #include "lsh/transforms.h"

@@ -226,6 +226,135 @@ WorkloadResult RunWorkload(const std::string& name, const Matrix& data,
   return result;
 }
 
+// ---------------------------------------------------------------------
+// Batched execution A/B (PR 5): Engine::BatchQuery against the
+// coalesced-but-sequential path (one Engine::Query per member, the PR 2
+// scheduler behavior), plus the scheduler-level toggle for context.
+// ---------------------------------------------------------------------
+
+struct BatchedResult {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  std::size_t queries = 0;
+  double sequential_ms = 0.0;
+  double batched_ms = 0.0;
+  double speedup = 0.0;
+  bool results_agree = false;
+  double scheduler_sequential_qps = 0.0;
+  double scheduler_batched_qps = 0.0;
+};
+
+// QPS of the full scheduler path with batch execution on or off.
+double SchedulerQps(const Engine& engine, const Matrix& queries,
+                    const QueryOptions& request, bool use_batch) {
+  BatchSchedulerOptions options;
+  options.use_batch_execution = use_batch;
+  BatchScheduler scheduler(&engine, options);
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  futures.reserve(queries.rows());
+  WallTimer timer;
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto row = queries.Row(qi);
+    futures.push_back(scheduler.Submit(
+        std::vector<double>(row.begin(), row.end()), request));
+  }
+  std::size_t ok_count = 0;
+  for (auto& future : futures) {
+    if (future.get().ok()) ++ok_count;
+  }
+  const double elapsed = timer.Seconds();
+  scheduler.Drain();
+  return elapsed > 0.0 ? static_cast<double>(ok_count) / elapsed : 0.0;
+}
+
+BatchedResult RunBatchedSection(Rng* rng) {
+  BatchedResult result;
+  result.n = 4096;
+  result.dim = 64;
+  result.queries = 256;
+  std::cout << "=== batched execution (n=" << result.n << ", dim="
+            << result.dim << ", " << result.queries << " queries) ===\n";
+  const Matrix data =
+      MakeUnitBallGaussian(result.n, result.dim, /*min_norm=*/0.3, rng);
+  auto engine = Engine::Create(data);
+  if (!engine.ok()) {
+    std::cerr << "engine: " << engine.status().ToString() << "\n";
+    std::exit(1);
+  }
+  const Status built = (*engine)->EnsureIndex(QueryAlgo::kBruteForce);
+  if (!built.ok()) {
+    std::cerr << "build: " << built.ToString() << "\n";
+    std::exit(1);
+  }
+  Matrix queries(result.queries, result.dim);
+  for (std::size_t qi = 0; qi < result.queries; ++qi) {
+    for (std::size_t j = 0; j < result.dim; ++j) {
+      queries.At(qi, j) = rng->NextGaussian();
+    }
+  }
+  QueryOptions request;
+  request.k = kK;
+  // Force brute so both paths answer with identical exact recall and
+  // the A/B measures execution alone, not planner routing.
+  request.force_algorithm = QueryAlgo::kBruteForce;
+
+  // Warm both paths (index pinned, metric cells, caches).
+  if (!(*engine)->Query(queries.Row(0), request).ok() ||
+      !(*engine)->BatchQuery(queries, request).ok()) {
+    std::cerr << "warmup query failed\n";
+    std::exit(1);
+  }
+
+  WallTimer timer;
+  std::vector<QueryResult> sequential;
+  sequential.reserve(result.queries);
+  for (std::size_t qi = 0; qi < result.queries; ++qi) {
+    auto response = (*engine)->Query(queries.Row(qi), request);
+    if (!response.ok()) {
+      std::cerr << "query: " << response.status().ToString() << "\n";
+      std::exit(1);
+    }
+    sequential.push_back(*std::move(response));
+  }
+  result.sequential_ms = timer.Millis();
+
+  timer.Restart();
+  auto batched = (*engine)->BatchQuery(queries, request);
+  result.batched_ms = timer.Millis();
+  if (!batched.ok()) {
+    std::cerr << "batch query: " << batched.status().ToString() << "\n";
+    std::exit(1);
+  }
+  result.speedup = result.batched_ms > 0.0
+                       ? result.sequential_ms / result.batched_ms
+                       : 0.0;
+  result.results_agree = batched->size() == sequential.size();
+  for (std::size_t qi = 0; result.results_agree && qi < sequential.size();
+       ++qi) {
+    const auto& a = sequential[qi].matches;
+    const auto& b = (*batched)[qi].matches;
+    result.results_agree = a.size() == b.size();
+    for (std::size_t j = 0; result.results_agree && j < a.size(); ++j) {
+      result.results_agree = a[j].index == b[j].index;
+    }
+  }
+
+  result.scheduler_sequential_qps =
+      SchedulerQps(**engine, queries, request, /*use_batch=*/false);
+  result.scheduler_batched_qps =
+      SchedulerQps(**engine, queries, request, /*use_batch=*/true);
+
+  std::cout << "engine: sequential " << FormatFixed(result.sequential_ms, 1)
+            << "ms, batched " << FormatFixed(result.batched_ms, 1)
+            << "ms, speedup " << FormatFixed(result.speedup, 2)
+            << "x, results " << (result.results_agree ? "agree" : "DISAGREE")
+            << "\nscheduler: sequential "
+            << FormatFixed(result.scheduler_sequential_qps, 1)
+            << " qps, batched "
+            << FormatFixed(result.scheduler_batched_qps, 1) << " qps\n\n";
+  return result;
+}
+
 // Acceptance gate for the observability layer: the instrumented
 // brute-force query path (registry counters + stats, no trace) must
 // stay within a few percent of the plain uninstrumented scan.
@@ -271,7 +400,8 @@ OverheadResult MeasureObsOverhead(const Matrix& data,
 }
 
 void WriteJson(const std::vector<WorkloadResult>& workloads,
-               const OverheadResult& overhead, const std::string& path) {
+               const BatchedResult& batched, const OverheadResult& overhead,
+               const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"serve\",\n  \"n\": " << kN
       << ",\n  \"dim\": " << kDim << ",\n  \"queries\": " << kQueries
@@ -302,7 +432,15 @@ void WriteJson(const std::vector<WorkloadResult>& workloads,
     }
     out << "      ]\n    }" << (w + 1 < workloads.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"obs_overhead\": {\"baseline_ms\": "
+  out << "  ],\n  \"batched\": {\"n\": " << batched.n
+      << ", \"dim\": " << batched.dim << ", \"queries\": " << batched.queries
+      << ", \"sequential_ms\": " << batched.sequential_ms
+      << ", \"batched_ms\": " << batched.batched_ms
+      << ", \"speedup\": " << batched.speedup
+      << ", \"results_agree\": " << (batched.results_agree ? "true" : "false")
+      << ", \"scheduler_sequential_qps\": " << batched.scheduler_sequential_qps
+      << ", \"scheduler_batched_qps\": " << batched.scheduler_batched_qps
+      << "},\n  \"obs_overhead\": {\"baseline_ms\": "
       << overhead.baseline_ms
       << ", \"instrumented_ms\": " << overhead.instrumented_ms
       << ", \"ratio\": " << overhead.ratio << "},\n";
@@ -336,6 +474,8 @@ int Run() {
       "large_norm_spread",
       MakeLatentFactorVectors(kN, kDim, /*skew=*/1.0, &rng), &rng));
 
+  const BatchedResult batched = RunBatchedSection(&rng);
+
   const Matrix overhead_data =
       MakeUnitBallGaussian(kN, kDim, /*min_norm=*/0.9, &rng);
   Matrix overhead_queries(kQueries, kDim);
@@ -354,7 +494,7 @@ int Run() {
                                        : " (WARN: above 3% budget)")
             << "\n";
 
-  WriteJson(workloads, overhead, "BENCH_serve.json");
+  WriteJson(workloads, batched, overhead, "BENCH_serve.json");
   std::cout << "wrote BENCH_serve.json\n";
 
   // Headline check: on >= 1 workload the planner meets every target with
@@ -382,6 +522,22 @@ int Run() {
     return 1;
   }
   std::cout << "OK: planner beats the best fixed policy on >= 1 workload\n";
+
+  // Batched-execution gate (PR 5): Engine::BatchQuery must answer the
+  // coalesced workload at >= 2x the sequential per-query path, with
+  // identical matches (equal recall by construction on the forced
+  // exact path).
+  if (!batched.results_agree) {
+    std::cerr << "FAIL: batched and sequential answers disagree\n";
+    return 1;
+  }
+  if (batched.speedup < 2.0) {
+    std::cerr << "FAIL: batched speedup " << batched.speedup
+              << "x below the 2x acceptance bar\n";
+    return 1;
+  }
+  std::cout << "OK: batched execution " << FormatFixed(batched.speedup, 2)
+            << "x over sequential at equal recall\n";
   return 0;
 }
 

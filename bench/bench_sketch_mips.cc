@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "core/dataset.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "rng/random.h"
 #include "sketch/sketch_mips.h"
 #include "util/stats.h"
@@ -49,10 +49,10 @@ void SweepKappaAndN() {
         double truth = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
           truth = std::max(truth,
-                           std::abs(Dot(data.Row(i), queries.Row(qi))));
+                           std::abs(kernels::Dot(data.Row(i), queries.Row(qi))));
         }
         const double got =
-            std::abs(Dot(data.Row(recovered[qi]), queries.Row(qi)));
+            std::abs(kernels::Dot(data.Row(recovered[qi]), queries.Row(qi)));
         worst_ratio = std::min(worst_ratio, got / truth);
       }
       table.AddRow(

@@ -15,7 +15,7 @@
 #include "core/mips_index.h"
 #include "core/norm_range_index.h"
 #include "core/similarity_join.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/simhash.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"
@@ -57,7 +57,7 @@ int main() {
   for (std::size_t u = 0; u < kUsers; ++u) {
     double best = -1e300;
     for (std::size_t i = 0; i < kItems; ++i) {
-      const double score = ips::Dot(items.Row(i), users.Row(u));
+      const double score = ips::kernels::Dot(items.Row(i), users.Row(u));
       if (score > best) {
         best = score;
         truth[u] = i;

@@ -12,7 +12,7 @@
 #include <utility>
 
 #include "core/dataset.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/minhash.h"
 #include "lsh/simhash.h"
 #include "lsh/tables.h"
@@ -106,11 +106,11 @@ int main() {
   // vectors into the unit ball (divide by sqrt(kWeight)).
   {
     ips::Matrix scaled_sets = sets;
-    ips::ScaleInPlace(std::span<double>(scaled_sets.data()),
+    ips::kernels::ScaleInPlace(std::span<double>(scaled_sets.data()),
                       1.0 / std::sqrt(static_cast<double>(kWeight)));
     ips::Matrix scaled_queries = queries;
     const double query_norm = std::sqrt(static_cast<double>(kWeight));
-    ips::ScaleInPlace(std::span<double>(scaled_queries.data()),
+    ips::kernels::ScaleInPlace(std::span<double>(scaled_queries.data()),
                       1.0 / query_norm);
     const ips::DualBallTransform transform(kUniverse, 1.0);
     const ips::SimHashFamily base(transform.output_dim());

@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
-# Builds and runs the serving benchmark, producing BENCH_serve.json in
-# the repository root (throughput/latency under concurrent load, the
-# planner-vs-fixed-algorithm A/B on both contract workloads, the
-# observability overhead ratio, and a "registry" object embedding the
-# key process-registry counters accumulated over the run).
+# Builds and runs the JSON-emitting benchmarks, producing in the
+# repository root:
+#
+#   BENCH_serve.json    throughput/latency under concurrent load, the
+#                       planner-vs-fixed-algorithm A/B on both contract
+#                       workloads, the batched-execution A/B
+#                       (Engine::BatchQuery vs sequential per-query
+#                       dispatch, plus the scheduler toggle), the
+#                       observability overhead ratio, and a "registry"
+#                       object embedding the key process-registry
+#                       counters accumulated over the run.
+#   BENCH_kernels.json  dispatched kernel throughput (scalar vs AVX2
+#                       dot/matvec/score_block, popcount) and the tiled
+#                       BlockTopK headline against the per-query scalar
+#                       baseline.
 #
 #   $ scripts/bench_json.sh
 set -euo pipefail
@@ -12,6 +22,8 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 cmake -B build -S . -DIPS_BUILD_BENCHMARKS=ON >/dev/null
-cmake --build build -j"$JOBS" --target bench_serve
+cmake --build build -j"$JOBS" --target bench_serve bench_kernels
+./build/bench/bench_kernels
+echo "BENCH_kernels.json written to $(pwd)/BENCH_kernels.json"
 ./build/bench/bench_serve
 echo "BENCH_serve.json written to $(pwd)/BENCH_serve.json"

@@ -18,6 +18,7 @@
 #   $ scripts/check.sh            # everything
 #   $ scripts/check.sh plain      # just the plain build + tests
 #   $ scripts/check.sh asan|tsan  # a single sanitizer pass
+#   $ scripts/check.sh scalar     # full suite with IPS_FORCE_SCALAR=1
 #   $ scripts/check.sh static     # ipslint + nodiscard + clang analyses
 set -euo pipefail
 
@@ -52,6 +53,17 @@ run_tsan() {
   (cd build-tsan && ctest --output-on-failure -R 'util_test|obs_test|chaos_test|serve_test')
   echo "=== TSan serve quickstart ==="
   ./build-tsan/examples/serve_quickstart
+}
+
+run_scalar() {
+  echo "=== scalar-dispatch leg: full test suite with IPS_FORCE_SCALAR=1 ==="
+  # Pins the portable kernel table (src/linalg/kernels.h) so the whole
+  # suite — kernel parity, BatchQuery equivalence, every index — runs
+  # the non-SIMD code path CI would otherwise never exercise on AVX2
+  # runners.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  (cd build && IPS_FORCE_SCALAR=1 ctest --output-on-failure -j"$JOBS")
 }
 
 run_static() {
@@ -94,9 +106,10 @@ case "$MODE" in
   plain)  run_plain ;;
   asan)   run_asan ;;
   tsan)   run_tsan ;;
+  scalar) run_scalar ;;
   static) run_static ;;
-  all)    run_plain; run_asan; run_tsan; run_static ;;
-  *) echo "usage: $0 [plain|asan|tsan|static|all]" >&2; exit 2 ;;
+  all)    run_plain; run_scalar; run_asan; run_tsan; run_static ;;
+  *) echo "usage: $0 [plain|asan|tsan|scalar|static|all]" >&2; exit 2 ;;
 esac
 
 echo "all checks passed"

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -90,13 +90,14 @@ RandomIncoherentFamily::RandomIncoherentFamily(std::size_t num_vectors,
     Matrix candidate(num_vectors, dim);
     for (double& entry : candidate.data()) entry = rng->NextGaussian();
     for (std::size_t i = 0; i < num_vectors; ++i) {
-      NormalizeInPlace(candidate.Row(i));
+      kernels::NormalizeInPlace(candidate.Row(i));
     }
     double coherence = 0.0;
     for (std::size_t i = 0; i < num_vectors && coherence <= epsilon; ++i) {
       for (std::size_t j = i + 1; j < num_vectors; ++j) {
         coherence = std::max(
-            coherence, std::abs(Dot(candidate.Row(i), candidate.Row(j))));
+            coherence,
+            std::abs(kernels::Dot(candidate.Row(i), candidate.Row(j))));
         if (coherence > epsilon) break;
       }
     }

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -16,9 +16,9 @@ Matrix MakeUnitBallGaussian(std::size_t n, std::size_t dim, double min_norm,
   for (std::size_t i = 0; i < n; ++i) {
     const std::span<double> row = points.Row(i);
     for (double& v : row) v = rng->NextGaussian();
-    NormalizeInPlace(row);
+    kernels::NormalizeInPlace(row);
     const double norm = min_norm + (1.0 - min_norm) * rng->NextDouble();
-    ScaleInPlace(row, norm);
+    kernels::ScaleInPlace(row, norm);
   }
   return points;
 }
@@ -31,10 +31,10 @@ Matrix MakeLatentFactorVectors(std::size_t n, std::size_t dim, double skew,
   for (std::size_t i = 0; i < n; ++i) {
     const std::span<double> row = points.Row(i);
     for (double& v : row) v = rng->NextGaussian();
-    NormalizeInPlace(row);
+    kernels::NormalizeInPlace(row);
     const double norm =
         std::pow(static_cast<double>(i + 1), -skew);  // Zipf-like decay
-    ScaleInPlace(row, norm);
+    kernels::ScaleInPlace(row, norm);
   }
   return points;
 }
@@ -78,14 +78,14 @@ PlantedInstance MakePlantedInstance(std::size_t num_data,
     // Make the planted data point a unit vector and the query its scaled
     // copy plus a small orthogonal-ish perturbation.
     const std::span<double> data_row = instance.data.Row(plant);
-    NormalizeInPlace(data_row);
+    kernels::NormalizeInPlace(data_row);
     const std::span<double> query_row = instance.queries.Row(i);
     for (std::size_t t = 0; t < dim; ++t) {
       query_row[t] = target * data_row[t] + 0.01 * rng->NextGaussian();
     }
-    const double norm = Norm(query_row);
+    const double norm = kernels::Norm(query_row);
     if (norm > query_radius) {
-      ScaleInPlace(query_row, query_radius / norm);
+      kernels::ScaleInPlace(query_row, query_radius / norm);
     }
   }
   return instance;

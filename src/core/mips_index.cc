@@ -1,12 +1,15 @@
 #include "core/mips_index.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <utility>
 
 #include "core/top_k.h"
 #include "linalg/validate.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -61,7 +64,80 @@ Status ValidateIndexData(const Matrix& data) {
   return Status::Ok();
 }
 
+// Shared head of every BatchQuery: validated options plus a batch-wide
+// dimension check.
+Status ValidateBatchInputs(const Matrix& queries, std::size_t dim,
+                           const QueryOptions& options) {
+  IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  if (queries.rows() > 0 && queries.cols() != dim) {
+    return Status::InvalidArgument(
+        "batch query dimension " + std::to_string(queries.cols()) +
+        " != index dimension " + std::to_string(dim));
+  }
+  return Status::Ok();
+}
+
+// One Trace shared by every member of a traced batch (published into
+// each result's stats.trace); null when tracing is off.
+std::shared_ptr<Trace> MakeBatchTrace(const QueryOptions& options,
+                                      std::string label) {
+  if (!options.trace) return nullptr;
+  return std::make_shared<Trace>(std::move(label) + ".batch");
+}
+
+// Registry accounting every batch path shares: one call, its member
+// count, and how many members went through the per-query fallback
+// instead of a specialized batch implementation.
+void CountBatch(std::size_t members, bool fallback) {
+  static Counter* const calls =
+      MetricsRegistry::Global().GetCounter("core.batch.calls");
+  static Counter* const queries =
+      MetricsRegistry::Global().GetCounter("core.batch.queries");
+  static Counter* const fallback_queries =
+      MetricsRegistry::Global().GetCounter("core.batch.fallback_queries");
+  calls->Increment();
+  queries->Add(members);
+  if (fallback) fallback_queries->Add(members);
+}
+
+// The per-query batch driver: one Query call per row under a shared
+// batch trace. The default MipsIndex::BatchQuery and the paths whose
+// batch win lives inside their per-query kernels (tree descents, sketch
+// estimate passes) all run through this.
+StatusOr<std::vector<QueryResult>> RunPerQueryBatch(
+    const MipsIndex& index, const Matrix& queries,
+    const QueryOptions& options, std::string_view span_name,
+    bool fallback) {
+  std::shared_ptr<Trace> batch_trace = MakeBatchTrace(options, index.Name());
+  std::vector<QueryResult> results;
+  results.reserve(queries.rows());
+  {
+    TraceSpan span(batch_trace.get(), span_name);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      QueryResult result;
+      auto matches =
+          index.Query(queries.Row(i), options, &result.stats,
+                      batch_trace.get());
+      if (!matches.ok()) return matches.status();
+      result.matches = std::move(matches).value();
+      if (batch_trace != nullptr) result.stats.trace = batch_trace;
+      results.push_back(std::move(result));
+    }
+    span.AddCount("batch_queries", queries.rows());
+  }
+  CountBatch(queries.rows(), fallback);
+  return results;
+}
+
 }  // namespace
+
+StatusOr<std::vector<QueryResult>> MipsIndex::BatchQuery(
+    const Matrix& queries, const QueryOptions& options) const {
+  IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
+  if (queries.rows() == 0) return std::vector<QueryResult>();
+  return RunPerQueryBatch(*this, queries, options, "batch.fallback",
+                          /*fallback=*/true);
+}
 
 std::size_t JoinResult::NumMatched() const {
   std::size_t matched = 0;
@@ -86,7 +162,7 @@ std::optional<SearchMatch> BruteForceIndex::Search(
   SearchMatch best;
   best.value = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < data_->rows(); ++i) {
-    const double score = Score(Dot(data_->Row(i), q), spec);
+    const double score = Score(kernels::Dot(data_->Row(i), q), spec);
     ++evaluated_;
     if (score > best.value) {
       best.value = score;
@@ -106,6 +182,47 @@ StatusOr<std::vector<SearchMatch>> BruteForceIndex::Query(
   auto matches = QueryBruteForce(*data_, q, options, &local, t);
   PublishQuery(std::move(owned), std::move(local), stats);
   return matches;
+}
+
+StatusOr<std::vector<QueryResult>> BruteForceIndex::BatchQuery(
+    const Matrix& queries, const QueryOptions& options) const {
+  IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
+  const std::size_t m = queries.rows();
+  if (m == 0) return std::vector<QueryResult>();
+  std::shared_ptr<Trace> batch_trace = MakeBatchTrace(options, Name());
+  std::vector<kernels::TopKHeap> heaps;
+  heaps.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) heaps.emplace_back(options.k);
+  {
+    // One tiled pass over the data scores the whole batch: each tile of
+    // data rows is loaded once and reused across a block of queries.
+    TraceSpan span(batch_trace.get(), "brute.batch");
+    kernels::BlockTopK(*data_, queries, /*absolute=*/!options.is_signed,
+                       heaps);
+    span.AddCount("batch_queries", m);
+    span.AddCount("points_scored", data_->rows() * m);
+  }
+  std::vector<QueryResult> results(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    QueryResult& result = results[i];
+    result.matches.reserve(std::min(options.k, data_->rows()));
+    for (const auto& entry : heaps[i].TakeSorted()) {
+      result.matches.push_back({entry.index, entry.value});
+    }
+    result.stats.algorithm = QueryAlgo::kBruteForce;
+    result.stats.candidates = data_->rows();
+    result.stats.dot_products = data_->rows();
+    if (batch_trace != nullptr) result.stats.trace = batch_trace;
+  }
+  // Keep the per-path registry view consistent with m Query calls.
+  static Counter* const brute_queries =
+      MetricsRegistry::Global().GetCounter("core.brute.queries");
+  static Counter* const points_scored =
+      MetricsRegistry::Global().GetCounter("core.brute.points_scored");
+  brute_queries->Add(m);
+  points_scored->Add(data_->rows() * m);
+  CountBatch(m, /*fallback=*/false);
+  return results;
 }
 
 TreeMipsIndex::TreeMipsIndex(const Matrix& data, std::size_t leaf_size,
@@ -131,7 +248,7 @@ std::optional<SearchMatch> TreeMipsIndex::Search(std::span<const double> q,
   evaluated_ += result.evaluated;
   SearchMatch best;
   best.index = result.index;
-  best.value = Score(Dot(data_->Row(result.index), q), spec);
+  best.value = Score(kernels::Dot(data_->Row(result.index), q), spec);
   return FilterByThreshold(best, spec);
 }
 
@@ -162,6 +279,20 @@ StatusOr<std::vector<SearchMatch>> TreeMipsIndex::Query(
   local.metrics.Set("tree.points_scored", info.points_scored);
   PublishQuery(std::move(owned), std::move(local), stats);
   return matches;
+}
+
+StatusOr<std::vector<QueryResult>> TreeMipsIndex::BatchQuery(
+    const Matrix& queries, const QueryOptions& options) const {
+  IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
+  if (!options.is_signed) {
+    return Status::InvalidArgument(
+        "ball-tree top-k answers signed queries only");
+  }
+  if (queries.rows() == 0) return std::vector<QueryResult>();
+  // Descents stay per-query (each query prunes its own subtree); the
+  // batch win is the gather-kernel leaf scan inside every descent.
+  return RunPerQueryBatch(*this, queries, options, "tree.batch",
+                          /*fallback=*/false);
 }
 
 LshMipsIndex::LshMipsIndex(const Matrix& data,
@@ -228,7 +359,7 @@ std::optional<SearchMatch> LshMipsIndex::Search(std::span<const double> q,
   SearchMatch best;
   best.value = -std::numeric_limits<double>::infinity();
   for (std::size_t index : candidates) {
-    const double score = Score(Dot(data_->Row(index), q), spec);
+    const double score = Score(kernels::Dot(data_->Row(index), q), spec);
     ++evaluated_;
     if (score > best.value) {
       best.value = score;
@@ -269,6 +400,77 @@ StatusOr<std::vector<SearchMatch>> LshMipsIndex::Query(
                     info.raw_candidates - info.unique_candidates);
   PublishQuery(std::move(owned), std::move(local), stats);
   return matches;
+}
+
+StatusOr<std::vector<QueryResult>> LshMipsIndex::BatchQuery(
+    const Matrix& queries, const QueryOptions& options) const {
+  IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
+  const std::size_t m = queries.rows();
+  if (m == 0) return std::vector<QueryResult>();
+  std::shared_ptr<Trace> batch_trace = MakeBatchTrace(options, Name());
+  std::vector<QueryResult> results(m);
+  std::vector<kernels::TopKHeap> heaps;
+  heaps.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) heaps.emplace_back(options.k);
+  static Counter* const verified =
+      MetricsRegistry::Global().GetCounter("core.candidates_verified");
+  {
+    TraceSpan span(batch_trace.get(), "lsh.batch");
+    // Probe stage: transform + table lookup per query. Candidate sets
+    // stay per-query; the shared work is downstream.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;  // (row, query)
+    {
+      TraceSpan probe(batch_trace.get(), "probe");
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::span<const double> q = queries.Row(i);
+        std::vector<double> transformed;
+        std::span<const double> hashed = q;
+        if (transform_ != nullptr) {
+          transformed = transform_->TransformQuery(q);
+          hashed = transformed;
+        }
+        LshQueryInfo info;
+        const std::vector<std::size_t> candidates =
+            tables_->Query(hashed, nullptr, &info);
+        for (std::size_t row : candidates) pairs.emplace_back(row, i);
+        QueryStats& stats = results[i].stats;
+        stats.algorithm = QueryAlgo::kLsh;
+        stats.candidates = candidates.size();
+        stats.dot_products = candidates.size();
+        stats.metrics.Set("lsh.tables.buckets_probed", info.tables_probed);
+        stats.metrics.Set("lsh.tables.buckets_hit", info.buckets_hit);
+        stats.metrics.Set("lsh.tables.candidates_raw", info.raw_candidates);
+        stats.metrics.Set("lsh.tables.candidates_unique",
+                          info.unique_candidates);
+        stats.metrics.Set("lsh.tables.duplicates",
+                          info.raw_candidates - info.unique_candidates);
+      }
+      probe.AddCount("batch_queries", m);
+    }
+    // Verify stage, grouped by data row across the batch: sorting the
+    // (row, query) pairs means each data row the batch bucketed is
+    // loaded once and scored against every query that wants it.
+    {
+      TraceSpan verify(batch_trace.get(), "verify");
+      std::sort(pairs.begin(), pairs.end());
+      for (const auto& [row, qi] : pairs) {
+        const double raw = kernels::Dot(data_->Row(row), queries.Row(qi));
+        const double value = options.is_signed ? raw : std::abs(raw);
+        if (heaps[qi].Accepts(value, row)) heaps[qi].Push(row, value);
+      }
+      verify.AddCount("candidates", pairs.size());
+    }
+    verified->Add(pairs.size());
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    QueryResult& result = results[i];
+    for (const auto& entry : heaps[i].TakeSorted()) {
+      result.matches.push_back({entry.index, entry.value});
+    }
+    if (batch_trace != nullptr) result.stats.trace = batch_trace;
+  }
+  CountBatch(m, /*fallback=*/false);
+  return results;
 }
 
 std::vector<std::size_t> LshMipsIndex::Candidates(
@@ -313,7 +515,7 @@ StatusOr<std::vector<SearchMatch>> SketchIndex::Query(
   {
     TraceSpan span(t, "sketch");
     const std::size_t index = sketch_.RecoverArgmax(q, t, &info);
-    matches.push_back({index, std::abs(Dot(data_->Row(index), q))});
+    matches.push_back({index, std::abs(kernels::Dot(data_->Row(index), q))});
   }
   local.candidates = info.leaf_points;
   // Dot-equivalent work: each sketch row product is one length-d dot.
@@ -325,6 +527,20 @@ StatusOr<std::vector<SearchMatch>> SketchIndex::Query(
   return matches;
 }
 
+StatusOr<std::vector<QueryResult>> SketchIndex::BatchQuery(
+    const Matrix& queries, const QueryOptions& options) const {
+  IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
+  if (options.is_signed || options.k != 1) {
+    return Status::InvalidArgument(
+        "sketch path answers unsigned k=1 queries only");
+  }
+  if (queries.rows() == 0) return std::vector<QueryResult>();
+  // Argmax recoveries stay per-query; the batch win is the dispatched
+  // mat-vec estimate pass inside every descent.
+  return RunPerQueryBatch(*this, queries, options, "sketch.batch",
+                          /*fallback=*/false);
+}
+
 std::optional<SearchMatch> SketchIndex::Search(std::span<const double> q,
                                                const JoinSpec& spec) const {
   IPS_CHECK(!spec.is_signed)
@@ -333,7 +549,7 @@ std::optional<SearchMatch> SketchIndex::Search(std::span<const double> q,
   ++evaluated_;
   SearchMatch best;
   best.index = index;
-  best.value = std::abs(Dot(data_->Row(index), q));
+  best.value = std::abs(kernels::Dot(data_->Row(index), q));
   return FilterByThreshold(best, spec);
 }
 

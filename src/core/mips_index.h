@@ -72,6 +72,27 @@ class MipsIndex {
   [[nodiscard]] virtual StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const = 0;
+
+  /// Pure-batch entry point: answers every row of `queries` under one
+  /// shared `options` and returns one QueryResult per row, in row
+  /// order. Semantically identical to calling Query once per row — the
+  /// equivalence suite (tests/batch_query_test.cc) holds every index to
+  /// that — but specialized implementations amortize work across the
+  /// batch (tiled block scoring in brute force, shared transforms and
+  /// row-grouped verification in LSH). The deadline in `options` is
+  /// inherited by each member query (see QueryOptions::deadline_seconds).
+  ///
+  /// The default implementation is the per-query fallback: one Query
+  /// call per row. Tracing: when options.trace is set the batch
+  /// allocates one Trace for the whole call and every result's
+  /// stats.trace shares it.
+  ///
+  /// An invalid request (bad options, dimension mismatch, or options
+  /// the path cannot honor) fails the whole batch with the same Status
+  /// a single Query would return. An empty `queries` yields an empty
+  /// result vector.
+  [[nodiscard]] virtual StatusOr<std::vector<QueryResult>> BatchQuery(
+      const Matrix& queries, const QueryOptions& options) const;
 };
 
 /// Exact full scan.
@@ -93,6 +114,10 @@ class BruteForceIndex : public MipsIndex {
   [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
+  /// Tiled implementation: one kernels::BlockTopK pass scores the whole
+  /// batch against the data with cache-blocked reuse of data rows.
+  [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
+      const Matrix& queries, const QueryOptions& options) const override;
 
  private:
   const Matrix* data_;
@@ -118,6 +143,10 @@ class TreeMipsIndex : public MipsIndex {
   [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
+  /// Per-query descents under one batch trace; the leaf scans inside
+  /// each descent run through the dispatched gather kernel.
+  [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
+      const Matrix& queries, const QueryOptions& options) const override;
 
   /// The underlying ball tree, for callers that drive the (thread-safe,
   /// counter-free) QueryTopK / QueryMax primitives themselves.
@@ -158,6 +187,11 @@ class LshMipsIndex : public MipsIndex {
   [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
+  /// Probes every query's tables, then verifies candidates grouped by
+  /// data row across the whole batch: each row the batch touches is
+  /// loaded once and scored against every query that bucketed it.
+  [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
+      const Matrix& queries, const QueryOptions& options) const override;
 
   /// Mean number of candidates per query so far (work diagnostic).
   double MeanCandidates() const;
@@ -199,6 +233,11 @@ class SketchIndex : public MipsIndex {
   [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
+  /// Per-query argmax recoveries under one batch trace; the sketch-row
+  /// estimate pass inside each descent runs through the dispatched
+  /// mat-vec kernel.
+  [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
+      const Matrix& queries, const QueryOptions& options) const override;
 
   const SketchMipsIndex& sketch() const { return sketch_; }
 

@@ -7,7 +7,7 @@
 #include <numeric>
 #include <utility>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -23,7 +23,7 @@ NormRangeIndex::NormRangeIndex(const Matrix& data,
   std::vector<std::uint32_t> order(data.rows());
   std::iota(order.begin(), order.end(), 0);
   std::vector<double> norms(data.rows());
-  for (std::size_t i = 0; i < data.rows(); ++i) norms[i] = Norm(data.Row(i));
+  for (std::size_t i = 0; i < data.rows(); ++i) norms[i] = kernels::Norm(data.Row(i));
   std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
     return norms[a] > norms[b];
   });
@@ -36,7 +36,7 @@ NormRangeIndex::NormRangeIndex(const Matrix& data,
     bucket.members.assign(order.begin() + begin, order.begin() + end);
     bucket.max_norm = norms[bucket.members.front()];
     for (std::uint32_t member : bucket.members) {
-      bucket.directions.AppendRow(Normalized(data.Row(member)));
+      bucket.directions.AppendRow(kernels::Normalized(data.Row(member)));
     }
     bucket.family = std::make_unique<SimHashFamily>(data.cols());
     bucket.tables = std::make_unique<LshTables>(
@@ -48,9 +48,9 @@ NormRangeIndex::NormRangeIndex(const Matrix& data,
 std::optional<SearchMatch> NormRangeIndex::Search(std::span<const double> q,
                                                   const JoinSpec& spec) const {
   IPS_CHECK(spec.is_signed) << "NormRangeIndex answers signed MIPS";
-  const double query_norm = Norm(q);
+  const double query_norm = kernels::Norm(q);
   if (query_norm == 0.0) return std::nullopt;
-  const std::vector<double> direction = Normalized(q);
+  const std::vector<double> direction = kernels::Normalized(q);
 
   SearchMatch best;
   best.value = -std::numeric_limits<double>::infinity();
@@ -66,7 +66,7 @@ std::optional<SearchMatch> NormRangeIndex::Search(std::span<const double> q,
         std::max(best.value, spec.cs()) / bucket_bound;
     auto consider = [&](std::size_t position) {
       const std::uint32_t member = bucket.members[position];
-      const double value = Dot(data_->Row(member), q);
+      const double value = kernels::Dot(data_->Row(member), q);
       ++evaluated_;
       if (value > best.value) {
         best.value = value;
@@ -124,9 +124,9 @@ StatusOr<std::vector<SearchMatch>> NormRangeIndex::Query(
   std::size_t scored = 0;
   {
     TraceSpan span(t, "norm-range");
-    const double query_norm = Norm(q);
+    const double query_norm = kernels::Norm(q);
     if (query_norm > 0.0) {
-      const std::vector<double> direction = Normalized(q);
+      const std::vector<double> direction = kernels::Normalized(q);
       const auto order = [](const SearchMatch& a, const SearchMatch& b) {
         if (a.value != b.value) return a.value > b.value;
         return a.index < b.index;
@@ -148,7 +148,7 @@ StatusOr<std::vector<SearchMatch>> NormRangeIndex::Query(
         const double local_cosine = kth() / bucket_bound;
         auto consider = [&](std::size_t position) {
           const std::uint32_t member = bucket.members[position];
-          const SearchMatch m{member, Dot(data_->Row(member), q)};
+          const SearchMatch m{member, kernels::Dot(data_->Row(member), q)};
           ++scored;
           const auto it = std::lower_bound(best.begin(), best.end(), m, order);
           best.insert(it, m);

@@ -18,6 +18,18 @@ std::string_view QueryAlgoName(QueryAlgo algo) {
   return "unknown";
 }
 
+void QueryStats::Merge(const QueryStats& other) {
+  candidates += other.candidates;
+  dot_products += other.dot_products;
+  exec_seconds += other.exec_seconds;
+  queue_seconds += other.queue_seconds;
+  deadline_met = deadline_met && other.deadline_met;
+  batch_size += other.batch_size;
+  for (const auto& [key, value] : other.metrics.items()) {
+    metrics.Add(key, value);
+  }
+}
+
 Status ValidateQueryOptions(const QueryOptions& options) {
   if (options.k < 1) {
     return Status::InvalidArgument("top-k query needs k >= 1");

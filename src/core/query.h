@@ -60,6 +60,9 @@ struct QueryOptions {
   bool is_signed = true;
   /// Relative deadline, used by the batch scheduler's admission and
   /// late-finish accounting (infinity = no deadline). Must be positive.
+  /// In a BatchQuery the deadline is inherited per query: every member
+  /// of the batch carries this same relative deadline individually
+  /// (deadline_met is judged per member, not once for the batch).
   double deadline_seconds = std::numeric_limits<double>::infinity();
   /// Bypass the planner and force an answer path (A/B comparisons,
   /// benchmarks). The forced path must be able to answer the request
@@ -100,12 +103,22 @@ struct QueryStats {
   double queue_seconds = 0.0;
   /// False when the request finished after its deadline (scheduler only).
   bool deadline_met = true;
+  /// Queries whose work this object accounts for: 1 for a single query,
+  /// the member count after Merge()-ing a batch's per-query stats.
+  std::size_t batch_size = 1;
   /// Labeled per-algorithm extensions, e.g. "lsh.tables.buckets_probed".
   MetricSet metrics;
   /// Per-stage span tree, when QueryOptions::trace was set.
   std::shared_ptr<const Trace> trace;
 
   double TotalSeconds() const { return exec_seconds + queue_seconds; }
+
+  /// Folds `other` into this: counters and times sum, batch_size sums,
+  /// deadline_met ANDs, labeled metrics add key-wise. The algorithm and
+  /// trace of `this` are kept (an aggregate describes one batch, whose
+  /// members share a path and a batch-level trace). This is the one
+  /// aggregation primitive — there is no separate batch-stats type.
+  void Merge(const QueryStats& other);
 };
 
 /// One served answer: ranked matches plus what they cost and why that

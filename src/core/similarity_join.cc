@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "linalg/validate.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -75,7 +75,7 @@ JoinResult ExactJoin(const Matrix& data, const Matrix& queries,
       SearchMatch best;
       best.value = -std::numeric_limits<double>::infinity();
       for (std::size_t di = 0; di < data.rows(); ++di) {
-        const double raw = Dot(data.Row(di), q);
+        const double raw = kernels::Dot(data.Row(di), q);
         const double score = spec.is_signed ? raw : std::abs(raw);
         ++local_products;
         if (score > best.value) {
@@ -139,7 +139,7 @@ StatusOr<JoinResult> ExactJoinChecked(const Matrix& data,
           SearchMatch best;
           best.value = -std::numeric_limits<double>::infinity();
           for (std::size_t di = 0; di < data.rows(); ++di) {
-            const double raw = Dot(data.Row(di), q);
+            const double raw = kernels::Dot(data.Row(di), q);
             const double score = spec.is_signed ? raw : std::abs(raw);
             ++local_products;
             if (score > best.value) {

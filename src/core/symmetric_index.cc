@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "linalg/validate.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -73,7 +73,7 @@ std::optional<SearchMatch> SymmetricMipsIndex::Search(
   // guarantee does not cover the (q, q) pair; answer it exactly.
   std::size_t exact_index = 0;
   if (LookupExact(q, &exact_index)) {
-    const double raw = Dot(q, q);
+    const double raw = kernels::Dot(q, q);
     const double score = spec.is_signed ? raw : std::abs(raw);
     if (score >= spec.cs()) {
       return SearchMatch{exact_index, score};
@@ -121,7 +121,7 @@ StatusOr<std::vector<SearchMatch>> SymmetricMipsIndex::Query(
     bool present = false;
     for (const SearchMatch& m : matches) present = present || m.index == exact_index;
     if (!present) {
-      const double raw = Dot(q, q);
+      const double raw = kernels::Dot(q, q);
       matches.push_back({exact_index, options.is_signed ? raw : std::abs(raw)});
       std::sort(matches.begin(), matches.end(),
                 [](const SearchMatch& a, const SearchMatch& b) {

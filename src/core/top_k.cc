@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -30,11 +30,12 @@ std::vector<SearchMatch> TopKBruteForce(const Matrix& data,
                                         std::span<const double> q,
                                         std::size_t k, bool is_signed) {
   IPS_CHECK_GE(k, 1u);
+  std::vector<double> raw(data.rows());
+  kernels::MatVec(data, q, raw);
   std::vector<SearchMatch> scored;
   scored.reserve(data.rows());
   for (std::size_t i = 0; i < data.rows(); ++i) {
-    const double raw = Dot(data.Row(i), q);
-    scored.push_back({i, is_signed ? raw : std::abs(raw)});
+    scored.push_back({i, is_signed ? raw[i] : std::abs(raw[i])});
   }
   return KBest(std::move(scored), k);
 }
@@ -56,11 +57,12 @@ std::vector<SearchMatch> TopKFromCandidates(
     const std::vector<std::size_t>& candidates, std::size_t k,
     bool is_signed) {
   IPS_CHECK_GE(k, 1u);
+  std::vector<double> raw(candidates.size());
+  kernels::GatherScores(data, candidates, q, raw);
   std::vector<SearchMatch> scored;
   scored.reserve(candidates.size());
-  for (std::size_t index : candidates) {
-    const double raw = Dot(data.Row(index), q);
-    scored.push_back({index, is_signed ? raw : std::abs(raw)});
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    scored.push_back({candidates[j], is_signed ? raw[j] : std::abs(raw[j])});
   }
   return KBest(std::move(scored), k);
 }
@@ -100,10 +102,12 @@ std::vector<SearchMatch> QueryFromCandidates(
   std::vector<SearchMatch> scored;
   {
     TraceSpan span(trace, "verify");
+    std::vector<double> raw(candidates.size());
+    kernels::GatherScores(data, candidates, q, raw);
     scored.reserve(candidates.size());
-    for (std::size_t index : candidates) {
-      const double raw = Dot(data.Row(index), q);
-      scored.push_back({index, options.is_signed ? raw : std::abs(raw)});
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      scored.push_back(
+          {candidates[j], options.is_signed ? raw[j] : std::abs(raw[j])});
     }
     span.AddCount("candidates", candidates.size());
   }

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -24,7 +24,7 @@ std::vector<double> SignRoundingReduction::Apply(
   IPS_CHECK_EQ(x.size(), input_dim_);
   std::vector<double> out(directions_.rows());
   for (std::size_t t = 0; t < directions_.rows(); ++t) {
-    out[t] = Dot(directions_.Row(t), x) >= 0.0 ? 1.0 : -1.0;
+    out[t] = kernels::Dot(directions_.Row(t), x) >= 0.0 ? 1.0 : -1.0;
   }
   return out;
 }

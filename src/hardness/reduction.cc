@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -13,7 +13,7 @@ std::optional<std::pair<std::size_t, std::size_t>> BruteForceJoinOracle(
   (void)cs;  // The exact scan can afford the strict threshold s.
   for (std::size_t i = 0; i < p.rows(); ++i) {
     for (std::size_t j = 0; j < q.rows(); ++j) {
-      const double value = Dot(p.Row(i), q.Row(j));
+      const double value = kernels::Dot(p.Row(i), q.Row(j));
       const double score = is_signed ? value : std::abs(value);
       if (score >= s) return std::make_pair(i, j);
     }

@@ -1,0 +1,184 @@
+// AVX2+FMA kernel table (see kernels.h for the dispatch contract).
+// Built with per-function target attributes so the translation unit
+// compiles under the project's portable flags; every function here is
+// only ever called after Avx2Available() said yes.
+
+#include "linalg/kernels.h"
+
+#include "util/check.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+namespace ips {
+namespace kernels {
+namespace {
+
+#define IPS_AVX2 __attribute__((target("avx2,fma")))
+
+// (lane0 + lane2) + (lane1 + lane3); FMA contraction already separates
+// this path from the scalar one by rounding, so the exact reduction
+// tree is free to be the cheapest one.
+IPS_AVX2 inline double HorizontalSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+}
+
+IPS_AVX2 double DotAvx2(const double* x, const double* y, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i),
+                           _mm256_loadu_pd(y + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                           _mm256_loadu_pd(y + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 8),
+                           _mm256_loadu_pd(y + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 12),
+                           _mm256_loadu_pd(y + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i),
+                           _mm256_loadu_pd(y + i), acc0);
+  }
+  double total = HorizontalSum(
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)));
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+IPS_AVX2 void MatVecAvx2(const double* data, std::size_t rows,
+                         std::size_t cols, const double* q, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = DotAvx2(data + r * cols, q, cols);
+  }
+}
+
+// The register-blocked heart of the tiled scorer: two data rows against
+// four queries. Each 4-wide column step loads the two row vectors once
+// and reuses them across all four queries (6 loads feeding 8 FMAs),
+// which is what lifts the batch path past the per-query memory wall.
+IPS_AVX2 void Score2x4(const double* row0, const double* row1,
+                       const double* q0, const double* q1, const double* q2,
+                       const double* q3, std::size_t cols, double* out0,
+                       double* out1) {
+  __m256d a00 = _mm256_setzero_pd(), a01 = _mm256_setzero_pd();
+  __m256d a02 = _mm256_setzero_pd(), a03 = _mm256_setzero_pd();
+  __m256d a10 = _mm256_setzero_pd(), a11 = _mm256_setzero_pd();
+  __m256d a12 = _mm256_setzero_pd(), a13 = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const __m256d va = _mm256_loadu_pd(row0 + j);
+    const __m256d vb = _mm256_loadu_pd(row1 + j);
+    __m256d vq = _mm256_loadu_pd(q0 + j);
+    a00 = _mm256_fmadd_pd(va, vq, a00);
+    a10 = _mm256_fmadd_pd(vb, vq, a10);
+    vq = _mm256_loadu_pd(q1 + j);
+    a01 = _mm256_fmadd_pd(va, vq, a01);
+    a11 = _mm256_fmadd_pd(vb, vq, a11);
+    vq = _mm256_loadu_pd(q2 + j);
+    a02 = _mm256_fmadd_pd(va, vq, a02);
+    a12 = _mm256_fmadd_pd(vb, vq, a12);
+    vq = _mm256_loadu_pd(q3 + j);
+    a03 = _mm256_fmadd_pd(va, vq, a03);
+    a13 = _mm256_fmadd_pd(vb, vq, a13);
+  }
+  double s00 = HorizontalSum(a00), s01 = HorizontalSum(a01);
+  double s02 = HorizontalSum(a02), s03 = HorizontalSum(a03);
+  double s10 = HorizontalSum(a10), s11 = HorizontalSum(a11);
+  double s12 = HorizontalSum(a12), s13 = HorizontalSum(a13);
+  for (; j < cols; ++j) {
+    const double va = row0[j], vb = row1[j];
+    s00 += va * q0[j];
+    s01 += va * q1[j];
+    s02 += va * q2[j];
+    s03 += va * q3[j];
+    s10 += vb * q0[j];
+    s11 += vb * q1[j];
+    s12 += vb * q2[j];
+    s13 += vb * q3[j];
+  }
+  out0[0] = s00;
+  out0[1] = s01;
+  out0[2] = s02;
+  out0[3] = s03;
+  out1[0] = s10;
+  out1[1] = s11;
+  out1[2] = s12;
+  out1[3] = s13;
+}
+
+IPS_AVX2 void ScoreBlockAvx2(const double* data, std::size_t rows,
+                             std::size_t cols, const double* queries,
+                             std::size_t num_q, std::size_t q_stride,
+                             double* out, std::size_t out_stride) {
+  std::size_t qi = 0;
+  for (; qi + 4 <= num_q; qi += 4) {
+    const double* q0 = queries + qi * q_stride;
+    const double* q1 = q0 + q_stride;
+    const double* q2 = q1 + q_stride;
+    const double* q3 = q2 + q_stride;
+    std::size_t r = 0;
+    for (; r + 2 <= rows; r += 2) {
+      double s0[4], s1[4];
+      Score2x4(data + r * cols, data + (r + 1) * cols, q0, q1, q2, q3,
+               cols, s0, s1);
+      for (std::size_t t = 0; t < 4; ++t) {
+        out[(qi + t) * out_stride + r] = s0[t];
+        out[(qi + t) * out_stride + r + 1] = s1[t];
+      }
+    }
+    if (r < rows) {
+      const double* row = data + r * cols;
+      out[qi * out_stride + r] = DotAvx2(row, q0, cols);
+      out[(qi + 1) * out_stride + r] = DotAvx2(row, q1, cols);
+      out[(qi + 2) * out_stride + r] = DotAvx2(row, q2, cols);
+      out[(qi + 3) * out_stride + r] = DotAvx2(row, q3, cols);
+    }
+  }
+  for (; qi < num_q; ++qi) {
+    const double* q = queries + qi * q_stride;
+    double* row_out = out + qi * out_stride;
+    for (std::size_t r = 0; r < rows; ++r) {
+      row_out[r] = DotAvx2(data + r * cols, q, cols);
+    }
+  }
+}
+
+#undef IPS_AVX2
+
+}  // namespace
+
+const KernelOps& Avx2Ops() {
+  IPS_CHECK(Avx2Available())
+      << "Avx2Ops() requested on a CPU without AVX2+FMA";
+  static const KernelOps ops = {"avx2", &DotAvx2, &MatVecAvx2,
+                                &ScoreBlockAvx2};
+  return ops;
+}
+
+}  // namespace kernels
+}  // namespace ips
+
+#else  // non-x86: the AVX2 table must not be reachable.
+
+namespace ips {
+namespace kernels {
+
+const KernelOps& Avx2Ops() {
+  IPS_CHECK(false) << "Avx2Ops() is unavailable on this architecture";
+  return ScalarOps();  // unreachable
+}
+
+}  // namespace kernels
+}  // namespace ips
+
+#endif

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -26,7 +26,7 @@ std::vector<double> GaussianProjection::Apply(
   IPS_CHECK_EQ(x.size(), matrix_.cols());
   std::vector<double> result(matrix_.rows());
   for (std::size_t i = 0; i < matrix_.rows(); ++i) {
-    result[i] = Dot(matrix_.Row(i), x);
+    result[i] = kernels::Dot(matrix_.Row(i), x);
   }
   return result;
 }

@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "linalg/validate.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -52,7 +52,7 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
           continue;
         }
         ++verified_pairs;
-        const double raw = Dot(data.Row(di), queries.Row(qi));
+        const double raw = kernels::Dot(data.Row(di), queries.Row(qi));
         const double score = is_signed ? raw : std::abs(raw);
         if (score < cs_threshold) continue;
         auto& best = result.per_query[qi];

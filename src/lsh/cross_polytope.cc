@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "linalg/matrix.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -21,7 +21,7 @@ class CrossPolytopeFunction : public SymmetricLshFunction {
     double best_value = 0.0;
     double best_magnitude = -1.0;
     for (std::size_t i = 0; i < rotation_.rows(); ++i) {
-      const double value = Dot(rotation_.Row(i), p);
+      const double value = kernels::Dot(rotation_.Row(i), p);
       const double magnitude = std::abs(value);
       if (magnitude > best_magnitude) {
         best_magnitude = magnitude;

@@ -5,7 +5,7 @@
 #include <sstream>
 #include <vector>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -22,7 +22,7 @@ class E2LshFunction : public SymmetricLshFunction {
   }
 
   std::uint64_t HashData(std::span<const double> p) const override {
-    const double projected = Dot(direction_, p) + offset_;
+    const double projected = kernels::Dot(direction_, p) + offset_;
     const double bucket = std::floor(projected / width_);
     return static_cast<std::uint64_t>(static_cast<std::int64_t>(bucket));
   }

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -40,7 +40,7 @@ std::uint64_t MultiprobeSimHashTables::KeyWithMargins(
   margins->resize(params_.k);
   std::uint64_t key = 0;
   for (std::size_t bit = 0; bit < params_.k; ++bit) {
-    const double projection = Dot(table.directions.Row(bit), q);
+    const double projection = kernels::Dot(table.directions.Row(bit), q);
     if (projection >= 0.0) key |= 1ULL << bit;
     (*margins)[bit] = std::abs(projection);
   }

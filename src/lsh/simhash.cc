@@ -5,7 +5,7 @@
 #include <numbers>
 #include <vector>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -18,7 +18,7 @@ class SimHashFunction : public SymmetricLshFunction {
   }
 
   std::uint64_t HashData(std::span<const double> p) const override {
-    return Dot(direction_, p) >= 0.0 ? 1 : 0;
+    return kernels::Dot(direction_, p) >= 0.0 ? 1 : 0;
   }
 
  private:

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -46,7 +46,7 @@ std::vector<double> DualBallTransform::TransformData(
     std::span<const double> p) const {
   IPS_CHECK_EQ(p.size(), dim_);
   std::vector<double> out(p.begin(), p.end());
-  out.push_back(SqrtComplement(SquaredNorm(p)));
+  out.push_back(SqrtComplement(kernels::SquaredNorm(p)));
   out.push_back(0.0);
   return out;
 }
@@ -55,8 +55,8 @@ std::vector<double> DualBallTransform::TransformQuery(
     std::span<const double> q) const {
   IPS_CHECK_EQ(q.size(), dim_);
   std::vector<double> out(q.begin(), q.end());
-  ScaleInPlace(out, 1.0 / query_radius_);
-  const double scaled_norm_sq = SquaredNorm(out);
+  kernels::ScaleInPlace(out, 1.0 / query_radius_);
+  const double scaled_norm_sq = kernels::SquaredNorm(out);
   out.push_back(0.0);
   out.push_back(SqrtComplement(scaled_norm_sq));
   return out;
@@ -73,8 +73,8 @@ std::vector<double> SimpleMipsTransform::TransformData(
     std::span<const double> p) const {
   IPS_CHECK_EQ(p.size(), dim_);
   std::vector<double> out(p.begin(), p.end());
-  ScaleInPlace(out, 1.0 / max_data_norm_);
-  const double scaled_norm_sq = SquaredNorm(out);
+  kernels::ScaleInPlace(out, 1.0 / max_data_norm_);
+  const double scaled_norm_sq = kernels::SquaredNorm(out);
   out.push_back(SqrtComplement(scaled_norm_sq));
   return out;
 }
@@ -82,7 +82,7 @@ std::vector<double> SimpleMipsTransform::TransformData(
 std::vector<double> SimpleMipsTransform::TransformQuery(
     std::span<const double> q) const {
   IPS_CHECK_EQ(q.size(), dim_);
-  std::vector<double> out = Normalized(q);
+  std::vector<double> out = kernels::Normalized(q);
   out.push_back(0.0);
   return out;
 }
@@ -96,7 +96,7 @@ XboxTransform::XboxTransform(std::size_t dim, double max_data_norm)
 std::vector<double> XboxTransform::TransformData(
     std::span<const double> p) const {
   IPS_CHECK_EQ(p.size(), dim_);
-  const double norm_sq = SquaredNorm(p);
+  const double norm_sq = kernels::SquaredNorm(p);
   const double m_sq = max_data_norm_ * max_data_norm_;
   IPS_CHECK_LE(norm_sq, m_sq * (1.0 + 1e-9));
   std::vector<double> out(p.begin(), p.end());
@@ -127,8 +127,8 @@ std::vector<double> L2AlshTransform::TransformData(
     std::span<const double> p) const {
   IPS_CHECK_EQ(p.size(), dim_);
   std::vector<double> out(p.begin(), p.end());
-  ScaleInPlace(out, u_scale_ / max_data_norm_);
-  double power = SquaredNorm(out);  // ||x'||^2
+  kernels::ScaleInPlace(out, u_scale_ / max_data_norm_);
+  double power = kernels::SquaredNorm(out);  // ||x'||^2
   for (std::size_t i = 0; i < m_; ++i) {
     out.push_back(power);
     power *= power;  // ||x'||^(2^(i+1)) -> next squared power
@@ -139,7 +139,7 @@ std::vector<double> L2AlshTransform::TransformData(
 std::vector<double> L2AlshTransform::TransformQuery(
     std::span<const double> q) const {
   IPS_CHECK_EQ(q.size(), dim_);
-  std::vector<double> out = Normalized(q);
+  std::vector<double> out = kernels::Normalized(q);
   out.insert(out.end(), m_, 0.5);
   return out;
 }
@@ -211,7 +211,7 @@ std::vector<double> SymmetricIncoherentTransform::TransformData(
   IPS_CHECK_EQ(p.size(), dim_);
   std::vector<double> out(p.begin(), p.end());
   out.resize(dim_ + family_.dim(), 0.0);
-  const double lift = SqrtComplement(SquaredNorm(p));
+  const double lift = SqrtComplement(kernels::SquaredNorm(p));
   if (lift > 0.0) {
     const std::uint64_t index = Fingerprint(p);
     const double value =

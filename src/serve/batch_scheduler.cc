@@ -1,6 +1,7 @@
 #include "serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <utility>
 
@@ -25,6 +26,8 @@ struct SchedulerMetrics {
   Counter* shed;
   Counter* expired;
   Counter* batches;
+  Counter* batch_groups;
+  Counter* batched_queries;
   Gauge* queue_depth;
 
   static const SchedulerMetrics& Get() {
@@ -34,10 +37,23 @@ struct SchedulerMetrics {
         MetricsRegistry::Global().GetCounter("serve.scheduler.shed"),
         MetricsRegistry::Global().GetCounter("serve.scheduler.expired"),
         MetricsRegistry::Global().GetCounter("serve.scheduler.batches"),
+        MetricsRegistry::Global().GetCounter("serve.scheduler.batch_groups"),
+        MetricsRegistry::Global().GetCounter(
+            "serve.scheduler.batched_queries"),
         MetricsRegistry::Global().GetGauge("serve.scheduler.queue_depth")};
     return metrics;
   }
 };
+
+// Members sharing one Engine::BatchQuery call must agree on everything
+// the engine plans and executes from; only the deadline stays
+// per-member (judged from each request's own wall clock below).
+bool CompatibleOptions(const QueryOptions& a, const QueryOptions& b) {
+  return a.k == b.k && a.recall_target == b.recall_target &&
+         a.candidate_budget == b.candidate_budget &&
+         a.is_signed == b.is_signed && a.trace == b.trace &&
+         a.force_algorithm == b.force_algorithm;
+}
 
 }  // namespace
 
@@ -156,42 +172,127 @@ void BatchScheduler::DispatchLoop() {
   }
 }
 
+std::vector<std::vector<std::size_t>> BatchScheduler::GroupCompatible(
+    const std::vector<Pending>& batch) const {
+  const std::size_t dim = engine_->data().cols();
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Wrong-dimension requests stay singletons so the per-query path
+    // reports the same validation Status it always has.
+    if (batch[i].query.size() == dim) {
+      bool placed = false;
+      for (auto& group : groups) {
+        if (batch[group.front()].query.size() == dim &&
+            CompatibleOptions(batch[group.front()].options,
+                              batch[i].options)) {
+          group.push_back(i);
+          placed = true;
+          break;
+        }
+      }
+      if (placed) continue;
+    }
+    groups.push_back({i});
+  }
+  return groups;
+}
+
 void BatchScheduler::RunBatch(std::vector<Pending> batch) {
   // Chunks write disjoint index ranges; plain bytes (not the bit-packed
   // vector<bool>) keep those writes race-free.
   std::vector<unsigned char> answered(batch.size(), 0);
   std::vector<unsigned char> expired(batch.size(), 0);
+
+  // Coalesced execution plan: compatible members share one
+  // Engine::BatchQuery call; with batching off (or nothing compatible)
+  // every group is a singleton on the per-query path.
+  std::vector<std::vector<std::size_t>> groups;
+  if (options_.use_batch_execution) {
+    groups = GroupCompatible(batch);
+  } else {
+    groups.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) groups.push_back({i});
+  }
+
+  std::atomic<std::size_t> batch_groups{0};
+  std::atomic<std::size_t> batched_queries{0};
+
+  // Answers every not-yet-expired member of one group. Members of a
+  // group write disjoint batch indices, so groups can run on different
+  // pool threads without synchronization.
+  auto run_group = [&](const std::vector<std::size_t>& group) {
+    const Clock::time_point start = Clock::now();
+    std::vector<std::size_t> live;
+    live.reserve(group.size());
+    for (std::size_t i : group) {
+      Pending& pending = batch[i];
+      if (pending.has_deadline && start >= pending.deadline) {
+        pending.promise.set_value(Status::DeadlineExceeded(
+            "deadline passed before execution started"));
+        answered[i] = 1;
+        expired[i] = 1;
+        continue;
+      }
+      live.push_back(i);
+    }
+    if (live.empty()) return;
+
+    if (live.size() == 1) {
+      Pending& pending = batch[live.front()];
+      Result result = engine_->Query(pending.query, pending.options);
+      if (result.ok()) {
+        const Clock::time_point done = Clock::now();
+        QueryStats& stats = result.value().stats;
+        stats.queue_seconds =
+            std::chrono::duration<double>(start - pending.submitted_at)
+                .count();
+        stats.deadline_met =
+            !pending.has_deadline || done <= pending.deadline;
+      }
+      pending.promise.set_value(std::move(result));
+      answered[live.front()] = 1;
+      return;
+    }
+
+    Matrix group_queries(live.size(), batch[live.front()].query.size());
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      const std::vector<double>& q = batch[live[j]].query;
+      std::copy(q.begin(), q.end(), group_queries.Row(j).begin());
+    }
+    auto results = engine_->BatchQuery(group_queries,
+                                       batch[live.front()].options);
+    const Clock::time_point done = Clock::now();
+    batch_groups.fetch_add(1, std::memory_order_relaxed);
+    if (!results.ok()) {
+      for (std::size_t i : live) {
+        batch[i].promise.set_value(results.status());
+        answered[i] = 1;
+      }
+      return;
+    }
+    std::vector<QueryResult> out = std::move(results).value();
+    batched_queries.fetch_add(live.size(), std::memory_order_relaxed);
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      Pending& pending = batch[live[j]];
+      QueryResult result = std::move(out[j]);
+      result.stats.queue_seconds =
+          std::chrono::duration<double>(start - pending.submitted_at)
+              .count();
+      result.stats.deadline_met =
+          !pending.has_deadline || done <= pending.deadline;
+      pending.promise.set_value(std::move(result));
+      answered[live[j]] = 1;
+    }
+  };
+
   const Status batch_status = ParallelForStatus(
-      &pool_, batch.size(),
+      &pool_, groups.size(),
       [&](std::size_t begin, std::size_t end) -> Status {
         // Deadline-machinery failpoint: firing fails this chunk, and
         // ParallelForStatus cancels the chunks that have not started —
         // the dispatcher then answers every unanswered request below.
         IPS_FAILPOINT("serve/deadline");
-        for (std::size_t i = begin; i < end; ++i) {
-          Pending& pending = batch[i];
-          const Clock::time_point start = Clock::now();
-          if (pending.has_deadline && start >= pending.deadline) {
-            pending.promise.set_value(Status::DeadlineExceeded(
-                "deadline passed before execution started"));
-            answered[i] = 1;
-            expired[i] = 1;
-            continue;
-          }
-          Result result =
-              engine_->Query(pending.query, pending.options);
-          if (result.ok()) {
-            const Clock::time_point done = Clock::now();
-            QueryStats& stats = result.value().stats;
-            stats.queue_seconds =
-                std::chrono::duration<double>(start - pending.submitted_at)
-                    .count();
-            stats.deadline_met =
-                !pending.has_deadline || done <= pending.deadline;
-          }
-          pending.promise.set_value(std::move(result));
-          answered[i] = 1;
-        }
+        for (std::size_t g = begin; g < end; ++g) run_group(groups[g]);
         return Status::Ok();
       });
 
@@ -214,8 +315,14 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
     // Partition invariant: expired requests are not also completed.
     counters_.completed += batch.size() - expired_count;
     counters_.expired += expired_count;
+    counters_.batch_groups += batch_groups.load(std::memory_order_relaxed);
+    counters_.batched_queries +=
+        batched_queries.load(std::memory_order_relaxed);
     metrics.completed->Add(batch.size() - expired_count);
     metrics.expired->Add(expired_count);
+    metrics.batch_groups->Add(batch_groups.load(std::memory_order_relaxed));
+    metrics.batched_queries->Add(
+        batched_queries.load(std::memory_order_relaxed));
     in_flight_ -= batch.size();
     if (queue_.empty() && in_flight_ == 0) queue_drained_.NotifyAll();
   }

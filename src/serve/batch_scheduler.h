@@ -52,6 +52,12 @@ struct BatchSchedulerOptions {
   std::size_t max_queue = 1024;
   /// Requests coalesced into one batch (one ParallelForStatus fan-out).
   std::size_t max_batch = 64;
+  /// Hand compatible members of a coalesced batch (identical options
+  /// apart from the deadline, which stays per-member) to one
+  /// Engine::BatchQuery call instead of one Engine::Query each. Off
+  /// reproduces the sequential per-request execution (the bench A/B
+  /// baseline).
+  bool use_batch_execution = true;
 };
 
 /// Monotonic counters of a scheduler's lifetime (snapshot). Partition
@@ -68,6 +74,12 @@ struct SchedulerCounters {
   std::size_t expired = 0;
   std::size_t batches = 0;
   std::size_t max_queue_depth = 0;
+  /// Engine::BatchQuery calls issued (groups of >= 2 compatible
+  /// requests executed as one batch).
+  std::size_t batch_groups = 0;
+  /// Requests answered through those batched calls (subset of
+  /// completed).
+  std::size_t batched_queries = 0;
 };
 
 /// Coalescing scheduler over one Engine. Thread-safe.
@@ -110,6 +122,12 @@ class BatchScheduler {
 
   void DispatchLoop() IPS_EXCLUDES(mutex_);
   void RunBatch(std::vector<Pending> batch) IPS_EXCLUDES(mutex_);
+
+  /// Partitions batch indices into groups whose members can share one
+  /// Engine::BatchQuery call; incompatible or wrong-dimension requests
+  /// become singleton groups on the per-query path.
+  std::vector<std::vector<std::size_t>> GroupCompatible(
+      const std::vector<Pending>& batch) const;
 
   const Engine* engine_;
   BatchSchedulerOptions options_;

@@ -6,7 +6,7 @@
 
 #include "core/top_k.h"
 #include "linalg/validate.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -254,33 +254,9 @@ StatusOr<QueryResult> Engine::Query(std::span<const double> query,
   // trace is published below.
   StatusOr<QueryResult> outcome = [&]() -> StatusOr<QueryResult> {
     TraceSpan root(trace.get(), "serve/query");
-    PlanDecision plan;
-    {
-      TraceSpan plan_span(trace.get(), "serve/plan");
-      if (options.force_algorithm.has_value()) {
-        IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
-        const QueryAlgo forced = *options.force_algorithm;
-        if (forced == QueryAlgo::kBallTree && !options.is_signed) {
-          return Status::InvalidArgument(
-              "ball-tree top-k answers signed queries only");
-        }
-        if (forced == QueryAlgo::kSketch &&
-            (options.is_signed || options.k != 1)) {
-          return Status::InvalidArgument(
-              "sketch path answers unsigned k=1 queries only");
-        }
-        plan.algorithm = forced;
-        plan.expected_dot_products =
-            planner_->ExpectedDotProducts(forced, options);
-        plan.expected_recall = 0.0;
-        plan.reason =
-            std::string("forced ") + std::string(QueryAlgoName(forced));
-      } else {
-        auto decision = planner_->Plan(options);
-        IPS_RETURN_IF_ERROR(decision.status());
-        plan = std::move(decision).value();
-      }
-    }
+    auto planned = MakePlan(options, trace.get());
+    IPS_RETURN_IF_ERROR(planned.status());
+    PlanDecision plan = std::move(planned).value();
     IPS_RETURN_IF_ERROR(EnsureIndex(plan.algorithm));
     return Execute(plan.algorithm, query, options, std::move(plan),
                    trace.get());
@@ -301,29 +277,127 @@ StatusOr<QueryResult> Engine::Query(std::span<const double> query,
   return result;
 }
 
+StatusOr<PlanDecision> Engine::MakePlan(const QueryOptions& options,
+                                        Trace* trace) const {
+  TraceSpan plan_span(trace, "serve/plan");
+  PlanDecision plan;
+  if (options.force_algorithm.has_value()) {
+    IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+    const QueryAlgo forced = *options.force_algorithm;
+    if (forced == QueryAlgo::kBallTree && !options.is_signed) {
+      return Status::InvalidArgument(
+          "ball-tree top-k answers signed queries only");
+    }
+    if (forced == QueryAlgo::kSketch &&
+        (options.is_signed || options.k != 1)) {
+      return Status::InvalidArgument(
+          "sketch path answers unsigned k=1 queries only");
+    }
+    plan.algorithm = forced;
+    plan.expected_dot_products =
+        planner_->ExpectedDotProducts(forced, options);
+    plan.expected_recall = 0.0;
+    plan.reason =
+        std::string("forced ") + std::string(QueryAlgoName(forced));
+    return plan;
+  }
+  auto decision = planner_->Plan(options);
+  IPS_RETURN_IF_ERROR(decision.status());
+  return std::move(decision).value();
+}
+
+const MipsIndex* Engine::PinIndex(QueryAlgo algo) const {
+  MutexLock lock(build_mutex_);
+  switch (algo) {
+    case QueryAlgo::kBruteForce:
+      return brute_index_.get();
+    case QueryAlgo::kBallTree:
+      return tree_index_.get();
+    case QueryAlgo::kLsh:
+      return lsh_index_.get();
+    case QueryAlgo::kSketch:
+      return sketch_index_.get();
+  }
+  return nullptr;
+}
+
+StatusOr<std::vector<QueryResult>> Engine::BatchQuery(
+    const Matrix& queries, const QueryOptions& options) const {
+  static Counter* const batch_requests =
+      MetricsRegistry::Global().GetCounter("serve.engine.batch.requests");
+  static Counter* const batch_queries =
+      MetricsRegistry::Global().GetCounter("serve.engine.batch.queries");
+  static Counter* const traced =
+      MetricsRegistry::Global().GetCounter("serve.engine.traced");
+  static Counter* const selected[kNumQueryAlgos] = {
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.brute"),
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.tree"),
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.lsh"),
+      MetricsRegistry::Global().GetCounter("serve.engine.selected.sketch")};
+  static Histogram* const batch_exec = MetricsRegistry::Global().GetHistogram(
+      "serve.engine.batch.exec_seconds");
+
+  IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  const std::size_t m = queries.rows();
+  if (m == 0) return std::vector<QueryResult>();
+  IPS_RETURN_IF_ERROR(
+      ValidateDims(queries, profile_.dim, "serve batch queries"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(queries, "serve batch queries"));
+  batch_requests->Increment();
+  batch_queries->Add(m);
+
+  std::unique_ptr<Trace> trace;
+  if (options.trace) trace = std::make_unique<Trace>("serve.batch");
+
+  WallTimer timer;
+  StatusOr<std::vector<QueryResult>> outcome =
+      [&]() -> StatusOr<std::vector<QueryResult>> {
+    TraceSpan root(trace.get(), "serve/batch_query");
+    root.AddCount("batch_queries", m);
+    auto planned = MakePlan(options, trace.get());
+    IPS_RETURN_IF_ERROR(planned.status());
+    PlanDecision plan = std::move(planned).value();
+    IPS_RETURN_IF_ERROR(EnsureIndex(plan.algorithm));
+    const MipsIndex* index = PinIndex(plan.algorithm);
+    if (index == nullptr) {
+      return Status::Internal(
+          std::string("index not built for algorithm ") +
+          std::string(QueryAlgoName(plan.algorithm)));
+    }
+    auto results = index->BatchQuery(queries, options);
+    IPS_RETURN_IF_ERROR(results.status());
+    std::vector<QueryResult> out = std::move(results).value();
+    for (QueryResult& result : out) result.plan = plan;
+    return out;
+  }();
+  IPS_RETURN_IF_ERROR(outcome.status());
+  std::vector<QueryResult> results = std::move(outcome).value();
+  const double total_seconds = timer.Seconds();
+  const double amortized = total_seconds / static_cast<double>(m);
+  for (QueryResult& result : results) {
+    result.stats.exec_seconds = amortized;
+    // Per-member deadline inheritance (QueryOptions::deadline_seconds):
+    // judged against the amortized share here; the scheduler replaces
+    // this with queue-aware wall clock for scheduled traffic.
+    result.stats.deadline_met = amortized <= options.deadline_seconds;
+    selected[static_cast<std::size_t>(result.stats.algorithm)]->Increment();
+  }
+  batch_exec->Observe(total_seconds);
+  if (trace != nullptr) {
+    traced->Increment();
+    // The engine-level trace (plan + batch dispatch) goes to the ring;
+    // each result keeps the index-level batch trace in its stats.
+    TraceRing::Global().Record(
+        std::shared_ptr<const Trace>(std::move(trace)));
+  }
+  return results;
+}
+
 StatusOr<QueryResult> Engine::Execute(QueryAlgo algo,
                                       std::span<const double> query,
                                       const QueryOptions& options,
                                       PlanDecision plan, Trace* trace) const {
-  // Pin the (immutable once built) index outside the hot call.
-  const MipsIndex* index = nullptr;
-  {
-    MutexLock lock(build_mutex_);
-    switch (algo) {
-      case QueryAlgo::kBruteForce:
-        index = brute_index_.get();
-        break;
-      case QueryAlgo::kBallTree:
-        index = tree_index_.get();
-        break;
-      case QueryAlgo::kLsh:
-        index = lsh_index_.get();
-        break;
-      case QueryAlgo::kSketch:
-        index = sketch_index_.get();
-        break;
-    }
-  }
+  const MipsIndex* index = PinIndex(algo);
   if (index == nullptr) {
     // EnsureIndex ran before Execute, so a missing index is an internal
     // invariant break; hot query paths report it as a Status, not a

@@ -81,6 +81,20 @@ class Engine {
                                             const QueryOptions& options) const
       IPS_EXCLUDES(build_mutex_);
 
+  /// Answers every row of `queries` under one shared `options`:
+  /// one planner decision (or forced path), one EnsureIndex, and one
+  /// MipsIndex::BatchQuery call for the whole batch — the coalesced
+  /// fast path the BatchScheduler hands its compatible groups to.
+  /// Results come back in row order; per-member exec_seconds is the
+  /// batch's wall time amortized over its members, and each member's
+  /// deadline_met is judged against that amortized time (the scheduler
+  /// overrides it with real queue-aware wall clock). Engine-level
+  /// traffic lands under "serve.engine.batch.*". An empty batch returns
+  /// an empty vector without planning.
+  [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
+      const Matrix& queries, const QueryOptions& options) const
+      IPS_EXCLUDES(build_mutex_);
+
   /// Eagerly builds the index behind `algo` (normally lazy; benches use
   /// this to exclude build cost from serving measurements).
   [[nodiscard]] Status EnsureIndex(QueryAlgo algo) const
@@ -106,6 +120,15 @@ class Engine {
                                 const QueryOptions& options,
                                 PlanDecision plan, Trace* trace) const
       IPS_EXCLUDES(build_mutex_);
+
+  /// The shared plan step of Query and BatchQuery: a validated forced
+  /// path, or the planner's decision. Records a "serve/plan" span.
+  StatusOr<PlanDecision> MakePlan(const QueryOptions& options,
+                                  Trace* trace) const;
+
+  /// The (immutable once built) index behind `algo`, or null when
+  /// EnsureIndex has not built it.
+  const MipsIndex* PinIndex(QueryAlgo algo) const IPS_EXCLUDES(build_mutex_);
 
   Matrix data_;
   EngineOptions options_;

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <limits>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -22,7 +22,7 @@ DatasetProfile DatasetProfile::FromData(const Matrix& data) {
   profile.min_norm = std::numeric_limits<double>::infinity();
   double total = 0.0;
   for (std::size_t i = 0; i < data.rows(); ++i) {
-    const double norm = Norm(data.Row(i));
+    const double norm = kernels::Norm(data.Row(i));
     profile.min_norm = std::min(profile.min_norm, norm);
     profile.max_norm = std::max(profile.max_norm, norm);
     total += norm;

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -60,7 +60,7 @@ double MaxStabilitySketch::EstimateFromSketch(
   std::vector<double> estimates;
   estimates.reserve(copies_.size());
   for (std::size_t r = 0; r < copies_.size(); ++r) {
-    estimates.push_back(LInfNorm(
+    estimates.push_back(kernels::LInfNorm(
         sketched.subspan(r * buckets_per_copy_, buckets_per_copy_)));
   }
   std::sort(estimates.begin(), estimates.end());

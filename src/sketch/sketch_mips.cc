@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "linalg/validate.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -93,14 +93,14 @@ double SketchMipsIndex::EstimateNode(const Node& node,
     // Leaf: the range is small, answer exactly.
     double best = 0.0;
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      best = std::max(best, std::abs(Dot(data_->Row(i), q)));
+      best = std::max(best, std::abs(kernels::Dot(data_->Row(i), q)));
     }
     return best;
   }
+  // Estimate pass: every sketch row against q in one dispatched
+  // mat-vec sweep instead of a per-row dot loop.
   std::vector<double> sketched_products(node.sketched_rows.rows());
-  for (std::size_t r = 0; r < node.sketched_rows.rows(); ++r) {
-    sketched_products[r] = Dot(node.sketched_rows.Row(r), q);
-  }
+  kernels::MatVec(node.sketched_rows, q, sketched_products);
   return node.sketch->EstimateFromSketch(sketched_products);
 }
 
@@ -111,7 +111,7 @@ double SketchMipsIndex::EstimateMaxAbsInnerProduct(
     // Tiny dataset: the root is a leaf; answer exactly.
     double best = 0.0;
     for (std::size_t i = root.begin; i < root.end; ++i) {
-      best = std::max(best, std::abs(Dot(data_->Row(i), q)));
+      best = std::max(best, std::abs(kernels::Dot(data_->Row(i), q)));
     }
     return best;
   }
@@ -153,7 +153,7 @@ std::size_t SketchMipsIndex::RecoverArgmax(std::span<const double> q,
   std::size_t best_index = leaf.begin;
   double best_value = -1.0;
   for (std::size_t i = leaf.begin; i < leaf.end; ++i) {
-    const double value = std::abs(Dot(data_->Row(i), q));
+    const double value = std::abs(kernels::Dot(data_->Row(i), q));
     if (value > best_value) {
       best_value = value;
       best_index = i;
@@ -182,7 +182,7 @@ std::size_t SketchMipsIndex::UnsignedSearch(std::span<const double> q,
   IPS_CHECK_GT(c, 0.0);
   IPS_CHECK_LT(c, 1.0);
   const std::size_t candidate = RecoverArgmax(q);
-  const double value = std::abs(Dot(data_->Row(candidate), q));
+  const double value = std::abs(kernels::Dot(data_->Row(candidate), q));
   return value >= c * s ? candidate : num_points();
 }
 

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "codes/incoherent.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace ips {
@@ -263,7 +263,7 @@ SequenceCheck VerifyHardSequences(const HardSequences& sequences) {
   check.unsigned_ok = true;
   for (std::size_t i = 0; i < q.rows(); ++i) {
     for (std::size_t j = 0; j < p.rows(); ++j) {
-      const double value = Dot(q.Row(i), p.Row(j));
+      const double value = kernels::Dot(q.Row(i), p.Row(j));
       const bool lower = j >= i;
       const bool signed_ok = lower ? value >= sequences.s - kTolerance
                                    : value <= cs + kTolerance;
@@ -278,10 +278,10 @@ SequenceCheck VerifyHardSequences(const HardSequences& sequences) {
     }
   }
   for (std::size_t j = 0; j < p.rows(); ++j) {
-    check.max_data_norm = std::max(check.max_data_norm, Norm(p.Row(j)));
+    check.max_data_norm = std::max(check.max_data_norm, kernels::Norm(p.Row(j)));
   }
   for (std::size_t i = 0; i < q.rows(); ++i) {
-    check.max_query_norm = std::max(check.max_query_norm, Norm(q.Row(i)));
+    check.max_query_norm = std::max(check.max_query_norm, kernels::Norm(q.Row(i)));
   }
   check.norms_ok = check.max_data_norm <= 1.0 + kTolerance &&
                    check.max_query_norm <= sequences.U + kTolerance;

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -39,7 +39,7 @@ int MipsBallTree::BuildNode(std::size_t begin, std::size_t end,
     for (double& c : node.center) c *= inv;
     for (std::size_t t = begin; t < end; ++t) {
       node.radius = std::max(
-          node.radius, std::sqrt(SquaredDistance(
+          node.radius, std::sqrt(kernels::SquaredDistance(
                            data_->Row(point_order_[t]), node.center)));
     }
   }
@@ -54,7 +54,7 @@ int MipsBallTree::BuildNode(std::size_t begin, std::size_t end,
     std::size_t best = begin;
     double best_dist = -1.0;
     for (std::size_t t = begin; t < end; ++t) {
-      const double dist = SquaredDistance(data_->Row(point_order_[t]),
+      const double dist = kernels::SquaredDistance(data_->Row(point_order_[t]),
                                           data_->Row(from_index));
       if (dist > best_dist) {
         best_dist = dist;
@@ -69,8 +69,8 @@ int MipsBallTree::BuildNode(std::size_t begin, std::size_t end,
   const std::size_t b_index = point_order_[b_pos];
 
   auto closer_to_a = [&](std::size_t point) {
-    return SquaredDistance(data_->Row(point), data_->Row(a_index)) <=
-           SquaredDistance(data_->Row(point), data_->Row(b_index));
+    return kernels::SquaredDistance(data_->Row(point), data_->Row(a_index)) <=
+           kernels::SquaredDistance(data_->Row(point), data_->Row(b_index));
   };
   auto middle = std::partition(point_order_.begin() + begin,
                                point_order_.begin() + end, closer_to_a);
@@ -88,13 +88,13 @@ int MipsBallTree::BuildNode(std::size_t begin, std::size_t end,
 
 double MipsBallTree::SignedBound(const Node& node, std::span<const double> q,
                                  double q_norm) const {
-  return Dot(node.center, q) + q_norm * node.radius;
+  return kernels::Dot(node.center, q) + q_norm * node.radius;
 }
 
 double MipsBallTree::UnsignedBound(const Node& node,
                                    std::span<const double> q,
                                    double q_norm) const {
-  return std::abs(Dot(node.center, q)) + q_norm * node.radius;
+  return std::abs(kernels::Dot(node.center, q)) + q_norm * node.radius;
 }
 
 void MipsBallTree::SearchSigned(int node_index, std::span<const double> q,
@@ -104,7 +104,7 @@ void MipsBallTree::SearchSigned(int node_index, std::span<const double> q,
   if (node.IsLeaf()) {
     for (std::size_t t = node.begin; t < node.end; ++t) {
       const std::size_t point = point_order_[t];
-      const double value = Dot(data_->Row(point), q);
+      const double value = kernels::Dot(data_->Row(point), q);
       ++best->evaluated;
       if (value > best->value) {
         best->value = value;
@@ -132,7 +132,7 @@ void MipsBallTree::SearchUnsigned(int node_index, std::span<const double> q,
   if (node.IsLeaf()) {
     for (std::size_t t = node.begin; t < node.end; ++t) {
       const std::size_t point = point_order_[t];
-      const double value = std::abs(Dot(data_->Row(point), q));
+      const double value = std::abs(kernels::Dot(data_->Row(point), q));
       ++best->evaluated;
       if (value > best->value) {
         best->value = value;
@@ -177,8 +177,10 @@ std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
   WallTimer total_timer;
   double leaf_seconds = 0.0;
   TreeQueryInfo local;
-  const double q_norm = Norm(q);
+  const double q_norm = kernels::Norm(q);
   std::size_t leaf_points_scored = 0;
+  // Scratch reused across every leaf this descent visits.
+  std::vector<double> leaf_scores;
   // Min-heap on (score, inverted index): heap.front() is the current
   // k-th best, where equal scores rank the *larger* index as worse so
   // ties break toward the smaller data index deterministically.
@@ -208,9 +210,18 @@ std::vector<std::pair<std::size_t, double>> MipsBallTree::QueryTopK(
       // points; the descent/leaf_scan split is recorded only when
       // tracing.
       WallTimer leaf_timer;
-      for (std::size_t t = node.begin; t < node.end; ++t) {
-        const std::size_t point = point_order_[t];
-        const double value = Dot(data_->Row(point), q);
+      // Score the whole leaf block through the dispatched gather
+      // kernel, then feed the heap from the scratch scores.
+      const std::size_t count = node.end - node.begin;
+      leaf_scores.resize(count);
+      kernels::GatherScores(
+          *data_,
+          std::span<const std::size_t>(point_order_).subspan(node.begin,
+                                                             count),
+          q, leaf_scores);
+      for (std::size_t t = 0; t < count; ++t) {
+        const std::size_t point = point_order_[node.begin + t];
+        const double value = leaf_scores[t];
         ++leaf_points_scored;
         if (heap.size() < k) {
           heap.emplace_back(value, point);
@@ -266,7 +277,7 @@ MipsResult MipsBallTree::QueryMax(std::span<const double> q) const {
   IPS_CHECK_EQ(q.size(), data_->cols());
   MipsResult best;
   best.value = -std::numeric_limits<double>::infinity();
-  SearchSigned(root_, q, Norm(q), &best);
+  SearchSigned(root_, q, kernels::Norm(q), &best);
   return best;
 }
 
@@ -274,7 +285,7 @@ MipsResult MipsBallTree::QueryMaxAbs(std::span<const double> q) const {
   IPS_CHECK_EQ(q.size(), data_->cols());
   MipsResult best;
   best.value = -1.0;
-  SearchUnsigned(root_, q, Norm(q), &best);
+  SearchUnsigned(root_, q, kernels::Norm(q), &best);
   return best;
 }
 

@@ -11,7 +11,7 @@
 #include "core/norm_range_index.h"
 #include "core/similarity_join.h"
 #include "linalg/matmul.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "rng/random.h"
 
 namespace ips {
@@ -108,7 +108,7 @@ TEST(MatmulTest, PairwiseInnerProductsMatchDots) {
     ASSERT_EQ(g.cols(), 20u);
     for (std::size_t i = 0; i < 7; ++i) {
       for (std::size_t j = 0; j < 20; ++j) {
-        EXPECT_NEAR(g.At(i, j), Dot(queries.Row(i), data.Row(j)), 1e-9);
+        EXPECT_NEAR(g.At(i, j), kernels::Dot(queries.Row(i), data.Row(j)), 1e-9);
       }
     }
   }
@@ -182,7 +182,7 @@ TEST(NormRangeIndexTest, PrunesLowNormBuckets) {
   for (int trial = 0; trial < 10; ++trial) {
     std::vector<double> q(kDim);
     for (double& v : q) v = rng.NextGaussian();
-    NormalizeInPlace(q);
+    kernels::NormalizeInPlace(q);
     (void)index.Search(q, spec);
   }
   // At skew 1.0, item norms fall below 0.2 after rank ~5, so nearly all

@@ -8,7 +8,7 @@
 #include "codes/incoherent.h"
 #include "codes/prime_field.h"
 #include "codes/reed_solomon.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "rng/random.h"
 
 namespace ips {
@@ -97,10 +97,10 @@ TEST(RsIncoherentTest, VectorsAreUnitAndIncoherent) {
   const RsIncoherentFamily family(200, 0.4);
   for (std::uint64_t i = 0; i < 20; ++i) {
     const std::vector<double> v = family.Vector(i);
-    EXPECT_NEAR(Norm(v), 1.0, 1e-12);
+    EXPECT_NEAR(kernels::Norm(v), 1.0, 1e-12);
     for (std::uint64_t j = i + 1; j < 20; ++j) {
       const std::vector<double> w = family.Vector(j);
-      const double dense_dot = Dot(v, w);
+      const double dense_dot = kernels::Dot(v, w);
       EXPECT_NEAR(dense_dot, family.Dot(i, j), 1e-12);
       EXPECT_LE(std::abs(dense_dot), family.coherence() + 1e-12);
     }
@@ -134,7 +134,7 @@ TEST_P(RandomIncoherentSweep, RealizedCoherenceWithinBound) {
   EXPECT_EQ(family.size(), param.num_vectors);
   EXPECT_LE(family.realized_coherence(), param.epsilon);
   for (std::size_t i = 0; i < family.size(); ++i) {
-    EXPECT_NEAR(Norm(family.Vector(i)), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Norm(family.Vector(i)), 1.0, 1e-9);
   }
 }
 

@@ -8,7 +8,7 @@
 #include "core/dataset.h"
 #include "core/mips_index.h"
 #include "core/similarity_join.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/simhash.h"
 #include "rng/random.h"
 
@@ -19,7 +19,7 @@ TEST(DatasetTest, UnitBallGaussianNorms) {
   Rng rng(3);
   const Matrix points = MakeUnitBallGaussian(200, 16, 0.5, &rng);
   for (std::size_t i = 0; i < points.rows(); ++i) {
-    const double norm = Norm(points.Row(i));
+    const double norm = kernels::Norm(points.Row(i));
     EXPECT_GE(norm, 0.5 - 1e-9);
     EXPECT_LE(norm, 1.0 + 1e-9);
   }
@@ -28,9 +28,9 @@ TEST(DatasetTest, UnitBallGaussianNorms) {
 TEST(DatasetTest, LatentFactorNormsDecay) {
   Rng rng(5);
   const Matrix points = MakeLatentFactorVectors(100, 8, 0.5, &rng);
-  EXPECT_NEAR(Norm(points.Row(0)), 1.0, 1e-9);
-  EXPECT_GT(Norm(points.Row(10)), Norm(points.Row(90)));
-  EXPECT_NEAR(Norm(points.Row(63)), std::pow(64.0, -0.5), 1e-9);
+  EXPECT_NEAR(kernels::Norm(points.Row(0)), 1.0, 1e-9);
+  EXPECT_GT(kernels::Norm(points.Row(10)), kernels::Norm(points.Row(90)));
+  EXPECT_NEAR(kernels::Norm(points.Row(63)), std::pow(64.0, -0.5), 1e-9);
 }
 
 TEST(DatasetTest, BinarySetsHaveExactWeight) {
@@ -51,10 +51,10 @@ TEST(DatasetTest, PlantedInstanceHasStrongPairs) {
   const PlantedInstance instance =
       MakePlantedInstance(300, 20, 32, 0.8, 1.0, &rng);
   for (std::size_t i = 0; i < 20; ++i) {
-    const double value = Dot(instance.data.Row(instance.plants[i]),
+    const double value = kernels::Dot(instance.data.Row(instance.plants[i]),
                              instance.queries.Row(i));
     EXPECT_GT(value, 0.6);  // close to target 0.8 minus noise
-    EXPECT_LE(Norm(instance.queries.Row(i)), 1.0 + 1e-9);
+    EXPECT_LE(kernels::Norm(instance.queries.Row(i)), 1.0 + 1e-9);
   }
 }
 
@@ -80,7 +80,7 @@ TEST_F(IndexAgreementTest, BruteForceFindsTrueMax) {
     ASSERT_TRUE(match.has_value());
     double truth = -1e300;
     for (std::size_t i = 0; i < data_.rows(); ++i) {
-      truth = std::max(truth, Dot(data_.Row(i), queries_.Row(qi)));
+      truth = std::max(truth, kernels::Dot(data_.Row(i), queries_.Row(qi)));
     }
     EXPECT_NEAR(match->value, truth, 1e-9);
   }

@@ -11,7 +11,7 @@
 #include "embed/chebyshev_embedding.h"
 #include "embed/combinators.h"
 #include "embed/sign_embedding.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "rng/random.h"
 
 namespace ips {
@@ -48,8 +48,8 @@ TEST(CombinatorTest, ConcatAddsInnerProducts) {
     const auto x2 = RandomVector(7, &rng);
     const auto y1 = RandomVector(5, &rng);
     const auto y2 = RandomVector(7, &rng);
-    EXPECT_NEAR(Dot(Concat(x1, x2), Concat(y1, y2)),
-                Dot(x1, y1) + Dot(x2, y2), 1e-9);
+    EXPECT_NEAR(kernels::Dot(Concat(x1, x2), Concat(y1, y2)),
+                kernels::Dot(x1, y1) + kernels::Dot(x2, y2), 1e-9);
   }
 }
 
@@ -60,8 +60,8 @@ TEST(CombinatorTest, TensorMultipliesInnerProducts) {
     const auto x2 = RandomVector(6, &rng);
     const auto y1 = RandomVector(4, &rng);
     const auto y2 = RandomVector(6, &rng);
-    EXPECT_NEAR(Dot(Tensor(x1, x2), Tensor(y1, y2)),
-                Dot(x1, y1) * Dot(x2, y2), 1e-9);
+    EXPECT_NEAR(kernels::Dot(Tensor(x1, x2), Tensor(y1, y2)),
+                kernels::Dot(x1, y1) * kernels::Dot(x2, y2), 1e-9);
   }
 }
 
@@ -69,14 +69,14 @@ TEST(CombinatorTest, RepeatScalesInnerProducts) {
   Rng rng(3);
   const auto x = RandomVector(5, &rng);
   const auto y = RandomVector(5, &rng);
-  EXPECT_NEAR(Dot(Repeat(x, 9), Repeat(y, 9)), 9.0 * Dot(x, y), 1e-9);
+  EXPECT_NEAR(kernels::Dot(Repeat(x, 9), Repeat(y, 9)), 9.0 * kernels::Dot(x, y), 1e-9);
 }
 
 TEST(CombinatorTest, NegateFlipsInnerProducts) {
   Rng rng(4);
   const auto x = RandomVector(5, &rng);
   const auto y = RandomVector(5, &rng);
-  EXPECT_NEAR(Dot(Negate(x), y), -Dot(x, y), 1e-12);
+  EXPECT_NEAR(kernels::Dot(Negate(x), y), -kernels::Dot(x, y), 1e-12);
 }
 
 TEST(CombinatorTest, AppendConstantTranslates) {
@@ -86,7 +86,7 @@ TEST(CombinatorTest, AppendConstantTranslates) {
   // Appending 1s to one side and -1s to the other translates by -count.
   const auto xe = AppendConstant(x, 1.0, 6);
   const auto ye = AppendConstant(y, -1.0, 6);
-  EXPECT_NEAR(Dot(xe, ye), Dot(x, y) - 6.0, 1e-12);
+  EXPECT_NEAR(kernels::Dot(xe, ye), kernels::Dot(x, y) - 6.0, 1e-12);
 }
 
 TEST(CombinatorTest, Dimensions) {
@@ -167,11 +167,11 @@ TEST_P(SignedEmbeddingSweep, ExactGapFormula) {
     for (double v : gy) EXPECT_TRUE(v == 1.0 || v == -1.0);
     // <f(x), g(y)> = 4 - 4 x^T y exactly.
     const double expected = 4.0 - 4.0 * static_cast<double>(BinaryDot(x, y));
-    EXPECT_DOUBLE_EQ(Dot(fx, gy), expected);
+    EXPECT_DOUBLE_EQ(kernels::Dot(fx, gy), expected);
     if (BinaryDot(x, y) == 0) {
-      EXPECT_GE(Dot(fx, gy), embedding.s());
+      EXPECT_GE(kernels::Dot(fx, gy), embedding.s());
     } else {
-      EXPECT_LE(Dot(fx, gy), embedding.cs());
+      EXPECT_LE(kernels::Dot(fx, gy), embedding.cs());
     }
   }
 }
@@ -208,7 +208,7 @@ TEST_P(ChebyshevEmbeddingSweep, InnerProductIsScaledChebyshev) {
     for (double v : gy) ASSERT_TRUE(v == 1.0 || v == -1.0);
     const std::size_t t = BinaryDot(x, y);
     // <f_q(x), g_q(y)> = (2d)^q T_q((2d + 2 - 4t) / 2d) exactly.
-    EXPECT_DOUBLE_EQ(Dot(fx, gy), embedding.PredictedInnerProduct(t));
+    EXPECT_DOUBLE_EQ(kernels::Dot(fx, gy), embedding.PredictedInnerProduct(t));
   }
 }
 
@@ -279,11 +279,11 @@ TEST_P(BinaryEmbeddingSweep, InnerProductCountsOrthogonalChunks) {
     for (double v : gy) ASSERT_TRUE(v == 0.0 || v == 1.0);
     const double expected =
         static_cast<double>(embedding.OrthogonalChunks(x, y));
-    EXPECT_DOUBLE_EQ(Dot(fx, gy), expected);
+    EXPECT_DOUBLE_EQ(kernels::Dot(fx, gy), expected);
     if (BinaryDot(x, y) == 0) {
-      EXPECT_GE(Dot(fx, gy), embedding.s());  // all chunks orthogonal
+      EXPECT_GE(kernels::Dot(fx, gy), embedding.s());  // all chunks orthogonal
     } else {
-      EXPECT_LE(Dot(fx, gy), embedding.cs());  // some chunk conflicts
+      EXPECT_LE(kernels::Dot(fx, gy), embedding.cs());  // some chunk conflicts
     }
   }
 }
@@ -326,7 +326,7 @@ TEST(BinaryEmbeddingTest, ExhaustiveSmallDimension) {
         y[b] = (ym >> b) & 1 ? 1.0 : 0.0;
       }
       const double value =
-          Dot(embedding.EmbedLeft(x), embedding.EmbedRight(y));
+          kernels::Dot(embedding.EmbedLeft(x), embedding.EmbedRight(y));
       if (BinaryDot(x, y) == 0) {
         EXPECT_DOUBLE_EQ(value, embedding.s());
       } else {

@@ -10,7 +10,7 @@
 #include "core/dataset.h"
 #include "core/symmetric_index.h"
 #include "embed/sign_reduction.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/bucket_join.h"
 #include "lsh/simhash.h"
 #include "lsh/transforms.h"
@@ -24,7 +24,7 @@ namespace {
 std::vector<double> RandomUnit(std::size_t dim, Rng* rng) {
   std::vector<double> v(dim);
   for (double& x : v) x = rng->NextGaussian();
-  NormalizeInPlace(v);
+  kernels::NormalizeInPlace(v);
   return v;
 }
 
@@ -57,16 +57,16 @@ TEST_P(SignReductionCosineSweep, NormalizedProductConcentrates) {
   const auto x = RandomUnit(kDim, &rng);
   // y at the requested cosine.
   auto noise = RandomUnit(kDim, &rng);
-  const double along = Dot(noise, x);
+  const double along = kernels::Dot(noise, x);
   for (std::size_t i = 0; i < kDim; ++i) noise[i] -= along * x[i];
-  NormalizeInPlace(noise);
+  kernels::NormalizeInPlace(noise);
   std::vector<double> y(kDim);
   const double sine = std::sqrt(std::max(0.0, 1.0 - cosine * cosine));
   for (std::size_t i = 0; i < kDim; ++i) y[i] = cosine * x[i] + sine * noise[i];
 
   const SignRoundingReduction reduction(kDim, kOutput, &rng);
   const double product =
-      Dot(reduction.Apply(x), reduction.Apply(y)) / kOutput;
+      kernels::Dot(reduction.Apply(x), reduction.Apply(y)) / kOutput;
   const double expected =
       SignRoundingReduction::ExpectedNormalizedProduct(cosine);
   // Hoeffding: deviation O(1/sqrt(D)); allow 5 sigma.
@@ -96,7 +96,7 @@ TEST(SignReductionTest, PackedFormAgreesWithDense) {
     for (std::size_t j = i; j < 5; ++j) {
       const auto dense_j = reduction.Apply(points.Row(j));
       EXPECT_EQ(static_cast<double>(packed.DotRows(i, packed, j)),
-                Dot(dense, dense_j));
+                kernels::Dot(dense, dense_j));
     }
   }
 }
@@ -110,9 +110,9 @@ TEST(SignReductionTest, PreservesOrderingOfWellSeparatedProducts) {
   const auto q = RandomUnit(kDim, &rng);
   auto make_at = [&](double cosine) {
     auto noise = RandomUnit(kDim, &rng);
-    const double along = Dot(noise, q);
+    const double along = kernels::Dot(noise, q);
     for (std::size_t i = 0; i < kDim; ++i) noise[i] -= along * q[i];
-    NormalizeInPlace(noise);
+    kernels::NormalizeInPlace(noise);
     std::vector<double> v(kDim);
     const double sine = std::sqrt(1.0 - cosine * cosine);
     for (std::size_t i = 0; i < kDim; ++i) v[i] = cosine * q[i] + sine * noise[i];
@@ -122,7 +122,7 @@ TEST(SignReductionTest, PreservesOrderingOfWellSeparatedProducts) {
   const auto fq = reduction.Apply(q);
   double previous = -2.0 * 8192;
   for (double cosine : {-0.6, -0.3, 0.0, 0.3, 0.6, 0.9}) {
-    const double agreement = Dot(reduction.Apply(make_at(cosine)), fq);
+    const double agreement = kernels::Dot(reduction.Apply(make_at(cosine)), fq);
     EXPECT_GT(agreement, previous) << "cosine " << cosine;
     previous = agreement;
   }
@@ -138,7 +138,7 @@ TEST(CmipsViaSearchTest, FindsApproximateMaximum) {
   // Ground truth.
   double best = 0.0;
   for (std::size_t i = 0; i < data.rows(); ++i) {
-    best = std::max(best, std::abs(Dot(data.Row(i), query)));
+    best = std::max(best, std::abs(kernels::Dot(data.Row(i), query)));
   }
   // Oracle: exact unsigned (cs, s) threshold search at s = 1.
   const double kS = 1.0;
@@ -148,7 +148,7 @@ TEST(CmipsViaSearchTest, FindsApproximateMaximum) {
     std::size_t arg = 0;
     double top = 0.0;
     for (std::size_t i = 0; i < data.rows(); ++i) {
-      const double v = std::abs(Dot(data.Row(i), probe));
+      const double v = std::abs(kernels::Dot(data.Row(i), probe));
       if (v > top) {
         top = v;
         arg = i;
@@ -160,7 +160,7 @@ TEST(CmipsViaSearchTest, FindsApproximateMaximum) {
   const CmipsResult result =
       SolveCmipsViaSearch(oracle, query, kS, kC, /*gamma=*/1e-3);
   ASSERT_TRUE(result.index.has_value());
-  const double recovered = std::abs(Dot(data.Row(*result.index), query));
+  const double recovered = std::abs(kernels::Dot(data.Row(*result.index), query));
   // Within factor c of the maximum (exact oracle => only the threshold
   // granularity c is lost).
   EXPECT_GE(recovered, kC * best - 1e-9);
@@ -270,7 +270,7 @@ TEST(SymmetricIndexTest, AnswersSelfQueriesExactly) {
     const auto match = index.Search(data.Row(i), spec);
     ASSERT_TRUE(match.has_value());
     EXPECT_EQ(match->index, i);
-    EXPECT_NEAR(match->value, SquaredNorm(data.Row(i)), 1e-12);
+    EXPECT_NEAR(match->value, kernels::SquaredNorm(data.Row(i)), 1e-12);
   }
 }
 

@@ -13,7 +13,7 @@
 #include "embed/binary_embedding.h"
 #include "hardness/ovp.h"
 #include "hardness/reduction.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/minhash.h"
 #include "lsh/simhash.h"
 #include "lsh/tables.h"
@@ -62,7 +62,7 @@ TEST(IntegrationTest, OvpViaBinaryEmbeddingAndMinHashJoin) {
     for (std::size_t j = 0; j < q.rows(); ++j) {
       const auto probe = transform.TransformQuery(q.Row(j));
       for (std::size_t i : tables.Query(probe)) {
-        const double value = std::abs(Dot(p.Row(i), q.Row(j)));
+        const double value = std::abs(kernels::Dot(p.Row(i), q.Row(j)));
         if (value >= cs && value >= s) return std::make_pair(i, j);
       }
     }

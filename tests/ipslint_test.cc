@@ -42,6 +42,10 @@ std::vector<LintRule> TestRules() {
                R"(^\s*(?:[A-Za-z_][A-Za-z0-9_]*(?:\.|->|::))*)"
                R"((?:Create|Submit|Validate[A-Za-z]*)\s*\([^;{}]*\)\s*;\s*$)",
                "discarded Status");
+  table += Row("raw-dot", "src", "src/linalg",
+               R"(^\s*\w+\s*\+=\s*[\w.>-]*\w\[[^\]]+\]\s*\*\s*)"
+               R"([\w.>-]*\w\[[^\]]+\])",
+               "use linalg::kernels");
   auto rules = ParseRules(table);
   EXPECT_TRUE(rules.ok()) << rules.status().ToString();
   return *std::move(rules);
@@ -188,6 +192,33 @@ TEST(Lint, DiscardedStatusSkipsContinuationLines) {
   EXPECT_TRUE(RunLint("src/a.cc", wrapped_macro).empty());
 }
 
+TEST(Lint, RawDotLoopFiresOutsideLinalg) {
+  const std::string bad =
+      "void F() {\n  for (i = 0; i < n; ++i) {\n"
+      "    acc += x[i] * y[i];\n  }\n}\n";
+  const auto findings = RunLint("src/tree/foo.cc", bad);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-dot");
+  EXPECT_EQ(findings[0].line, 3u);
+  // The kernels layer is the sanctioned home of raw accumulation.
+  EXPECT_TRUE(RunLint("src/linalg/kernels.cc", bad).empty());
+}
+
+TEST(Lint, RawDotAllowsNonDotAccumulation) {
+  // Scatter into an indexed destination (count-sketch style) is not a
+  // dot product: the LHS is not a plain accumulator.
+  EXPECT_TRUE(
+      RunLint("src/sketch/f.cc", "  out[buckets_[j]] += signs_[j] * x[j];\n")
+          .empty());
+  // Squared-difference accumulation has no subscripted product.
+  EXPECT_TRUE(RunLint("src/core/f.cc", "  sum += diff * diff;\n").empty());
+  // The escape hatch works like any other rule.
+  EXPECT_TRUE(
+      RunLint("src/core/f.cc",
+              "  acc += x[i] * y[i];  // ipslint:allow(raw-dot)\n")
+          .empty());
+}
+
 TEST(Lint, FindingFormatIsFileLineRuleMessage) {
   const auto findings = RunLint("src/a.cc", "std::cout << 1;\n");
   ASSERT_EQ(findings.size(), 1u);
@@ -197,11 +228,11 @@ TEST(Lint, FindingFormatIsFileLineRuleMessage) {
 }
 
 TEST(Lint, RealRuleTableParses) {
-  // Guard the checked-in table itself: five rules, all regexes valid.
+  // Guard the checked-in table itself: six rules, all regexes valid.
   const auto rules =
       LoadRules(std::string(IPS_REPO_ROOT) + "/tools/ipslint.rules");
   ASSERT_TRUE(rules.ok()) << rules.status().ToString();
-  EXPECT_EQ(rules->size(), 5u);
+  EXPECT_EQ(rules->size(), 6u);
 }
 
 TEST(SplitCodeAndComments, TracksMultiLineConstructs) {

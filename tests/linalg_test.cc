@@ -9,7 +9,7 @@
 #include "linalg/matrix.h"
 #include "linalg/random_projection.h"
 #include "linalg/sign_matrix.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "rng/random.h"
 #include "util/stats.h"
 
@@ -49,54 +49,54 @@ TEST(MatrixTest, AppendMismatchedRowDies) {
 TEST(VectorOpsTest, DotAndNorms) {
   const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
   const std::vector<double> y = {5.0, 4.0, 3.0, 2.0, 1.0};
-  EXPECT_DOUBLE_EQ(Dot(x, y), 35.0);
-  EXPECT_DOUBLE_EQ(SquaredNorm(x), 55.0);
-  EXPECT_DOUBLE_EQ(Norm(x), std::sqrt(55.0));
+  EXPECT_DOUBLE_EQ(kernels::Dot(x, y), 35.0);
+  EXPECT_DOUBLE_EQ(kernels::SquaredNorm(x), 55.0);
+  EXPECT_DOUBLE_EQ(kernels::Norm(x), std::sqrt(55.0));
 }
 
 TEST(VectorOpsTest, DotHandlesShortVectors) {
   const std::vector<double> x = {2.0};
   const std::vector<double> y = {3.0};
-  EXPECT_DOUBLE_EQ(Dot(x, y), 6.0);
-  EXPECT_DOUBLE_EQ(Dot(std::vector<double>{}, std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(kernels::Dot(x, y), 6.0);
+  EXPECT_DOUBLE_EQ(kernels::Dot(std::vector<double>{}, std::vector<double>{}), 0.0);
 }
 
 TEST(VectorOpsTest, LpNorms) {
   const std::vector<double> x = {3.0, -4.0};
-  EXPECT_DOUBLE_EQ(LpNorm(x, 1.0), 7.0);
-  EXPECT_DOUBLE_EQ(LpNorm(x, 2.0), 5.0);
-  EXPECT_DOUBLE_EQ(LInfNorm(x), 4.0);
+  EXPECT_DOUBLE_EQ(kernels::LpNorm(x, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(kernels::LpNorm(x, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(kernels::LInfNorm(x), 4.0);
 }
 
 TEST(VectorOpsTest, LpNormConvergesToLInf) {
   const std::vector<double> x = {1.0, -7.0, 3.0};
-  EXPECT_NEAR(LpNorm(x, 64.0), LInfNorm(x), 0.15);
+  EXPECT_NEAR(kernels::LpNorm(x, 64.0), kernels::LInfNorm(x), 0.15);
 }
 
 TEST(VectorOpsTest, SquaredDistance) {
   const std::vector<double> x = {1.0, 2.0};
   const std::vector<double> y = {4.0, 6.0};
-  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), 25.0);
+  EXPECT_DOUBLE_EQ(kernels::SquaredDistance(x, y), 25.0);
 }
 
 TEST(VectorOpsTest, NormalizeMakesUnit) {
   std::vector<double> x = {3.0, 4.0};
-  NormalizeInPlace(x);
-  EXPECT_NEAR(Norm(x), 1.0, 1e-12);
+  kernels::NormalizeInPlace(x);
+  EXPECT_NEAR(kernels::Norm(x), 1.0, 1e-12);
   EXPECT_NEAR(x[0], 0.6, 1e-12);
 }
 
 TEST(VectorOpsTest, NormalizeZeroIsNoop) {
   std::vector<double> zero = {0.0, 0.0};
-  NormalizeInPlace(zero);
+  kernels::NormalizeInPlace(zero);
   EXPECT_EQ(zero[0], 0.0);
 }
 
 TEST(VectorOpsTest, CosineSimilarity) {
   const std::vector<double> x = {1.0, 0.0};
   const std::vector<double> y = {1.0, 1.0};
-  EXPECT_NEAR(CosineSimilarity(x, y), 1.0 / std::sqrt(2.0), 1e-12);
-  EXPECT_EQ(CosineSimilarity(x, std::vector<double>{0.0, 0.0}), 0.0);
+  EXPECT_NEAR(kernels::CosineSimilarity(x, y), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(kernels::CosineSimilarity(x, std::vector<double>{0.0, 0.0}), 0.0);
 }
 
 TEST(BitMatrixTest, SetGetRoundTrip) {
@@ -167,7 +167,7 @@ TEST(SignMatrixTest, DotMatchesDense) {
   }
   for (std::size_t i = 0; i < 3; ++i) {
     for (std::size_t j = 0; j < 3; ++j) {
-      const double dense_dot = Dot(a.RowAsDense(i), b.RowAsDense(j));
+      const double dense_dot = kernels::Dot(a.RowAsDense(i), b.RowAsDense(j));
       EXPECT_EQ(static_cast<double>(a.DotRows(i, b, j)), dense_dot);
     }
   }
@@ -199,11 +199,11 @@ TEST(GaussianProjectionTest, PreservesNormInExpectation) {
   const std::size_t kInputDim = 64;
   std::vector<double> x(kInputDim);
   for (double& v : x) v = rng.NextGaussian();
-  const double true_norm_sq = SquaredNorm(x);
+  const double true_norm_sq = kernels::SquaredNorm(x);
   OnlineStats ratio;
   for (int trial = 0; trial < 200; ++trial) {
     GaussianProjection projection(32, kInputDim, &rng);
-    ratio.Add(SquaredNorm(projection.Apply(x)) / true_norm_sq);
+    ratio.Add(kernels::SquaredNorm(projection.Apply(x)) / true_norm_sq);
   }
   EXPECT_NEAR(ratio.Mean(), 1.0, 0.1);
 }
@@ -231,9 +231,9 @@ TEST_P(JlSweepTest, PairwiseDistancesApproximatelyPreserved) {
   for (std::size_t i = 0; i < kPoints; ++i) {
     for (std::size_t j = i + 1; j < kPoints; ++j) {
       const double original =
-          SquaredDistance(points.Row(i), points.Row(j));
+          kernels::SquaredDistance(points.Row(i), points.Row(j));
       const double mapped =
-          SquaredDistance(projected.Row(i), projected.Row(j));
+          kernels::SquaredDistance(projected.Row(i), projected.Row(j));
       ++total;
       if (std::abs(mapped / original - 1.0) > param.tolerance) ++bad;
     }

@@ -9,7 +9,7 @@
 #include <numbers>
 
 #include "core/dataset.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/bucket_join.h"
 #include "lsh/cross_polytope.h"
 #include "lsh/bit_sample.h"
@@ -28,7 +28,7 @@ namespace {
 std::vector<double> RandomUnit(std::size_t dim, Rng* rng) {
   std::vector<double> v(dim);
   for (double& x : v) x = rng->NextGaussian();
-  NormalizeInPlace(v);
+  kernels::NormalizeInPlace(v);
   return v;
 }
 
@@ -36,9 +36,9 @@ std::vector<double> RandomUnit(std::size_t dim, Rng* rng) {
 std::vector<double> UnitAtCosine(std::span<const double> x, double cosine,
                                  Rng* rng) {
   std::vector<double> noise = RandomUnit(x.size(), rng);
-  const double along = Dot(noise, x);
+  const double along = kernels::Dot(noise, x);
   for (std::size_t i = 0; i < x.size(); ++i) noise[i] -= along * x[i];
-  NormalizeInPlace(noise);
+  kernels::NormalizeInPlace(noise);
   std::vector<double> y(x.size());
   const double sine = std::sqrt(std::max(0.0, 1.0 - cosine * cosine));
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -56,7 +56,7 @@ TEST_P(SimHashCosineSweep, CollisionProbabilityMatchesTheory) {
   const SimHashFamily family(kDim);
   const auto x = RandomUnit(kDim, &rng);
   const auto y = UnitAtCosine(x, cosine, &rng);
-  ASSERT_NEAR(Dot(x, y), cosine, 1e-9);
+  ASSERT_NEAR(kernels::Dot(x, y), cosine, 1e-9);
   const BernoulliEstimate estimate =
       EstimateCollisionProbability(family, x, y, 20000, &rng);
   const double expected = SimHashFamily::CollisionProbability(cosine);
@@ -199,15 +199,15 @@ TEST(DualBallTransformTest, MapsToUnitSphereAndScalesInnerProduct) {
   const DualBallTransform transform(kDim, kU);
   for (int trial = 0; trial < 30; ++trial) {
     auto p = RandomUnit(kDim, &rng);
-    ScaleInPlace(p, rng.NextDouble());  // ||p|| <= 1
+    kernels::ScaleInPlace(p, rng.NextDouble());  // ||p|| <= 1
     auto q = RandomUnit(kDim, &rng);
-    ScaleInPlace(q, kU * rng.NextDouble());  // ||q|| <= U
+    kernels::ScaleInPlace(q, kU * rng.NextDouble());  // ||q|| <= U
     const auto tp = transform.TransformData(p);
     const auto tq = transform.TransformQuery(q);
     ASSERT_EQ(tp.size(), kDim + 2);
-    EXPECT_NEAR(Norm(tp), 1.0, 1e-9);
-    EXPECT_NEAR(Norm(tq), 1.0, 1e-9);
-    EXPECT_NEAR(Dot(tp, tq), Dot(p, q) / kU, 1e-9);
+    EXPECT_NEAR(kernels::Norm(tp), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Norm(tq), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Dot(tp, tq), kernels::Dot(p, q) / kU, 1e-9);
   }
 }
 
@@ -217,15 +217,15 @@ TEST(SimpleMipsTransformTest, DataOnSphereQueryNormalized) {
   const double kM = 3.0;
   const SimpleMipsTransform transform(kDim, kM);
   auto p = RandomUnit(kDim, &rng);
-  ScaleInPlace(p, 2.0);  // ||p|| = 2 <= M
+  kernels::ScaleInPlace(p, 2.0);  // ||p|| = 2 <= M
   auto q = RandomUnit(kDim, &rng);
-  ScaleInPlace(q, 7.0);
+  kernels::ScaleInPlace(q, 7.0);
   const auto tp = transform.TransformData(p);
   const auto tq = transform.TransformQuery(q);
-  EXPECT_NEAR(Norm(tp), 1.0, 1e-9);
-  EXPECT_NEAR(Norm(tq), 1.0, 1e-9);
+  EXPECT_NEAR(kernels::Norm(tp), 1.0, 1e-9);
+  EXPECT_NEAR(kernels::Norm(tq), 1.0, 1e-9);
   // <tp, tq> = <p, q> / (M ||q||).
-  EXPECT_NEAR(Dot(tp, tq), Dot(p, q) / (kM * 7.0), 1e-9);
+  EXPECT_NEAR(kernels::Dot(tp, tq), kernels::Dot(p, q) / (kM * 7.0), 1e-9);
 }
 
 TEST(XboxTransformTest, EqualizesDataNorms) {
@@ -235,12 +235,12 @@ TEST(XboxTransformTest, EqualizesDataNorms) {
   const XboxTransform transform(kDim, kM);
   for (int trial = 0; trial < 10; ++trial) {
     auto p = RandomUnit(kDim, &rng);
-    ScaleInPlace(p, kM * rng.NextDouble());
+    kernels::ScaleInPlace(p, kM * rng.NextDouble());
     const auto tp = transform.TransformData(p);
-    EXPECT_NEAR(Norm(tp), kM, 1e-9);
+    EXPECT_NEAR(kernels::Norm(tp), kM, 1e-9);
     auto q = RandomUnit(kDim, &rng);
     const auto tq = transform.TransformQuery(q);
-    EXPECT_NEAR(Dot(tp, tq), Dot(p, q), 1e-9);  // inner product unchanged
+    EXPECT_NEAR(kernels::Dot(tp, tq), kernels::Dot(p, q), 1e-9);  // inner product unchanged
   }
 }
 
@@ -252,7 +252,7 @@ TEST(L2AlshTransformTest, DistanceEncodesInnerProduct) {
   const double kMaxNorm = 2.0;
   const L2AlshTransform transform(kDim, kM, kUScale, kMaxNorm);
   auto p = RandomUnit(kDim, &rng);
-  ScaleInPlace(p, 1.7);
+  kernels::ScaleInPlace(p, 1.7);
   auto q = RandomUnit(kDim, &rng);
   const auto tp = transform.TransformData(p);
   const auto tq = transform.TransformQuery(q);
@@ -262,8 +262,8 @@ TEST(L2AlshTransformTest, DistanceEncodesInnerProduct) {
   const double scaled_norm = kUScale * 1.7 / kMaxNorm;
   const double tail = std::pow(scaled_norm, std::pow(2.0, kM + 1));
   const double expected = 1.0 + kM / 4.0 -
-                          2.0 * (kUScale / kMaxNorm) * Dot(p, q) + tail;
-  EXPECT_NEAR(SquaredDistance(tp, tq), expected, 1e-9);
+                          2.0 * (kUScale / kMaxNorm) * kernels::Dot(p, q) + tail;
+  EXPECT_NEAR(kernels::SquaredDistance(tp, tq), expected, 1e-9);
 }
 
 TEST(MinHashAlshTransformTest, PadsDataToConstantWeight) {
@@ -281,7 +281,7 @@ TEST(MinHashAlshTransformTest, PadsDataToConstantWeight) {
   for (double v : tx) weight += v;
   EXPECT_EQ(weight, static_cast<double>(kMaxWeight));
   // Intersection is preserved (query is zero on the padding).
-  EXPECT_DOUBLE_EQ(Dot(tx, tq), 1.0);
+  EXPECT_DOUBLE_EQ(kernels::Dot(tx, tq), 1.0);
   EXPECT_NEAR(MinHashFamily::Jaccard(tx, tq),
               1.0 / (kMaxWeight + 2.0 - 1.0), 1e-12);
 }
@@ -300,15 +300,15 @@ TEST(SymmetricIncoherentTransformTest, PreservesDistinctInnerProducts) {
   EXPECT_TRUE(transform.IsSymmetric());
   for (int trial = 0; trial < 25; ++trial) {
     auto x = RandomUnit(kDim, &rng);
-    ScaleInPlace(x, rng.NextDouble());
+    kernels::ScaleInPlace(x, rng.NextDouble());
     auto y = RandomUnit(kDim, &rng);
-    ScaleInPlace(y, rng.NextDouble());
+    kernels::ScaleInPlace(y, rng.NextDouble());
     const auto tx = transform.TransformData(x);
     const auto ty = transform.TransformData(y);
-    EXPECT_NEAR(Norm(tx), 1.0, 1e-9);
-    EXPECT_NEAR(Norm(ty), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Norm(tx), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Norm(ty), 1.0, 1e-9);
     // |<tx, ty> - <x, y>| <= epsilon for x != y.
-    EXPECT_NEAR(Dot(tx, ty), Dot(x, y), kEpsilon + 1e-9);
+    EXPECT_NEAR(kernels::Dot(tx, ty), kernels::Dot(x, y), kEpsilon + 1e-9);
   }
 }
 
@@ -316,13 +316,13 @@ TEST(SymmetricIncoherentTransformTest, IdenticalVectorsMapIdentically) {
   Rng rng(61);
   const SymmetricIncoherentTransform transform(5, 0.2, 16);
   auto x = RandomUnit(5, &rng);
-  ScaleInPlace(x, 0.4);
+  kernels::ScaleInPlace(x, 0.4);
   const auto t1 = transform.TransformData(x);
   const auto t2 = transform.TransformQuery(x);
   ASSERT_EQ(t1.size(), t2.size());
   for (std::size_t i = 0; i < t1.size(); ++i) EXPECT_EQ(t1[i], t2[i]);
   // The collision-at-1 case the relaxed definition disregards.
-  EXPECT_NEAR(Dot(t1, t2), 1.0, 1e-9);
+  EXPECT_NEAR(kernels::Dot(t1, t2), 1.0, 1e-9);
 }
 
 TEST(TransformedFamilyTest, ComposesTransformAndBase) {
@@ -334,15 +334,15 @@ TEST(TransformedFamilyTest, ComposesTransformAndBase) {
   EXPECT_EQ(family.dim(), kDim);
   EXPECT_FALSE(family.IsSymmetric());
   auto p = RandomUnit(kDim, &rng);
-  ScaleInPlace(p, 0.9);
+  kernels::ScaleInPlace(p, 0.9);
   // Collision probability of (p, q) should match SimHash on the lifted
   // vectors.
   auto q = RandomUnit(kDim, &rng);
-  ScaleInPlace(q, 1.5);
+  kernels::ScaleInPlace(q, 1.5);
   const auto tp = transform.TransformData(p);
   const auto tq = transform.TransformQuery(q);
   const double expected =
-      SimHashFamily::CollisionProbability(Dot(tp, tq));
+      SimHashFamily::CollisionProbability(kernels::Dot(tp, tq));
   const BernoulliEstimate estimate =
       EstimateCollisionProbability(family, p, q, 20000, &rng);
   EXPECT_NEAR(estimate.p_hat, expected, estimate.HalfWidth(4.0) + 0.005);

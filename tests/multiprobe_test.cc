@@ -9,7 +9,7 @@
 #include "embed/chebyshev_embedding.h"
 #include "embed/sign_embedding.h"
 #include "hardness/sign_pipeline.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/multiprobe.h"
 #include "rng/random.h"
 
@@ -92,7 +92,7 @@ TEST(SignPipelineTest, PackedEmbeddingMatchesDense) {
   for (std::size_t i = 0; i < sp.rows(); ++i) {
     for (std::size_t j = 0; j < sq.rows(); ++j) {
       EXPECT_DOUBLE_EQ(static_cast<double>(sp.DotRows(i, sq, j)),
-                       Dot(dp.Row(i), dq.Row(j)));
+                       kernels::Dot(dp.Row(i), dq.Row(j)));
     }
   }
 }

@@ -6,7 +6,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "rng/random.h"
 #include "sketch/count_sketch.h"
 #include "sketch/max_stability.h"
@@ -36,11 +36,11 @@ TEST(CountSketchTest, PreservesSquaredNormInExpectation) {
   Rng rng(5);
   std::vector<double> x(64);
   for (double& v : x) v = rng.NextGaussian();
-  const double target = SquaredNorm(x);
+  const double target = kernels::SquaredNorm(x);
   OnlineStats stats;
   for (int trial = 0; trial < 400; ++trial) {
     const CountSketch sketch(64, 16, &rng);
-    stats.Add(SquaredNorm(sketch.Apply(x)));
+    stats.Add(kernels::SquaredNorm(sketch.Apply(x)));
   }
   EXPECT_NEAR(stats.Mean() / target, 1.0, 0.1);
 }
@@ -52,7 +52,7 @@ TEST(CountSketchTest, SingleHeavyCoordinateSurvives) {
   for (int trial = 0; trial < 50; ++trial) {
     const CountSketch sketch(100, 20, &rng);
     const auto sx = sketch.Apply(x);
-    EXPECT_DOUBLE_EQ(LInfNorm(sx), 10.0);  // alone in its bucket or not, the
+    EXPECT_DOUBLE_EQ(kernels::LInfNorm(sx), 10.0);  // alone in its bucket or not, the
                                            // only mass is x[42]
   }
 }
@@ -69,7 +69,7 @@ TEST_P(MaxStabilityKappaSweep, EstimatesLKappaNormWithinConstantFactor) {
   params.bucket_multiplier = 6.0;
   std::vector<double> x(kDim);
   for (double& v : x) v = rng.NextGaussian();
-  const double truth = LpNorm(x, kappa);
+  const double truth = kernels::LpNorm(x, kappa);
   // Median over sketches should land within a constant factor of the
   // true norm; check the typical ratio over repetitions.
   OnlineStats ratio;
@@ -124,12 +124,12 @@ TEST(MaxStabilityTest, SketchDataMatrixCommutesWithQuery) {
   for (double& v : q) v = rng.NextGaussian();
   // Direct path: form Aq then sketch it.
   std::vector<double> aq(kN);
-  for (std::size_t i = 0; i < kN; ++i) aq[i] = Dot(a.Row(i), q);
+  for (std::size_t i = 0; i < kN; ++i) aq[i] = kernels::Dot(a.Row(i), q);
   const std::vector<double> direct = sketch.Apply(aq);
   // Precomputed path.
   ASSERT_EQ(sketched.rows(), direct.size());
   for (std::size_t r = 0; r < sketched.rows(); ++r) {
-    EXPECT_NEAR(Dot(sketched.Row(r), q), direct[r], 1e-9);
+    EXPECT_NEAR(kernels::Dot(sketched.Row(r), q), direct[r], 1e-9);
   }
 }
 
@@ -148,7 +148,7 @@ TEST(SketchMipsTest, EstimateTracksTrueMax) {
   std::vector<double> q(kD, 1.0);
   double truth = 0.0;
   for (std::size_t i = 0; i < kN; ++i) {
-    truth = std::max(truth, std::abs(Dot(data.Row(i), q)));
+    truth = std::max(truth, std::abs(kernels::Dot(data.Row(i), q)));
   }
   const double estimate = index.EstimateMaxAbsInnerProduct(q);
   // ||x||_inf <= ||x||_kappa <= n^(1/kappa) ||x||_inf plus sketch noise:
@@ -204,7 +204,7 @@ TEST(SketchMipsTest, TinyDatasetFallsBackToExact) {
   double truth = 0.0;
   std::size_t arg = 0;
   for (std::size_t i = 0; i < 4; ++i) {
-    const double v = std::abs(Dot(data.Row(i), q));
+    const double v = std::abs(kernels::Dot(data.Row(i), q));
     if (v > truth) {
       truth = v;
       arg = i;

@@ -10,7 +10,7 @@
 #include "core/dataset.h"
 #include "core/mips_index.h"
 #include "core/top_k.h"
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/simhash.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"

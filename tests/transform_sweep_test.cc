@@ -6,7 +6,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"
 
@@ -16,9 +16,9 @@ namespace {
 std::vector<double> RandomInBall(std::size_t dim, double radius, Rng* rng) {
   std::vector<double> v(dim);
   for (double& x : v) x = rng->NextGaussian();
-  NormalizeInPlace(v);
+  kernels::NormalizeInPlace(v);
   // Stay strictly inside the ball so sqrt complements are well defined.
-  ScaleInPlace(v, radius * (0.05 + 0.9 * rng->NextDouble()));
+  kernels::ScaleInPlace(v, radius * (0.05 + 0.9 * rng->NextDouble()));
   return v;
 }
 
@@ -35,9 +35,9 @@ TEST_P(TransformDimSweep, DualBallIdentities) {
       const auto q = RandomInBall(dim, radius, &rng);
       const auto tp = transform.TransformData(p);
       const auto tq = transform.TransformQuery(q);
-      EXPECT_NEAR(Norm(tp), 1.0, 1e-9);
-      EXPECT_NEAR(Norm(tq), 1.0, 1e-9);
-      EXPECT_NEAR(Dot(tp, tq), Dot(p, q) / radius, 1e-9);
+      EXPECT_NEAR(kernels::Norm(tp), 1.0, 1e-9);
+      EXPECT_NEAR(kernels::Norm(tq), 1.0, 1e-9);
+      EXPECT_NEAR(kernels::Dot(tp, tq), kernels::Dot(p, q) / radius, 1e-9);
     }
   }
 }
@@ -52,9 +52,9 @@ TEST_P(TransformDimSweep, SimpleMipsIdentities) {
     const auto q = RandomInBall(dim, 7.0, &rng);
     const auto tp = transform.TransformData(p);
     const auto tq = transform.TransformQuery(q);
-    EXPECT_NEAR(Norm(tp), 1.0, 1e-9);
-    EXPECT_NEAR(Norm(tq), 1.0, 1e-9);
-    EXPECT_NEAR(Dot(tp, tq), Dot(p, q) / (max_norm * Norm(q)), 1e-9);
+    EXPECT_NEAR(kernels::Norm(tp), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Norm(tq), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Dot(tp, tq), kernels::Dot(p, q) / (max_norm * kernels::Norm(q)), 1e-9);
   }
 }
 
@@ -68,12 +68,12 @@ TEST_P(TransformDimSweep, XboxIdentities) {
     const auto q = RandomInBall(dim, 2.0, &rng);
     const auto tp = transform.TransformData(p);
     const auto tq = transform.TransformQuery(q);
-    EXPECT_NEAR(Norm(tp), max_norm, 1e-9);        // all data equalized
-    EXPECT_NEAR(Dot(tp, tq), Dot(p, q), 1e-9);    // products unchanged
+    EXPECT_NEAR(kernels::Norm(tp), max_norm, 1e-9);        // all data equalized
+    EXPECT_NEAR(kernels::Dot(tp, tq), kernels::Dot(p, q), 1e-9);    // products unchanged
     // Euclidean NN on the lift == MIPS on the originals:
     // ||tp - tq||^2 = M^2 + ||q||^2 - 2 p^T q.
-    EXPECT_NEAR(SquaredDistance(tp, tq),
-                max_norm * max_norm + SquaredNorm(q) - 2.0 * Dot(p, q),
+    EXPECT_NEAR(kernels::SquaredDistance(tp, tq),
+                max_norm * max_norm + kernels::SquaredNorm(q) - 2.0 * kernels::Dot(p, q),
                 1e-9);
   }
 }
@@ -90,13 +90,13 @@ TEST_P(TransformDimSweep, L2AlshDistanceIdentity) {
       const auto q = RandomInBall(dim, 5.0, &rng);
       const auto tp = transform.TransformData(p);
       const auto tq = transform.TransformQuery(q);
-      const double scaled_norm = u_scale * Norm(p) / max_norm;
+      const double scaled_norm = u_scale * kernels::Norm(p) / max_norm;
       const double tail =
           std::pow(scaled_norm, std::pow(2.0, static_cast<double>(m) + 1.0));
       const double expected =
           1.0 + static_cast<double>(m) / 4.0 -
-          2.0 * (u_scale / max_norm) * Dot(p, q) / Norm(q) + tail;
-      EXPECT_NEAR(SquaredDistance(tp, tq), expected, 1e-9)
+          2.0 * (u_scale / max_norm) * kernels::Dot(p, q) / kernels::Norm(q) + tail;
+      EXPECT_NEAR(kernels::SquaredDistance(tp, tq), expected, 1e-9)
           << "m=" << m;
     }
   }
@@ -112,8 +112,8 @@ TEST_P(TransformDimSweep, SymmetricIncoherentAdditiveError) {
     const auto y = RandomInBall(dim, 1.0, &rng);
     const auto tx = transform.TransformData(x);
     const auto ty = transform.TransformData(y);
-    EXPECT_NEAR(Norm(tx), 1.0, 1e-9);
-    EXPECT_NEAR(Dot(tx, ty), Dot(x, y), epsilon + 1e-9);
+    EXPECT_NEAR(kernels::Norm(tx), 1.0, 1e-9);
+    EXPECT_NEAR(kernels::Dot(tx, ty), kernels::Dot(x, y), epsilon + 1e-9);
   }
 }
 

@@ -5,7 +5,7 @@
 
 #include <cmath>
 
-#include "linalg/vector_ops.h"
+#include "linalg/kernels.h"
 #include "rng/random.h"
 #include "tree/mips_tree.h"
 
@@ -24,7 +24,7 @@ std::pair<std::size_t, double> BruteMax(const Matrix& data,
   std::size_t best_index = 0;
   double best = -1e300;
   for (std::size_t i = 0; i < data.rows(); ++i) {
-    double v = Dot(data.Row(i), q);
+    double v = kernels::Dot(data.Row(i), q);
     if (absolute) v = std::abs(v);
     if (v > best) {
       best = v;
