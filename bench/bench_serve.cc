@@ -31,9 +31,13 @@
 #include "rng/random.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine.h"
+#include "serve/query_engine.h"
 #include "serve/serve_stats.h"
+#include "serve/sharded_engine.h"
+#include "util/failpoint.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ips {
@@ -355,6 +359,231 @@ BatchedResult RunBatchedSection(Rng* rng) {
   return result;
 }
 
+// ---------------------------------------------------------------------
+// Sharded scatter-gather (PR 6): ShardedEngine at S=1 and S=4 against
+// the single-Engine baseline on a forced-brute workload, plus the
+// straggler-hedging A/B under an injected slow shard.
+// ---------------------------------------------------------------------
+
+struct ShardedResult {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  std::size_t queries = 0;
+  double baseline_qps = 0.0;
+  double s1_qps = 0.0;
+  double s4_qps = 0.0;
+  double speedup_s4 = 0.0;
+  bool results_agree = false;
+  std::size_t hardware_threads = 0;
+  // "parallel" (>= 4 hardware threads: the fan-out must actually win)
+  // or "overhead" (serialized machine: the fan-out can only be judged
+  // on its coordination cost).
+  std::string gate_mode;
+  double gate_threshold = 0.0;
+  bool gate_pass = false;
+};
+
+struct HedgeResult {
+  std::size_t queries = 0;
+  double p99_unhedged_ms = 0.0;
+  double p99_hedged_ms = 0.0;
+  double ratio = 0.0;
+  std::size_t hedged_count = 0;
+  std::size_t partial_count = 0;
+};
+
+// Sequential-loop qps of any QueryEngine, collecting the match indices
+// of every answer so callers can cross-check determinism.
+double SequentialQps(const QueryEngine& engine, const Matrix& queries,
+                     const QueryOptions& request,
+                     std::vector<std::vector<std::size_t>>* indices) {
+  if (indices != nullptr) indices->clear();
+  WallTimer timer;
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto response = engine.Query(queries.Row(qi), request);
+    if (!response.ok()) {
+      std::cerr << "sharded bench query: " << response.status().ToString()
+                << "\n";
+      std::exit(1);
+    }
+    if (indices != nullptr) {
+      std::vector<std::size_t> row;
+      row.reserve(response->matches.size());
+      for (const auto& match : response->matches) row.push_back(match.index);
+      indices->push_back(std::move(row));
+    }
+  }
+  const double elapsed = timer.Seconds();
+  return elapsed > 0.0 ? static_cast<double>(queries.rows()) / elapsed : 0.0;
+}
+
+ShardedResult RunShardedSection(Rng* rng) {
+  ShardedResult result;
+  result.n = 8192;
+  result.dim = 48;
+  result.queries = 128;
+  result.hardware_threads = ThreadPool::DefaultThreadCount();
+  std::cout << "=== sharded scatter-gather (n=" << result.n << ", dim="
+            << result.dim << ", " << result.queries << " queries, "
+            << result.hardware_threads << " hw threads) ===\n";
+  const Matrix data =
+      MakeUnitBallGaussian(result.n, result.dim, /*min_norm=*/0.3, rng);
+  Matrix queries(result.queries, result.dim);
+  for (std::size_t qi = 0; qi < result.queries; ++qi) {
+    for (std::size_t j = 0; j < result.dim; ++j) {
+      queries.At(qi, j) = rng->NextGaussian();
+    }
+  }
+  QueryOptions request;
+  request.k = kK;
+  // Forced brute: every policy answers exactly, so the comparison
+  // isolates fan-out/merge cost from planner routing.
+  request.force_algorithm = QueryAlgo::kBruteForce;
+
+  auto baseline = Engine::Create(data);
+  ShardedEngineOptions one_shard;
+  one_shard.num_shards = 1;
+  auto s1 = ShardedEngine::Create(data, one_shard);
+  ShardedEngineOptions four_shards;
+  four_shards.num_shards = 4;
+  auto s4 = ShardedEngine::Create(data, four_shards);
+  if (!baseline.ok() || !s1.ok() || !s4.ok()) {
+    std::cerr << "sharded bench engine build failed\n";
+    std::exit(1);
+  }
+  for (const Status& built : {(*baseline)->EnsureIndex(QueryAlgo::kBruteForce),
+                              (*s1)->EnsureIndex(QueryAlgo::kBruteForce),
+                              (*s4)->EnsureIndex(QueryAlgo::kBruteForce)}) {
+    if (!built.ok()) {
+      std::cerr << "sharded bench build: " << built.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+
+  // Warm every path once (pool threads, metric cells).
+  std::vector<std::vector<std::size_t>> baseline_indices;
+  std::vector<std::vector<std::size_t>> sharded_indices;
+  (void)SequentialQps(**baseline, queries, request, nullptr);
+  (void)SequentialQps(**s4, queries, request, nullptr);
+
+  result.baseline_qps =
+      SequentialQps(**baseline, queries, request, &baseline_indices);
+  result.s1_qps = SequentialQps(**s1, queries, request, nullptr);
+  result.s4_qps = SequentialQps(**s4, queries, request, &sharded_indices);
+  result.speedup_s4 =
+      result.baseline_qps > 0.0 ? result.s4_qps / result.baseline_qps : 0.0;
+  result.results_agree = baseline_indices == sharded_indices;
+
+  // The >= 3x scatter-gather speedup is a statement about parallel
+  // hardware; on a serialized machine the honest gate is that the
+  // coordination layer (pool hop, budgets, breaker, merge) keeps the
+  // sharded path within 2x of the baseline's cost.
+  if (result.hardware_threads >= 4) {
+    result.gate_mode = "parallel";
+    result.gate_threshold = 3.0;
+    result.gate_pass =
+        result.s4_qps >= result.gate_threshold * result.baseline_qps;
+  } else {
+    result.gate_mode = "overhead";
+    result.gate_threshold = 0.5;
+    result.gate_pass =
+        result.s4_qps >= result.gate_threshold * result.baseline_qps;
+  }
+
+  std::cout << "baseline " << FormatFixed(result.baseline_qps, 1)
+            << " qps, S=1 " << FormatFixed(result.s1_qps, 1) << " qps, S=4 "
+            << FormatFixed(result.s4_qps, 1) << " qps (speedup "
+            << FormatFixed(result.speedup_s4, 2) << "x), results "
+            << (result.results_agree ? "agree" : "DISAGREE") << ", gate "
+            << result.gate_mode << " "
+            << (result.gate_pass ? "pass" : "FAIL") << "\n\n";
+  return result;
+}
+
+// One timed pass of the hedging A/B: shard 0's primary path stalls
+// chaos_slow_seconds on every call; with hedging enabled the latency
+// tracker predicts the budget miss after the warmup and detours through
+// the forced-brute fallback.
+HedgeResult RunHedgeSection(Rng* rng) {
+  HedgeResult result;
+  constexpr std::size_t kHedgeN = 2048;
+  constexpr std::size_t kHedgeDim = 32;
+  constexpr std::size_t kWarmup = 32;
+  result.queries = 300;
+  std::cout << "=== hedged requests (n=" << kHedgeN << ", dim=" << kHedgeDim
+            << ", " << result.queries << " queries, slow shard 0) ===\n";
+  const Matrix data =
+      MakeUnitBallGaussian(kHedgeN, kHedgeDim, /*min_norm=*/0.3, rng);
+  Matrix queries(result.queries, kHedgeDim);
+  for (std::size_t qi = 0; qi < result.queries; ++qi) {
+    for (std::size_t j = 0; j < kHedgeDim; ++j) {
+      queries.At(qi, j) = rng->NextGaussian();
+    }
+  }
+  QueryOptions request;
+  request.k = kK;
+  // Exact recall routes the planner to brute force without forcing the
+  // algorithm (a forced path disables hedging by design).
+  request.recall_target = 1.0;
+  request.deadline_seconds = 0.01;
+
+  const auto run = [&](bool hedging, std::size_t* hedged,
+                       std::size_t* partial) {
+    ShardedEngineOptions options;
+    options.num_shards = 4;
+    options.hedge.enabled = hedging;
+    options.hedge.min_samples = 4;
+    options.hedge.chaos_slow_seconds = 0.02;
+    // The stall makes shard 0 slow, not broken: keep the breaker out of
+    // the measurement so the A/B isolates hedging.
+    options.breaker.failure_threshold = 1000000;
+    auto engine = ShardedEngine::Create(data, options);
+    if (!engine.ok() || !(*engine)->EnsureIndex(QueryAlgo::kBruteForce).ok()) {
+      std::cerr << "hedge bench engine build failed\n";
+      std::exit(1);
+    }
+    Failpoints::Arm("serve/shard/slow/0", Status::Internal("straggler"),
+                    FireEvery{1});
+    for (std::size_t qi = 0; qi < kWarmup; ++qi) {
+      const auto response =
+          (*engine)->Query(queries.Row(qi % queries.rows()), request);
+      if (!response.ok()) {
+        std::cerr << "hedge warmup: " << response.status().ToString() << "\n";
+        std::exit(1);
+      }
+    }
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(result.queries);
+    for (std::size_t qi = 0; qi < result.queries; ++qi) {
+      WallTimer timer;
+      const auto response = (*engine)->Query(queries.Row(qi), request);
+      latencies_ms.push_back(timer.Millis());
+      if (!response.ok()) {
+        std::cerr << "hedge query: " << response.status().ToString() << "\n";
+        std::exit(1);
+      }
+      if (hedged != nullptr) *hedged += response->stats.shards_hedged;
+      if (partial != nullptr && response->partial) ++*partial;
+    }
+    Failpoints::Disarm("serve/shard/slow/0");
+    return Summarize(std::move(latencies_ms)).p99;
+  };
+
+  result.p99_unhedged_ms = run(false, nullptr, nullptr);
+  result.p99_hedged_ms =
+      run(true, &result.hedged_count, &result.partial_count);
+  result.ratio = result.p99_hedged_ms > 0.0
+                     ? result.p99_unhedged_ms / result.p99_hedged_ms
+                     : 0.0;
+
+  std::cout << "p99 unhedged " << FormatFixed(result.p99_unhedged_ms, 2)
+            << "ms, hedged " << FormatFixed(result.p99_hedged_ms, 2)
+            << "ms, ratio " << FormatFixed(result.ratio, 2) << "x, "
+            << result.hedged_count << " hedged calls, "
+            << result.partial_count << " partial answers\n\n";
+  return result;
+}
+
 // Acceptance gate for the observability layer: the instrumented
 // brute-force query path (registry counters + stats, no trace) must
 // stay within a few percent of the plain uninstrumented scan.
@@ -400,7 +629,8 @@ OverheadResult MeasureObsOverhead(const Matrix& data,
 }
 
 void WriteJson(const std::vector<WorkloadResult>& workloads,
-               const BatchedResult& batched, const OverheadResult& overhead,
+               const BatchedResult& batched, const ShardedResult& sharded,
+               const HedgeResult& hedge, const OverheadResult& overhead,
                const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"serve\",\n  \"n\": " << kN
@@ -440,6 +670,23 @@ void WriteJson(const std::vector<WorkloadResult>& workloads,
       << ", \"results_agree\": " << (batched.results_agree ? "true" : "false")
       << ", \"scheduler_sequential_qps\": " << batched.scheduler_sequential_qps
       << ", \"scheduler_batched_qps\": " << batched.scheduler_batched_qps
+      << "},\n  \"sharded\": {\"n\": " << sharded.n
+      << ", \"dim\": " << sharded.dim << ", \"queries\": " << sharded.queries
+      << ", \"baseline_qps\": " << sharded.baseline_qps
+      << ", \"s1_qps\": " << sharded.s1_qps
+      << ", \"s4_qps\": " << sharded.s4_qps
+      << ", \"speedup_s4\": " << sharded.speedup_s4
+      << ", \"results_agree\": " << (sharded.results_agree ? "true" : "false")
+      << ", \"hardware_threads\": " << sharded.hardware_threads
+      << ", \"gate_mode\": \"" << sharded.gate_mode << "\""
+      << ", \"gate_threshold\": " << sharded.gate_threshold
+      << ", \"gate_pass\": " << (sharded.gate_pass ? "true" : "false")
+      << "},\n  \"hedge\": {\"queries\": " << hedge.queries
+      << ", \"p99_unhedged_ms\": " << hedge.p99_unhedged_ms
+      << ", \"p99_hedged_ms\": " << hedge.p99_hedged_ms
+      << ", \"ratio\": " << hedge.ratio
+      << ", \"hedged_count\": " << hedge.hedged_count
+      << ", \"partial_count\": " << hedge.partial_count
       << "},\n  \"obs_overhead\": {\"baseline_ms\": "
       << overhead.baseline_ms
       << ", \"instrumented_ms\": " << overhead.instrumented_ms
@@ -453,8 +700,11 @@ void WriteJson(const std::vector<WorkloadResult>& workloads,
       "serve.engine.selected.sketch", "serve.scheduler.submitted",
       "serve.scheduler.completed", "serve.scheduler.shed",
       "serve.scheduler.expired",   "serve.scheduler.batches",
-      "core.brute.queries",        "tree.queries",
-      "lsh.tables.queries"};
+      "serve.shard.calls",         "serve.shard.failed",
+      "serve.shard.skipped",       "serve.shard.retries",
+      "serve.shard.hedged",        "serve.shard.queries",
+      "serve.shard.partial",       "core.brute.queries",
+      "tree.queries",              "lsh.tables.queries"};
   bool first = true;
   for (const char* name : kCounters) {
     out << (first ? "" : ", ") << "\"" << name
@@ -475,6 +725,8 @@ int Run() {
       MakeLatentFactorVectors(kN, kDim, /*skew=*/1.0, &rng), &rng));
 
   const BatchedResult batched = RunBatchedSection(&rng);
+  const ShardedResult sharded = RunShardedSection(&rng);
+  const HedgeResult hedge = RunHedgeSection(&rng);
 
   const Matrix overhead_data =
       MakeUnitBallGaussian(kN, kDim, /*min_norm=*/0.9, &rng);
@@ -494,7 +746,8 @@ int Run() {
                                        : " (WARN: above 3% budget)")
             << "\n";
 
-  WriteJson(workloads, batched, overhead, "BENCH_serve.json");
+  WriteJson(workloads, batched, sharded, hedge, overhead,
+            "BENCH_serve.json");
   std::cout << "wrote BENCH_serve.json\n";
 
   // Headline check: on >= 1 workload the planner meets every target with
@@ -538,6 +791,37 @@ int Run() {
   }
   std::cout << "OK: batched execution " << FormatFixed(batched.speedup, 2)
             << "x over sequential at equal recall\n";
+
+  // Sharded scatter-gather gates (PR 6). Determinism is unconditional;
+  // the qps gate adapts to the hardware (see RunShardedSection).
+  if (!sharded.results_agree) {
+    std::cerr << "FAIL: sharded and baseline answers disagree\n";
+    return 1;
+  }
+  if (!sharded.gate_pass) {
+    std::cerr << "FAIL: sharded S=4 qps " << sharded.s4_qps << " misses the "
+              << sharded.gate_mode << " gate (" << sharded.gate_threshold
+              << "x baseline " << sharded.baseline_qps << ")\n";
+    return 1;
+  }
+  std::cout << "OK: sharded scatter-gather passes the " << sharded.gate_mode
+            << " gate (" << FormatFixed(sharded.speedup_s4, 2)
+            << "x baseline, answers agree)\n";
+
+  // Hedging gate: with a deterministic straggler on shard 0, enabling
+  // hedging must cut tail latency by >= 2x.
+  if (hedge.ratio < 2.0) {
+    std::cerr << "FAIL: hedging p99 ratio " << hedge.ratio
+              << "x below the 2x acceptance bar\n";
+    return 1;
+  }
+  if (hedge.hedged_count == 0) {
+    std::cerr << "FAIL: hedging never fired under the injected straggler\n";
+    return 1;
+  }
+  std::cout << "OK: hedging cuts straggler p99 by "
+            << FormatFixed(hedge.ratio, 2) << "x (" << hedge.hedged_count
+            << " hedged calls)\n";
   return 0;
 }
 

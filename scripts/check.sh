@@ -18,6 +18,7 @@
 #   $ scripts/check.sh            # everything
 #   $ scripts/check.sh plain      # just the plain build + tests
 #   $ scripts/check.sh asan|tsan  # a single sanitizer pass
+#   $ scripts/check.sh chaos      # failure-injection suites under TSan
 #   $ scripts/check.sh scalar     # full suite with IPS_FORCE_SCALAR=1
 #   $ scripts/check.sh static     # ipslint + nodiscard + clang analyses
 set -euo pipefail
@@ -49,9 +50,25 @@ run_tsan() {
   cmake -B build-tsan -S . -DIPS_SANITIZE=thread \
     -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=ON >/dev/null
   cmake --build build-tsan -j"$JOBS" \
-    --target util_test obs_test chaos_test serve_test serve_quickstart
-  (cd build-tsan && ctest --output-on-failure -R 'util_test|obs_test|chaos_test|serve_test')
+    --target util_test obs_test chaos_test serve_test sharded_test serve_quickstart
+  (cd build-tsan && ctest --output-on-failure -R 'util_test|obs_test|chaos_test|serve_test|sharded_test')
   echo "=== TSan serve quickstart ==="
+  ./build-tsan/examples/serve_quickstart
+}
+
+run_chaos() {
+  # The failure-injection leg (DESIGN.md §11): every failpoint-driven
+  # suite — the chaos matrix, the serving layer it wraps, and the
+  # sharded scatter-gather engine — under TSan, where an injected
+  # failure racing the scatter/gather or breaker state machinery would
+  # surface as a data race instead of a flaky pass.
+  echo "=== chaos: TSan build + failure-injection suites ==="
+  cmake -B build-tsan -S . -DIPS_SANITIZE=thread \
+    -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=ON >/dev/null
+  cmake --build build-tsan -j"$JOBS" \
+    --target chaos_test serve_test sharded_test serve_quickstart
+  (cd build-tsan && ctest --output-on-failure -R 'chaos_test|serve_test|sharded_test')
+  echo "=== chaos: degraded-mode quickstart (shard 2 down) under TSan ==="
   ./build-tsan/examples/serve_quickstart
 }
 
@@ -106,10 +123,11 @@ case "$MODE" in
   plain)  run_plain ;;
   asan)   run_asan ;;
   tsan)   run_tsan ;;
+  chaos)  run_chaos ;;
   scalar) run_scalar ;;
   static) run_static ;;
   all)    run_plain; run_scalar; run_asan; run_tsan; run_static ;;
-  *) echo "usage: $0 [plain|asan|tsan|scalar|static|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|asan|tsan|chaos|scalar|static|all]" >&2; exit 2 ;;
 esac
 
 echo "all checks passed"

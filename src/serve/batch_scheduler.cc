@@ -57,7 +57,7 @@ bool CompatibleOptions(const QueryOptions& a, const QueryOptions& b) {
 
 }  // namespace
 
-BatchScheduler::BatchScheduler(const Engine* engine,
+BatchScheduler::BatchScheduler(const QueryEngine* engine,
                                BatchSchedulerOptions options)
     : engine_(engine),
       options_(options),
@@ -120,6 +120,9 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
     if (shutting_down_ || queue_.size() >= options_.max_queue) {
       ++counters_.shed;
       metrics.shed->Increment();
+      // Deliberate shedding, not a transient fault: kResourceExhausted
+      // here means "back off", never "retry" (see header; transient
+      // faults are kUnavailable).
       pending.promise.set_value(Status::ResourceExhausted(
           shutting_down_ ? "scheduler is shutting down"
                          : "serve queue full (" +
@@ -174,7 +177,7 @@ void BatchScheduler::DispatchLoop() {
 
 std::vector<std::vector<std::size_t>> BatchScheduler::GroupCompatible(
     const std::vector<Pending>& batch) const {
-  const std::size_t dim = engine_->data().cols();
+  const std::size_t dim = engine_->dim();
   std::vector<std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     // Wrong-dimension requests stay singletons so the per-query path

@@ -9,6 +9,12 @@
 //
 // Admission and deadline semantics:
 //  * Submit sheds load with kResourceExhausted when the queue is full.
+//    Shedding is deliberate back-pressure, NOT a transient fault:
+//    kResourceExhausted from this scheduler must not be retried
+//    blindly (retrying amplifies the overload that caused it).
+//    Transient shard/transport faults use kUnavailable, the one code
+//    the sharded retry policy (serve/sharded_engine.h) classifies as
+//    retryable.
 //  * A request whose deadline (options.deadline_seconds, relative to
 //    submission) has passed before execution starts fails with
 //    kDeadlineExceeded without burning engine work.
@@ -36,7 +42,7 @@
 #include <thread>
 #include <vector>
 
-#include "serve/engine.h"
+#include "serve/query_engine.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -82,13 +88,15 @@ struct SchedulerCounters {
   std::size_t batched_queries = 0;
 };
 
-/// Coalescing scheduler over one Engine. Thread-safe.
+/// Coalescing scheduler over one QueryEngine (a single-node Engine or a
+/// ShardedEngine). Thread-safe.
 class BatchScheduler {
  public:
   using Result = StatusOr<QueryResult>;
 
   /// `engine` must outlive the scheduler.
-  BatchScheduler(const Engine* engine, BatchSchedulerOptions options = {});
+  BatchScheduler(const QueryEngine* engine,
+                 BatchSchedulerOptions options = {});
 
   /// Fails every still-queued request, then joins the workers.
   ~BatchScheduler();
@@ -129,7 +137,7 @@ class BatchScheduler {
   std::vector<std::vector<std::size_t>> GroupCompatible(
       const std::vector<Pending>& batch) const;
 
-  const Engine* engine_;
+  const QueryEngine* engine_;
   BatchSchedulerOptions options_;
   ThreadPool pool_;
 

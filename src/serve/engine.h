@@ -36,6 +36,7 @@
 #include "lsh/transforms.h"
 #include "rng/random.h"
 #include "serve/planner.h"
+#include "serve/query_engine.h"
 #include "serve/serve_stats.h"
 #include "sketch/sketch_mips.h"
 #include "util/status.h"
@@ -62,7 +63,7 @@ struct EngineOptions {
 };
 
 /// The serving engine. Create once, serve concurrently.
-class Engine {
+class Engine : public QueryEngine {
  public:
   /// Validates `data`, computes the dataset profile, runs the warmup
   /// micro-probes (through the same unified MipsIndex::Query paths that
@@ -78,8 +79,8 @@ class Engine {
   /// forced path must be able to answer the request (e.g. tree is
   /// signed-only) or Query returns kInvalidArgument.
   [[nodiscard]] StatusOr<QueryResult> Query(std::span<const double> query,
-                                            const QueryOptions& options) const
-      IPS_EXCLUDES(build_mutex_);
+                                            const QueryOptions& options)
+      const override IPS_EXCLUDES(build_mutex_);
 
   /// Answers every row of `queries` under one shared `options`:
   /// one planner decision (or forced path), one EnsureIndex, and one
@@ -92,13 +93,15 @@ class Engine {
   /// traffic lands under "serve.engine.batch.*". An empty batch returns
   /// an empty vector without planning.
   [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
-      const Matrix& queries, const QueryOptions& options) const
+      const Matrix& queries, const QueryOptions& options) const override
       IPS_EXCLUDES(build_mutex_);
 
   /// Eagerly builds the index behind `algo` (normally lazy; benches use
   /// this to exclude build cost from serving measurements).
   [[nodiscard]] Status EnsureIndex(QueryAlgo algo) const
       IPS_EXCLUDES(build_mutex_);
+
+  std::size_t dim() const override { return profile_.dim; }
 
   const Planner& planner() const { return *planner_; }
   const DatasetProfile& profile() const { return profile_; }

@@ -1,0 +1,45 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The serving-layer query interface: anything that can answer a top-k
+// request — the single-node Engine or the scatter-gather ShardedEngine
+// — implements QueryEngine, so the BatchScheduler (and any future
+// router/replica layer) is agnostic to whether it is driving one index
+// stack or a sharded fleet.
+
+#ifndef IPS_SERVE_QUERY_ENGINE_H_
+#define IPS_SERVE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace ips {
+
+/// Abstract top-k answer surface. Implementations must be safe for
+/// concurrent Query/BatchQuery calls (the scheduler fans out over a
+/// thread pool).
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Dimensionality every query vector must have.
+  virtual std::size_t dim() const = 0;
+
+  /// Answers one request; thread-safe.
+  [[nodiscard]] virtual StatusOr<QueryResult> Query(
+      std::span<const double> query, const QueryOptions& options) const = 0;
+
+  /// Answers every row of `queries` under one shared `options`; results
+  /// in row order, semantically one Query per row.
+  [[nodiscard]] virtual StatusOr<std::vector<QueryResult>> BatchQuery(
+      const Matrix& queries, const QueryOptions& options) const = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVE_QUERY_ENGINE_H_

@@ -16,6 +16,16 @@ void ServeMetrics::Record(const QueryStats& stats) {
   algo.latency_ms.Add(latency_ms);
   latencies_ms_.push_back(latency_ms);
   if (stats.deadline_met) ++deadline_met_;
+  shards_failed_ += stats.shards_failed;
+  shards_hedged_ += stats.shards_hedged;
+}
+
+void ServeMetrics::RecordResult(const QueryResult& result) {
+  Record(result.stats);
+  if (result.partial) {
+    MutexLock lock(mutex_);
+    ++partial_;
+  }
 }
 
 std::size_t ServeMetrics::TotalRequests() const {
@@ -31,6 +41,21 @@ std::size_t ServeMetrics::SelectionCount(QueryAlgo algo) const {
 std::size_t ServeMetrics::DeadlineMetCount() const {
   MutexLock lock(mutex_);
   return deadline_met_;
+}
+
+std::size_t ServeMetrics::PartialCount() const {
+  MutexLock lock(mutex_);
+  return partial_;
+}
+
+std::size_t ServeMetrics::ShardsFailedTotal() const {
+  MutexLock lock(mutex_);
+  return shards_failed_;
+}
+
+std::size_t ServeMetrics::ShardsHedgedTotal() const {
+  MutexLock lock(mutex_);
+  return shards_hedged_;
 }
 
 std::size_t ServeMetrics::TotalDotProducts() const {

@@ -27,6 +27,11 @@ class ServeMetrics {
   /// Folds one completed request into the aggregate.
   void Record(const QueryStats& stats) IPS_EXCLUDES(mutex_);
 
+  /// Folds one completed request into the aggregate, including its
+  /// degradation accounting (QueryResult::partial and the shard
+  /// counters) — the entry point for scatter-gather traffic.
+  void RecordResult(const QueryResult& result) IPS_EXCLUDES(mutex_);
+
   /// Requests recorded so far.
   std::size_t TotalRequests() const IPS_EXCLUDES(mutex_);
 
@@ -35,6 +40,17 @@ class ServeMetrics {
 
   /// Requests that met their deadline.
   std::size_t DeadlineMetCount() const IPS_EXCLUDES(mutex_);
+
+  /// Requests answered partially (degraded scatter-gather answers,
+  /// counted separately from clean answers in SLO accounting).
+  std::size_t PartialCount() const IPS_EXCLUDES(mutex_);
+
+  /// Shard calls lost (failed / breaker-skipped) across all recorded
+  /// requests.
+  std::size_t ShardsFailedTotal() const IPS_EXCLUDES(mutex_);
+
+  /// Shard calls answered through the hedge fallback.
+  std::size_t ShardsHedgedTotal() const IPS_EXCLUDES(mutex_);
 
   /// Total exact inner products across all recorded requests.
   std::size_t TotalDotProducts() const IPS_EXCLUDES(mutex_);
@@ -58,6 +74,9 @@ class ServeMetrics {
   std::array<PerAlgo, kNumQueryAlgos> per_algo_ IPS_GUARDED_BY(mutex_);
   std::vector<double> latencies_ms_ IPS_GUARDED_BY(mutex_);
   std::size_t deadline_met_ IPS_GUARDED_BY(mutex_) = 0;
+  std::size_t partial_ IPS_GUARDED_BY(mutex_) = 0;
+  std::size_t shards_failed_ IPS_GUARDED_BY(mutex_) = 0;
+  std::size_t shards_hedged_ IPS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ips

@@ -7,11 +7,48 @@
 namespace ips {
 namespace {
 
+enum class FireMode {
+  kOnce,      // fire exactly once, on the nth hit
+  kEveryNth,  // fire on every nth hit, repeatedly
+  kProb,      // fire each hit with probability p, deterministically
+};
+
+// splitmix64 (Steele et al.), inlined here so util does not depend on
+// src/rng; the stream is a pure function of the arm-time seed, keeping
+// probabilistic chaos runs replayable.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 struct ArmedSite {
-  std::size_t nth = 1;      // fire on this hit (1-based)
+  FireMode mode = FireMode::kOnce;
+  std::size_t nth = 1;      // kOnce/kEveryNth period (1-based)
   std::size_t hits = 0;     // hits since arming
-  bool fired = false;       // each arming fires exactly once
+  bool fired = false;       // kOnce: each arming fires exactly once
+  double prob = 1.0;        // kProb firing probability
+  std::uint64_t rng = 0;    // kProb splitmix64 state
   Status status;            // what a fired site yields
+
+  bool ShouldFire() {
+    ++hits;
+    switch (mode) {
+      case FireMode::kOnce:
+        if (fired || hits != nth) return false;
+        fired = true;
+        return true;
+      case FireMode::kEveryNth:
+        return hits % nth == 0;
+      case FireMode::kProb: {
+        const double draw =
+            static_cast<double>(SplitMix64(&rng) >> 11) * 0x1.0p-53;
+        return draw < prob;
+      }
+    }
+    return false;
+  }
 };
 
 struct Registry {
@@ -28,15 +65,51 @@ Registry& GetRegistry() {
 
 std::atomic<std::size_t> Failpoints::armed_count_{0};
 
-void Failpoints::Arm(const std::string& name, std::size_t nth,
-                     Status status) {
-  IPS_CHECK_GE(nth, 1u);
-  IPS_CHECK(!status.ok()) << "failpoints must be armed with a non-OK status";
+namespace {
+
+void ArmSite(const std::string& name, ArmedSite site,
+             std::atomic<std::size_t>* armed_count) {
+  IPS_CHECK(!site.status.ok())
+      << "failpoints must be armed with a non-OK status";
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mutex);
   auto [it, inserted] = registry.sites.try_emplace(name);
-  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
-  it->second = ArmedSite{nth, 0, false, std::move(status)};
+  if (inserted) armed_count->fetch_add(1, std::memory_order_relaxed);
+  it->second = std::move(site);
+}
+
+}  // namespace
+
+void Failpoints::Arm(const std::string& name, std::size_t nth,
+                     Status status) {
+  IPS_CHECK_GE(nth, 1u);
+  ArmedSite site;
+  site.mode = FireMode::kOnce;
+  site.nth = nth;
+  site.status = std::move(status);
+  ArmSite(name, std::move(site), &armed_count_);
+}
+
+void Failpoints::Arm(const std::string& name, Status status,
+                     FireEvery every) {
+  IPS_CHECK_GE(every.n, 1u);
+  ArmedSite site;
+  site.mode = FireMode::kEveryNth;
+  site.nth = every.n;
+  site.status = std::move(status);
+  ArmSite(name, std::move(site), &armed_count_);
+}
+
+void Failpoints::Arm(const std::string& name, Status status,
+                     FireWithProb prob) {
+  IPS_CHECK_GE(prob.p, 0.0);
+  IPS_CHECK_LE(prob.p, 1.0);
+  ArmedSite site;
+  site.mode = FireMode::kProb;
+  site.prob = prob.p;
+  site.rng = prob.seed;
+  site.status = std::move(status);
+  ArmSite(name, std::move(site), &armed_count_);
 }
 
 void Failpoints::Disarm(const std::string& name) {
@@ -67,9 +140,7 @@ Status Failpoints::Hit(const char* name) {
   const auto it = registry.sites.find(name);
   if (it == registry.sites.end()) return Status::Ok();
   ArmedSite& site = it->second;
-  ++site.hits;
-  if (site.fired || site.hits != site.nth) return Status::Ok();
-  site.fired = true;
+  if (!site.ShouldFire()) return Status::Ok();
   return Status(site.status.code(), "failpoint '" + std::string(name) +
                                         "' fired: " + site.status.message());
 }

@@ -17,12 +17,22 @@
 // test can also assert that the *next* call succeeds — graceful
 // degradation, not poisoned state. When nothing is armed anywhere in the
 // process, every site is a single relaxed atomic load.
+//
+// For *intermittent* faults (retry loops, circuit breakers, chaos under
+// load) two repeating firing modes exist alongside the one-shot default:
+//
+//   Failpoints::Arm("serve/shard/query", Status::Unavailable("..."),
+//                   FireEvery{4});          // hits 4, 8, 12, ... fire
+//   Failpoints::Arm("serve/shard/slow", Status::Internal("..."),
+//                   FireWithProb{0.25});    // each hit fires w.p. 0.25,
+//                                           // deterministic per seed
 
 #ifndef IPS_UTIL_FAILPOINT_H_
 #define IPS_UTIL_FAILPOINT_H_
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -43,6 +53,21 @@ class FailpointError : public std::runtime_error {
   Status status_;
 };
 
+/// Repeating firing mode: the site fires on every n-th hit after
+/// arming (hits n, 2n, 3n, ...), not just once.
+struct FireEvery {
+  std::size_t n = 1;
+};
+
+/// Repeating firing mode: each hit fires independently with probability
+/// `p`, drawn from a private splitmix64 stream seeded at arm time — the
+/// firing pattern is a pure function of (seed, hit number), so chaos
+/// runs replay bit-identically.
+struct FireWithProb {
+  double p = 1.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
 /// Process-wide registry of armed failpoints. All members are static and
 /// thread-safe; arming is test-only, hitting is production-hot.
 class Failpoints {
@@ -51,6 +76,13 @@ class Failpoints {
   /// call, yielding `status`. Re-arming an armed site resets its count.
   static void Arm(const std::string& name, std::size_t nth = 1,
                   Status status = Status::Internal("injected failure"));
+
+  /// Arms `name` to fire repeatedly on every `every.n`-th hit.
+  static void Arm(const std::string& name, Status status, FireEvery every);
+
+  /// Arms `name` to fire each hit with probability `prob.p`,
+  /// deterministically from `prob.seed`.
+  static void Arm(const std::string& name, Status status, FireWithProb prob);
 
   /// Disarms `name` (no-op when not armed).
   static void Disarm(const std::string& name);
@@ -87,6 +119,16 @@ class ScopedFailpoint {
                                "injected failure"))
       : name_(std::move(name)) {
     Failpoints::Arm(name_, nth, std::move(status));
+  }
+
+  ScopedFailpoint(std::string name, Status status, FireEvery every)
+      : name_(std::move(name)) {
+    Failpoints::Arm(name_, std::move(status), every);
+  }
+
+  ScopedFailpoint(std::string name, Status status, FireWithProb prob)
+      : name_(std::move(name)) {
+    Failpoints::Arm(name_, std::move(status), prob);
   }
 
   ~ScopedFailpoint() { Failpoints::Disarm(name_); }

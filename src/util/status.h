@@ -34,6 +34,11 @@ enum class StatusCode {
   kInternal = 6,
   kResourceExhausted = 7,
   kDeadlineExceeded = 8,
+  /// A dependency (shard, transport, remote replica) is transiently
+  /// unable to serve. Unlike kResourceExhausted (deliberate load
+  /// shedding -- do not retry) this is the one retryable code: retry
+  /// policies (serve/sharded_engine.h) back off and try again.
+  kUnavailable = 9,
 };
 
 /// Returns a short human-readable name of `code` ("OK", "INVALID_ARGUMENT"...).
@@ -72,6 +77,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/dataset.h"
 #include "core/io.h"
@@ -26,6 +30,7 @@
 #include "rng/random.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine.h"
+#include "serve/sharded_engine.h"
 #include "sketch/sketch_mips.h"
 #include "util/failpoint.h"
 #include "util/thread_pool.h"
@@ -449,6 +454,263 @@ TEST_F(ChaosTest, ServeDeadlineFailpointFailsBatchWithoutLeakingWork) {
   // Subsequent requests are served normally.
   auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
   EXPECT_TRUE(good.get().ok());
+}
+
+// --- Serve-path failpoints under batched execution ---
+
+TEST_F(ChaosTest, ServePlanFailpointFailsBatchQueryThenRecovers) {
+  Rng rng(15);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  const Matrix queries = MakeUnitBallGaussian(4, 6, 0.9, &rng);
+  {
+    ScopedFailpoint fp("serve/plan");
+    const auto result = (*engine)->BatchQuery(queries, QueryOptions{});
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("serve/plan"),
+              std::string::npos);
+  }
+  const auto good = (*engine)->BatchQuery(queries, QueryOptions{});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->size(), queries.rows());
+}
+
+TEST_F(ChaosTest, ServePlanFailpointFailsScheduledBatchGroupThenRecovers) {
+  Rng rng(16);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchSchedulerOptions options;
+  options.num_threads = 2;
+  options.max_batch = 8;
+  options.use_batch_execution = true;
+  BatchScheduler scheduler(engine->get(), options);
+  {
+    // Repeating: every grouped Engine::BatchQuery's plan step fails, so
+    // each submitted request resolves with the plan error.
+    Failpoints::Arm("serve/plan", Status::Internal("planner wedged"),
+                    FireEvery{1});
+    std::vector<std::future<BatchScheduler::Result>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(
+          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
+    }
+    for (auto& future : futures) {
+      const auto result = future.get();
+      ASSERT_FALSE(result.ok());
+      EXPECT_NE(result.status().message().find("planner wedged"),
+                std::string::npos);
+    }
+    Failpoints::DisarmAll();
+  }
+  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  EXPECT_TRUE(good.get().ok());
+}
+
+TEST_F(ChaosTest, ServeDeadlineFailpointFailsPerQueryPathToo) {
+  // Same injection as ServeDeadlineFailpointFailsBatchWithoutLeakingWork
+  // but with batched execution explicitly OFF: the sequential
+  // per-request path must cancel just as cleanly.
+  Rng rng(17);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchSchedulerOptions options;
+  options.num_threads = 2;
+  options.max_batch = 16;
+  options.use_batch_execution = false;
+  BatchScheduler scheduler(engine->get(), options);
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  {
+    ScopedFailpoint fp("serve/deadline");
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(
+          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
+    }
+    std::size_t failed = 0;
+    for (auto& future : futures) {
+      if (!future.get().ok()) ++failed;
+    }
+    EXPECT_GE(failed, 1u);
+  }
+  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  EXPECT_TRUE(good.get().ok());
+}
+
+// --- Sharded scatter-gather failpoints ---
+
+StatusOr<std::unique_ptr<ShardedEngine>> MakeShardedFixture(
+    Rng* rng, ShardedEngineOptions options = {}) {
+  return ShardedEngine::Create(MakeUnitBallGaussian(64, 6, 0.9, rng),
+                               options);
+}
+
+TEST_F(ChaosTest, ShardQueryFailpointYieldsPartialResult) {
+  Rng rng(18);
+  const auto engine = MakeShardedFixture(&rng);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<double> q(6, 0.1);
+  {
+    // One-shot kInternal: exactly one shard call fails, is not retried,
+    // and the query degrades instead of failing.
+    ScopedFailpoint fp("serve/shard/query");
+    const auto result = (*engine)->Query(q, QueryOptions{});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->partial);
+    EXPECT_EQ(result->stats.shards_total, 4u);
+    EXPECT_EQ(result->stats.shards_ok, 3u);
+    EXPECT_EQ(result->stats.shards_failed, 1u);
+    EXPECT_FALSE(result->matches.empty());
+  }
+  // The fleet is not poisoned: the next query is whole.
+  const auto clean = (*engine)->Query(q, QueryOptions{});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->partial);
+  EXPECT_EQ(clean->stats.shards_ok, 4u);
+}
+
+TEST_F(ChaosTest, AllShardsDownSurfacesUniformStatusThenRecovers) {
+  Rng rng(19);
+  ShardedEngineOptions options;
+  options.retry.backoff_seconds = 1e-4;
+  const auto engine = MakeShardedFixture(&rng, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<double> q(6, 0.1);
+  {
+    // Every attempt on every shard fails kUnavailable: retries are spent
+    // (3 attempts x 4 shards), then the whole query fails with the
+    // uniform code — the only case Query returns a Status.
+    Failpoints::Arm("serve/shard/query",
+                    Status::Unavailable("backend down"), FireEvery{1});
+    const auto result = (*engine)->Query(q, QueryOptions{});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(Failpoints::HitCount("serve/shard/query"), 12u);
+    Failpoints::DisarmAll();
+  }
+  // One lost call per shard stays below the trip threshold (3), so no
+  // breaker opened: the next query recovers the whole fleet at once.
+  const auto recovered = (*engine)->Query(q, QueryOptions{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->partial);
+  EXPECT_EQ(recovered->stats.shards_ok, 4u);
+}
+
+TEST_F(ChaosTest, CircuitBreakerTripsSkipsAndRecovers) {
+  Rng rng(20);
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_seconds = 0.05;
+  const auto engine = MakeShardedFixture(&rng, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<double> q(6, 0.1);
+  Failpoints::Arm("serve/shard/query/1",
+                  Status::Unavailable("shard 1 flapping"), FireEvery{1});
+  // Two consecutive failures trip shard 1's breaker.
+  for (int i = 0; i < 2; ++i) {
+    const auto result = (*engine)->Query(q, QueryOptions{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->partial);
+  }
+  EXPECT_EQ((*engine)->breaker_state(1), ShardedEngine::BreakerState::kOpen);
+  const std::size_t hits_when_tripped =
+      Failpoints::HitCount("serve/shard/query/1");
+  // While open, shard 1 is ejected from the scatter set: still partial
+  // answers, but the shard is never called (hit count stays flat).
+  const auto skipped = (*engine)->Query(q, QueryOptions{});
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_TRUE(skipped->partial);
+  EXPECT_EQ(Failpoints::HitCount("serve/shard/query/1"), hits_when_tripped);
+  // Fault cleared + cooldown elapsed: the half-open probe succeeds and
+  // closes the breaker; the fleet serves whole answers again.
+  Failpoints::DisarmAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ((*engine)->breaker_state(1),
+            ShardedEngine::BreakerState::kHalfOpen);
+  const auto probe = (*engine)->Query(q, QueryOptions{});
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_FALSE(probe->partial);
+  EXPECT_EQ((*engine)->breaker_state(1),
+            ShardedEngine::BreakerState::kClosed);
+}
+
+TEST_F(ChaosTest, ShardBuildFailpointFailsCreateThenRecovers) {
+  Rng rng(21);
+  const Matrix data = MakeUnitBallGaussian(64, 6, 0.9, &rng);
+  {
+    ScopedFailpoint fp("serve/shard/build");
+    EXPECT_FALSE(ShardedEngine::Create(data, ShardedEngineOptions{}).ok());
+  }
+  {
+    // Per-shard variant: only shard 2's build slot fires.
+    ScopedFailpoint fp("serve/shard/build/2", /*nth=*/1,
+                       Status::ResourceExhausted("shard 2 oom"));
+    const auto failed = ShardedEngine::Create(data, ShardedEngineOptions{});
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_TRUE(ShardedEngine::Create(data, ShardedEngineOptions{}).ok());
+}
+
+TEST_F(ChaosTest, ShardFailpointUnderBatchQueryDegradesEveryMember) {
+  Rng rng(22);
+  const auto engine = MakeShardedFixture(&rng);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const Matrix queries = MakeUnitBallGaussian(5, 6, 0.9, &rng);
+  {
+    // Losing one shard's whole batch call marks every member partial —
+    // no member silently pretends full coverage.
+    ScopedFailpoint fp("serve/shard/query/0", /*nth=*/1,
+                       Status::Internal("mid-batch fault"));
+    const auto result = (*engine)->BatchQuery(queries, QueryOptions{});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->size(), queries.rows());
+    for (const QueryResult& member : *result) {
+      EXPECT_TRUE(member.partial);
+      EXPECT_EQ(member.stats.shards_failed, 1u);
+      EXPECT_EQ(member.stats.shards_ok, 3u);
+    }
+  }
+  const auto clean = (*engine)->BatchQuery(queries, QueryOptions{});
+  ASSERT_TRUE(clean.ok());
+  for (const QueryResult& member : *clean) EXPECT_FALSE(member.partial);
+}
+
+TEST_F(ChaosTest, ShardFailpointUnderScheduledBatchExecution) {
+  Rng rng(23);
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  // The injected fault repeats across scheduled batches; keep the
+  // breaker out of the picture so the clean query after DisarmAll is
+  // served immediately (no cooldown to wait out).
+  options.breaker.failure_threshold = 100;
+  const auto engine = MakeShardedFixture(&rng, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  BatchSchedulerOptions scheduler_options;
+  scheduler_options.num_threads = 2;
+  scheduler_options.use_batch_execution = true;
+  BatchScheduler scheduler(engine->get(), scheduler_options);
+  {
+    Failpoints::Arm("serve/shard/query/1",
+                    Status::Internal("shard 1 down"), FireEvery{1});
+    std::vector<std::future<BatchScheduler::Result>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(
+          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
+    }
+    for (auto& future : futures) {
+      const auto result = future.get();
+      // Scheduled sharded traffic degrades exactly like direct calls.
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(result->partial);
+      EXPECT_EQ(result->stats.shards_failed, 1u);
+    }
+    Failpoints::DisarmAll();
+  }
+  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  const auto clean = good.get();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->partial);
 }
 
 // --- Observability failpoints ---

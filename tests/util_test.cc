@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -13,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/table.h"
@@ -47,6 +50,9 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
   // A code outside the enum range falls through to the default name.
   EXPECT_EQ(StatusCodeToString(static_cast<StatusCode>(99)), "UNKNOWN");
 }
@@ -63,6 +69,62 @@ TEST(StatusTest, EveryFactoryMatchesItsCode) {
   const Status exhausted = Status::ResourceExhausted("pool saturated");
   EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(exhausted.ToString(), "RESOURCE_EXHAUSTED: pool saturated");
+  EXPECT_EQ(Status::DeadlineExceeded("m").code(),
+            StatusCode::kDeadlineExceeded);
+  const Status unavailable = Status::Unavailable("shard down");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: shard down");
+}
+
+// --- Failpoint firing modes (one-shot basics live in chaos_test) ---
+
+TEST(FailpointTest, FireEveryNthFiresPeriodically) {
+  Failpoints::Arm("util-test/every", Status::Unavailable("periodic"),
+                  FireEvery{2});
+  // Hits 2, 4, 6 fire; odd hits pass.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(Failpoints::Hit("util-test/every").ok());
+    const Status fired = Failpoints::Hit("util-test/every");
+    EXPECT_EQ(fired.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(Failpoints::HitCount("util-test/every"), 6u);
+  Failpoints::DisarmAll();
+  EXPECT_TRUE(Failpoints::Hit("util-test/every").ok());
+}
+
+TEST(FailpointTest, FireWithProbIsDeterministicPerSeed) {
+  auto pattern = [](std::uint64_t seed) {
+    Failpoints::Arm("util-test/prob",
+                    Status::Unavailable("coin flip"),
+                    FireWithProb{0.25, seed});
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!Failpoints::Hit("util-test/prob").ok());
+    }
+    Failpoints::Disarm("util-test/prob");
+    return fired;
+  };
+  const auto first = pattern(7);
+  EXPECT_EQ(first, pattern(7));       // replayable: same seed, same firing
+  EXPECT_NE(first, pattern(8));       // and seed-sensitive
+  const std::size_t fired_count =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired_count, 0u);   // p = 0.25 over 64 hits fires some...
+  EXPECT_LT(fired_count, 64u);  // ...but not all
+}
+
+TEST(FailpointTest, FireWithProbExtremesNeverAndAlways) {
+  Failpoints::Arm("util-test/p0", Status::Internal("never"),
+                  FireWithProb{0.0});
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(Failpoints::Hit("util-test/p0").ok());
+  }
+  Failpoints::Arm("util-test/p1", Status::Internal("always"),
+                  FireWithProb{1.0});
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(Failpoints::Hit("util-test/p1").ok());
+  }
+  Failpoints::DisarmAll();
 }
 
 TEST(StatusOrTest, HoldsValue) {
