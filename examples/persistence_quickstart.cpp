@@ -1,0 +1,127 @@
+// Persistence quickstart: the storage subsystem end to end
+// (DESIGN.md §12).
+//
+//   1. Build an Engine, serve one query cold, snapshot everything to
+//      disk with Engine::SaveSnapshot.
+//   2. Warm-start a second engine from the snapshot — once onto the
+//      heap, once zero-copy via mmap — and check both serve the exact
+//      answer the cold engine gave.
+//   3. Stream two matrix snapshots through the out-of-core
+//      BlockedBucketJoin under a small memory budget and show the
+//      block accounting.
+//
+//   $ ./build/examples/persistence_quickstart
+//
+// Exits non-zero if a warm-started engine disagrees with the cold one
+// (the bitwise round-trip guarantee tests/storage_test.cc pins down).
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <utility>
+
+#include "core/dataset.h"
+#include "core/query.h"
+#include "linalg/matrix.h"
+#include "lsh/simhash.h"
+#include "rng/random.h"
+#include "serve/engine.h"
+#include "storage/blocked_join.h"
+#include "storage/snapshot.h"
+#include "util/status.h"
+
+namespace {
+
+template <typename T>
+T OrDie(ips::StatusOr<T> result) {
+  if (!result.ok()) {
+    std::cerr << "fatal: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void DieIf(const ips::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "fatal: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ips::Rng rng(2026);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ips_persistence_quickstart";
+  std::filesystem::create_directories(dir);
+
+  // 1. Cold start: profile + calibrate, build two indexes, serve once.
+  constexpr std::size_t kDim = 16;
+  const ips::Matrix data =
+      ips::MakeLatentFactorVectors(/*n=*/2000, kDim, /*skew=*/1.0, &rng);
+  const ips::Matrix probes =
+      ips::MakeLatentFactorVectors(/*n=*/4, kDim, /*skew=*/1.0, &rng);
+
+  auto cold = OrDie(ips::Engine::Create(data));
+  DieIf(cold->EnsureIndex(ips::QueryAlgo::kBallTree));
+  DieIf(cold->EnsureIndex(ips::QueryAlgo::kLsh));
+  ips::QueryOptions query;
+  query.k = 5;
+  const auto cold_answer = OrDie(cold->Query(probes.Row(0), query));
+  std::cout << "cold engine:   top hit " << cold_answer.matches[0].index
+            << " (ip " << cold_answer.matches[0].value << ")\n";
+
+  // 2. Snapshot, then warm-start twice. The mmap flavor never copies
+  //    the dataset: queries read the mapped file directly.
+  DieIf(cold->SaveSnapshot(dir.string()));
+  for (const bool use_mmap : {false, true}) {
+    ips::SnapshotLoadOptions load;
+    load.use_mmap = use_mmap;
+    auto warm = OrDie(ips::Engine::CreateFromSnapshot(dir.string(), load));
+    const auto answer = OrDie(warm->Query(probes.Row(0), query));
+    std::cout << (use_mmap ? "warm (mmap):   " : "warm (heap):   ")
+              << "top hit " << answer.matches[0].index << " (ip "
+              << answer.matches[0].value << ")\n";
+    if (answer.matches[0].index != cold_answer.matches[0].index ||
+        answer.matches[0].value != cold_answer.matches[0].value) {
+      std::cerr << "fatal: warm-started engine disagrees with cold\n";
+      return 1;
+    }
+  }
+
+  // 3. Out-of-core join: both sides live in matrix snapshot files and
+  //    are streamed in blocks that fit the budget; the result equals a
+  //    monolithic in-memory LshBucketJoin with the same seed.
+  const std::string data_path = (dir / "join_data.ips").string();
+  const std::string queries_path = (dir / "join_queries.ips").string();
+  DieIf(ips::storage::SaveMatrixSnapshot(
+      ips::MakeLatentFactorVectors(/*n=*/4096, kDim, /*skew=*/1.0, &rng),
+      data_path));
+  DieIf(ips::storage::SaveMatrixSnapshot(
+      ips::MakeLatentFactorVectors(/*n=*/512, kDim, /*skew=*/1.0, &rng),
+      queries_path));
+
+  const ips::SimHashFamily family(kDim);
+  ips::storage::BlockedJoinOptions options;
+  options.memory_budget_bytes = 2u << 20;  // far below the data size
+  options.params = {.k = 4, .l = 12};
+  options.s_threshold = 0.04;
+  options.cs_threshold = 0.02;
+  ips::storage::BlockedJoinStats stats;
+  const auto join = OrDie(ips::storage::BlockedBucketJoin(
+      family, data_path, queries_path, options, &stats));
+  std::size_t matched = 0;
+  for (const auto& best : join.per_query) matched += best.has_value();
+  std::cout << "blocked join:  " << matched << "/" << join.per_query.size()
+            << " queries matched across " << stats.block_pairs
+            << " block pairs (" << stats.data_blocks << " data x "
+            << stats.query_blocks << " query blocks of "
+            << stats.block_rows << " rows, "
+            << stats.bytes_read / (1u << 10) << " KiB streamed)\n";
+
+  std::filesystem::remove_all(dir);
+  std::cout << "persistence quickstart OK\n";
+  return 0;
+}

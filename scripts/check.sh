@@ -20,6 +20,7 @@
 #   $ scripts/check.sh asan|tsan  # a single sanitizer pass
 #   $ scripts/check.sh chaos      # failure-injection suites under TSan
 #   $ scripts/check.sh scalar     # full suite with IPS_FORCE_SCALAR=1
+#   $ scripts/check.sh storage    # snapshot suite under ASan + warm-start gate
 #   $ scripts/check.sh static     # ipslint + nodiscard + clang analyses
 set -euo pipefail
 
@@ -83,6 +84,30 @@ run_scalar() {
   (cd build && IPS_FORCE_SCALAR=1 ctest --output-on-failure -j"$JOBS")
 }
 
+run_storage() {
+  # The persistence leg (DESIGN.md §12): the snapshot round-trip /
+  # corruption / failpoint suite under ASan+UBSan (where a stray read
+  # past a mapped section or a leak in the mmap keepalive chain would
+  # actually fail), then the plain-build storage bench — which authors
+  # a real snapshot, gates the mmap warm start at 10x over a cold
+  # rebuild, and streams the out-of-core blocked join sweep — with
+  # `ipssnap --verify` CRC-checking the artifacts the bench wrote.
+  echo "=== storage: ASan round-trip + corruption + failpoint suite ==="
+  cmake -B build-asan -S . -DIPS_SANITIZE="address;undefined" \
+    -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j"$JOBS" --target storage_test chaos_test
+  (cd build-asan && ctest --output-on-failure -R 'storage_test|chaos_test')
+  echo "=== storage: warm-start gate + out-of-core sweep (bench_storage) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target bench_storage ipssnap persistence_quickstart
+  ./build/bench/bench_storage
+  echo "=== storage: ipssnap --verify over the bench artifacts ==="
+  ./build/tools/ipssnap --verify build/bench_storage_snapshot/snapshot.ips
+  ./build/tools/ipssnap --verify build/bench_storage_data.ips
+  echo "=== storage: persistence quickstart (save -> warm start -> blocked join) ==="
+  ./build/examples/persistence_quickstart
+}
+
 run_static() {
   echo "=== static analysis: ipslint (project rules) ==="
   cmake -B build -S . >/dev/null
@@ -125,9 +150,10 @@ case "$MODE" in
   tsan)   run_tsan ;;
   chaos)  run_chaos ;;
   scalar) run_scalar ;;
+  storage) run_storage ;;
   static) run_static ;;
-  all)    run_plain; run_scalar; run_asan; run_tsan; run_static ;;
-  *) echo "usage: $0 [plain|asan|tsan|chaos|scalar|static|all]" >&2; exit 2 ;;
+  all)    run_plain; run_scalar; run_asan; run_tsan; run_storage; run_static ;;
+  *) echo "usage: $0 [plain|asan|tsan|chaos|scalar|storage|static|all]" >&2; exit 2 ;;
 esac
 
 echo "all checks passed"

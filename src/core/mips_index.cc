@@ -241,6 +241,19 @@ StatusOr<std::unique_ptr<TreeMipsIndex>> TreeMipsIndex::Create(
   return std::make_unique<TreeMipsIndex>(data, leaf_size, rng);
 }
 
+StatusOr<std::unique_ptr<TreeMipsIndex>> TreeMipsIndex::Restore(
+    const Matrix& data, MipsBallTree tree) {
+  IPS_RETURN_IF_ERROR(ValidateIndexData(data));
+  if (tree.num_points() != data.rows()) {
+    return Status::DataLoss("restored tree spans " +
+                            std::to_string(tree.num_points()) +
+                            " points but the dataset has " +
+                            std::to_string(data.rows()) + " rows");
+  }
+  return std::unique_ptr<TreeMipsIndex>(
+      new TreeMipsIndex(data, std::move(tree)));
+}
+
 std::optional<SearchMatch> TreeMipsIndex::Search(std::span<const double> q,
                                                  const JoinSpec& spec) const {
   const MipsResult result =
@@ -343,6 +356,46 @@ StatusOr<std::unique_ptr<LshMipsIndex>> LshMipsIndex::Create(
   }
   return std::make_unique<LshMipsIndex>(data, transform, base_family,
                                         params, rng);
+}
+
+StatusOr<std::unique_ptr<LshMipsIndex>> LshMipsIndex::CreateFromBuckets(
+    const Matrix& data, const VectorTransform* transform,
+    const LshFamily& base_family, LshTableParams params, Rng* rng,
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::uint32_t>>> buckets) {
+  IPS_RETURN_IF_ERROR(ValidateIndexData(data));
+  if (rng == nullptr) {
+    return Status::InvalidArgument("lsh index requires a non-null rng");
+  }
+  if (transform != nullptr) {
+    IPS_RETURN_IF_ERROR(
+        ValidateDims(data, transform->input_dim(), "lsh data"));
+    if (transform->output_dim() != base_family.dim()) {
+      return Status::InvalidArgument(
+          "transform output dimension " +
+          std::to_string(transform->output_dim()) +
+          " != base family dimension " +
+          std::to_string(base_family.dim()));
+    }
+  } else {
+    IPS_RETURN_IF_ERROR(ValidateDims(data, base_family.dim(), "lsh data"));
+  }
+  std::unique_ptr<LshMipsIndex> index(new LshMipsIndex());
+  index->data_ = &data;
+  index->transform_ = transform;
+  // The transformed dataset is a build-time input only (it exists to
+  // hash the data rows into buckets); the restored buckets already
+  // carry those hashes, so the O(n dim) re-transform is skipped and
+  // only queries are transformed from here on.
+  auto tables = LshTables::CreateFromBuckets(base_family, data.rows(),
+                                             params, rng, std::move(buckets));
+  IPS_RETURN_IF_ERROR(tables.status());
+  index->tables_ = std::move(tables).value();
+  index->name_ =
+      "lsh[" +
+      (transform != nullptr ? transform->Name() + "+" : std::string()) +
+      base_family.Name() + "]";
+  return index;
 }
 
 std::optional<SearchMatch> LshMipsIndex::Search(std::span<const double> q,

@@ -24,6 +24,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/query.h"
@@ -134,6 +136,12 @@ class TreeMipsIndex : public MipsIndex {
   [[nodiscard]] static StatusOr<std::unique_ptr<TreeMipsIndex>> Create(
       const Matrix& data, std::size_t leaf_size, Rng* rng);
 
+  /// Wraps an already-restored ball tree (MipsBallTree::Restore) — the
+  /// snapshot warm-start path, which skips the O(n log n) build.
+  /// `tree` must have been restored over this same `data`.
+  [[nodiscard]] static StatusOr<std::unique_ptr<TreeMipsIndex>> Restore(
+      const Matrix& data, MipsBallTree tree);
+
   std::string Name() const override { return "ball-tree"; }
   std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
@@ -153,6 +161,9 @@ class TreeMipsIndex : public MipsIndex {
   const MipsBallTree& tree() const { return tree_; }
 
  private:
+  TreeMipsIndex(const Matrix& data, MipsBallTree tree)
+      : data_(&data), tree_(std::move(tree)) {}
+
   const Matrix* data_;
   MipsBallTree tree_;
   mutable std::size_t evaluated_ = 0;
@@ -177,6 +188,17 @@ class LshMipsIndex : public MipsIndex {
       const Matrix& data, const VectorTransform* transform,
       const LshFamily& base_family, LshTableParams params, Rng* rng);
 
+  /// Restores an index from persisted buckets plus a replayed rng (see
+  /// LshTables::CreateFromBuckets): re-applies the (cheap) transform to
+  /// the data but skips the O(n k l) hashing pass. `rng` must carry the
+  /// restored pre-build Rng::State.
+  [[nodiscard]] static StatusOr<std::unique_ptr<LshMipsIndex>>
+  CreateFromBuckets(
+      const Matrix& data, const VectorTransform* transform,
+      const LshFamily& base_family, LshTableParams params, Rng* rng,
+      std::vector<std::unordered_map<std::uint64_t,
+                                     std::vector<std::uint32_t>>> buckets);
+
   std::string Name() const override { return name_; }
   std::size_t dim() const override { return data_->cols(); }
   std::optional<SearchMatch> Search(std::span<const double> q,
@@ -200,9 +222,15 @@ class LshMipsIndex : public MipsIndex {
   /// re-rank themselves (e.g. top-k retrieval, core/top_k.h).
   std::vector<std::size_t> Candidates(std::span<const double> q) const;
 
+  /// The underlying (K, L) tables (immutable once built), for
+  /// snapshotting the buckets.
+  const LshTables& tables() const { return *tables_; }
+
  private:
-  const Matrix* data_;
-  const VectorTransform* transform_;
+  LshMipsIndex() = default;  // CreateFromBuckets fills the members.
+
+  const Matrix* data_ = nullptr;
+  const VectorTransform* transform_ = nullptr;
   Matrix transformed_data_;
   std::unique_ptr<LshTables> tables_;
   std::string name_;

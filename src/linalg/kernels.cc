@@ -150,7 +150,7 @@ void MatVec(const Matrix& data, std::span<const double> q,
             std::span<double> out) {
   IPS_DCHECK(q.size() == data.cols());
   IPS_DCHECK(out.size() == data.rows());
-  ActiveOps().matvec(data.data().data(), data.rows(), data.cols(), q.data(),
+  ActiveOps().matvec(data.raw(), data.rows(), data.cols(), q.data(),
                      out.data());
 }
 
@@ -158,7 +158,7 @@ void GatherScores(const Matrix& data, std::span<const std::size_t> indices,
                   std::span<const double> q, std::span<double> out) {
   IPS_DCHECK(out.size() == indices.size());
   const KernelOps& ops = ActiveOps();
-  const double* base = data.data().data();
+  const double* base = data.raw();
   const std::size_t cols = data.cols();
   for (std::size_t j = 0; j < indices.size(); ++j) {
     IPS_DCHECK(indices[j] < data.rows());
@@ -222,8 +222,8 @@ void BlockTopK(const Matrix& data, std::size_t row_begin,
   IPS_DCHECK(row_begin <= row_end && row_end <= data.rows());
   const KernelOps& ops = ActiveOps();
   const std::size_t cols = data.cols();
-  const double* data_base = data.data().data();
-  const double* query_base = queries.data().data();
+  const double* data_base = data.raw();
+  const double* query_base = queries.raw();
   double scratch[kRowTile * kQueryTile];
 
   const std::size_t block_rows = RowBlockRows(cols);

@@ -3,6 +3,7 @@
 namespace ips {
 
 void Matrix::AppendRow(std::span<const double> row) {
+  IPS_CHECK(view_ == nullptr) << "appending to a Matrix::View";
   if (rows_ == 0 && cols_ == 0) {
     cols_ = row.size();
   }

@@ -3,6 +3,13 @@
 //
 // Dense row-major matrix of doubles: the basic container for point sets
 // P, Q in R^d throughout the library. Rows are points.
+//
+// A Matrix is either *owning* (the default: backed by its own vector)
+// or a *view* over external row-major storage (Matrix::View), used by
+// the storage layer to serve queries straight off an mmap'ed snapshot
+// without copying. Views are read-only: the mutating accessors CHECK.
+// Copying a view copies the pointer, not the bytes — the external
+// storage (e.g. storage::MappedSnapshot) must outlive every copy.
 
 #ifndef IPS_LINALG_MATRIX_H_
 #define IPS_LINALG_MATRIX_H_
@@ -31,42 +38,73 @@ class Matrix {
     IPS_CHECK_EQ(data_.size(), rows_ * cols_);
   }
 
+  /// A read-only view over external row-major storage of rows*cols
+  /// doubles. No bytes are copied; `data` must stay valid (and
+  /// unchanged) for the lifetime of the view and every copy of it.
+  static Matrix View(const double* data, std::size_t rows,
+                     std::size_t cols) {
+    IPS_CHECK(data != nullptr || rows * cols == 0);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.view_ = data;
+    return m;
+  }
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0; }
 
-  /// Mutable view of row `i`.
+  /// True for a non-owning view (Matrix::View); mutation is forbidden.
+  bool is_view() const { return view_ != nullptr; }
+
+  /// Row-major storage base pointer, owning or view.
+  const double* raw() const { return view_ != nullptr ? view_ : data_.data(); }
+
+  /// Mutable view of row `i` (owning matrices only).
   std::span<double> Row(std::size_t i) {
     IPS_DCHECK(i < rows_);
+    IPS_CHECK(view_ == nullptr) << "mutating a Matrix::View";
     return {data_.data() + i * cols_, cols_};
   }
 
   /// Read-only view of row `i`.
   std::span<const double> Row(std::size_t i) const {
     IPS_DCHECK(i < rows_);
-    return {data_.data() + i * cols_, cols_};
+    return {raw() + i * cols_, cols_};
   }
 
   double& At(std::size_t i, std::size_t j) {
     IPS_DCHECK(i < rows_ && j < cols_);
+    IPS_CHECK(view_ == nullptr) << "mutating a Matrix::View";
     return data_[i * cols_ + j];
   }
 
   double At(std::size_t i, std::size_t j) const {
     IPS_DCHECK(i < rows_ && j < cols_);
-    return data_[i * cols_ + j];
+    return raw()[i * cols_ + j];
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  /// Owning storage (CHECKs on a view; prefer raw() for reads).
+  const std::vector<double>& data() const {
+    IPS_CHECK(view_ == nullptr) << "Matrix::View has no owned storage";
+    return data_;
+  }
+  std::vector<double>& data() {
+    IPS_CHECK(view_ == nullptr) << "Matrix::View has no owned storage";
+    return data_;
+  }
 
   /// Appends `row` (must have cols() entries; sets cols on first append).
+  /// Owning matrices only.
   void AppendRow(std::span<const double> row);
 
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
+  // Non-null in view mode; rows_*cols_ doubles of external storage.
+  const double* view_ = nullptr;
 };
 
 }  // namespace ips

@@ -31,7 +31,7 @@ LshTableParams LshTableParams::FromGap(std::size_t n, double p1, double p2) {
 
 LshTables::LshTables(const LshFamily& family, const Matrix& data,
                      LshTableParams params, Rng* rng)
-    : data_(&data), params_(params) {
+    : params_(params) {
   IPS_CHECK(rng != nullptr);
   IPS_CHECK_GE(params.k, 1u);
   IPS_CHECK_GE(params.l, 1u);
@@ -63,6 +63,56 @@ StatusOr<std::unique_ptr<LshTables>> LshTables::Create(
   IPS_RETURN_IF_ERROR(ValidateFinite(data, "lsh data"));
   IPS_RETURN_IF_ERROR(ValidateDims(data, family.dim(), "lsh data"));
   return std::make_unique<LshTables>(family, data, params, rng);
+}
+
+StatusOr<std::unique_ptr<LshTables>> LshTables::CreateFromBuckets(
+    const LshFamily& family, std::size_t num_rows, LshTableParams params,
+    Rng* rng,
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::uint32_t>>> buckets) {
+  IPS_FAILPOINT("lsh/tables-build");
+  if (rng == nullptr) {
+    return Status::InvalidArgument("LshTables requires a non-null rng");
+  }
+  if (params.k < 1 || params.l < 1) {
+    return Status::InvalidArgument(
+        "LshTables needs k >= 1 and l >= 1, got k=" +
+        std::to_string(params.k) + ", l=" + std::to_string(params.l));
+  }
+  if (num_rows == 0) {
+    return Status::InvalidArgument("lsh artifact restore with zero rows");
+  }
+  if (buckets.size() != params.l) {
+    return Status::DataLoss("lsh artifact holds " +
+                            std::to_string(buckets.size()) +
+                            " tables but params say l=" +
+                            std::to_string(params.l));
+  }
+  for (const auto& table : buckets) {
+    for (const auto& [key, bucket] : table) {
+      (void)key;
+      for (std::uint32_t i : bucket) {
+        if (i >= num_rows) {
+          return Status::DataLoss(
+              "lsh artifact bucket entry " + std::to_string(i) +
+              " is outside the dataset of " + std::to_string(num_rows) +
+              " rows");
+        }
+      }
+    }
+  }
+  std::unique_ptr<LshTables> tables(new LshTables());
+  tables->params_ = params;
+  tables->tables_.resize(params.l);
+  for (std::size_t t = 0; t < params.l; ++t) {
+    // Replaying the function draws (instead of persisting hyperplanes)
+    // keeps the artifact family-agnostic; determinism of Rng plus the
+    // saved pre-build state makes the replay bit-identical.
+    tables->tables_[t].function =
+        std::make_unique<ConcatenatedLshFunction>(family, params.k, rng);
+    tables->tables_[t].buckets = std::move(buckets[t]);
+  }
+  return tables;
 }
 
 std::vector<std::size_t> LshTables::Query(std::span<const double> q,

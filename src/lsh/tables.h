@@ -68,6 +68,22 @@ class LshTables {
       const LshFamily& family, const Matrix& data, LshTableParams params,
       Rng* rng);
 
+  /// Restores an index from persisted buckets, skipping the O(n k l)
+  /// re-hash of every data row — the expensive part of Create. `rng`
+  /// must be positioned at the same state the building rng had (the
+  /// storage layer saves Rng::State alongside the buckets), so the
+  /// per-table function draws replay bit-identically and the saved
+  /// buckets stay consistent with the functions. `buckets[t]` is
+  /// installed as table t; entries are validated against `num_rows`.
+  /// Takes the row count rather than the hashed matrix: the buckets
+  /// already encode every data hash, so the restore path never needs
+  /// the (possibly transformed) dataset at all.
+  [[nodiscard]] static StatusOr<std::unique_ptr<LshTables>> CreateFromBuckets(
+      const LshFamily& family, std::size_t num_rows, LshTableParams params,
+      Rng* rng,
+      std::vector<std::unordered_map<std::uint64_t,
+                                     std::vector<std::uint32_t>>> buckets);
+
   /// Indices of data rows sharing at least one bucket with `q`
   /// (deduplicated, ascending). Thread-safe: uses no per-query shared
   /// scratch, so a built index may serve concurrent queries.
@@ -89,6 +105,13 @@ class LshTables {
 
   const LshTableParams& params() const { return params_; }
 
+  /// Bucket map of table `t` (immutable once built), for snapshotting.
+  std::size_t num_tables() const { return tables_.size(); }
+  const std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>&
+  table_buckets(std::size_t t) const {
+    return tables_[t].buckets;
+  }
+
   /// Average bucket occupancy across tables (diagnostic). The tables are
   /// immutable after construction, so the O(#buckets) scan is computed
   /// once and memoized behind stats_mutex_; safe to call concurrently
@@ -96,12 +119,13 @@ class LshTables {
   double MeanBucketSize() const IPS_EXCLUDES(stats_mutex_);
 
  private:
+  LshTables() = default;  // CreateFromBuckets fills the members.
+
   struct Table {
     std::unique_ptr<ConcatenatedLshFunction> function;
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
   };
 
-  const Matrix* data_;
   LshTableParams params_;
   std::vector<Table> tables_;
   // Lazily-memoized MeanBucketSize (negative = not yet computed).

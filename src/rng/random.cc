@@ -97,6 +97,20 @@ bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
 
 Rng Rng::Split() { return Rng(NextUint64() ^ 0x5851f42d4c957f2dULL); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_spare_gaussian = has_spare_gaussian_ ? 1 : 0;
+  state.spare_gaussian = spare_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_spare_gaussian_ = state.has_spare_gaussian != 0;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
 void Rng::Permutation(std::size_t n, std::vector<std::size_t>* out) {
   IPS_CHECK(out != nullptr);
   out->resize(n);

@@ -62,6 +62,19 @@ class Rng {
   /// Derives an independent generator (stream split) from this one.
   Rng Split();
 
+  /// The complete generator state: the four xoshiro words plus the
+  /// Box-Muller spare. Capturing and restoring it replays the stream
+  /// bit-identically — the storage snapshot layer records the state at
+  /// index-build time so loaded indexes re-derive the same randomness.
+  struct State {
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    std::uint64_t has_spare_gaussian = 0;  // bool, fixed-width on disk
+    double spare_gaussian = 0.0;
+  };
+
+  State SaveState() const;
+  void RestoreState(const State& state);
+
   /// Fills `out` with a uniformly random permutation of [0, n).
   void Permutation(std::size_t n, std::vector<std::size_t>* out);
 

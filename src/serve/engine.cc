@@ -58,6 +58,14 @@ Engine::Engine(Matrix data, EngineOptions options)
       profile_(DatasetProfile::FromData(data_)),
       build_rng_(options.seed) {}
 
+Engine::Engine(Matrix data, EngineOptions options, DatasetProfile profile,
+               std::unique_ptr<Planner> planner)
+    : data_(std::move(data)),
+      options_(options),
+      profile_(profile),
+      planner_(std::move(planner)),
+      build_rng_(options.seed) {}
+
 StatusOr<std::unique_ptr<Engine>> Engine::Create(Matrix data,
                                                  EngineOptions options) {
   IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "engine data"));
@@ -207,6 +215,11 @@ Status Engine::EnsureIndex(QueryAlgo algo) const {
         lsh_family_ =
             std::make_unique<SimHashFamily>(lsh_transform_->output_dim());
       }
+      // Pin the rng state the build starts from: snapshots persist it
+      // so a load can replay the hash-function draws bit-identically
+      // instead of re-hashing the dataset.
+      lsh_prebuild_state_ = build_rng_.SaveState();
+      lsh_prebuild_valid_ = true;
       auto built =
           LshMipsIndex::Create(data_, lsh_transform_.get(), *lsh_family_,
                                options_.lsh_params, &build_rng_);
@@ -216,6 +229,10 @@ Status Engine::EnsureIndex(QueryAlgo algo) const {
     }
     case QueryAlgo::kSketch: {
       if (sketch_index_ != nullptr) return Status::Ok();
+      // Pinned for snapshots: a load re-runs this build from the same
+      // state, which reproduces the index deterministically.
+      sketch_prebuild_state_ = build_rng_.SaveState();
+      sketch_prebuild_valid_ = true;
       auto built =
           SketchIndex::Create(data_, options_.sketch_params, &build_rng_);
       IPS_RETURN_IF_ERROR(built.status());

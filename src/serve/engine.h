@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/mips_index.h"
@@ -62,6 +63,19 @@ struct EngineOptions {
   std::uint64_t seed = 2026;
 };
 
+/// How Engine::CreateFromSnapshot materializes the dataset.
+struct SnapshotLoadOptions {
+  /// Serve the dataset zero-copy out of the mapped snapshot file
+  /// instead of copying it onto the heap — the warm start never pays
+  /// an O(n d) read before the first query.
+  bool use_mmap = false;
+  /// Verify every section CRC32 up front. On the mmap path this
+  /// touches every page once; turning it off keeps the load O(1) and
+  /// lets pages fault in lazily (damage then surfaces only where it
+  /// is touched, without a kDataLoss diagnosis).
+  bool verify_checksums = true;
+};
+
 /// The serving engine. Create once, serve concurrently.
 class Engine : public QueryEngine {
  public:
@@ -71,6 +85,26 @@ class Engine : public QueryEngine {
   /// data.
   [[nodiscard]] static StatusOr<std::unique_ptr<Engine>> Create(
       Matrix data, EngineOptions options = {});
+
+  /// Persists the dataset, profile, planner calibration, and the build
+  /// artifacts of every index built so far to `<dir>/snapshot.ips`
+  /// (DESIGN.md §12). The write is atomic: a crash mid-save leaves any
+  /// previous snapshot in the directory untouched. Indexes not yet
+  /// built are simply absent from the snapshot and rebuild lazily
+  /// after a load.
+  [[nodiscard]] Status SaveSnapshot(const std::string& dir) const
+      IPS_EXCLUDES(build_mutex_);
+
+  /// Warm start: reconstructs an engine from a SaveSnapshot directory,
+  /// skipping dataset profiling and the calibration micro-probes (both
+  /// read back from the snapshot) and installing every persisted index
+  /// from its artifacts — the tree verbatim, the LSH tables by rng
+  /// replay of the hash-function draws, the sketch by deterministic
+  /// rebuild from its pinned pre-build rng state. With
+  /// `load.use_mmap` the dataset is served zero-copy from the mapped
+  /// file, which the engine keeps alive for its lifetime.
+  [[nodiscard]] static StatusOr<std::unique_ptr<Engine>> CreateFromSnapshot(
+      const std::string& dir, const SnapshotLoadOptions& load = {});
 
   /// Answers one request; thread-safe. Failpoint: "serve/plan" (inside
   /// the planner). An index build failure surfaces as the build's
@@ -111,6 +145,11 @@ class Engine : public QueryEngine {
  private:
   Engine(Matrix data, EngineOptions options);
 
+  /// Warm-start ctor (CreateFromSnapshot only): trusts a persisted
+  /// profile and planner instead of re-deriving them from the data.
+  Engine(Matrix data, EngineOptions options, DatasetProfile profile,
+         std::unique_ptr<Planner> planner);
+
   /// Warmup: build subsample-scale indexes and measure pruning fraction,
   /// candidate fraction, and probe recall for the planner's cost model —
   /// all read off the unified QueryStats of probe-index Query calls.
@@ -134,6 +173,9 @@ class Engine : public QueryEngine {
   const MipsIndex* PinIndex(QueryAlgo algo) const IPS_EXCLUDES(build_mutex_);
 
   Matrix data_;
+  /// Keeps the mmap backing of a zero-copy data_ view alive for the
+  /// engine's lifetime (null when data_ owns its storage).
+  std::shared_ptr<const void> data_keepalive_;
   EngineOptions options_;
   DatasetProfile profile_;
   std::unique_ptr<Planner> planner_;
@@ -155,6 +197,14 @@ class Engine : public QueryEngine {
   mutable std::unique_ptr<SketchIndex> sketch_index_
       IPS_GUARDED_BY(build_mutex_);
   mutable Rng build_rng_ IPS_GUARDED_BY(build_mutex_);
+  // Pre-build rng states of the replayable index builds, captured by
+  // EnsureIndex so SaveSnapshot can persist them (see the LSHT/SKCH
+  // sections in DESIGN.md §12). `valid` is false until the index has
+  // been built at least once.
+  mutable Rng::State lsh_prebuild_state_ IPS_GUARDED_BY(build_mutex_);
+  mutable bool lsh_prebuild_valid_ IPS_GUARDED_BY(build_mutex_) = false;
+  mutable Rng::State sketch_prebuild_state_ IPS_GUARDED_BY(build_mutex_);
+  mutable bool sketch_prebuild_valid_ IPS_GUARDED_BY(build_mutex_) = false;
 };
 
 }  // namespace ips

@@ -1,0 +1,517 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Engine persistence (DESIGN.md §12): SaveSnapshot serializes the
+// dataset, profile, planner calibration, and the build artifacts of
+// every index built so far into one sectioned snapshot file;
+// CreateFromSnapshot reverses it without re-profiling, re-calibrating,
+// or re-building — the tree is restored verbatim, the LSH tables by
+// replaying the hash-function draws from the pinned pre-build rng
+// state, and the sketch by deterministically re-running its build from
+// its own pinned state.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "storage/file.h"
+#include "storage/format.h"
+#include "storage/snapshot.h"
+#include "tree/mips_tree.h"
+#include "util/failpoint.h"
+
+namespace ips {
+namespace {
+
+/// File name inside the snapshot directory.
+constexpr char kSnapshotFile[] = "/snapshot.ips";
+
+void PutRngState(storage::PayloadWriter* w, const Rng::State& state) {
+  for (std::uint64_t word : state.words) w->PutU64(word);
+  w->PutU64(state.has_spare_gaussian);
+  w->PutDouble(state.spare_gaussian);
+}
+
+Status GetRngState(storage::PayloadReader* r, Rng::State* state) {
+  for (std::uint64_t& word : state->words) IPS_RETURN_IF_ERROR(r->GetU64(&word));
+  IPS_RETURN_IF_ERROR(r->GetU64(&state->has_spare_gaussian));
+  return r->GetDouble(&state->spare_gaussian);
+}
+
+Status ExpectAtEnd(const storage::PayloadReader& r, const char* section) {
+  if (!r.AtEnd()) {
+    return Status::DataLoss(std::string("section ") + section + " has " +
+                            std::to_string(r.remaining()) +
+                            " trailing bytes");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Section payloads (all version 1; bump the per-section version on any
+// layout change and keep readers for the old one).
+// ---------------------------------------------------------------------
+
+std::vector<unsigned char> EncodeMeta(const EngineOptions& options) {
+  storage::PayloadWriter w;
+  w.PutU64(options.lsh_params.k);
+  w.PutU64(options.lsh_params.l);
+  w.PutDouble(options.sketch_params.kappa);
+  w.PutU64(options.sketch_params.copies);
+  w.PutDouble(options.sketch_params.bucket_multiplier);
+  w.PutU64(options.sketch_params.leaf_size);
+  w.PutU64(options.tree_leaf_size);
+  w.PutU64(options.probe_queries);
+  w.PutU64(options.probe_sample);
+  w.PutDouble(options.recall_margin);
+  w.PutU64(options.seed);
+  return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
+}
+
+Status DecodeMeta(std::span<const unsigned char> bytes,
+                  EngineOptions* options) {
+  storage::PayloadReader r(bytes, "META");
+  std::uint64_t u = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->lsh_params.k = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->lsh_params.l = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetDouble(&options->sketch_params.kappa));
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->sketch_params.copies = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(
+      r.GetDouble(&options->sketch_params.bucket_multiplier));
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->sketch_params.leaf_size = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->tree_leaf_size = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->probe_queries = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->probe_sample = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetDouble(&options->recall_margin));
+  IPS_RETURN_IF_ERROR(r.GetU64(&options->seed));
+  return ExpectAtEnd(r, "META");
+}
+
+std::vector<unsigned char> EncodeProfile(const DatasetProfile& profile) {
+  storage::PayloadWriter w;
+  w.PutU64(profile.n);
+  w.PutU64(profile.dim);
+  w.PutDouble(profile.min_norm);
+  w.PutDouble(profile.max_norm);
+  w.PutDouble(profile.mean_norm);
+  return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
+}
+
+Status DecodeProfile(std::span<const unsigned char> bytes,
+                     DatasetProfile* profile) {
+  storage::PayloadReader r(bytes, "PROF");
+  std::uint64_t u = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  profile->n = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  profile->dim = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetDouble(&profile->min_norm));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&profile->max_norm));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&profile->mean_norm));
+  return ExpectAtEnd(r, "PROF");
+}
+
+std::vector<unsigned char> EncodeCalibration(
+    const PlannerCalibration& calib) {
+  storage::PayloadWriter w;
+  w.PutDouble(calib.tree_fraction);
+  w.PutDouble(calib.lsh_candidate_fraction);
+  w.PutDouble(calib.lsh_probe_overhead);
+  w.PutDouble(calib.lsh_recall);
+  w.PutDouble(calib.sketch_recall);
+  w.PutDouble(calib.sketch_cost);
+  w.PutU64(calib.probe_queries);
+  w.PutDouble(calib.recall_margin);
+  return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
+}
+
+Status DecodeCalibration(std::span<const unsigned char> bytes,
+                         PlannerCalibration* calib) {
+  storage::PayloadReader r(bytes, "CALB");
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->tree_fraction));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_candidate_fraction));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_probe_overhead));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_recall));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->sketch_recall));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->sketch_cost));
+  std::uint64_t u = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  calib->probe_queries = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->recall_margin));
+  return ExpectAtEnd(r, "CALB");
+}
+
+std::vector<unsigned char> EncodeTree(const MipsBallTree& tree,
+                                      std::size_t cols) {
+  storage::PayloadWriter w;
+  w.PutU64(cols);
+  w.PutI32(tree.root());
+  w.PutU64(tree.nodes().size());
+  for (const MipsBallTree::Node& node : tree.nodes()) {
+    w.PutU64(node.begin);
+    w.PutU64(node.end);
+    w.PutI32(node.left);
+    w.PutI32(node.right);
+    w.PutDouble(node.radius);
+    w.PutDoubles(node.center);
+  }
+  w.PutU64(tree.point_order().size());
+  for (std::size_t p : tree.point_order()) w.PutU64(p);
+  return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
+}
+
+StatusOr<MipsBallTree> DecodeTree(std::span<const unsigned char> bytes,
+                                  const Matrix& data) {
+  storage::PayloadReader r(bytes, "TREE");
+  std::uint64_t cols = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&cols));
+  if (cols != data.cols()) {
+    return Status::DataLoss("TREE section was built over " +
+                            std::to_string(cols) +
+                            "-dimensional data but the dataset has " +
+                            std::to_string(data.cols()) + " columns");
+  }
+  std::int32_t root = 0;
+  IPS_RETURN_IF_ERROR(r.GetI32(&root));
+  std::uint64_t num_nodes = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&num_nodes));
+  // Per-node payload is >= 32 bytes + the center doubles, so a huge
+  // node count in a damaged-but-CRC-valid payload fails the bounds
+  // check below before any large allocation.
+  const std::uint64_t node_bytes = 8 + 8 + 4 + 4 + 8 + cols * 8;
+  if (num_nodes * node_bytes > r.remaining()) {
+    return Status::DataLoss("TREE section claims " +
+                            std::to_string(num_nodes) +
+                            " nodes but holds only " +
+                            std::to_string(r.remaining()) + " bytes");
+  }
+  std::vector<MipsBallTree::Node> nodes(
+      static_cast<std::size_t>(num_nodes));
+  for (MipsBallTree::Node& node : nodes) {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    IPS_RETURN_IF_ERROR(r.GetU64(&begin));
+    IPS_RETURN_IF_ERROR(r.GetU64(&end));
+    node.begin = static_cast<std::size_t>(begin);
+    node.end = static_cast<std::size_t>(end);
+    std::int32_t left = 0;
+    std::int32_t right = 0;
+    IPS_RETURN_IF_ERROR(r.GetI32(&left));
+    IPS_RETURN_IF_ERROR(r.GetI32(&right));
+    node.left = left;
+    node.right = right;
+    IPS_RETURN_IF_ERROR(r.GetDouble(&node.radius));
+    node.center.resize(static_cast<std::size_t>(cols));
+    IPS_RETURN_IF_ERROR(r.GetDoubles(node.center));
+  }
+  std::uint64_t order_size = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&order_size));
+  if (order_size * 8 > r.remaining()) {
+    return Status::DataLoss("TREE section claims " +
+                            std::to_string(order_size) +
+                            " point-order entries but holds only " +
+                            std::to_string(r.remaining()) + " bytes");
+  }
+  std::vector<std::size_t> point_order(
+      static_cast<std::size_t>(order_size));
+  for (std::size_t& p : point_order) {
+    std::uint64_t v = 0;
+    IPS_RETURN_IF_ERROR(r.GetU64(&v));
+    p = static_cast<std::size_t>(v);
+  }
+  IPS_RETURN_IF_ERROR(ExpectAtEnd(r, "TREE"));
+  return MipsBallTree::Restore(data, std::move(nodes),
+                               std::move(point_order), root);
+}
+
+std::vector<unsigned char> EncodeLshTables(const Rng::State& prebuild_state,
+                                           const LshTables& tables) {
+  storage::PayloadWriter w;
+  PutRngState(&w, prebuild_state);
+  w.PutU64(tables.params().k);
+  w.PutU64(tables.params().l);
+  for (std::size_t t = 0; t < tables.num_tables(); ++t) {
+    const auto& buckets = tables.table_buckets(t);
+    w.PutU64(buckets.size());
+    for (const auto& [key, bucket] : buckets) {
+      w.PutU64(key);
+      w.PutU64(bucket.size());
+      for (std::uint32_t i : bucket) w.PutU32(i);
+    }
+  }
+  return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
+}
+
+struct DecodedLshTables {
+  Rng::State prebuild_state;
+  LshTableParams params;
+  std::vector<std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>>
+      buckets;
+};
+
+StatusOr<DecodedLshTables> DecodeLshTables(
+    std::span<const unsigned char> bytes) {
+  storage::PayloadReader r(bytes, "LSHT");
+  DecodedLshTables decoded;
+  IPS_RETURN_IF_ERROR(GetRngState(&r, &decoded.prebuild_state));
+  std::uint64_t k = 0;
+  std::uint64_t l = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&k));
+  IPS_RETURN_IF_ERROR(r.GetU64(&l));
+  decoded.params.k = static_cast<std::size_t>(k);
+  decoded.params.l = static_cast<std::size_t>(l);
+  if (l > r.remaining() / 8 + 1) {
+    return Status::DataLoss("LSHT section claims " + std::to_string(l) +
+                            " tables but holds only " +
+                            std::to_string(r.remaining()) + " bytes");
+  }
+  decoded.buckets.resize(static_cast<std::size_t>(l));
+  for (auto& table : decoded.buckets) {
+    std::uint64_t num_buckets = 0;
+    IPS_RETURN_IF_ERROR(r.GetU64(&num_buckets));
+    if (num_buckets * 16 > r.remaining()) {
+      return Status::DataLoss("LSHT section claims " +
+                              std::to_string(num_buckets) +
+                              " buckets but holds only " +
+                              std::to_string(r.remaining()) + " bytes");
+    }
+    table.reserve(static_cast<std::size_t>(num_buckets));
+    for (std::uint64_t b = 0; b < num_buckets; ++b) {
+      std::uint64_t key = 0;
+      std::uint64_t count = 0;
+      IPS_RETURN_IF_ERROR(r.GetU64(&key));
+      IPS_RETURN_IF_ERROR(r.GetU64(&count));
+      if (count * 4 > r.remaining()) {
+        return Status::DataLoss("LSHT bucket claims " +
+                                std::to_string(count) +
+                                " entries but the section holds only " +
+                                std::to_string(r.remaining()) + " bytes");
+      }
+      std::vector<std::uint32_t>& bucket = table[key];
+      bucket.resize(static_cast<std::size_t>(count));
+      IPS_RETURN_IF_ERROR(r.GetU32s(bucket));
+    }
+  }
+  IPS_RETURN_IF_ERROR(ExpectAtEnd(r, "LSHT"));
+  return decoded;
+}
+
+std::vector<unsigned char> EncodeSketch(const Rng::State& prebuild_state) {
+  storage::PayloadWriter w;
+  PutRngState(&w, prebuild_state);
+  return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
+}
+
+Status DecodeSketch(std::span<const unsigned char> bytes,
+                    Rng::State* prebuild_state) {
+  storage::PayloadReader r(bytes, "SKCH");
+  IPS_RETURN_IF_ERROR(GetRngState(&r, prebuild_state));
+  return ExpectAtEnd(r, "SKCH");
+}
+
+}  // namespace
+
+Status Engine::SaveSnapshot(const std::string& dir) const {
+  IPS_FAILPOINT("serve/snapshot-save");
+  static Counter* const saves =
+      MetricsRegistry::Global().GetCounter("serve.engine.snapshot.saves");
+  IPS_RETURN_IF_ERROR(storage::EnsureDirectory(dir));
+  auto created = storage::SnapshotWriter::Create(dir + kSnapshotFile);
+  IPS_RETURN_IF_ERROR(created.status());
+  storage::SnapshotWriter writer = std::move(created).value();
+
+  MutexLock lock(build_mutex_);
+  {
+    const auto meta = EncodeMeta(options_);
+    IPS_RETURN_IF_ERROR(writer.WriteSection(storage::kSectionMeta, 1, meta));
+  }
+  {
+    // The dataset streams through the section writer exactly like
+    // MatrixSnapshotWriter lays it out, so every matrix reader in the
+    // storage layer (heap load, mmap view, block reader) understands
+    // the engine snapshot's DSET section too.
+    IPS_RETURN_IF_ERROR(writer.BeginSection(storage::kSectionDataset, 1));
+    unsigned char subheader[storage::kMatrixSubheaderBytes] = {};
+    const std::uint64_t cols64 = data_.cols();
+    std::memcpy(subheader, &cols64, sizeof(cols64));
+    IPS_RETURN_IF_ERROR(writer.Append({subheader, sizeof(subheader)}));
+    IPS_RETURN_IF_ERROR(writer.Append(
+        {reinterpret_cast<const unsigned char*>(data_.raw()),
+         data_.rows() * data_.cols() * sizeof(double)}));
+    IPS_RETURN_IF_ERROR(writer.EndSection());
+  }
+  {
+    const auto prof = EncodeProfile(profile_);
+    IPS_RETURN_IF_ERROR(
+        writer.WriteSection(storage::kSectionProfile, 1, prof));
+  }
+  {
+    const auto calib = EncodeCalibration(planner_->calibration());
+    IPS_RETURN_IF_ERROR(
+        writer.WriteSection(storage::kSectionCalibration, 1, calib));
+  }
+  if (tree_index_ != nullptr) {
+    const auto tree = EncodeTree(tree_index_->tree(), data_.cols());
+    IPS_RETURN_IF_ERROR(writer.WriteSection(storage::kSectionTree, 1, tree));
+  }
+  if (lsh_index_ != nullptr && lsh_prebuild_valid_) {
+    const auto lsh =
+        EncodeLshTables(lsh_prebuild_state_, lsh_index_->tables());
+    IPS_RETURN_IF_ERROR(
+        writer.WriteSection(storage::kSectionLshTables, 1, lsh));
+  }
+  if (sketch_index_ != nullptr && sketch_prebuild_valid_) {
+    const auto sketch = EncodeSketch(sketch_prebuild_state_);
+    IPS_RETURN_IF_ERROR(
+        writer.WriteSection(storage::kSectionSketch, 1, sketch));
+  }
+  IPS_RETURN_IF_ERROR(writer.Finish());
+  saves->Increment();
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::CreateFromSnapshot(
+    const std::string& dir, const SnapshotLoadOptions& load) {
+  IPS_FAILPOINT("serve/snapshot-load");
+  static Counter* const loads =
+      MetricsRegistry::Global().GetCounter("serve.engine.snapshot.loads");
+  const std::string path = dir + kSnapshotFile;
+
+  // The structured sections are tiny; they are always copied out and
+  // (except on the unverified mmap path) CRC-checked. Only the bulk
+  // dataset differs between the heap and mmap paths.
+  std::shared_ptr<storage::MappedSnapshot> mapped;
+  std::unique_ptr<storage::SnapshotReader> reader;
+  auto has_section = [&](std::uint32_t id) {
+    return mapped != nullptr ? mapped->Find(id) != nullptr
+                             : reader->Find(id) != nullptr;
+  };
+  auto read_section =
+      [&](std::uint32_t id) -> StatusOr<std::vector<unsigned char>> {
+    if (mapped != nullptr) {
+      const storage::SectionEntry* entry = mapped->Find(id);
+      if (entry == nullptr) {
+        return Status::NotFound(path + " has no " +
+                                storage::SectionName(id) + " section");
+      }
+      const auto bytes = mapped->SectionBytes(*entry);
+      return std::vector<unsigned char>(bytes.begin(), bytes.end());
+    }
+    return reader->ReadSection(id);
+  };
+
+  Matrix data;
+  if (load.use_mmap) {
+    auto snap = storage::MappedSnapshot::Map(path, load.verify_checksums);
+    IPS_RETURN_IF_ERROR(snap.status());
+    mapped = std::move(snap).value();
+    auto view = mapped->MapMatrixSection(storage::kSectionDataset);
+    IPS_RETURN_IF_ERROR(view.status());
+    data = std::move(view).value();
+  } else {
+    auto opened = storage::SnapshotReader::Open(path);
+    IPS_RETURN_IF_ERROR(opened.status());
+    reader = std::make_unique<storage::SnapshotReader>(
+        std::move(opened).value());
+    auto loaded = storage::LoadMatrixSnapshot(path);
+    IPS_RETURN_IF_ERROR(loaded.status());
+    data = std::move(loaded).value();
+  }
+
+  EngineOptions options;
+  {
+    auto meta = read_section(storage::kSectionMeta);
+    IPS_RETURN_IF_ERROR(meta.status());
+    IPS_RETURN_IF_ERROR(DecodeMeta(*meta, &options));
+  }
+  DatasetProfile profile;
+  {
+    auto prof = read_section(storage::kSectionProfile);
+    IPS_RETURN_IF_ERROR(prof.status());
+    IPS_RETURN_IF_ERROR(DecodeProfile(*prof, &profile));
+  }
+  if (profile.n != data.rows() || profile.dim != data.cols()) {
+    return Status::DataLoss(
+        path + ": PROF says " + std::to_string(profile.n) + "x" +
+        std::to_string(profile.dim) + " but the DSET section holds " +
+        std::to_string(data.rows()) + "x" + std::to_string(data.cols()));
+  }
+  PlannerCalibration calibration;
+  {
+    auto calib = read_section(storage::kSectionCalibration);
+    IPS_RETURN_IF_ERROR(calib.status());
+    IPS_RETURN_IF_ERROR(DecodeCalibration(*calib, &calibration));
+  }
+
+  std::unique_ptr<Engine> engine(new Engine(
+      std::move(data), options, profile,
+      std::make_unique<Planner>(profile, calibration)));
+  engine->data_keepalive_ = mapped;
+
+  // Install every persisted index eagerly: the warm start's first
+  // query must not pay a lazy build.
+  MutexLock lock(engine->build_mutex_);
+  if (has_section(storage::kSectionTree)) {
+    auto bytes = read_section(storage::kSectionTree);
+    IPS_RETURN_IF_ERROR(bytes.status());
+    auto tree = DecodeTree(*bytes, engine->data_);
+    IPS_RETURN_IF_ERROR(tree.status());
+    auto index =
+        TreeMipsIndex::Restore(engine->data_, std::move(tree).value());
+    IPS_RETURN_IF_ERROR(index.status());
+    engine->tree_index_ = std::move(index).value();
+  }
+  if (has_section(storage::kSectionLshTables)) {
+    if (profile.max_norm <= 0.0) {
+      return Status::DataLoss(
+          path + ": LSHT section present but PROF.max_norm is not "
+                 "positive (the lsh path cannot have been built)");
+    }
+    auto bytes = read_section(storage::kSectionLshTables);
+    IPS_RETURN_IF_ERROR(bytes.status());
+    auto decoded = DecodeLshTables(*bytes);
+    IPS_RETURN_IF_ERROR(decoded.status());
+    engine->lsh_transform_ = std::make_unique<SimpleMipsTransform>(
+        profile.dim, profile.max_norm);
+    engine->lsh_family_ = std::make_unique<SimHashFamily>(
+        engine->lsh_transform_->output_dim());
+    engine->lsh_prebuild_state_ = decoded->prebuild_state;
+    engine->lsh_prebuild_valid_ = true;
+    engine->build_rng_.RestoreState(decoded->prebuild_state);
+    auto index = LshMipsIndex::CreateFromBuckets(
+        engine->data_, engine->lsh_transform_.get(), *engine->lsh_family_,
+        decoded->params, &engine->build_rng_, std::move(decoded->buckets));
+    IPS_RETURN_IF_ERROR(index.status());
+    engine->lsh_index_ = std::move(index).value();
+  }
+  if (has_section(storage::kSectionSketch)) {
+    auto bytes = read_section(storage::kSectionSketch);
+    IPS_RETURN_IF_ERROR(bytes.status());
+    Rng::State prebuild_state;
+    IPS_RETURN_IF_ERROR(DecodeSketch(*bytes, &prebuild_state));
+    engine->sketch_prebuild_state_ = prebuild_state;
+    engine->sketch_prebuild_valid_ = true;
+    engine->build_rng_.RestoreState(prebuild_state);
+    auto index = SketchIndex::Create(
+        engine->data_, options.sketch_params, &engine->build_rng_);
+    IPS_RETURN_IF_ERROR(index.status());
+    engine->sketch_index_ = std::move(index).value();
+  }
+  loads->Increment();
+  return engine;
+}
+
+}  // namespace ips

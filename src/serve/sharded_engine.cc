@@ -132,17 +132,9 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options, std::size_t dim)
       pool_(options.num_threads != 0 ? options.num_threads
                                      : options.num_shards) {}
 
-StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
-    Matrix data, ShardedEngineOptions options) {
-  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "sharded engine data"));
-  IPS_RETURN_IF_ERROR(ValidateFinite(data, "sharded engine data"));
+Status ShardedEngine::ValidateOptions(const ShardedEngineOptions& options) {
   if (options.num_shards < 1) {
     return Status::InvalidArgument("sharded engine num_shards must be >= 1");
-  }
-  if (options.num_shards > data.rows()) {
-    return Status::InvalidArgument(
-        "sharded engine num_shards (" + std::to_string(options.num_shards) +
-        ") exceeds data rows (" + std::to_string(data.rows()) + ")");
   }
   if (!(options.shard_budget_fraction > 0.0) ||
       options.shard_budget_fraction > 1.0) {
@@ -170,6 +162,19 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
     return Status::InvalidArgument(
         "sharded engine hedge needs latency_factor > 0 and "
         "chaos_slow_seconds >= 0");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    Matrix data, ShardedEngineOptions options) {
+  IPS_RETURN_IF_ERROR(ValidateNonEmpty(data, "sharded engine data"));
+  IPS_RETURN_IF_ERROR(ValidateFinite(data, "sharded engine data"));
+  IPS_RETURN_IF_ERROR(ValidateOptions(options));
+  if (options.num_shards > data.rows()) {
+    return Status::InvalidArgument(
+        "sharded engine num_shards (" + std::to_string(options.num_shards) +
+        ") exceeds data rows (" + std::to_string(data.rows()) + ")");
   }
 
   std::unique_ptr<ShardedEngine> sharded(

@@ -50,6 +50,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/query.h"
@@ -125,6 +126,24 @@ class ShardedEngine : public QueryEngine {
   [[nodiscard]] static StatusOr<std::unique_ptr<ShardedEngine>> Create(
       Matrix data, ShardedEngineOptions options = {});
 
+  /// Persists the shard manifest (`<dir>/sharded.ips`: shard count,
+  /// dimension, partition offsets) and every shard engine's own
+  /// snapshot (`<dir>/shard_<i>/snapshot.ips`). Each file is written
+  /// atomically; the manifest is written last, so a crash mid-save
+  /// leaves any previous complete snapshot loadable.
+  [[nodiscard]] Status SaveSnapshot(const std::string& dir) const;
+
+  /// Warm start from a SaveSnapshot directory. The partition geometry
+  /// and per-shard engine configuration come from the snapshot
+  /// (`options.num_shards` and `options.engine` are ignored); the
+  /// serving policy — pool size, deadline budgets, retry, breaker,
+  /// hedging — comes from `options`, so a reload can change how the
+  /// shards are driven without rebuilding them.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShardedEngine>>
+  CreateFromSnapshot(const std::string& dir,
+                     ShardedEngineOptions options = {},
+                     const SnapshotLoadOptions& load = {});
+
   /// Scatter-gather top-k: fans the request to every shard whose
   /// breaker admits it, merges the surviving shards' answers
   /// deterministically, and degrades gracefully (partial = true) when
@@ -186,6 +205,10 @@ class ShardedEngine : public QueryEngine {
   };
 
   ShardedEngine(ShardedEngineOptions options, std::size_t dim);
+
+  /// Policy-option validation shared by Create and CreateFromSnapshot
+  /// (everything except the data-dependent shard-count bound).
+  static Status ValidateOptions(const ShardedEngineOptions& options);
 
   /// The budgeted, instrumented shard-call helper — the only code that
   /// talks to a shard Engine (enforced by the ipslint rule

@@ -1,0 +1,252 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace ips {
+namespace storage {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::Internal(Errno("cannot create directory", path));
+}
+
+std::size_t PeakRssBytes() {
+  struct rusage usage;
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+// ---------------------------------------------------------------------
+// FileWriter
+// ---------------------------------------------------------------------
+
+StatusOr<FileWriter> FileWriter::Create(const std::string& path) {
+  IPS_FAILPOINT("storage/open-write");
+  std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(Errno("cannot open for writing", tmp_path));
+  }
+  return FileWriter(fd, path, std::move(tmp_path));
+}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      offset_(other.offset_),
+      path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)) {}
+
+FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    fd_ = std::exchange(other.fd_, -1);
+    offset_ = other.offset_;
+    path_ = std::move(other.path_);
+    tmp_path_ = std::move(other.tmp_path_);
+  }
+  return *this;
+}
+
+FileWriter::~FileWriter() { Abandon(); }
+
+void FileWriter::Abandon() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  ::unlink(tmp_path_.c_str());
+  fd_ = -1;
+}
+
+Status FileWriter::Write(std::span<const unsigned char> bytes) {
+  IPS_RETURN_IF_ERROR(WriteAt(offset_, bytes));
+  offset_ += bytes.size();
+  return Status::Ok();
+}
+
+Status FileWriter::WriteAt(std::uint64_t offset,
+                           std::span<const unsigned char> bytes) {
+  IPS_FAILPOINT("storage/write");
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("write on a committed FileWriter");
+  }
+  const unsigned char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n =
+        ::pwrite(fd_, p, left, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write failed on", tmp_path_));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FileWriter::Commit() {
+  IPS_FAILPOINT("storage/rename");
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("Commit on a committed FileWriter");
+  }
+  if (::fsync(fd_) != 0) {
+    const Status status = Status::Internal(Errno("fsync failed on", tmp_path_));
+    Abandon();
+    return status;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const Status status =
+        Status::Internal(Errno("cannot publish snapshot at", path_));
+    ::unlink(tmp_path_.c_str());
+    return status;
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// FileReader
+// ---------------------------------------------------------------------
+
+StatusOr<FileReader> FileReader::Open(const std::string& path) {
+  IPS_FAILPOINT("storage/open-read");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    return Status::Internal(Errno("cannot open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::Internal(Errno("cannot stat", path));
+    ::close(fd);
+    return status;
+  }
+  return FileReader(fd, static_cast<std::uint64_t>(st.st_size), path);
+}
+
+FileReader::FileReader(FileReader&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(other.size_),
+      path_(std::move(other.path_)) {}
+
+FileReader& FileReader::operator=(FileReader&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+FileReader::~FileReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileReader::ReadAt(std::uint64_t offset,
+                          std::span<unsigned char> out) const {
+  IPS_FAILPOINT("storage/read");
+  if (offset + out.size() > size_) {
+    return Status::DataLoss(
+        path_ + " is truncated: need bytes [" + std::to_string(offset) +
+        ", " + std::to_string(offset + out.size()) + ") but the file has " +
+        std::to_string(size_));
+  }
+  unsigned char* p = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    const ssize_t n = ::pread(fd_, p, left, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("read failed on", path_));
+    }
+    if (n == 0) {
+      return Status::DataLoss(path_ + " ended early at offset " +
+                              std::to_string(offset));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// MappedFile
+// ---------------------------------------------------------------------
+
+StatusOr<MappedFile> MappedFile::Map(const std::string& path) {
+  IPS_FAILPOINT("storage/mmap");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    return Status::Internal(Errno("cannot open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::Internal(Errno("cannot stat", path));
+    ::close(fd);
+    return status;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::DataLoss(path + " is empty");
+  }
+  // The mapping keeps its pages after close; the fd is only needed here.
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Status::Internal(Errno("cannot mmap", path));
+  }
+  return MappedFile(base, size, path);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(other.size_),
+      path_(std::move(other.path_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+}  // namespace storage
+}  // namespace ips

@@ -21,6 +21,71 @@ MipsBallTree::MipsBallTree(const Matrix& data, std::size_t leaf_size,
   root_ = BuildNode(0, data.rows(), leaf_size, rng);
 }
 
+StatusOr<MipsBallTree> MipsBallTree::Restore(
+    const Matrix& data, std::vector<Node> nodes,
+    std::vector<std::size_t> point_order, int root) {
+  const std::size_t n = data.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("tree restore needs a non-empty dataset");
+  }
+  if (point_order.size() != n) {
+    return Status::DataLoss("tree artifact orders " +
+                            std::to_string(point_order.size()) +
+                            " points but the dataset has " +
+                            std::to_string(n));
+  }
+  std::vector<bool> seen(n, false);
+  for (std::size_t p : point_order) {
+    if (p >= n || seen[p]) {
+      return Status::DataLoss(
+          "tree artifact point order is not a permutation of the dataset");
+    }
+    seen[p] = true;
+  }
+  if (nodes.empty() || root < 0 ||
+      static_cast<std::size_t>(root) >= nodes.size()) {
+    return Status::DataLoss("tree artifact root " + std::to_string(root) +
+                            " is outside its " +
+                            std::to_string(nodes.size()) + " nodes");
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    if (node.center.size() != data.cols()) {
+      return Status::DataLoss("tree artifact node " + std::to_string(i) +
+                              " has a " + std::to_string(node.center.size()) +
+                              "-dimensional center in a " +
+                              std::to_string(data.cols()) +
+                              "-dimensional dataset");
+    }
+    if (node.begin > node.end || node.end > n ||
+        !(node.radius >= 0.0) || !std::isfinite(node.radius)) {
+      return Status::DataLoss("tree artifact node " + std::to_string(i) +
+                              " has an invalid range or radius");
+    }
+    // Children were always allocated after their parent (BuildNode
+    // pushes the parent first), so forward-only links also certify the
+    // restored graph is acyclic.
+    if (!node.IsLeaf()) {
+      const bool left_ok =
+          node.left > static_cast<int>(i) &&
+          static_cast<std::size_t>(node.left) < nodes.size();
+      const bool right_ok =
+          node.right > static_cast<int>(i) &&
+          static_cast<std::size_t>(node.right) < nodes.size();
+      if (!left_ok || !right_ok) {
+        return Status::DataLoss("tree artifact node " + std::to_string(i) +
+                                " has invalid child links");
+      }
+    }
+  }
+  MipsBallTree tree;
+  tree.data_ = &data;
+  tree.nodes_ = std::move(nodes);
+  tree.point_order_ = std::move(point_order);
+  tree.root_ = root;
+  return tree;
+}
+
 int MipsBallTree::BuildNode(std::size_t begin, std::size_t end,
                             std::size_t leaf_size, Rng* rng) {
   const int index = static_cast<int>(nodes_.size());

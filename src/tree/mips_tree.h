@@ -24,6 +24,7 @@
 #include "linalg/matrix.h"
 #include "obs/trace.h"
 #include "rng/random.h"
+#include "util/status.h"
 
 namespace ips {
 
@@ -50,9 +51,32 @@ struct TreeQueryInfo {
 /// Ball tree over the rows of a data matrix with MIP branch-and-bound.
 class MipsBallTree {
  public:
+  /// One tree node: the ball (center, radius) enclosing the points of
+  /// point_order[begin, end), and children indexes into nodes().
+  /// Public so the storage layer can persist the built tree verbatim
+  /// (snapshots restore through Restore, which re-validates everything).
+  struct Node {
+    std::vector<double> center;
+    double radius = 0.0;
+    std::size_t begin = 0;  // range into point_order_
+    std::size_t end = 0;
+    int left = -1;
+    int right = -1;
+    bool IsLeaf() const { return left < 0; }
+  };
+
   /// Builds the tree; `data` must outlive it. Leaves hold at most
   /// `leaf_size` points.
   MipsBallTree(const Matrix& data, std::size_t leaf_size, Rng* rng);
+
+  /// Reassembles a tree from persisted build artifacts without
+  /// rebuilding. Every structural invariant is re-validated (ranges,
+  /// child links, center dimensions, point_order a permutation), so a
+  /// corrupted-but-CRC-valid artifact yields a Status, not undefined
+  /// search behavior. `data` must outlive the tree.
+  [[nodiscard]] static StatusOr<MipsBallTree> Restore(
+      const Matrix& data, std::vector<Node> nodes,
+      std::vector<std::size_t> point_order, int root);
 
   std::size_t num_points() const { return data_->rows(); }
 
@@ -82,16 +106,13 @@ class MipsBallTree {
 
   std::size_t num_nodes() const { return nodes_.size(); }
 
+  /// Build artifacts, exposed for snapshotting (immutable once built).
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<std::size_t>& point_order() const { return point_order_; }
+  int root() const { return root_; }
+
  private:
-  struct Node {
-    std::vector<double> center;
-    double radius = 0.0;
-    std::size_t begin = 0;  // range into point_order_
-    std::size_t end = 0;
-    int left = -1;
-    int right = -1;
-    bool IsLeaf() const { return left < 0; }
-  };
+  MipsBallTree() = default;  // Restore fills the members.
 
   int BuildNode(std::size_t begin, std::size_t end, std::size_t leaf_size,
                 Rng* rng);

@@ -39,6 +39,11 @@ enum class StatusCode {
   /// shedding -- do not retry) this is the one retryable code: retry
   /// policies (serve/sharded_engine.h) back off and try again.
   kUnavailable = 9,
+  /// Persisted bytes are unrecoverably damaged: a snapshot section
+  /// failed its CRC, a file was truncated mid-section, or a header is
+  /// self-inconsistent (src/storage). Not retryable — the bytes on
+  /// disk are wrong, not the request.
+  kDataLoss = 10,
 };
 
 /// Returns a short human-readable name of `code` ("OK", "INVALID_ARGUMENT"...).
@@ -80,6 +85,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

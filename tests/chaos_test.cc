@@ -32,6 +32,8 @@
 #include "serve/engine.h"
 #include "serve/sharded_engine.h"
 #include "sketch/sketch_mips.h"
+#include "storage/blocked_join.h"
+#include "storage/snapshot.h"
 #include "util/failpoint.h"
 #include "util/thread_pool.h"
 
@@ -711,6 +713,68 @@ TEST_F(ChaosTest, ShardFailpointUnderScheduledBatchExecution) {
   const auto clean = good.get();
   ASSERT_TRUE(clean.ok());
   EXPECT_FALSE(clean->partial);
+}
+
+// --- Storage failpoints: every I/O fault is a Status, never torn state ---
+
+TEST_F(ChaosTest, StorageFailpointsFailOnceThenRecover) {
+  Rng rng(24);
+  const Matrix data = MakeUnitBallGaussian(32, 4, 0.5, &rng);
+  const std::string path = TempPath("chaos_storage.ips");
+
+  for (const char* point : {"storage/open-write", "storage/write",
+                            "storage/rename"}) {
+    ScopedFailpoint fp(point);
+    EXPECT_FALSE(storage::SaveMatrixSnapshot(data, path).ok()) << point;
+    EXPECT_TRUE(storage::SaveMatrixSnapshot(data, path).ok()) << point;
+  }
+  for (const char* point : {"storage/open-read", "storage/read"}) {
+    ScopedFailpoint fp(point);
+    EXPECT_FALSE(storage::LoadMatrixSnapshot(path).ok()) << point;
+    EXPECT_TRUE(storage::LoadMatrixSnapshot(path).ok()) << point;
+  }
+  {
+    ScopedFailpoint fp("storage/mmap");
+    EXPECT_FALSE(storage::MapMatrixSnapshot(path).ok());
+    EXPECT_TRUE(storage::MapMatrixSnapshot(path).ok());
+  }
+  {
+    const SimHashFamily family(4);
+    storage::BlockedJoinOptions options;
+    options.s_threshold = 0.5;
+    options.cs_threshold = 0.25;
+    ScopedFailpoint fp("storage/blocked-join");
+    EXPECT_FALSE(
+        storage::BlockedBucketJoin(family, path, path, options).ok());
+    EXPECT_TRUE(
+        storage::BlockedBucketJoin(family, path, path, options).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, EngineSnapshotFailpointsFailOnceThenRecover) {
+  Rng rng(25);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  const std::string dir = TempPath("chaos_engine_snap");
+  {
+    ScopedFailpoint fp("serve/snapshot-save");
+    EXPECT_FALSE((*engine)->SaveSnapshot(dir).ok());
+  }
+  ASSERT_TRUE((*engine)->SaveSnapshot(dir).ok());
+  {
+    ScopedFailpoint fp("serve/snapshot-load");
+    EXPECT_FALSE(Engine::CreateFromSnapshot(dir).ok());
+  }
+  const auto warm = Engine::CreateFromSnapshot(dir);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  // A fault in the middle of reading the snapshot surfaces too: the
+  // nth-hit trigger lands inside the section reads, not at open.
+  {
+    ScopedFailpoint fp("storage/read", /*nth=*/3);
+    EXPECT_FALSE(Engine::CreateFromSnapshot(dir).ok());
+  }
+  EXPECT_TRUE(Engine::CreateFromSnapshot(dir).ok());
 }
 
 // --- Observability failpoints ---

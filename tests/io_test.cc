@@ -144,6 +144,56 @@ TEST(CsvFileTest, MissingFileIsNotFound) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+TEST(CsvParseTest, LoadReservesExactCapacityUpFront) {
+  // The two-pass loader counts rows/cols in bounded chunks and reserves
+  // the exact payload once, so loading never pays the vector-doubling
+  // ~2x RSS spike. Exact capacity == size is the observable proof the
+  // pre-count matched the parse (growth would overshoot capacity).
+  std::string csv = "# synthetic\n";
+  for (int i = 0; i < 500; ++i) {
+    csv += "1,2,3,4,5,6,7\n";
+  }
+  const auto result = ParseMatrixCsv(csv);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows(), 500u);
+  EXPECT_EQ(result->cols(), 7u);
+  EXPECT_EQ(result->data().capacity(), 500u * 7u);
+}
+
+TEST(CsvParseTest, ShapeCountAgreesWithParseOnMessyInput) {
+  // The pre-count must agree with the parser on every skip rule —
+  // comments, blank lines, CRLF blanks, and a missing final newline —
+  // or the exact-reserve would be wrong (caught here as capacity
+  // overshoot or a parse mismatch).
+  const std::string csv =
+      "# comment\r\n\r\n1,2\n\n3,4\r\n# mid comment\n5,6\n\n7,8";
+  const auto result = ParseMatrixCsv(csv);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows(), 4u);
+  EXPECT_EQ(result->cols(), 2u);
+  EXPECT_DOUBLE_EQ(result->At(3, 1), 8.0);
+  EXPECT_EQ(result->data().capacity(), 8u);
+}
+
+TEST(CsvParseTest, InputLargerThanOneCountingChunkParses) {
+  // Spans several 256 KiB counting chunks so the chunked line scan
+  // exercises lines straddling chunk boundaries.
+  std::string csv;
+  const std::size_t rows = 40000;  // ~680 KiB of text
+  csv.reserve(rows * 18);
+  for (std::size_t i = 0; i < rows; ++i) {
+    csv += std::to_string(i % 97);
+    csv += ",1.5,-2.25\n";
+  }
+  const auto result = ParseMatrixCsv(csv);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows(), rows);
+  EXPECT_EQ(result->cols(), 3u);
+  EXPECT_EQ(result->data().capacity(), rows * 3u);
+  EXPECT_DOUBLE_EQ(result->At(rows - 1, 0),
+                   static_cast<double>((rows - 1) % 97));
+}
+
 // --- Degenerate-size robustness of the engines ---
 
 TEST(EdgeCaseTest, SinglePointIndexes) {

@@ -53,6 +53,7 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
             "DEADLINE_EXCEEDED");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
   // A code outside the enum range falls through to the default name.
   EXPECT_EQ(StatusCodeToString(static_cast<StatusCode>(99)), "UNKNOWN");
 }
@@ -74,6 +75,9 @@ TEST(StatusTest, EveryFactoryMatchesItsCode) {
   const Status unavailable = Status::Unavailable("shard down");
   EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
   EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: shard down");
+  const Status data_loss = Status::DataLoss("bad checksum");
+  EXPECT_EQ(data_loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(data_loss.ToString(), "DATA_LOSS: bad checksum");
 }
 
 // --- Failpoint firing modes (one-shot basics live in chaos_test) ---
