@@ -21,6 +21,7 @@
 #   $ scripts/check.sh chaos      # failure-injection suites under TSan
 #   $ scripts/check.sh scalar     # full suite with IPS_FORCE_SCALAR=1
 #   $ scripts/check.sh storage    # snapshot suite under ASan + warm-start gate
+#   $ scripts/check.sh quant      # int8 parity suite (both dispatches) + bench gate
 #   $ scripts/check.sh static     # ipslint + nodiscard + clang analyses
 set -euo pipefail
 
@@ -108,6 +109,22 @@ run_storage() {
   ./build/examples/persistence_quickstart
 }
 
+run_quant() {
+  # The quantized-scoring leg (DESIGN.md §13): the int8 kernel parity /
+  # error-bound / precision-matrix suite on both kernel dispatches
+  # (quant_test runs the active ISA, quant_test_scalar pins the portable
+  # table — the AVX2 maddubs path and the scalar path must agree
+  # bitwise), then the bench gate: bench_quant exits nonzero unless the
+  # quantized-rerank path reaches 2x exact throughput at 0.95 recall on
+  # the large-norm-spread workload.
+  echo "=== quant: int8 parity + precision-matrix suite (dispatched + scalar) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target quant_test bench_quant
+  (cd build && ctest --output-on-failure -R 'quant_test')
+  echo "=== quant: two-stage scoring bench gate (2x at 0.95 recall) ==="
+  (cd build && ./bench/bench_quant)
+}
+
 run_static() {
   echo "=== static analysis: ipslint (project rules) ==="
   cmake -B build -S . >/dev/null
@@ -151,9 +168,10 @@ case "$MODE" in
   chaos)  run_chaos ;;
   scalar) run_scalar ;;
   storage) run_storage ;;
+  quant)  run_quant ;;
   static) run_static ;;
-  all)    run_plain; run_scalar; run_asan; run_tsan; run_storage; run_static ;;
-  *) echo "usage: $0 [plain|asan|tsan|chaos|scalar|storage|static|all]" >&2; exit 2 ;;
+  all)    run_plain; run_scalar; run_asan; run_tsan; run_storage; run_quant; run_static ;;
+  *) echo "usage: $0 [plain|asan|tsan|chaos|scalar|storage|quant|static|all]" >&2; exit 2 ;;
 esac
 
 echo "all checks passed"

@@ -147,7 +147,8 @@ std::size_t JoinResult::NumMatched() const {
   return matched;
 }
 
-BruteForceIndex::BruteForceIndex(const Matrix& data) : data_(&data) {
+BruteForceIndex::BruteForceIndex(const Matrix& data)
+    : data_(&data), quant_(QuantizedMatrix::Quantize(data)) {
   IPS_CHECK_GT(data.rows(), 0u);
 }
 
@@ -176,10 +177,21 @@ StatusOr<std::vector<SearchMatch>> BruteForceIndex::Query(
     std::span<const double> q, const QueryOptions& options, QueryStats* stats,
     Trace* trace) const {
   IPS_RETURN_IF_ERROR(ValidateQueryInputs(q, dim(), options));
+  if (options.precision == QueryPrecision::kSketchFilter) {
+    return Status::InvalidArgument(
+        "brute force answers exact or quantized-rerank precision; "
+        "sketch-filtered scans run on the sketch index");
+  }
   std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
   Trace* t = trace != nullptr ? trace : owned.get();
   QueryStats local;
-  auto matches = QueryBruteForce(*data_, q, options, &local, t);
+  std::vector<SearchMatch> matches;
+  if (options.precision == QueryPrecision::kQuantizedRerank) {
+    local.algorithm = QueryAlgo::kBruteForce;
+    matches = QueryQuantizedRerank(*data_, quant_, q, options, &local, t);
+  } else {
+    matches = QueryBruteForce(*data_, q, options, &local, t);
+  }
   PublishQuery(std::move(owned), std::move(local), stats);
   return matches;
 }
@@ -187,8 +199,19 @@ StatusOr<std::vector<SearchMatch>> BruteForceIndex::Query(
 StatusOr<std::vector<QueryResult>> BruteForceIndex::BatchQuery(
     const Matrix& queries, const QueryOptions& options) const {
   IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
+  if (options.precision == QueryPrecision::kSketchFilter) {
+    return Status::InvalidArgument(
+        "brute force answers exact or quantized-rerank precision; "
+        "sketch-filtered scans run on the sketch index");
+  }
   const std::size_t m = queries.rows();
   if (m == 0) return std::vector<QueryResult>();
+  if (options.precision == QueryPrecision::kQuantizedRerank) {
+    // Two-stage per query; the shared int8 code matrix (built once at
+    // construction) is the amortized state across the batch.
+    return RunPerQueryBatch(*this, queries, options, "brute.quant.batch",
+                            /*fallback=*/false);
+  }
   std::shared_ptr<Trace> batch_trace = MakeBatchTrace(options, Name());
   std::vector<kernels::TopKHeap> heaps;
   heaps.reserve(m);
@@ -273,6 +296,13 @@ StatusOr<std::vector<SearchMatch>> TreeMipsIndex::Query(
     return Status::InvalidArgument(
         "ball-tree top-k answers signed queries only");
   }
+  if (options.precision != QueryPrecision::kAuto &&
+      options.precision != QueryPrecision::kExact) {
+    return Status::InvalidArgument(
+        "ball-tree top-k is exact only (its branch-and-bound prunes on "
+        "exact scores); use brute/lsh for quantized re-rank or the "
+        "sketch index for filtered scans");
+  }
   std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
   Trace* t = trace != nullptr ? trace : owned.get();
   QueryStats local;
@@ -301,6 +331,13 @@ StatusOr<std::vector<QueryResult>> TreeMipsIndex::BatchQuery(
     return Status::InvalidArgument(
         "ball-tree top-k answers signed queries only");
   }
+  if (options.precision != QueryPrecision::kAuto &&
+      options.precision != QueryPrecision::kExact) {
+    return Status::InvalidArgument(
+        "ball-tree top-k is exact only (its branch-and-bound prunes on "
+        "exact scores); use brute/lsh for quantized re-rank or the "
+        "sketch index for filtered scans");
+  }
   if (queries.rows() == 0) return std::vector<QueryResult>();
   // Descents stay per-query (each query prunes its own subtree); the
   // batch win is the gather-kernel leaf scan inside every descent.
@@ -324,6 +361,7 @@ LshMipsIndex::LshMipsIndex(const Matrix& data,
   const Matrix& hashed =
       transform_ != nullptr ? transformed_data_ : *data_;
   tables_ = std::make_unique<LshTables>(base_family, hashed, params, rng);
+  quant_ = QuantizedMatrix::Quantize(data);
   name_ = "lsh[" +
           (transform_ != nullptr ? transform_->Name() + "+" : std::string()) +
           base_family.Name() + "]";
@@ -391,6 +429,9 @@ StatusOr<std::unique_ptr<LshMipsIndex>> LshMipsIndex::CreateFromBuckets(
                                              params, rng, std::move(buckets));
   IPS_RETURN_IF_ERROR(tables.status());
   index->tables_ = std::move(tables).value();
+  // Quantization is deterministic (no rng), so rebuilding it from the
+  // restored data matrix reproduces the original codes exactly.
+  index->quant_ = QuantizedMatrix::Quantize(data);
   index->name_ =
       "lsh[" +
       (transform != nullptr ? transform->Name() + "+" : std::string()) +
@@ -427,6 +468,11 @@ StatusOr<std::vector<SearchMatch>> LshMipsIndex::Query(
     std::span<const double> q, const QueryOptions& options, QueryStats* stats,
     Trace* trace) const {
   IPS_RETURN_IF_ERROR(ValidateQueryInputs(q, dim(), options));
+  if (options.precision == QueryPrecision::kSketchFilter) {
+    return Status::InvalidArgument(
+        "lsh verifies candidates exactly or via quantized re-rank; "
+        "sketch-filtered scans run on the sketch index");
+  }
   std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
   Trace* t = trace != nullptr ? trace : owned.get();
   QueryStats local;
@@ -443,7 +489,11 @@ StatusOr<std::vector<SearchMatch>> LshMipsIndex::Query(
     }
     const std::vector<std::size_t> candidates =
         tables_->Query(probe, t, &info);
-    matches = QueryFromCandidates(*data_, q, candidates, options, &local, t);
+    matches = options.precision == QueryPrecision::kQuantizedRerank
+                  ? QueryFromCandidatesQuantized(*data_, quant_, q, candidates,
+                                                 options, &local, t)
+                  : QueryFromCandidates(*data_, q, candidates, options, &local,
+                                        t);
   }
   local.metrics.Set("lsh.tables.buckets_probed", info.tables_probed);
   local.metrics.Set("lsh.tables.buckets_hit", info.buckets_hit);
@@ -458,8 +508,19 @@ StatusOr<std::vector<SearchMatch>> LshMipsIndex::Query(
 StatusOr<std::vector<QueryResult>> LshMipsIndex::BatchQuery(
     const Matrix& queries, const QueryOptions& options) const {
   IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
+  if (options.precision == QueryPrecision::kSketchFilter) {
+    return Status::InvalidArgument(
+        "lsh verifies candidates exactly or via quantized re-rank; "
+        "sketch-filtered scans run on the sketch index");
+  }
   const std::size_t m = queries.rows();
   if (m == 0) return std::vector<QueryResult>();
+  if (options.precision == QueryPrecision::kQuantizedRerank) {
+    // Quantized verification prunes per-query survivor sets, which the
+    // row-grouped exact verify below cannot express; run per query.
+    return RunPerQueryBatch(*this, queries, options, "lsh.quant.batch",
+                            /*fallback=*/false);
+  }
   std::shared_ptr<Trace> batch_trace = MakeBatchTrace(options, Name());
   std::vector<QueryResult> results(m);
   std::vector<kernels::TopKHeap> heaps;
@@ -540,42 +601,72 @@ double LshMipsIndex::MeanCandidates() const {
                              static_cast<double>(queries_);
 }
 
-SketchIndex::SketchIndex(const Matrix& data, const SketchMipsParams& params,
+namespace {
+
+// The §4.3 argmax tree answers exactly one query shape: unsigned
+// best-match. Everything else the sketch index serves goes through the
+// CountSketch filter scan.
+bool UsesArgmaxDescent(const QueryOptions& options) {
+  return !options.is_signed && options.k == 1 &&
+         options.precision == QueryPrecision::kAuto;
+}
+
+Status RejectNonSketchPrecision(const QueryOptions& options) {
+  if (options.precision == QueryPrecision::kExact ||
+      options.precision == QueryPrecision::kQuantizedRerank) {
+    return Status::InvalidArgument(
+        "sketch index scores via sketch estimates (argmax descent or "
+        "filtered scan); use brute/tree/lsh for exact or quantized "
+        "precision");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+SketchIndex::SketchIndex(const Matrix& data, const SketchConfig& config,
                          Rng* rng)
-    : data_(&data), sketch_(data, params, rng) {}
+    : data_(&data),
+      config_(config),
+      sketch_(data, config.argmax, rng),
+      filter_(data, config.filter, rng) {}
 
 StatusOr<std::unique_ptr<SketchIndex>> SketchIndex::Create(
-    const Matrix& data, const SketchMipsParams& params, Rng* rng) {
+    const Matrix& data, const SketchConfig& config, Rng* rng) {
   IPS_RETURN_IF_ERROR(ValidateIndexData(data));
-  IPS_RETURN_IF_ERROR(SketchMipsIndex::Validate(data, params, rng));
-  return std::make_unique<SketchIndex>(data, params, rng);
+  IPS_RETURN_IF_ERROR(SketchMipsIndex::Validate(data, config.argmax, rng));
+  IPS_RETURN_IF_ERROR(ValidateFilterParams(config.filter));
+  return std::make_unique<SketchIndex>(data, config, rng);
 }
 
 StatusOr<std::vector<SearchMatch>> SketchIndex::Query(
     std::span<const double> q, const QueryOptions& options, QueryStats* stats,
     Trace* trace) const {
   IPS_RETURN_IF_ERROR(ValidateQueryInputs(q, dim(), options));
-  if (options.is_signed || options.k != 1) {
-    return Status::InvalidArgument(
-        "sketch path answers unsigned k=1 queries only");
-  }
+  IPS_RETURN_IF_ERROR(RejectNonSketchPrecision(options));
   std::unique_ptr<Trace> owned = MaybeOwnTrace(options, trace, Name());
   Trace* t = trace != nullptr ? trace : owned.get();
   QueryStats local;
   local.algorithm = QueryAlgo::kSketch;
   std::vector<SearchMatch> matches;
-  SketchProbeInfo info;
-  {
+  if (UsesArgmaxDescent(options)) {
+    SketchProbeInfo info;
+    {
+      TraceSpan span(t, "sketch");
+      const std::size_t index = sketch_.RecoverArgmax(q, t, &info);
+      matches.push_back(
+          {index, std::abs(kernels::Dot(data_->Row(index), q))});
+    }
+    local.candidates = info.leaf_points;
+    // Dot-equivalent work: each sketch row product is one length-d dot.
+    local.dot_products = info.rows_multiplied + info.leaf_points;
+    local.metrics.Set("sketch.levels", info.levels);
+    local.metrics.Set("sketch.rows_multiplied", info.rows_multiplied);
+    local.metrics.Set("sketch.leaf_points", info.leaf_points);
+  } else {
     TraceSpan span(t, "sketch");
-    const std::size_t index = sketch_.RecoverArgmax(q, t, &info);
-    matches.push_back({index, std::abs(kernels::Dot(data_->Row(index), q))});
+    matches = QueryFilteredRerank(*data_, filter_, q, options, &local, t);
   }
-  local.candidates = info.leaf_points;
-  // Dot-equivalent work: each sketch row product is one length-d dot.
-  local.dot_products = info.rows_multiplied + info.leaf_points;
-  local.metrics.Set("sketch.levels", info.levels);
-  local.metrics.Set("sketch.rows_multiplied", info.rows_multiplied);
-  local.metrics.Set("sketch.leaf_points", info.leaf_points);
   PublishQuery(std::move(owned), std::move(local), stats);
   return matches;
 }
@@ -583,14 +674,13 @@ StatusOr<std::vector<SearchMatch>> SketchIndex::Query(
 StatusOr<std::vector<QueryResult>> SketchIndex::BatchQuery(
     const Matrix& queries, const QueryOptions& options) const {
   IPS_RETURN_IF_ERROR(ValidateBatchInputs(queries, dim(), options));
-  if (options.is_signed || options.k != 1) {
-    return Status::InvalidArgument(
-        "sketch path answers unsigned k=1 queries only");
-  }
+  IPS_RETURN_IF_ERROR(RejectNonSketchPrecision(options));
   if (queries.rows() == 0) return std::vector<QueryResult>();
-  // Argmax recoveries stay per-query; the batch win is the dispatched
-  // mat-vec estimate pass inside every descent.
-  return RunPerQueryBatch(*this, queries, options, "sketch.batch",
+  // Argmax recoveries and filtered scans both stay per-query; the batch
+  // win is the dispatched mat-vec estimate pass inside each.
+  return RunPerQueryBatch(*this, queries, options,
+                          UsesArgmaxDescent(options) ? "sketch.batch"
+                                                     : "sketch.filter.batch",
                           /*fallback=*/false);
 }
 

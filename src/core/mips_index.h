@@ -3,14 +3,21 @@
 //
 // The MipsIndex interface and its four implementations:
 //   BruteForceIndex -- exact quadratic scan (the baseline of every
-//                      experiment);
+//                      experiment), with an int8 quantized-rerank
+//                      two-stage variant (QueryPrecision);
 //   TreeMipsIndex   -- exact Ram-Gray ball-tree branch-and-bound;
 //   LshMipsIndex    -- any (A)LSH transform + base family through the
-//                      (K, L) table engine, candidates re-ranked exactly;
-//   SketchIndex     -- the Section 4.3 linear-sketch c-MIPS structure
-//                      (unsigned only).
+//                      (K, L) table engine, candidates re-ranked
+//                      exactly or pruned first by int8 estimates;
+//   SketchIndex     -- the unified sketch path: the Section 4.3
+//                      linear-sketch argmax structure for unsigned k=1,
+//                      and the CountSketch inner-product filter
+//                      (two-stage estimate + exact re-rank) for
+//                      everything else. Configured by SketchConfig.
 // All implementations return the exact score of the candidate they
-// report, so the (cs, s) guarantee of Definition 1 is checkable.
+// report, so the (cs, s) guarantee of Definition 1 is checkable — the
+// approximate precisions never return an estimated score, only an
+// approximately-selected candidate set (DESIGN.md §13).
 //
 // Construction from untrusted input goes through the static Create
 // factories, which validate dimensions, finiteness, and parameter ranges
@@ -31,10 +38,12 @@
 #include "core/query.h"
 #include "core/types.h"
 #include "linalg/matrix.h"
+#include "linalg/quantized.h"
 #include "lsh/tables.h"
 #include "lsh/transforms.h"
 #include "obs/trace.h"
 #include "rng/random.h"
+#include "sketch/filter.h"
 #include "sketch/sketch_mips.h"
 #include "tree/mips_tree.h"
 #include "util/status.h"
@@ -97,10 +106,12 @@ class MipsIndex {
       const Matrix& queries, const QueryOptions& options) const;
 };
 
-/// Exact full scan.
+/// Exact full scan, plus the int8 quantized-rerank variant.
 class BruteForceIndex : public MipsIndex {
  public:
-  /// `data` must outlive the index.
+  /// `data` must outlive the index. Quantizes the data (one cheap pass,
+  /// n*d bytes of codes) so kQuantizedRerank queries need no lazy
+  /// build.
   explicit BruteForceIndex(const Matrix& data);
 
   /// Validated construction: rejects empty or non-finite data.
@@ -113,16 +124,26 @@ class BruteForceIndex : public MipsIndex {
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
+  /// Precision: kAuto / kExact run the exact scan; kQuantizedRerank
+  /// runs the two-stage int8 estimate + exact re-rank; kSketchFilter is
+  /// rejected (filtered scans live on the sketch index).
   [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
   /// Tiled implementation: one kernels::BlockTopK pass scores the whole
-  /// batch against the data with cache-blocked reuse of data rows.
+  /// batch against the data with cache-blocked reuse of data rows. A
+  /// kQuantizedRerank batch runs the two-stage path per query; the
+  /// shared int8 code matrix is the amortized state.
   [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
       const Matrix& queries, const QueryOptions& options) const override;
 
+  /// The per-row-block int8 quantization of the data (the bucket join's
+  /// lossless prefilter reuses it).
+  const QuantizedMatrix& quantized() const { return quant_; }
+
  private:
   const Matrix* data_;
+  QuantizedMatrix quant_;
   mutable std::size_t evaluated_ = 0;
 };
 
@@ -205,7 +226,10 @@ class LshMipsIndex : public MipsIndex {
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
   /// The full hash -> bucket -> dedup -> verify -> top-k pipeline under
-  /// one "lsh" span when traced.
+  /// one "lsh" span when traced. Precision: kAuto / kExact verify every
+  /// candidate exactly; kQuantizedRerank prunes large candidate sets
+  /// with int8 estimates before the exact re-rank; kSketchFilter is
+  /// rejected.
   [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
@@ -233,45 +257,70 @@ class LshMipsIndex : public MipsIndex {
   const VectorTransform* transform_ = nullptr;
   Matrix transformed_data_;
   std::unique_ptr<LshTables> tables_;
+  QuantizedMatrix quant_;
   std::string name_;
   mutable std::size_t evaluated_ = 0;
   mutable std::size_t queries_ = 0;
   mutable std::size_t candidates_ = 0;
 };
 
-/// Section 4.3 sketch index (unsigned scores only: Search CHECKs that
-/// spec.is_signed is false).
+/// One validated configuration for the whole sketch layer. This is the
+/// single serving entry point into src/sketch: the Section 4.3 argmax
+/// tree (sketch_mips.h), the CountSketch inner-product filter
+/// (filter.h), and the cmips-via-search scaling reduction are all
+/// reachable through a SketchIndex built from one SketchConfig, instead
+/// of three parallel construction paths.
+struct SketchConfig {
+  /// The Section 4.3 argmax machinery (answers unsigned k=1 descents).
+  SketchMipsParams argmax;
+  /// The inner-product filter (answers everything else via the
+  /// two-stage estimate + exact re-rank path).
+  SketchFilterParams filter;
+};
+
+/// The unified sketch index. Unsigned k=1 queries descend the Section
+/// 4.3 argmax tree; every other request (signed, k > 1) runs the
+/// CountSketch filter's two-stage scan, so the index fully implements
+/// the MipsIndex Query/BatchQuery contract.
 class SketchIndex : public MipsIndex {
  public:
-  SketchIndex(const Matrix& data, const SketchMipsParams& params, Rng* rng);
+  SketchIndex(const Matrix& data, const SketchConfig& config, Rng* rng);
 
-  /// Validated construction: rejects empty or non-finite data, invalid
-  /// sketch parameters (kappa < 2, copies == 0, leaf_size == 0,
-  /// non-positive bucket multiplier), and a null rng. Failpoint:
-  /// "core/index-build".
+  /// The one validated sketch factory: rejects empty or non-finite
+  /// data, invalid argmax parameters (kappa < 2, copies == 0,
+  /// leaf_size == 0, non-positive bucket multiplier), invalid filter
+  /// parameters (zero copies, multiplier < 1), and a null rng.
+  /// Failpoint: "core/index-build".
   [[nodiscard]] static StatusOr<std::unique_ptr<SketchIndex>> Create(
-      const Matrix& data, const SketchMipsParams& params, Rng* rng);
+      const Matrix& data, const SketchConfig& config, Rng* rng);
 
   std::string Name() const override { return "sketch-mips"; }
   std::size_t dim() const override { return data_->cols(); }
+  /// Search keeps the Section 4.3 contract: unsigned only (CHECKs).
   std::optional<SearchMatch> Search(std::span<const double> q,
                                     const JoinSpec& spec) const override;
   std::size_t InnerProductsEvaluated() const override { return evaluated_; }
-  /// Unsigned k=1 queries only (the Section 4.3 argmax recovery).
+  /// Unsigned k=1 with kAuto precision descends the argmax tree;
+  /// everything else (any sign, any k, or forced kSketchFilter) runs
+  /// the filter's estimate + exact re-rank. kExact and kQuantizedRerank
+  /// are rejected — this index scores by sketch estimate by design.
   [[nodiscard]] StatusOr<std::vector<SearchMatch>> Query(
       std::span<const double> q, const QueryOptions& options,
       QueryStats* stats = nullptr, Trace* trace = nullptr) const override;
-  /// Per-query argmax recoveries under one batch trace; the sketch-row
-  /// estimate pass inside each descent runs through the dispatched
-  /// mat-vec kernel.
+  /// Per-query recoveries / filter scans under one batch trace; the
+  /// estimate passes inside run through the dispatched kernels.
   [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
       const Matrix& queries, const QueryOptions& options) const override;
 
   const SketchMipsIndex& sketch() const { return sketch_; }
+  const InnerProductFilter& filter() const { return filter_; }
+  const SketchConfig& config() const { return config_; }
 
  private:
   const Matrix* data_;
+  SketchConfig config_;
   SketchMipsIndex sketch_;
+  InnerProductFilter filter_;
   mutable std::size_t evaluated_ = 0;
 };
 

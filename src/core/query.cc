@@ -18,9 +18,25 @@ std::string_view QueryAlgoName(QueryAlgo algo) {
   return "unknown";
 }
 
+std::string_view QueryPrecisionName(QueryPrecision precision) {
+  switch (precision) {
+    case QueryPrecision::kAuto:
+      return "auto";
+    case QueryPrecision::kExact:
+      return "exact";
+    case QueryPrecision::kQuantizedRerank:
+      return "quant";
+    case QueryPrecision::kSketchFilter:
+      return "filter";
+  }
+  return "unknown";
+}
+
 void QueryStats::Merge(const QueryStats& other) {
   candidates += other.candidates;
   dot_products += other.dot_products;
+  candidates_pruned += other.candidates_pruned;
+  rerank_exact_dots += other.rerank_exact_dots;
   exec_seconds += other.exec_seconds;
   queue_seconds += other.queue_seconds;
   deadline_met = deadline_met && other.deadline_met;
@@ -49,6 +65,17 @@ Status ValidateQueryOptions(const QueryOptions& options) {
     return Status::InvalidArgument(
         "deadline must be positive (infinity = none), got " +
         std::to_string(options.deadline_seconds));
+  }
+  switch (options.precision) {
+    case QueryPrecision::kAuto:
+    case QueryPrecision::kExact:
+    case QueryPrecision::kQuantizedRerank:
+    case QueryPrecision::kSketchFilter:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown precision value " +
+          std::to_string(static_cast<int>(options.precision)));
   }
   return Status::Ok();
 }

@@ -47,6 +47,31 @@ inline constexpr std::size_t kNumQueryAlgos = 4;
 /// the algorithm's span name and registry metric prefix segment.
 std::string_view QueryAlgoName(QueryAlgo algo);
 
+/// Scoring precision of the answer path (DESIGN.md §13). The two
+/// approximate modes run the two-stage scorer: a cheap estimate pass
+/// (int8 fixed-point dots / CountSketch filter estimates) ranks every
+/// candidate, an oversampled survivor set >= k is kept, and survivors
+/// are re-ranked with exact double-precision dots — returned scores are
+/// always exact; only the *selection* is approximate.
+enum class QueryPrecision {
+  /// Let the planner (or the path's natural default) decide: exact for
+  /// brute/tree/lsh, filter-estimated for sketch.
+  kAuto = 0,
+  /// Exact double-precision scoring throughout.
+  kExact = 1,
+  /// int8 quantized estimate pass + exact re-rank (brute, lsh).
+  kQuantizedRerank = 2,
+  /// CountSketch filter estimate pass + exact re-rank (sketch index
+  /// full scans, lsh candidate pruning, tree leaf pruning).
+  kSketchFilter = 3,
+};
+
+inline constexpr std::size_t kNumQueryPrecisions = 4;
+
+/// Short stable name of `precision` ("auto", "exact", "quant",
+/// "filter"); metric label segment and bench JSON key.
+std::string_view QueryPrecisionName(QueryPrecision precision);
+
 /// One top-k query, uniform across the engine, the scheduler, and every
 /// index. Fields an answer path cannot honor are rejected (forced tree
 /// on unsigned queries) or ignored where documented (deadline outside
@@ -68,6 +93,11 @@ struct QueryOptions {
   /// benchmarks). The forced path must be able to answer the request
   /// (e.g. tree is signed-only) or the query returns kInvalidArgument.
   std::optional<QueryAlgo> force_algorithm;
+  /// Scoring precision. kAuto lets the planner pick any variant whose
+  /// calibrated recall clears the target; an explicit value forces the
+  /// mode, and a path that cannot honor it (tree + kQuantizedRerank,
+  /// sketch + kExact) rejects with kInvalidArgument at query time.
+  QueryPrecision precision = QueryPrecision::kAuto;
   /// Record a per-stage span tree for this query (published through
   /// QueryStats::trace and the global TraceRing).
   bool trace = false;
@@ -81,6 +111,11 @@ Status ValidateQueryOptions(const QueryOptions& options);
 /// carry it; produced by serve::Planner).
 struct PlanDecision {
   QueryAlgo algorithm = QueryAlgo::kBruteForce;
+  /// Scoring precision the plan resolved to. kAuto appears only when
+  /// the decision is the sketch index's native §4.3 argmax descent
+  /// (neither exact nor a two-stage re-rank); every other decision
+  /// commits to a concrete mode.
+  QueryPrecision precision = QueryPrecision::kExact;
   double expected_dot_products = 0.0;
   double expected_recall = 1.0;
   /// One-line human-readable justification (for logs and benches).
@@ -95,8 +130,15 @@ struct QueryStats {
   /// Candidate data points whose exact score was computed.
   std::size_t candidates = 0;
   /// Exact inner products evaluated (dot-product-equivalent work for the
-  /// sketch path, which spends its time on sketch-row products).
+  /// sketch path, which spends its time on sketch-row products, and for
+  /// the two-stage paths, whose estimate pass is billed at its measured
+  /// fraction of an exact dot).
   std::size_t dot_products = 0;
+  /// Two-stage accounting: candidates ranked by the estimate pass but
+  /// pruned before exact scoring, and exact dots spent on the survivor
+  /// re-rank. Zero on exact paths.
+  std::size_t candidates_pruned = 0;
+  std::size_t rerank_exact_dots = 0;
   /// Engine execution time (planning + search), excluding queue time.
   double exec_seconds = 0.0;
   /// Time spent queued in the batch scheduler; 0 for direct calls.

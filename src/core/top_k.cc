@@ -125,4 +125,217 @@ std::vector<SearchMatch> QueryFromCandidates(
   return matches;
 }
 
+// ---------------------------------------------------------------------
+// Two-stage scoring.
+// ---------------------------------------------------------------------
+
+std::size_t SurvivorCount(std::size_t k, std::size_t n,
+                          std::size_t candidate_budget, double multiplier,
+                          std::size_t floor) {
+  std::size_t m = std::max(
+      static_cast<std::size_t>(
+          std::ceil(static_cast<double>(k) * multiplier)),
+      floor);
+  if (candidate_budget > 0) m = std::min(m, std::max(candidate_budget, k));
+  return std::min(std::max(m, k), n);
+}
+
+std::vector<std::size_t> TopEstimateIndices(std::span<const double> estimates,
+                                            std::size_t m, bool absolute) {
+  IPS_CHECK_GE(m, 1u);
+  std::vector<std::size_t> out;
+  if (m >= estimates.size()) {
+    out.resize(estimates.size());
+    for (std::size_t i = 0; i < estimates.size(); ++i) out[i] = i;
+    return out;
+  }
+  kernels::TopKHeap heap(m);
+  double heap_floor = heap.Floor();
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    const double value = absolute ? std::abs(estimates[i]) : estimates[i];
+    if (value < heap_floor) continue;
+    if (heap.Accepts(value, i)) {
+      heap.Push(i, value);
+      heap_floor = heap.Floor();
+    }
+  }
+  for (const auto& entry : heap.TakeSorted()) out.push_back(entry.index);
+  return out;
+}
+
+namespace {
+
+// Shared tail of the four two-stage entry points: exact re-rank of the
+// survivor set plus the pruning/billing bookkeeping. `estimated` is the
+// size of the candidate pool the estimate pass ranked; `estimate_cost`
+// its dot-equivalent billing; `prefix` is "quant" or "filter".
+std::vector<SearchMatch> RerankSurvivors(
+    const Matrix& data, std::span<const double> q,
+    const std::vector<std::size_t>& survivors, std::size_t estimated,
+    double estimate_cost_ratio, const char* prefix, Counter* queries,
+    Counter* pruned_counter, Counter* rerank_counter,
+    const QueryOptions& options, QueryStats* stats, Trace* trace) {
+  std::vector<SearchMatch> matches;
+  {
+    TraceSpan span(trace, std::string(prefix) + ".rerank");
+    matches = TopKFromCandidates(data, q, survivors, options.k,
+                                 options.is_signed);
+    span.AddCount("rerank_dots", survivors.size());
+  }
+  const std::size_t pruned = estimated - survivors.size();
+  const std::size_t estimate_cost = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(estimated) * estimate_cost_ratio));
+  queries->Increment();
+  pruned_counter->Add(pruned);
+  rerank_counter->Add(survivors.size());
+  if (stats != nullptr) {
+    stats->candidates += survivors.size();
+    stats->candidates_pruned += pruned;
+    stats->rerank_exact_dots += survivors.size();
+    stats->dot_products += survivors.size() + estimate_cost;
+    stats->metrics.Add(std::string("core.") + prefix + ".candidates_pruned",
+                       pruned);
+    stats->metrics.Add(std::string("core.") + prefix + ".rerank_dots",
+                       survivors.size());
+  }
+  return matches;
+}
+
+struct QuantCounters {
+  Counter* queries;
+  Counter* pruned;
+  Counter* rerank;
+};
+
+const QuantCounters& QuantRegistryCounters() {
+  static const QuantCounters counters = {
+      MetricsRegistry::Global().GetCounter("core.quant.queries"),
+      MetricsRegistry::Global().GetCounter("core.quant.candidates_pruned"),
+      MetricsRegistry::Global().GetCounter("core.quant.rerank_dots")};
+  return counters;
+}
+
+const QuantCounters& FilterRegistryCounters() {
+  static const QuantCounters counters = {
+      MetricsRegistry::Global().GetCounter("core.filter.queries"),
+      MetricsRegistry::Global().GetCounter("core.filter.candidates_pruned"),
+      MetricsRegistry::Global().GetCounter("core.filter.rerank_dots")};
+  return counters;
+}
+
+}  // namespace
+
+std::vector<SearchMatch> QueryQuantizedRerank(
+    const Matrix& data, const QuantizedMatrix& qdata,
+    std::span<const double> q, const QueryOptions& options,
+    QueryStats* stats, Trace* trace) {
+  IPS_CHECK_EQ(qdata.rows(), data.rows());
+  const std::size_t n = data.rows();
+  const std::size_t m =
+      SurvivorCount(options.k, n, options.candidate_budget,
+                    kQuantSurvivorMultiplier, kQuantSurvivorFloor);
+  std::vector<std::size_t> survivors;
+  {
+    TraceSpan span(trace, "quant.estimate");
+    const QuantizedVector qq = QuantizeVector(q);
+    std::vector<double> estimates(n);
+    qdata.EstimateAll(qq, estimates);
+    survivors = TopEstimateIndices(estimates, m, !options.is_signed);
+    span.AddCount("points_estimated", n);
+    span.AddCount("survivors", survivors.size());
+  }
+  const QuantCounters& counters = QuantRegistryCounters();
+  return RerankSurvivors(data, q, survivors, n, kQuantEstimateDotEquivalent,
+                         "quant", counters.queries, counters.pruned,
+                         counters.rerank, options, stats, trace);
+}
+
+std::vector<SearchMatch> QueryFilteredRerank(
+    const Matrix& data, const InnerProductFilter& filter,
+    std::span<const double> q, const QueryOptions& options,
+    QueryStats* stats, Trace* trace) {
+  IPS_CHECK_EQ(filter.rows(), data.rows());
+  const std::size_t n = data.rows();
+  const SketchFilterParams& params = filter.params();
+  const std::size_t m =
+      SurvivorCount(options.k, n, options.candidate_budget,
+                    params.survivor_multiplier, params.survivor_floor);
+  std::vector<std::size_t> survivors;
+  {
+    TraceSpan span(trace, "filter.estimate");
+    const std::vector<double> sq = filter.SketchQuery(q);
+    std::vector<double> estimates(n);
+    filter.EstimateAll(sq, estimates);
+    survivors = TopEstimateIndices(estimates, m, !options.is_signed);
+    span.AddCount("points_estimated", n);
+    span.AddCount("survivors", survivors.size());
+  }
+  const QuantCounters& counters = FilterRegistryCounters();
+  return RerankSurvivors(data, q, survivors, n, filter.CostRatio(),
+                         "filter", counters.queries, counters.pruned,
+                         counters.rerank, options, stats, trace);
+}
+
+std::vector<SearchMatch> QueryFromCandidatesQuantized(
+    const Matrix& data, const QuantizedMatrix& qdata,
+    std::span<const double> q, const std::vector<std::size_t>& candidates,
+    const QueryOptions& options, QueryStats* stats, Trace* trace) {
+  const std::size_t m =
+      SurvivorCount(options.k, candidates.size(), options.candidate_budget,
+                    kQuantSurvivorMultiplier, kQuantSurvivorFloor);
+  if (m >= candidates.size()) {
+    // Nothing to prune: exact verification is no more expensive.
+    return QueryFromCandidates(data, q, candidates, options, stats, trace);
+  }
+  std::vector<std::size_t> survivors;
+  {
+    TraceSpan span(trace, "quant.estimate");
+    const QuantizedVector qq = QuantizeVector(q);
+    std::vector<double> estimates(candidates.size());
+    qdata.EstimateGathered(qq, candidates, estimates);
+    const std::vector<std::size_t> kept =
+        TopEstimateIndices(estimates, m, !options.is_signed);
+    survivors.reserve(kept.size());
+    for (std::size_t j : kept) survivors.push_back(candidates[j]);
+    span.AddCount("points_estimated", candidates.size());
+    span.AddCount("survivors", survivors.size());
+  }
+  const QuantCounters& counters = QuantRegistryCounters();
+  return RerankSurvivors(data, q, survivors, candidates.size(),
+                         kQuantEstimateDotEquivalent, "quant",
+                         counters.queries, counters.pruned, counters.rerank,
+                         options, stats, trace);
+}
+
+std::vector<SearchMatch> QueryFromCandidatesFiltered(
+    const Matrix& data, const InnerProductFilter& filter,
+    std::span<const double> q, const std::vector<std::size_t>& candidates,
+    const QueryOptions& options, QueryStats* stats, Trace* trace) {
+  const SketchFilterParams& params = filter.params();
+  const std::size_t m =
+      SurvivorCount(options.k, candidates.size(), options.candidate_budget,
+                    params.survivor_multiplier, params.survivor_floor);
+  if (m >= candidates.size()) {
+    return QueryFromCandidates(data, q, candidates, options, stats, trace);
+  }
+  std::vector<std::size_t> survivors;
+  {
+    TraceSpan span(trace, "filter.estimate");
+    const std::vector<double> sq = filter.SketchQuery(q);
+    std::vector<double> estimates(candidates.size());
+    filter.EstimateGathered(sq, candidates, estimates);
+    const std::vector<std::size_t> kept =
+        TopEstimateIndices(estimates, m, !options.is_signed);
+    survivors.reserve(kept.size());
+    for (std::size_t j : kept) survivors.push_back(candidates[j]);
+    span.AddCount("points_estimated", candidates.size());
+    span.AddCount("survivors", survivors.size());
+  }
+  const QuantCounters& counters = FilterRegistryCounters();
+  return RerankSurvivors(data, q, survivors, candidates.size(),
+                         filter.CostRatio(), "filter", counters.queries,
+                         counters.pruned, counters.rerank, options, stats,
+                         trace);
+}
+
 }  // namespace ips

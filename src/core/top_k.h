@@ -6,6 +6,13 @@
 // retrieval. Exact engines (brute force and a k-best variant of the
 // ball-tree branch-and-bound) return the true top-k; the LSH engine
 // returns the k best among its candidates.
+//
+// The Query*Rerank / QueryFromCandidates* families are the two-stage
+// scorer (DESIGN.md §13): a cheap estimate pass (int8 quantized dots or
+// CountSketch filter estimates) ranks the candidate set, an oversampled
+// survivor set >= k is kept, and survivors are re-ranked with exact
+// double-precision dots. Returned scores are always exact; recall is
+// governed by the oversampling factor and calibrated by the planner.
 
 #ifndef IPS_CORE_TOP_K_H_
 #define IPS_CORE_TOP_K_H_
@@ -18,7 +25,9 @@
 #include "core/query.h"
 #include "core/types.h"
 #include "linalg/matrix.h"
+#include "linalg/quantized.h"
 #include "obs/trace.h"
+#include "sketch/filter.h"
 #include "tree/mips_tree.h"
 
 namespace ips {
@@ -64,6 +73,72 @@ std::vector<SearchMatch> QueryFromCandidates(
     const Matrix& data, std::span<const double> q,
     const std::vector<std::size_t>& candidates, const QueryOptions& options,
     QueryStats* stats = nullptr, Trace* trace = nullptr);
+
+// ---------------------------------------------------------------------
+// Two-stage scoring (estimate pass -> survivors -> exact re-rank).
+// ---------------------------------------------------------------------
+
+/// Survivor policy of the quantized path: keep max(k * multiplier,
+/// floor) candidates for exact re-ranking. int8 estimates are tight
+/// (per-entry error <= scale/2), so modest oversampling suffices.
+inline constexpr double kQuantSurvivorMultiplier = 4.0;
+inline constexpr std::size_t kQuantSurvivorFloor = 32;
+
+/// Billing rate of one int8 estimate in exact-dot equivalents, the rate
+/// QueryStats::dot_products charges for the estimate pass. Kept static
+/// (rather than timed per run) so stats are deterministic; the planner
+/// prices the real cost from its calibrated timing ratio.
+inline constexpr double kQuantEstimateDotEquivalent = 0.25;
+
+/// Survivor-set size: max(ceil(k * multiplier), floor), capped by the
+/// candidate budget when set (but never below k) and by `n`.
+std::size_t SurvivorCount(std::size_t k, std::size_t n,
+                          std::size_t candidate_budget, double multiplier,
+                          std::size_t floor);
+
+/// Indices of the `m` largest estimates (value descending, index
+/// ascending — the project-wide deterministic order); absolute values
+/// when `absolute`. Returns all indices when m >= estimates.size().
+std::vector<std::size_t> TopEstimateIndices(std::span<const double> estimates,
+                                            std::size_t m, bool absolute);
+
+/// Two-stage brute force, quantized flavor: one dispatched int8 pass
+/// estimates every row, the survivor set is re-ranked exactly. Records
+/// "quant.estimate" / "quant.rerank" spans, fills the two-stage stats
+/// fields (candidates_pruned, rerank_exact_dots), and bumps the
+/// "core.quant.*" registry counters. `qdata` must be the quantization
+/// of `data`.
+std::vector<SearchMatch> QueryQuantizedRerank(
+    const Matrix& data, const QuantizedMatrix& qdata,
+    std::span<const double> q, const QueryOptions& options,
+    QueryStats* stats = nullptr, Trace* trace = nullptr);
+
+/// Two-stage brute force, sketch-filter flavor: CountSketch estimates
+/// rank every row, survivors (policy from filter.params()) are
+/// re-ranked exactly. Records "filter.estimate" / "filter.rerank" spans
+/// and bumps "core.filter.*". `filter` must be built over `data`.
+std::vector<SearchMatch> QueryFilteredRerank(
+    const Matrix& data, const InnerProductFilter& filter,
+    std::span<const double> q, const QueryOptions& options,
+    QueryStats* stats = nullptr, Trace* trace = nullptr);
+
+/// Candidate-set flavor of the quantized two-stage path (LSH
+/// verification): estimates the gathered candidates, prunes to the
+/// survivor set, re-ranks exactly. Falls back to plain exact
+/// verification when the candidate set is already no larger than the
+/// survivor set.
+std::vector<SearchMatch> QueryFromCandidatesQuantized(
+    const Matrix& data, const QuantizedMatrix& qdata,
+    std::span<const double> q, const std::vector<std::size_t>& candidates,
+    const QueryOptions& options, QueryStats* stats = nullptr,
+    Trace* trace = nullptr);
+
+/// Candidate-set flavor of the sketch-filter two-stage path.
+std::vector<SearchMatch> QueryFromCandidatesFiltered(
+    const Matrix& data, const InnerProductFilter& filter,
+    std::span<const double> q, const std::vector<std::size_t>& candidates,
+    const QueryOptions& options, QueryStats* stats = nullptr,
+    Trace* trace = nullptr);
 
 }  // namespace ips
 

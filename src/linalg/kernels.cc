@@ -51,11 +51,37 @@ void ScoreBlockScalar(const double* data, std::size_t rows,
   }
 }
 
+std::int32_t DotI8Scalar(const std::int8_t* x, const std::int8_t* y,
+                         std::size_t n) {
+  // Same four-lane interleave as DotScalar; integer adds associate
+  // freely, so the result is exact regardless of grouping and matches
+  // the AVX2 pipeline bit for bit.
+  std::int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<std::int32_t>(x[i]) * y[i];
+    acc1 += static_cast<std::int32_t>(x[i + 1]) * y[i + 1];
+    acc2 += static_cast<std::int32_t>(x[i + 2]) * y[i + 2];
+    acc3 += static_cast<std::int32_t>(x[i + 3]) * y[i + 3];
+  }
+  for (; i < n; ++i) acc0 += static_cast<std::int32_t>(x[i]) * y[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void ScoreBlockI8Scalar(const std::int8_t* codes, std::size_t rows,
+                        std::size_t cols, const std::int8_t* q,
+                        std::int32_t* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = DotI8Scalar(codes + r * cols, q, cols);
+  }
+}
+
 }  // namespace
 
 const KernelOps& ScalarOps() {
-  static const KernelOps ops = {"scalar", &DotScalar, &MatVecScalar,
-                                &ScoreBlockScalar};
+  static const KernelOps ops = {"scalar",          &DotScalar,
+                                &MatVecScalar,     &ScoreBlockScalar,
+                                &DotI8Scalar,      &ScoreBlockI8Scalar};
   return ops;
 }
 

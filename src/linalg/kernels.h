@@ -13,6 +13,9 @@
 //   BlockTopK                          tiled many-vs-many scoring that
 //                                      writes straight into per-query
 //                                      top-k heaps (no n*m score matrix);
+//   DotI8 / ScoreBlockI8               int8 fixed-point inner products
+//                                      (the estimate pass of the
+//                                      two-stage quantized scorer);
 //   AndPopcountMany / SignDotMany      batched popcount inner products
 //                                      over packed {0,1} / {-1,+1} rows.
 //
@@ -26,6 +29,9 @@
 // sums; the AVX2 path keeps the same lane grouping but contracts with
 // FMA, so the two agree to rounding (ULP-scale), not bitwise. Anything
 // that consumes both must compare with a tolerance (tests/kernels_test).
+// The int8 kernels are integer-exact: scalar and AVX2 produce identical
+// int32 results for codes in [-127, 127] (tests/quant_test compares
+// them with EXPECT_EQ, no tolerance).
 
 #ifndef IPS_LINALG_KERNELS_H_
 #define IPS_LINALG_KERNELS_H_
@@ -77,6 +83,23 @@ struct KernelOps {
                       std::size_t cols, const double* queries,
                       std::size_t num_q, std::size_t q_stride, double* out,
                       std::size_t out_stride);
+
+  /// Fixed-point <x, y> over n int8 codes, accumulated in int32.
+  /// Contract: every code lies in [-127, 127] (the quantizer clamps to
+  /// that range; -128 is excluded so the AVX2 abs/sign/maddubs pipeline
+  /// can neither overflow the i8 negation nor saturate the i16 pair
+  /// sums) and n <= 2^17, so the exact sum fits int32. Under that
+  /// contract the scalar and AVX2 implementations are bitwise
+  /// identical.
+  std::int32_t (*dot_i8)(const std::int8_t* x, const std::int8_t* y,
+                         std::size_t n);
+
+  /// out[r] = dot_i8(codes + r * cols, q) for r in [0, rows): the
+  /// quantized estimate pass of the two-stage scorer — one int8 query
+  /// against a contiguous block of int8 code rows.
+  void (*score_block_i8)(const std::int8_t* codes, std::size_t rows,
+                         std::size_t cols, const std::int8_t* q,
+                         std::int32_t* out);
 };
 
 /// The portable fallback (available everywhere).
@@ -217,6 +240,26 @@ void BlockTopK(const Matrix& data, std::size_t row_begin,
 inline void BlockTopK(const Matrix& data, const Matrix& queries,
                       bool absolute, std::span<TopKHeap> heaps) {
   BlockTopK(data, 0, data.rows(), queries, absolute, heaps);
+}
+
+// ---------------------------------------------------------------------
+// Dispatched int8 fixed-point kernels.
+// ---------------------------------------------------------------------
+
+/// Integer inner product of two int8 code vectors (see
+/// KernelOps::dot_i8 for the [-127, 127] / n <= 2^17 contract).
+inline std::int32_t DotI8(std::span<const std::int8_t> x,
+                          std::span<const std::int8_t> y) {
+  IPS_DCHECK(x.size() == y.size());
+  return ActiveOps().dot_i8(x.data(), y.data(), x.size());
+}
+
+/// out[r] = <codes row r, q> in int32 for `rows` contiguous code rows
+/// of `cols` int8 entries each.
+inline void ScoreBlockI8(const std::int8_t* codes, std::size_t rows,
+                         std::size_t cols, const std::int8_t* q,
+                         std::int32_t* out) {
+  ActiveOps().score_block_i8(codes, rows, cols, q, out);
 }
 
 // ---------------------------------------------------------------------

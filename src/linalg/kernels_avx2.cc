@@ -153,6 +153,70 @@ IPS_AVX2 void ScoreBlockAvx2(const double* data, std::size_t rows,
   }
 }
 
+// int8 fixed-point dot via the maddubs pipeline. maddubs wants one
+// unsigned and one signed operand, so rewrite
+//   sum x_i * y_i  =  sum |x_i| * (sign(x_i) * y_i)
+// with abs_epi8 / sign_epi8. With codes clamped to [-127, 127] (the
+// KernelOps contract) the i8 negation in sign_epi8 cannot overflow and
+// each i16 pair sum is at most 2 * 127 * 127 = 32258 < 32767, so the
+// pipeline is exact — scalar and AVX2 agree bitwise.
+IPS_AVX2 inline std::int32_t HorizontalSumI32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i sum = _mm_add_epi32(lo, hi);
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(sum);
+}
+
+IPS_AVX2 std::int32_t DotI8Avx2(const std::int8_t* x, const std::int8_t* y,
+                                std::size_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i vx0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(y + i));
+    const __m256i vx1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(x + i + 32));
+    const __m256i vy1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(y + i + 32));
+    const __m256i p0 = _mm256_maddubs_epi16(_mm256_abs_epi8(vx0),
+                                            _mm256_sign_epi8(vy0, vx0));
+    const __m256i p1 = _mm256_maddubs_epi16(_mm256_abs_epi8(vx1),
+                                            _mm256_sign_epi8(vy1, vx1));
+    acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(p0, ones));
+    acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(p1, ones));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i vx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(y + i));
+    const __m256i p = _mm256_maddubs_epi16(_mm256_abs_epi8(vx),
+                                           _mm256_sign_epi8(vy, vx));
+    acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(p, ones));
+  }
+  std::int32_t total = HorizontalSumI32(_mm256_add_epi32(acc0, acc1));
+  for (; i < n; ++i) {
+    total += static_cast<std::int32_t>(x[i]) * y[i];
+  }
+  return total;
+}
+
+IPS_AVX2 void ScoreBlockI8Avx2(const std::int8_t* codes, std::size_t rows,
+                               std::size_t cols, const std::int8_t* q,
+                               std::int32_t* out) {
+  // One byte per entry keeps this pass memory-light; per-row dots are
+  // enough to saturate the load ports, no register blocking needed.
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = DotI8Avx2(codes + r * cols, q, cols);
+  }
+}
+
 #undef IPS_AVX2
 
 }  // namespace
@@ -160,8 +224,9 @@ IPS_AVX2 void ScoreBlockAvx2(const double* data, std::size_t rows,
 const KernelOps& Avx2Ops() {
   IPS_CHECK(Avx2Available())
       << "Avx2Ops() requested on a CPU without AVX2+FMA";
-  static const KernelOps ops = {"avx2", &DotAvx2, &MatVecAvx2,
-                                &ScoreBlockAvx2};
+  static const KernelOps ops = {"avx2",          &DotAvx2,
+                                &MatVecAvx2,     &ScoreBlockAvx2,
+                                &DotI8Avx2,      &ScoreBlockI8Avx2};
   return ops;
 }
 

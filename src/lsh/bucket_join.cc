@@ -6,6 +6,7 @@
 
 #include "linalg/validate.h"
 #include "linalg/kernels.h"
+#include "linalg/quantized.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -31,6 +32,16 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
   std::size_t candidate_pairs = 0;
   std::size_t verified_pairs = 0;
   std::size_t duplicate_pairs = 0;
+  std::size_t prefiltered_pairs = 0;
+  // Lossless quantized prefilter: a pair is skipped only when its int8
+  // estimate plus the rigorous rounding-error bound stays below the cs
+  // threshold, so no pair that could pass verification is ever dropped.
+  const QuantizedMatrix qdata = QuantizedMatrix::Quantize(data);
+  std::vector<QuantizedVector> qqueries;
+  qqueries.reserve(queries.rows());
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    qqueries.push_back(QuantizeVector(queries.Row(qi)));
+  }
   // Pairs already verified, keyed by query-major 64-bit id.
   std::unordered_set<std::uint64_t> verified;
   for (std::size_t table = 0; table < params.l; ++table) {
@@ -51,6 +62,17 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
           ++duplicate_pairs;
           continue;
         }
+        const QuantizedVector& qq = qqueries[qi];
+        const double est =
+            static_cast<double>(kernels::DotI8(
+                {qdata.RowCodes(di), data.cols()}, qq.codes)) *
+            qdata.RowScale(di) * qq.scale;
+        const double bound = qdata.ErrorBound(di, qq);
+        const double ceiling = is_signed ? est + bound : std::abs(est) + bound;
+        if (ceiling < cs_threshold) {
+          ++prefiltered_pairs;
+          continue;
+        }
         ++verified_pairs;
         const double raw = kernels::Dot(data.Row(di), queries.Row(qi));
         const double score = is_signed ? raw : std::abs(raw);
@@ -68,6 +90,7 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
   result.metrics.Set("lsh.join.candidate_pairs", candidate_pairs);
   result.metrics.Set("lsh.join.verified_pairs", verified_pairs);
   result.metrics.Set("lsh.join.duplicate_pairs", duplicate_pairs);
+  result.metrics.Set("lsh.join.pairs_prefiltered", prefiltered_pairs);
   static Counter* const joins =
       MetricsRegistry::Global().GetCounter("lsh.join.runs");
   static Counter* const candidate_counter =
@@ -76,10 +99,13 @@ BucketJoinResult LshBucketJoin(const LshFamily& family,
       MetricsRegistry::Global().GetCounter("lsh.join.verified_pairs");
   static Counter* const duplicate_counter =
       MetricsRegistry::Global().GetCounter("lsh.join.duplicate_pairs");
+  static Counter* const prefiltered_counter =
+      MetricsRegistry::Global().GetCounter("lsh.join.pairs_prefiltered");
   joins->Increment();
   candidate_counter->Add(candidate_pairs);
   verified_counter->Add(verified_pairs);
   duplicate_counter->Add(duplicate_pairs);
+  prefiltered_counter->Add(prefiltered_pairs);
   return result;
 }
 

@@ -5,8 +5,13 @@
 // hash both point sets into the same (K, L) tables and enumerate
 // colliding (data, query) pairs bucket by bucket -- the classic
 // similarity-join operator built on LSH (cf. the I/O-efficient joins of
-// [41]). Each candidate pair is verified with one exact inner product,
-// and for every query the best verified pair above cs is reported.
+// [41]). Each candidate pair passes a lossless int8 prefilter (skipped
+// only when its quantized estimate plus the rigorous rounding-error
+// bound cannot reach cs), is then verified with one exact inner
+// product, and for every query the best verified pair above cs is
+// reported. The prefilter never changes the result set — it only
+// replaces full-precision dots with one-byte-per-entry estimates for
+// pairs that cannot qualify.
 
 #ifndef IPS_LSH_BUCKET_JOIN_H_
 #define IPS_LSH_BUCKET_JOIN_H_
@@ -35,8 +40,11 @@ namespace ips {
 ///                                 even when it collides in several
 ///                                 tables);
 ///   "lsh.join.duplicate_pairs" -- pairs skipped by cross-table
-///                                 deduplication; always candidate -
-///                                 verified.
+///                                 deduplication;
+///   "lsh.join.pairs_prefiltered" -- distinct pairs the lossless int8
+///                                 bound proved below cs, skipped before
+///                                 exact verification. candidate ==
+///                                 verified + duplicate + prefiltered.
 struct BucketJoinResult {
   std::vector<std::optional<std::pair<std::size_t, double>>> per_query;
   MetricSet metrics;

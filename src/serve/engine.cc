@@ -76,6 +76,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Create(Matrix data,
   if (options.lsh_params.k < 1 || options.lsh_params.l < 1) {
     return Status::InvalidArgument("engine lsh k and l must be >= 1");
   }
+  IPS_RETURN_IF_ERROR(ValidateFilterParams(options.sketch_filter));
   std::unique_ptr<Engine> engine(
       new Engine(std::move(data), options));
   IPS_RETURN_IF_ERROR(engine->Calibrate());
@@ -92,6 +93,10 @@ Status Engine::Calibrate() {
   calib.sketch_cost = SketchCostModel(profile_.n, options_.sketch_params);
   calib.lsh_probe_overhead = static_cast<double>(options_.lsh_params.k) *
                              static_cast<double>(options_.lsh_params.l);
+  calib.quant_cost_ratio = kQuantEstimateDotEquivalent;
+  calib.filter_survivor_multiplier =
+      options_.sketch_filter.survivor_multiplier;
+  calib.filter_survivor_floor = options_.sketch_filter.survivor_floor;
 
   const std::size_t probes =
       std::min(options_.probe_queries, profile_.n);
@@ -145,9 +150,22 @@ Status Engine::Calibrate() {
     double candidate_total = 0.0;
     std::size_t lsh_hits = 0;
     std::size_t sketch_hits = 0;
-    auto probe_sketch =
-        SketchIndex::Create(sample, options_.sketch_params, &build_rng_);
+    auto probe_sketch = SketchIndex::Create(
+        sample, SketchConfig{options_.sketch_params, options_.sketch_filter},
+        &build_rng_);
     IPS_RETURN_IF_ERROR(probe_sketch.status());
+    // Two-stage probes: recall@5 of the quantized and filtered scans
+    // against the exact top-5, measured through the same top_k.cc
+    // entry points serving traffic takes.
+    const QuantizedMatrix probe_quant = QuantizedMatrix::Quantize(sample);
+    const InnerProductFilter probe_filter(sample, options_.sketch_filter,
+                                          &build_rng_);
+    calib.filter_cost_ratio = probe_filter.CostRatio();
+    QueryOptions rerank_probe;
+    rerank_probe.k = std::min<std::size_t>(5, sample.rows());
+    std::size_t quant_hits = 0;
+    std::size_t filter_hits = 0;
+    std::size_t rerank_total = 0;
     for (std::size_t row : query_rows) {
       const auto q = data_.Row(row);
       const auto exact_signed =
@@ -170,6 +188,27 @@ Status Engine::Calibrate() {
           (*sketch_top)[0].index == exact_unsigned[0].index) {
         ++sketch_hits;
       }
+      const auto exact_topk =
+          TopKBruteForce(sample, q, rerank_probe.k, /*is_signed=*/true);
+      const auto quant_topk =
+          QueryQuantizedRerank(sample, probe_quant, q, rerank_probe);
+      const auto filter_topk =
+          QueryFilteredRerank(sample, probe_filter, q, rerank_probe);
+      rerank_total += exact_topk.size();
+      for (const SearchMatch& truth : exact_topk) {
+        for (const SearchMatch& got : quant_topk) {
+          if (got.index == truth.index) {
+            ++quant_hits;
+            break;
+          }
+        }
+        for (const SearchMatch& got : filter_topk) {
+          if (got.index == truth.index) {
+            ++filter_hits;
+            break;
+          }
+        }
+      }
     }
     calib.lsh_candidate_fraction = candidate_total /
                                    static_cast<double>(probes) /
@@ -178,6 +217,12 @@ Status Engine::Calibrate() {
         static_cast<double>(lsh_hits) / static_cast<double>(probes);
     calib.sketch_recall =
         static_cast<double>(sketch_hits) / static_cast<double>(probes);
+    if (rerank_total > 0) {
+      calib.quant_recall = static_cast<double>(quant_hits) /
+                           static_cast<double>(rerank_total);
+      calib.filter_recall = static_cast<double>(filter_hits) /
+                            static_cast<double>(rerank_total);
+    }
   }
 
   calib.probe_queries = probes;
@@ -233,8 +278,10 @@ Status Engine::EnsureIndex(QueryAlgo algo) const {
       // state, which reproduces the index deterministically.
       sketch_prebuild_state_ = build_rng_.SaveState();
       sketch_prebuild_valid_ = true;
-      auto built =
-          SketchIndex::Create(data_, options_.sketch_params, &build_rng_);
+      auto built = SketchIndex::Create(
+          data_,
+          SketchConfig{options_.sketch_params, options_.sketch_filter},
+          &build_rng_);
       IPS_RETURN_IF_ERROR(built.status());
       sketch_index_ = std::move(built).value();
       return Status::Ok();
@@ -305,14 +352,13 @@ StatusOr<PlanDecision> Engine::MakePlan(const QueryOptions& options,
       return Status::InvalidArgument(
           "ball-tree top-k answers signed queries only");
     }
-    if (forced == QueryAlgo::kSketch &&
-        (options.is_signed || options.k != 1)) {
-      return Status::InvalidArgument(
-          "sketch path answers unsigned k=1 queries only");
-    }
     plan.algorithm = forced;
+    // A forced path keeps the request's precision verbatim (kAuto runs
+    // the path's native mode); the index rejects combinations it
+    // cannot honor.
+    plan.precision = options.precision;
     plan.expected_dot_products =
-        planner_->ExpectedDotProducts(forced, options);
+        planner_->ExpectedDotProducts(forced, options.precision, options);
     plan.expected_recall = 0.0;
     plan.reason =
         std::string("forced ") + std::string(QueryAlgoName(forced));
@@ -381,7 +427,9 @@ StatusOr<std::vector<QueryResult>> Engine::BatchQuery(
           std::string("index not built for algorithm ") +
           std::string(QueryAlgoName(plan.algorithm)));
     }
-    auto results = index->BatchQuery(queries, options);
+    QueryOptions planned_options = options;
+    planned_options.precision = plan.precision;
+    auto results = index->BatchQuery(queries, planned_options);
     IPS_RETURN_IF_ERROR(results.status());
     std::vector<QueryResult> out = std::move(results).value();
     for (QueryResult& result : out) result.plan = plan;
@@ -424,7 +472,12 @@ StatusOr<QueryResult> Engine::Execute(QueryAlgo algo,
   }
 
   QueryResult response;
-  auto matches = index->Query(query, options, &response.stats, trace);
+  // The plan committed to a precision (the request's own when explicit
+  // or forced); the index runs exactly what was planned.
+  QueryOptions planned_options = options;
+  planned_options.precision = plan.precision;
+  auto matches =
+      index->Query(query, planned_options, &response.stats, trace);
   IPS_RETURN_IF_ERROR(matches.status());
   response.matches = std::move(matches).value();
   response.plan = std::move(plan);

@@ -39,6 +39,7 @@
 #include "serve/planner.h"
 #include "serve/query_engine.h"
 #include "serve/serve_stats.h"
+#include "sketch/filter.h"
 #include "sketch/sketch_mips.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -51,6 +52,9 @@ struct EngineOptions {
   LshTableParams lsh_params{.k = 8, .l = 32};
   /// Parameters of the lazily-built Section 4.3 sketch index.
   SketchMipsParams sketch_params;
+  /// Parameters of the sketch index's CountSketch prefilter (the
+  /// kSketchFilter two-stage path; DESIGN.md §13).
+  SketchFilterParams sketch_filter;
   /// Leaf size of the lazily-built ball tree.
   std::size_t tree_leaf_size = 16;
   /// Warmup micro-probes: queries sampled from the data itself.

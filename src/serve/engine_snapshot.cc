@@ -54,8 +54,11 @@ Status ExpectAtEnd(const storage::PayloadReader& r, const char* section) {
 }
 
 // ---------------------------------------------------------------------
-// Section payloads (all version 1; bump the per-section version on any
-// layout change and keep readers for the old one).
+// Section payloads (bump the per-section version on any layout change).
+// META and CALB are at version 2: they grew the sketch-filter params
+// and the two-stage calibration fields (DESIGN.md §13). This build
+// reads only the current layout — older snapshots fail to decode with
+// a DataLoss/truncation status rather than silently misparse.
 // ---------------------------------------------------------------------
 
 std::vector<unsigned char> EncodeMeta(const EngineOptions& options) {
@@ -66,6 +69,10 @@ std::vector<unsigned char> EncodeMeta(const EngineOptions& options) {
   w.PutU64(options.sketch_params.copies);
   w.PutDouble(options.sketch_params.bucket_multiplier);
   w.PutU64(options.sketch_params.leaf_size);
+  w.PutU64(options.sketch_filter.buckets);
+  w.PutU64(options.sketch_filter.copies);
+  w.PutDouble(options.sketch_filter.survivor_multiplier);
+  w.PutU64(options.sketch_filter.survivor_floor);
   w.PutU64(options.tree_leaf_size);
   w.PutU64(options.probe_queries);
   w.PutU64(options.probe_sample);
@@ -89,6 +96,14 @@ Status DecodeMeta(std::span<const unsigned char> bytes,
       r.GetDouble(&options->sketch_params.bucket_multiplier));
   IPS_RETURN_IF_ERROR(r.GetU64(&u));
   options->sketch_params.leaf_size = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->sketch_filter.buckets = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->sketch_filter.copies = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(
+      r.GetDouble(&options->sketch_filter.survivor_multiplier));
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->sketch_filter.survivor_floor = static_cast<std::size_t>(u);
   IPS_RETURN_IF_ERROR(r.GetU64(&u));
   options->tree_leaf_size = static_cast<std::size_t>(u);
   IPS_RETURN_IF_ERROR(r.GetU64(&u));
@@ -133,6 +148,12 @@ std::vector<unsigned char> EncodeCalibration(
   w.PutDouble(calib.lsh_recall);
   w.PutDouble(calib.sketch_recall);
   w.PutDouble(calib.sketch_cost);
+  w.PutDouble(calib.quant_recall);
+  w.PutDouble(calib.quant_cost_ratio);
+  w.PutDouble(calib.filter_recall);
+  w.PutDouble(calib.filter_cost_ratio);
+  w.PutDouble(calib.filter_survivor_multiplier);
+  w.PutU64(calib.filter_survivor_floor);
   w.PutU64(calib.probe_queries);
   w.PutDouble(calib.recall_margin);
   return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
@@ -147,7 +168,14 @@ Status DecodeCalibration(std::span<const unsigned char> bytes,
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_recall));
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->sketch_recall));
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->sketch_cost));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->quant_recall));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->quant_cost_ratio));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->filter_recall));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->filter_cost_ratio));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->filter_survivor_multiplier));
   std::uint64_t u = 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  calib->filter_survivor_floor = static_cast<std::size_t>(u);
   IPS_RETURN_IF_ERROR(r.GetU64(&u));
   calib->probe_queries = static_cast<std::size_t>(u);
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->recall_margin));
@@ -336,7 +364,7 @@ Status Engine::SaveSnapshot(const std::string& dir) const {
   MutexLock lock(build_mutex_);
   {
     const auto meta = EncodeMeta(options_);
-    IPS_RETURN_IF_ERROR(writer.WriteSection(storage::kSectionMeta, 1, meta));
+    IPS_RETURN_IF_ERROR(writer.WriteSection(storage::kSectionMeta, 2, meta));
   }
   {
     // The dataset streams through the section writer exactly like
@@ -361,7 +389,7 @@ Status Engine::SaveSnapshot(const std::string& dir) const {
   {
     const auto calib = EncodeCalibration(planner_->calibration());
     IPS_RETURN_IF_ERROR(
-        writer.WriteSection(storage::kSectionCalibration, 1, calib));
+        writer.WriteSection(storage::kSectionCalibration, 2, calib));
   }
   if (tree_index_ != nullptr) {
     const auto tree = EncodeTree(tree_index_->tree(), data_.cols());
@@ -506,7 +534,9 @@ StatusOr<std::unique_ptr<Engine>> Engine::CreateFromSnapshot(
     engine->sketch_prebuild_valid_ = true;
     engine->build_rng_.RestoreState(prebuild_state);
     auto index = SketchIndex::Create(
-        engine->data_, options.sketch_params, &engine->build_rng_);
+        engine->data_,
+        SketchConfig{options.sketch_params, options.sketch_filter},
+        &engine->build_rng_);
     IPS_RETURN_IF_ERROR(index.status());
     engine->sketch_index_ = std::move(index).value();
   }

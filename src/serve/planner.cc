@@ -3,11 +3,49 @@
 #include <cmath>
 #include <limits>
 
+#include "core/top_k.h"
 #include "linalg/kernels.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
 namespace ips {
+namespace {
+
+/// The answer-path variants the planner prices. kAuto on the sketch row
+/// is the §4.3 argmax descent (the index's native mode, taken when the
+/// request reaches it with precision kAuto).
+struct PlanVariant {
+  QueryAlgo algo;
+  QueryPrecision precision;
+};
+
+constexpr PlanVariant kVariants[] = {
+    {QueryAlgo::kBruteForce, QueryPrecision::kExact},
+    {QueryAlgo::kBruteForce, QueryPrecision::kQuantizedRerank},
+    {QueryAlgo::kBallTree, QueryPrecision::kExact},
+    {QueryAlgo::kLsh, QueryPrecision::kExact},
+    {QueryAlgo::kLsh, QueryPrecision::kQuantizedRerank},
+    {QueryAlgo::kSketch, QueryPrecision::kAuto},
+    {QueryAlgo::kSketch, QueryPrecision::kSketchFilter},
+};
+
+bool MatchesRequestedPrecision(QueryPrecision variant,
+                               QueryPrecision requested) {
+  if (requested == QueryPrecision::kAuto) return true;
+  return variant == requested;
+}
+
+std::string VariantName(QueryAlgo algo, QueryPrecision precision) {
+  std::string name(QueryAlgoName(algo));
+  if (precision != QueryPrecision::kExact &&
+      precision != QueryPrecision::kAuto) {
+    name += "+";
+    name += QueryPrecisionName(precision);
+  }
+  return name;
+}
+
+}  // namespace
 
 double DatasetProfile::NormSpread() const {
   if (min_norm <= 0.0) return std::numeric_limits<double>::infinity();
@@ -37,40 +75,80 @@ Planner::Planner(DatasetProfile profile, PlannerCalibration calibration)
   IPS_CHECK_GT(profile_.n, 0u);  // ipslint:allow(check-in-query)
 }
 
-double Planner::ExpectedRecall(QueryAlgo algo,
+double Planner::ExpectedRecall(QueryAlgo algo, QueryPrecision precision,
                                const QueryOptions& request) const {
+  const bool calibrated = calibration_.probe_queries > 0;
   switch (algo) {
     case QueryAlgo::kBruteForce:
+      if (precision == QueryPrecision::kQuantizedRerank) {
+        return calibrated ? calibration_.quant_recall : 0.0;
+      }
       return 1.0;
     case QueryAlgo::kBallTree:
       // The tree's top-k branch-and-bound is exact but signed-only.
       return request.is_signed ? 1.0 : 0.0;
-    case QueryAlgo::kLsh:
-      return calibration_.probe_queries == 0 ? 0.0 : calibration_.lsh_recall;
+    case QueryAlgo::kLsh: {
+      if (!calibrated) return 0.0;
+      if (precision == QueryPrecision::kQuantizedRerank) {
+        // Two independent approximations compound: the candidate set
+        // must contain the answer AND the estimate pass must keep it.
+        return calibration_.lsh_recall * calibration_.quant_recall;
+      }
+      return calibration_.lsh_recall;
+    }
     case QueryAlgo::kSketch:
-      // The Section 4.3 sketch recovers a single unsigned argmax.
+      if (precision == QueryPrecision::kSketchFilter) {
+        return calibrated ? calibration_.filter_recall : 0.0;
+      }
+      // The Section 4.3 argmax descent recovers a single unsigned best.
       if (request.is_signed || request.k != 1) return 0.0;
-      return calibration_.probe_queries == 0 ? 0.0
-                                             : calibration_.sketch_recall;
+      return calibrated ? calibration_.sketch_recall : 0.0;
   }
   return 0.0;
 }
 
-double Planner::ExpectedDotProducts(QueryAlgo algo,
+double Planner::ExpectedDotProducts(QueryAlgo algo, QueryPrecision precision,
                                     const QueryOptions& request) const {
   const double n = static_cast<double>(profile_.n);
   switch (algo) {
-    case QueryAlgo::kBruteForce:
+    case QueryAlgo::kBruteForce: {
+      if (precision == QueryPrecision::kQuantizedRerank) {
+        const double survivors = static_cast<double>(
+            SurvivorCount(request.k, profile_.n, request.candidate_budget,
+                          kQuantSurvivorMultiplier, kQuantSurvivorFloor));
+        return n * calibration_.quant_cost_ratio + survivors;
+      }
       return n;
+    }
     case QueryAlgo::kBallTree:
       // Pruning measured on the warmup subsample; clamp to the full scan.
       return std::min(n, std::max(static_cast<double>(request.k),
                                   n * calibration_.tree_fraction));
-    case QueryAlgo::kLsh:
-      return std::min(n, n * calibration_.lsh_candidate_fraction) +
-             calibration_.lsh_probe_overhead;
-    case QueryAlgo::kSketch:
+    case QueryAlgo::kLsh: {
+      const double candidates =
+          std::min(n, n * calibration_.lsh_candidate_fraction);
+      if (precision == QueryPrecision::kQuantizedRerank) {
+        const double survivors = static_cast<double>(
+            SurvivorCount(request.k, profile_.n, request.candidate_budget,
+                          kQuantSurvivorMultiplier, kQuantSurvivorFloor));
+        return candidates * calibration_.quant_cost_ratio +
+               std::min(candidates, survivors) +
+               calibration_.lsh_probe_overhead;
+      }
+      return candidates + calibration_.lsh_probe_overhead;
+    }
+    case QueryAlgo::kSketch: {
+      if (precision == QueryPrecision::kSketchFilter ||
+          (precision == QueryPrecision::kAuto &&
+           (request.is_signed || request.k != 1))) {
+        const double survivors = static_cast<double>(SurvivorCount(
+            request.k, profile_.n, request.candidate_budget,
+            calibration_.filter_survivor_multiplier,
+            calibration_.filter_survivor_floor));
+        return n * calibration_.filter_cost_ratio + survivors;
+      }
       return calibration_.sketch_cost;
+    }
   }
   return n;
 }
@@ -79,49 +157,85 @@ StatusOr<PlanDecision> Planner::Plan(const QueryOptions& request) const {
   IPS_FAILPOINT("serve/plan");
   IPS_RETURN_IF_ERROR(ValidateQueryOptions(request));
 
-  constexpr QueryAlgo kAll[] = {QueryAlgo::kBruteForce, QueryAlgo::kBallTree,
-                                QueryAlgo::kLsh, QueryAlgo::kSketch};
   const double budget = request.candidate_budget == 0
                             ? std::numeric_limits<double>::infinity()
                             : static_cast<double>(request.candidate_budget);
 
-  // Two-tier selection: cheapest eligible algorithm inside the budget,
+  // Two-tier selection: cheapest eligible variant inside the budget,
   // falling back to the cheapest eligible overall. Exact paths need no
   // margin; approximate paths must clear target + margin.
   PlanDecision best;
   bool found = false;
   bool best_in_budget = false;
-  for (QueryAlgo algo : kAll) {
-    const double recall = ExpectedRecall(algo, request);
+  // When the request pins a precision, the recall bar turns advisory:
+  // the cheapest answerable variant of that mode wins and the shortfall
+  // is reported in the reason.
+  PlanDecision fallback;
+  bool fallback_found = false;
+  for (const PlanVariant& variant : kVariants) {
+    if (!MatchesRequestedPrecision(variant.precision, request.precision)) {
+      continue;
+    }
+    const double recall = ExpectedRecall(variant.algo, variant.precision,
+                                         request);
+    const double cost =
+        ExpectedDotProducts(variant.algo, variant.precision, request);
+    if (request.precision != QueryPrecision::kAuto && recall > 0.0 &&
+        (!fallback_found || cost < fallback.expected_dot_products)) {
+      fallback.algorithm = variant.algo;
+      fallback.precision = variant.precision;
+      fallback.expected_dot_products = cost;
+      fallback.expected_recall = recall;
+      fallback_found = true;
+    }
     const double required =
         recall >= 1.0 ? request.recall_target
                       : request.recall_target + calibration_.recall_margin;
     if (recall < required) continue;
-    const double cost = ExpectedDotProducts(algo, request);
     const bool in_budget = cost <= budget;
     const bool better =
         !found ||
         (in_budget && !best_in_budget) ||
         (in_budget == best_in_budget && cost < best.expected_dot_products);
     if (better) {
-      best.algorithm = algo;
+      best.algorithm = variant.algo;
+      best.precision = variant.precision;
       best.expected_dot_products = cost;
       best.expected_recall = recall;
       found = true;
       best_in_budget = in_budget;
     }
   }
+  bool recall_shortfall = false;
+  if (!found && fallback_found) {
+    best = fallback;
+    found = true;
+    best_in_budget = best.expected_dot_products <= budget;
+    recall_shortfall = true;
+  }
   if (!found) {
-    // Unreachable: brute force has recall 1 and is always eligible. A
+    if (request.precision != QueryPrecision::kAuto) {
+      return Status::FailedPrecondition(
+          std::string("no calibrated ") +
+          std::string(QueryPrecisionName(request.precision)) +
+          " path can answer this request (uncalibrated engine or "
+          "unsupported query shape)");
+    }
+    // Unreachable: brute+exact has recall 1 and is always eligible. A
     // hot query path still reports the broken invariant as a Status
     // instead of aborting (ipslint: check-in-query).
-    return Status::Internal("planner found no eligible algorithm");
+    return Status::Internal("planner found no eligible variant");
   }
 
-  best.reason = std::string(QueryAlgoName(best.algorithm)) + ": ~" +
+  best.reason = VariantName(best.algorithm, best.precision) + ": ~" +
                 std::to_string(static_cast<std::size_t>(
                     best.expected_dot_products)) +
                 " dots at recall>=" + std::to_string(best.expected_recall);
+  if (recall_shortfall) {
+    best.reason += " (recall target " +
+                   std::to_string(request.recall_target) +
+                   " not met by the requested precision)";
+  }
   if (!best_in_budget) {
     best.reason += " (candidate budget " +
                    std::to_string(request.candidate_budget) + " exceeded)";

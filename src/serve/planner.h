@@ -3,21 +3,26 @@
 //
 // The cost-model planner behind the serving engine: given dataset
 // statistics and a per-request (k, recall target, candidate budget), it
-// picks the cheapest of the four answer paths expected to reach the
-// target. The choice is genuinely workload-dependent — the
+// picks the cheapest (algorithm, precision) variant expected to reach
+// the target. The choice is genuinely workload-dependent — the
 // Neyshabur–Srebro and Shrivastava ALSH analyses show the winner flips
 // with norm distribution and recall target — so the model is calibrated
 // from cheap micro-probes at engine warmup instead of hardcoded:
 //
-//   brute  : recall 1, cost n
-//   tree   : recall 1 (signed only), cost n * measured pruning fraction
-//   lsh    : measured probe recall, cost n * measured candidate fraction
-//   sketch : measured probe recall (unsigned k=1 only), cost ~ sketch rows
+//   brute+exact   : recall 1, cost n
+//   brute+quant   : measured rerank recall, cost n * quant ratio + survivors
+//   tree+exact    : recall 1 (signed only), cost n * pruning fraction
+//   lsh+exact     : measured probe recall, cost n * candidate fraction
+//   lsh+quant     : compounded recall, quantized verification of candidates
+//   sketch (§4.3) : measured argmax recall (unsigned k=1), cost ~ sketch rows
+//   sketch+filter : measured filter recall, cost n * filter ratio + survivors
 //
-// Eligible algorithms are those whose calibrated recall clears the
-// request's target plus a safety margin; among the eligible, the planner
-// returns the one with the fewest expected dot products (preferring ones
-// inside the request's candidate budget when it is set).
+// Eligible variants are those whose calibrated recall clears the
+// request's target plus a safety margin (exact paths need no margin);
+// among the eligible, the planner returns the one with the fewest
+// expected dot-equivalents (preferring ones inside the request's
+// candidate budget when it is set). An explicit request precision
+// restricts the enumeration to variants of that mode.
 
 #ifndef IPS_SERVE_PLANNER_H_
 #define IPS_SERVE_PLANNER_H_
@@ -62,6 +67,23 @@ struct PlannerCalibration {
   double sketch_recall = 0.0;
   /// Per-query sketch work in dot-equivalents.
   double sketch_cost = 0.0;
+  /// Measured recall@5 of the quantized-rerank scan on the probe
+  /// queries (intersection with the exact top-5, averaged).
+  double quant_recall = 0.0;
+  /// Billing rate of one int8 row estimate in exact-dot equivalents
+  /// (kQuantEstimateDotEquivalent; kept in the calibration so snapshots
+  /// pin the prices a warm start serves with).
+  double quant_cost_ratio = 0.25;
+  /// Measured recall@5 of the sketch-filtered scan on the probe queries.
+  double filter_recall = 0.0;
+  /// Cost of one CountSketch row estimate in exact-dot equivalents
+  /// (sketch_dim / d of the engine's filter).
+  double filter_cost_ratio = 1.0;
+  /// Survivor policy of the filtered scan, copied from the engine's
+  /// SketchFilterParams so expected costs price the same oversampling
+  /// the index actually runs.
+  double filter_survivor_multiplier = 16.0;
+  std::size_t filter_survivor_floor = 64;
   /// Probe queries the calibration averaged over (0 = uncalibrated:
   /// approximate paths are considered recall-0 and never selected).
   std::size_t probe_queries = 0;
@@ -75,22 +97,33 @@ class Planner {
  public:
   Planner(DatasetProfile profile, PlannerCalibration calibration);
 
-  /// Picks an algorithm for `request`. Failpoint: "serve/plan".
+  /// Picks an (algorithm, precision) variant for `request`. Failpoint:
+  /// "serve/plan". When `request.precision` is explicit the enumeration
+  /// is restricted to that mode and the recall bar becomes advisory —
+  /// the cheapest matching variant is returned with the shortfall noted
+  /// in the decision's reason.
   [[nodiscard]] StatusOr<PlanDecision> Plan(const QueryOptions& request) const;
 
-  /// Expected exact dot products if `algo` answered `request`; used for
-  /// A/B accounting by benches.
-  double ExpectedDotProducts(QueryAlgo algo,
+  /// Expected dot-equivalents if (`algo`, `precision`) answered
+  /// `request`; used for A/B accounting by benches. kAuto prices the
+  /// algorithm's native mode (exact for brute/tree/lsh, the argmax
+  /// descent or filtered scan for sketch).
+  double ExpectedDotProducts(QueryAlgo algo, QueryPrecision precision,
                              const QueryOptions& request) const;
+  double ExpectedDotProducts(QueryAlgo algo,
+                             const QueryOptions& request) const {
+    return ExpectedDotProducts(algo, QueryPrecision::kAuto, request);
+  }
 
   const DatasetProfile& profile() const { return profile_; }
   const PlannerCalibration& calibration() const { return calibration_; }
 
  private:
-  /// Calibrated recall the model expects of `algo` for `request`;
-  /// 0 when the path cannot answer the request at all (e.g. signed
-  /// queries on the sketch path).
-  double ExpectedRecall(QueryAlgo algo, const QueryOptions& request) const;
+  /// Calibrated recall the model expects of (`algo`, `precision`) for
+  /// `request`; 0 when the variant cannot answer the request at all
+  /// (e.g. signed queries on the sketch argmax path).
+  double ExpectedRecall(QueryAlgo algo, QueryPrecision precision,
+                        const QueryOptions& request) const;
 
   DatasetProfile profile_;
   PlannerCalibration calibration_;

@@ -1,0 +1,86 @@
+#include "sketch/filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/kernels.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+std::size_t ResolveBuckets(std::size_t requested, std::size_t dim) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(4, dim / 3);
+}
+
+}  // namespace
+
+Status ValidateFilterParams(const SketchFilterParams& params) {
+  if (params.copies < 1) {
+    return Status::InvalidArgument("filter copies must be >= 1, got " +
+                                   std::to_string(params.copies));
+  }
+  if (!std::isfinite(params.survivor_multiplier) ||
+      params.survivor_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "filter survivor_multiplier must be >= 1, got " +
+        std::to_string(params.survivor_multiplier));
+  }
+  return Status::Ok();
+}
+
+InnerProductFilter::InnerProductFilter(const Matrix& data,
+                                       const SketchFilterParams& params,
+                                       Rng* rng)
+    : input_dim_(data.cols()),
+      buckets_(ResolveBuckets(params.buckets, data.cols())),
+      params_(params) {
+  IPS_CHECK(rng != nullptr);
+  IPS_CHECK(!data.empty());
+  IPS_CHECK(ValidateFilterParams(params).ok());
+  copies_.reserve(params_.copies);
+  for (std::size_t c = 0; c < params_.copies; ++c) {
+    copies_.emplace_back(input_dim_, buckets_, rng);
+  }
+  const std::size_t sketch_dim = buckets_ * params_.copies;
+  Matrix sketched(data.rows(), sketch_dim);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    std::span<double> out = sketched.Row(r);
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      const std::vector<double> y = copies_[c].Apply(data.Row(r));
+      std::copy(y.begin(), y.end(), out.begin() + c * buckets_);
+    }
+  }
+  sketched_ = std::move(sketched);
+}
+
+std::vector<double> InnerProductFilter::SketchQuery(
+    std::span<const double> q) const {
+  IPS_DCHECK(q.size() == input_dim_);
+  std::vector<double> out(sketch_dim());
+  const double inv_copies = 1.0 / static_cast<double>(copies_.size());
+  for (std::size_t c = 0; c < copies_.size(); ++c) {
+    const std::vector<double> y = copies_[c].Apply(q);
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      out[c * buckets_ + b] = y[b] * inv_copies;
+    }
+  }
+  return out;
+}
+
+void InnerProductFilter::EstimateAll(std::span<const double> sketched_query,
+                                     std::span<double> out) const {
+  IPS_DCHECK(sketched_query.size() == sketch_dim());
+  kernels::MatVec(sketched_, sketched_query, out);
+}
+
+void InnerProductFilter::EstimateGathered(
+    std::span<const double> sketched_query,
+    std::span<const std::size_t> indices, std::span<double> out) const {
+  IPS_DCHECK(sketched_query.size() == sketch_dim());
+  kernels::GatherScores(sketched_, indices, sketched_query, out);
+}
+
+}  // namespace ips

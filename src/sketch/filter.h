@@ -1,0 +1,106 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Dimension-axis CountSketch inner-product filter, after
+// Pagh-Sivertsen's inner-product filters (arXiv:1909.10766): sketch
+// every data row p_i once into m << d buckets (S p_i) and estimate
+// <p_i, q> as the average of <S_c p_i, S_c q> over independent copies
+// S_c. CountSketch is linear and self-adjoint in expectation
+// (E[<Sp, Sq>] = <p, q>, Var <= ||p||^2 ||q||^2 / m), so the estimate
+// pass costs sketch_dim()/d of an exact scan and feeds the two-stage
+// scorer: rank all rows by the estimate, keep an oversampled survivor
+// set, re-rank survivors with exact dots (core/top_k.h).
+//
+// This is the *filter* counterpart of the Section 4.3 argmax machinery
+// in sketch_mips.h — same CountSketch building block, applied across
+// the dimension axis (R^d -> R^m per row) instead of across the data
+// axis (R^n -> R^m per coordinate of A q).
+
+#ifndef IPS_SKETCH_FILTER_H_
+#define IPS_SKETCH_FILTER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "rng/random.h"
+#include "sketch/count_sketch.h"
+#include "util/status.h"
+
+namespace ips {
+
+/// Tuning of the inner-product filter.
+struct SketchFilterParams {
+  /// Buckets per copy; 0 = auto (max(4, dim / 3), a ~3x cheaper
+  /// estimate pass at default settings).
+  std::size_t buckets = 0;
+  /// Independent CountSketch copies averaged per estimate. More copies
+  /// cut the estimator variance by 1/copies at proportional cost.
+  std::size_t copies = 1;
+  /// Survivor set size for top-k re-ranking: max(k * multiplier,
+  /// floor), clamped to [k, n]. Oversampling is what turns a noisy
+  /// estimator into high top-k recall.
+  double survivor_multiplier = 16.0;
+  std::size_t survivor_floor = 64;
+};
+
+/// Validates filter parameters (copies >= 1, multiplier >= 1, finite).
+[[nodiscard]] Status ValidateFilterParams(const SketchFilterParams& params);
+
+/// Immutable filter over a fixed data matrix: per-row sketches plus the
+/// estimate kernels. Thread-safe for concurrent reads after
+/// construction (no mutable state).
+class InnerProductFilter {
+ public:
+  /// Sketches every row of `data`. Preconditions (validated params,
+  /// non-empty finite data, non-null rng) are IPS_CHECKed; callers sit
+  /// behind the index Create factories.
+  InnerProductFilter(const Matrix& data, const SketchFilterParams& params,
+                     Rng* rng);
+
+  std::size_t rows() const { return sketched_.rows(); }
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t buckets_per_copy() const { return buckets_; }
+  std::size_t sketch_dim() const { return sketched_.cols(); }
+  const SketchFilterParams& params() const { return params_; }
+
+  /// Cost of one estimate relative to one exact d-dimensional dot:
+  /// sketch_dim / d. The planner prices the filter scan with this.
+  double CostRatio() const {
+    return static_cast<double>(sketch_dim()) /
+           static_cast<double>(input_dim_);
+  }
+
+  /// Sketches a query (concatenated copy outputs, pre-divided by the
+  /// copy count so one plain dot against a sketched row is the
+  /// averaged estimate).
+  std::vector<double> SketchQuery(std::span<const double> q) const;
+
+  /// out[r] = estimated <data row r, q> for every row, given the
+  /// sketched query. One dispatched MatVec over the sketched matrix.
+  void EstimateAll(std::span<const double> sketched_query,
+                   std::span<double> out) const;
+
+  /// out[j] = estimated score of data row indices[j] (LSH candidate
+  /// pruning).
+  void EstimateGathered(std::span<const double> sketched_query,
+                        std::span<const std::size_t> indices,
+                        std::span<double> out) const;
+
+  /// Bytes held by the sketched rows (footprint diagnostic).
+  std::size_t MemoryBytes() const {
+    return sketched_.rows() * sketched_.cols() * sizeof(double);
+  }
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::size_t buckets_ = 0;
+  SketchFilterParams params_;
+  std::vector<CountSketch> copies_;
+  Matrix sketched_;  // rows x sketch_dim, row-major
+};
+
+}  // namespace ips
+
+#endif  // IPS_SKETCH_FILTER_H_

@@ -144,7 +144,7 @@ TEST_F(BatchEquivalenceTest, Lsh) {
 TEST_F(BatchEquivalenceTest, Sketch) {
   Rng rng(59);
   SketchMipsParams params;
-  const SketchIndex index(data_, params, &rng);
+  const SketchIndex index(data_, SketchConfig{params, {}}, &rng);
   QueryOptions options;
   options.k = 1;
   options.is_signed = false;  // the Section 4.3 argmax path is unsigned
@@ -215,14 +215,20 @@ TEST_F(BatchEquivalenceTest, PathRestrictionsMatchPerQueryBehavior) {
   EXPECT_EQ(tree_result.status().code(), StatusCode::kInvalidArgument);
 
   SketchMipsParams params;
-  const SketchIndex sketch(data_, params, &rng);
-  QueryOptions signed_options;
-  signed_options.is_signed = true;
-  EXPECT_FALSE(sketch.BatchQuery(queries_, signed_options).ok());
+  const SketchIndex sketch(data_, SketchConfig{params, {}}, &rng);
+  // Signed and k>1 shapes now run the filtered scan; what the sketch
+  // index rejects are the precisions it cannot honor.
+  QueryOptions exact;
+  exact.precision = QueryPrecision::kExact;
+  EXPECT_FALSE(sketch.BatchQuery(queries_, exact).ok());
+  QueryOptions quant;
+  quant.precision = QueryPrecision::kQuantizedRerank;
+  EXPECT_FALSE(sketch.BatchQuery(queries_, quant).ok());
   QueryOptions top5;
   top5.is_signed = false;
   top5.k = 5;
-  EXPECT_FALSE(sketch.BatchQuery(queries_, top5).ok());
+  EXPECT_TRUE(sketch.BatchQuery(queries_, top5).ok());
+  ExpectBatchEqualsPerQuery(sketch, queries_, top5);
 }
 
 TEST_F(BatchEquivalenceTest, BatchSharesOneTrace) {

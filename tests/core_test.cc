@@ -137,7 +137,7 @@ TEST_F(IndexAgreementTest, SketchIndexAnswersUnsignedOnly) {
   Rng rng(23);
   SketchMipsParams params;
   params.copies = 5;
-  const SketchIndex index(data_, params, &rng);
+  const SketchIndex index(data_, SketchConfig{params, {}}, &rng);
   JoinSpec spec;
   spec.s = 0.1;
   spec.c = 0.5;

@@ -520,10 +520,13 @@ TEST(BucketJoinTest, DeduplicatesPairsAcrossTablesBeforeVerification) {
 
   // With 8 near-identical tables, cross-table repeats are guaranteed.
   EXPECT_GT(result.metrics.Get("lsh.join.duplicate_pairs"), 0u);
-  // The accounting identity of the dedup pass.
+  // The accounting identity of the dedup + quantized-prefilter passes:
+  // every candidate pair is either a repeat, skipped by the lossless
+  // int8 bound, or verified exactly.
   EXPECT_EQ(result.metrics.Get("lsh.join.candidate_pairs"),
             result.metrics.Get("lsh.join.verified_pairs") +
-                result.metrics.Get("lsh.join.duplicate_pairs"));
+                result.metrics.Get("lsh.join.duplicate_pairs") +
+                result.metrics.Get("lsh.join.pairs_prefiltered"));
   // Each pair verified at most once: verified count is bounded by the
   // number of distinct (query, data) pairs.
   EXPECT_LE(result.metrics.Get("lsh.join.verified_pairs"),

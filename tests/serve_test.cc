@@ -172,11 +172,22 @@ TEST(EngineTest, ForcedAlgorithmRespectsCapabilities) {
   request.force_algorithm = QueryAlgo::kBallTree;
   EXPECT_FALSE((*engine)->Query(q, request).ok());  // tree is signed-only
   request.force_algorithm = QueryAlgo::kSketch;
-  EXPECT_FALSE((*engine)->Query(q, request).ok());  // sketch is k=1 only
+  // k=3 unsigned now runs the sketch index's filtered scan; what the
+  // sketch path cannot honor is exact (or quantized) precision.
+  const auto filtered = (*engine)->Query(q, request);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_EQ(filtered->stats.algorithm, QueryAlgo::kSketch);
+  EXPECT_GT(filtered->stats.candidates_pruned, 0u);
+  request.precision = QueryPrecision::kExact;
+  EXPECT_FALSE((*engine)->Query(q, request).ok());
+  request.precision = QueryPrecision::kAuto;
   request.k = 1;
   const auto sketch = (*engine)->Query(q, request);
   ASSERT_TRUE(sketch.ok());
   EXPECT_EQ(sketch->stats.algorithm, QueryAlgo::kSketch);
+  // Unsigned k=1 with kAuto takes the §4.3 argmax descent: no pruning
+  // bookkeeping, exactly one recovered candidate re-scored.
+  EXPECT_EQ(sketch->stats.candidates_pruned, 0u);
 }
 
 TEST(EngineTest, ForcedPathsAgreeWithBruteForceAtFullRecall) {

@@ -259,11 +259,12 @@ TEST_F(ShardedTest, UniformFailureCodePropagatesUnchanged) {
   options.num_shards = 2;
   const auto engine = ShardedEngine::Create(data, options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-  // A forced sketch path rejects signed requests on *every* shard with
-  // kInvalidArgument; the uniform code surfaces unchanged rather than
-  // hiding behind a generic kUnavailable summary.
+  // A forced sketch path rejects exact-precision requests on *every*
+  // shard with kInvalidArgument; the uniform code surfaces unchanged
+  // rather than hiding behind a generic kUnavailable summary.
   QueryOptions request;
   request.force_algorithm = QueryAlgo::kSketch;
+  request.precision = QueryPrecision::kExact;
   const auto result = (*engine)->Query(std::vector<double>(6, 0.1), request);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
