@@ -1,28 +1,35 @@
 #!/usr/bin/env bash
 # Full robustness gate: build and run the test suite (1) plain,
-# (2) under ASan+UBSan, and (3) under TSan for the concurrency-heavy
-# targets (util_test exercises the exception-safe ThreadPool/ParallelFor,
-# obs_test the sharded metrics registry, chaos_test the failpoint and
-# cancellation machinery). The plain pass also smoke-tests the metrics
-# export pipeline: serve_quickstart writes the registry as JSON and
-# tools/metrics_json_check validates its structure.
+# (2) under ASan+UBSan, (3) under UBSan alone (with examples on, so the
+# serve path runs sanitized end to end), and (4) under TSan for the
+# concurrency-heavy targets (util_test exercises the exception-safe
+# ThreadPool/ParallelFor, obs_test the sharded metrics registry,
+# chaos_test the failpoint and cancellation machinery). The plain pass
+# also smoke-tests the metrics export pipeline: serve_quickstart writes
+# the registry as JSON and tools/metrics_json_check validates its
+# structure.
 #
 # The `static` mode is the compile-time leg (DESIGN.md §9): the project
-# linter (tools/ipslint) over every source tree, the [[nodiscard]]
+# linter/analyzer (tools/ipslint — table rules plus the layering,
+# lock-order, and failpoint-coverage passes), the [[nodiscard]]
 # contract via the plain -Werror build, and — when clang++/clang-tidy
 # are installed — clang's -Wthread-safety race analysis and the curated
-# .clang-tidy set. The clang legs print a SKIPPED notice when the tools
-# are absent so the mode degrades gracefully on gcc-only machines (CI
-# installs clang and runs all four legs).
+# .clang-tidy set. It ends with a per-leg summary table; the clang legs
+# print a SKIPPED notice when the tools are absent so the mode degrades
+# gracefully on gcc-only machines (CI installs clang and runs all
+# four legs).
 #
 #   $ scripts/check.sh            # everything
 #   $ scripts/check.sh plain      # just the plain build + tests
 #   $ scripts/check.sh asan|tsan  # a single sanitizer pass
+#   $ scripts/check.sh ubsan      # UBSan alone (catches UB that ASan's
+#                                 # combined leg can mask, and runs the
+#                                 # benches/examples that leg skips)
 #   $ scripts/check.sh chaos      # failure-injection suites under TSan
 #   $ scripts/check.sh scalar     # full suite with IPS_FORCE_SCALAR=1
 #   $ scripts/check.sh storage    # snapshot suite under ASan + warm-start gate
 #   $ scripts/check.sh quant      # int8 parity suite (both dispatches) + bench gate
-#   $ scripts/check.sh static     # ipslint + nodiscard + clang analyses
+#   $ scripts/check.sh static     # ipslint passes + nodiscard + clang analyses
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,6 +52,21 @@ run_asan() {
     -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-asan -j"$JOBS"
   (cd build-asan && ctest --output-on-failure -j"$JOBS")
+}
+
+run_ubsan() {
+  # UBSan on its own: -fno-sanitize-recover=all turns any UB (signed
+  # overflow, misaligned load, bad shift, out-of-range double->int) into
+  # a hard failure. Unlike the ASan leg this one keeps benchmarks and
+  # examples ON, so the kernel dispatch and serve paths run under UBSan
+  # at full width too.
+  echo "=== UBSan build + full test suite ==="
+  cmake -B build-ubsan -S . -DIPS_SANITIZE=undefined \
+    -DIPS_BUILD_BENCHMARKS=OFF -DIPS_BUILD_EXAMPLES=ON >/dev/null
+  cmake --build build-ubsan -j"$JOBS"
+  (cd build-ubsan && ctest --output-on-failure -j"$JOBS")
+  echo "=== UBSan serve quickstart ==="
+  ./build-ubsan/examples/serve_quickstart
 }
 
 run_tsan() {
@@ -126,15 +148,22 @@ run_quant() {
 }
 
 run_static() {
-  echo "=== static analysis: ipslint (project rules) ==="
+  # Each leg records a row for the summary table printed at the end.
+  STATIC_SUMMARY=""
+  static_row() { STATIC_SUMMARY+=$(printf '%-22s %s' "$1" "$2")$'\n'; }
+
+  echo "=== static analysis: ipslint (rules + layering + lock-order + failpoint-coverage) ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j"$JOBS" --target ipslint
+  # ipslint prints its own per-pass table; it exits nonzero on findings.
   ./build/tools/ipslint
+  static_row "ipslint (4 passes)" "clean"
 
   echo "=== static analysis: [[nodiscard]] contract (-Werror build) ==="
   # Status/StatusOr and every factory/query entry point are [[nodiscard]];
   # the tree-wide -Wall -Wextra -Werror build is the enforcement.
   cmake --build build -j"$JOBS"
+  static_row "nodiscard (-Werror)" "clean"
 
   if command -v clang++ >/dev/null 2>&1; then
     echo "=== static analysis: clang -Wthread-safety ==="
@@ -145,8 +174,10 @@ run_static() {
       -DCMAKE_CXX_COMPILER=clang++ \
       -DIPS_BUILD_BENCHMARKS=OFF >/dev/null
     cmake --build build-static -j"$JOBS"
+    static_row "clang -Wthread-safety" "clean"
   else
     echo "=== static analysis: clang -Wthread-safety SKIPPED (no clang++ on PATH) ==="
+    static_row "clang -Wthread-safety" "SKIPPED (no clang++)"
   fi
 
   if command -v clang-tidy >/dev/null 2>&1 && command -v clang++ >/dev/null 2>&1; then
@@ -156,22 +187,30 @@ run_static() {
       -DIPS_CLANG_TIDY=ON \
       -DIPS_BUILD_BENCHMARKS=OFF >/dev/null
     cmake --build build-tidy -j"$JOBS"
+    static_row "clang-tidy" "clean"
   else
     echo "=== static analysis: clang-tidy SKIPPED (clang-tidy or clang++ not on PATH) ==="
+    static_row "clang-tidy" "SKIPPED (no clang-tidy)"
   fi
+
+  echo "=== static analysis summary ==="
+  printf '%-22s %s\n' "leg" "status"
+  printf '%-22s %s\n' "---" "------"
+  printf '%s' "$STATIC_SUMMARY"
 }
 
 case "$MODE" in
   plain)  run_plain ;;
   asan)   run_asan ;;
   tsan)   run_tsan ;;
+  ubsan)  run_ubsan ;;
   chaos)  run_chaos ;;
   scalar) run_scalar ;;
   storage) run_storage ;;
   quant)  run_quant ;;
   static) run_static ;;
-  all)    run_plain; run_scalar; run_asan; run_tsan; run_storage; run_quant; run_static ;;
-  *) echo "usage: $0 [plain|asan|tsan|chaos|scalar|storage|quant|static|all]" >&2; exit 2 ;;
+  all)    run_plain; run_scalar; run_asan; run_tsan; run_ubsan; run_storage; run_quant; run_static ;;
+  *) echo "usage: $0 [plain|asan|tsan|ubsan|chaos|scalar|storage|quant|static|all]" >&2; exit 2 ;;
 esac
 
 echo "all checks passed"

@@ -22,6 +22,12 @@
 // which the LSH bucket join uses to skip exact verification *losslessly*
 // (skip only when est + bound < cs). Top-k paths instead oversample
 // survivors and re-rank exactly; see core/top_k.h.
+//
+// Thread-safety: lock-free by construction (audited, ipslint
+// lock-order pass). QuantizedMatrix holds no mutable shared state —
+// Quantize() fills it once, every accessor is const, and concurrent
+// scoring threads only read; QuantizedVector is a value type. No
+// IPS_GUARDED_BY members are needed here.
 
 #ifndef IPS_LINALG_QUANTIZED_H_
 #define IPS_LINALG_QUANTIZED_H_

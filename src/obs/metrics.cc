@@ -355,6 +355,9 @@ StatusOr<std::string> MetricsRegistry::ExportJson() const {
 
 TablePrinter MetricsRegistry::ToTable() const {
   TablePrinter table({"metric", "type", "value"});
+  // Holds the registry lock across Counter::Value()/Histogram::Count(),
+  // which take the per-metric mutexes: the IPS_ACQUIRED_BEFORE order
+  // declared on mutex_ (metrics.h). Never export under a metric lock.
   MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     table.AddRow({name, "counter", Format(counter->Value())});

@@ -196,7 +196,10 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable Mutex mutex_;  // guards the name maps only
+  // Guards the name maps only. Export/ToTable/Reset read family values
+  // while holding it, so it is ordered before the per-metric mutexes
+  // (cross-function nesting ipslint cannot observe lexically).
+  mutable Mutex mutex_ IPS_ACQUIRED_BEFORE(Counter::mutex_, Histogram::mutex_);
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       IPS_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

@@ -114,6 +114,10 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
   pending.promise = std::move(promise);
 
   {
+    // Counter::Increment can take Counter::mutex_ (first touch per
+    // thread) under the scheduler lock — the order declared on mutex_
+    // in the header. Nothing may call back into the scheduler from a
+    // metric lock.
     MutexLock lock(mutex_);
     ++counters_.submitted;
     metrics.submitted->Increment();

@@ -141,7 +141,10 @@ class BatchScheduler {
   BatchSchedulerOptions options_;
   ThreadPool pool_;
 
-  mutable Mutex mutex_;
+  // Submit/RunBatch bump serve metrics while holding it (a Counter's
+  // first touch per thread takes Counter::mutex_ inside Add), so the
+  // scheduler lock is ordered before the metric lock.
+  mutable Mutex mutex_ IPS_ACQUIRED_BEFORE(Counter::mutex_);
   CondVar work_available_;
   CondVar queue_drained_;
   std::deque<Pending> queue_ IPS_GUARDED_BY(mutex_);

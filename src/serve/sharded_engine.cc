@@ -574,6 +574,9 @@ void ShardedEngine::OnShardSuccess(Shard& shard, double seconds_per_query,
       ++shard.latency_count;
     }
   }
+  // Outside the breaker lock on purpose: metrics tolerate a racing
+  // reader, and the shard.mutex -> Counter::mutex_ order (header) stays
+  // a declaration, not a hot-path dependency.
   if (recovered) recoveries->Increment();
 }
 

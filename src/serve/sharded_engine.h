@@ -179,7 +179,11 @@ class ShardedEngine : public QueryEngine {
     std::unique_ptr<Engine> engine;
     std::size_t offset = 0;
 
-    mutable Mutex mutex;
+    // OnShardSuccess/OnShardFailure release it *before* bumping breaker
+    // counters (metrics are not latency-critical), but the declared
+    // order keeps a future under-lock increment from deadlocking
+    // against a metric export.
+    mutable Mutex mutex IPS_ACQUIRED_BEFORE(Counter::mutex_);
     // Circuit breaker (consecutive-failure trip, half-open probe).
     std::size_t consecutive_failures IPS_GUARDED_BY(mutex) = 0;
     bool open IPS_GUARDED_BY(mutex) = false;

@@ -14,6 +14,12 @@
 //
 // Failpoints: "storage/open-write", "storage/write", "storage/rename",
 // "storage/open-read", "storage/read", "storage/mmap".
+//
+// Thread-safety: no locks by design (audited, ipslint lock-order
+// pass). FileWriter is single-owner (one thread builds one snapshot);
+// FileReader's pread-based ReadAt keeps no cursor, so concurrent reads
+// of disjoint ranges through one reader are safe; MappedFile is
+// immutable after Open.
 
 #ifndef IPS_STORAGE_FILE_H_
 #define IPS_STORAGE_FILE_H_

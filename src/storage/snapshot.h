@@ -16,6 +16,14 @@
 // the subheader and the section CRC stays a single forward pass. The
 // payload starts 64-byte aligned, so MappedSnapshot::MapMatrixSection
 // can serve the doubles zero-copy through Matrix::View.
+//
+// Thread-safety: deliberately lock-free (audited, ipslint lock-order
+// pass). SnapshotWriter/SnapshotReader and the Matrix helpers are
+// single-owner value types — writer state (open section, running CRC,
+// offsets) is confined to the constructing thread, never shared, so
+// there is nothing for IPS_GUARDED_BY to guard. MappedSnapshot is
+// immutable after Map() and safe to share across threads via
+// shared_ptr (how ShardedEngine hands one snapshot to every shard).
 
 #ifndef IPS_STORAGE_SNAPSHOT_H_
 #define IPS_STORAGE_SNAPSHOT_H_

@@ -26,6 +26,13 @@
 //   Failpoints::Arm("serve/shard/slow", Status::Internal("..."),
 //                   FireWithProb{0.25});    // each hit fires w.p. 0.25,
 //                                           // deterministic per seed
+//
+// Coverage contract (ipslint failpoint-coverage pass): every literal
+// site name in src/ must be armed somewhere in tests/chaos_test.cc —
+// an injection point nobody ever fires is dead, untested error
+// handling. Adding a site therefore means adding a chaos test (or, for
+// a site that genuinely cannot fire under test, a one-line
+// `// ipslint:allow(failpoint-coverage)` with a reason).
 
 #ifndef IPS_UTIL_FAILPOINT_H_
 #define IPS_UTIL_FAILPOINT_H_

@@ -86,6 +86,19 @@
 #define IPS_NO_THREAD_SAFETY_ANALYSIS \
   IPS_THREAD_ANNOTATION__(no_thread_safety_analysis)
 
+/// Declared lock ordering, on a mutex member: this mutex is acquired
+/// before the named ones (`IPS_ACQUIRED_BEFORE(Counter::mutex_)`), or
+/// after (`IPS_ACQUIRED_AFTER`). Consumed by ipslint's lock-order pass
+/// (tools/ipslint_analysis.h), which merges these declared edges with
+/// the lexically observed acquisition graph and fails on any cycle —
+/// which is why these expand to nothing under every compiler: clang's
+/// own acquired_before attribute is beta-gated and cannot name a
+/// private member of another class, and the arguments here routinely
+/// do (`Counter::mutex_`). Arguments are identifiers, not strings, so
+/// they survive the linter's string-stripping and stay greppable.
+#define IPS_ACQUIRED_BEFORE(...)  // lock-order fact; checked by ipslint
+#define IPS_ACQUIRED_AFTER(...)   // lock-order fact; checked by ipslint
+
 namespace ips {
 
 /// std::mutex with a capability annotation, so IPS_GUARDED_BY members

@@ -645,6 +645,39 @@ TEST_F(ChaosTest, CircuitBreakerTripsSkipsAndRecovers) {
             ShardedEngine::BreakerState::kClosed);
 }
 
+TEST_F(ChaosTest, SlowShardStragglerIsHedgedAroundNotFailed) {
+  Rng rng(37);
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.hedge.min_samples = 1;
+  options.hedge.latency_factor = 0.5;
+  options.hedge.chaos_slow_seconds = 0.05;
+  const auto engine = MakeShardedFixture(&rng, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  QueryOptions request;
+  request.k = 3;
+  request.deadline_seconds = 0.01;
+  const std::vector<double> q(6, 0.1);
+  // A straggling shard is a *slowness* fault, not a failure: the 50 ms
+  // injected stall blows the 5 ms shard budget, so after one observed
+  // stall the predictor routes shard 0 through the hedge fallback —
+  // answers stay whole, nothing is marked failed, no breaker trips.
+  Failpoints::Arm("serve/shard/slow", Status::Internal("straggler"),
+                  FireEvery{1});
+  const auto first = (*engine)->Query(q, request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const auto hedged = (*engine)->Query(q, request);
+  ASSERT_TRUE(hedged.ok()) << hedged.status().ToString();
+  EXPECT_GE(hedged->stats.shards_hedged, 1u);
+  EXPECT_FALSE(hedged->partial);
+  EXPECT_EQ(hedged->stats.shards_failed, 0u);
+  Failpoints::DisarmAll();
+  // Stall cleared: the fleet serves un-hedged again once the latency
+  // window drains the stalled samples out.
+  EXPECT_EQ((*engine)->breaker_state(0), ShardedEngine::BreakerState::kClosed);
+  EXPECT_EQ((*engine)->breaker_state(1), ShardedEngine::BreakerState::kClosed);
+}
+
 TEST_F(ChaosTest, ShardBuildFailpointFailsCreateThenRecovers) {
   Rng rng(21);
   const Matrix data = MakeUnitBallGaussian(64, 6, 0.9, &rng);

@@ -1,18 +1,23 @@
 // Copyright 2026 The ipsjoin Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// Tests for the project linter (tools/ipslint): rule-table parsing,
-// comment/string stripping, path scoping, the allow-comment escape
-// hatch, and the built-in stale-allow rule. The known-bad snippets are
-// fed through LintText directly, so nothing here depends on the
-// filesystem layout of the build.
+// Tests for the project linter/analyzer (tools/ipslint): rule-table
+// parsing, comment/string stripping, path scoping, the allow-comment
+// escape hatch, the built-in stale-allow rule, and the three
+// whole-program passes (layering, lock-order, failpoint-coverage) —
+// each proven to fire on a planted violation and to stay quiet on the
+// benign twin. The known-bad snippets are fed through LintText /
+// Analyze* directly, so only the tree-wide clean-on-HEAD tests touch
+// the real checkout (via IPS_REPO_ROOT).
 
 #include "ipslint_lib.h"
 
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "ipslint_analysis.h"
 
 namespace ips {
 namespace lint {
@@ -247,6 +252,362 @@ TEST(SplitCodeAndComments, TracksMultiLineConstructs) {
   EXPECT_EQ(code[1].find("tail"), std::string::npos);
   EXPECT_NE(comments[0].find("span"), std::string::npos);
   EXPECT_NE(comments[1].find("tail"), std::string::npos);
+}
+
+TEST(SplitCodeAndComments, StringsChannelIsColumnAligned) {
+  // The whole-program passes read literals (#include paths, failpoint
+  // names) by merging the code line with its column-aligned string
+  // contents.
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+  std::vector<std::string> strings;
+  internal::SplitCodeAndComments("IPS_FAILPOINT(\"io/read\");  // x\n", &code,
+                                 &comments, &strings);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NE(strings[0].find("io/read"), std::string::npos);
+  EXPECT_EQ(code[0].find("io/read"), std::string::npos);
+  const std::string merged =
+      internal::MergeCodeAndStrings(code[0], strings[0]);
+  // Merged text keeps the call shape with the literal readable inside.
+  EXPECT_NE(merged.find("IPS_FAILPOINT"), std::string::npos);
+  EXPECT_NE(merged.find("io/read"), std::string::npos);
+}
+
+TEST(ParseRules, RejectsReservedPassNames) {
+  for (const std::string_view name :
+       {kLayeringRule, kLockOrderRule, kFailpointCoverageRule}) {
+    EXPECT_TRUE(IsBuiltinRule(name));
+    const auto rules = ParseRules(Row(std::string(name), "-", "-", "a", "m"));
+    ASSERT_FALSE(rules.ok());
+    EXPECT_NE(rules.status().message().find("reserved"), std::string::npos);
+  }
+}
+
+TEST(Lint, AllowCommentNamingAPassIsNotStale) {
+  // `ipslint:allow(lock-order)` names a built-in pass, not a table rule;
+  // the stale-allow check must know the pass names.
+  EXPECT_TRUE(
+      RunLint("src/a.cc", "int x;  // ipslint:allow(lock-order)\n").empty());
+}
+
+// --- Layering -------------------------------------------------------------
+
+TEST(LayerTable, ParsesAndClosesTransitively) {
+  const auto table = ParseLayerTable("util\t-\nrng\tutil\nlinalg\trng\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->order, (std::vector<std::string>{"util", "rng", "linalg"}));
+  EXPECT_TRUE(table->closure.at("linalg").count("util"));  // via rng
+  EXPECT_FALSE(table->closure.at("util").count("rng"));
+}
+
+TEST(LayerTable, RejectsForwardReferenceSoCyclesCannotBeDeclared) {
+  // A dependency cycle would need at least one forward reference, which
+  // the topological-order rule rejects.
+  const auto table = ParseLayerTable("util\trng\nrng\tutil\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("not declared above"),
+            std::string::npos);
+  EXPECT_FALSE(ParseLayerTable("util\tutil\n").ok());       // self-dep
+  EXPECT_FALSE(ParseLayerTable("util\t-\nutil\t-\n").ok()); // duplicate
+  EXPECT_FALSE(ParseLayerTable("util -\n").ok());           // no TAB
+}
+
+TEST(Layering, PlantedBackEdgeIsReportedAsCycle) {
+  const auto table = ParseLayerTable("util\t-\nobs\tutil\n");
+  ASSERT_TRUE(table.ok());
+  const std::vector<SourceFile> files = {
+      {"src/util/check.h", "#include \"obs/metrics.h\"\n"},
+      {"src/obs/metrics.h", "#include \"util/check.h\"\n"},  // legal
+  };
+  const auto report = AnalyzeLayering(*table, files);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/util/check.h");
+  EXPECT_EQ(report.findings[0].line, 1u);
+  EXPECT_EQ(report.findings[0].rule, kLayeringRule);
+  EXPECT_NE(report.findings[0].message.find("cycle"), std::string::npos);
+  EXPECT_EQ(report.files_checked, 2u);
+}
+
+TEST(Layering, UndeclaredDependencyIsReportedAsMissingDeclaration) {
+  const auto table = ParseLayerTable("util\t-\nrng\tutil\nobs\tutil\n");
+  ASSERT_TRUE(table.ok());
+  // rng -> obs is no cycle (obs does not depend on rng), just undeclared.
+  const std::vector<SourceFile> files = {
+      {"src/rng/random.cc", "#include \"obs/metrics.h\"\n"},
+  };
+  const auto report = AnalyzeLayering(*table, files);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("undeclared"), std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("rng -> obs"), std::string::npos);
+}
+
+TEST(Layering, AllowCommentAndNonLayerIncludesAreQuiet) {
+  const auto table = ParseLayerTable("util\t-\nobs\tutil\n");
+  ASSERT_TRUE(table.ok());
+  const std::vector<SourceFile> files = {
+      {"src/util/check.h",
+       "#include <vector>\n"
+       "#include \"gtest/gtest.h\"\n"
+       "#include \"obs/metrics.h\"  // ipslint:allow(layering)\n"},
+  };
+  const auto report = AnalyzeLayering(*table, files);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+// --- Lock order -----------------------------------------------------------
+
+constexpr const char* kTwoMutexStruct =
+    "struct S {\n"
+    "  Mutex a;\n"
+    "  Mutex b;\n"
+    "};\n";
+
+TEST(LockOrder, PlantedAbBaCycleIsAPotentialDeadlock) {
+  const std::vector<SourceFile> files = {
+      {"src/x/s.h", kTwoMutexStruct},
+      {"src/x/f.cc",
+       "void F(S& s) {\n"
+       "  MutexLock la(s.a);\n"
+       "  MutexLock lb(s.b);\n"
+       "}\n"
+       "void G(S& s) {\n"
+       "  MutexLock lb(s.b);\n"
+       "  MutexLock la(s.a);\n"
+       "}\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, kLockOrderRule);
+  EXPECT_NE(report.findings[0].message.find("S::a -> S::b"),
+            std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("S::b -> S::a"),
+            std::string::npos);
+  EXPECT_EQ(report.edges, 2u);
+}
+
+TEST(LockOrder, ConsistentNestingIsClean) {
+  const std::vector<SourceFile> files = {
+      {"src/x/s.h", kTwoMutexStruct},
+      {"src/x/f.cc",
+       "void F(S& s) { MutexLock la(s.a); MutexLock lb(s.b); }\n"
+       "void G(S& s) { MutexLock la(s.a); MutexLock lb(s.b); }\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.edges, 1u);  // a -> b, observed twice
+}
+
+TEST(LockOrder, ObservedNestingContradictingDeclaredOrderIsACycle) {
+  const std::vector<SourceFile> files = {
+      {"src/x/c.h",
+       "class C {\n"
+       "  Mutex a_ IPS_ACQUIRED_BEFORE(b_);\n"
+       "  Mutex b_;\n"
+       "};\n"},
+      {"src/x/c.cc",
+       "void C::F() {\n"
+       "  MutexLock lb(b_);\n"
+       "  MutexLock la(a_);\n"
+       "}\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("C::a_"), std::string::npos);
+  EXPECT_NE(report.findings[0].message.find("C::b_"), std::string::npos);
+}
+
+TEST(LockOrder, AcquiredAfterDeclaresTheReverseEdge) {
+  // BEFORE on one member and AFTER on the other describe the same
+  // order; saying both is consistent, not a cycle.
+  const std::vector<SourceFile> files = {
+      {"src/x/c.h",
+       "class C {\n"
+       "  Mutex a_ IPS_ACQUIRED_BEFORE(b_);\n"
+       "  Mutex b_ IPS_ACQUIRED_AFTER(a_);\n"
+       "};\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.edges, 1u);
+}
+
+TEST(LockOrder, SelfNestingIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/x/s.h", kTwoMutexStruct},
+      {"src/x/f.cc",
+       "void F(S& s, S& t) {\n"
+       "  MutexLock ls(s.a);\n"
+       "  MutexLock lt(t.a);\n"
+       "}\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("already"), std::string::npos);
+  EXPECT_EQ(report.findings[0].line, 3u);
+}
+
+TEST(LockOrder, LambdaBodiesAreBarriers) {
+  // The callback runs later, not under the enclosing lock: no a -> b
+  // edge, so the observed b -> a order stands alone and is clean.
+  const std::vector<SourceFile> files = {
+      {"src/x/s.h", kTwoMutexStruct},
+      {"src/x/f.cc",
+       "void F(S& s) {\n"
+       "  MutexLock la(s.a);\n"
+       "  auto cb = [&s] {\n"
+       "    MutexLock lb(s.b);\n"
+       "  };\n"
+       "  use(cb);\n"
+       "}\n"
+       "void G(S& s) { MutexLock lb(s.b); MutexLock la(s.a); }\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LockOrder, AllowCommentSuppressesTheEdge) {
+  const std::vector<SourceFile> files = {
+      {"src/x/s.h", kTwoMutexStruct},
+      {"src/x/f.cc",
+       "void F(S& s) { MutexLock la(s.a); MutexLock lb(s.b); }\n"
+       "void G(S& s) {\n"
+       "  MutexLock lb(s.b);\n"
+       "  MutexLock la(s.a);  // ipslint:allow(lock-order)\n"
+       "}\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LockOrder, ScopeExitReleasesBeforeTheNextAcquisition) {
+  // Sequential (not nested) critical sections impose no order.
+  const std::vector<SourceFile> files = {
+      {"src/x/s.h", kTwoMutexStruct},
+      {"src/x/f.cc",
+       "void F(S& s) {\n"
+       "  { MutexLock la(s.a); }\n"
+       "  MutexLock lb(s.b);\n"
+       "}\n"
+       "void G(S& s) {\n"
+       "  { MutexLock lb(s.b); }\n"
+       "  MutexLock la(s.a);\n"
+       "}\n"},
+  };
+  const auto report = AnalyzeLockOrder(files);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.edges, 0u);
+}
+
+// --- Failpoint coverage ---------------------------------------------------
+
+TEST(FailpointCoverage, UnarmedSiteIsReported) {
+  const std::vector<SourceFile> src = {
+      {"src/io/f.cc",
+       "Status F() {\n"
+       "  IPS_FAILPOINT(\"io/read\");\n"
+       "  IPS_FAILPOINT(\"io/rot\");\n"
+       "  return Status::Ok();\n"
+       "}\n"}};
+  const std::vector<SourceFile> chaos = {
+      {"tests/chaos_test.cc", "ScopedFailpoint fp(\"io/read\");\n"}};
+  const auto report = AnalyzeFailpointCoverage(src, chaos);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, kFailpointCoverageRule);
+  EXPECT_NE(report.findings[0].message.find("io/rot"), std::string::npos);
+  EXPECT_EQ(report.findings[0].line, 3u);
+  EXPECT_EQ(report.sites, 2u);
+  EXPECT_EQ(report.armed, 1u);
+}
+
+TEST(FailpointCoverage, ScopedVariantArmsTheBaseSite) {
+  // Arming "serve/shard/query/1" exercises the "serve/shard/query"
+  // site (the per-shard helper hits base then scoped names).
+  const std::vector<SourceFile> src = {
+      {"src/serve/f.cc",
+       "  IPS_RETURN_IF_ERROR(HitShardSite(\"serve/shard/query\", i));\n"}};
+  const std::vector<SourceFile> chaos = {
+      {"tests/chaos_test.cc",
+       "Failpoints::Arm(\"serve/shard/query/1\", status, FireEvery{1});\n"}};
+  const auto report = AnalyzeFailpointCoverage(src, chaos);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(FailpointCoverage, DynamicSitesAreCountedNotFlagged) {
+  const std::vector<SourceFile> src = {
+      {"src/util/f.cc", "  IPS_RETURN_IF_ERROR(Failpoints::Hit(name));\n"}};
+  const auto report = AnalyzeFailpointCoverage(src, {});
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.dynamic_sites, 1u);
+  EXPECT_EQ(report.sites, 0u);
+}
+
+TEST(FailpointCoverage, AllowCommentSuppressesTheSite) {
+  const std::vector<SourceFile> src = {
+      {"src/io/f.cc",
+       "  IPS_FAILPOINT(\"io/unreachable\");"
+       "  // ipslint:allow(failpoint-coverage)\n"}};
+  const auto report = AnalyzeFailpointCoverage(src, {});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+// --- Tree-wide: the analyzer is clean on HEAD -----------------------------
+
+/// Loads the real checkout with repo-relative paths, so rule prefixes
+/// and the src/<layer>/ convention line up exactly as in the CLI run.
+std::vector<SourceFile> LoadRepoTree(const std::vector<std::string>& dirs) {
+  std::vector<std::string> roots;
+  for (const std::string& dir : dirs) {
+    roots.push_back(std::string(IPS_REPO_ROOT) + "/" + dir);
+  }
+  auto files = LoadSourceTree(roots);
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  const std::string prefix = std::string(IPS_REPO_ROOT) + "/";
+  for (SourceFile& file : *files) {
+    EXPECT_EQ(file.path.rfind(prefix, 0), 0u) << file.path;
+    file.path = file.path.substr(prefix.size());
+  }
+  return *std::move(files);
+}
+
+TEST(TreeWide, AnalyzerIsCleanOnHead) {
+  const std::vector<SourceFile> tree =
+      LoadRepoTree({"src", "tests", "examples", "bench", "tools"});
+  ASSERT_GT(tree.size(), 100u);  // really scanned the checkout
+
+  // Rules (incl. stale-allow): every allow-comment names a live rule.
+  const auto rules =
+      LoadRules(std::string(IPS_REPO_ROOT) + "/tools/ipslint.rules");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  for (const auto& finding : LintFiles(*rules, tree)) {
+    ADD_FAILURE() << FormatFinding(finding);
+  }
+
+  // Layering: the checked-in table covers every src/ layer and edge.
+  const auto table =
+      LoadLayerTable(std::string(IPS_REPO_ROOT) + "/tools/ipslint.layers");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const auto layering = AnalyzeLayering(*table, tree);
+  for (const auto& finding : layering.findings) {
+    ADD_FAILURE() << FormatFinding(finding);
+  }
+  EXPECT_GT(layering.files_checked, 50u);
+  EXPECT_GT(layering.edges_checked, 100u);
+
+  // Lock order: declared + observed edges stay acyclic.
+  const auto locks = AnalyzeLockOrder(tree);
+  for (const auto& finding : locks.findings) {
+    ADD_FAILURE() << FormatFinding(finding);
+  }
+  EXPECT_GE(locks.locks, 5u);
+  EXPECT_GE(locks.edges, 4u);
+
+  // Failpoint coverage: every literal site is armed by the chaos suite.
+  const std::vector<SourceFile> chaos = LoadRepoTree({"tests/chaos_test.cc"});
+  const auto coverage = AnalyzeFailpointCoverage(tree, chaos);
+  for (const auto& finding : coverage.findings) {
+    ADD_FAILURE() << FormatFinding(finding);
+  }
+  EXPECT_GT(coverage.sites, 20u);
 }
 
 }  // namespace

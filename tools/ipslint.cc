@@ -1,47 +1,110 @@
 // Copyright 2026 The ipsjoin Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// CLI for the project linter. Usage:
+// CLI for the project linter/analyzer. Usage:
 //
-//   ipslint [--rules tools/ipslint.rules] [root...]
+//   ipslint [--rules tools/ipslint.rules] [--layers tools/ipslint.layers]
+//           [--chaos tests/chaos_test.cc] [--passes a,b,...] [root...]
 //
-// Roots default to the library and consumer trees (src tests examples
-// bench tools). Run from the repo root so rule path prefixes line up
-// with the scanned paths. Exit code: 0 clean, 1 findings, 2 usage or
-// I/O error. Wired into `scripts/check.sh static`.
+// Runs four passes over the scanned tree (see DESIGN.md §9):
+//
+//   rules               per-line regex rules from the rule table
+//   layering            src/ include edges vs. the declared layer DAG
+//   lock-order          mutex acquisition graph, deadlock cycles
+//   failpoint-coverage  every literal failpoint site armed by chaos tests
+//
+// The rules pass scans every root; the whole-program passes scan the
+// src/ portion of the corpus (plus --chaos for coverage). Run from the
+// repo root so rule path prefixes line up with the scanned paths.
+// `--passes` selects a comma-separated subset. Exit code: 0 clean,
+// 1 findings, 2 usage or I/O error. Wired into `scripts/check.sh
+// static` and the CI `lint` job, which gate on the per-pass summary
+// table this prints.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "ipslint_analysis.h"
 #include "ipslint_lib.h"
 
 namespace {
 
 constexpr const char* kDefaultRules = "tools/ipslint.rules";
+constexpr const char* kDefaultLayers = "tools/ipslint.layers";
+constexpr const char* kDefaultChaos = "tests/chaos_test.cc";
 const char* const kDefaultRoots[] = {"src", "tests", "examples", "bench",
                                      "tools"};
+const char* const kAllPasses[] = {"rules", "layering", "lock-order",
+                                 "failpoint-coverage"};
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--rules FILE] [root...]\n"
-               "  Lints C++ sources (.h/.hpp/.cc/.cpp) under each root\n"
-               "  against the TAB-separated rule table (default %s).\n"
-               "  Defaults roots: src tests examples bench tools.\n",
-               argv0, kDefaultRules);
+  std::fprintf(
+      stderr,
+      "usage: %s [--rules FILE] [--layers FILE] [--chaos FILE]\n"
+      "          [--passes LIST] [root...]\n"
+      "  Lints C++ sources (.h/.hpp/.cc/.cpp) under each root against\n"
+      "  the rule table (default %s), then runs the\n"
+      "  whole-program passes over src/: layering (default table\n"
+      "  %s), lock-order, and failpoint-coverage\n"
+      "  (chaos suite default %s).\n"
+      "  --passes takes a comma list of rules,layering,lock-order,\n"
+      "  failpoint-coverage. Default roots: src tests examples bench\n"
+      "  tools.\n",
+      argv0, kDefaultRules, kDefaultLayers, kDefaultChaos);
   return 2;
+}
+
+bool ParsePasses(const std::string& list, std::vector<std::string>* passes) {
+  passes->clear();
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    const std::string pass = list.substr(start, end - start);
+    if (!pass.empty()) {
+      bool known = false;
+      for (const char* candidate : kAllPasses) known |= pass == candidate;
+      if (!known) return false;
+      passes->push_back(pass);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !passes->empty();
+}
+
+bool WantPass(const std::vector<std::string>& passes, const char* name) {
+  for (const std::string& pass : passes) {
+    if (pass == name) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string rules_path = kDefaultRules;
+  std::string layers_path = kDefaultLayers;
+  std::string chaos_path = kDefaultChaos;
+  std::vector<std::string> passes(std::begin(kAllPasses),
+                                  std::end(kAllPasses));
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--rules") {
       if (i + 1 >= argc) return Usage(argv[0]);
       rules_path = argv[++i];
+    } else if (arg == "--layers") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      layers_path = argv[++i];
+    } else if (arg == "--chaos") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      chaos_path = argv[++i];
+    } else if (arg == "--passes") {
+      if (i + 1 >= argc || !ParsePasses(argv[++i], &passes)) {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -55,26 +118,87 @@ int main(int argc, char** argv) {
     roots.assign(std::begin(kDefaultRoots), std::end(kDefaultRoots));
   }
 
-  const auto rules = ips::lint::LoadRules(rules_path);
-  if (!rules.ok()) {
-    std::fprintf(stderr, "ipslint: %s\n", rules.status().ToString().c_str());
+  const auto files = ips::lint::LoadSourceTree(roots);
+  if (!files.ok()) {
+    std::fprintf(stderr, "ipslint: %s\n", files.status().ToString().c_str());
     return 2;
   }
 
-  const auto findings = ips::lint::LintTree(*rules, roots);
-  if (!findings.ok()) {
-    std::fprintf(stderr, "ipslint: %s\n", findings.status().ToString().c_str());
-    return 2;
+  // Per-pass summary rows: name, findings, scope description.
+  struct Row {
+    std::string pass;
+    std::size_t findings = 0;
+    std::string scope;
+  };
+  std::vector<Row> summary;
+  std::size_t total_findings = 0;
+  auto report = [&](const char* pass,
+                    const std::vector<ips::lint::LintFinding>& findings,
+                    std::string scope) {
+    for (const auto& finding : findings) {
+      std::printf("%s\n", ips::lint::FormatFinding(finding).c_str());
+    }
+    summary.push_back({pass, findings.size(), std::move(scope)});
+    total_findings += findings.size();
+  };
+
+  if (WantPass(passes, "rules")) {
+    const auto rules = ips::lint::LoadRules(rules_path);
+    if (!rules.ok()) {
+      std::fprintf(stderr, "ipslint: %s\n", rules.status().ToString().c_str());
+      return 2;
+    }
+    report("rules", ips::lint::LintFiles(*rules, *files),
+           std::to_string(rules->size()) + " rules, " +
+               std::to_string(files->size()) + " files");
   }
 
-  for (const auto& finding : *findings) {
-    std::printf("%s\n", ips::lint::FormatFinding(finding).c_str());
+  if (WantPass(passes, "layering")) {
+    const auto table = ips::lint::LoadLayerTable(layers_path);
+    if (!table.ok()) {
+      std::fprintf(stderr, "ipslint: %s\n", table.status().ToString().c_str());
+      return 2;
+    }
+    const auto layering = ips::lint::AnalyzeLayering(*table, *files);
+    report("layering", layering.findings,
+           std::to_string(table->order.size()) + " layers, " +
+               std::to_string(layering.files_checked) + " files, " +
+               std::to_string(layering.edges_checked) + " edges");
   }
-  if (!findings->empty()) {
-    std::printf("ipslint: %zu finding(s) in %zu rule check(s)\n",
-                findings->size(), rules->size());
+
+  if (WantPass(passes, "lock-order")) {
+    const auto locks = ips::lint::AnalyzeLockOrder(*files);
+    report("lock-order", locks.findings,
+           std::to_string(locks.locks) + " locks, " +
+               std::to_string(locks.edges) + " edges");
+  }
+
+  if (WantPass(passes, "failpoint-coverage")) {
+    // The chaos suite is part of the scanned corpus when tests/ is a
+    // root; load it separately so `ipslint src` still cross-references.
+    const auto chaos = ips::lint::LoadSourceTree({chaos_path});
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "ipslint: %s\n", chaos.status().ToString().c_str());
+      return 2;
+    }
+    const auto coverage = ips::lint::AnalyzeFailpointCoverage(*files, *chaos);
+    report("failpoint-coverage", coverage.findings,
+           std::to_string(coverage.sites) + " sites, " +
+               std::to_string(coverage.armed) + " armed, " +
+               std::to_string(coverage.dynamic_sites) + " dynamic");
+  }
+
+  std::printf("pass                 findings  scope\n");
+  std::printf("-------------------  --------  -----\n");
+  for (const Row& row : summary) {
+    std::printf("%-19s  %8zu  %s\n", row.pass.c_str(), row.findings,
+                row.scope.c_str());
+  }
+  if (total_findings > 0) {
+    std::printf("ipslint: %zu finding(s)\n", total_findings);
     return 1;
   }
-  std::printf("ipslint: clean (%zu rules)\n", rules->size());
+  std::printf("ipslint: clean (%zu pass(es), %zu files)\n", summary.size(),
+              files->size());
   return 0;
 }

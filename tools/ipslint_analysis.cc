@@ -1,0 +1,785 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "ipslint_analysis.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace ips {
+namespace lint {
+namespace {
+
+using internal::AllowedRulesByLine;
+using internal::MergeCodeAndStrings;
+using internal::SplitCodeAndComments;
+using internal::Trim;
+
+void SortFindings(std::vector<LintFinding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              return std::tie(a.file, a.line, a.message) <
+                     std::tie(b.file, b.line, b.message);
+            });
+}
+
+/// Splits a comma-separated field into trimmed, non-empty pieces.
+std::vector<std::string> SplitCommas(std::string_view field) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  const std::string text(field);
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    std::string piece = Trim(std::string_view(text).substr(start, end - start));
+    if (!piece.empty()) out.push_back(std::move(piece));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// The layer of a path shaped `.../src/<layer>/...`, or "" if the path
+/// is not inside a layer directory under src/.
+std::string LayerOfPath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = slash == std::string_view::npos ? path.size()
+                                                            : slash;
+    parts.push_back(path.substr(start, end - start));
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  for (std::size_t i = 0; i + 2 < parts.size(); ++i) {
+    // Need a component after the layer (the file, or a deeper dir).
+    if (parts[i] == "src") return std::string(parts[i + 1]);
+  }
+  return std::string();
+}
+
+}  // namespace
+
+// --- Layering -------------------------------------------------------------
+
+StatusOr<LayerTable> ParseLayerTable(std::string_view text) {
+  LayerTable table;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(start, end - start);
+    ++line_number;
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "layer table line " + std::to_string(line_number) +
+          ": expected 2 TAB-separated fields (layer, deps)");
+    }
+    const std::string layer = Trim(line.substr(0, tab));
+    const std::string deps_field = Trim(line.substr(tab + 1));
+    if (layer.empty()) {
+      return Status::InvalidArgument("layer table line " +
+                                     std::to_string(line_number) +
+                                     ": empty layer name");
+    }
+    if (table.deps.count(layer) > 0) {
+      return Status::InvalidArgument("layer table line " +
+                                     std::to_string(line_number) +
+                                     ": duplicate layer '" + layer + "'");
+    }
+    std::set<std::string> deps;
+    std::set<std::string> closure;
+    if (deps_field != "-") {
+      for (const std::string& dep : SplitCommas(deps_field)) {
+        if (dep == layer) {
+          return Status::InvalidArgument("layer table line " +
+                                         std::to_string(line_number) +
+                                         ": layer '" + layer +
+                                         "' depends on itself");
+        }
+        // Deps must already be declared: the table reads top-down from
+        // the bottom layer, and a cycle would need a forward reference.
+        const auto it = table.closure.find(dep);
+        if (it == table.closure.end()) {
+          return Status::InvalidArgument(
+              "layer table line " + std::to_string(line_number) + ": layer '" +
+              layer + "' depends on '" + dep +
+              "', which is not declared above it (the table must be "
+              "topologically ordered, lowest layer first)");
+        }
+        deps.insert(dep);
+        closure.insert(dep);
+        closure.insert(it->second.begin(), it->second.end());
+      }
+    }
+    table.order.push_back(layer);
+    table.deps.emplace(layer, std::move(deps));
+    table.closure.emplace(layer, std::move(closure));
+  }
+  if (table.order.empty()) {
+    return Status::InvalidArgument("layer table declares no layers");
+  }
+  return table;
+}
+
+StatusOr<LayerTable> LoadLayerTable(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open layer table: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto table = ParseLayerTable(buffer.str());
+  if (!table.ok()) {
+    return Status(table.status().code(),
+                  path + ": " + table.status().message());
+  }
+  return table;
+}
+
+LayeringReport AnalyzeLayering(const LayerTable& table,
+                               const std::vector<SourceFile>& files) {
+  LayeringReport report;
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s+([A-Za-z0-9_][A-Za-z0-9_./-]*))");
+  for (const SourceFile& file : files) {
+    const std::string layer = LayerOfPath(file.path);
+    if (layer.empty()) continue;  // not under src/<layer>/
+    ++report.files_checked;
+
+    if (table.closure.count(layer) == 0) {
+      LintFinding finding;
+      finding.file = file.path;
+      finding.line = 1;
+      finding.rule = std::string(kLayeringRule);
+      finding.message = "layer '" + layer +
+                        "' is not declared in the layer table; add it to "
+                        "tools/ipslint.layers below everything it uses";
+      report.findings.push_back(std::move(finding));
+      continue;
+    }
+    const std::set<std::string>& allowed_layers = table.closure.at(layer);
+
+    std::vector<std::string> code;
+    std::vector<std::string> comments;
+    std::vector<std::string> strings;
+    SplitCodeAndComments(file.text, &code, &comments, &strings);
+    const auto allows = AllowedRulesByLine(file.text);
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::string merged = MergeCodeAndStrings(code[i], strings[i]);
+      std::smatch match;
+      if (!std::regex_search(merged, match, include_re)) continue;
+      const std::string target = match[1].str();
+      const std::size_t slash = target.find('/');
+      if (slash == std::string::npos) continue;  // same-dir include
+      const std::string target_layer = target.substr(0, slash);
+      if (target_layer == layer) continue;
+      if (table.closure.count(target_layer) == 0) continue;  // not a layer
+      ++report.edges_checked;
+      if (allowed_layers.count(target_layer) > 0) continue;
+      if (i < allows.size() && allows[i].count(std::string(kLayeringRule))) {
+        continue;
+      }
+      LintFinding finding;
+      finding.file = file.path;
+      finding.line = i + 1;
+      finding.rule = std::string(kLayeringRule);
+      const auto target_closure = table.closure.find(target_layer);
+      if (target_closure != table.closure.end() &&
+          target_closure->second.count(layer) > 0) {
+        finding.message = "back-edge " + layer + " -> " + target_layer +
+                          " creates a layer cycle ('" + target_layer +
+                          "' already depends on '" + layer + "')";
+      } else {
+        finding.message = "undeclared layer dependency " + layer + " -> " +
+                          target_layer +
+                          "; declare it in tools/ipslint.layers or break "
+                          "the edge";
+      }
+      finding.excerpt = Trim(merged);
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  SortFindings(&report.findings);
+  return report;
+}
+
+// --- Lock order -----------------------------------------------------------
+
+namespace {
+
+/// A mutex member declaration, qualified by its declaring class.
+struct MutexDecl {
+  std::string cls;
+  std::string member;
+  std::string file;
+  /// Enclosing class names, outermost first, `cls` last — so a method
+  /// of ShardedEngine can resolve `shard.mutex` to the nested
+  /// ShardedEngine::Shard's member.
+  std::vector<std::string> enclosing;
+};
+
+/// A raw IPS_ACQUIRED_BEFORE/AFTER record, resolved after the member
+/// harvest is complete.
+struct OrderDecl {
+  std::string cls;     // declaring class of the annotated mutex
+  std::string member;  // annotated mutex member
+  std::vector<std::string> args;
+  bool before = true;  // false: IPS_ACQUIRED_AFTER (reverse edges)
+  std::string file;
+  std::size_t line = 0;
+  bool allowed = false;  // ipslint:allow(lock-order) on the line
+};
+
+/// One lexical acquisition site, with enough context to resolve the
+/// lock expression once all declarations are known.
+struct Acquisition {
+  std::string expr;                 // final member name of the lock expr
+  std::vector<std::string> classes;  // enclosing class stack, innermost last
+  std::string file;
+  std::size_t line = 0;
+  bool allowed = false;
+};
+
+/// An observed nesting: `held` was lexically live when `taken` was
+/// acquired in the same function body.
+struct RawEdge {
+  std::size_t held = 0;   // index into acquisitions
+  std::size_t taken = 0;  // index into acquisitions
+};
+
+struct Corpus {
+  std::vector<MutexDecl> decls;
+  std::vector<OrderDecl> order_decls;
+  std::vector<Acquisition> acquisitions;
+  std::vector<RawEdge> raw_edges;
+};
+
+enum class ScopeKind { kClass, kMethod, kLambda, kOther };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kOther;
+  std::string name;  // class name for kClass/kMethod
+  std::size_t depth = 0;
+};
+
+/// Classifies the statement header preceding an opening brace.
+Scope ClassifyHeader(const std::string& header, std::size_t depth) {
+  static const std::regex class_re(R"(\b(?:class|struct)\s+([A-Za-z_]\w*))");
+  static const std::regex lambda_re(
+      R"(\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\b|constexpr\b|noexcept\b|->\s*[^{]*)?\s*$)");
+  static const std::regex method_re(
+      R"(([A-Za-z_]\w*)\s*::\s*~?[A-Za-z_]\w*\s*\()");
+  Scope scope;
+  scope.depth = depth;
+  if (std::regex_search(header, lambda_re)) {
+    scope.kind = ScopeKind::kLambda;
+    return scope;
+  }
+  // The *last* class/struct keyword names the scope (skips `template
+  // <class T>` and base-class lists); a '(' after it means it was a
+  // parameter or an elaborated type in a function header instead.
+  std::smatch match;
+  std::string last_class;
+  std::size_t last_class_end = 0;
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), class_re),
+            end = std::sregex_iterator();
+       it != end; ++it) {
+    last_class = (*it)[1].str();
+    last_class_end = it->position(0) + it->length(0);
+  }
+  if (!last_class.empty() &&
+      header.find('(', last_class_end) == std::string::npos) {
+    scope.kind = ScopeKind::kClass;
+    scope.name = last_class;
+    return scope;
+  }
+  // `Ret Class::Method(...) {` — the last qualified-call match is the
+  // method (earlier ones are qualified return types).
+  std::string method_class;
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), method_re),
+            end = std::sregex_iterator();
+       it != end; ++it) {
+    method_class = (*it)[1].str();
+  }
+  if (!method_class.empty()) {
+    scope.kind = ScopeKind::kMethod;
+    scope.name = method_class;
+  }
+  return scope;
+}
+
+/// Final member name of a lock expression: `shard.mutex` -> `mutex`,
+/// `this->mutex_` -> `mutex_`, `*mu` -> `mu`.
+std::string FinalMember(std::string_view expr) {
+  std::string out = Trim(expr);
+  while (!out.empty() && (out.front() == '&' || out.front() == '*')) {
+    out.erase(out.begin());
+  }
+  std::size_t pos = out.find_last_of('.');
+  const std::size_t arrow = out.rfind("->");
+  if (arrow != std::string::npos && (pos == std::string::npos || arrow > pos)) {
+    pos = arrow + 1;
+  }
+  if (pos != std::string::npos) out = out.substr(pos + 1);
+  return Trim(out);
+}
+
+/// Scans one file: class scopes, mutex members, order annotations, and
+/// lexically nested acquisitions (lambda bodies are barriers).
+void ScanFileForLocks(const SourceFile& file, Corpus* corpus) {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+  SplitCodeAndComments(file.text, &code, &comments);
+  const auto allows = AllowedRulesByLine(file.text);
+  const std::string lock_order_rule(kLockOrderRule);
+
+  static const std::regex member_re(
+      R"(\b(?:(?:std\s*::\s*)(?:mutex|recursive_mutex|shared_mutex|timed_mutex)|Mutex)\s+([A-Za-z_]\w*)\s*(?=;|IPS_ACQUIRED_|\{))");
+  static const std::regex order_re(R"(IPS_ACQUIRED_(BEFORE|AFTER)\s*\(([^()]*)\))");
+  static const std::regex acquire_re(
+      R"(\b(?:MutexLock|std\s*::\s*scoped_lock|std\s*::\s*lock_guard|std\s*::\s*unique_lock)\s*(?:<[^<>]*>)?\s+[A-Za-z_]\w*\s*[({]([^;(){}]*)[)}])");
+
+  std::size_t depth = 0;
+  std::vector<Scope> scopes;
+  std::string header;  // statement text since the last '{', '}' or ';'
+
+  // RAII acquisitions live until their enclosing scope closes.
+  struct LiveLock {
+    std::size_t acquisition = 0;  // index into corpus->acquisitions
+    std::size_t depth = 0;
+  };
+  std::vector<LiveLock> held;
+
+  auto class_stack = [&]() {
+    std::vector<std::string> classes;
+    for (const Scope& scope : scopes) {
+      if (scope.kind == ScopeKind::kClass || scope.kind == ScopeKind::kMethod) {
+        classes.push_back(scope.name);
+      }
+    }
+    return classes;
+  };
+  auto innermost_lambda_depth = [&]() -> std::size_t {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == ScopeKind::kLambda) return it->depth;
+    }
+    return 0;
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    const bool line_allowed =
+        i < allows.size() && allows[i].count(lock_order_rule) > 0;
+
+    // Events on this line, processed in column order so one-line
+    // scopes (`{ MutexLock l(a); }`) nest correctly.
+    struct Event {
+      std::size_t col = 0;
+      enum Kind { kOpen, kClose, kSemi, kMember, kAcquire } kind = kOpen;
+      std::string payload;  // member name or lock expression
+    };
+    std::vector<Event> events;
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      if (line[c] == '{') events.push_back({c, Event::kOpen, ""});
+      if (line[c] == '}') events.push_back({c, Event::kClose, ""});
+      if (line[c] == ';') events.push_back({c, Event::kSemi, ""});
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), member_re),
+              end = std::sregex_iterator();
+         it != end; ++it) {
+      events.push_back({static_cast<std::size_t>(it->position(0)),
+                        Event::kMember, (*it)[1].str()});
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), acquire_re),
+              end = std::sregex_iterator();
+         it != end; ++it) {
+      events.push_back({static_cast<std::size_t>(it->position(0)),
+                        Event::kAcquire, (*it)[1].str()});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.col < b.col; });
+
+    std::size_t consumed = 0;  // header text already flushed
+    for (const Event& event : events) {
+      header += line.substr(consumed, event.col - consumed);
+      consumed = event.col;
+      switch (event.kind) {
+        case Event::kOpen: {
+          ++depth;
+          const Scope scope = ClassifyHeader(header, depth);
+          if (scope.kind != ScopeKind::kOther) scopes.push_back(scope);
+          header.clear();
+          ++consumed;  // the '{' itself
+          break;
+        }
+        case Event::kClose: {
+          while (!scopes.empty() && scopes.back().depth == depth) {
+            scopes.pop_back();
+          }
+          while (!held.empty() && held.back().depth >= depth) {
+            held.pop_back();
+          }
+          if (depth > 0) --depth;
+          header.clear();
+          ++consumed;
+          break;
+        }
+        case Event::kSemi: {
+          header.clear();
+          ++consumed;
+          break;
+        }
+        case Event::kMember: {
+          // Only class-scope declarations are mutex *members*; locals
+          // in a function body are not lock-order nodes.
+          if (!scopes.empty() && scopes.back().kind == ScopeKind::kClass) {
+            const std::string cls = scopes.back().name;
+            corpus->decls.push_back(
+                {cls, event.payload, file.path, class_stack()});
+            // An order annotation on the declaration line binds to it.
+            std::smatch order;
+            std::string rest = line.substr(event.col);
+            if (std::regex_search(rest, order, order_re)) {
+              OrderDecl decl;
+              decl.cls = cls;
+              decl.member = event.payload;
+              decl.args = SplitCommas(order[2].str());
+              decl.before = order[1].str() == "BEFORE";
+              decl.file = file.path;
+              decl.line = i + 1;
+              decl.allowed = line_allowed;
+              corpus->order_decls.push_back(std::move(decl));
+            }
+          }
+          break;
+        }
+        case Event::kAcquire: {
+          // scoped_lock may name several locks; each is an acquisition.
+          const std::vector<std::string> exprs = SplitCommas(event.payload);
+          const std::size_t lambda_floor = innermost_lambda_depth();
+          static const std::regex identifier_re(R"(^[A-Za-z_]\w*$)");
+          for (const std::string& expr : exprs) {
+            const std::string member = FinalMember(expr);
+            // Skip non-lock arguments (std::defer_lock, adopt tags,
+            // computed expressions a lexical pass cannot name).
+            if (!std::regex_match(member, identifier_re)) continue;
+            Acquisition acq;
+            acq.expr = member;
+            acq.classes = class_stack();
+            acq.file = file.path;
+            acq.line = i + 1;
+            acq.allowed = line_allowed;
+            const std::size_t index = corpus->acquisitions.size();
+            corpus->acquisitions.push_back(std::move(acq));
+            // Locks acquired outside a lambda body are not held when
+            // the lambda later runs, so they do not order against it.
+            for (const LiveLock& live : held) {
+              if (live.depth < lambda_floor) continue;
+              corpus->raw_edges.push_back({live.acquisition, index});
+            }
+            held.push_back({index, depth});
+          }
+          break;
+        }
+      }
+    }
+    header += line.substr(consumed);
+    header += ' ';  // newline separates tokens
+  }
+}
+
+}  // namespace
+
+LockOrderReport AnalyzeLockOrder(const std::vector<SourceFile>& files) {
+  Corpus corpus;
+  for (const SourceFile& file : files) {
+    ScanFileForLocks(file, &corpus);
+  }
+
+  // member name -> declaring (class, file) pairs.
+  std::map<std::string, std::vector<const MutexDecl*>> by_member;
+  for (const MutexDecl& decl : corpus.decls) {
+    by_member[decl.member].push_back(&decl);
+  }
+
+  // Resolves a lock to its graph node name. Preference order: the
+  // innermost enclosing class that declares it, a unique same-file
+  // declaration, a globally unique declaration, else file-local.
+  auto resolve = [&](const std::string& member,
+                     const std::vector<std::string>& classes,
+                     const std::string& file) -> std::string {
+    const auto it = by_member.find(member);
+    if (it != by_member.end()) {
+      for (auto cls = classes.rbegin(); cls != classes.rend(); ++cls) {
+        for (const MutexDecl* decl : it->second) {
+          if (decl->cls == *cls) return decl->cls + "::" + member;
+        }
+        // A class *nested* in the enclosing one (ShardedEngine::Shard
+        // from a ShardedEngine method), if it is the only such match.
+        const MutexDecl* nested = nullptr;
+        bool nested_unique = true;
+        for (const MutexDecl* decl : it->second) {
+          const auto& outer = decl->enclosing;
+          if (std::find(outer.begin(), outer.end(), *cls) == outer.end()) {
+            continue;
+          }
+          if (nested != nullptr && nested->cls != decl->cls) {
+            nested_unique = false;
+          }
+          if (nested == nullptr) nested = decl;
+        }
+        if (nested != nullptr && nested_unique) {
+          return nested->cls + "::" + member;
+        }
+      }
+      const MutexDecl* same_file = nullptr;
+      bool same_file_unique = true;
+      for (const MutexDecl* decl : it->second) {
+        if (decl->file != file) continue;
+        if (same_file != nullptr && same_file->cls != decl->cls) {
+          same_file_unique = false;
+        }
+        if (same_file == nullptr) same_file = decl;
+      }
+      if (same_file != nullptr && same_file_unique) {
+        return same_file->cls + "::" + member;
+      }
+      std::set<std::string> classes_declaring;
+      for (const MutexDecl* decl : it->second) {
+        classes_declaring.insert(decl->cls);
+      }
+      if (classes_declaring.size() == 1) {
+        return *classes_declaring.begin() + "::" + member;
+      }
+    }
+    return file + "::" + member;
+  };
+
+  struct EdgeSite {
+    std::string file;
+    std::size_t line = 0;
+  };
+  // from -> to -> first site that witnessed the edge.
+  std::map<std::string, std::map<std::string, EdgeSite>> graph;
+  std::set<std::string> nodes;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, std::size_t line) {
+    nodes.insert(from);
+    nodes.insert(to);
+    graph[from].emplace(to, EdgeSite{file, line});
+  };
+
+  LockOrderReport report;
+
+  // Declared edges (IPS_ACQUIRED_BEFORE / _AFTER).
+  for (const OrderDecl& decl : corpus.order_decls) {
+    if (decl.allowed) continue;
+    const std::string self = decl.cls + "::" + decl.member;
+    for (const std::string& arg : decl.args) {
+      std::string other;
+      if (arg.find("::") != std::string::npos) {
+        other = arg;
+      } else {
+        other = resolve(FinalMember(arg), {decl.cls}, decl.file);
+      }
+      if (decl.before) {
+        add_edge(self, other, decl.file, decl.line);
+      } else {
+        add_edge(other, self, decl.file, decl.line);
+      }
+    }
+  }
+
+  // Observed lexical-nesting edges. A self-edge (the same lock, or two
+  // instances of the same member, nested) is an immediate finding.
+  for (const RawEdge& raw : corpus.raw_edges) {
+    const Acquisition& held = corpus.acquisitions[raw.held];
+    const Acquisition& taken = corpus.acquisitions[raw.taken];
+    if (taken.allowed) continue;
+    const std::string from = resolve(held.expr, held.classes, held.file);
+    const std::string to = resolve(taken.expr, taken.classes, taken.file);
+    if (from == to) {
+      LintFinding finding;
+      finding.file = taken.file;
+      finding.line = taken.line;
+      finding.rule = std::string(kLockOrderRule);
+      finding.message = "lock '" + to +
+                        "' acquired while an instance of it is already "
+                        "held (self-deadlock unless the instances are "
+                        "provably distinct and ordered)";
+      report.findings.push_back(std::move(finding));
+      continue;
+    }
+    add_edge(from, to, taken.file, taken.line);
+  }
+
+  report.locks = nodes.size();
+  for (const auto& [from, out] : graph) report.edges += out.size();
+
+  // Cycle detection: iterative three-color DFS; each back edge closes
+  // one cycle, reported with the full lock path and an edge witness.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;  // canonical cycle keys, deduped
+  for (const std::string& start : nodes) {
+    if (color[start] != 0) continue;
+    // (node, next-edge iterator index) — materialized adjacency.
+    std::vector<std::pair<std::string, std::size_t>> frames;
+    frames.emplace_back(start, 0);
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, next] = frames.back();
+      const auto adj_it = graph.find(node);
+      std::vector<std::string> targets;
+      if (adj_it != graph.end()) {
+        for (const auto& [to, site] : adj_it->second) targets.push_back(to);
+      }
+      if (next >= targets.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string to = targets[next++];
+      if (color[to] == 1) {
+        // Back edge: the cycle is the stack suffix from `to`.
+        const auto cycle_begin =
+            std::find(stack.begin(), stack.end(), to);
+        std::vector<std::string> cycle(cycle_begin, stack.end());
+        // Canonical key: rotate to the smallest element.
+        const auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::vector<std::string> canon(min_it, cycle.end());
+        canon.insert(canon.end(), cycle.begin(), min_it);
+        std::string key;
+        for (const std::string& n : canon) key += n + "|";
+        if (reported.insert(key).second) {
+          std::string path;
+          EdgeSite first_site;
+          for (std::size_t k = 0; k < cycle.size(); ++k) {
+            const std::string& from = cycle[k];
+            const std::string& target = cycle[(k + 1) % cycle.size()];
+            const EdgeSite& site = graph.at(from).at(target);
+            if (k == 0) first_site = site;
+            path += from + " -> " + target + " (" + site.file + ":" +
+                    std::to_string(site.line) + ")";
+            if (k + 1 < cycle.size()) path += ", ";
+          }
+          LintFinding finding;
+          finding.file = first_site.file;
+          finding.line = first_site.line;
+          finding.rule = std::string(kLockOrderRule);
+          finding.message = "potential deadlock: lock-order cycle " + path;
+          report.findings.push_back(std::move(finding));
+        }
+      } else if (color[to] == 0) {
+        color[to] = 1;
+        stack.push_back(to);
+        frames.emplace_back(to, 0);
+      }
+    }
+  }
+
+  SortFindings(&report.findings);
+  return report;
+}
+
+// --- Failpoint coverage ---------------------------------------------------
+
+FailpointReport AnalyzeFailpointCoverage(
+    const std::vector<SourceFile>& src_files,
+    const std::vector<SourceFile>& chaos_files) {
+  FailpointReport report;
+  static const std::regex site_re(
+      R"(\b(?:IPS_FAILPOINT_THROW|IPS_FAILPOINT|Failpoints\s*::\s*Hit|HitShardSite)\s*\(\s*([A-Za-z0-9_][A-Za-z0-9_./-]*))");
+  static const std::regex name_re(
+      R"([A-Za-z0-9_]+(?:/[A-Za-z0-9_.-]+)+)");
+  static const std::regex define_re(R"(^\s*#\s*define\b)");
+
+  // Every failpoint-shaped string literal in the chaos suite counts as
+  // an arm: ScopedFailpoint, Failpoints::Arm, and the name vectors that
+  // drive them all mention the name literally.
+  std::set<std::string> armed;
+  for (const SourceFile& file : chaos_files) {
+    std::vector<std::string> code;
+    std::vector<std::string> comments;
+    std::vector<std::string> strings;
+    SplitCodeAndComments(file.text, &code, &comments, &strings);
+    for (const std::string& line : strings) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), name_re),
+                end = std::sregex_iterator();
+           it != end; ++it) {
+        armed.insert(it->str());
+      }
+    }
+  }
+  report.armed = armed.size();
+
+  auto covered = [&](const std::string& site) {
+    if (armed.count(site) > 0) return true;
+    // A scoped variant ("serve/shard/query/1") exercises its base site.
+    const std::string prefix = site + "/";
+    const auto it = armed.lower_bound(prefix);
+    return it != armed.end() && it->compare(0, prefix.size(), prefix) == 0;
+  };
+
+  std::set<std::string> distinct_sites;
+  for (const SourceFile& file : src_files) {
+    if (LayerOfPath(file.path).empty()) continue;  // sites live in src/
+    std::vector<std::string> code;
+    std::vector<std::string> comments;
+    std::vector<std::string> strings;
+    SplitCodeAndComments(file.text, &code, &comments, &strings);
+    const auto allows = AllowedRulesByLine(file.text);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], define_re)) continue;  // macro defs
+      const std::string merged = MergeCodeAndStrings(code[i], strings[i]);
+      for (auto it = std::sregex_iterator(merged.begin(), merged.end(),
+                                          site_re),
+                end = std::sregex_iterator();
+           it != end; ++it) {
+        const std::string name = (*it)[1].str();
+        if (name.find('/') == std::string::npos) {
+          // A computed name (`Failpoints::Hit(site)`) or a parameter
+          // declaration — not statically checkable.
+          if (name != "const" && name != "char") ++report.dynamic_sites;
+          continue;
+        }
+        distinct_sites.insert(name);
+        if (covered(name)) continue;
+        if (i < allows.size() &&
+            allows[i].count(std::string(kFailpointCoverageRule)) > 0) {
+          continue;
+        }
+        LintFinding finding;
+        finding.file = file.path;
+        finding.line = i + 1;
+        finding.rule = std::string(kFailpointCoverageRule);
+        finding.message =
+            "failpoint '" + name +
+            "' is never armed by the chaos suite; add a chaos_test case "
+            "(or suppress with ipslint:allow(failpoint-coverage))";
+        finding.excerpt = Trim(merged);
+        report.findings.push_back(std::move(finding));
+      }
+    }
+  }
+  report.sites = distinct_sites.size();
+  SortFindings(&report.findings);
+  return report;
+}
+
+}  // namespace lint
+}  // namespace ips

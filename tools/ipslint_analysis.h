@@ -1,0 +1,137 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// ipslint v2: whole-program analyses over the comment/string-stripped
+// token stream (see DESIGN.md §9). Where ipslint_lib.h matches one line
+// at a time, the three passes here need the whole corpus:
+//
+//  * layering — every `#include "<layer>/..."` edge inside src/ is
+//    checked against the declared DAG in tools/ipslint.layers; cycles
+//    in the table and back-edges in the code are findings.
+//  * lock-order — `Mutex` members, `IPS_ACQUIRED_BEFORE` declarations
+//    (src/util/thread_annotations.h), and lexically nested
+//    `MutexLock`/`std::lock_guard` acquisitions build one lock graph;
+//    any cycle is a potential deadlock.
+//  * failpoint-coverage — every literal `IPS_FAILPOINT("...")` /
+//    `Failpoints::Hit("...")` site in src/ must be armed by the chaos
+//    suite (tests/chaos_test.cc), so no injection point can silently
+//    rot into dead, untested error handling.
+//
+// Each pass emits LintFindings under its reserved rule name
+// (`layering`, `lock-order`, `failpoint-coverage`); a finding is
+// suppressible at its site with `// ipslint:allow(<pass>)`, exactly
+// like a table rule. All passes are deterministic: findings are sorted
+// by (file, line, message).
+
+#ifndef IPS_TOOLS_IPSLINT_ANALYSIS_H_
+#define IPS_TOOLS_IPSLINT_ANALYSIS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ipslint_lib.h"
+#include "util/status.h"
+
+namespace ips {
+namespace lint {
+
+// --- Layering -------------------------------------------------------------
+
+/// The declared layer DAG (tools/ipslint.layers). One TAB-separated
+/// line per layer: `name<TAB>deps` with deps a comma list of layers
+/// declared on *earlier* lines (or "-"). Requiring deps to be already
+/// declared makes the table acyclic by construction — the file reads
+/// top-down from `util` to `serve`, and adding a layer is one line
+/// placed below everything it uses.
+struct LayerTable {
+  /// Declaration order (a topological order of the DAG).
+  std::vector<std::string> order;
+  /// Direct dependencies, as declared.
+  std::map<std::string, std::set<std::string>> deps;
+  /// Transitive closure of `deps` (what an include may legally target).
+  std::map<std::string, std::set<std::string>> closure;
+};
+
+/// Parses a layer table; rejects duplicate layers, unknown or
+/// not-yet-declared deps (which is how a cycle would have to be
+/// written), and malformed lines.
+[[nodiscard]] StatusOr<LayerTable> ParseLayerTable(std::string_view text);
+
+/// Reads and parses a layer table file.
+[[nodiscard]] StatusOr<LayerTable> LoadLayerTable(const std::string& path);
+
+struct LayeringReport {
+  std::vector<LintFinding> findings;
+  std::size_t files_checked = 0;  // src/<layer>/ files seen
+  std::size_t edges_checked = 0;  // cross-layer include edges
+};
+
+/// Checks every quoted #include in files under a `src/<layer>/`
+/// directory against the table. A back-edge (the included layer
+/// already depends on the including one) is reported as a cycle; any
+/// other undeclared edge as a missing declaration. Files outside
+/// src/<known-layer>/ are skipped; a src/ file in an undeclared layer
+/// is itself a finding.
+[[nodiscard]] LayeringReport AnalyzeLayering(
+    const LayerTable& table, const std::vector<SourceFile>& files);
+
+// --- Lock order -----------------------------------------------------------
+
+struct LockOrderReport {
+  std::vector<LintFinding> findings;
+  std::size_t locks = 0;  // distinct annotated/observed mutexes
+  std::size_t edges = 0;  // declared + observed order edges
+};
+
+/// Builds the lock graph and flags potential-deadlock cycles.
+///
+/// Nodes are mutex members harvested from class bodies
+/// (`Mutex name;` / `std::mutex name;`), qualified as `Class::name`.
+/// Edges come from two sources:
+///  * declared: `IPS_ACQUIRED_BEFORE(other...)` on a mutex member
+///    (unqualified args resolve against the declaring class first);
+///    `IPS_ACQUIRED_AFTER` declares the reverse edge.
+///  * observed: a `MutexLock` / `std::scoped_lock` / `std::lock_guard`
+///    / `std::unique_lock` acquisition while another acquisition is
+///    lexically live in an enclosing scope of the same function body.
+///    Lambda bodies are barriers (they run later, not under the
+///    enclosing locks).
+///
+/// A lock expression such as `shard.mutex` resolves by its final
+/// member name: the innermost enclosing class wins, then a class in
+/// the same file, then a globally unique declaring class; otherwise
+/// the lock is file-local. Any cycle in declared ∪ observed edges —
+/// including an observed edge contradicting a declared order — is a
+/// finding at the first edge's site, suppressible with
+/// `// ipslint:allow(lock-order)` on that acquisition line.
+[[nodiscard]] LockOrderReport AnalyzeLockOrder(
+    const std::vector<SourceFile>& files);
+
+// --- Failpoint coverage ---------------------------------------------------
+
+struct FailpointReport {
+  std::vector<LintFinding> findings;
+  std::size_t sites = 0;          // literal-named sites in src/
+  std::size_t dynamic_sites = 0;  // computed names (not checkable)
+  std::size_t armed = 0;          // distinct names armed by the chaos files
+};
+
+/// Cross-references every literal failpoint site in `src_files`
+/// (`IPS_FAILPOINT`, `IPS_FAILPOINT_THROW`, `Failpoints::Hit`, and the
+/// sharded helper `HitShardSite`) against the failpoint-shaped string
+/// literals of `chaos_files` (any literal is an arm: `ScopedFailpoint`,
+/// `Failpoints::Arm`, or a name list driving either). A site is covered
+/// when its exact name is armed, or a scoped variant `<name>/...` is.
+/// Sites with computed names are counted but not checkable.
+[[nodiscard]] FailpointReport AnalyzeFailpointCoverage(
+    const std::vector<SourceFile>& src_files,
+    const std::vector<SourceFile>& chaos_files);
+
+}  // namespace lint
+}  // namespace ips
+
+#endif  // IPS_TOOLS_IPSLINT_ANALYSIS_H_

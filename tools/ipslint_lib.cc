@@ -16,17 +16,7 @@ namespace ips {
 namespace lint {
 namespace {
 
-std::string Trim(std::string_view s) {
-  std::size_t begin = 0;
-  std::size_t end = s.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
-    ++begin;
-  }
-  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
-    --end;
-  }
-  return std::string(s.substr(begin, end - begin));
-}
+using internal::Trim;
 
 std::vector<std::string> SplitPrefixes(std::string_view field) {
   std::vector<std::string> out;
@@ -95,11 +85,25 @@ bool StartsStatement(const std::vector<std::string>& code, std::size_t i) {
 
 namespace internal {
 
+std::string Trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return std::string(s.substr(begin, end - begin));
+}
+
 void SplitCodeAndComments(std::string_view text,
                           std::vector<std::string>* code,
-                          std::vector<std::string>* comments) {
+                          std::vector<std::string>* comments,
+                          std::vector<std::string>* strings) {
   code->clear();
   comments->clear();
+  if (strings != nullptr) strings->clear();
   enum class State {
     kCode,
     kLineComment,
@@ -111,14 +115,24 @@ void SplitCodeAndComments(std::string_view text,
   State state = State::kCode;
   std::string code_line;
   std::string comment_line;
-  std::string raw_delim;  // the ")delim" terminator of a raw string
+  std::string string_line;  // literal contents, column-aligned with code
+  std::string raw_delim;    // the ")delim" terminator of a raw string
   std::size_t i = 0;
   const std::size_t n = text.size();
+  // Keeps the string channel column-aligned: every append to the code
+  // channel is mirrored here, as literal contents or as padding.
+  auto emit = [&](std::string_view code_part, std::string_view string_part) {
+    code_line += code_part;
+    string_line += string_part;
+    string_line.resize(code_line.size(), ' ');
+  };
   auto flush_line = [&] {
     code->push_back(code_line);
     comments->push_back(comment_line);
+    if (strings != nullptr) strings->push_back(string_line);
     code_line.clear();
     comment_line.clear();
+    string_line.clear();
   };
   while (i < n) {
     const char c = text[i];
@@ -134,11 +148,11 @@ void SplitCodeAndComments(std::string_view text,
       case State::kCode: {
         if (c == '/' && i + 1 < n && text[i + 1] == '/') {
           state = State::kLineComment;
-          code_line += "  ";
+          emit("  ", "");
           i += 2;
         } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
           state = State::kBlockComment;
-          code_line += "  ";
+          emit("  ", "");
           i += 2;
         } else if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
           // Raw string literal: R"delim( ... )delim".
@@ -152,41 +166,41 @@ void SplitCodeAndComments(std::string_view text,
           if (j < n && text[j] == '(') {
             raw_delim = ")" + delim + "\"";
             state = State::kRawString;
-            code_line.append(j + 1 - i, ' ');
+            emit(std::string(j + 1 - i, ' '), "");
             i = j + 1;
           } else {
             // Not a well-formed raw string opener; treat R as code.
-            code_line += c;
+            emit(std::string_view(&c, 1), "");
             ++i;
           }
         } else if (c == '"') {
           state = State::kString;
-          code_line += ' ';
+          emit(" ", "");
           ++i;
         } else if (c == '\'') {
           state = State::kChar;
-          code_line += ' ';
+          emit(" ", "");
           ++i;
         } else {
-          code_line += c;
+          emit(std::string_view(&c, 1), "");
           ++i;
         }
         break;
       }
       case State::kLineComment: {
         comment_line += c;
-        code_line += ' ';
+        emit(" ", "");
         ++i;
         break;
       }
       case State::kBlockComment: {
         if (c == '*' && i + 1 < n && text[i + 1] == '/') {
           state = State::kCode;
-          code_line += "  ";
+          emit("  ", "");
           i += 2;
         } else {
           comment_line += c;
-          code_line += ' ';
+          emit(" ", "");
           ++i;
         }
         break;
@@ -195,25 +209,25 @@ void SplitCodeAndComments(std::string_view text,
       case State::kChar: {
         const char quote = state == State::kString ? '"' : '\'';
         if (c == '\\' && i + 1 < n) {
-          code_line += "  ";
+          emit("  ", text.substr(i, 2));
           i += 2;
         } else if (c == quote) {
           state = State::kCode;
-          code_line += ' ';
+          emit(" ", "");
           ++i;
         } else {
-          code_line += ' ';
+          emit(" ", text.substr(i, 1));
           ++i;
         }
         break;
       }
       case State::kRawString: {
         if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          code_line.append(raw_delim.size(), ' ');
+          emit(std::string(raw_delim.size(), ' '), "");
           i += raw_delim.size();
           state = State::kCode;
         } else {
-          code_line += ' ';
+          emit(" ", text.substr(i, 1));
           ++i;
         }
         break;
@@ -226,7 +240,38 @@ void SplitCodeAndComments(std::string_view text,
   }
 }
 
+std::string MergeCodeAndStrings(const std::string& code,
+                                const std::string& strings) {
+  std::string merged = code;
+  const std::size_t n = std::min(merged.size(), strings.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (merged[i] == ' ' && strings[i] != ' ') merged[i] = strings[i];
+  }
+  return merged;
+}
+
+std::vector<std::set<std::string>> AllowedRulesByLine(std::string_view text) {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+  SplitCodeAndComments(text, &code, &comments);
+  std::vector<std::set<std::string>> allowed(comments.size());
+  static const std::regex re(R"(ipslint:allow\(([A-Za-z0-9_-]+)\))");
+  for (std::size_t i = 0; i < comments.size(); ++i) {
+    for (std::sregex_iterator it(comments[i].begin(), comments[i].end(), re),
+         end;
+         it != end; ++it) {
+      allowed[i].insert((*it)[1].str());
+    }
+  }
+  return allowed;
+}
+
 }  // namespace internal
+
+bool IsBuiltinRule(std::string_view name) {
+  return name == kStaleAllowRule || name == kLayeringRule ||
+         name == kLockOrderRule || name == kFailpointCoverageRule;
+}
 
 StatusOr<std::vector<LintRule>> ParseRules(std::string_view text) {
   std::vector<LintRule> rules;
@@ -257,10 +302,10 @@ StatusOr<std::vector<LintRule>> ParseRules(std::string_view text) {
                                      std::to_string(line_number) +
                                      ": empty rule name");
     }
-    if (rule.name == kStaleAllowRule) {
+    if (IsBuiltinRule(rule.name)) {
       return Status::InvalidArgument(
           "rule table line " + std::to_string(line_number) + ": '" +
-          std::string(kStaleAllowRule) + "' is a reserved built-in rule name");
+          rule.name + "' is a reserved built-in rule name");
     }
     if (!names.insert(rule.name).second) {
       return Status::InvalidArgument("rule table line " +
@@ -382,8 +427,12 @@ std::vector<LintFinding> LintText(const std::vector<LintRule>& rules,
 
     // Built-in: an allow-comment naming a rule absent from the table is
     // stale and must be deleted along with the rule it once silenced.
+    // Built-in pass names (layering, lock-order, failpoint-coverage)
+    // are always known: their findings are suppressed at the site by
+    // the analysis passes themselves.
     for (const std::string& name : allowed) {
       const bool known =
+          IsBuiltinRule(name) ||
           std::any_of(rules.begin(), rules.end(),
                       [&](const LintRule& rule) { return rule.name == name; });
       if (known) continue;
@@ -400,10 +449,10 @@ std::vector<LintFinding> LintText(const std::vector<LintRule>& rules,
   return findings;
 }
 
-StatusOr<std::vector<LintFinding>> LintTree(
-    const std::vector<LintRule>& rules, const std::vector<std::string>& roots) {
+StatusOr<std::vector<SourceFile>> LoadSourceTree(
+    const std::vector<std::string>& roots) {
   namespace fs = std::filesystem;
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const std::string& root : roots) {
     std::error_code ec;
     const fs::file_status status = fs::status(root, ec);
@@ -412,7 +461,7 @@ StatusOr<std::vector<LintFinding>> LintTree(
                               ec.message());
     }
     if (fs::is_regular_file(status)) {
-      files.push_back(fs::path(root).generic_string());
+      paths.push_back(fs::path(root).generic_string());
       continue;
     }
     if (!fs::is_directory(status)) {
@@ -425,28 +474,45 @@ StatusOr<std::vector<LintFinding>> LintTree(
         return Status::Internal("walking " + root + ": " + ec.message());
       }
       if (it->is_regular_file() && HasCppExtension(it->path())) {
-        files.push_back(it->path().generic_string());
+        paths.push_back(it->path().generic_string());
       }
     }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<LintFinding> findings;
-  for (const std::string& file : files) {
-    std::ifstream in(file, std::ios::binary);
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
-      return Status::Internal("cannot read source file: " + file);
+      return Status::Internal("cannot read source file: " + path);
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string text = buffer.str();
-    std::vector<LintFinding> file_findings = LintText(rules, file, text);
+    files.push_back(SourceFile{path, buffer.str()});
+  }
+  return files;
+}
+
+std::vector<LintFinding> LintFiles(const std::vector<LintRule>& rules,
+                                   const std::vector<SourceFile>& files) {
+  std::vector<LintFinding> findings;
+  for (const SourceFile& file : files) {
+    std::vector<LintFinding> file_findings =
+        LintText(rules, file.path, file.text);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
   return findings;
+}
+
+StatusOr<std::vector<LintFinding>> LintTree(
+    const std::vector<LintRule>& rules, const std::vector<std::string>& roots) {
+  auto files = LoadSourceTree(roots);
+  if (!files.ok()) return files.status();
+  return LintFiles(rules, *files);
 }
 
 std::string FormatFinding(const LintFinding& finding) {

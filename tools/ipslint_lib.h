@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <regex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +42,26 @@ namespace lint {
 /// Reserved name of the built-in rule that flags allow-comments naming
 /// a rule absent from the table.
 inline constexpr std::string_view kStaleAllowRule = "stale-allow";
+
+/// Reserved names of the whole-program analysis passes (see
+/// ipslint_analysis.h). Allow-comments may name them (to suppress one
+/// finding at its site), so they are "known" to the stale-allow check,
+/// and the rule table may not redefine them.
+inline constexpr std::string_view kLayeringRule = "layering";
+inline constexpr std::string_view kLockOrderRule = "lock-order";
+inline constexpr std::string_view kFailpointCoverageRule =
+    "failpoint-coverage";
+
+/// True for every reserved built-in rule/pass name above.
+bool IsBuiltinRule(std::string_view name);
+
+/// One scanned source file, loaded into memory. The whole-program
+/// passes (layering, lock-order, failpoint coverage) need the full
+/// corpus at once, so the tree is loaded once and shared.
+struct SourceFile {
+  std::string path;  // forward-slash path as given to the loader
+  std::string text;
+};
 
 /// One row of the rule table.
 struct LintRule {
@@ -83,6 +104,16 @@ bool RuleAppliesTo(const LintRule& rule, std::string_view path);
     const std::vector<LintRule>& rules, std::string_view path,
     std::string_view text);
 
+/// Loads every C++ source (.h/.hpp/.cc/.cpp) under `roots` (files or
+/// directories), sorted and deduplicated. Fails on an unreadable root.
+[[nodiscard]] StatusOr<std::vector<SourceFile>> LoadSourceTree(
+    const std::vector<std::string>& roots);
+
+/// Lints an already-loaded corpus (the rules pass of the multi-pass
+/// driver).
+[[nodiscard]] std::vector<LintFinding> LintFiles(
+    const std::vector<LintRule>& rules, const std::vector<SourceFile>& files);
+
 /// Lints every C++ source (.h/.hpp/.cc/.cpp) under `roots` (files or
 /// directories, repo-relative). Fails on an unreadable root.
 [[nodiscard]] StatusOr<std::vector<LintFinding>> LintTree(
@@ -97,10 +128,28 @@ namespace internal {
 /// line i with comments and string/char-literal contents replaced by
 /// spaces (columns preserved), `comments[i]` the comment text of line i.
 /// Handles //, /* */ (multi-line), "…" with escapes, '…', and R"(…)"
-/// raw strings.
+/// raw strings. When `strings` is non-null it receives a third channel:
+/// the string/char-literal *contents* of line i, column-aligned with
+/// `code[i]` (everything else is spaces), so passes that must read a
+/// literal — an #include path, a failpoint name — can merge the two
+/// channels without re-tokenizing.
 void SplitCodeAndComments(std::string_view text,
                           std::vector<std::string>* code,
-                          std::vector<std::string>* comments);
+                          std::vector<std::string>* comments,
+                          std::vector<std::string>* strings = nullptr);
+
+/// Merges a code line with its column-aligned string-literal contents:
+/// code wins where non-space, literal contents fill the blanks. The
+/// whole-program passes match against merged lines.
+std::string MergeCodeAndStrings(const std::string& code,
+                                const std::string& strings);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// Rules (by name) the allow-comments of line i suppress, harvested
+/// from the comment channel of `text`. Index 0 = line 1.
+std::vector<std::set<std::string>> AllowedRulesByLine(std::string_view text);
 
 }  // namespace internal
 }  // namespace lint
