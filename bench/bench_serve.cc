@@ -27,11 +27,14 @@
 #include "core/dataset.h"
 #include "core/query.h"
 #include "core/top_k.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "rng/random.h"
 #include "serve/batch_scheduler.h"
 #include "serve/engine.h"
+#include "serve/feedback.h"
 #include "serve/query_engine.h"
+#include "serve/request.h"
 #include "serve/serve_stats.h"
 #include "serve/sharded_engine.h"
 #include "util/failpoint.h"
@@ -99,14 +102,14 @@ QueryOptions RequestFor(std::size_t i) {
 }
 
 // Runs every request of the workload through `engine` under one policy
-// (planner when `forced` is empty) and scores recall per request
-// against exact ground truth.
-PolicyResult RunPolicy(const Engine& engine, const Matrix& data,
-                       const Matrix& queries, std::optional<QueryAlgo> forced,
-                       ServeMetrics* metrics) {
+// and scores recall per request against exact ground truth. `forced`
+// empty = planner routing; `precision` kAuto = the path's native mode.
+PolicyResult ScoreStream(const Engine& engine, const Matrix& data,
+                         const Matrix& queries, const std::string& name,
+                         std::optional<QueryAlgo> forced,
+                         QueryPrecision precision, ServeMetrics* metrics) {
   PolicyResult result;
-  result.name = forced.has_value() ? std::string(QueryAlgoName(*forced))
-                                   : std::string("planner");
+  result.name = name;
   double recall_sum = 0.0;
   std::size_t targets_met = 0;
   // Per-target-group recall: a recall target is a statistical contract,
@@ -116,9 +119,10 @@ PolicyResult RunPolicy(const Engine& engine, const Matrix& data,
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
     QueryOptions request = RequestFor(qi);
     request.force_algorithm = forced;
+    request.precision = precision;
     const auto exact = TopKBruteForce(data, queries.Row(qi), request.k,
                                       request.is_signed);
-    const auto response = engine.Query(queries.Row(qi), request);
+    const auto response = engine.Query({queries.Row(qi), request});
     if (!response.ok()) continue;  // forced path can't answer this request
     ++result.answered;
     result.dot_products_total += response->stats.dot_products;
@@ -155,6 +159,16 @@ PolicyResult RunPolicy(const Engine& engine, const Matrix& data,
   return result;
 }
 
+PolicyResult RunPolicy(const Engine& engine, const Matrix& data,
+                       const Matrix& queries, std::optional<QueryAlgo> forced,
+                       ServeMetrics* metrics) {
+  const std::string name = forced.has_value()
+                               ? std::string(QueryAlgoName(*forced))
+                               : std::string("planner");
+  return ScoreStream(engine, data, queries, name, forced,
+                     QueryPrecision::kAuto, metrics);
+}
+
 // Pushes the workload through the BatchScheduler concurrently and
 // measures throughput and end-to-end latency percentiles.
 void RunConcurrent(const Engine& engine, const Matrix& queries,
@@ -164,11 +178,12 @@ void RunConcurrent(const Engine& engine, const Matrix& queries,
   futures.reserve(queries.rows());
   WallTimer timer;
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
-    QueryOptions request = RequestFor(qi);
-    request.deadline_seconds = 30.0;
+    const QueryOptions request = RequestFor(qi);
+    RequestContext context;
+    context.deadline_seconds = 30.0;
     const auto row = queries.Row(qi);
     futures.push_back(scheduler.Submit(
-        std::vector<double>(row.begin(), row.end()), request));
+        {std::vector<double>(row.begin(), row.end()), request, context}));
   }
   std::vector<double> latencies_ms;
   std::size_t ok_count = 0;
@@ -282,7 +297,7 @@ double SchedulerQps(const Engine& engine, const Matrix& queries,
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
     const auto row = queries.Row(qi);
     futures.push_back(scheduler.Submit(
-        std::vector<double>(row.begin(), row.end()), request));
+        {std::vector<double>(row.begin(), row.end()), request}));
   }
   std::size_t ok_count = 0;
   for (auto& future : futures) {
@@ -325,8 +340,8 @@ BatchedResult RunBatchedSection(Rng* rng) {
   request.force_algorithm = QueryAlgo::kBruteForce;
 
   // Warm both paths (index pinned, metric cells, caches).
-  if (!(*engine)->Query(queries.Row(0), request).ok() ||
-      !(*engine)->BatchQuery(queries, request).ok()) {
+  if (!(*engine)->Query({queries.Row(0), request}).ok() ||
+      !(*engine)->BatchQuery(queries, request, {}).ok()) {
     std::cerr << "warmup query failed\n";
     std::exit(1);
   }
@@ -335,7 +350,7 @@ BatchedResult RunBatchedSection(Rng* rng) {
   std::vector<QueryResult> sequential;
   sequential.reserve(result.queries);
   for (std::size_t qi = 0; qi < result.queries; ++qi) {
-    auto response = (*engine)->Query(queries.Row(qi), request);
+    auto response = (*engine)->Query({queries.Row(qi), request});
     if (!response.ok()) {
       std::cerr << "query: " << response.status().ToString() << "\n";
       std::exit(1);
@@ -345,7 +360,7 @@ BatchedResult RunBatchedSection(Rng* rng) {
   result.sequential_ms = timer.Millis();
 
   timer.Restart();
-  auto batched = (*engine)->BatchQuery(queries, request);
+  auto batched = (*engine)->BatchQuery(queries, request, {});
   result.batched_ms = timer.Millis();
   if (!batched.ok()) {
     std::cerr << "batch query: " << batched.status().ToString() << "\n";
@@ -422,7 +437,7 @@ double SequentialQps(const QueryEngine& engine, const Matrix& queries,
   if (indices != nullptr) indices->clear();
   WallTimer timer;
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto response = engine.Query(queries.Row(qi), request);
+    const auto response = engine.Query({queries.Row(qi), request});
     if (!response.ok()) {
       std::cerr << "sharded bench query: " << response.status().ToString()
                 << "\n";
@@ -547,7 +562,8 @@ HedgeResult RunHedgeSection(Rng* rng) {
   // Exact recall routes the planner to brute force without forcing the
   // algorithm (a forced path disables hedging by design).
   request.recall_target = 1.0;
-  request.deadline_seconds = 0.01;
+  RequestContext context;
+  context.deadline_seconds = 0.01;
 
   const auto run = [&](bool hedging, std::size_t* hedged,
                        std::size_t* partial) {
@@ -568,7 +584,7 @@ HedgeResult RunHedgeSection(Rng* rng) {
                     FireEvery{1});
     for (std::size_t qi = 0; qi < kWarmup; ++qi) {
       const auto response =
-          (*engine)->Query(queries.Row(qi % queries.rows()), request);
+          (*engine)->Query({queries.Row(qi % queries.rows()), request, context});
       if (!response.ok()) {
         std::cerr << "hedge warmup: " << response.status().ToString() << "\n";
         std::exit(1);
@@ -578,7 +594,7 @@ HedgeResult RunHedgeSection(Rng* rng) {
     latencies_ms.reserve(result.queries);
     for (std::size_t qi = 0; qi < result.queries; ++qi) {
       WallTimer timer;
-      const auto response = (*engine)->Query(queries.Row(qi), request);
+      const auto response = (*engine)->Query({queries.Row(qi), request, context});
       latencies_ms.push_back(timer.Millis());
       if (!response.ok()) {
         std::cerr << "hedge query: " << response.status().ToString() << "\n";
@@ -603,6 +619,282 @@ HedgeResult RunHedgeSection(Rng* rng) {
             << "ms, ratio " << FormatFixed(result.ratio, 2) << "x, "
             << result.hedged_count << " hedged calls, "
             << result.partial_count << " partial answers\n\n";
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// QoS section (PR 10). Two claims, both gated:
+//   (a) The adaptive feedback planner beats every fixed (algo,
+//       precision) policy on a stream whose character shifts mid-run:
+//       the first half queries the corpus's own distribution (exactly
+//       what warmup calibration probed), the second half switches to
+//       Gaussian queries where the calibrated recall curves are wrong.
+//       Static calibration cannot see the shift; the shadow audits can.
+//   (b) Per-tenant token buckets + priority lanes hold a victim
+//       tenant's p99 under a 10x overload from an aggressor tenant.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kQosQueries = 320;
+constexpr std::size_t kQosShift = 160;
+
+// The shifting corpus. Rows [0, kQosTiesStart): latent-factor rows
+// confined to the first 16 dims -- the "catalog" every in-distribution
+// query ranks against, where top-k margins dwarf int8 quantization
+// error. Rows [kQosTiesStart, kN): high-norm near-tie rows living in
+// the last 8 dims -- 4 directions x 64 rows each, perturbed by kQosEta
+// (below int8 resolution), so their relative order is invisible to the
+// quantized scorer. In-distribution queries (corpus rows, zero in the
+// last 8 dims) never score a near-tie row above the catalog, so warmup
+// calibration and the pre-shift half see quantized re-rank behaving;
+// post-shift Gaussian queries have energy in the last 8 dims, rank the
+// near-tie rows on top, and quantized survivor selection starts
+// dropping true top-k members. That is the shift the feedback loop
+// exists for: no warmup calibration can price it, only live audits.
+constexpr std::size_t kQosTiesStart = 3744;  // 117 full quantizer blocks
+constexpr std::size_t kQosTieDirs = 4;
+constexpr double kQosTieNorm = 8.0;
+constexpr double kQosEta = 5e-4;
+
+Matrix MakeQosCorpus(Rng* rng) {
+  Matrix data(kN, kDim);
+  for (std::size_t i = 0; i < kQosTiesStart; ++i) {
+    const auto row = data.Row(i);
+    for (std::size_t j = 0; j < 16; ++j) row[j] = rng->NextGaussian();
+    kernels::NormalizeInPlace(row);
+    kernels::ScaleInPlace(row, std::pow(static_cast<double>(i + 1), -1.0));
+  }
+  double dirs[kQosTieDirs][8];
+  for (auto& dir : dirs) {
+    double norm_sq = 0.0;
+    for (double& v : dir) {
+      v = rng->NextGaussian();
+      norm_sq += v * v;
+    }
+    for (double& v : dir) v /= std::sqrt(norm_sq);
+  }
+  for (std::size_t i = kQosTiesStart; i < kN; ++i) {
+    const auto row = data.Row(i);
+    const auto& dir = dirs[(i - kQosTiesStart) % kQosTieDirs];
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      row[16 + j] = dir[j] + kQosEta * rng->NextGaussian();
+      norm_sq += row[16 + j] * row[16 + j];
+    }
+    const double scale = kQosTieNorm / std::sqrt(norm_sq);
+    for (std::size_t j = 0; j < 8; ++j) row[16 + j] *= scale;
+  }
+  return data;
+}
+
+struct QosOverloadResult {
+  std::size_t victim_submitted = 0;
+  std::size_t victim_completed = 0;
+  std::size_t victim_shed = 0;
+  double victim_p99_ms = 0.0;
+  double victim_bound_ms = 0.0;
+  std::size_t aggressor_submitted = 0;
+  std::size_t aggressor_completed = 0;
+  std::size_t aggressor_shed = 0;
+  bool partition_ok = false;
+  bool pass = false;
+};
+
+struct QosSectionResult {
+  std::vector<PolicyResult> policies;  // [0]=adaptive, [1]=static planner
+  std::size_t feedback_audits = 0;
+  std::size_t feedback_evictions = 0;
+  std::size_t feedback_hedged = 0;
+  bool adaptive_wins = false;
+  QosOverloadResult overload;
+};
+
+// 10x overload: every victim (interactive) submission rides alongside
+// ten aggressor (batch) submissions; the aggressor's token bucket and
+// the weighted lanes must keep the victim whole.
+QosOverloadResult RunQosOverload(const Engine& engine,
+                                 const Matrix& queries) {
+  QosOverloadResult result;
+  constexpr std::size_t kVictims = 60;
+  constexpr std::size_t kOverloadFactor = 10;
+  result.victim_bound_ms = 250.0;
+
+  BatchSchedulerOptions options;
+  options.max_queue = 4096;
+  TenantQuota aggressor_quota;
+  aggressor_quota.tokens_per_second = 25.0;
+  aggressor_quota.burst = 50.0;
+  options.qos.tenant_quotas["reports"] = aggressor_quota;
+  BatchScheduler scheduler(&engine, options);
+
+  QueryOptions request;
+  request.k = kK;
+  request.recall_target = 0.9;
+  std::vector<std::future<BatchScheduler::Result>> futures;
+  futures.reserve(kVictims * (kOverloadFactor + 1));
+  for (std::size_t i = 0; i < kVictims; ++i) {
+    for (std::size_t a = 0; a < kOverloadFactor; ++a) {
+      RequestContext aggressor;
+      aggressor.tenant_id = "reports";
+      aggressor.priority = RequestPriority::kBatch;
+      const auto row = queries.Row((i * kOverloadFactor + a) % queries.rows());
+      futures.push_back(scheduler.Submit(
+          {std::vector<double>(row.begin(), row.end()), request, aggressor}));
+    }
+    RequestContext victim;
+    victim.tenant_id = "search";
+    victim.priority = RequestPriority::kInteractive;
+    const auto row = queries.Row(i % queries.rows());
+    futures.push_back(scheduler.Submit(
+        {std::vector<double>(row.begin(), row.end()), request, victim}));
+  }
+  for (auto& future : futures) (void)future.get();
+  scheduler.Drain();
+
+  const TenantCounters victim = scheduler.tenant_counters("search");
+  const TenantCounters aggressor = scheduler.tenant_counters("reports");
+  result.victim_submitted = victim.submitted;
+  result.victim_completed = victim.completed;
+  result.victim_shed = victim.shed;
+  result.victim_p99_ms = victim.p99_seconds * 1e3;
+  result.aggressor_submitted = aggressor.submitted;
+  result.aggressor_completed = aggressor.completed;
+  result.aggressor_shed = aggressor.shed;
+  result.partition_ok =
+      victim.submitted == victim.completed + victim.shed + victim.expired &&
+      aggressor.submitted ==
+          aggressor.completed + aggressor.shed + aggressor.expired;
+  result.pass = victim.shed == 0 && victim.expired == 0 &&
+                victim.completed == kVictims &&
+                result.victim_p99_ms <= result.victim_bound_ms &&
+                aggressor.shed > 0 && result.partition_ok;
+  return result;
+}
+
+QosSectionResult RunQosSection(Rng* rng) {
+  QosSectionResult result;
+  std::cout << "=== qos: adaptive planner + tenant isolation (n=" << kN
+            << ", dim=" << kDim << ", " << kQosQueries
+            << " queries, shift at " << kQosShift << ") ===\n";
+  const Matrix data = MakeQosCorpus(rng);
+
+  const auto make_engine = [&](bool feedback_enabled) {
+    EngineOptions options;
+    options.seed = 31;
+    options.sketch_params.kappa = 3.0;
+    // More warmup probes than the default 16: the corpus's near-tie
+    // rows are a 6% minority, and the calibration must sample a few of
+    // them so quantized re-rank starts with an honest (sub-1.0) recall
+    // estimate instead of a lucky perfect score.
+    options.probe_queries = 64;
+    options.feedback.enabled = feedback_enabled;
+    // Serving-tuned audit cadence: every 2nd planner-routed can-miss
+    // answer is shadow-audited, so the loop adapts within a few
+    // requests of the shift. The audit scans are billed to the
+    // adaptive policy's dot products below -- the win is net of them.
+    options.feedback.audit_every = 2;
+    auto engine = Engine::Create(data, options);
+    if (!engine.ok()) {
+      std::cerr << "qos engine: " << engine.status().ToString() << "\n";
+      std::exit(1);
+    }
+    for (QueryAlgo algo :
+         {QueryAlgo::kBallTree, QueryAlgo::kLsh, QueryAlgo::kSketch}) {
+      const Status built = (*engine)->EnsureIndex(algo);
+      if (!built.ok()) {
+        std::cerr << "qos build: " << built.ToString() << "\n";
+        std::exit(1);
+      }
+    }
+    return std::move(engine).value();
+  };
+  const auto adaptive_engine = make_engine(/*feedback_enabled=*/true);
+  const auto static_engine = make_engine(/*feedback_enabled=*/false);
+
+  // The shifting stream: first half in-distribution (catalog rows --
+  // the same distribution Calibrate probed, where the approximate
+  // paths really deliver their calibrated recall), second half
+  // Gaussian (which ranks the near-tie rows on top, where they do
+  // not).
+  Matrix queries(kQosQueries, kDim);
+  for (std::size_t qi = 0; qi < kQosQueries; ++qi) {
+    if (qi < kQosShift) {
+      const auto row =
+          data.Row(static_cast<std::size_t>(rng->NextBounded(kQosTiesStart)));
+      std::copy(row.begin(), row.end(), queries.Row(qi).begin());
+    } else {
+      for (std::size_t j = 0; j < kDim; ++j) {
+        queries.At(qi, j) = rng->NextGaussian();
+      }
+    }
+  }
+
+  result.policies.push_back(ScoreStream(*adaptive_engine, data, queries,
+                                        "adaptive", std::nullopt,
+                                        QueryPrecision::kAuto, nullptr));
+  result.policies.push_back(ScoreStream(*static_engine, data, queries,
+                                        "static", std::nullopt,
+                                        QueryPrecision::kAuto, nullptr));
+  const FeedbackCounters feedback = adaptive_engine->feedback().counters();
+  result.feedback_audits = feedback.audits;
+  result.feedback_evictions = feedback.evictions;
+  result.feedback_hedged = feedback.hedged;
+
+  // Every fixed (algo, precision) policy. Combinations an index
+  // rejects (tree on unsigned requests, sketch-filter off the sketch
+  // index, ...) answer fewer requests and are disqualified by the
+  // answered == submitted requirement, which is the honest outcome
+  // for a fixed policy that cannot serve the whole stream.
+  const std::pair<QueryAlgo, QueryPrecision> kFixed[] = {
+      {QueryAlgo::kBruteForce, QueryPrecision::kExact},
+      {QueryAlgo::kBruteForce, QueryPrecision::kQuantizedRerank},
+      {QueryAlgo::kBallTree, QueryPrecision::kExact},
+      {QueryAlgo::kLsh, QueryPrecision::kExact},
+      {QueryAlgo::kLsh, QueryPrecision::kQuantizedRerank},
+      {QueryAlgo::kSketch, QueryPrecision::kExact},
+      {QueryAlgo::kSketch, QueryPrecision::kSketchFilter},
+  };
+  for (const auto& [algo, precision] : kFixed) {
+    const std::string name = std::string(QueryAlgoName(algo)) + "/" +
+                             std::string(QueryPrecisionName(precision));
+    result.policies.push_back(ScoreStream(*static_engine, data, queries, name,
+                                          algo, precision, nullptr));
+  }
+
+  // Gate (a): the adaptive planner meets every target group across the
+  // shift and spends fewer exact dots (audit scans included) than every
+  // fixed policy that also meets them. brute/exact always qualifies, so
+  // the comparison set is never empty. The static planner is reported
+  // for the narrative but is not a fixed policy.
+  const PolicyResult& adaptive = result.policies.front();
+  result.adaptive_wins = adaptive.meets_all_targets;
+  for (std::size_t p = 2; p < result.policies.size(); ++p) {
+    if (result.policies[p].meets_all_targets &&
+        result.policies[p].dot_products_total <= adaptive.dot_products_total) {
+      result.adaptive_wins = false;
+    }
+  }
+
+  TablePrinter table({"policy", "recall", "targets met", "dot products",
+                      "meets all"});
+  for (const auto& policy : result.policies) {
+    table.AddRow({policy.name, FormatFixed(policy.recall_mean, 3),
+                  FormatFixed(policy.targets_met_fraction, 3),
+                  Format(policy.dot_products_total),
+                  policy.meets_all_targets ? "yes" : "no"});
+  }
+  table.PrintMarkdown(std::cout);
+  std::cout << "feedback: " << result.feedback_audits << " audits, "
+            << result.feedback_evictions << " evictions, "
+            << result.feedback_hedged << " hedged\n";
+
+  result.overload = RunQosOverload(*adaptive_engine, queries);
+  std::cout << "overload: victim " << result.overload.victim_completed << "/"
+            << result.overload.victim_submitted << " completed, "
+            << result.overload.victim_shed << " shed, p99 "
+            << FormatFixed(result.overload.victim_p99_ms, 3) << "ms (bound "
+            << FormatFixed(result.overload.victim_bound_ms, 0)
+            << "ms); aggressor " << result.overload.aggressor_shed << "/"
+            << result.overload.aggressor_submitted << " shed\n\n";
   return result;
 }
 
@@ -652,8 +944,8 @@ OverheadResult MeasureObsOverhead(const Matrix& data,
 
 void WriteJson(const std::vector<WorkloadResult>& workloads,
                const BatchedResult& batched, const ShardedResult& sharded,
-               const HedgeResult& hedge, const OverheadResult& overhead,
-               const std::string& path) {
+               const HedgeResult& hedge, const QosSectionResult& qos,
+               const OverheadResult& overhead, const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"serve\",\n  \"n\": " << kN
       << ",\n  \"dim\": " << kDim << ",\n  \"queries\": " << kQueries
@@ -709,7 +1001,37 @@ void WriteJson(const std::vector<WorkloadResult>& workloads,
       << ", \"ratio\": " << hedge.ratio
       << ", \"hedged_count\": " << hedge.hedged_count
       << ", \"partial_count\": " << hedge.partial_count
-      << "},\n  \"obs_overhead\": {\"baseline_ms\": "
+      << "},\n  \"qos\": {\n    \"queries\": " << kQosQueries
+      << ",\n    \"shift_at\": " << kQosShift << ",\n    \"policies\": [\n";
+  for (std::size_t p = 0; p < qos.policies.size(); ++p) {
+    const PolicyResult& policy = qos.policies[p];
+    out << "      {\"name\": \"" << policy.name
+        << "\", \"recall_mean\": " << policy.recall_mean
+        << ", \"targets_met_fraction\": " << policy.targets_met_fraction
+        << ", \"dot_products_total\": " << policy.dot_products_total
+        << ", \"answered\": " << policy.answered
+        << ", \"meets_all_targets\": "
+        << (policy.meets_all_targets ? "true" : "false") << "}"
+        << (p + 1 < qos.policies.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n    \"feedback\": {\"audits\": " << qos.feedback_audits
+      << ", \"evictions\": " << qos.feedback_evictions
+      << ", \"hedged\": " << qos.feedback_hedged
+      << "},\n    \"adaptive_wins\": "
+      << (qos.adaptive_wins ? "true" : "false")
+      << ",\n    \"overload\": {\"victim_submitted\": "
+      << qos.overload.victim_submitted
+      << ", \"victim_completed\": " << qos.overload.victim_completed
+      << ", \"victim_shed\": " << qos.overload.victim_shed
+      << ", \"victim_p99_ms\": " << qos.overload.victim_p99_ms
+      << ", \"victim_p99_bound_ms\": " << qos.overload.victim_bound_ms
+      << ", \"aggressor_submitted\": " << qos.overload.aggressor_submitted
+      << ", \"aggressor_completed\": " << qos.overload.aggressor_completed
+      << ", \"aggressor_shed\": " << qos.overload.aggressor_shed
+      << ", \"partition_ok\": "
+      << (qos.overload.partition_ok ? "true" : "false")
+      << ", \"pass\": " << (qos.overload.pass ? "true" : "false")
+      << "}\n  },\n  \"obs_overhead\": {\"baseline_ms\": "
       << overhead.baseline_ms
       << ", \"instrumented_ms\": " << overhead.instrumented_ms
       << ", \"ratio\": " << overhead.ratio << "},\n";
@@ -749,6 +1071,7 @@ int Run() {
   const BatchedResult batched = RunBatchedSection(&rng);
   const ShardedResult sharded = RunShardedSection(&rng);
   const HedgeResult hedge = RunHedgeSection(&rng);
+  const QosSectionResult qos = RunQosSection(&rng);
 
   const Matrix overhead_data =
       MakeUnitBallGaussian(kN, kDim, /*min_norm=*/0.9, &rng);
@@ -768,7 +1091,7 @@ int Run() {
                                        : " (WARN: above 3% budget)")
             << "\n";
 
-  WriteJson(workloads, batched, sharded, hedge, overhead,
+  WriteJson(workloads, batched, sharded, hedge, qos, overhead,
             "BENCH_serve.json");
   std::cout << "wrote BENCH_serve.json\n";
 
@@ -844,6 +1167,33 @@ int Run() {
   std::cout << "OK: hedging cuts straggler p99 by "
             << FormatFixed(hedge.ratio, 2) << "x (" << hedge.hedged_count
             << " hedged calls)\n";
+
+  // QoS gates (PR 10). (a) Across the mid-run distribution shift the
+  // adaptive planner must meet every target group and beat every fixed
+  // (algo, precision) policy that also meets them, net of its own
+  // audit scans. (b) The 10x-overloaded aggressor must be the only
+  // tenant that sheds, and the victim's p99 must hold its bound.
+  if (!qos.adaptive_wins) {
+    std::cerr << "FAIL: adaptive planner did not beat every fixed "
+                 "(algo, precision) policy across the shift\n";
+    return 1;
+  }
+  std::cout << "OK: adaptive planner beats every fixed policy across the "
+               "shift ("
+            << qos.feedback_audits << " audits, " << qos.feedback_evictions
+            << " evictions)\n";
+  if (!qos.overload.pass) {
+    std::cerr << "FAIL: tenant isolation under 10x overload (victim p99 "
+              << qos.overload.victim_p99_ms << "ms, bound "
+              << qos.overload.victim_bound_ms << "ms, victim shed "
+              << qos.overload.victim_shed << ")\n";
+    return 1;
+  }
+  std::cout << "OK: victim tenant held p99 "
+            << FormatFixed(qos.overload.victim_p99_ms, 3) << "ms <= "
+            << FormatFixed(qos.overload.victim_bound_ms, 0)
+            << "ms under 10x overload (" << qos.overload.aggressor_shed
+            << " aggressor submissions shed)\n";
   return 0;
 }
 

@@ -58,7 +58,7 @@ struct SweepPoint {
 void FirstQuery(const Engine& engine) {
   QueryOptions options;
   options.k = 5;
-  const auto result = engine.Query(engine.data().Row(0), options);
+  const auto result = engine.Query({engine.data().Row(0), options});
   if (!result.ok()) Die("first query", result.status());
 }
 

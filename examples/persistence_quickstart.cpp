@@ -69,7 +69,7 @@ int main() {
   DieIf(cold->EnsureIndex(ips::QueryAlgo::kLsh));
   ips::QueryOptions query;
   query.k = 5;
-  const auto cold_answer = OrDie(cold->Query(probes.Row(0), query));
+  const auto cold_answer = OrDie(cold->Query({probes.Row(0), query}));
   std::cout << "cold engine:   top hit " << cold_answer.matches[0].index
             << " (ip " << cold_answer.matches[0].value << ")\n";
 
@@ -80,7 +80,7 @@ int main() {
     ips::SnapshotLoadOptions load;
     load.use_mmap = use_mmap;
     auto warm = OrDie(ips::Engine::CreateFromSnapshot(dir.string(), load));
-    const auto answer = OrDie(warm->Query(probes.Row(0), query));
+    const auto answer = OrDie(warm->Query({probes.Row(0), query}));
     std::cout << (use_mmap ? "warm (mmap):   " : "warm (heap):   ")
               << "top hit " << answer.matches[0].index << " (ip "
               << answer.matches[0].value << ")\n";

@@ -70,7 +70,14 @@ int main() {
   //    deadline each, coalesced into batches by the scheduler.
   constexpr std::size_t kRequests = 1000;
   constexpr double kDeadlineSeconds = 5.0;
-  ips::BatchScheduler scheduler(engine.get());
+  // Provision the queue for the burst: fill-level admission control
+  // sheds kBatch submissions once the queue passes
+  // qos.batch_shed_fill (0.5) of max_queue, so a server expecting a
+  // 1000-request burst needs max_queue > 2x that or its batch tenants
+  // get kResourceExhausted instead of answers.
+  ips::BatchSchedulerOptions sched_options;
+  sched_options.max_queue = 4096;
+  ips::BatchScheduler scheduler(engine.get(), sched_options);
 
   std::vector<std::future<ips::BatchScheduler::Result>> futures;
   futures.reserve(kRequests);
@@ -81,8 +88,14 @@ int main() {
     request.k = 5;
     // A mix of cheap approximate and exact requests.
     request.recall_target = (i % 3 == 0) ? 1.0 : (i % 3 == 1) ? 0.9 : 0.7;
-    request.deadline_seconds = kDeadlineSeconds;
-    futures.push_back(scheduler.Submit(std::move(query), request));
+    // Transport-level QoS rides in the RequestContext: who is asking
+    // (tenant), how urgent (priority lane), and the 5 s deadline.
+    ips::RequestContext context;
+    context.tenant_id = (i % 4 == 0) ? "analytics" : "search";
+    context.priority = (i % 4 == 0) ? ips::RequestPriority::kBatch
+                                    : ips::RequestPriority::kInteractive;
+    context.deadline_seconds = kDeadlineSeconds;
+    futures.push_back(scheduler.Submit({query, request, context}));
   }
 
   // 4. Collect answers; every future resolves (deadline, shed, or OK).
@@ -117,6 +130,12 @@ int main() {
   std::cout << "scheduler: " << counters.batches << " batches, max queue depth "
             << counters.max_queue_depth << ", " << counters.shed << " shed, "
             << counters.expired << " expired\n";
+  for (const std::string& tenant : scheduler.tenants()) {
+    const ips::TenantCounters tc = scheduler.tenant_counters(tenant);
+    std::cout << "tenant " << tenant << ": " << tc.completed << "/"
+              << tc.submitted << " completed, " << tc.shed << " shed, p99 "
+              << tc.p99_seconds * 1e3 << " ms\n";
+  }
 
   // 6. The process-wide metrics registry accumulated every counter the
   //    serving path touched; print the dashboard and optionally export
@@ -171,8 +190,9 @@ int main() {
     ips::QueryOptions request;
     request.k = 5;
     request.recall_target = (i % 3 == 0) ? 1.0 : (i % 3 == 1) ? 0.9 : 0.7;
-    request.deadline_seconds = kDeadlineSeconds;
-    const auto result = sharded->Query(query, request);
+    ips::RequestContext context;
+    context.deadline_seconds = kDeadlineSeconds;
+    const auto result = sharded->Query({query, request, context});
     if (!result.ok()) continue;
     ++degraded_ok;
     // RecordResult counts partial answers separately from clean ones,

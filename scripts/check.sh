@@ -29,6 +29,7 @@
 #   $ scripts/check.sh scalar     # full suite with IPS_FORCE_SCALAR=1
 #   $ scripts/check.sh storage    # snapshot suite under ASan + warm-start gate
 #   $ scripts/check.sh quant      # int8 parity suite (both dispatches) + bench gate
+#   $ scripts/check.sh serve      # serving bench gates (planner, QoS, hedging)
 #   $ scripts/check.sh static     # ipslint passes + nodiscard + clang analyses
 set -euo pipefail
 
@@ -147,6 +148,25 @@ run_quant() {
   (cd build && ./bench/bench_quant)
 }
 
+run_serve() {
+  # The serving-layer leg (DESIGN.md §14): bench_serve is a gate, not a
+  # report — it exits nonzero unless (1) the planner beats the best
+  # fixed algorithm on a calibration workload, (2) batched execution
+  # clears 2x over sequential at equal recall, (3) sharded
+  # scatter-gather passes its overhead gate, (4) hedging cuts the
+  # straggler p99, (5) the adaptive feedback planner beats every fixed
+  # (algo, precision) policy across a mid-run workload shift, and
+  # (6) a victim tenant's p99 holds its bound under 10x overload from
+  # an aggressor tenant (QoS admission + token buckets + lanes). The
+  # JSON snapshot it writes is the checked-in BENCH_serve.json.
+  echo "=== serve: planner/QoS/hedging bench gates (bench_serve) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS" --target bench_serve
+  # Run from the repo root so the JSON snapshot refreshes the
+  # checked-in BENCH_serve.json in place.
+  ./build/bench/bench_serve
+}
+
 run_static() {
   # Each leg records a row for the summary table printed at the end.
   STATIC_SUMMARY=""
@@ -208,9 +228,10 @@ case "$MODE" in
   scalar) run_scalar ;;
   storage) run_storage ;;
   quant)  run_quant ;;
+  serve)  run_serve ;;
   static) run_static ;;
-  all)    run_plain; run_scalar; run_asan; run_tsan; run_ubsan; run_storage; run_quant; run_static ;;
-  *) echo "usage: $0 [plain|asan|tsan|ubsan|chaos|scalar|storage|quant|static|all]" >&2; exit 2 ;;
+  all)    run_plain; run_scalar; run_asan; run_tsan; run_ubsan; run_storage; run_quant; run_serve; run_static ;;
+  *) echo "usage: $0 [plain|asan|tsan|ubsan|chaos|scalar|storage|quant|serve|static|all]" >&2; exit 2 ;;
 esac
 
 echo "all checks passed"

@@ -90,8 +90,8 @@ class MipsIndex {
   /// equivalence suite (tests/batch_query_test.cc) holds every index to
   /// that — but specialized implementations amortize work across the
   /// batch (tiled block scoring in brute force, shared transforms and
-  /// row-grouped verification in LSH). The deadline in `options` is
-  /// inherited by each member query (see QueryOptions::deadline_seconds).
+  /// row-grouped verification in LSH). Deadlines are a serving-layer
+  /// concern (serve::RequestContext); indexes never read one.
   ///
   /// The default implementation is the per-query fallback: one Query
   /// call per row. Tracing: when options.trace is set the batch

@@ -60,12 +60,6 @@ Status ValidateQueryOptions(const QueryOptions& options) {
         "recall target must lie in (0, 1], got " +
         std::to_string(options.recall_target));
   }
-  if (std::isnan(options.deadline_seconds) ||
-      options.deadline_seconds <= 0.0) {
-    return Status::InvalidArgument(
-        "deadline must be positive (infinity = none), got " +
-        std::to_string(options.deadline_seconds));
-  }
   switch (options.precision) {
     case QueryPrecision::kAuto:
     case QueryPrecision::kExact:

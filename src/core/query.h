@@ -4,9 +4,10 @@
 // The unified query API every answer path speaks (see DESIGN.md §8):
 //
 //   QueryOptions -- one request shape (k, recall target, candidate
-//       budget, deadline, forced algorithm, trace on/off) accepted by
-//       Engine::Query, BatchScheduler::Submit, and every index's Query
-//       entry point;
+//       budget, forced algorithm, trace on/off) accepted by every
+//       index's Query entry point and carried inside the serving
+//       layer's Request envelope (serve/request.h; transport-level
+//       fields like the deadline live in RequestContext, not here);
 //   QueryStats   -- one accounting shape populated by every path, with
 //       per-algorithm extensions namespaced as metric labels in
 //       `metrics` instead of bespoke struct fields;
@@ -19,7 +20,6 @@
 #define IPS_CORE_QUERY_H_
 
 #include <cstddef>
-#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -74,8 +74,9 @@ std::string_view QueryPrecisionName(QueryPrecision precision);
 
 /// One top-k query, uniform across the engine, the scheduler, and every
 /// index. Fields an answer path cannot honor are rejected (forced tree
-/// on unsigned queries) or ignored where documented (deadline outside
-/// the scheduler).
+/// on unsigned queries). Purely algorithmic: transport-level fields
+/// (tenant, priority, deadline) live in serve::RequestContext so batch
+/// coalescing can key on this struct alone.
 struct QueryOptions {
   std::size_t k = 1;
   /// Fraction of the exact top-k the answer must recover, in (0, 1].
@@ -83,12 +84,6 @@ struct QueryOptions {
   /// Soft cap on exact dot products (0 = unbounded).
   std::size_t candidate_budget = 0;
   bool is_signed = true;
-  /// Relative deadline, used by the batch scheduler's admission and
-  /// late-finish accounting (infinity = no deadline). Must be positive.
-  /// In a BatchQuery the deadline is inherited per query: every member
-  /// of the batch carries this same relative deadline individually
-  /// (deadline_met is judged per member, not once for the batch).
-  double deadline_seconds = std::numeric_limits<double>::infinity();
   /// Bypass the planner and force an answer path (A/B comparisons,
   /// benchmarks). The forced path must be able to answer the request
   /// (e.g. tree is signed-only) or the query returns kInvalidArgument.
@@ -104,7 +99,7 @@ struct QueryOptions {
 };
 
 /// Validates the request fields: k >= 1, recall target in (0, 1],
-/// deadline positive (infinity allowed).
+/// precision a known mode.
 Status ValidateQueryOptions(const QueryOptions& options);
 
 /// The planner's verdict for one query (core-level so QueryResult can

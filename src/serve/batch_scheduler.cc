@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <string_view>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -13,6 +15,9 @@ namespace ips {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Completions per tenant whose latency feeds the rolling p99.
+constexpr std::size_t kTenantLatencyWindow = 128;
 
 Clock::duration SecondsToDuration(double seconds) {
   return std::chrono::duration_cast<Clock::duration>(
@@ -46,16 +51,49 @@ struct SchedulerMetrics {
 };
 
 // Members sharing one Engine::BatchQuery call must agree on everything
-// the engine plans and executes from; only the deadline stays
-// per-member (judged from each request's own wall clock below).
+// the engine plans and executes from; the RequestContext stays
+// per-member (each deadline is judged from its own wall clock below).
 bool CompatibleOptions(const QueryOptions& a, const QueryOptions& b) {
   return a.k == b.k && a.recall_target == b.recall_target &&
          a.candidate_budget == b.candidate_budget &&
          a.is_signed == b.is_signed && a.trace == b.trace &&
+         a.precision == b.precision &&
          a.force_algorithm == b.force_algorithm;
 }
 
+// p99 over the valid prefix/ring of a tenant's latency window.
+double RingP99(const std::array<double, kTenantLatencyWindow>& ring,
+               std::size_t count) {
+  const std::size_t n = std::min(count, ring.size());
+  if (n == 0) return 0.0;
+  std::array<double, kTenantLatencyWindow> sorted = ring;
+  std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::size_t rank = (n * 99 + 99) / 100;  // ceil(0.99 n), 1-based
+  return sorted[std::min(rank, n) - 1];
+}
+
 }  // namespace
+
+// Token bucket, counter slice, and latency ring of one tenant. Metric
+// handles are resolved once at creation so the admission path never
+// concatenates metric names.
+struct BatchScheduler::TenantState {
+  TenantQuota quota;
+  double tokens = 0.0;
+  Clock::time_point last_refill;
+
+  TenantCounters counters;  // p99_seconds filled from the ring on read
+
+  std::array<double, kTenantLatencyWindow> latency{};
+  std::size_t latency_count = 0;
+
+  Counter* m_submitted;
+  Counter* m_admitted;
+  Counter* m_shed;
+  Counter* m_expired;
+  Counter* m_completed;
+  Gauge* m_p99;
+};
 
 BatchScheduler::BatchScheduler(const QueryEngine* engine,
                                BatchSchedulerOptions options)
@@ -80,14 +118,78 @@ BatchScheduler::~BatchScheduler() {
   dispatcher_.join();
 }
 
+BatchScheduler::TenantState& BatchScheduler::Tenant(
+    const RequestContext& context) {
+  const std::string_view id = RequestTenant(context);
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return *it->second;
+
+  auto state = std::make_unique<TenantState>();
+  auto quota_it = options_.qos.tenant_quotas.find(std::string(id));
+  state->quota = quota_it != options_.qos.tenant_quotas.end()
+                     ? quota_it->second
+                     : options_.qos.default_quota;
+  if (state->quota.burst <= 0.0) {
+    state->quota.burst = state->quota.tokens_per_second;
+  }
+  state->tokens = state->quota.burst;  // bucket starts full
+  state->last_refill = Clock::now();
+  const std::string prefix = "serve.qos." + std::string(id) + ".";
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  state->m_submitted = registry.GetCounter(prefix + "submitted");
+  state->m_admitted = registry.GetCounter(prefix + "admitted");
+  state->m_shed = registry.GetCounter(prefix + "shed");
+  state->m_expired = registry.GetCounter(prefix + "expired");
+  state->m_completed = registry.GetCounter(prefix + "completed");
+  state->m_p99 = registry.GetGauge(prefix + "p99");
+  it = tenants_.emplace(std::string(id), std::move(state)).first;
+  return *it->second;
+}
+
+bool BatchScheduler::SpendToken(TenantState& tenant) {
+  if (tenant.quota.tokens_per_second <= 0.0) return true;  // unlimited
+  const Clock::time_point now = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - tenant.last_refill).count();
+  tenant.last_refill = now;
+  tenant.tokens = std::min(
+      tenant.quota.burst,
+      tenant.tokens + elapsed * tenant.quota.tokens_per_second);
+  if (tenant.tokens < 1.0) return false;
+  tenant.tokens -= 1.0;
+  return true;
+}
+
+std::size_t BatchScheduler::QueuedTotal() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.size();
+  return total;
+}
+
+bool BatchScheduler::AdmitFill(RequestPriority priority) const {
+  const std::size_t queued = QueuedTotal();
+  if (queued >= options_.max_queue) return false;  // full: everyone sheds
+  const double fill =
+      static_cast<double>(queued) / static_cast<double>(options_.max_queue);
+  switch (priority) {
+    case RequestPriority::kBatch:
+      return fill < options_.qos.batch_shed_fill;
+    case RequestPriority::kStandard:
+      return fill < options_.qos.standard_shed_fill;
+    case RequestPriority::kInteractive:
+      return true;
+  }
+  return true;
+}
+
 std::future<BatchScheduler::Result> BatchScheduler::Submit(
-    std::vector<double> query, QueryOptions options) {
+    const Request& request) {
   const SchedulerMetrics& metrics = SchedulerMetrics::Get();
   std::promise<Result> promise;
   std::future<Result> future = promise.get_future();
 
-  // Admission failpoint: an injected admission failure answers the
-  // request immediately with the armed status.
+  // Scheduling failpoint: an injected failure here answers the request
+  // before it is ever accounted (chaos for the submission transport).
   if (Failpoints::AnyArmed()) {
     const Status injected = Failpoints::Hit("serve/schedule");
     if (!injected.ok()) {
@@ -95,22 +197,22 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
       return future;
     }
   }
-  if (std::isnan(options.deadline_seconds) ||
-      options.deadline_seconds <= 0.0) {
-    promise.set_value(Status::InvalidArgument(
-        "deadline must be positive (use +infinity for no deadline)"));
+  const Status context_status = ValidateRequestContext(request.context);
+  if (!context_status.ok()) {
+    promise.set_value(context_status);
     return future;
   }
 
   Pending pending;
-  pending.query = std::move(query);
+  pending.query.assign(request.query.begin(), request.query.end());
   pending.submitted_at = Clock::now();
-  pending.has_deadline = std::isfinite(options.deadline_seconds);
+  pending.has_deadline = std::isfinite(request.context.deadline_seconds);
   if (pending.has_deadline) {
-    pending.deadline =
-        pending.submitted_at + SecondsToDuration(options.deadline_seconds);
+    pending.deadline = pending.submitted_at +
+                       SecondsToDuration(request.context.deadline_seconds);
   }
-  pending.options = std::move(options);
+  pending.options = request.options;
+  pending.context = request.context;
   pending.promise = std::move(promise);
 
   {
@@ -119,25 +221,63 @@ std::future<BatchScheduler::Result> BatchScheduler::Submit(
     // in the header. Nothing may call back into the scheduler from a
     // metric lock.
     MutexLock lock(mutex_);
+    TenantState& tenant = Tenant(pending.context);
     ++counters_.submitted;
+    ++tenant.counters.submitted;
     metrics.submitted->Increment();
-    if (shutting_down_ || queue_.size() >= options_.max_queue) {
+    tenant.m_submitted->Increment();
+
+    // Sheds this submission with whatever status the chaos test armed.
+    // Placed after the submission is counted so an injected admission
+    // failure is accounted exactly like a real shed and the per-tenant
+    // partition invariant (shed + expired + completed == submitted)
+    // holds under chaos.
+    auto shed = [&](Status status) {
       ++counters_.shed;
+      ++tenant.counters.shed;
       metrics.shed->Increment();
-      // Deliberate shedding, not a transient fault: kResourceExhausted
-      // here means "back off", never "retry" (see header; transient
-      // faults are kUnavailable).
-      pending.promise.set_value(Status::ResourceExhausted(
-          shutting_down_ ? "scheduler is shutting down"
-                         : "serve queue full (" +
-                               std::to_string(options_.max_queue) +
-                               " requests queued)"));
+      tenant.m_shed->Increment();
+      pending.promise.set_value(std::move(status));
+    };
+    if (Failpoints::AnyArmed()) {
+      const Status injected = Failpoints::Hit("serve/qos/admit");
+      if (!injected.ok()) {
+        shed(injected);
+        return future;
+      }
+    }
+    // Deliberate shedding, not a transient fault: kResourceExhausted
+    // here means "back off", never "retry" (see header; transient
+    // faults are kUnavailable).
+    if (shutting_down_) {
+      shed(Status::ResourceExhausted("scheduler is shutting down"));
       return future;
     }
-    queue_.push_back(std::move(pending));
+    if (!SpendToken(tenant)) {
+      shed(Status::ResourceExhausted(
+          "tenant \"" + std::string(RequestTenant(pending.context)) +
+          "\" is over its admission rate"));
+      return future;
+    }
+    if (!AdmitFill(pending.context.priority)) {
+      shed(Status::ResourceExhausted(
+          QueuedTotal() >= options_.max_queue
+              ? "serve queue full (" + std::to_string(options_.max_queue) +
+                    " requests queued)"
+              : "queue too full for priority \"" +
+                    std::string(RequestPriorityName(
+                        pending.context.priority)) +
+                    "\""));
+      return future;
+    }
+
+    const std::size_t lane =
+        static_cast<std::size_t>(pending.context.priority);
+    lanes_[lane].push_back(std::move(pending));
+    tenant.m_admitted->Increment();
     counters_.max_queue_depth =
-        std::max(counters_.max_queue_depth, queue_.size());
-    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+        std::max(counters_.max_queue_depth, QueuedTotal());
+    metrics.queue_depth->Set(static_cast<double>(QueuedTotal()));
   }
   work_available_.NotifyOne();
   return future;
@@ -149,34 +289,72 @@ void BatchScheduler::DispatchLoop() {
     std::vector<Pending> batch;
     {
       MutexLock lock(mutex_);
-      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
-      if (queue_.empty() && shutting_down_) return;
-      const std::size_t take = std::min(options_.max_batch, queue_.size());
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      while (!shutting_down_ && (QueuedTotal() == 0 || paused_)) {
+        work_available_.Wait(mutex_);
       }
+      if (QueuedTotal() == 0 && shutting_down_) return;
+      batch = TakeBatch();
       ++counters_.batches;
       metrics.batches->Increment();
-      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+      metrics.queue_depth->Set(static_cast<double>(QueuedTotal()));
       in_flight_ += batch.size();
       if (shutting_down_) {
         // Fail the drained batch instead of executing it: shutdown must
         // not block on engine work, but every promise must be answered.
         // These requests never executed, so they count as shed.
         for (Pending& pending : batch) {
+          TenantState& tenant = Tenant(pending.context);
           pending.promise.set_value(
               Status::ResourceExhausted("scheduler is shutting down"));
           ++counters_.shed;
+          ++tenant.counters.shed;
           metrics.shed->Increment();
+          tenant.m_shed->Increment();
         }
         in_flight_ -= batch.size();
+        if (QueuedTotal() == 0 && in_flight_ == 0) {
+          queue_drained_.NotifyAll();
+        }
         continue;
       }
     }
     RunBatch(std::move(batch));
   }
+}
+
+std::vector<BatchScheduler::Pending> BatchScheduler::TakeBatch() {
+  std::vector<Pending> batch;
+  batch.reserve(std::min(options_.max_batch, QueuedTotal()));
+  std::size_t total_weight = 0;
+  for (std::size_t w : options_.qos.lane_weights) total_weight += w;
+  if (total_weight == 0) total_weight = 1;
+
+  // First pass: each lane gets its weighted share of the batch,
+  // highest priority first.
+  for (std::size_t p = kNumRequestPriorities; p-- > 0;) {
+    std::deque<Pending>& lane = lanes_[p];
+    if (lane.empty()) continue;
+    const std::size_t share = std::max<std::size_t>(
+        1, options_.max_batch * options_.qos.lane_weights[p] / total_weight);
+    std::size_t take = std::min(share, lane.size());
+    take = std::min(take, options_.max_batch - batch.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(lane.front()));
+      lane.pop_front();
+    }
+    if (batch.size() >= options_.max_batch) return batch;
+  }
+  // Second pass: slots a lighter (or empty) lane left unused fall
+  // through, still highest priority first.
+  for (std::size_t p = kNumRequestPriorities; p-- > 0;) {
+    std::deque<Pending>& lane = lanes_[p];
+    while (!lane.empty() && batch.size() < options_.max_batch) {
+      batch.push_back(std::move(lane.front()));
+      lane.pop_front();
+    }
+    if (batch.size() >= options_.max_batch) break;
+  }
+  return batch;
 }
 
 std::vector<std::vector<std::size_t>> BatchScheduler::GroupCompatible(
@@ -209,6 +387,10 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
   // vector<bool>) keep those writes race-free.
   std::vector<unsigned char> answered(batch.size(), 0);
   std::vector<unsigned char> expired(batch.size(), 0);
+  // End-to-end latency (submit -> answer) per member, for the tenant
+  // p99 rings; members answered late (cancelled chunks) are stamped in
+  // the accounting loop below.
+  std::vector<double> latency(batch.size(), 0.0);
 
   // Coalesced execution plan: compatible members share one
   // Engine::BatchQuery call; with batching off (or nothing compatible)
@@ -246,9 +428,10 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
 
     if (live.size() == 1) {
       Pending& pending = batch[live.front()];
-      Result result = engine_->Query(pending.query, pending.options);
+      Result result = engine_->Query(
+          Request{pending.query, pending.options, pending.context});
+      const Clock::time_point done = Clock::now();
       if (result.ok()) {
-        const Clock::time_point done = Clock::now();
         QueryStats& stats = result.value().stats;
         stats.queue_seconds =
             std::chrono::duration<double>(start - pending.submitted_at)
@@ -256,6 +439,8 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
         stats.deadline_met =
             !pending.has_deadline || done <= pending.deadline;
       }
+      latency[live.front()] =
+          std::chrono::duration<double>(done - pending.submitted_at).count();
       pending.promise.set_value(std::move(result));
       answered[live.front()] = 1;
       return;
@@ -266,12 +451,19 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
       const std::vector<double>& q = batch[live[j]].query;
       std::copy(q.begin(), q.end(), group_queries.Row(j).begin());
     }
-    auto results = engine_->BatchQuery(group_queries,
-                                       batch[live.front()].options);
+    // The engine gets the first live member's context (the group shares
+    // one QueryOptions; context differences are re-judged per member
+    // right below, so which member's context rides along is cosmetic).
+    auto results =
+        engine_->BatchQuery(group_queries, batch[live.front()].options,
+                            batch[live.front()].context);
     const Clock::time_point done = Clock::now();
     batch_groups.fetch_add(1, std::memory_order_relaxed);
     if (!results.ok()) {
       for (std::size_t i : live) {
+        latency[i] =
+            std::chrono::duration<double>(done - batch[i].submitted_at)
+                .count();
         batch[i].promise.set_value(results.status());
         answered[i] = 1;
       }
@@ -287,6 +479,8 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
               .count();
       result.stats.deadline_met =
           !pending.has_deadline || done <= pending.deadline;
+      latency[live[j]] =
+          std::chrono::duration<double>(done - pending.submitted_at).count();
       pending.promise.set_value(std::move(result));
       answered[live[j]] = 1;
     }
@@ -305,9 +499,13 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
 
   // Cancelled or failed chunks leave requests unanswered; answer them
   // with the batch's status so no queued work is ever leaked.
+  const Clock::time_point cleanup = Clock::now();
   std::size_t expired_count = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (answered[i] == 0) {
+      latency[i] =
+          std::chrono::duration<double>(cleanup - batch[i].submitted_at)
+              .count();
       batch[i].promise.set_value(
           batch_status.ok()
               ? Status::Internal("batch finished without answering request")
@@ -330,19 +528,68 @@ void BatchScheduler::RunBatch(std::vector<Pending> batch) {
     metrics.batch_groups->Add(batch_groups.load(std::memory_order_relaxed));
     metrics.batched_queries->Add(
         batched_queries.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      TenantState& tenant = Tenant(batch[i].context);
+      if (expired[i] != 0) {
+        ++tenant.counters.expired;
+        tenant.m_expired->Increment();
+      } else {
+        ++tenant.counters.completed;
+        tenant.m_completed->Increment();
+        tenant.latency[tenant.latency_count % kTenantLatencyWindow] =
+            latency[i];
+        ++tenant.latency_count;
+        tenant.m_p99->Set(RingP99(tenant.latency, tenant.latency_count));
+      }
+    }
     in_flight_ -= batch.size();
-    if (queue_.empty() && in_flight_ == 0) queue_drained_.NotifyAll();
+    if (QueuedTotal() == 0 && in_flight_ == 0) queue_drained_.NotifyAll();
   }
 }
 
 void BatchScheduler::Drain() {
   MutexLock lock(mutex_);
-  while (!(queue_.empty() && in_flight_ == 0)) queue_drained_.Wait(mutex_);
+  while (!(QueuedTotal() == 0 && in_flight_ == 0)) {
+    queue_drained_.Wait(mutex_);
+  }
+}
+
+void BatchScheduler::Pause() {
+  MutexLock lock(mutex_);
+  paused_ = true;
+}
+
+void BatchScheduler::Resume() {
+  {
+    MutexLock lock(mutex_);
+    paused_ = false;
+  }
+  work_available_.NotifyAll();
 }
 
 SchedulerCounters BatchScheduler::counters() const {
   MutexLock lock(mutex_);
   return counters_;
+}
+
+TenantCounters BatchScheduler::tenant_counters(
+    const std::string& tenant_id) const {
+  MutexLock lock(mutex_);
+  const std::string& key = tenant_id.empty() ? "default" : tenant_id;
+  auto it = tenants_.find(key);
+  if (it == tenants_.end()) return {};
+  TenantCounters counters = it->second->counters;
+  counters.p99_seconds =
+      RingP99(it->second->latency, it->second->latency_count);
+  return counters;
+}
+
+std::vector<std::string> BatchScheduler::tenants() const {
+  MutexLock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) out.push_back(id);
+  return out;
 }
 
 }  // namespace ips

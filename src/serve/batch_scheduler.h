@@ -1,21 +1,34 @@
 // Copyright 2026 The ipsjoin Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// Deadline-aware batch scheduling on top of ThreadPool: concurrent TopK
-// requests are coalesced into batches by a dispatcher thread and fanned
-// out over the pool with the cancellable ParallelForStatus, so one
-// injected or internal failure cancels the rest of the batch and every
-// queued request still gets an answer (a Status, never silence).
+// Deadline-aware, QoS-enforcing batch scheduling on top of ThreadPool:
+// concurrent serve Requests are admitted through per-tenant token
+// buckets and priority-aware admission control, queued into weighted
+// priority lanes, coalesced into batches by a dispatcher thread, and
+// fanned out over the pool with the cancellable ParallelForStatus — so
+// one injected or internal failure cancels the rest of the batch and
+// every queued request still gets an answer (a Status, never silence).
 //
-// Admission and deadline semantics:
-//  * Submit sheds load with kResourceExhausted when the queue is full.
-//    Shedding is deliberate back-pressure, NOT a transient fault:
+// Admission and deadline semantics (DESIGN.md §14):
+//  * Per-tenant token buckets: a tenant with a quota spends one token
+//    per submission; an empty bucket sheds THAT tenant's request with
+//    kResourceExhausted while other tenants are untouched — a 10x
+//    overload from one tenant cannot queue ahead of anyone else.
+//  * Priority lanes: requests queue into one lane per RequestPriority.
+//    The dispatcher drains lanes by weight (qos.lane_weights),
+//    highest-priority first, so interactive traffic overtakes batch
+//    traffic that arrived earlier.
+//  * Admission control sheds low-priority load BEFORE deadlines blow:
+//    above qos.batch_shed_fill of max_queue, kBatch submissions are
+//    shed; above qos.standard_shed_fill, kStandard too. kInteractive is
+//    only shed by a completely full queue.
+//  * Shedding is deliberate back-pressure, NOT a transient fault:
 //    kResourceExhausted from this scheduler must not be retried
 //    blindly (retrying amplifies the overload that caused it).
 //    Transient shard/transport faults use kUnavailable, the one code
 //    the sharded retry policy (serve/sharded_engine.h) classifies as
 //    retryable.
-//  * A request whose deadline (options.deadline_seconds, relative to
+//  * A request whose deadline (context.deadline_seconds, relative to
 //    submission) has passed before execution starts fails with
 //    kDeadlineExceeded without burning engine work.
 //  * A request that starts in time but finishes late still returns its
@@ -25,45 +38,89 @@
 //
 // Every submission lands in exactly one of {shed, expired, completed},
 // so shed + expired + completed == submitted at any quiescent point
-// (after Drain, or destruction). The same counters are mirrored into
-// the MetricsRegistry as "serve.scheduler.*", with the live queue depth
-// on the "serve.scheduler.queue_depth" gauge.
+// (after Drain, or destruction) — globally AND per tenant. The global
+// counters are mirrored into the MetricsRegistry as "serve.scheduler.*"
+// (live queue depth on "serve.scheduler.queue_depth"); per-tenant
+// counters as "serve.qos.<tenant>.{submitted,admitted,shed,expired,
+// completed}" with the rolling p99 latency (seconds) on the
+// "serve.qos.<tenant>.p99" gauge.
 //
-// Failpoints: "serve/schedule" (admission), "serve/deadline" (batch
-// execution; firing cancels the batch's remaining chunks).
+// Failpoints: "serve/schedule" (before admission; an injected failure
+// answers the promise without touching counters), "serve/qos/admit"
+// (inside admission, after the submission is counted; an injected
+// failure is accounted as a shed — the partition invariant holds under
+// chaos), "serve/deadline" (batch execution; firing cancels the
+// batch's remaining chunks).
 
 #ifndef IPS_SERVE_BATCH_SCHEDULER_H_
 #define IPS_SERVE_BATCH_SCHEDULER_H_
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
+#include <map>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/query_engine.h"
+#include "serve/request.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ips {
 
+/// Per-tenant rate limit. The bucket starts full (at `burst`), refills
+/// continuously at tokens_per_second, and each submission spends one
+/// token; an empty bucket sheds the submission.
+struct TenantQuota {
+  /// Sustained admission rate; 0 = unlimited (no bucket).
+  double tokens_per_second = 0.0;
+  /// Bucket capacity — the burst a tenant may submit instantaneously.
+  /// 0 picks tokens_per_second (one second of burst).
+  double burst = 0.0;
+};
+
+/// Multi-tenant QoS policy of the scheduler.
+struct QosOptions {
+  /// Quota applied to tenants without an explicit entry. Default:
+  /// unlimited (single-tenant deployments see no behavior change).
+  TenantQuota default_quota;
+  /// Per-tenant overrides, keyed by tenant id ("" = "default").
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Dispatch slots per lane per batch, indexed by RequestPriority.
+  /// The dispatcher fills the batch highest-priority-first, each lane
+  /// capped at weight/total of max_batch (unused slots fall through to
+  /// lower lanes, so an idle high lane costs nothing).
+  std::array<std::size_t, kNumRequestPriorities> lane_weights = {1, 4, 16};
+  /// Queue-fill fraction above which kBatch submissions are shed.
+  double batch_shed_fill = 0.5;
+  /// Queue-fill fraction above which kStandard submissions are shed.
+  double standard_shed_fill = 0.85;
+};
+
 /// Scheduler tuning.
 struct BatchSchedulerOptions {
   /// Worker threads executing batches (0 = inline execution).
   std::size_t num_threads = ThreadPool::DefaultThreadCount();
-  /// Submissions beyond this queue depth are shed with
-  /// kResourceExhausted.
+  /// Submissions beyond this total queue depth (all lanes) are shed
+  /// with kResourceExhausted.
   std::size_t max_queue = 1024;
   /// Requests coalesced into one batch (one ParallelForStatus fan-out).
   std::size_t max_batch = 64;
-  /// Hand compatible members of a coalesced batch (identical options
-  /// apart from the deadline, which stays per-member) to one
+  /// Hand compatible members of a coalesced batch (identical
+  /// QueryOptions; the RequestContext stays per-member) to one
   /// Engine::BatchQuery call instead of one Engine::Query each. Off
   /// reproduces the sequential per-request execution (the bench A/B
   /// baseline).
   bool use_batch_execution = true;
+  /// Multi-tenant QoS: token buckets, priority lanes, admission control.
+  QosOptions qos;
 };
 
 /// Monotonic counters of a scheduler's lifetime (snapshot). Partition
@@ -74,7 +131,8 @@ struct SchedulerCounters {
   /// Answered through batch execution (a response, an engine error, or
   /// a batch cancellation) — not shed, not expired.
   std::size_t completed = 0;
-  /// Rejected without execution: queue full, or scheduler shutdown.
+  /// Rejected without execution: queue full, admission control, an
+  /// empty token bucket, or scheduler shutdown.
   std::size_t shed = 0;
   /// Deadline passed before execution started.
   std::size_t expired = 0;
@@ -88,8 +146,22 @@ struct SchedulerCounters {
   std::size_t batched_queries = 0;
 };
 
-/// Coalescing scheduler over one QueryEngine (a single-node Engine or a
-/// ShardedEngine). Thread-safe.
+/// One tenant's slice of the lifetime counters (same partition
+/// invariant as SchedulerCounters, per tenant), plus its rolling
+/// latency percentile.
+struct TenantCounters {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::size_t expired = 0;
+  /// p99 of end-to-end latency (submit -> answer, seconds) over the
+  /// tenant's most recent completions (bounded window); 0 before the
+  /// first completion.
+  double p99_seconds = 0.0;
+};
+
+/// Coalescing QoS scheduler over one QueryEngine (a single-node Engine
+/// or a ShardedEngine). Thread-safe.
 class BatchScheduler {
  public:
   using Result = StatusOr<QueryResult>;
@@ -104,32 +176,68 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  /// Enqueues one request; options.deadline_seconds is the relative
+  /// Enqueues one request. request.query is copied into owned storage
+  /// before Submit returns; context.deadline_seconds is the relative
   /// deadline (infinity = none). The returned future always becomes
   /// ready: with the response, or with the Status of shedding / expiry /
   /// cancellation / engine failure. Discarding the future leaks the
   /// request's outcome, hence [[nodiscard]].
-  [[nodiscard]] std::future<Result> Submit(std::vector<double> query,
-                                           QueryOptions options)
+  [[nodiscard]] std::future<Result> Submit(const Request& request)
       IPS_EXCLUDES(mutex_);
 
   /// Blocks until every submitted request has been answered.
   void Drain() IPS_EXCLUDES(mutex_);
 
+  /// Holds dispatch (submissions still enqueue) until Resume. Tests use
+  /// the pair to observe lane ordering deterministically.
+  void Pause() IPS_EXCLUDES(mutex_);
+  void Resume() IPS_EXCLUDES(mutex_);
+
   SchedulerCounters counters() const IPS_EXCLUDES(mutex_);
+
+  /// Counters of one tenant ("" = "default"); zeros for a tenant never
+  /// seen.
+  TenantCounters tenant_counters(const std::string& tenant_id) const
+      IPS_EXCLUDES(mutex_);
+  /// Every tenant that has submitted at least once.
+  std::vector<std::string> tenants() const IPS_EXCLUDES(mutex_);
 
  private:
   struct Pending {
     std::vector<double> query;
     QueryOptions options;
+    RequestContext context;
     std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point submitted_at;
     bool has_deadline = false;
     std::promise<Result> promise;
   };
 
+  /// Token bucket + counters + latency ring of one tenant, created on
+  /// first submission. Latency samples feed the p99 the registry gauge
+  /// "serve.qos.<tenant>.p99" mirrors.
+  struct TenantState;
+
   void DispatchLoop() IPS_EXCLUDES(mutex_);
   void RunBatch(std::vector<Pending> batch) IPS_EXCLUDES(mutex_);
+
+  /// The tenant's state, created on first touch (registry counters are
+  /// resolved once here, so the hot path never builds metric names).
+  TenantState& Tenant(const RequestContext& context) IPS_REQUIRES(mutex_);
+
+  /// Spends one token from the tenant's bucket (refilled by wall
+  /// clock); false = empty bucket, shed.
+  bool SpendToken(TenantState& tenant) IPS_REQUIRES(mutex_);
+
+  /// Priority-aware fill-level admission: false when the queue is too
+  /// full for this lane.
+  bool AdmitFill(RequestPriority priority) const IPS_REQUIRES(mutex_);
+
+  /// Takes up to max_batch requests off the lanes by weight,
+  /// highest-priority first.
+  std::vector<Pending> TakeBatch() IPS_REQUIRES(mutex_);
+
+  std::size_t QueuedTotal() const IPS_REQUIRES(mutex_);
 
   /// Partitions batch indices into groups whose members can share one
   /// Engine::BatchQuery call; incompatible or wrong-dimension requests
@@ -147,10 +255,15 @@ class BatchScheduler {
   mutable Mutex mutex_ IPS_ACQUIRED_BEFORE(Counter::mutex_);
   CondVar work_available_;
   CondVar queue_drained_;
-  std::deque<Pending> queue_ IPS_GUARDED_BY(mutex_);
+  /// One FIFO lane per RequestPriority, indexed by its integer value.
+  std::array<std::deque<Pending>, kNumRequestPriorities> lanes_
+      IPS_GUARDED_BY(mutex_);
   SchedulerCounters counters_ IPS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_
+      IPS_GUARDED_BY(mutex_);
   std::size_t in_flight_ IPS_GUARDED_BY(mutex_) = 0;
   bool shutting_down_ IPS_GUARDED_BY(mutex_) = false;
+  bool paused_ IPS_GUARDED_BY(mutex_) = false;
   // The one deliberate thread outside util::ThreadPool: the dispatcher
   // must block on the queue while the pool executes batches.
   std::thread dispatcher_;  // ipslint:allow(naked-thread)

@@ -41,6 +41,20 @@ std::vector<std::size_t> SampleRows(const Matrix& data, std::size_t count,
   return indices;
 }
 
+// True when the plan's executed path can return a wrong top-k even
+// though the calibration said it would not: every non-exact precision,
+// plus the candidate-generating algorithms (LSH, sketch) whose recall
+// depends on the query distribution. The audit cadence keys off this
+// rather than `expected_recall < 1.0` so a path whose warmup recall
+// calibrated to exactly 1.0 (common for quantized re-rank on
+// well-scaled data) still gets shadow-audited — otherwise a
+// distribution shift that breaks it would never be observed.
+bool PlanCanMiss(const PlanDecision& plan) {
+  return plan.precision != QueryPrecision::kExact ||
+         plan.algorithm == QueryAlgo::kLsh ||
+         plan.algorithm == QueryAlgo::kSketch;
+}
+
 Matrix GatherRows(const Matrix& data, const std::vector<std::size_t>& rows) {
   Matrix out(rows.size(), data.cols());
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -64,7 +78,10 @@ Engine::Engine(Matrix data, EngineOptions options, DatasetProfile profile,
       options_(options),
       profile_(profile),
       planner_(std::move(planner)),
-      build_rng_(options.seed) {}
+      build_rng_(options.seed) {
+  feedback_ =
+      std::make_unique<FeedbackPlanner>(planner_.get(), options_.feedback);
+}
 
 StatusOr<std::unique_ptr<Engine>> Engine::Create(Matrix data,
                                                  EngineOptions options) {
@@ -77,6 +94,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Create(Matrix data,
     return Status::InvalidArgument("engine lsh k and l must be >= 1");
   }
   IPS_RETURN_IF_ERROR(ValidateFilterParams(options.sketch_filter));
+  IPS_RETURN_IF_ERROR(ValidateFeedbackOptions(options.feedback));
   std::unique_ptr<Engine> engine(
       new Engine(std::move(data), options));
   IPS_RETURN_IF_ERROR(engine->Calibrate());
@@ -102,6 +120,8 @@ Status Engine::Calibrate() {
       std::min(options_.probe_queries, profile_.n);
   if (probes == 0) {
     planner_ = std::make_unique<Planner>(profile_, calib);
+    feedback_ =
+        std::make_unique<FeedbackPlanner>(planner_.get(), options_.feedback);
     return Status::Ok();
   }
 
@@ -149,6 +169,7 @@ Status Engine::Calibrate() {
     IPS_RETURN_IF_ERROR(probe_lsh.status());
     double candidate_total = 0.0;
     std::size_t lsh_hits = 0;
+    std::size_t lsh_topk_hits = 0;
     std::size_t sketch_hits = 0;
     auto probe_sketch = SketchIndex::Create(
         sample, SketchConfig{options_.sketch_params, options_.sketch_filter},
@@ -172,13 +193,27 @@ Status Engine::Calibrate() {
           TopKBruteForce(sample, q, 1, /*is_signed=*/true);
       const auto exact_unsigned =
           TopKBruteForce(sample, q, 1, /*is_signed=*/false);
+      const auto exact_topk =
+          TopKBruteForce(sample, q, rerank_probe.k, /*is_signed=*/true);
+      // One k=5 LSH probe measures both depths: its first element is
+      // the k=1 answer (recall@1), and its overlap with the exact top-5
+      // is the recall@5 that governs k > 1 eligibility. The candidate
+      // set LSH retrieves is independent of k, so one call suffices.
       QueryStats lsh_stats;
-      auto lsh_top = (*probe_lsh)->Query(q, signed_probe, &lsh_stats);
+      auto lsh_top = (*probe_lsh)->Query(q, rerank_probe, &lsh_stats);
       IPS_RETURN_IF_ERROR(lsh_top.status());
       candidate_total += static_cast<double>(lsh_stats.candidates);
       if (!(*lsh_top).empty() && !exact_signed.empty() &&
           (*lsh_top)[0].index == exact_signed[0].index) {
         ++lsh_hits;
+      }
+      for (const SearchMatch& truth : exact_topk) {
+        for (const SearchMatch& got : *lsh_top) {
+          if (got.index == truth.index) {
+            ++lsh_topk_hits;
+            break;
+          }
+        }
       }
       QueryStats sketch_stats;
       auto sketch_top =
@@ -188,8 +223,6 @@ Status Engine::Calibrate() {
           (*sketch_top)[0].index == exact_unsigned[0].index) {
         ++sketch_hits;
       }
-      const auto exact_topk =
-          TopKBruteForce(sample, q, rerank_probe.k, /*is_signed=*/true);
       const auto quant_topk =
           QueryQuantizedRerank(sample, probe_quant, q, rerank_probe);
       const auto filter_topk =
@@ -218,6 +251,8 @@ Status Engine::Calibrate() {
     calib.sketch_recall =
         static_cast<double>(sketch_hits) / static_cast<double>(probes);
     if (rerank_total > 0) {
+      calib.lsh_topk_recall = static_cast<double>(lsh_topk_hits) /
+                              static_cast<double>(rerank_total);
       calib.quant_recall = static_cast<double>(quant_hits) /
                            static_cast<double>(rerank_total);
       calib.filter_recall = static_cast<double>(filter_hits) /
@@ -227,6 +262,8 @@ Status Engine::Calibrate() {
 
   calib.probe_queries = probes;
   planner_ = std::make_unique<Planner>(profile_, calib);
+  feedback_ =
+      std::make_unique<FeedbackPlanner>(planner_.get(), options_.feedback);
   return Status::Ok();
 }
 
@@ -290,8 +327,7 @@ Status Engine::EnsureIndex(QueryAlgo algo) const {
   return Status::InvalidArgument("unknown serve algorithm");
 }
 
-StatusOr<QueryResult> Engine::Query(std::span<const double> query,
-                                    const QueryOptions& options) const {
+StatusOr<QueryResult> Engine::Query(const Request& request) const {
   static Counter* const requests =
       MetricsRegistry::Global().GetCounter("serve.engine.requests");
   static Counter* const traced =
@@ -304,6 +340,9 @@ StatusOr<QueryResult> Engine::Query(std::span<const double> query,
   static Histogram* const exec_seconds =
       MetricsRegistry::Global().GetHistogram("serve.engine.exec_seconds");
 
+  const std::span<const double> query = request.query;
+  const QueryOptions& options = request.options;
+  IPS_RETURN_IF_ERROR(ValidateRequestContext(request.context));
   IPS_RETURN_IF_ERROR(
       ValidateVectorDims(query, profile_.dim, "serve query"));
   IPS_RETURN_IF_ERROR(ValidateVectorFinite(query, "serve query"));
@@ -327,9 +366,22 @@ StatusOr<QueryResult> Engine::Query(std::span<const double> query,
   }();
   IPS_RETURN_IF_ERROR(outcome.status());
   QueryResult result = std::move(outcome).value();
+  // Shadow audit (feedback loop): planner-chosen paths that can miss —
+  // forced paths are A/B probes and explicit precisions pin the
+  // caller's mode, and a truly exact plan has nothing to learn. Note
+  // the gate is PlanCanMiss, not expected_recall < 1.0: a path whose
+  // warmup recall calibrated to exactly 1.0 must still be audited or
+  // the feedback loop is blind to it degrading under shift. The
+  // audit's brute scan is billed to this request (it ran here) and its
+  // wall time lands in exec_seconds below.
+  if (options_.feedback.enabled && !options.force_algorithm.has_value() &&
+      options.precision == QueryPrecision::kAuto &&
+      PlanCanMiss(result.plan) && feedback_->BeginAudit(options)) {
+    AuditResult(query, options, &result);
+  }
   result.stats.exec_seconds = timer.Seconds();
   result.stats.deadline_met =
-      result.stats.exec_seconds <= options.deadline_seconds;
+      result.stats.exec_seconds <= request.context.deadline_seconds;
   selected[static_cast<std::size_t>(result.stats.algorithm)]->Increment();
   exec_seconds->Observe(result.stats.exec_seconds);
   if (trace != nullptr) {
@@ -364,9 +416,51 @@ StatusOr<PlanDecision> Engine::MakePlan(const QueryOptions& options,
         std::string("forced ") + std::string(QueryAlgoName(forced));
     return plan;
   }
-  auto decision = planner_->Plan(options);
+  // The adaptive layer: live re-fit estimates override the warmup
+  // calibration per workload segment (a straight pass-through to the
+  // base planner while feedback is disabled).
+  auto decision = feedback_->Plan(options);
   IPS_RETURN_IF_ERROR(decision.status());
   return std::move(decision).value();
+}
+
+void Engine::AuditResult(std::span<const double> query,
+                         const QueryOptions& options,
+                         QueryResult* result) const {
+  const auto exact =
+      TopKBruteForce(data_, query, options.k, options.is_signed);
+  std::size_t hits = 0;
+  for (const SearchMatch& truth : exact) {
+    for (const SearchMatch& got : result->matches) {
+      if (got.index == truth.index) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double observed_recall =
+      exact.empty() ? 1.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(exact.size());
+  // The served path's own cost is what the re-fit curves price; the
+  // audit scan is accounted separately below.
+  feedback_->RecordAudit(options, result->plan.algorithm,
+                         result->plan.precision, observed_recall,
+                         static_cast<double>(result->stats.dot_products));
+  result->stats.dot_products += data_.rows();
+  result->stats.metrics.Add("serve.feedback.audit_dots",
+                            static_cast<double>(data_.rows()));
+  if (observed_recall < options.recall_target) {
+    // Predicted-miss hedging, audit flavor: the exact answer is already
+    // in hand, so the caller gets it instead of the miss. The miss
+    // still trained the curves above, which is what evicts the path.
+    feedback_->NoteHedge();
+    result->matches = exact;
+    result->plan.reason +=
+        "; feedback-hedged to exact (observed recall " +
+        std::to_string(observed_recall) + " below target " +
+        std::to_string(options.recall_target) + ")";
+  }
 }
 
 const MipsIndex* Engine::PinIndex(QueryAlgo algo) const {
@@ -385,7 +479,8 @@ const MipsIndex* Engine::PinIndex(QueryAlgo algo) const {
 }
 
 StatusOr<std::vector<QueryResult>> Engine::BatchQuery(
-    const Matrix& queries, const QueryOptions& options) const {
+    const Matrix& queries, const QueryOptions& options,
+    const RequestContext& context) const {
   static Counter* const batch_requests =
       MetricsRegistry::Global().GetCounter("serve.engine.batch.requests");
   static Counter* const batch_queries =
@@ -401,6 +496,7 @@ StatusOr<std::vector<QueryResult>> Engine::BatchQuery(
       "serve.engine.batch.exec_seconds");
 
   IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  IPS_RETURN_IF_ERROR(ValidateRequestContext(context));
   const std::size_t m = queries.rows();
   if (m == 0) return std::vector<QueryResult>();
   IPS_RETURN_IF_ERROR(
@@ -441,10 +537,11 @@ StatusOr<std::vector<QueryResult>> Engine::BatchQuery(
   const double amortized = total_seconds / static_cast<double>(m);
   for (QueryResult& result : results) {
     result.stats.exec_seconds = amortized;
-    // Per-member deadline inheritance (QueryOptions::deadline_seconds):
-    // judged against the amortized share here; the scheduler replaces
-    // this with queue-aware wall clock for scheduled traffic.
-    result.stats.deadline_met = amortized <= options.deadline_seconds;
+    // Per-member deadline inheritance (RequestContext::deadline_seconds
+    // of the shared context): judged against the amortized share here;
+    // the scheduler replaces this with queue-aware wall clock for
+    // scheduled traffic.
+    result.stats.deadline_met = amortized <= context.deadline_seconds;
     selected[static_cast<std::size_t>(result.stats.algorithm)]->Increment();
   }
   batch_exec->Observe(total_seconds);

@@ -36,8 +36,10 @@
 #include "lsh/tables.h"
 #include "lsh/transforms.h"
 #include "rng/random.h"
+#include "serve/feedback.h"
 #include "serve/planner.h"
 #include "serve/query_engine.h"
+#include "serve/request.h"
 #include "serve/serve_stats.h"
 #include "sketch/filter.h"
 #include "sketch/sketch_mips.h"
@@ -65,6 +67,10 @@ struct EngineOptions {
   double recall_margin = 0.05;
   /// Seed of the engine's private Rng (index builds, warmup).
   std::uint64_t seed = 2026;
+  /// Online re-fit loop layered over the warmup calibration
+  /// (serve/feedback.h): shadow audits, per-segment live curves,
+  /// eviction, and predicted-miss hedging.
+  FeedbackOptions feedback;
 };
 
 /// How Engine::CreateFromSnapshot materializes the dataset.
@@ -113,25 +119,30 @@ class Engine : public QueryEngine {
   /// Answers one request; thread-safe. Failpoint: "serve/plan" (inside
   /// the planner). An index build failure surfaces as the build's
   /// Status; the engine is not poisoned and the next request retries
-  /// the build. options.force_algorithm bypasses the planner; the
-  /// forced path must be able to answer the request (e.g. tree is
-  /// signed-only) or Query returns kInvalidArgument.
-  [[nodiscard]] StatusOr<QueryResult> Query(std::span<const double> query,
-                                            const QueryOptions& options)
+  /// the build. request.options.force_algorithm bypasses the planner;
+  /// the forced path must be able to answer the request (e.g. tree is
+  /// signed-only) or Query returns kInvalidArgument. deadline_met is
+  /// judged against request.context.deadline_seconds; tenant and
+  /// priority are scheduler-level and ignored here. With feedback
+  /// enabled, planner-chosen approximate answers are periodically
+  /// shadow-audited against the exact answer, and an audited miss is
+  /// hedged: the exact answer (already computed) is returned instead.
+  [[nodiscard]] StatusOr<QueryResult> Query(const Request& request)
       const override IPS_EXCLUDES(build_mutex_);
 
-  /// Answers every row of `queries` under one shared `options`:
-  /// one planner decision (or forced path), one EnsureIndex, and one
-  /// MipsIndex::BatchQuery call for the whole batch — the coalesced
-  /// fast path the BatchScheduler hands its compatible groups to.
-  /// Results come back in row order; per-member exec_seconds is the
+  /// Answers every row of `queries` under one shared `options` and
+  /// `context`: one planner decision (or forced path), one EnsureIndex,
+  /// and one MipsIndex::BatchQuery call for the whole batch — the
+  /// coalesced fast path the BatchScheduler hands its compatible groups
+  /// to. Results come back in row order; per-member exec_seconds is the
   /// batch's wall time amortized over its members, and each member's
   /// deadline_met is judged against that amortized time (the scheduler
   /// overrides it with real queue-aware wall clock). Engine-level
   /// traffic lands under "serve.engine.batch.*". An empty batch returns
   /// an empty vector without planning.
   [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
-      const Matrix& queries, const QueryOptions& options) const override
+      const Matrix& queries, const QueryOptions& options,
+      const RequestContext& context) const override
       IPS_EXCLUDES(build_mutex_);
 
   /// Eagerly builds the index behind `algo` (normally lazy; benches use
@@ -142,6 +153,9 @@ class Engine : public QueryEngine {
   std::size_t dim() const override { return profile_.dim; }
 
   const Planner& planner() const { return *planner_; }
+  /// The online re-fit layer (always constructed; inert when
+  /// options().feedback.enabled is false).
+  const FeedbackPlanner& feedback() const { return *feedback_; }
   const DatasetProfile& profile() const { return profile_; }
   const Matrix& data() const { return data_; }
   const EngineOptions& options() const { return options_; }
@@ -176,6 +190,13 @@ class Engine : public QueryEngine {
   /// EnsureIndex has not built it.
   const MipsIndex* PinIndex(QueryAlgo algo) const IPS_EXCLUDES(build_mutex_);
 
+  /// Runs the exact shadow audit for an approximate planner-chosen
+  /// answer: measures observed recall against the brute-force truth,
+  /// trains the feedback curves, and hedges an audited miss by
+  /// replacing the matches with the exact answer.
+  void AuditResult(std::span<const double> query, const QueryOptions& options,
+                   QueryResult* result) const;
+
   Matrix data_;
   /// Keeps the mmap backing of a zero-copy data_ view alive for the
   /// engine's lifetime (null when data_ owns its storage).
@@ -183,6 +204,7 @@ class Engine : public QueryEngine {
   EngineOptions options_;
   DatasetProfile profile_;
   std::unique_ptr<Planner> planner_;
+  std::unique_ptr<FeedbackPlanner> feedback_;
 
   // Lazily-built indexes (and the LSH path's transform + base family,
   // which must outlive its index); guarded by build_mutex_, immutable

@@ -55,10 +55,12 @@ Status ExpectAtEnd(const storage::PayloadReader& r, const char* section) {
 
 // ---------------------------------------------------------------------
 // Section payloads (bump the per-section version on any layout change).
-// META and CALB are at version 2: they grew the sketch-filter params
-// and the two-stage calibration fields (DESIGN.md §13). This build
-// reads only the current layout — older snapshots fail to decode with
-// a DataLoss/truncation status rather than silently misparse.
+// META and CALB are at version 3: META grew the feedback-loop options
+// and CALB the k>1 LSH recall curve (lsh_topk_recall, DESIGN.md §14),
+// on top of the version-2 sketch-filter params and two-stage
+// calibration fields (DESIGN.md §13). This build reads only the
+// current layout — older snapshots fail to decode with a
+// DataLoss/truncation status rather than silently misparse.
 // ---------------------------------------------------------------------
 
 std::vector<unsigned char> EncodeMeta(const EngineOptions& options) {
@@ -78,6 +80,10 @@ std::vector<unsigned char> EncodeMeta(const EngineOptions& options) {
   w.PutU64(options.probe_sample);
   w.PutDouble(options.recall_margin);
   w.PutU64(options.seed);
+  w.PutU64(options.feedback.enabled ? 1 : 0);
+  w.PutU64(options.feedback.audit_every);
+  w.PutDouble(options.feedback.decay);
+  w.PutU64(options.feedback.min_observations);
   return std::vector<unsigned char>(w.bytes().begin(), w.bytes().end());
 }
 
@@ -112,6 +118,13 @@ Status DecodeMeta(std::span<const unsigned char> bytes,
   options->probe_sample = static_cast<std::size_t>(u);
   IPS_RETURN_IF_ERROR(r.GetDouble(&options->recall_margin));
   IPS_RETURN_IF_ERROR(r.GetU64(&options->seed));
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->feedback.enabled = u != 0;
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->feedback.audit_every = static_cast<std::size_t>(u);
+  IPS_RETURN_IF_ERROR(r.GetDouble(&options->feedback.decay));
+  IPS_RETURN_IF_ERROR(r.GetU64(&u));
+  options->feedback.min_observations = static_cast<std::size_t>(u);
   return ExpectAtEnd(r, "META");
 }
 
@@ -146,6 +159,7 @@ std::vector<unsigned char> EncodeCalibration(
   w.PutDouble(calib.lsh_candidate_fraction);
   w.PutDouble(calib.lsh_probe_overhead);
   w.PutDouble(calib.lsh_recall);
+  w.PutDouble(calib.lsh_topk_recall);
   w.PutDouble(calib.sketch_recall);
   w.PutDouble(calib.sketch_cost);
   w.PutDouble(calib.quant_recall);
@@ -166,6 +180,7 @@ Status DecodeCalibration(std::span<const unsigned char> bytes,
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_candidate_fraction));
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_probe_overhead));
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_recall));
+  IPS_RETURN_IF_ERROR(r.GetDouble(&calib->lsh_topk_recall));
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->sketch_recall));
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->sketch_cost));
   IPS_RETURN_IF_ERROR(r.GetDouble(&calib->quant_recall));
@@ -364,7 +379,7 @@ Status Engine::SaveSnapshot(const std::string& dir) const {
   MutexLock lock(build_mutex_);
   {
     const auto meta = EncodeMeta(options_);
-    IPS_RETURN_IF_ERROR(writer.WriteSection(storage::kSectionMeta, 2, meta));
+    IPS_RETURN_IF_ERROR(writer.WriteSection(storage::kSectionMeta, 3, meta));
   }
   {
     // The dataset streams through the section writer exactly like
@@ -389,7 +404,7 @@ Status Engine::SaveSnapshot(const std::string& dir) const {
   {
     const auto calib = EncodeCalibration(planner_->calibration());
     IPS_RETURN_IF_ERROR(
-        writer.WriteSection(storage::kSectionCalibration, 2, calib));
+        writer.WriteSection(storage::kSectionCalibration, 3, calib));
   }
   if (tree_index_ != nullptr) {
     const auto tree = EncodeTree(tree_index_->tree(), data_.cols());

@@ -1,0 +1,164 @@
+#include "serve/feedback.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+// Registry mirror of FeedbackCounters.
+struct FeedbackMetrics {
+  Counter* audits;
+  Counter* evictions;
+  Counter* hedged;
+
+  static const FeedbackMetrics& Get() {
+    static const FeedbackMetrics metrics = {
+        MetricsRegistry::Global().GetCounter("serve.feedback.audits"),
+        MetricsRegistry::Global().GetCounter("serve.feedback.evictions"),
+        MetricsRegistry::Global().GetCounter("serve.feedback.hedged")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Status ValidateFeedbackOptions(const FeedbackOptions& options) {
+  if (options.audit_every < 1) {
+    return Status::InvalidArgument("feedback audit_every must be >= 1");
+  }
+  if (!(options.decay >= 0.0) || options.decay >= 1.0) {
+    return Status::InvalidArgument("feedback decay must lie in [0, 1)");
+  }
+  if (options.min_observations < 1) {
+    return Status::InvalidArgument(
+        "feedback min_observations must be >= 1");
+  }
+  return Status::Ok();
+}
+
+FeedbackPlanner::FeedbackPlanner(const Planner* base, FeedbackOptions options)
+    : base_(base), options_(options) {
+  // Construction-time precondition, not a query path.
+  IPS_CHECK(base_ != nullptr);  // ipslint:allow(check-in-query)
+}
+
+std::size_t FeedbackPlanner::SegmentOf(const QueryOptions& request) {
+  // k buckets: {1}, {2..8}, {9..}. Finer buckets would fragment the
+  // audit stream; the planner's recall cliffs sit at k == 1 (argmax
+  // paths) and "deep" k (bucket-set coverage), which this captures.
+  std::size_t k_bucket = 0;
+  if (request.k > 1) k_bucket = request.k <= 8 ? 1 : 2;
+  return k_bucket * 2 + (request.is_signed ? 0 : 1);
+}
+
+StatusOr<PlanDecision> FeedbackPlanner::Plan(
+    const QueryOptions& request) const {
+  if (!options_.enabled) return base_->Plan(request);
+  // One lock, one copy: the override lambda prices from the snapshot so
+  // the base planner's variant loop never touches the mutex.
+  SegmentState snapshot;
+  {
+    MutexLock lock(mutex_);
+    snapshot = segments_[SegmentOf(request)];
+  }
+  const std::size_t min_obs = options_.min_observations;
+  return base_->Plan(
+      request,
+      [&snapshot, min_obs](QueryAlgo algo, QueryPrecision precision)
+          -> std::optional<VariantEstimate> {
+        const VariantState& state =
+            snapshot.variants[static_cast<std::size_t>(algo)]
+                             [static_cast<std::size_t>(precision)];
+        if (state.observations < min_obs) return std::nullopt;
+        return VariantEstimate{state.recall_ewma, state.cost_ewma};
+      });
+}
+
+bool FeedbackPlanner::BeginAudit(const QueryOptions& request) const {
+  if (!options_.enabled) return false;
+  MutexLock lock(mutex_);
+  SegmentState& segment = segments_[SegmentOf(request)];
+  const bool audit = segment.planned % options_.audit_every == 0;
+  ++segment.planned;
+  return audit;
+}
+
+void FeedbackPlanner::RecordAudit(const QueryOptions& request, QueryAlgo algo,
+                                  QueryPrecision precision,
+                                  double observed_recall,
+                                  double observed_cost) const {
+  const FeedbackMetrics& metrics = FeedbackMetrics::Get();
+  observed_recall = std::clamp(observed_recall, 0.0, 1.0);
+  observed_cost = std::max(observed_cost, 0.0);
+  bool evicted = false;
+  {
+    MutexLock lock(mutex_);
+    VariantState& state =
+        segments_[SegmentOf(request)]
+            .variants[static_cast<std::size_t>(algo)]
+                     [static_cast<std::size_t>(precision)];
+    if (state.observations == 0) {
+      // Seed the estimate from the warmup prior so early audits move a
+      // calibrated number instead of averaging against zero.
+      state.recall_ewma = base_->ExpectedRecall(algo, precision, request);
+      state.cost_ewma = base_->ExpectedDotProducts(algo, precision, request);
+    }
+    const double step = 1.0 - options_.decay;
+    state.recall_ewma =
+        options_.decay * state.recall_ewma + step * observed_recall;
+    state.cost_ewma = options_.decay * state.cost_ewma + step * observed_cost;
+    ++state.observations;
+    // Eviction = the live estimate crossing below the eligibility bar
+    // this segment's traffic is asking for (target + margin, the same
+    // bar Plan applies to approximate paths). Eligibility commits only
+    // once the estimate is live (>= min_observations) — the same
+    // threshold at which Plan starts trusting it — so the first live
+    // audit of a failing path counts as the flip instead of silently
+    // pre-marking the variant ineligible during the warmup samples.
+    const double bar =
+        request.recall_target + base_->calibration().recall_margin;
+    const bool live = state.observations >= options_.min_observations;
+    const bool eligible = state.recall_ewma >= bar;
+    if (live && state.eligible && !eligible) evicted = true;
+    if (live) state.eligible = eligible;
+    ++counters_.audits;
+    if (evicted) ++counters_.evictions;
+  }
+  metrics.audits->Increment();
+  if (evicted) metrics.evictions->Increment();
+}
+
+void FeedbackPlanner::NoteHedge() const {
+  {
+    MutexLock lock(mutex_);
+    ++counters_.hedged;
+  }
+  FeedbackMetrics::Get().hedged->Increment();
+}
+
+FeedbackCounters FeedbackPlanner::counters() const {
+  MutexLock lock(mutex_);
+  return counters_;
+}
+
+double FeedbackPlanner::LiveRecall(const QueryOptions& request,
+                                   QueryAlgo algo,
+                                   QueryPrecision precision) const {
+  {
+    MutexLock lock(mutex_);
+    const VariantState& state =
+        segments_[SegmentOf(request)]
+            .variants[static_cast<std::size_t>(algo)]
+                     [static_cast<std::size_t>(precision)];
+    if (state.observations >= options_.min_observations) {
+      return state.recall_ewma;
+    }
+  }
+  return base_->ExpectedRecall(algo, precision, request);
+}
+
+}  // namespace ips

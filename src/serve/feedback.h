@@ -1,0 +1,152 @@
+// Copyright 2026 The ipsjoin Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The online re-fitter behind the adaptive planner (DESIGN.md §14).
+// Warmup calibration prices every (algo, precision) variant once, from
+// micro-probes on a data subsample — but achievable recall/cost depends
+// on the *live* traffic's shape (k, signedness, norm regime; the
+// Neyshabur–Srebro reductions make this unavoidable statically), which
+// shifts at run time. The FeedbackPlanner closes the loop:
+//
+//  * Traffic is bucketed into workload segments keyed by (k bucket,
+//    signedness). Norm-spread band and dim are per-dataset constants —
+//    they select the warmup calibration itself — so within one engine
+//    the segment key is the per-request shape.
+//  * Every audit_every-th query per segment runs an exact shadow audit:
+//    the engine computes the true top-k by brute force, measures the
+//    approximate answer's observed recall, and feeds (recall, cost)
+//    into per-(segment, algo, precision) exponentially-decayed
+//    estimates.
+//  * Once a variant has min_observations audits in a segment, its live
+//    estimate replaces the warmup number inside Planner::Plan (the
+//    VariantOverride hook): a path whose observed recall undershoots
+//    target + margin is evicted from the eligibility table for that
+//    segment, and costs re-rank on measured dot-equivalents.
+//  * Predicted-miss hedging: when the audit shows the served answer
+//    missed its recall target, the engine substitutes the exact answer
+//    it just computed (the audit already paid for it) — the caller
+//    never sees the miss, and the miss still trains the curves.
+//
+// Counters land in the registry as "serve.feedback.{audits, evictions,
+// hedged}". Thread-safe: estimates live behind one mutex; Plan copies
+// the segment's state once and prices lock-free.
+
+#ifndef IPS_SERVE_FEEDBACK_H_
+#define IPS_SERVE_FEEDBACK_H_
+
+#include <array>
+#include <cstddef>
+
+#include "core/query.h"
+#include "serve/planner.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace ips {
+
+/// Tuning of the online re-fit loop.
+struct FeedbackOptions {
+  /// Master switch: off reproduces the static warmup-calibrated planner.
+  bool enabled = true;
+  /// One exact shadow audit per this many planned queries per segment
+  /// (>= 1). Audits cost one brute-force scan each, so the loop's
+  /// overhead is ~n/audit_every extra dots per query on average.
+  std::size_t audit_every = 16;
+  /// Weight the previous estimate keeps at each audit, in [0, 1);
+  /// 1 - decay is the step toward the new observation.
+  double decay = 0.9;
+  /// Audits required before a (segment, variant) live estimate
+  /// overrides the warmup calibration.
+  std::size_t min_observations = 4;
+};
+
+Status ValidateFeedbackOptions(const FeedbackOptions& options);
+
+/// Lifetime counters of the loop (snapshot; mirrored in the registry).
+struct FeedbackCounters {
+  /// Exact shadow audits run.
+  std::size_t audits = 0;
+  /// Eligibility flips observed->ineligible: an audit pushed a
+  /// variant's live recall below the target + margin bar its segment
+  /// had been clearing.
+  std::size_t evictions = 0;
+  /// Audited answers that missed their recall target and were replaced
+  /// by the exact answer before returning.
+  std::size_t hedged = 0;
+};
+
+/// The adaptive planning layer the Engine consults instead of the raw
+/// Planner when feedback is enabled. Owns no indexes and runs no
+/// queries itself — the Engine drives audits and reports observations.
+/// Thread-safe.
+class FeedbackPlanner {
+ public:
+  /// `base` must outlive this object.
+  FeedbackPlanner(const Planner* base, FeedbackOptions options);
+
+  /// Plans `request` with the segment's live estimates overriding the
+  /// warmup calibration (variants under min_observations keep their
+  /// warmup numbers). Failpoint: "serve/plan" (inside the base planner).
+  [[nodiscard]] StatusOr<PlanDecision> Plan(const QueryOptions& request) const
+      IPS_EXCLUDES(mutex_);
+
+  /// True when this request should run an exact shadow audit (bumps
+  /// the segment's query counter; first query of a segment audits, then
+  /// every audit_every-th).
+  bool BeginAudit(const QueryOptions& request) const IPS_EXCLUDES(mutex_);
+
+  /// Feeds one audit observation into the (segment of `request`,
+  /// `algo`, `precision`) estimate: recall in [0, 1], cost in
+  /// dot-equivalents. Detects eligibility flips against the request's
+  /// target + the base calibration margin.
+  void RecordAudit(const QueryOptions& request, QueryAlgo algo,
+                   QueryPrecision precision, double observed_recall,
+                   double observed_cost) const IPS_EXCLUDES(mutex_);
+
+  /// The engine substituted the exact answer for an audited miss.
+  void NoteHedge() const IPS_EXCLUDES(mutex_);
+
+  FeedbackCounters counters() const IPS_EXCLUDES(mutex_);
+
+  /// Live recall estimate of (segment of `request`, algo, precision),
+  /// or the warmup expectation while under min_observations (tests,
+  /// dashboards).
+  double LiveRecall(const QueryOptions& request, QueryAlgo algo,
+                    QueryPrecision precision) const IPS_EXCLUDES(mutex_);
+
+  const Planner& base() const { return *base_; }
+  const FeedbackOptions& options() const { return options_; }
+
+  /// Segment index of `request` (k bucket x signedness); exposed for
+  /// tests that pin the bucketing.
+  static std::size_t SegmentOf(const QueryOptions& request);
+  static constexpr std::size_t kNumSegments = 6;
+
+ private:
+  struct VariantState {
+    double recall_ewma = 0.0;
+    double cost_ewma = 0.0;
+    std::size_t observations = 0;
+    /// Last eligibility verdict (live recall vs target + margin); the
+    /// eviction counter fires on true -> false flips.
+    bool eligible = true;
+  };
+
+  struct SegmentState {
+    std::size_t planned = 0;
+    std::array<std::array<VariantState, kNumQueryPrecisions>, kNumQueryAlgos>
+        variants{};
+  };
+
+  const Planner* base_;
+  FeedbackOptions options_;
+
+  mutable Mutex mutex_;
+  mutable std::array<SegmentState, kNumSegments> segments_
+      IPS_GUARDED_BY(mutex_);
+  mutable FeedbackCounters counters_ IPS_GUARDED_BY(mutex_);
+};
+
+}  // namespace ips
+
+#endif  // IPS_SERVE_FEEDBACK_H_

@@ -89,12 +89,19 @@ double Planner::ExpectedRecall(QueryAlgo algo, QueryPrecision precision,
       return request.is_signed ? 1.0 : 0.0;
     case QueryAlgo::kLsh: {
       if (!calibrated) return 0.0;
+      // k = 1 is judged on the warmup recall@1; anything deeper on the
+      // warmup recall@5 — a bucket set that usually holds the argmax
+      // can still miss most of a top-5 on skewed-norm data, and pricing
+      // all k off recall@1 is exactly the stale-eligibility bug
+      // BENCH_serve exposed (targets_met 0.07 at k=5).
+      const double base = request.k > 1 ? calibration_.lsh_topk_recall
+                                        : calibration_.lsh_recall;
       if (precision == QueryPrecision::kQuantizedRerank) {
         // Two independent approximations compound: the candidate set
         // must contain the answer AND the estimate pass must keep it.
-        return calibration_.lsh_recall * calibration_.quant_recall;
+        return base * calibration_.quant_recall;
       }
-      return calibration_.lsh_recall;
+      return base;
     }
     case QueryAlgo::kSketch:
       if (precision == QueryPrecision::kSketchFilter) {
@@ -153,7 +160,8 @@ double Planner::ExpectedDotProducts(QueryAlgo algo, QueryPrecision precision,
   return n;
 }
 
-StatusOr<PlanDecision> Planner::Plan(const QueryOptions& request) const {
+StatusOr<PlanDecision> Planner::Plan(const QueryOptions& request,
+                                     const VariantOverride& live) const {
   IPS_FAILPOINT("serve/plan");
   IPS_RETURN_IF_ERROR(ValidateQueryOptions(request));
 
@@ -176,10 +184,18 @@ StatusOr<PlanDecision> Planner::Plan(const QueryOptions& request) const {
     if (!MatchesRequestedPrecision(variant.precision, request.precision)) {
       continue;
     }
-    const double recall = ExpectedRecall(variant.algo, variant.precision,
-                                         request);
-    const double cost =
+    double recall = ExpectedRecall(variant.algo, variant.precision, request);
+    double cost =
         ExpectedDotProducts(variant.algo, variant.precision, request);
+    if (live != nullptr && recall > 0.0) {
+      // Live re-fit numbers replace the warmup calibration, but only
+      // for variants the warmup deemed answerable at all (recall 0
+      // means "cannot answer this request shape", not "bad recall").
+      if (const auto estimate = live(variant.algo, variant.precision)) {
+        recall = estimate->recall;
+        cost = estimate->cost;
+      }
+    }
     if (request.precision != QueryPrecision::kAuto && recall > 0.0 &&
         (!fallback_found || cost < fallback.expected_dot_products)) {
       fallback.algorithm = variant.algo;

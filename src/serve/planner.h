@@ -28,6 +28,8 @@
 #define IPS_SERVE_PLANNER_H_
 
 #include <cstddef>
+#include <functional>
+#include <optional>
 #include <string>
 
 #include "linalg/matrix.h"
@@ -63,6 +65,13 @@ struct PlannerCalibration {
   double lsh_probe_overhead = 0.0;
   /// Measured recall@1 of the LSH path on the probe queries.
   double lsh_recall = 0.0;
+  /// Measured recall@5 of the LSH path on the probe queries (overlap
+  /// with the exact top-5, averaged). This is the eligibility number
+  /// for k > 1 requests: a bucket set that usually contains the single
+  /// argmax can still miss most of a top-5 on skewed-norm data, so
+  /// pricing k > 1 off recall@1 kept LSH eligible for workloads it
+  /// demonstrably failed (BENCH_serve targets_met 0.07).
+  double lsh_topk_recall = 0.0;
   /// Measured unsigned recall@1 of the sketch path on the probe queries.
   double sketch_recall = 0.0;
   /// Per-query sketch work in dot-equivalents.
@@ -92,6 +101,20 @@ struct PlannerCalibration {
   double recall_margin = 0.05;
 };
 
+/// A live (recall, cost) estimate for one (algo, precision) variant,
+/// substituted for the warmup-calibrated numbers when a VariantOverride
+/// supplies it (the FeedbackPlanner's re-fit hook, serve/feedback.h).
+struct VariantEstimate {
+  double recall = 0.0;
+  double cost = 0.0;
+};
+
+/// Hook consulted per variant during Plan: return a live estimate to
+/// replace the warmup calibration for that variant, or nullopt to keep
+/// it. Must be safe to call concurrently.
+using VariantOverride = std::function<std::optional<VariantEstimate>(
+    QueryAlgo, QueryPrecision)>;
+
 /// Immutable per-dataset planner; thread-safe (Plan is const and pure).
 class Planner {
  public:
@@ -102,7 +125,17 @@ class Planner {
   /// is restricted to that mode and the recall bar becomes advisory —
   /// the cheapest matching variant is returned with the shortfall noted
   /// in the decision's reason.
-  [[nodiscard]] StatusOr<PlanDecision> Plan(const QueryOptions& request) const;
+  [[nodiscard]] StatusOr<PlanDecision> Plan(const QueryOptions& request) const {
+    return Plan(request, nullptr);
+  }
+
+  /// Plan with per-variant live estimates: where `live` returns one,
+  /// its recall/cost replace the warmup calibration for that variant
+  /// (eligibility and ranking both use the live numbers — a variant
+  /// whose live recall undershoots the target is evicted from the
+  /// plan). Exact paths (expected recall >= 1) keep the no-margin rule.
+  [[nodiscard]] StatusOr<PlanDecision> Plan(const QueryOptions& request,
+                                            const VariantOverride& live) const;
 
   /// Expected dot-equivalents if (`algo`, `precision`) answered
   /// `request`; used for A/B accounting by benches. kAuto prices the
@@ -118,13 +151,14 @@ class Planner {
   const DatasetProfile& profile() const { return profile_; }
   const PlannerCalibration& calibration() const { return calibration_; }
 
- private:
   /// Calibrated recall the model expects of (`algo`, `precision`) for
   /// `request`; 0 when the variant cannot answer the request at all
-  /// (e.g. signed queries on the sketch argmax path).
+  /// (e.g. signed queries on the sketch argmax path). Public so the
+  /// FeedbackPlanner can seed its live estimates from the warmup prior.
   double ExpectedRecall(QueryAlgo algo, QueryPrecision precision,
                         const QueryOptions& request) const;
 
+ private:
   DatasetProfile profile_;
   PlannerCalibration calibration_;
 };

@@ -1,0 +1,44 @@
+#include "serve/request.h"
+
+#include <cmath>
+
+namespace ips {
+
+std::string_view RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kBatch:
+      return "batch";
+    case RequestPriority::kStandard:
+      return "standard";
+    case RequestPriority::kInteractive:
+      return "interactive";
+  }
+  return "unknown";
+}
+
+Status ValidateRequestContext(const RequestContext& context) {
+  if (std::isnan(context.deadline_seconds) ||
+      context.deadline_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "deadline must be positive (infinity = none), got " +
+        std::to_string(context.deadline_seconds));
+  }
+  switch (context.priority) {
+    case RequestPriority::kBatch:
+    case RequestPriority::kStandard:
+    case RequestPriority::kInteractive:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown request priority " +
+          std::to_string(static_cast<int>(context.priority)));
+  }
+  return Status::Ok();
+}
+
+std::string_view RequestTenant(const RequestContext& context) {
+  return context.tenant_id.empty() ? std::string_view("default")
+                                   : std::string_view(context.tenant_id);
+}
+
+}  // namespace ips

@@ -212,8 +212,7 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
   return sharded;
 }
 
-StatusOr<QueryResult> ShardedEngine::Query(std::span<const double> query,
-                                           const QueryOptions& options) const {
+StatusOr<QueryResult> ShardedEngine::Query(const Request& request) const {
   static Counter* const requests =
       MetricsRegistry::Global().GetCounter("serve.shard.queries");
   static Counter* const partial_count =
@@ -225,7 +224,10 @@ StatusOr<QueryResult> ShardedEngine::Query(std::span<const double> query,
   static Gauge* const open_breakers =
       MetricsRegistry::Global().GetGauge("serve.shard.open_breakers");
 
+  const std::span<const double> query = request.query;
+  const QueryOptions& options = request.options;
   IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  IPS_RETURN_IF_ERROR(ValidateRequestContext(request.context));
   IPS_RETURN_IF_ERROR(ValidateVectorDims(query, dim_, "sharded query"));
   IPS_RETURN_IF_ERROR(ValidateVectorFinite(query, "sharded query"));
   requests->Increment();
@@ -241,7 +243,7 @@ StatusOr<QueryResult> ShardedEngine::Query(std::span<const double> query,
     IPS_RETURN_IF_ERROR(ParallelForStatus(
         &pool_, num, [&](std::size_t begin, std::size_t end) -> Status {
           for (std::size_t i = begin; i < end; ++i) {
-            calls[i] = CallShard(i, query, options);
+            calls[i] = CallShard(i, query, options, request.context);
           }
           return Status::Ok();
         }));
@@ -267,7 +269,7 @@ StatusOr<QueryResult> ShardedEngine::Query(std::span<const double> query,
   QueryResult result = std::move(outcome).value();
   result.stats.exec_seconds = timer.Seconds();
   result.stats.deadline_met =
-      result.stats.exec_seconds <= options.deadline_seconds;
+      result.stats.exec_seconds <= request.context.deadline_seconds;
   exec_seconds->Observe(result.stats.exec_seconds);
   if (result.partial) partial_count->Increment();
   if (trace != nullptr) {
@@ -280,7 +282,8 @@ StatusOr<QueryResult> ShardedEngine::Query(std::span<const double> query,
 }
 
 StatusOr<std::vector<QueryResult>> ShardedEngine::BatchQuery(
-    const Matrix& queries, const QueryOptions& options) const {
+    const Matrix& queries, const QueryOptions& options,
+    const RequestContext& context) const {
   static Counter* const batch_requests =
       MetricsRegistry::Global().GetCounter("serve.shard.batch.requests");
   static Counter* const batch_queries =
@@ -295,6 +298,7 @@ StatusOr<std::vector<QueryResult>> ShardedEngine::BatchQuery(
       MetricsRegistry::Global().GetGauge("serve.shard.open_breakers");
 
   IPS_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  IPS_RETURN_IF_ERROR(ValidateRequestContext(context));
   const std::size_t m = queries.rows();
   if (m == 0) return std::vector<QueryResult>();
   IPS_RETURN_IF_ERROR(
@@ -316,7 +320,7 @@ StatusOr<std::vector<QueryResult>> ShardedEngine::BatchQuery(
     IPS_RETURN_IF_ERROR(ParallelForStatus(
         &pool_, num, [&](std::size_t begin, std::size_t end) -> Status {
           for (std::size_t i = begin; i < end; ++i) {
-            calls[i] = CallShardBatch(i, queries, options);
+            calls[i] = CallShardBatch(i, queries, options, context);
           }
           return Status::Ok();
         }));
@@ -371,7 +375,7 @@ StatusOr<std::vector<QueryResult>> ShardedEngine::BatchQuery(
   std::size_t partial_members = 0;
   for (QueryResult& result : results) {
     result.stats.exec_seconds = amortized;
-    result.stats.deadline_met = amortized <= options.deadline_seconds;
+    result.stats.deadline_met = amortized <= context.deadline_seconds;
     if (result.partial) ++partial_members;
   }
   if (partial_members > 0) partial_count->Add(partial_members);
@@ -414,31 +418,35 @@ ShardedEngine::BreakerState ShardedEngine::breaker_state(
 
 ShardedEngine::Outcome<QueryResult> ShardedEngine::CallShard(
     std::size_t shard_index, std::span<const double> query,
-    const QueryOptions& options) const {
+    const QueryOptions& options, const RequestContext& context) const {
   const Engine& engine = *shards_[shard_index]->engine;
   return CallShardImpl<QueryResult>(
-      shard_index, options, /*queries_per_call=*/1,
-      [&](const QueryOptions& shard_options) {
-        return engine.Query(query, shard_options);  // ipslint:allow(shard-call)
+      shard_index, options, context, /*queries_per_call=*/1,
+      [&](const QueryOptions& shard_options,
+          const RequestContext& shard_context) {
+        return engine.Query(  // ipslint:allow(shard-call)
+            Request{query, shard_options, shard_context});
       });
 }
 
 ShardedEngine::Outcome<std::vector<QueryResult>> ShardedEngine::CallShardBatch(
     std::size_t shard_index, const Matrix& queries,
-    const QueryOptions& options) const {
+    const QueryOptions& options, const RequestContext& context) const {
   const Engine& engine = *shards_[shard_index]->engine;
   return CallShardImpl<std::vector<QueryResult>>(
-      shard_index, options, /*queries_per_call=*/queries.rows(),
-      [&](const QueryOptions& shard_options) {
+      shard_index, options, context, /*queries_per_call=*/queries.rows(),
+      [&](const QueryOptions& shard_options,
+          const RequestContext& shard_context) {
         return engine.BatchQuery(  // ipslint:allow(shard-call)
-            queries, shard_options);
+            queries, shard_options, shard_context);
       });
 }
 
 template <typename T, typename Invoke>
 ShardedEngine::Outcome<T> ShardedEngine::CallShardImpl(
     std::size_t shard_index, const QueryOptions& options,
-    std::size_t queries_per_call, const Invoke& invoke) const {
+    const RequestContext& context, std::size_t queries_per_call,
+    const Invoke& invoke) const {
   static Counter* const calls =
       MetricsRegistry::Global().GetCounter("serve.shard.calls");
   static Counter* const failed =
@@ -469,13 +477,16 @@ ShardedEngine::Outcome<T> ShardedEngine::CallShardImpl(
   calls->Increment();
 
   // Shard calls never trace: the (single-writer) Trace belongs to the
-  // coordinator, which records per-shard children post-gather.
+  // coordinator, which records per-shard children post-gather. The
+  // context is inherited (tenant, priority) with the deadline cut to
+  // this shard's budget.
   QueryOptions shard_options = options;
   shard_options.trace = false;
+  RequestContext shard_context = context;
   double budget = std::numeric_limits<double>::infinity();
-  if (std::isfinite(options.deadline_seconds)) {
-    budget = options.deadline_seconds * options_.shard_budget_fraction;
-    shard_options.deadline_seconds = budget;
+  if (std::isfinite(context.deadline_seconds)) {
+    budget = context.deadline_seconds * options_.shard_budget_fraction;
+    shard_context.deadline_seconds = budget;
   }
 
   // Hedge prediction: regular serves only (a breaker probe must
@@ -517,7 +528,7 @@ ShardedEngine::Outcome<T> ShardedEngine::CallShardImpl(
       }
     }
     if (injected.ok()) {
-      StatusOr<T> answer = invoke(shard_options);
+      StatusOr<T> answer = invoke(shard_options, shard_context);
       if (answer.ok()) {
         outcome.seconds = timer.Seconds();
         call_seconds->Observe(outcome.seconds);

@@ -57,6 +57,7 @@
 #include "linalg/matrix.h"
 #include "serve/engine.h"
 #include "serve/query_engine.h"
+#include "serve/request.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -106,8 +107,8 @@ struct ShardedEngineOptions {
   std::size_t num_threads = 0;
   /// Per-shard engine knobs; each shard's seed is offset by its index.
   EngineOptions engine;
-  /// Fraction of QueryOptions::deadline_seconds each shard call gets as
-  /// its own budget, in (0, 1].
+  /// Fraction of the request's RequestContext::deadline_seconds each
+  /// shard call gets as its own budget, in (0, 1].
   double shard_budget_fraction = 0.9;
   ShardRetryPolicy retry;
   ShardBreakerOptions breaker;
@@ -147,16 +148,18 @@ class ShardedEngine : public QueryEngine {
   /// Scatter-gather top-k: fans the request to every shard whose
   /// breaker admits it, merges the surviving shards' answers
   /// deterministically, and degrades gracefully (partial = true) when
-  /// shards are lost. Fails only when every shard fails.
+  /// shards are lost. Fails only when every shard fails. Each shard
+  /// call inherits request.context with its deadline scaled to
+  /// `deadline * shard_budget_fraction`.
   [[nodiscard]] StatusOr<QueryResult> Query(
-      std::span<const double> query,
-      const QueryOptions& options) const override;
+      const Request& request) const override;
 
   /// Batched scatter-gather: every shard answers the whole query
   /// matrix over its slice; per-query merge identical to Query. A lost
   /// shard marks every member partial.
   [[nodiscard]] StatusOr<std::vector<QueryResult>> BatchQuery(
-      const Matrix& queries, const QueryOptions& options) const override;
+      const Matrix& queries, const QueryOptions& options,
+      const RequestContext& context) const override;
 
   /// Eagerly builds `algo`'s index on every shard.
   [[nodiscard]] Status EnsureIndex(QueryAlgo algo) const;
@@ -220,18 +223,22 @@ class ShardedEngine : public QueryEngine {
   /// failpoints, retry-with-backoff, and latency tracking.
   Outcome<QueryResult> CallShard(std::size_t shard_index,
                                  std::span<const double> query,
-                                 const QueryOptions& options) const;
+                                 const QueryOptions& options,
+                                 const RequestContext& context) const;
   Outcome<std::vector<QueryResult>> CallShardBatch(
       std::size_t shard_index, const Matrix& queries,
-      const QueryOptions& options) const;
+      const QueryOptions& options, const RequestContext& context) const;
 
   /// Shared scaffolding of the two CallShard flavors: admission,
-  /// hedging, chaos, retries around `invoke(shard_options)`.
-  /// `queries_per_call` amortizes the call's wall time into the
-  /// per-query latency samples the hedge predictor tracks.
+  /// hedging, chaos, retries around `invoke(shard_options,
+  /// shard_context)` — the shard context is the request's with its
+  /// deadline cut to the per-shard budget. `queries_per_call` amortizes
+  /// the call's wall time into the per-query latency samples the hedge
+  /// predictor tracks.
   template <typename T, typename Invoke>
   Outcome<T> CallShardImpl(std::size_t shard_index,
                            const QueryOptions& options,
+                           const RequestContext& context,
                            std::size_t queries_per_call,
                            const Invoke& invoke) const;
 

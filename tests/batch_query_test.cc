@@ -344,11 +344,11 @@ TEST_F(ServeBatchTest, EngineBatchMatchesPerQueryOnEveryForcedPath) {
     options.k = 3;
     options.is_signed = true;
     options.force_algorithm = algo;
-    auto batch = engine_->BatchQuery(queries_, options);
+    auto batch = engine_->BatchQuery(queries_, options, {});
     ASSERT_TRUE(batch.ok()) << batch.status().ToString();
     ASSERT_EQ(batch->size(), queries_.rows());
     for (std::size_t i = 0; i < queries_.rows(); ++i) {
-      auto single = engine_->Query(queries_.Row(i), options);
+      auto single = engine_->Query({queries_.Row(i), options});
       ASSERT_TRUE(single.ok()) << single.status().ToString();
       const QueryResult& got = (*batch)[i];
       ASSERT_EQ(got.matches.size(), single->matches.size());
@@ -364,17 +364,17 @@ TEST_F(ServeBatchTest, EngineBatchMatchesPerQueryOnEveryForcedPath) {
 
 TEST_F(ServeBatchTest, EngineBatchEdgeCases) {
   QueryOptions options;
-  auto empty = engine_->BatchQuery(Matrix(0, 0), options);
+  auto empty = engine_->BatchQuery(Matrix(0, 0), options, {});
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
 
   options.k = 0;
-  EXPECT_FALSE(engine_->BatchQuery(queries_, options).ok());
+  EXPECT_FALSE(engine_->BatchQuery(queries_, options, {}).ok());
 
   QueryOptions unsigned_tree;
   unsigned_tree.is_signed = false;
   unsigned_tree.force_algorithm = QueryAlgo::kBallTree;
-  auto forced = engine_->BatchQuery(queries_, unsigned_tree);
+  auto forced = engine_->BatchQuery(queries_, unsigned_tree, {});
   ASSERT_FALSE(forced.ok());  // same forced-path validation as Query
   EXPECT_EQ(forced.status().code(), StatusCode::kInvalidArgument);
 }
@@ -389,8 +389,8 @@ std::vector<BatchScheduler::Result> RunThroughScheduler(
   futures.reserve(queries.rows());
   for (std::size_t i = 0; i < queries.rows(); ++i) {
     futures.push_back(scheduler.Submit(
-        std::vector<double>(queries.Row(i).begin(), queries.Row(i).end()),
-        options));
+        {std::vector<double>(queries.Row(i).begin(), queries.Row(i).end()),
+         options}));
   }
   std::vector<BatchScheduler::Result> results;
   results.reserve(futures.size());
@@ -420,7 +420,7 @@ TEST_F(ServeBatchTest, SchedulerBatchedExecutionMatchesSequential) {
   // Both modes must agree with direct per-query engine answers.
   for (std::size_t i = 0; i < queries_.rows(); ++i) {
     SCOPED_TRACE("query " + std::to_string(i));
-    auto truth = engine_->Query(queries_.Row(i), options);
+    auto truth = engine_->Query({queries_.Row(i), options});
     ASSERT_TRUE(truth.ok());
     for (const auto* results : {&batched_results, &sequential_results}) {
       ASSERT_TRUE((*results)[i].ok()) << (*results)[i].status().ToString();

@@ -407,13 +407,13 @@ TEST_F(ChaosTest, ServePlanFailpointFailsRequestThenRecovers) {
   const std::vector<double> q(6, 0.1);
   {
     ScopedFailpoint fp("serve/plan");
-    const auto result = (*engine)->Query(q, QueryOptions{});
+    const auto result = (*engine)->Query({q, {}});
     ASSERT_FALSE(result.ok());
     EXPECT_NE(result.status().message().find("serve/plan"),
               std::string::npos);
   }
   // The engine is not poisoned: the next request is served.
-  EXPECT_TRUE((*engine)->Query(q, QueryOptions{}).ok());
+  EXPECT_TRUE((*engine)->Query({q, {}}).ok());
 }
 
 TEST_F(ChaosTest, ServeScheduleFailpointShedsAtAdmission) {
@@ -425,7 +425,7 @@ TEST_F(ChaosTest, ServeScheduleFailpointShedsAtAdmission) {
     Failpoints::Arm("serve/schedule", 1,
                     Status::ResourceExhausted("admission queue fault"));
     auto future =
-        scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+        scheduler.Submit({std::vector<double>(6, 0.1), {}});
     const auto result = future.get();
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
@@ -434,8 +434,41 @@ TEST_F(ChaosTest, ServeScheduleFailpointShedsAtAdmission) {
     Failpoints::DisarmAll();
   }
   // The next submission is admitted and served.
-  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  auto good = scheduler.Submit({std::vector<double>(6, 0.1), {}});
   EXPECT_TRUE(good.get().ok());
+}
+
+TEST_F(ChaosTest, QosAdmitFailpointShedsAndKeepsTenantPartition) {
+  Rng rng(14);
+  const auto engine = Engine::Create(MakeUnitBallGaussian(64, 6, 0.9, &rng));
+  ASSERT_TRUE(engine.ok());
+  BatchScheduler scheduler(engine->get());
+  RequestContext context;
+  context.tenant_id = "chaos";
+  {
+    Failpoints::Arm("serve/qos/admit", 1,
+                    Status::ResourceExhausted("qos admission fault"));
+    auto future =
+        scheduler.Submit({std::vector<double>(6, 0.1), {}, context});
+    const auto result = future.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(result.status().message().find("qos admission fault"),
+              std::string::npos);
+    Failpoints::DisarmAll();
+  }
+  // The injected admission failure is accounted exactly like a real
+  // shed: the tenant's partition invariant holds and the next
+  // submission from the same tenant is served.
+  auto good = scheduler.Submit({std::vector<double>(6, 0.1), {}, context});
+  EXPECT_TRUE(good.get().ok());
+  scheduler.Drain();
+  const TenantCounters tenant = scheduler.tenant_counters("chaos");
+  EXPECT_EQ(tenant.submitted, 2u);
+  EXPECT_EQ(tenant.shed, 1u);
+  EXPECT_EQ(tenant.completed, 1u);
+  EXPECT_EQ(tenant.submitted,
+            tenant.completed + tenant.shed + tenant.expired);
 }
 
 TEST_F(ChaosTest, ServeDeadlineFailpointFailsBatchWithoutLeakingWork) {
@@ -451,7 +484,7 @@ TEST_F(ChaosTest, ServeDeadlineFailpointFailsBatchWithoutLeakingWork) {
     ScopedFailpoint fp("serve/deadline");
     for (int i = 0; i < 16; ++i) {
       futures.push_back(
-          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
+          scheduler.Submit({std::vector<double>(6, 0.1), {}}));
     }
     // Every future resolves — the injected fault cancels the batch, and
     // unexecuted requests are answered with the batch error, not leaked.
@@ -463,7 +496,7 @@ TEST_F(ChaosTest, ServeDeadlineFailpointFailsBatchWithoutLeakingWork) {
     EXPECT_GE(failed, 1u);
   }
   // Subsequent requests are served normally.
-  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  auto good = scheduler.Submit({std::vector<double>(6, 0.1), {}});
   EXPECT_TRUE(good.get().ok());
 }
 
@@ -476,12 +509,12 @@ TEST_F(ChaosTest, ServePlanFailpointFailsBatchQueryThenRecovers) {
   const Matrix queries = MakeUnitBallGaussian(4, 6, 0.9, &rng);
   {
     ScopedFailpoint fp("serve/plan");
-    const auto result = (*engine)->BatchQuery(queries, QueryOptions{});
+    const auto result = (*engine)->BatchQuery(queries, {}, {});
     ASSERT_FALSE(result.ok());
     EXPECT_NE(result.status().message().find("serve/plan"),
               std::string::npos);
   }
-  const auto good = (*engine)->BatchQuery(queries, QueryOptions{});
+  const auto good = (*engine)->BatchQuery(queries, {}, {});
   ASSERT_TRUE(good.ok());
   EXPECT_EQ(good->size(), queries.rows());
 }
@@ -503,7 +536,7 @@ TEST_F(ChaosTest, ServePlanFailpointFailsScheduledBatchGroupThenRecovers) {
     std::vector<std::future<BatchScheduler::Result>> futures;
     for (int i = 0; i < 8; ++i) {
       futures.push_back(
-          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
+          scheduler.Submit({std::vector<double>(6, 0.1), {}}));
     }
     for (auto& future : futures) {
       const auto result = future.get();
@@ -513,7 +546,7 @@ TEST_F(ChaosTest, ServePlanFailpointFailsScheduledBatchGroupThenRecovers) {
     }
     Failpoints::DisarmAll();
   }
-  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  auto good = scheduler.Submit({std::vector<double>(6, 0.1), {}});
   EXPECT_TRUE(good.get().ok());
 }
 
@@ -534,7 +567,7 @@ TEST_F(ChaosTest, ServeDeadlineFailpointFailsPerQueryPathToo) {
     ScopedFailpoint fp("serve/deadline");
     for (int i = 0; i < 16; ++i) {
       futures.push_back(
-          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
+          scheduler.Submit({std::vector<double>(6, 0.1), {}}));
     }
     std::size_t failed = 0;
     for (auto& future : futures) {
@@ -542,7 +575,7 @@ TEST_F(ChaosTest, ServeDeadlineFailpointFailsPerQueryPathToo) {
     }
     EXPECT_GE(failed, 1u);
   }
-  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  auto good = scheduler.Submit({std::vector<double>(6, 0.1), {}});
   EXPECT_TRUE(good.get().ok());
 }
 
@@ -563,7 +596,7 @@ TEST_F(ChaosTest, ShardQueryFailpointYieldsPartialResult) {
     // One-shot kInternal: exactly one shard call fails, is not retried,
     // and the query degrades instead of failing.
     ScopedFailpoint fp("serve/shard/query");
-    const auto result = (*engine)->Query(q, QueryOptions{});
+    const auto result = (*engine)->Query({q, {}});
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_TRUE(result->partial);
     EXPECT_EQ(result->stats.shards_total, 4u);
@@ -572,7 +605,7 @@ TEST_F(ChaosTest, ShardQueryFailpointYieldsPartialResult) {
     EXPECT_FALSE(result->matches.empty());
   }
   // The fleet is not poisoned: the next query is whole.
-  const auto clean = (*engine)->Query(q, QueryOptions{});
+  const auto clean = (*engine)->Query({q, {}});
   ASSERT_TRUE(clean.ok());
   EXPECT_FALSE(clean->partial);
   EXPECT_EQ(clean->stats.shards_ok, 4u);
@@ -591,7 +624,7 @@ TEST_F(ChaosTest, AllShardsDownSurfacesUniformStatusThenRecovers) {
     // uniform code — the only case Query returns a Status.
     Failpoints::Arm("serve/shard/query",
                     Status::Unavailable("backend down"), FireEvery{1});
-    const auto result = (*engine)->Query(q, QueryOptions{});
+    const auto result = (*engine)->Query({q, {}});
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
     EXPECT_EQ(Failpoints::HitCount("serve/shard/query"), 12u);
@@ -599,7 +632,7 @@ TEST_F(ChaosTest, AllShardsDownSurfacesUniformStatusThenRecovers) {
   }
   // One lost call per shard stays below the trip threshold (3), so no
   // breaker opened: the next query recovers the whole fleet at once.
-  const auto recovered = (*engine)->Query(q, QueryOptions{});
+  const auto recovered = (*engine)->Query({q, {}});
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_FALSE(recovered->partial);
   EXPECT_EQ(recovered->stats.shards_ok, 4u);
@@ -619,7 +652,7 @@ TEST_F(ChaosTest, CircuitBreakerTripsSkipsAndRecovers) {
                   Status::Unavailable("shard 1 flapping"), FireEvery{1});
   // Two consecutive failures trip shard 1's breaker.
   for (int i = 0; i < 2; ++i) {
-    const auto result = (*engine)->Query(q, QueryOptions{});
+    const auto result = (*engine)->Query({q, {}});
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(result->partial);
   }
@@ -628,7 +661,7 @@ TEST_F(ChaosTest, CircuitBreakerTripsSkipsAndRecovers) {
       Failpoints::HitCount("serve/shard/query/1");
   // While open, shard 1 is ejected from the scatter set: still partial
   // answers, but the shard is never called (hit count stays flat).
-  const auto skipped = (*engine)->Query(q, QueryOptions{});
+  const auto skipped = (*engine)->Query({q, {}});
   ASSERT_TRUE(skipped.ok());
   EXPECT_TRUE(skipped->partial);
   EXPECT_EQ(Failpoints::HitCount("serve/shard/query/1"), hits_when_tripped);
@@ -638,7 +671,7 @@ TEST_F(ChaosTest, CircuitBreakerTripsSkipsAndRecovers) {
   std::this_thread::sleep_for(std::chrono::milliseconds(80));
   EXPECT_EQ((*engine)->breaker_state(1),
             ShardedEngine::BreakerState::kHalfOpen);
-  const auto probe = (*engine)->Query(q, QueryOptions{});
+  const auto probe = (*engine)->Query({q, {}});
   ASSERT_TRUE(probe.ok()) << probe.status().ToString();
   EXPECT_FALSE(probe->partial);
   EXPECT_EQ((*engine)->breaker_state(1),
@@ -656,7 +689,8 @@ TEST_F(ChaosTest, SlowShardStragglerIsHedgedAroundNotFailed) {
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   QueryOptions request;
   request.k = 3;
-  request.deadline_seconds = 0.01;
+  RequestContext context;
+  context.deadline_seconds = 0.01;
   const std::vector<double> q(6, 0.1);
   // A straggling shard is a *slowness* fault, not a failure: the 50 ms
   // injected stall blows the 5 ms shard budget, so after one observed
@@ -664,9 +698,9 @@ TEST_F(ChaosTest, SlowShardStragglerIsHedgedAroundNotFailed) {
   // answers stay whole, nothing is marked failed, no breaker trips.
   Failpoints::Arm("serve/shard/slow", Status::Internal("straggler"),
                   FireEvery{1});
-  const auto first = (*engine)->Query(q, request);
+  const auto first = (*engine)->Query({q, request, context});
   ASSERT_TRUE(first.ok()) << first.status().ToString();
-  const auto hedged = (*engine)->Query(q, request);
+  const auto hedged = (*engine)->Query({q, request, context});
   ASSERT_TRUE(hedged.ok()) << hedged.status().ToString();
   EXPECT_GE(hedged->stats.shards_hedged, 1u);
   EXPECT_FALSE(hedged->partial);
@@ -706,7 +740,7 @@ TEST_F(ChaosTest, ShardFailpointUnderBatchQueryDegradesEveryMember) {
     // no member silently pretends full coverage.
     ScopedFailpoint fp("serve/shard/query/0", /*nth=*/1,
                        Status::Internal("mid-batch fault"));
-    const auto result = (*engine)->BatchQuery(queries, QueryOptions{});
+    const auto result = (*engine)->BatchQuery(queries, {}, {});
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     ASSERT_EQ(result->size(), queries.rows());
     for (const QueryResult& member : *result) {
@@ -715,7 +749,7 @@ TEST_F(ChaosTest, ShardFailpointUnderBatchQueryDegradesEveryMember) {
       EXPECT_EQ(member.stats.shards_ok, 3u);
     }
   }
-  const auto clean = (*engine)->BatchQuery(queries, QueryOptions{});
+  const auto clean = (*engine)->BatchQuery(queries, {}, {});
   ASSERT_TRUE(clean.ok());
   for (const QueryResult& member : *clean) EXPECT_FALSE(member.partial);
 }
@@ -740,7 +774,7 @@ TEST_F(ChaosTest, ShardFailpointUnderScheduledBatchExecution) {
     std::vector<std::future<BatchScheduler::Result>> futures;
     for (int i = 0; i < 8; ++i) {
       futures.push_back(
-          scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{}));
+          scheduler.Submit({std::vector<double>(6, 0.1), {}}));
     }
     for (auto& future : futures) {
       const auto result = future.get();
@@ -751,7 +785,7 @@ TEST_F(ChaosTest, ShardFailpointUnderScheduledBatchExecution) {
     }
     Failpoints::DisarmAll();
   }
-  auto good = scheduler.Submit(std::vector<double>(6, 0.1), QueryOptions{});
+  auto good = scheduler.Submit({std::vector<double>(6, 0.1), {}});
   const auto clean = good.get();
   ASSERT_TRUE(clean.ok());
   EXPECT_FALSE(clean->partial);
@@ -832,7 +866,7 @@ TEST_F(ChaosTest, ObsExportFailpointNeverPoisonsQueryResults) {
     ScopedFailpoint fp("obs/export");
     // An armed export failpoint never touches the query path — even a
     // traced query that publishes to the very ring being exported.
-    const auto result = (*engine)->Query(q, traced);
+    const auto result = (*engine)->Query({q, traced});
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_NE(result->stats.trace, nullptr);
     EXPECT_FALSE(MetricsRegistry::Global().ExportJson().ok());
@@ -841,7 +875,7 @@ TEST_F(ChaosTest, ObsExportFailpointNeverPoisonsQueryResults) {
     ScopedFailpoint fp("obs/export");
     EXPECT_FALSE(TraceRing::Global().ExportJson().ok());
     // The export fault does not poison subsequent query results either.
-    const auto result = (*engine)->Query(q, traced);
+    const auto result = (*engine)->Query({q, traced});
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_NE(result->stats.trace, nullptr);
   }
@@ -851,7 +885,7 @@ TEST_F(ChaosTest, ObsExportFailpointNeverPoisonsQueryResults) {
   EXPECT_NE(metrics_json->find("counters"), std::string::npos);
   const auto traces_json = TraceRing::Global().ExportJson();
   ASSERT_TRUE(traces_json.ok());
-  EXPECT_TRUE((*engine)->Query(q, traced).ok());
+  EXPECT_TRUE((*engine)->Query({q, traced}).ok());
 }
 
 }  // namespace

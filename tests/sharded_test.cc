@@ -60,7 +60,7 @@ TEST_F(ShardedTest, MergeMatchesExactTopKAcrossShardCounts) {
     EXPECT_EQ((*engine)->dim(), data.cols());
     for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
       const auto q = queries.Row(qi);
-      const auto result = (*engine)->Query(q, options);
+      const auto result = (*engine)->Query({q, options});
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       const auto exact =
           TopKBruteForce(data, q, options.k, options.is_signed);
@@ -94,7 +94,7 @@ TEST_F(ShardedTest, TieBreakUsesGlobalIndexAcrossShards) {
   const auto engine = ShardedEngine::Create(data, options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   const std::vector<double> q(4, 0.5);
-  const auto result = (*engine)->Query(q, ForcedBrute(5));
+  const auto result = (*engine)->Query({q, ForcedBrute(5)});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->matches.size(), 5u);
   for (std::size_t i = 0; i < result->matches.size(); ++i) {
@@ -130,11 +130,11 @@ TEST_F(ShardedTest, BatchQueryMatchesSingleQueries) {
   const auto engine = ShardedEngine::Create(data, options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   const QueryOptions request = ForcedBrute(4);
-  const auto batched = (*engine)->BatchQuery(queries, request);
+  const auto batched = (*engine)->BatchQuery(queries, request, {});
   ASSERT_TRUE(batched.ok()) << batched.status().ToString();
   ASSERT_EQ(batched->size(), queries.rows());
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
-    const auto single = (*engine)->Query(queries.Row(qi), request);
+    const auto single = (*engine)->Query({queries.Row(qi), request});
     ASSERT_TRUE(single.ok());
     const QueryResult& member = (*batched)[qi];
     ASSERT_EQ(member.matches.size(), single->matches.size());
@@ -147,7 +147,7 @@ TEST_F(ShardedTest, BatchQueryMatchesSingleQueries) {
     EXPECT_EQ(member.stats.shards_ok, 3u);
   }
   // Empty batch short-circuits without fan-out.
-  const auto empty = (*engine)->BatchQuery(Matrix(), request);
+  const auto empty = (*engine)->BatchQuery(Matrix(), request, {});
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
 }
@@ -164,7 +164,7 @@ TEST_F(ShardedTest, TransientUnavailableIsRetriedToSuccess) {
   Failpoints::Arm("serve/shard/query/0", 1,
                   Status::Unavailable("transient blip"));
   const std::vector<double> q(6, 0.1);
-  const auto result = (*engine)->Query(q, ForcedBrute(3));
+  const auto result = (*engine)->Query({q, ForcedBrute(3)});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_FALSE(result->partial);
   EXPECT_EQ(result->stats.shards_ok, 2u);
@@ -184,7 +184,7 @@ TEST_F(ShardedTest, NonRetryableShardFailureDegradesToPartial) {
   Failpoints::Arm("serve/shard/query/1", Status::Internal("disk fault"),
                   FireEvery{1});
   const std::vector<double> q(6, 0.1);
-  const auto result = (*engine)->Query(q, ForcedBrute(5));
+  const auto result = (*engine)->Query({q, ForcedBrute(5)});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->partial);
   EXPECT_EQ(result->stats.shards_total, 2u);
@@ -210,17 +210,18 @@ TEST_F(ShardedTest, PredictedStragglerIsHedged) {
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   QueryOptions request;
   request.k = 3;
-  request.deadline_seconds = 0.01;
+  RequestContext context;
+  context.deadline_seconds = 0.01;
   const std::vector<double> q(6, 0.1);
   // Shard 0's primary path stalls 50 ms on every call; the 9 ms shard
   // budget cannot absorb that, so once the latency tracker has seen one
   // stalled call it predicts the miss and answers through the hedge.
   Failpoints::Arm("serve/shard/slow/0", Status::Internal("straggler"),
                   FireEvery{1});
-  const auto first = (*engine)->Query(q, request);
+  const auto first = (*engine)->Query({q, request, context});
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_EQ(first->stats.shards_hedged, 0u);
-  const auto second = (*engine)->Query(q, request);
+  const auto second = (*engine)->Query({q, request, context});
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_EQ(second->stats.shards_hedged, 1u);
   EXPECT_FALSE(second->partial);
@@ -238,7 +239,7 @@ TEST_F(ShardedTest, TraceRecordsOneChildSpanPerShard) {
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   QueryOptions request = ForcedBrute(2);
   request.trace = true;
-  const auto result = (*engine)->Query(std::vector<double>(6, 0.1), request);
+  const auto result = (*engine)->Query({std::vector<double>(6, 0.1), request});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_NE(result->stats.trace, nullptr);
   const Trace& trace = *result->stats.trace;
@@ -265,7 +266,7 @@ TEST_F(ShardedTest, UniformFailureCodePropagatesUnchanged) {
   QueryOptions request;
   request.force_algorithm = QueryAlgo::kSketch;
   request.precision = QueryPrecision::kExact;
-  const auto result = (*engine)->Query(std::vector<double>(6, 0.1), request);
+  const auto result = (*engine)->Query({std::vector<double>(6, 0.1), request});
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
@@ -278,16 +279,16 @@ TEST_F(ShardedTest, CoordinatorValidatesRequestBeforeFanOut) {
   const auto engine = ShardedEngine::Create(data, two_shards);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   // Wrong dimension.
-  EXPECT_FALSE((*engine)->Query(std::vector<double>(5, 0.1), ForcedBrute(1))
+  EXPECT_FALSE((*engine)->Query({std::vector<double>(5, 0.1), ForcedBrute(1)})
                    .ok());
   // NaN query.
   std::vector<double> poisoned(6, 0.1);
   poisoned[3] = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_FALSE((*engine)->Query(poisoned, ForcedBrute(1)).ok());
+  EXPECT_FALSE((*engine)->Query({poisoned, ForcedBrute(1)}).ok());
   // Invalid options (k = 0).
   QueryOptions zero_k;
   zero_k.k = 0;
-  EXPECT_FALSE((*engine)->Query(std::vector<double>(6, 0.1), zero_k).ok());
+  EXPECT_FALSE((*engine)->Query({std::vector<double>(6, 0.1), zero_k}).ok());
 }
 
 TEST_F(ShardedTest, CreateRejectsInvalidOptions) {
@@ -351,7 +352,7 @@ TEST_F(ShardedTest, BatchSchedulerDrivesShardedEngine) {
   for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
     const auto q = queries.Row(qi);
     futures.push_back(scheduler.Submit(
-        std::vector<double>(q.begin(), q.end()), ForcedBrute(3)));
+        {std::vector<double>(q.begin(), q.end()), ForcedBrute(3)}));
   }
   for (std::size_t qi = 0; qi < futures.size(); ++qi) {
     const auto result = futures[qi].get();

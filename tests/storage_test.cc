@@ -273,7 +273,7 @@ std::vector<std::pair<std::size_t, double>> ForcedAnswers(
   }
   std::vector<std::pair<std::size_t, double>> answers;
   for (std::size_t row : {0u, 17u, 63u}) {
-    auto result = engine.Query(engine.data().Row(row), options);
+    auto result = engine.Query({engine.data().Row(row), options});
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     if (!result.ok()) continue;
     for (const SearchMatch& match : result->matches) {
@@ -329,8 +329,8 @@ TEST_F(StorageTest, EngineSnapshotWithoutIndexesRebuildsLazily) {
   // and agrees with the engine that wrote the snapshot.
   QueryOptions options;
   options.force_algorithm = QueryAlgo::kBruteForce;
-  auto expected = (*cold)->Query((*cold)->data().Row(0), options);
-  auto result = (*warm)->Query((*warm)->data().Row(0), options);
+  auto expected = (*cold)->Query({(*cold)->data().Row(0), options});
+  auto result = (*warm)->Query({(*warm)->data().Row(0), options});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_TRUE(expected.ok());
   ASSERT_FALSE(result->matches.empty());
@@ -393,8 +393,8 @@ TEST_F(StorageTest, ShardedSnapshotRoundTripServesIdenticalAnswers) {
   for (std::size_t row : {0u, 59u, 119u}) {
     const auto q = (*cold)->shard(0).data().Row(0);
     (void)row;
-    auto a = (*cold)->Query(q, query_options);
-    auto b = (*warm)->Query(q, query_options);
+    auto a = (*cold)->Query({q, query_options});
+    auto b = (*warm)->Query({q, query_options});
     ASSERT_TRUE(a.ok() && b.ok());
     ASSERT_EQ(a->matches.size(), b->matches.size());
     for (std::size_t m = 0; m < a->matches.size(); ++m) {
